@@ -1,0 +1,101 @@
+// E15 -- Table 1, communication row: "Restricted inter-chip, inter-device,
+// inter-machine communication (e.g. Rent's Rule, 3G, GigE); communication
+// more expensive than computation."
+//
+// Regenerates: (a) the data-movement energy ladder across distance
+// classes, expressed in FMA-equivalents per 64-bit word, (b) the
+// Rent's-rule bandwidth-wall projection, and (c) coherence traffic as
+// on-chip communication made visible (false sharing).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "energy/catalogue.hpp"
+#include "mem/coherence.hpp"
+#include "noc/rent.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace arch21;
+using energy::Distance;
+
+void print_movement_ladder() {
+  std::cout << "\n=== E15a: the data-movement energy ladder (45 nm) ===\n";
+  const energy::Catalogue cat;
+  TextTable t({"distance", "pJ per 64-bit word", "FMA-equivalents"});
+  for (const auto d :
+       {Distance::OnChip1mm, Distance::AcrossChip, Distance::ToStackedDram,
+        Distance::ToDram, Distance::Board, Distance::Rack,
+        Distance::Datacenter, Distance::SensorRadio}) {
+    const double j = cat.move(d, 64.0);
+    t.row({to_string(d), TextTable::num(units::to_pJ(j), 4),
+           TextTable::num(j / cat.fp_fma(), 4) + "x"});
+  }
+  t.print(std::cout);
+  std::cout << "  Claim check: every off-chip hop costs more than computing;\n"
+               "  a radio bit costs ~5 orders of magnitude more than an FMA\n"
+               "  -- communication is the budget, computation is the "
+               "rounding error.\n";
+}
+
+void print_bandwidth_wall() {
+  std::cout << "\n=== E15b: Rent's-rule bandwidth wall ===\n";
+  TextTable t({"generation", "gates (rel)", "traffic demand", "pins (Rent)",
+               "demand/supply gap"});
+  for (const auto& r : noc::bandwidth_wall({.t = 5, .p = 0.6}, 1e8, 8)) {
+    t.row({std::to_string(r.generation), TextTable::num(r.gates / 1e8),
+           TextTable::num(r.compute_demand), TextTable::num(r.pins, 4),
+           TextTable::num(r.gap)});
+  }
+  t.print(std::cout);
+  std::cout << "  Claim check: on-chip compute doubles per generation but\n"
+               "  pins grow only as G^0.6 -- the off-chip gap compounds.\n";
+}
+
+void print_false_sharing() {
+  std::cout << "\n=== E15c: coherence traffic -- false sharing energy ===\n";
+  const energy::Catalogue cat;
+  const mem::CacheConfig cfg{.size_bytes = 32768, .line_bytes = 64, .ways = 8};
+  TextTable t({"layout", "invalidations", "bus energy nJ"});
+  mem::CoherentSystem shared(2, cfg, cat);
+  mem::CoherentSystem split(2, cfg, cat);
+  for (int i = 0; i < 10000; ++i) {
+    shared.write(0, 0x100);
+    shared.write(1, 0x108);  // same line
+    split.write(0, 0x100);
+    split.write(1, 0x180);   // different lines
+  }
+  t.row({"same line (false sharing)",
+         std::to_string(shared.stats().invalidations),
+         TextTable::num(shared.stats().bus_energy_j * 1e9, 4)});
+  t.row({"padded (no sharing)", std::to_string(split.stats().invalidations),
+         TextTable::num(split.stats().bus_energy_j * 1e9, 4)});
+  t.print(std::cout);
+}
+
+void BM_mesi_false_sharing(benchmark::State& state) {
+  const energy::Catalogue cat;
+  mem::CoherentSystem sys(
+      4, {.size_bytes = 32768, .line_bytes = 64, .ways = 8}, cat);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    sys.write(i & 3, 0x100 + (i & 1) * 8);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_mesi_false_sharing);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_movement_ladder();
+  print_bandwidth_wall();
+  print_false_sharing();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

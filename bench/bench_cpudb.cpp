@@ -1,0 +1,57 @@
+// E2 -- Section 1: "Danowitz et al. apportioned computer performance
+// growth roughly equally between technology and architecture, with
+// architecture credited with ~80x improvement since 1985."
+//
+// Regenerates the decomposition from the synthetic CPU DB: total
+// single-thread performance gain = (gate-speed gain) x (architecture
+// gain), per generation, with the 2012 architecture factor printed
+// against the paper's ~80x.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "tech/cpudb.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace arch21;
+
+void print_decomposition() {
+  std::cout << "\n=== E2: performance growth decomposition vs 1985 ===\n";
+  TextTable t({"year", "label", "MHz", "IPC", "FO4 ps", "total x",
+               "tech x", "arch x"});
+  const auto rows = tech::decompose_performance();
+  const auto db = tech::cpu_db();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    t.row({std::to_string(rows[i].year), std::string(db[i].label),
+           TextTable::num(db[i].freq_mhz), TextTable::num(db[i].ipc),
+           TextTable::num(db[i].fo4_ps), TextTable::num(rows[i].total_gain),
+           TextTable::num(rows[i].tech_gain),
+           TextTable::num(rows[i].arch_gain)});
+  }
+  t.print(std::cout);
+  const auto d2012 = tech::decomposition_2012();
+  std::cout << "  Paper claim: architecture credited ~80x since 1985.\n"
+            << "  Measured:    " << TextTable::num(d2012.arch_gain)
+            << "x architecture, " << TextTable::num(d2012.tech_gain)
+            << "x technology, " << TextTable::num(d2012.total_gain)
+            << "x total.\n";
+}
+
+void BM_decompose(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tech::decompose_performance());
+  }
+}
+BENCHMARK(BM_decompose);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_decomposition();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

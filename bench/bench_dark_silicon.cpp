@@ -1,0 +1,65 @@
+// E16 -- the dark-silicon consequence of Table 1's "not viable for
+// power/chip to double": at fixed die area and fixed TDP, the fraction of
+// the chip that can switch at nominal V/f shrinks every generation --
+// which is the quantitative motivation for the paper's "energy first" and
+// "specialization" pillars (dark area is where accelerators live).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "tech/dark_silicon.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace arch21;
+using namespace arch21::tech;
+
+void print_projection() {
+  std::cout << "\n=== E16: dark-silicon projection (100 mm^2, 100 W TDP) ===\n";
+  DarkSiliconModel m({.die_mm2 = 100, .power_budget_w = 100,
+                      .reference_node = "90nm", .activity = 0.1});
+  TextTable t({"node", "year", "full-chip power W", "lit fraction",
+               "dark fraction"});
+  for (const auto& r : m.project()) {
+    t.row({r.node->name, std::to_string(r.node->year),
+           TextTable::num(r.full_power_w), TextTable::num(r.utilization),
+           TextTable::num(r.dark_fraction)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "  Claim check: with Dennard scaling gone, by the deep-submicron\n"
+         "  nodes well under half the die can run at full V/f -- the dark\n"
+         "  silicon that motivates heterogeneous specialization.\n";
+
+  std::cout << "\n  sensitivity to the calibration point (the last node at\n"
+               "  which the design filled its budget):\n";
+  TextTable s({"reference node", "lit fraction at 22nm",
+               "lit fraction at 5nm"});
+  for (const char* ref : {"130nm", "90nm", "45nm"}) {
+    DarkSiliconModel mm({.die_mm2 = 100, .power_budget_w = 100,
+                         .reference_node = ref, .activity = 0.1});
+    s.row({ref, TextTable::num(mm.utilization(*find_node("22nm"))),
+           TextTable::num(mm.utilization(*find_node("5nm")))});
+  }
+  s.print(std::cout);
+}
+
+void BM_projection(benchmark::State& state) {
+  DarkSiliconModel m({.die_mm2 = 100, .power_budget_w = 100,
+                      .reference_node = "90nm", .activity = 0.1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.project());
+  }
+}
+BENCHMARK(BM_projection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_projection();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E8 -- Section 2.2's multicore-organization question ("how units should
+// be organized"), answered with the Hill-Marty model family the paper's
+// coordinator introduced: symmetric, asymmetric, and dynamic multicore
+// speedup vs chip size and parallel fraction.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "par/laws.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace arch21::par;
+using arch21::TextTable;
+
+void print_sweeps() {
+  for (double f : {0.9, 0.99, 0.999}) {
+    std::cout << "\n=== E8: Hill-Marty speedups, f = " << f << " ===\n";
+    TextTable t({"BCEs", "Amdahl(n)", "symmetric(best r)", "best r",
+                 "asymmetric", "dynamic"});
+    for (double n : {16.0, 64.0, 256.0, 1024.0}) {
+      const auto best = hm_symmetric_best(f, n);
+      double asym = 0;
+      for (double r = 1; r <= n; r *= 2) {
+        asym = std::max(asym, hm_asymmetric(f, n, r));
+      }
+      t.row({TextTable::num(n), TextTable::num(amdahl_speedup(f, n)),
+             TextTable::num(best.speedup), TextTable::num(best.r),
+             TextTable::num(asym), TextTable::num(hm_dynamic(f, n))});
+    }
+    t.print(std::cout);
+  }
+  std::cout
+      << "  Shape checks: dynamic >= asymmetric >= symmetric everywhere;\n"
+         "  low f favors big cores (large best-r); even f = 0.999 leaves\n"
+         "  much of a 1024-BCE chip's potential on the table -- the serial\n"
+         "  bottleneck the paper says must be attacked across layers.\n";
+}
+
+void BM_hm_sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hm_sweep(0.99, {16, 64, 256, 1024}));
+  }
+}
+BENCHMARK(BM_hm_sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweeps();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E3 -- Section 2.2: the efficiency ladder.  "We suggest as a goal to
+// improve the energy efficiency of computers by two-to-three orders of
+// magnitude, to obtain, by the end of this decade, an exa-op data center
+// that consumes no more than 10 MW, a peta-op departmental server ...
+// 10 kW, a tera-op portable ... 10 W, and a giga-op sensor ... 10 mW."
+//
+// All rungs demand 100 Gops/W.  For each platform class this bench
+// evaluates (a) a naive 2012-style general-purpose design and (b) the
+// best cross-layer design found by exhaustive DSE (NTV + many-core +
+// specialization + 3D memory), and reports the gap to the rung.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/dse.hpp"
+#include "energy/ladder.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace arch21;
+using core::PlatformClass;
+
+core::AppProfile app_for(PlatformClass pc) {
+  switch (pc) {
+    case PlatformClass::Sensor: return core::profile_health_monitor();
+    case PlatformClass::Portable: return core::profile_mobile_vision();
+    case PlatformClass::Departmental: return core::profile_scientific_sim();
+    case PlatformClass::Datacenter: return core::profile_scientific_sim();
+  }
+  return core::profile_mobile_vision();
+}
+
+core::DesignPoint naive_design() {
+  core::DesignPoint d;
+  d.node = "45nm";
+  d.vdd_scale = 1.0;
+  d.cores = 2;
+  d.bce_per_core = 16;
+  d.llc_mib = 8;
+  return d;
+}
+
+void print_ladder() {
+  std::cout << "\n=== E3: the 10mW/10W/10kW/10MW efficiency ladder ===\n";
+  std::cout << "  target efficiency on every rung: "
+            << units::si_format(1e11, "ops/W") << "\n";
+  TextTable t({"platform", "naive ops/W", "naive gap", "best ops/W",
+               "best gap", "best design"});
+  for (const auto pc :
+       {PlatformClass::Sensor, PlatformClass::Portable,
+        PlatformClass::Departmental, PlatformClass::Datacenter}) {
+    const auto app = app_for(pc);
+    const auto rung = energy::ladder()[static_cast<std::size_t>(pc)];
+
+    const auto naive = core::evaluate(naive_design(), app, pc);
+    const auto a_naive = energy::assess(rung, naive.ops_per_watt);
+
+    core::DesignSpace space;
+    const auto res = core::grid_search(space, app, pc);
+    const auto* best = res.frontier.best_efficiency();
+    double best_eff = 0;
+    std::string design = "(none feasible)";
+    if (best != nullptr) {
+      best_eff = best->metrics.ops_per_watt;
+      design = best->design.to_string();
+    }
+    const auto a_best = energy::assess(rung, best_eff);
+
+    const auto gap_str = [](double gap) {
+      return gap > 1e100 ? std::string("infeasible")
+                         : TextTable::num(gap, 3) + "x short";
+    };
+    t.row({core::to_string(pc),
+           units::si_format(naive.ops_per_watt, "op/W", 2),
+           gap_str(a_naive.gap), units::si_format(best_eff, "op/W", 2),
+           gap_str(a_best.gap), design});
+  }
+  t.print(std::cout);
+  std::cout
+      << "  Claim check: cross-layer design recovers roughly two orders of\n"
+         "  magnitude over the naive platform; the residual gap is what the\n"
+         "  paper says still needs research beyond 2012-era technology.\n";
+}
+
+void BM_grid_search_small(benchmark::State& state) {
+  core::DesignSpace space;
+  space.nodes = {"22nm"};
+  space.vdd_scales = {0.7, 1.0};
+  space.core_counts = {4, 64};
+  space.bces = {1, 4};
+  space.llc_mibs = {8};
+  space.stacking = {false};
+  const auto app = core::profile_mobile_vision();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::grid_search(space, app, PlatformClass::Portable));
+  }
+}
+BENCHMARK(BM_grid_search_small);
+
+void BM_evaluate_design(benchmark::State& state) {
+  const auto app = core::profile_mobile_vision();
+  const auto d = naive_design();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate(d, app, PlatformClass::Portable));
+  }
+}
+BENCHMARK(BM_evaluate_design);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ladder();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E9 -- Section 2.3: "Near-threshold voltage operation has tremendous
+// potential to reduce power but at the cost of reliability, driving a new
+// discipline of resiliency-centered design."
+//
+// Regenerates the supply-voltage sweep: frequency, energy/op, fault
+// probability, and the *resilience-compensated* energy per correct
+// operation; reports the raw minimum-energy point and where replay costs
+// push the practical optimum.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "tech/dvfs.hpp"
+#include "tech/ntv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace arch21;
+using namespace arch21::tech;
+
+void print_sweep() {
+  const auto node = *find_node("22nm");
+  const DvfsModel dvfs = DvfsModel::for_node(node);
+  NtvReliability rel({.vth = node.vth, .v50_margin = 0.08, .steep = 0.025,
+                      .floor = 1e-12});
+
+  std::cout << "\n=== E9: near-threshold sweep, " << node.name << " ===\n";
+  TextTable t({"Vdd", "freq", "E/op pJ", "p(fault)", "E_eff/op pJ"});
+  for (const auto& pt : ntv_sweep(dvfs, rel, /*replay_ops=*/25.0, 16)) {
+    t.row({TextTable::num(pt.v, 3), units::si_format(pt.f_hz, "Hz", 2),
+           TextTable::num(units::to_pJ(pt.e_op_j), 4),
+           TextTable::num(pt.p_fault, 2),
+           TextTable::num(units::to_pJ(pt.e_effective_j), 4)});
+  }
+  t.print(std::cout);
+
+  const double vmin_raw = dvfs.min_energy_voltage();
+  const auto opt = ntv_optimum(dvfs, rel, 25.0);
+  const double e_nom = dvfs.energy_per_op(dvfs.params().vnom);
+  std::cout << "  Raw minimum-energy point:            "
+            << TextTable::num(vmin_raw, 3) << " V ("
+            << TextTable::num(e_nom / dvfs.energy_per_op(vmin_raw), 3)
+            << "x less energy than nominal)\n"
+            << "  Resilience-compensated optimum:      "
+            << TextTable::num(opt.v, 3) << " V ("
+            << TextTable::num(e_nom / opt.e_effective_j, 3)
+            << "x less than nominal after replay costs)\n"
+            << "  Claim check: big energy win, taxed by reliability -- the\n"
+               "  optimum retreats from the deepest NTV point.\n";
+}
+
+void BM_ntv_optimum(benchmark::State& state) {
+  const DvfsModel dvfs = DvfsModel::for_node(*find_node("22nm"));
+  NtvReliability rel({.vth = 0.30, .v50_margin = 0.08, .steep = 0.025,
+                      .floor = 1e-12});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ntv_optimum(dvfs, rel, 25.0));
+  }
+}
+BENCHMARK(BM_ntv_optimum);
+
+void BM_min_energy_voltage(benchmark::State& state) {
+  const DvfsModel dvfs = DvfsModel::for_node(*find_node("22nm"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dvfs.min_energy_voltage());
+  }
+}
+BENCHMARK(BM_min_energy_voltage);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,152 @@
+// E10 -- Section 2.3: "Emerging non-volatile memory technologies promise
+// much greater storage density and power efficiency, yet require
+// re-architecting memory and storage systems to address the device
+// capabilities (e.g., longer, asymmetric, or variable latency, as well as
+// device wear out)."
+//
+// Regenerates: (a) the DRAM vs PCM device comparison, (b) the wear-out
+// experiment -- lifetime under a hot-line workload with and without
+// Start-Gap wear leveling, and (c) the hybrid DRAM+NVM migration view.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "mem/dram.hpp"
+#include "mem/hybrid.hpp"
+#include "mem/nvm.hpp"
+#include "mem/wear_leveling.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace arch21;
+using namespace arch21::mem;
+
+void print_device_comparison() {
+  std::cout << "\n=== E10a: DRAM vs PCM-class NVM device ===\n";
+  DramConfig d;
+  NvmConfig n;
+  TextTable t({"property", "DRAM", "NVM (PCM-class)"});
+  t.row({"read latency ns", TextTable::num(d.t_rcd_ns + d.t_cas_ns),
+         TextTable::num(n.read_ns)});
+  t.row({"write latency ns", TextTable::num(d.t_rcd_ns + d.t_cas_ns),
+         TextTable::num(n.write_ns)});
+  t.row({"write energy nJ/64B", TextTable::num(d.e_rw_per64b_nj * 8),
+         TextTable::num(n.e_write_per64b_nj * 8)});
+  t.row({"refresh/standby", "yes (power floor)", "none (non-volatile)"});
+  t.row({"endurance writes/line", "unlimited (practically)",
+         TextTable::num(n.mean_endurance, 2)});
+  t.print(std::cout);
+}
+
+void print_wear_leveling() {
+  std::cout << "\n=== E10b: lifetime under a hot-line write workload ===\n";
+  // 20% of writes hammer one line, the rest spread uniformly.
+  auto run = [](bool leveled) {
+    NvmConfig cfg;
+    cfg.lines = 1024;
+    cfg.mean_endurance = 3e4;  // scaled down so the experiment terminates
+    cfg.endurance_shape = 8;
+    NvmDevice dev(cfg);
+    StartGap sg(dev, 64);
+    Rng rng(5);
+    std::uint64_t writes = 0;
+    const std::uint64_t logical = leveled ? sg.logical_lines() : cfg.lines;
+    while (dev.failed_lines() == 0 && writes < 200'000'000) {
+      const std::uint64_t line =
+          rng.chance(0.2) ? 7 : rng.below(logical);
+      if (leveled) {
+        sg.write(line);
+      } else {
+        dev.write(line);
+      }
+      ++writes;
+    }
+    struct Out {
+      std::uint64_t useful_writes;
+      double wear_cv;
+      std::uint64_t max_wear;
+    };
+    return Out{writes, dev.wear_cv(), dev.max_wear()};
+  };
+  const auto raw = run(false);
+  const auto lev = run(true);
+  TextTable t({"config", "writes to first line death", "wear CV",
+               "max line wear"});
+  t.row({"no leveling", TextTable::num(static_cast<double>(raw.useful_writes), 4),
+         TextTable::num(raw.wear_cv), TextTable::num(static_cast<double>(raw.max_wear), 4)});
+  t.row({"start-gap psi=64", TextTable::num(static_cast<double>(lev.useful_writes), 4),
+         TextTable::num(lev.wear_cv), TextTable::num(static_cast<double>(lev.max_wear), 4)});
+  t.print(std::cout);
+  std::cout << "  Lifetime extension from start-gap: "
+            << TextTable::num(static_cast<double>(lev.useful_writes) /
+                                  static_cast<double>(raw.useful_writes),
+                              3)
+            << "x (claim: wear leveling approaches the uniform-wear bound).\n";
+}
+
+void print_hybrid() {
+  std::cout << "\n=== E10c: hybrid DRAM+NVM under a skewed workload ===\n";
+  TextTable t({"dram pages", "dram frac", "mean latency ns", "promotions",
+               "demotions"});
+  for (std::uint64_t pages : {8ull, 32ull, 128ull}) {
+    Dram dram{DramConfig{}};
+    NvmConfig ncfg;
+    ncfg.lines = 1 << 16;
+    NvmDevice nvm(ncfg);
+    HybridMemory hm(dram, nvm, {.page_bytes = 4096, .dram_pages = pages,
+                                .promote_threshold = 4,
+                                .epoch_accesses = 8192});
+    Rng rng(9);
+    for (int i = 0; i < 300000; ++i) {
+      const mem::Addr page =
+          rng.chance(0.9) ? rng.below(16) : 16 + rng.below(4096);
+      hm.access(page * 4096 + rng.below(512) * 8, rng.chance(0.3));
+    }
+    const auto& s = hm.stats();
+    t.row({std::to_string(pages), TextTable::num(s.dram_fraction()),
+           TextTable::num(s.mean_latency_ns()),
+           std::to_string(s.promotions), std::to_string(s.demotions)});
+  }
+  t.print(std::cout);
+}
+
+void BM_nvm_write(benchmark::State& state) {
+  NvmConfig cfg;
+  cfg.lines = 1 << 16;
+  cfg.mean_endurance = 1e15;
+  NvmDevice dev(cfg);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dev.write(rng.below(cfg.lines)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_nvm_write);
+
+void BM_startgap_write(benchmark::State& state) {
+  NvmConfig cfg;
+  cfg.lines = 1 << 16;
+  cfg.mean_endurance = 1e15;
+  NvmDevice dev(cfg);
+  StartGap sg(dev, 100);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sg.write(rng.below(sg.logical_lines())));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_startgap_write);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_device_comparison();
+  print_wear_leveling();
+  print_hybrid();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E7 -- Section 2.2: "while parallelism will abound in future
+// applications (big data = big parallelism), communication energy will
+// outgrow computation energy and will require rethinking how we design
+// for 1,000-way parallelism."
+//
+// Regenerates the strong-scaling study on a mesh many-core: speedup,
+// compute vs communication energy, and the crossover where communication
+// takes over; plus a task-DAG view via the work-stealing scheduler.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "energy/catalogue.hpp"
+#include "par/scaling.hpp"
+#include "par/schedule.hpp"
+#include "par/taskgraph.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace arch21;
+using namespace arch21::par;
+
+void print_scaling() {
+  std::cout << "\n=== E7a: strong scaling to 1024 cores (halo workload) ===\n";
+  const energy::Catalogue cat;
+  ScalingWorkload w;
+  const auto rows = strong_scaling(w, cat, 1024);
+  TextTable t({"cores", "time", "speedup", "E_compute", "E_comm+sync",
+               "comm frac", "energy/op pJ"});
+  for (const auto& r : rows) {
+    t.row({std::to_string(r.cores), units::time_format(r.time_s),
+           TextTable::num(r.speedup),
+           units::si_format(r.compute_energy_j, "J", 2),
+           units::si_format(r.comm_energy_j + r.sync_energy_j, "J", 2),
+           TextTable::num(r.comm_fraction),
+           TextTable::num(units::to_pJ(r.energy_per_op_j), 4)});
+  }
+  t.print(std::cout);
+  // Locate the crossover.
+  for (const auto& r : rows) {
+    if (r.comm_fraction > 0.5) {
+      std::cout << "  Communication energy overtakes computation at "
+                << r.cores << " cores -- the paper's 1000-way rethink.\n";
+      break;
+    }
+  }
+}
+
+void print_scheduling() {
+  std::cout << "\n=== E7b: task-DAG execution, list vs work stealing ===\n";
+  const auto g = make_layered(8, 64, 3, 1e7, 4096, 21);
+  TextTable t({"cores", "list makespan", "ws makespan", "ws util",
+               "comm energy"});
+  for (std::uint32_t p : {4u, 16u, 64u}) {
+    const auto cores = CoreModel::homogeneous(p, 1e9, 50e-12);
+    const auto comm = CommModel::uniform(2e-10, 1e-11);
+    const auto ls = list_schedule(g, cores, comm);
+    const auto ws = work_stealing_schedule(g, cores, comm, 1e-7, 5);
+    t.row({std::to_string(p), units::time_format(ls.makespan_s),
+           units::time_format(ws.makespan_s), TextTable::num(ws.utilization()),
+           units::si_format(ws.comm_energy_j, "J", 2)});
+  }
+  t.print(std::cout);
+}
+
+void BM_strong_scaling(benchmark::State& state) {
+  const energy::Catalogue cat;
+  ScalingWorkload w;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strong_scaling(w, cat, 1024));
+  }
+}
+BENCHMARK(BM_strong_scaling);
+
+void BM_work_stealing(benchmark::State& state) {
+  const auto g = make_layered(6, 32, 3, 1e6, 512, 9);
+  const auto cores = CoreModel::homogeneous(16, 1e9, 50e-12);
+  const auto comm = CommModel::uniform(2e-10, 1e-11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(work_stealing_schedule(g, cores, comm, 1e-7, 5));
+  }
+}
+BENCHMARK(BM_work_stealing);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaling();
+  print_scheduling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

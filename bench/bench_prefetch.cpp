@@ -1,0 +1,102 @@
+// E21 (extension) -- ablation of stream prefetching under the energy-first
+// lens (section 2.2: memory hierarchies "usually optimized for
+// performance first").  Prefetching buys latency on regular streams but
+// *costs* energy whenever its accuracy drops: every useless prefetch is a
+// DRAM fetch paid for nothing.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+
+#include "energy/catalogue.hpp"
+#include "mem/prefetch.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace arch21;
+using namespace arch21::mem;
+
+struct Workload {
+  const char* name;
+  std::function<Addr(int, Rng&)> next;
+};
+
+void print_ablation() {
+  std::cout << "\n=== E21: stride-prefetch ablation (energy-first view) ===\n";
+  const energy::Catalogue cat;
+  const CacheConfig l1{.size_bytes = 32768, .line_bytes = 64, .ways = 8};
+  const CacheConfig l2{.size_bytes = 262144, .line_bytes = 64, .ways = 8};
+  const CacheConfig llc{.size_bytes = 1 << 22, .line_bytes = 64, .ways = 16};
+
+  const Workload workloads[] = {
+      {"stream", [](int i, Rng&) { return static_cast<Addr>(i) * 64; }},
+      {"stride-4", [](int i, Rng&) { return static_cast<Addr>(i) * 256; }},
+      {"bursty-random",
+       [](int i, Rng& rng) {
+         static thread_local Addr base = 0;
+         if (i % 4 == 0) base = rng.below(1ull << 30) & ~63ull;
+         return base + static_cast<Addr>(i % 4) * 64;
+       }},
+      {"random",
+       [](int, Rng& rng) { return rng.below(1ull << 30) & ~63ull; }},
+  };
+
+  TextTable t({"workload", "demand L1 hit (off)", "demand L1 hit (on)",
+               "pf accuracy", "energy/demand pJ (off)",
+               "energy/demand pJ (on)"});
+  for (const auto& w : workloads) {
+    const int n = 100000;
+    Hierarchy off(l1, l2, llc, cat);
+    Rng rng_off(17);
+    std::uint64_t off_hits = 0;
+    for (int i = 0; i < n; ++i) {
+      if (off.access(w.next(i, rng_off), false) == ServiceLevel::L1) {
+        ++off_hits;
+      }
+    }
+    Hierarchy on(l1, l2, llc, cat);
+    StridePrefetcher pf(on);
+    Rng rng_on(17);
+    for (int i = 0; i < n; ++i) pf.access(w.next(i, rng_on), false);
+
+    t.row({w.name, TextTable::num(static_cast<double>(off_hits) / n),
+           TextTable::num(static_cast<double>(pf.stats().demand_hits_l1) / n),
+           TextTable::num(pf.stats().accuracy()),
+           TextTable::num(units::to_pJ(off.stats().total_energy_j) / n, 4),
+           TextTable::num(units::to_pJ(on.stats().total_energy_j) / n, 4)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "  Claim check: on streams the prefetcher converts DRAM misses\n"
+         "  into L1 hits at near-zero energy premium; on irregular traffic\n"
+         "  it must throttle itself or burn energy on useless fetches --\n"
+         "  the performance-first vs energy-first tension, measured.\n";
+}
+
+void BM_prefetched_stream(benchmark::State& state) {
+  const energy::Catalogue cat;
+  Hierarchy h({.size_bytes = 32768, .line_bytes = 64, .ways = 8},
+              {.size_bytes = 262144, .line_bytes = 64, .ways = 8},
+              {.size_bytes = 1 << 22, .line_bytes = 64, .ways = 16}, cat);
+  StridePrefetcher pf(h);
+  Addr a = 0;
+  for (auto _ : state) {
+    pf.access(a, false);
+    a += 64;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_prefetched_stream);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E23 (extension) -- Section 2.4: "how can applications express
+// Quality-of-Service targets and have the underlying hardware, the
+// operating system and the virtualization layers work together to ensure
+// them?"  Colocation of a latency-critical service with best-effort
+// batch work, with and without hardware partitioning of the shared LLC
+// and memory bandwidth.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "cloud/qos.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace arch21;
+using namespace arch21::cloud;
+
+void print_colocation() {
+  QosConfig cfg;
+  std::cout << "\n=== E23: LC/BE colocation, SLO p99 <= " << cfg.slo_p99_ms
+            << " ms ===\n";
+  for (bool part : {false, true}) {
+    std::cout << "  " << (part ? "WITH hardware QoS (partitioned)"
+                               : "shared resources (no QoS interface)")
+              << ":\n";
+    TextTable t({"BE load", "LC p99 ms", "SLO", "machine util",
+                 "BE goodput"});
+    for (const auto& r : colocation_sweep(cfg, part, 6)) {
+      t.row({TextTable::num(r.be_utilization),
+             std::isinf(r.lc_p99_ms) ? std::string("inf") : TextTable::num(r.lc_p99_ms),
+             r.slo_met ? "met" : "MISS",
+             TextTable::num(r.machine_utilization),
+             TextTable::num(r.be_goodput)});
+    }
+    t.print(std::cout);
+  }
+  const double shared = max_safe_be_utilization(QosConfig{}, false);
+  const double part = max_safe_be_utilization(QosConfig{}, true);
+  std::cout << "  max safe BE colocation: " << TextTable::num(shared)
+            << " shared vs " << TextTable::num(part)
+            << " partitioned -- the QoS interface turns a mostly-idle\n"
+               "  machine into a mostly-busy one without breaking the SLO\n"
+               "  (energy-proportionality's best friend; cf. E4c fleet "
+               "power).\n";
+}
+
+void BM_colocation_sweep(benchmark::State& state) {
+  QosConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(colocation_sweep(cfg, true, 11));
+  }
+}
+BENCHMARK(BM_colocation_sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_colocation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

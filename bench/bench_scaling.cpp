@@ -1,0 +1,83 @@
+// E1 -- Table 1, rows 1-2: Moore's law continues, Dennard scaling is
+// gone.  Regenerates the transistor/frequency/power trajectories under
+// ideal Dennard scaling vs the post-Dennard reality, from the node table
+// and from the scaling laws.
+//
+// Paper claims reproduced:
+//   * "Transistor count still 2x every 18-24 months"
+//   * "Not viable for power/chip to double (with 2x transistors/chip)"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "tech/node.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace arch21;
+
+void print_node_trajectory() {
+  std::cout << "\n=== E1a: measured node trajectory (fixed 100 mm^2 die) ===\n";
+  TextTable t({"node", "year", "Mtx/chip", "Vdd", "freq GHz",
+               "rel power/chip", "rel energy/switch"});
+  const auto nodes = tech::node_table();
+  const auto& ref = nodes.front();
+  const double ref_metric = ref.density_mtx_mm2 * ref.cgate_rel * ref.vdd *
+                            ref.vdd * ref.freq_ghz;
+  for (const auto& n : nodes) {
+    const double power_rel =
+        n.density_mtx_mm2 * n.cgate_rel * n.vdd * n.vdd * n.freq_ghz /
+        ref_metric;
+    t.row({n.name, std::to_string(n.year),
+           TextTable::num(n.transistors_100mm2()), TextTable::num(n.vdd),
+           TextTable::num(n.freq_ghz), TextTable::num(power_rel),
+           TextTable::num(n.switch_energy_rel())});
+  }
+  t.print(std::cout);
+}
+
+void print_scaling_laws() {
+  std::cout << "\n=== E1b: 8 generations, ideal Dennard vs post-Dennard ===\n";
+  TextTable t({"gen", "density(D)", "freq(D)", "power(D)", "density(PD)",
+               "freq(PD)", "power(PD)"});
+  const auto d = tech::dennard_generation();
+  const auto pd = tech::post_dennard_generation();
+  for (int g = 0; g <= 8; ++g) {
+    const auto cd = tech::compound(d, g);
+    const auto cpd = tech::compound(pd, g);
+    t.row({std::to_string(g), TextTable::num(cd.density),
+           TextTable::num(cd.frequency), TextTable::num(cd.power_fixed_area),
+           TextTable::num(cpd.density), TextTable::num(cpd.frequency),
+           TextTable::num(cpd.power_fixed_area)});
+  }
+  t.print(std::cout);
+  std::cout << "  Claim check: Dennard power stays 1.0x; post-Dennard power\n"
+               "  at fixed area grows every generation -> the power wall.\n";
+}
+
+void BM_compound_scaling(benchmark::State& state) {
+  const auto pd = tech::post_dennard_generation();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tech::compound(pd, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_compound_scaling)->Arg(4)->Arg(16);
+
+void BM_node_lookup(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tech::find_node("22nm"));
+  }
+}
+BENCHMARK(BM_node_lookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_node_trajectory();
+  print_scaling_laws();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E19 (extension) -- Section 2.4: "information flow tracking (reducing
+// side-channel attacks)".  DIFT (E14) catches *explicit* flows; this
+// bench demonstrates the implicit flow it cannot see -- a cache timing
+// channel -- and the architectural defense (way partitioning), ablated
+// over cache geometry and victim noise.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "mem/sidechannel.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace arch21;
+using namespace arch21::mem;
+
+void print_attack() {
+  std::cout << "\n=== E19a: prime+probe accuracy, shared vs partitioned ===\n";
+  TextTable t({"cache", "noise accesses", "shared-cache accuracy",
+               "partitioned accuracy"});
+  for (const auto& [size, ways] :
+       {std::pair<std::uint64_t, std::uint32_t>{2048, 2},
+        {4096, 4},
+        {16384, 8}}) {
+    for (std::uint32_t noise : {0u, 2u, 8u}) {
+      SidechannelConfig cfg;
+      cfg.cache = {.size_bytes = size, .line_bytes = 64, .ways = ways};
+      cfg.trials = 16;
+      cfg.noise_accesses = noise;
+      const double leaky = channel_accuracy(cfg, false);
+      const double sealed = channel_accuracy(cfg, true);
+      t.row({std::to_string(size / 1024) + "KiB/" + std::to_string(ways) +
+                 "w",
+             std::to_string(noise), TextTable::num(leaky),
+             TextTable::num(sealed)});
+    }
+  }
+  t.print(std::cout);
+  std::cout
+      << "  Claim check: the shared cache leaks the secret set index with\n"
+         "  high accuracy even under noise; static way partitioning drops\n"
+         "  the attacker to chance -- isolation as an architectural\n"
+         "  security interface.\n";
+}
+
+void BM_attack_round(benchmark::State& state) {
+  SidechannelConfig cfg;
+  cfg.trials = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prime_probe_attack(cfg, 5, false));
+  }
+}
+BENCHMARK(BM_attack_round);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_attack();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// E12 -- Section 2.1 / Table A.2: "the energy required to communicate
+// data often outweighs that of computation", motivating on-sensor
+// filtering; plus the intermittent-power execution study and the
+// approximate-computing energy/quality Pareto.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "energy/catalogue.hpp"
+#include "sensor/approx.hpp"
+#include "sensor/intermittent.hpp"
+#include "sensor/tradeoff.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace arch21;
+using namespace arch21::sensor;
+
+void print_tradeoff() {
+  std::cout << "\n=== E12a: compute-vs-communicate on a 250 Hz biosignal ===\n";
+  const energy::Catalogue cat;
+  StreamProfile s;
+  TextTable t({"strategy", "compute uW", "radio uW", "total uW"});
+  for (const auto& p : strategy_powers(s, cat)) {
+    t.row({p.name, TextTable::num(p.compute_w * 1e6),
+           TextTable::num(p.radio_w * 1e6), TextTable::num(p.total_w * 1e6)});
+  }
+  t.print(std::cout);
+  std::cout << "  Filtering breaks even at data-reduction factor "
+            << TextTable::num(filter_breakeven_reduction(s, cat), 3)
+            << " (paper: communication energy dominates computation).\n";
+
+  std::cout << "\n  reduction-factor sweep (filter-on-sensor total uW):\n";
+  TextTable sweep({"reduction", "filter total uW", "vs raw"});
+  const double raw = strategy_powers(s, cat)[0].total_w;
+  for (double r : {1.0, 2.0, 5.0, 10.0, 50.0, 200.0}) {
+    StreamProfile ss = s;
+    ss.reduction_factor = r;
+    const double w = strategy_powers(ss, cat)[1].total_w;
+    sweep.row({TextTable::num(r), TextTable::num(w * 1e6),
+               TextTable::num(w / raw, 3) + "x"});
+  }
+  sweep.print(std::cout);
+}
+
+void print_intermittent() {
+  std::cout << "\n=== E12b: intermittent execution on harvested energy ===\n";
+  TextTable t({"checkpoint every", "completed", "elapsed s", "failures",
+               "waste frac", "checkpoints"});
+  for (std::uint64_t k : {1ull, 10ull, 50ull, 200ull, 2000ull}) {
+    IntermittentConfig cfg;
+    cfg.work_units = 4000;
+    cfg.checkpoint_every = k;
+    cfg.harvester.power_w = 2e-3;
+    cfg.harvester.p_active = 0.35;
+    cfg.harvester.cap_j = 40e-6;
+    cfg.on_threshold_j = 25e-6;
+    const auto r = run_intermittent(cfg);
+    t.row({std::to_string(k), r.completed ? "yes" : "no",
+           TextTable::num(r.elapsed_s), std::to_string(r.power_failures),
+           TextTable::num(r.waste_fraction()), std::to_string(r.checkpoints)});
+  }
+  t.print(std::cout);
+  std::cout << "  Claim check: too-frequent checkpointing wastes energy on\n"
+               "  overhead; too-rare loses windows to power failures -- the\n"
+               "  interior optimum is the intermittent-computing design "
+               "point.\n";
+}
+
+void print_approx() {
+  std::cout << "\n=== E12c: approximate computing on the ECG/FIR kernel ===\n";
+  TextTable t({"technique", "parameter", "SNR dB", "energy vs exact"});
+  for (const auto& r : approx_sweep()) {
+    t.row({r.technique, TextTable::num(r.parameter), TextTable::num(r.snr_db),
+           TextTable::num(r.energy_rel)});
+  }
+  t.print(std::cout);
+  std::cout << "  Claim check: 'sensor data is inherently approximate' --\n"
+               "  a >20 dB result survives at a fraction of the energy.\n";
+}
+
+void BM_fir_exact(benchmark::State& state) {
+  const auto x = synthetic_ecg(4096);
+  const auto h = lowpass_fir(31, 0.12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fir_apply(x, h));
+  }
+}
+BENCHMARK(BM_fir_exact);
+
+void BM_fir_fixed12(benchmark::State& state) {
+  const auto x = synthetic_ecg(4096);
+  const auto h = lowpass_fir(31, 0.12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fir_apply_fixed(x, h, 12));
+  }
+}
+BENCHMARK(BM_fir_fixed12);
+
+void BM_intermittent_run(benchmark::State& state) {
+  IntermittentConfig cfg;
+  cfg.work_units = 1000;
+  cfg.harvester.power_w = 5e-3;
+  cfg.harvester.p_active = 0.6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_intermittent(cfg));
+  }
+}
+BENCHMARK(BM_intermittent_run);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tradeoff();
+  print_intermittent();
+  print_approx();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

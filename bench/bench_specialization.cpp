@@ -1,0 +1,125 @@
+// E5 -- Section 2.2: "Special-purpose hardware accelerators, customized
+// to a single or narrow-class of functions, can be orders of magnitude
+// more energy-efficient"; "Specialization can give 100x higher energy
+// efficiency than a general-purpose compute or memory unit."
+//
+// Regenerates the specialization ladder on a regular kernel and an
+// irregular kernel, plus the quantized fixed-function rung (int8 MACs)
+// that pushes past 1000x, and the NRE-economics table that bounds who
+// can afford each rung.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "accel/models.hpp"
+#include "accel/nre.hpp"
+#include "energy/catalogue.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace arch21;
+using namespace arch21::accel;
+
+KernelProfile regular() {
+  KernelProfile k;
+  k.name = "conv-like";
+  k.ops = 1e9;
+  k.bytes_moved = 1e7;
+  k.data_parallel = 0.95;
+  k.regularity = 0.95;
+  return k;
+}
+
+KernelProfile irregular() {
+  KernelProfile k;
+  k.name = "graph-like";
+  k.ops = 1e9;
+  k.bytes_moved = 2e8;
+  k.data_parallel = 0.25;
+  k.regularity = 0.25;
+  return k;
+}
+
+void print_ladder() {
+  const energy::Catalogue cat;
+  for (const auto& k : {regular(), irregular()}) {
+    std::cout << "\n=== E5: specialization ladder on '" << k.name
+              << "' kernel ===\n";
+    TextTable t({"engine", "util", "time", "energy", "ops/W", "gain vs cpu"});
+    const auto ladder = specialization_ladder();
+    const double cpu_eff = ladder.front().ops_per_watt(k, cat);
+    for (const auto& e : ladder) {
+      t.row({e.name, TextTable::num(e.utilization(k)),
+             units::time_format(e.exec_time_s(k)),
+             units::si_format(e.energy_j(k, cat), "J"),
+             units::si_format(e.ops_per_watt(k, cat), "op/W", 2),
+             TextTable::num(e.ops_per_watt(k, cat) / cpu_eff, 3) + "x"});
+    }
+    t.print(std::cout);
+  }
+  // The quantized rung: int8 MAC ASIC vs the 64-bit FMA CPU baseline.
+  const double cpu_j_per_op =
+      cat.fp_fma() * specialization_ladder().front().overhead_factor;
+  const double int8_j_per_op = cat.int8_mac() * 1.15;
+  std::cout << "  Quantized fixed-function rung (int8 MAC datapath): "
+            << TextTable::num(cpu_j_per_op / int8_j_per_op, 4)
+            << "x vs general-purpose CPU op.\n"
+            << "  Paper claim: specialization can give ~100x (and more with "
+               "reduced precision).\n";
+}
+
+void print_nre() {
+  std::cout << "\n=== E5b: NRE economics -- who can afford each rung ===\n";
+  const auto routes = route_catalog();
+  TextTable t({"volume", "cheapest route", "cost/unit USD"});
+  for (const auto& w : winners_by_volume(routes, 1, 1e8)) {
+    t.row({TextTable::num(w.volume, 1), std::string(w.route->name),
+           TextTable::num(w.cost_per_unit, 4)});
+  }
+  t.print(std::cout);
+
+  // When the deployment *requires* hardware efficiency (the software
+  // route cannot meet the energy spec), the contest is among fabrics:
+  std::cout << "\n  hardware-only contest (software excluded by the energy "
+               "spec):\n";
+  const std::vector<ImplementationRoute> hw(routes.begin() + 1, routes.end());
+  TextTable h({"volume", "cheapest hw route", "cost/unit USD"});
+  for (const auto& w : winners_by_volume(hw, 1e3, 1e8)) {
+    h.row({TextTable::num(w.volume, 1), std::string(w.route->name),
+           TextTable::num(w.cost_per_unit, 4)});
+  }
+  h.print(std::cout);
+  std::cout << "  crossovers: CGRA overtakes FPGA at "
+            << TextTable::num(crossover_volume(hw[1], hw[0]), 3)
+            << " units; ASIC overtakes CGRA at "
+            << TextTable::num(crossover_volume(hw[2], hw[1]), 3)
+            << " units.\n"
+            << "  Paper claim: NRE makes full-custom infeasible for all but\n"
+               "  the highest-volume applications; reconfigurable fabrics\n"
+               "  drive down the fixed cost.\n";
+}
+
+void BM_ladder_eval(benchmark::State& state) {
+  const energy::Catalogue cat;
+  const auto ladder = specialization_ladder();
+  const auto k = regular();
+  for (auto _ : state) {
+    for (const auto& e : ladder) {
+      benchmark::DoNotOptimize(e.ops_per_watt(k, cat));
+    }
+  }
+}
+BENCHMARK(BM_ladder_eval);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ladder();
+  print_nre();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

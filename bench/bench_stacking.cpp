@@ -1,0 +1,83 @@
+// E11 -- Section 2.3: "Die stacking promises lower latency, higher
+// bandwidth"; "Photonics and 3D chip stacking change communication costs
+// radically enough to affect the entire system design."
+//
+// Regenerates: (a) the layer-count sweep -- bandwidth/energy gains vs the
+// thermal tax on logic power, and (b) the link-technology table with the
+// photonic/electrical crossover utilization.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "noc/link.hpp"
+#include "noc/stacking.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace arch21;
+using namespace arch21::noc;
+
+void print_stacking() {
+  std::cout << "\n=== E11a: 3D stacking sweep (layer 0 = off-chip DDR) ===\n";
+  TextTable t({"DRAM layers", "BW GB/s", "pJ/bit", "logic power cap W",
+               "capacity x"});
+  std::uint32_t layer = 0;
+  for (const auto& row : stacking_sweep(StackConfig{}, 8)) {
+    t.row({layer++ == 0 ? "0 (off-chip)" : std::to_string(layer - 1),
+           TextTable::num(row.bandwidth_gbs),
+           TextTable::num(row.energy_pj_bit),
+           TextTable::num(row.logic_power_cap_w),
+           TextTable::num(row.capacity_factor)});
+  }
+  t.print(std::cout);
+  std::cout << "  Claim check: stacked DRAM delivers ~40x bandwidth at ~1/9\n"
+               "  the energy/bit -- but each layer lowers the thermally\n"
+               "  sustainable logic power (the design tension the paper's\n"
+               "  EDA/thermal challenges refer to).\n";
+}
+
+void print_links() {
+  std::cout << "\n=== E11b: link technologies and crossovers ===\n";
+  const auto cat = link_catalog();
+  TextTable t({"link", "BW Gbps", "latency ns", "pJ/bit marginal",
+               "fixed W", "eff pJ/bit @10%", "eff pJ/bit @90%"});
+  for (const auto& l : cat) {
+    t.row({l.name, TextTable::num(l.bandwidth_gbps),
+           TextTable::num(l.latency_ns), TextTable::num(l.e_per_bit_pj),
+           TextTable::num(l.fixed_power_w),
+           TextTable::num(l.effective_j_per_bit(0.1) * 1e12),
+           TextTable::num(l.effective_j_per_bit(0.9) * 1e12)});
+  }
+  t.print(std::cout);
+  const double x = crossover_utilization(cat[3], cat[2]);
+  std::cout << "  Photonic beats SERDES above "
+            << TextTable::num(x * 100, 3)
+            << "% sustained utilization (fixed laser power amortized).\n";
+}
+
+void BM_stack_sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stacking_sweep(StackConfig{}, 8));
+  }
+}
+BENCHMARK(BM_stack_sweep);
+
+void BM_crossover(benchmark::State& state) {
+  const auto cat = link_catalog();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crossover_utilization(cat[3], cat[2]));
+  }
+}
+BENCHMARK(BM_crossover);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_stacking();
+  print_links();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

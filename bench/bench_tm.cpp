@@ -1,0 +1,88 @@
+// E20 (extension) -- Section 2.4: "Transactional memory (TM) ... seeks to
+// significantly simplify parallelization and synchronization ... now
+// entering the commercial mainstream."
+//
+// The bench runs the TL2-style STM on bank-transfer workloads across a
+// contention sweep (few hot accounts -> many cold accounts), reporting
+// abort rates and verifying the atomicity invariant, and compares the
+// optimistic approach's wasted work against the pessimistic lock model's
+// queueing delay.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "par/stm.hpp"
+#include "par/sync.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace arch21;
+using namespace arch21::par;
+
+void print_contention_sweep() {
+  std::cout << "\n=== E20a: STM abort rate vs contention ===\n";
+  TextTable t({"accounts", "txns", "commits", "aborts", "abort rate",
+               "money conserved"});
+  for (std::size_t accounts : {2, 4, 16, 64, 256}) {
+    StmHeap h(accounts);
+    for (std::size_t i = 0; i < accounts; ++i) h.poke(i, 1000);
+    const auto scripts = make_transfer_scripts(accounts, 400, 7);
+    const auto stats = run_interleaved(h, scripts, 13);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < accounts; ++i) total += h.peek(i);
+    t.row({std::to_string(accounts), "400", std::to_string(stats.commits),
+           std::to_string(stats.aborts), TextTable::num(stats.abort_rate()),
+           total == accounts * 1000 ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "  Claim check: optimistic concurrency wastes work only where\n"
+               "  data actually conflicts; at low contention aborts vanish\n"
+               "  while atomicity (conservation) holds everywhere.\n";
+}
+
+void print_vs_lock() {
+  std::cout << "\n=== E20b: optimistic (STM) vs pessimistic (lock) ===\n";
+  // Cost proxies: STM wasted work = aborts x txn length; lock = every
+  // transaction serializes through the critical section.
+  TextTable t({"accounts", "STM wasted txn-equivalents",
+               "lock mean sojourn @1Mtx/s"});
+  LockModel lock;
+  for (std::size_t accounts : {2, 16, 256}) {
+    StmHeap h(accounts);
+    for (std::size_t i = 0; i < accounts; ++i) h.poke(i, 1000);
+    const auto scripts = make_transfer_scripts(accounts, 400, 7);
+    const auto stats = run_interleaved(h, scripts, 13);
+    const double sojourn = lock.mean_sojourn(4, 0.25e6);
+    t.row({std::to_string(accounts), std::to_string(stats.aborts),
+           std::isinf(sojourn) ? "saturated"
+                               : units::time_format(sojourn, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "  The lock's cost is contention-independent (every txn\n"
+               "  serializes); STM's cost tracks true data conflicts.\n";
+}
+
+void BM_stm_transfers(benchmark::State& state) {
+  const auto accounts = static_cast<std::size_t>(state.range(0));
+  const auto scripts = make_transfer_scripts(accounts, 100, 7);
+  for (auto _ : state) {
+    StmHeap h(accounts);
+    for (std::size_t i = 0; i < accounts; ++i) h.poke(i, 1000);
+    benchmark::DoNotOptimize(run_interleaved(h, scripts, 13));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_stm_transfers)->Arg(4)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_contention_sweep();
+  print_vs_lock();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

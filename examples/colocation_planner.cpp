@@ -1,0 +1,72 @@
+// QoS colocation planning (section 2.4): how much batch work can share a
+// machine with a latency-critical service?
+//
+// The example sizes a fleet twice -- without and with the hardware QoS
+// interface (cache/bandwidth partitioning) -- and prices the difference
+// in servers and megawatts, connecting the paper's QoS-interface question
+// to its datacenter-power concern.
+
+#include <cmath>
+#include <iostream>
+
+#include "core/arch21.hpp"
+#include "cloud/qos.hpp"
+
+int main() {
+  using namespace arch21;
+  using namespace arch21::cloud;
+
+  std::cout << "colocation planning with and without hardware QoS\n"
+            << "=================================================\n\n";
+
+  QosConfig cfg;
+  std::cout << "latency-critical service: " << cfg.lc_rate_hz
+            << " req/s at " << cfg.lc_service_ms << " ms, SLO p99 <= "
+            << cfg.slo_p99_ms << " ms\n\n";
+
+  const double safe_shared = max_safe_be_utilization(cfg, false);
+  const double safe_part = max_safe_be_utilization(cfg, true);
+  const double lc_util = cfg.lc_rate_hz * cfg.lc_service_ms * 1e-3;
+
+  TextTable t({"mode", "max safe BE load", "BE goodput", "machine util"});
+  t.row({"shared (no QoS)", TextTable::num(safe_shared),
+         TextTable::num(safe_shared), TextTable::num(lc_util + safe_shared)});
+  t.row({"partitioned (QoS)", TextTable::num(safe_part),
+         TextTable::num(safe_part * (1.0 - cfg.be_partition_penalty)),
+         TextTable::num(std::min(
+             1.0, lc_util + safe_part * (1.0 - cfg.be_partition_penalty)))});
+  t.print(std::cout);
+
+  // Fleet implication: a fixed batch demand must run somewhere.  Without
+  // colocation headroom it needs dedicated batch servers.
+  const double batch_demand = 800.0;  // machine-equivalents of batch work
+  const double goodput_shared = safe_shared;
+  const double goodput_part = safe_part * (1.0 - cfg.be_partition_penalty);
+  const double lc_fleet = 1000;  // LC servers either way
+
+  auto extra_servers = [&](double goodput_per_lc_server) {
+    const double absorbed = lc_fleet * goodput_per_lc_server;
+    return std::max(0.0, batch_demand - absorbed);
+  };
+  const double dedicated_shared = extra_servers(goodput_shared);
+  const double dedicated_part = extra_servers(goodput_part);
+
+  ServerPower srv;
+  const double w_shared =
+      (lc_fleet + dedicated_shared) * srv.power(0.6) * 1.4;
+  const double w_part = (lc_fleet + dedicated_part) * srv.power(0.8) * 1.4;
+
+  std::cout << "\nfleet sizing for " << batch_demand
+            << " machine-equivalents of batch work + " << lc_fleet
+            << " LC servers:\n"
+            << "  shared:      " << dedicated_shared
+            << " dedicated batch servers -> "
+            << units::si_format(w_shared, "W", 2) << "\n"
+            << "  partitioned: " << dedicated_part
+            << " dedicated batch servers -> "
+            << units::si_format(w_part, "W", 2) << "\n"
+            << "  saving: "
+            << TextTable::num((1.0 - w_part / w_shared) * 100, 3)
+            << "% of facility power from the QoS interface alone\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Drive the cross-layer DSE engine from the command line and emit the
+// Pareto frontier as CSV (stdout) for plotting.
+//
+// Usage:
+//   dse_explorer [app] [platform] [searcher] [--report]
+//     app:      vision | health | graph | sim       (default vision)
+//     platform: sensor | portable | departmental | datacenter
+//               (default portable)
+//     searcher: grid | random | hill                (default grid)
+//     --report: emit a markdown design report instead of CSV
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/arch21.hpp"
+
+namespace {
+
+using namespace arch21;
+
+core::AppProfile pick_app(const std::string& s) {
+  if (s == "health") return core::profile_health_monitor();
+  if (s == "graph") return core::profile_graph_analytics();
+  if (s == "sim") return core::profile_scientific_sim();
+  return core::profile_mobile_vision();
+}
+
+core::PlatformClass pick_platform(const std::string& s) {
+  if (s == "sensor") return core::PlatformClass::Sensor;
+  if (s == "departmental") return core::PlatformClass::Departmental;
+  if (s == "datacenter") return core::PlatformClass::Datacenter;
+  return core::PlatformClass::Portable;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool report = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0) {
+      report = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  const std::string app_name = !args.empty() ? args[0] : "vision";
+  const std::string platform_name = args.size() > 1 ? args[1] : "portable";
+  const std::string searcher = args.size() > 2 ? args[2] : "grid";
+
+  const auto app = pick_app(app_name);
+  const auto pc = pick_platform(platform_name);
+
+  core::DesignSpace space;
+  core::DseResult res;
+  if (searcher == "random") {
+    res = core::random_search(space, app, pc, 2000, 1);
+  } else if (searcher == "hill") {
+    res = core::hill_climb(space, app, pc, 25, 1);
+  } else {
+    res = core::grid_search(space, app, pc);
+  }
+
+  if (report) {
+    std::cout << core::render_report(res, app, pc);
+    return 0;
+  }
+
+  std::cerr << "searched " << res.evaluated << " designs for '" << app.name
+            << "' @ " << core::to_string(pc) << ": " << res.feasible
+            << " feasible, frontier size " << res.frontier.size() << "\n";
+  if (const auto* b = res.frontier.best_efficiency()) {
+    std::cerr << "best efficiency: " << b->design.to_string() << " -> "
+              << units::si_format(b->metrics.ops_per_watt, "op/W", 2) << "\n";
+  }
+
+  // CSV to stdout.
+  TextTable csv({"node", "vdd_scale", "cores", "bce", "accel", "accel_area",
+                 "llc_mib", "stacked", "throughput_ops", "power_w",
+                 "ops_per_watt"});
+  for (const auto& p : res.frontier.sorted_by_power()) {
+    csv.row({p.design.node, TextTable::num(p.design.vdd_scale),
+             std::to_string(p.design.cores),
+             TextTable::num(p.design.bce_per_core),
+             accel::to_string(p.design.accel),
+             TextTable::num(p.design.accel_area_fraction),
+             TextTable::num(p.design.llc_mib),
+             p.design.stacked_dram ? "1" : "0",
+             TextTable::num(p.metrics.throughput_ops, 6),
+             TextTable::num(p.metrics.power_w, 6),
+             TextTable::num(p.metrics.ops_per_watt, 6)});
+  }
+  csv.write_csv(std::cout);
+  return 0;
+}

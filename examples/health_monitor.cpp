@@ -1,0 +1,110 @@
+// Data-centric personalized healthcare (Table A.1): a wearable ECG patch.
+//
+// The example runs the full sensor-side pipeline the paper sketches:
+//   1. synthesize an ECG stream;
+//   2. pick the filtering precision with the approximate-computing model
+//      (enough SNR to keep the QRS complex, minimum energy);
+//   3. decide where to compute -- on-sensor filtering vs shipping raw
+//      samples over the radio -- with the tradeoff model;
+//   4. size the energy store: battery life, and whether the patch can run
+//      batteryless on harvested energy (intermittent computing);
+//   5. choose the silicon with the DSE engine under the 10 mW rung.
+
+#include <iostream>
+
+#include "core/arch21.hpp"
+
+int main() {
+  using namespace arch21;
+  std::cout << "wearable ECG patch design study\n"
+            << "===============================\n\n";
+
+  // --- 1+2: signal and precision choice -------------------------------
+  const auto rows = sensor::approx_sweep(4096, 42);
+  const sensor::ApproxRow* chosen = nullptr;
+  for (const auto& r : rows) {
+    if (r.technique == "precision" && r.snr_db >= 25.0) {
+      if (chosen == nullptr || r.energy_rel < chosen->energy_rel) chosen = &r;
+    }
+  }
+  std::cout << "precision scaling: ";
+  if (chosen != nullptr) {
+    std::cout << static_cast<int>(chosen->parameter)
+              << " fractional bits give " << TextTable::num(chosen->snr_db, 3)
+              << " dB SNR at " << TextTable::num(chosen->energy_rel * 100, 3)
+              << "% of full-precision multiplier energy\n";
+  } else {
+    std::cout << "no reduced-precision point met the 25 dB bar\n";
+  }
+
+  // --- 3: where to compute --------------------------------------------
+  const energy::Catalogue cat(*tech::find_node("22nm"));
+  sensor::StreamProfile stream;
+  stream.sample_hz = 250;
+  stream.bytes_per_sample = 2;
+  stream.ops_per_sample_filter = 400;
+  stream.reduction_factor = 50;  // send only beats + anomalies
+  std::cout << "\nplacement (average power):\n";
+  const auto strategies = sensor::strategy_powers(stream, cat);
+  const sensor::StrategyPower* best = &strategies[0];
+  for (const auto& s : strategies) {
+    std::cout << "  " << s.name << ": "
+              << units::si_format(s.total_w, "W", 2) << "\n";
+    if (s.total_w < best->total_w) best = &s;
+  }
+  std::cout << "  -> " << best->name << " wins (breakeven reduction factor "
+            << TextTable::num(sensor::filter_breakeven_reduction(stream, cat),
+                              3)
+            << ")\n";
+
+  // --- 4: energy store --------------------------------------------------
+  sensor::Battery coin_cell(3.0 * 3600.0 * 0.225);  // CR2032: ~0.675 Wh
+  std::cout << "\nCR2032 life at " << units::si_format(best->total_w, "W", 2)
+            << ": "
+            << TextTable::num(coin_cell.lifetime_s(best->total_w) / 86400.0, 3)
+            << " days\n";
+
+  sensor::IntermittentConfig icfg;
+  icfg.work_units = 25000;  // 100 s of filtering at 250 Hz
+  icfg.e_unit_j = 400 * cat.int_op();
+  icfg.e_checkpoint_j = 64 * 8.0e-9;  // 64 B to FRAM at ~1 nJ/byte
+  icfg.harvester.power_w = 200e-6;    // body-heat TEG
+  icfg.harvester.p_active = 0.7;
+  icfg.harvester.cap_j = 60e-6;
+  icfg.on_threshold_j = 30e-6;
+  const auto candidates = std::vector<std::uint64_t>{10, 50, 250, 1000};
+  const auto pick = sensor::best_checkpoint_interval(icfg, candidates);
+  icfg.checkpoint_every = pick.interval;
+  const auto irun = sensor::run_intermittent(icfg);
+  std::cout << "batteryless option (200 uW harvested): "
+            << (irun.completed ? "viable" : "not viable") << " -- "
+            << TextTable::num(
+                   static_cast<double>(irun.units_committed) / icfg.work_units *
+                       100,
+                   3)
+            << "% of work committed in "
+            << TextTable::num(irun.elapsed_s, 3) << " s, "
+            << irun.power_failures << " power failures, checkpoint every "
+            << pick.interval << " units\n";
+
+  // --- 5: silicon --------------------------------------------------------
+  std::cout << "\nsilicon search under the 10 mW rung:\n";
+  core::DesignSpace space;
+  space.core_counts = {1, 2, 4};
+  space.bces = {1, 4};
+  const auto res = core::grid_search(space, core::profile_health_monitor(),
+                                     core::PlatformClass::Sensor);
+  if (const auto* winner = res.frontier.best_efficiency()) {
+    std::cout << "  best: " << winner->design.to_string() << "\n        "
+              << units::si_format(winner->metrics.throughput_ops, "op/s", 2)
+              << " at " << units::si_format(winner->metrics.power_w, "W", 2)
+              << " (" << units::si_format(winner->metrics.ops_per_watt,
+                                          "op/W", 2)
+              << ")\n";
+  } else {
+    std::cout << "  no feasible design (space too aggressive for 10 mW)\n";
+  }
+  std::cout << "  " << res.feasible << "/" << res.evaluated
+            << " candidate designs fit the budget\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Portable edge device (section 2.1): an augmented-reality feature on a
+// 10 W phone SoC.
+//
+// The example exercises the specialization and offload machinery:
+//   1. characterize the AR kernels (tracking, rendering, scene
+//      understanding) as KernelProfiles;
+//   2. ask the offload planner where each kernel should run -- big core,
+//      GPU, or NPU-style ASIC block -- given transfer costs;
+//   3. check the whole phase pipeline against the 10 W budget with the
+//      power-budget tracker and DVFS governor.
+
+#include <iostream>
+#include <vector>
+
+#include "core/arch21.hpp"
+
+int main() {
+  using namespace arch21;
+  using accel::EngineClass;
+  using accel::KernelProfile;
+
+  std::cout << "mobile AR power planning\n========================\n\n";
+
+  // --- 1: kernels ---------------------------------------------------------
+  struct ArKernel {
+    KernelProfile k;
+    double rate_hz;  // invocations per second
+  };
+  std::vector<ArKernel> kernels;
+  {
+    KernelProfile track;
+    track.name = "feature-tracking";
+    track.ops = 2e8;
+    track.bytes_moved = 8e6;
+    track.data_parallel = 0.9;
+    track.regularity = 0.8;
+    kernels.push_back({track, 30});
+    KernelProfile render;
+    render.name = "rendering";
+    render.ops = 8e8;
+    render.bytes_moved = 3e7;
+    render.data_parallel = 0.97;
+    render.regularity = 0.95;
+    kernels.push_back({render, 60});
+    KernelProfile scene;
+    scene.name = "scene-dnn";
+    scene.ops = 3e9;
+    scene.bytes_moved = 2e7;
+    scene.data_parallel = 0.98;
+    scene.regularity = 0.97;
+    kernels.push_back({scene, 5});
+  }
+
+  // --- 2: placement ---------------------------------------------------------
+  const energy::Catalogue cat(*tech::find_node("22nm"));
+  const auto ladder = accel::specialization_ladder();
+  const auto& host = ladder[0];  // big core
+  const noc::LinkTech onchip = noc::link_catalog()[0];
+
+  energy::PowerBudget budget("phone-soc", 10.0);
+  budget.add("display+radio+rest-of-system", 3.0);
+
+  std::cout << "kernel placement (host = big core, candidates = GPU/NPU):\n";
+  TextTable t({"kernel", "choice", "speedup", "energy gain", "avg W"});
+  for (const auto& [k, rate] : kernels) {
+    const accel::Engine* best_engine = &host;
+    accel::OffloadDecision best{};
+    best.accel.energy_j = host.energy_j(k, cat);
+    best.accel.time_s = host.exec_time_s(k);
+    double best_energy = best.accel.energy_j;
+    for (const auto& cand : ladder) {
+      if (cand.cls != EngineClass::GpuSimt && cand.cls != EngineClass::Asic) {
+        continue;
+      }
+      const auto d = accel::plan_offload(k, host, cand, onchip, cat);
+      if (d.offload_energy && d.accel.energy_j < best_energy) {
+        best_energy = d.accel.energy_j;
+        best_engine = &cand;
+        best = d;
+      }
+    }
+    const double avg_w = best_energy * rate;
+    budget.add(k.name, avg_w);
+    t.row({k.name, best_engine->name,
+           TextTable::num(best.speedup == 0 ? 1 : best.speedup, 3),
+           TextTable::num(best.energy_gain == 0 ? 1 : best.energy_gain, 3),
+           TextTable::num(avg_w, 3)});
+  }
+  t.print(std::cout);
+
+  // --- 3: the budget ---------------------------------------------------------
+  std::cout << "\nbudget '" << budget.name() << "' (cap "
+            << units::si_format(budget.cap(), "W", 0) << "): total "
+            << units::si_format(budget.total(), "W", 2) << ", "
+            << (budget.fits() ? "fits" : "OVER") << ", headroom "
+            << units::si_format(budget.headroom(), "W", 2) << "\n";
+  if (const auto* hog = budget.dominant()) {
+    std::cout << "dominant consumer: " << hog->name << " ("
+              << units::si_format(hog->watts, "W", 2) << ")\n";
+  }
+
+  // If over budget, let the DVFS governor find the sustainable supply.
+  if (!budget.fits()) {
+    const auto dvfs = tech::DvfsModel::for_node(*tech::find_node("22nm"));
+    const double v = dvfs.voltage_for_power(budget.cap() - 3.0);
+    std::cout << "governor: throttle compute rail to "
+              << TextTable::num(v, 3) << " V ("
+              << units::si_format(dvfs.frequency(v), "Hz", 2) << ")\n";
+  }
+  return 0;
+}

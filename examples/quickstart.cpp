@@ -1,0 +1,76 @@
+// Quickstart: five minutes with arch21.
+//
+// Builds a platform (technology node + cores + accelerator + memory),
+// evaluates an application profile on it, checks the result against the
+// white paper's efficiency ladder, and peeks at three substrate models
+// (DVFS curve, tail amplification, ECC).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/arch21.hpp"
+
+int main() {
+  using namespace arch21;
+
+  std::cout << "arch21 quickstart\n=================\n\n";
+
+  // 1. Describe the application: a mobile computer-vision workload.
+  const core::AppProfile app = core::profile_mobile_vision();
+  std::cout << "application: " << app.name
+            << " (parallel fraction " << app.parallel_fraction << ", "
+            << app.mem_bytes_per_op << " B/op memory traffic)\n\n";
+
+  // 2. Describe a candidate machine, one knob per layer.
+  core::DesignPoint d;
+  d.node = "22nm";        // circuit/technology layer
+  d.vdd_scale = 0.8;      // energy-first: run below nominal supply
+  d.cores = 16;           // architecture: multicore
+  d.bce_per_core = 4;     //   medium cores (Pollack sqrt(4) = 2x scalar)
+  d.accel = accel::EngineClass::GpuSimt;  // specialization
+  d.accel_area_fraction = 0.25;
+  d.llc_mib = 8;          // memory system
+  d.stacked_dram = true;  // 3D-stacked DRAM
+  std::cout << "design: " << d.to_string() << "\n\n";
+
+  // 3. Evaluate it for the portable platform class (10 W cap).
+  const core::Metrics m =
+      core::evaluate(d, app, core::PlatformClass::Portable);
+  std::cout << "evaluation @ portable (10 W cap):\n"
+            << "  throughput : " << units::si_format(m.throughput_ops, "op/s")
+            << "\n  power      : " << units::si_format(m.power_w, "W")
+            << " (compute " << units::si_format(m.p_compute_w, "W", 1)
+            << ", memory " << units::si_format(m.p_memory_w, "W", 1)
+            << ", leak " << units::si_format(m.p_leak_w, "W", 1) << ")\n"
+            << "  efficiency : " << units::si_format(m.ops_per_watt, "op/W")
+            << "\n";
+
+  // 4. How far is that from the paper's tera-op@10W rung?
+  const auto rung = energy::ladder()[1];
+  const auto verdict = energy::assess(rung, m.ops_per_watt);
+  std::cout << "  ladder gap : " << TextTable::num(verdict.gap, 3)
+            << "x short of " << units::si_format(rung.required_ops_per_watt(),
+                                                 "op/W")
+            << "\n\n";
+
+  // 5. Substrate peeks.
+  const auto dvfs = tech::DvfsModel::for_node(*tech::find_node("22nm"));
+  std::cout << "DVFS: minimum-energy supply for this node is "
+            << TextTable::num(dvfs.min_energy_voltage(), 3) << " V (vs "
+            << dvfs.params().vnom << " V nominal)\n";
+
+  std::cout << "Tail: at fan-out 100, "
+            << TextTable::num(cloud::tail_amplification(100, 0.99) * 100, 3)
+            << "% of requests see the leaf p99 latency\n";
+
+  const auto cw = reliab::ecc_encode(0xdeadbeef);
+  const auto fixed = reliab::ecc_decode(reliab::flip_bit(cw, 13));
+  std::cout << "ECC: flipped bit 13 of a SECDED word -> "
+            << reliab::to_string(fixed.status) << ", data "
+            << (fixed.data == 0xdeadbeef ? "restored" : "LOST") << "\n";
+
+  return 0;
+}

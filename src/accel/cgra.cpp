@@ -1,0 +1,85 @@
+#include "accel/cgra.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/units.hpp"
+
+namespace arch21::accel {
+
+namespace {
+
+std::uint32_t manhattan(std::uint32_t a, std::uint32_t b, std::uint32_t w) {
+  const int ax = static_cast<int>(a % w);
+  const int ay = static_cast<int>(a / w);
+  const int bx = static_cast<int>(b % w);
+  const int by = static_cast<int>(b / w);
+  return static_cast<std::uint32_t>(std::abs(ax - bx) + std::abs(ay - by));
+}
+
+}  // namespace
+
+CgraMapping map_to_cgra(const par::TaskGraph& g, const CgraConfig& cfg) {
+  CgraMapping m;
+  const std::uint32_t pes = cfg.width * cfg.height;
+  m.pe_of.assign(g.size(), -1);
+  if (g.size() > pes) return m;  // infeasible: not enough PEs
+
+  std::vector<bool> used(pes, false);
+  const auto order = g.topo_order();
+
+  for (par::TaskId id : order) {
+    const auto& preds = g.task(id).pred;
+    std::int32_t best_pe = -1;
+    std::uint32_t best_cost = UINT32_MAX;
+    for (std::uint32_t pe = 0; pe < pes; ++pe) {
+      if (used[pe]) continue;
+      std::uint32_t cost = 0;
+      bool routable = true;
+      for (par::TaskId p : preds) {
+        const auto ppe = static_cast<std::uint32_t>(m.pe_of[p]);
+        const std::uint32_t d = manhattan(ppe, pe, cfg.width);
+        if (d > cfg.route_limit) {
+          routable = false;
+          break;
+        }
+        cost += d;
+      }
+      if (routable && cost < best_cost) {
+        best_cost = cost;
+        best_pe = static_cast<std::int32_t>(pe);
+      }
+    }
+    if (best_pe < 0) return m;  // no routable placement
+    m.pe_of[id] = best_pe;
+    used[static_cast<std::uint32_t>(best_pe)] = true;
+    m.total_route_hops += best_cost;
+    ++m.used_pes;
+  }
+
+  m.feasible = true;
+  // Pipelined execution: with a fully spatial mapping the initiation
+  // interval is set by the longest single-edge route (data must traverse
+  // it each cycle) -- at least 1.
+  std::uint32_t worst_edge = 1;
+  for (par::TaskId id = 0; id < g.size(); ++id) {
+    for (par::TaskId s : g.task(id).succ) {
+      worst_edge = std::max(
+          worst_edge, manhattan(static_cast<std::uint32_t>(m.pe_of[id]),
+                                static_cast<std::uint32_t>(m.pe_of[s]),
+                                cfg.width));
+    }
+  }
+  m.initiation_interval_cycles = worst_edge;
+  const double cycle_s = 1.0 / (cfg.clock_ghz * units::giga);
+  m.throughput_ops_per_s =
+      static_cast<double>(g.size()) / (m.initiation_interval_cycles * cycle_s);
+  m.energy_per_invocation_j =
+      (static_cast<double>(g.size()) * cfg.e_pe_op_pj +
+       static_cast<double>(m.total_route_hops) * cfg.e_hop_pj) *
+      units::pico;
+  return m;
+}
+
+}  // namespace arch21::accel

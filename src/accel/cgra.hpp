@@ -1,0 +1,45 @@
+#pragma once
+// A coarse-grain reconfigurable array (CGRA) and a greedy spatial mapper.
+// The fabric is a W x H grid of word-width functional units with
+// nearest-neighbor routing; a dataflow graph (reused from par::TaskGraph,
+// one op per node) is placed onto PEs and its edges routed at Manhattan
+// distance.  The mapper reports achieved initiation interval, routing
+// cost, and energy -- concretely grounding the paper's "coarser-grain
+// semi-programmable building blocks (reducing internal inefficiencies)
+// and packet-based interconnection".
+
+#include <cstdint>
+#include <vector>
+
+#include "par/taskgraph.hpp"
+
+namespace arch21::accel {
+
+/// CGRA fabric parameters.
+struct CgraConfig {
+  std::uint32_t width = 8;
+  std::uint32_t height = 8;
+  double clock_ghz = 1.0;
+  double e_pe_op_pj = 1.0;       ///< per-op PE energy
+  double e_hop_pj = 0.15;        ///< per-word per-hop routing energy
+  std::uint32_t route_limit = 6; ///< max hops an edge may span
+};
+
+/// Result of mapping a dataflow graph.
+struct CgraMapping {
+  bool feasible = false;
+  std::vector<std::int32_t> pe_of;  ///< node -> PE index (-1 unplaced)
+  std::uint32_t used_pes = 0;
+  std::uint32_t total_route_hops = 0;
+  double initiation_interval_cycles = 0;  ///< II for pipelined execution
+  double throughput_ops_per_s = 0;        ///< graph ops per second at II
+  double energy_per_invocation_j = 0;
+};
+
+/// Greedy placer: nodes in topological order; each node goes to the free
+/// PE minimizing total Manhattan distance to its placed predecessors.
+/// Fails (feasible = false) when the graph has more nodes than PEs or an
+/// edge cannot be routed within route_limit hops.
+CgraMapping map_to_cgra(const par::TaskGraph& g, const CgraConfig& cfg);
+
+}  // namespace arch21::accel

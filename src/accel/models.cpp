@@ -1,0 +1,80 @@
+#include "accel/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arch21::accel {
+
+const char* to_string(EngineClass c) {
+  switch (c) {
+    case EngineClass::ScalarCpu: return "scalar-cpu";
+    case EngineClass::SimdCpu: return "simd-cpu";
+    case EngineClass::GpuSimt: return "gpu-simt";
+    case EngineClass::Fpga: return "fpga";
+    case EngineClass::Cgra: return "cgra";
+    case EngineClass::Asic: return "asic";
+  }
+  return "?";
+}
+
+double Engine::utilization(const KernelProfile& k) const {
+  // Engines that depend on data parallelism / regularity lose utilization
+  // smoothly as the kernel falls short of what they need.
+  double u = 1.0;
+  if (min_data_parallel > 0) {
+    u *= std::clamp(k.data_parallel / min_data_parallel, 0.02, 1.0);
+  }
+  if (min_regularity > 0) {
+    u *= std::clamp(k.regularity / min_regularity, 0.02, 1.0);
+  }
+  return std::clamp(u, 0.02, 1.0);
+}
+
+double Engine::exec_time_s(const KernelProfile& k) const {
+  return k.ops / (peak_ops_per_s * utilization(k));
+}
+
+double Engine::energy_j(const KernelProfile& k,
+                        const energy::Catalogue& cat) const {
+  const double compute = k.ops * cat.fp_fma() * overhead_factor;
+  // Data movement to/from the engine's memory: charged at DRAM distance
+  // for all engines (the ladder differentiates compute overhead; the
+  // memory experiments differentiate the rest).
+  const double movement =
+      cat.move(energy::Distance::ToDram, k.bytes_moved * 8.0);
+  return compute + movement;
+}
+
+double Engine::ops_per_watt(const KernelProfile& k,
+                            const energy::Catalogue& cat) const {
+  const double t = exec_time_s(k);
+  const double e = energy_j(k, cat);
+  if (e <= 0 || t <= 0) return 0;
+  const double power = e / t;
+  return (k.ops / t) / power;  // == k.ops / e
+}
+
+std::vector<Engine> specialization_ladder() {
+  // Overheads: the scalar OoO core spends ~100x the raw-op energy per
+  // useful op (fetch/decode/rename/schedule/bypass); SIMD amortizes
+  // front-end over 8-16 lanes; SIMT over warps; FPGA keeps routing
+  // overhead; CGRA reduces it with word-granularity fabric; ASIC is near
+  // the raw energy.  Peaks rise with specialization at fixed area/power.
+  return {
+      {EngineClass::ScalarCpu, "scalar-cpu", 1e10, 100.0, 0.0, 0.0},
+      {EngineClass::SimdCpu, "simd-cpu", 8e10, 14.0, 0.5, 0.3},
+      {EngineClass::GpuSimt, "gpu-simt", 1e12, 8.0, 0.8, 0.5},
+      {EngineClass::Fpga, "fpga", 4e11, 4.0, 0.6, 0.8},
+      {EngineClass::Cgra, "cgra", 6e11, 2.2, 0.7, 0.8},
+      {EngineClass::Asic, "asic", 2e12, 1.15, 0.85, 0.9},
+  };
+}
+
+double efficiency_gain(const Engine& a, const Engine& b,
+                       const KernelProfile& k, const energy::Catalogue& cat) {
+  const double ea = a.ops_per_watt(k, cat);
+  const double eb = b.ops_per_watt(k, cat);
+  return ea > 0 ? eb / ea : 0;
+}
+
+}  // namespace arch21::accel

@@ -1,0 +1,73 @@
+#pragma once
+// The specialization ladder: execution-engine models from general-purpose
+// scalar cores to fixed-function ASICs.
+//
+// The physics behind the paper's "specialization can give 100x higher
+// energy efficiency": on a general-purpose core only ~1% of the energy of
+// an instruction goes into the arithmetic itself; the rest is fetch,
+// decode, rename, scheduling, bypass, and register-file traffic.  Each
+// rung of the ladder strips away overhead structures, modeled here as an
+// overhead multiplier applied to the raw operation energy from the
+// catalogue, plus a utilization model describing how much of a kernel the
+// engine can actually absorb.
+
+#include <string>
+#include <vector>
+
+#include "energy/catalogue.hpp"
+
+namespace arch21::accel {
+
+/// How specialized an engine is.
+enum class EngineClass {
+  ScalarCpu,    ///< out-of-order general-purpose core
+  SimdCpu,      ///< core + wide vector units
+  GpuSimt,      ///< throughput-oriented SIMT array
+  Fpga,         ///< fine-grain reconfigurable fabric
+  Cgra,         ///< coarse-grain reconfigurable array
+  Asic,         ///< fixed-function custom logic
+};
+
+const char* to_string(EngineClass c);
+
+/// A kernel to be executed.
+struct KernelProfile {
+  std::string name = "kernel";
+  double ops = 1e9;             ///< arithmetic operations
+  double bytes_moved = 1e8;     ///< off-engine data traffic
+  double data_parallel = 0.95;  ///< fraction expressible as wide data parallelism
+  double regularity = 0.9;      ///< control regularity in [0,1] (1 = fixed loop)
+};
+
+/// An execution engine.
+struct Engine {
+  EngineClass cls = EngineClass::ScalarCpu;
+  std::string name = "cpu";
+  double peak_ops_per_s = 1e10;
+  double overhead_factor = 100;  ///< energy/op = raw_op * overhead
+  double min_data_parallel = 0;  ///< below this the engine degrades hard
+  double min_regularity = 0;
+
+  /// Achievable fraction of peak on this kernel (utilization in (0,1]).
+  double utilization(const KernelProfile& k) const;
+
+  /// Wall time for the kernel (compute only).
+  double exec_time_s(const KernelProfile& k) const;
+
+  /// Energy for the kernel on this engine: compute + data movement.
+  double energy_j(const KernelProfile& k, const energy::Catalogue& cat) const;
+
+  /// Achieved ops/W on this kernel.
+  double ops_per_watt(const KernelProfile& k,
+                      const energy::Catalogue& cat) const;
+};
+
+/// The built-in ladder at a given peak-normalized scale.
+/// Engines are ordered general -> specialized.
+std::vector<Engine> specialization_ladder();
+
+/// Energy-efficiency ratio of engine `b` over engine `a` on kernel `k`.
+double efficiency_gain(const Engine& a, const Engine& b,
+                       const KernelProfile& k, const energy::Catalogue& cat);
+
+}  // namespace arch21::accel

@@ -1,0 +1,53 @@
+#include "accel/nre.hpp"
+
+#include <cmath>
+
+namespace arch21::accel {
+
+std::vector<ImplementationRoute> route_catalog() {
+  // NRE figures are order-of-magnitude 2012-era industry numbers; the
+  // shapes (ASIC NRE >> FPGA NRE >> software) drive the crossovers.
+  return {
+      {"software-on-cpu", 2e5, 25.0, 5000.0},
+      {"fpga", 1e6, 80.0, 200.0},
+      {"cgra", 4e6, 30.0, 110.0},
+      {"asic-22nm", 5e7, 8.0, 55.0},
+  };
+}
+
+double crossover_volume(const ImplementationRoute& a,
+                        const ImplementationRoute& b) {
+  // a cheaper than b when unit_a + nre_a/v < unit_b + nre_b/v
+  //   <=> v * (unit_a - unit_b) < nre_b - nre_a.
+  const double du = a.unit_cost_usd - b.unit_cost_usd;
+  const double dn = b.nre_usd - a.nre_usd;
+  if (du == 0) return dn > 0 ? 0 : -1;
+  const double v = dn / du;
+  if (du < 0) {
+    // a has the lower unit cost: it wins above v (or always if v <= 0).
+    return v <= 0 ? 0 : v;
+  }
+  // a has the higher unit cost: it can only win below v, never "from" a
+  // volume upward; report -1 (no upward crossover).
+  return -1;
+}
+
+std::vector<VolumeWinner> winners_by_volume(
+    const std::vector<ImplementationRoute>& routes, double lo, double hi) {
+  std::vector<VolumeWinner> out;
+  for (double v = lo; v <= hi * 1.0000001; v *= 10.0) {
+    const ImplementationRoute* best = nullptr;
+    double best_cost = 0;
+    for (const auto& r : routes) {
+      const double c = r.cost_per_unit(v);
+      if (!best || c < best_cost) {
+        best = &r;
+        best_cost = c;
+      }
+    }
+    out.push_back({v, best, best_cost});
+  }
+  return out;
+}
+
+}  // namespace arch21::accel

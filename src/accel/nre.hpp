@@ -1,0 +1,47 @@
+#pragma once
+// Non-recurring-engineering (NRE) economics of specialization.  The paper:
+// "the increasing complexity of silicon process technologies has driven
+// NRE costs to prohibitive levels, making full-custom accelerators
+// infeasible for all but the highest-volume applications", with
+// reconfigurable fabrics driving down the fixed cost at the price of
+// per-unit efficiency.  This module computes cost-per-unit curves and the
+// volume crossovers between ASIC / CGRA / FPGA / software implementations.
+
+#include <string>
+#include <vector>
+
+namespace arch21::accel {
+
+/// An implementation route for a function.
+struct ImplementationRoute {
+  std::string name;
+  double nre_usd = 0;         ///< design + verification + masks
+  double unit_cost_usd = 0;   ///< marginal silicon/board cost per unit
+  double energy_per_op_pj = 1; ///< efficiency of the resulting part
+
+  /// Total cost of ownership per unit at a production volume.
+  double cost_per_unit(double volume) const {
+    return unit_cost_usd + (volume > 0 ? nre_usd / volume : nre_usd);
+  }
+};
+
+/// Representative routes at an advanced (~22 nm-era) node.
+std::vector<ImplementationRoute> route_catalog();
+
+/// Volume at which route `a` becomes cheaper per unit than route `b`
+/// (closed form from the linear cost model); <0 if a is never cheaper,
+/// 0 if always.
+double crossover_volume(const ImplementationRoute& a,
+                        const ImplementationRoute& b);
+
+/// For a set of routes, the cheapest route at each decade of volume.
+struct VolumeWinner {
+  double volume;
+  const ImplementationRoute* route;
+  double cost_per_unit;
+};
+std::vector<VolumeWinner> winners_by_volume(
+    const std::vector<ImplementationRoute>& routes, double lo = 1,
+    double hi = 1e8);
+
+}  // namespace arch21::accel

@@ -1,0 +1,55 @@
+#include "accel/offload.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace arch21::accel {
+
+OffloadDecision plan_offload(const KernelProfile& k, const Engine& host,
+                             const Engine& accel, const noc::LinkTech& link,
+                             const energy::Catalogue& cat,
+                             double link_utilization) {
+  OffloadDecision d;
+  d.host.time_s = host.exec_time_s(k);
+  d.host.energy_j = host.energy_j(k, cat);
+
+  const double bits = k.bytes_moved * 8.0;
+  const double xfer_t = link.transfer_time_s(bits) * 2.0;  // in + out
+  const double xfer_e = link.energy(bits, link_utilization) * 2.0;
+  d.accel.time_s = accel.exec_time_s(k) + xfer_t;
+  d.accel.energy_j = accel.energy_j(k, cat) + xfer_e;
+
+  d.offload_time = d.accel.time_s < d.host.time_s;
+  d.offload_energy = d.accel.energy_j < d.host.energy_j;
+  d.speedup = d.accel.time_s > 0 ? d.host.time_s / d.accel.time_s : 0;
+  d.energy_gain =
+      d.accel.energy_j > 0 ? d.host.energy_j / d.accel.energy_j : 0;
+  return d;
+}
+
+double breakeven_ops(KernelProfile k, const Engine& host, const Engine& accel,
+                     const noc::LinkTech& link, const energy::Catalogue& cat,
+                     double max_ops) {
+  const double ratio = k.bytes_moved / k.ops;  // hold intensity fixed
+  auto wins = [&](double ops) {
+    KernelProfile kk = k;
+    kk.ops = ops;
+    kk.bytes_moved = ops * ratio;
+    return plan_offload(kk, host, accel, link, cat).offload_time;
+  };
+  if (wins(1.0)) return 1.0;
+  if (!wins(max_ops)) return std::numeric_limits<double>::infinity();
+  double lo = 1.0;
+  double hi = max_ops;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection
+    if (wins(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace arch21::accel

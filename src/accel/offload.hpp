@@ -1,0 +1,45 @@
+#pragma once
+// Offload planning: when is it worth shipping a kernel to an accelerator?
+// The decision weighs host execution against transfer + accelerator
+// execution, in both time and energy, over a configurable link -- this is
+// the paper's eco-system question ("How should computation be split
+// between the nodes and cloud infrastructure?") at the chip scale, and
+// the same machinery the sensor module reuses at the radio scale.
+
+#include <vector>
+
+#include "accel/models.hpp"
+#include "noc/link.hpp"
+
+namespace arch21::accel {
+
+/// Cost of running a kernel somewhere.
+struct PlacementCost {
+  double time_s = 0;
+  double energy_j = 0;
+};
+
+/// Outcome of an offload analysis.
+struct OffloadDecision {
+  PlacementCost host;
+  PlacementCost accel;      ///< includes transfer both ways
+  bool offload_time = false;    ///< offloading wins on latency
+  bool offload_energy = false;  ///< offloading wins on energy
+  double speedup = 1;
+  double energy_gain = 1;
+};
+
+/// Analyze one kernel.
+OffloadDecision plan_offload(const KernelProfile& k, const Engine& host,
+                             const Engine& accel, const noc::LinkTech& link,
+                             const energy::Catalogue& cat,
+                             double link_utilization = 0.5);
+
+/// Smallest kernel size (ops) at which offloading starts winning on time,
+/// holding the compute:traffic ratio fixed (bisection over `k.ops`);
+/// returns infinity if it never wins within `max_ops`.
+double breakeven_ops(KernelProfile k, const Engine& host, const Engine& accel,
+                     const noc::LinkTech& link, const energy::Catalogue& cat,
+                     double max_ops = 1e15);
+
+}  // namespace arch21::accel

@@ -1,0 +1,126 @@
+#include "cloud/cluster.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "des/resource.hpp"
+#include "des/simulator.hpp"
+
+namespace arch21::cloud {
+
+// Simulation time unit: milliseconds.
+
+ClusterResult simulate_cluster(const ClusterConfig& cfg) {
+  des::Simulator sim;
+  Rng rng(cfg.seed);
+  std::vector<std::unique_ptr<des::Resource>> leaves;
+  leaves.reserve(cfg.leaves);
+  for (unsigned i = 0; i < cfg.leaves; ++i) {
+    leaves.push_back(std::make_unique<des::Resource>(sim, 1));
+  }
+
+  ClusterResult res;
+  const double horizon_ms = cfg.duration_s * 1000.0;
+  const double mu_log = std::log(cfg.leaf_service_ms) -
+                        0.5 * cfg.service_sigma * cfg.service_sigma;
+
+  std::uint64_t leaf_requests = 0;
+  std::uint64_t hedged = 0;
+
+  // --- background load on each leaf ---
+  for (unsigned l = 0; l < cfg.leaves; ++l) {
+    double t = 0;
+    Rng brng = rng.split();
+    while (true) {
+      t += brng.exponential(1000.0 / cfg.background_rate_hz);
+      if (t >= horizon_ms) break;
+      const double sz = brng.exponential(cfg.background_ms);
+      des::Resource* leaf = leaves[l].get();
+      sim.schedule_at(t, [leaf, sz] { leaf->request(sz, nullptr); });
+    }
+  }
+
+  // --- fan-out queries ---
+  struct QueryState {
+    unsigned outstanding = 0;
+    double start_ms = 0;
+    double worst_ms = 0;
+  };
+  struct LeafCall {
+    bool done = false;
+    bool hedge_issued = false;
+  };
+
+  Rng qrng = rng.split();
+  Rng hrng = rng.split();
+  double qt = 0;
+  while (true) {
+    qt += qrng.exponential(1000.0 / cfg.query_rate_hz);
+    if (qt >= horizon_ms) break;
+    // Pre-draw per-leaf service times for determinism.
+    auto services = std::make_shared<std::vector<double>>();
+    services->reserve(cfg.leaves);
+    for (unsigned l = 0; l < cfg.leaves; ++l) {
+      services->push_back(qrng.lognormal(mu_log, cfg.service_sigma));
+    }
+
+    sim.schedule_at(qt, [&, services] {
+      auto q = std::make_shared<QueryState>();
+      q->outstanding = cfg.leaves;
+      q->start_ms = sim.now();
+
+      auto leaf_done = [&, q](double completion_ms) {
+        const double lat = completion_ms - q->start_ms;
+        res.leaf_ms.add(lat);
+        q->worst_ms = std::max(q->worst_ms, lat);
+        if (--q->outstanding == 0) {
+          res.query_ms.add(q->worst_ms);
+          ++res.queries;
+        }
+      };
+
+      for (unsigned l = 0; l < cfg.leaves; ++l) {
+        const double service = (*services)[l];
+        auto call = std::make_shared<LeafCall>();
+        ++leaf_requests;
+        leaves[l]->request(service, [&, q, call, leaf_done](double, double) {
+          if (call->done) return;  // hedge already answered
+          call->done = true;
+          leaf_done(sim.now());
+        });
+        if (cfg.hedge_after_ms > 0) {
+          const unsigned alt =
+              static_cast<unsigned>(hrng.below(cfg.leaves));
+          sim.schedule(cfg.hedge_after_ms, [&, q, call, leaf_done, alt,
+                                            service] {
+            if (call->done || call->hedge_issued) return;
+            call->hedge_issued = true;
+            ++hedged;
+            ++leaf_requests;
+            leaves[alt]->request(service,
+                                 [&, call, leaf_done](double, double) {
+                                   if (call->done) return;
+                                   call->done = true;
+                                   leaf_done(sim.now());
+                                 });
+          });
+        }
+      }
+    });
+  }
+
+  sim.run();
+
+  double util = 0;
+  for (const auto& leaf : leaves) {
+    util += leaf->busy_time() / horizon_ms;
+  }
+  res.mean_leaf_utilization = util / static_cast<double>(cfg.leaves);
+  res.hedge_fraction =
+      leaf_requests ? static_cast<double>(hedged) /
+                          static_cast<double>(leaf_requests)
+                    : 0;
+  return res;
+}
+
+}  // namespace arch21::cloud

@@ -1,0 +1,45 @@
+#pragma once
+// A DES-based search-style cluster: a root fans each query out to N leaf
+// servers; each leaf is a single-server queue also absorbing background
+// load; the query completes when the slowest leaf replies.  Unlike the
+// closed-form fork-join sampler (cloud/tail.hpp), this model includes
+// *queueing interference*, which is where real tails come from, and lets
+// hedging be evaluated under induced extra load -- the feedback loop that
+// makes naive hedging dangerous.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::cloud {
+
+/// Cluster/workload configuration.
+struct ClusterConfig {
+  unsigned leaves = 100;
+  double query_rate_hz = 100;       ///< fan-out query arrival rate
+  double leaf_service_ms = 4.0;     ///< mean per-leaf work per query
+  double service_sigma = 0.35;      ///< lognormal sigma of service time
+  double background_rate_hz = 30;   ///< per-leaf background task rate
+  double background_ms = 3.0;       ///< mean background task size
+  double duration_s = 30;           ///< simulated time
+  std::uint64_t seed = 2014;
+  /// Hedging: reissue the straggling leaf request to a random other leaf
+  /// when it exceeds this many ms (0 = disabled).
+  double hedge_after_ms = 0;
+};
+
+/// Simulation output.
+struct ClusterResult {
+  std::uint64_t queries = 0;
+  LogHistogram query_ms{1e-2, 1e5, 90};
+  LogHistogram leaf_ms{1e-2, 1e5, 90};
+  double mean_leaf_utilization = 0;
+  double hedge_fraction = 0;  ///< fraction of leaf requests that were hedged
+};
+
+/// Run the cluster simulation.
+ClusterResult simulate_cluster(const ClusterConfig& cfg);
+
+}  // namespace arch21::cloud

@@ -1,0 +1,42 @@
+#include "cloud/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arch21::cloud {
+
+double ServerPower::power(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  return idle_w + (peak_w - idle_w) * u;
+}
+
+double Facility::power(double utilization) const {
+  return static_cast<double>(servers) * server.power(utilization) * pue;
+}
+
+double Facility::throughput(double utilization) const {
+  return static_cast<double>(servers) * server.peak_ops_per_s *
+         std::clamp(utilization, 0.0, 1.0);
+}
+
+double Facility::ops_per_joule(double utilization) const {
+  const double p = power(utilization);
+  return p > 0 ? throughput(utilization) / p : 0;
+}
+
+Facility::Sizing Facility::size_for(const ServerPower& srv, double pue,
+                                    double target_ops, double utilization) {
+  if (target_ops <= 0 || utilization <= 0) {
+    throw std::invalid_argument("Facility::size_for: bad parameters");
+  }
+  const double per_server = srv.peak_ops_per_s * utilization;
+  const auto n =
+      static_cast<std::uint64_t>(std::ceil(target_ops / per_server));
+  Sizing s;
+  s.servers = n;
+  s.power_w = static_cast<double>(n) * srv.power(utilization) * pue;
+  return s;
+}
+
+}  // namespace arch21::cloud

@@ -1,0 +1,50 @@
+#pragma once
+// Warehouse-scale power modeling: server energy proportionality, PUE, and
+// fleet-level power/cost.  "Memory and storage systems consume an
+// increasing fraction of the total data center power budget" -- the model
+// carries a per-server power breakdown so that fraction is visible, and
+// the exa-op ladder rung (10 MW) can be checked against concrete fleets.
+
+#include <cstdint>
+
+namespace arch21::cloud {
+
+/// Per-server power model with an idle floor (non-proportionality).
+struct ServerPower {
+  double idle_w = 120;
+  double peak_w = 300;
+  double mem_fraction = 0.30;   ///< share of dynamic power in memory/storage
+  double peak_ops_per_s = 1e11; ///< server throughput at full load
+
+  /// Power at utilization u in [0,1] (linear between idle and peak).
+  double power(double u) const;
+  /// Energy proportionality index: 1 - idle/peak.
+  double proportionality() const { return 1.0 - idle_w / peak_w; }
+};
+
+/// Facility model.
+struct Facility {
+  ServerPower server;
+  std::uint64_t servers = 10'000;
+  double pue = 1.5;  ///< total facility power / IT power
+
+  /// Facility power (W) at a given fleet utilization.
+  double power(double utilization) const;
+
+  /// Aggregate ops/s at utilization.
+  double throughput(double utilization) const;
+
+  /// Facility-level ops/joule at utilization (includes PUE overhead).
+  double ops_per_joule(double utilization) const;
+
+  /// Servers needed to deliver `target_ops` at `utilization` -- and the
+  /// facility power that implies.
+  struct Sizing {
+    std::uint64_t servers;
+    double power_w;
+  };
+  static Sizing size_for(const ServerPower& srv, double pue, double target_ops,
+                         double utilization);
+};
+
+}  // namespace arch21::cloud

@@ -1,0 +1,56 @@
+#include "cloud/qos.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "cloud/queueing.hpp"
+
+namespace arch21::cloud {
+
+namespace {
+
+/// LC p99 under a given BE load: M/M/1 with inflated service time.
+/// Exponential sojourn: p99 = mean * ln(100).
+double lc_p99_ms(const QosConfig& cfg, double be_util, bool partitioned) {
+  const double inflate =
+      1.0 + be_util * (partitioned ? cfg.interference_partitioned
+                                   : cfg.interference_shared);
+  const double service_s = cfg.lc_service_ms * 1e-3 * inflate;
+  const double mu = 1.0 / service_s;
+  const auto q = mmk(cfg.lc_rate_hz, mu, 1);
+  if (!q.stable) return std::numeric_limits<double>::infinity();
+  return q.mean_sojourn * std::log(100.0) * 1e3;
+}
+
+}  // namespace
+
+std::vector<QosRow> colocation_sweep(const QosConfig& cfg, bool partitioned,
+                                     int steps) {
+  std::vector<QosRow> rows;
+  for (int i = 0; i < steps; ++i) {
+    const double be =
+        static_cast<double>(i) / static_cast<double>(steps - 1);
+    QosRow r;
+    r.be_utilization = be;
+    r.lc_p99_ms = lc_p99_ms(cfg, be, partitioned);
+    r.slo_met = r.lc_p99_ms <= cfg.slo_p99_ms;
+    const double lc_util = cfg.lc_rate_hz * cfg.lc_service_ms * 1e-3;
+    r.be_goodput =
+        be * (partitioned ? 1.0 - cfg.be_partition_penalty : 1.0);
+    r.machine_utilization = std::min(1.0, lc_util + r.be_goodput);
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+double max_safe_be_utilization(const QosConfig& cfg, bool partitioned) {
+  double best = 0;
+  for (double be = 0; be <= 1.0 + 1e-9; be += 0.01) {
+    if (lc_p99_ms(cfg, be, partitioned) <= cfg.slo_p99_ms) {
+      best = be;
+    }
+  }
+  return best;
+}
+
+}  // namespace arch21::cloud

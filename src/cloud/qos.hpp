@@ -1,0 +1,54 @@
+#pragma once
+// Quality-of-service colocation: a latency-critical (LC) service sharing
+// a server with best-effort (BE) batch work.
+//
+// Paper hook (section 2.4): "how can applications express
+// Quality-of-Service targets and have the underlying hardware, the
+// operating system and the virtualization layers work together to ensure
+// them?  Increasing virtualization ... requires coordinated resource
+// management across ... computational resources, interconnect, and
+// memory bandwidth."
+//
+// Model: the LC service is an M/M/1 queue whose *service time inflates*
+// with BE pressure on the shared LLC and memory bandwidth.  With
+// hardware QoS (cache/bandwidth partitioning) the interference
+// coefficient drops sharply but the BE work loses some throughput to its
+// smaller partition.  The experiment: how much BE work can be colocated
+// while the LC p99 SLO holds -- with and without the QoS interface.
+
+#include <vector>
+
+namespace arch21::cloud {
+
+/// Colocation model parameters.
+struct QosConfig {
+  double lc_rate_hz = 400;         ///< LC request arrival rate
+  double lc_service_ms = 1.0;      ///< LC service time, unloaded
+  double slo_p99_ms = 10.0;        ///< the LC latency objective
+  /// Service-time inflation per unit of BE utilization, shared mode
+  /// (LLC thrash + bandwidth contention).
+  double interference_shared = 2.5;
+  /// Residual inflation with partitioning (shared DRAM banks etc.).
+  double interference_partitioned = 0.15;
+  /// BE throughput penalty from running in a restricted partition.
+  double be_partition_penalty = 0.15;
+};
+
+/// One row of the colocation sweep.
+struct QosRow {
+  double be_utilization = 0;   ///< offered best-effort load (0..1)
+  double lc_p99_ms = 0;        ///< resulting LC tail latency
+  bool slo_met = false;
+  double machine_utilization = 0;  ///< LC + effective BE usage
+  double be_goodput = 0;       ///< BE work accomplished (utilization units)
+};
+
+/// Sweep BE colocation levels for one mode.
+std::vector<QosRow> colocation_sweep(const QosConfig& cfg, bool partitioned,
+                                     int steps = 11);
+
+/// Highest BE utilization whose colocation still meets the SLO
+/// (granularity 0.01); 0 if even idle BE breaks it.
+double max_safe_be_utilization(const QosConfig& cfg, bool partitioned);
+
+}  // namespace arch21::cloud

@@ -1,0 +1,61 @@
+#include "cloud/queueing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "des/resource.hpp"
+#include "des/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::cloud {
+
+MmkResult mmk(double lambda, double mu, unsigned k) {
+  if (lambda <= 0 || mu <= 0 || k == 0) {
+    throw std::invalid_argument("mmk: bad parameters");
+  }
+  MmkResult r;
+  const double a = lambda / mu;  // offered load in Erlangs
+  r.rho = a / static_cast<double>(k);
+  r.stable = r.rho < 1.0;
+  if (!r.stable) {
+    r.p_wait = 1.0;
+    r.mean_wait = INFINITY;
+    r.mean_sojourn = INFINITY;
+    return r;
+  }
+  // Erlang C: iterate the sum in log-safe incremental form.
+  double term = 1.0;  // a^0/0!
+  double sum = term;
+  for (unsigned n = 1; n < k; ++n) {
+    term *= a / static_cast<double>(n);
+    sum += term;
+  }
+  const double term_k = term * a / static_cast<double>(k);
+  const double erlang_c =
+      (term_k / (1.0 - r.rho)) / (sum + term_k / (1.0 - r.rho));
+  r.p_wait = erlang_c;
+  r.mean_wait = erlang_c / (static_cast<double>(k) * mu - lambda);
+  r.mean_sojourn = r.mean_wait + 1.0 / mu;
+  return r;
+}
+
+double simulate_mmk_sojourn(double lambda, double mu, unsigned k,
+                            std::uint64_t jobs, std::uint64_t seed) {
+  des::Simulator sim;
+  des::Resource station(sim, k);
+  Rng rng(seed);
+
+  // Schedule all arrivals up front (Poisson process).
+  double t = 0;
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    t += rng.exponential(1.0 / lambda);
+    const double service = rng.exponential(1.0 / mu);
+    sim.schedule_at(t, [&station, service] {
+      station.request(service, nullptr);
+    });
+  }
+  sim.run();
+  return station.sojourn_stats().mean();
+}
+
+}  // namespace arch21::cloud

@@ -1,0 +1,28 @@
+#pragma once
+// Analytic M/M/k queueing (Erlang-C) with a DES cross-check.  Leaf
+// servers in the cluster model are queueing systems; predictable
+// performance ("architectural innovations can guarantee strict worst-case
+// latency requirements") starts with knowing where the queueing knee is.
+
+#include <cstdint>
+
+namespace arch21::cloud {
+
+/// M/M/k results for arrival rate lambda, per-server service rate mu.
+struct MmkResult {
+  double rho = 0;         ///< utilization lambda / (k mu)
+  double p_wait = 0;      ///< Erlang-C probability of queueing
+  double mean_wait = 0;   ///< expected queueing delay
+  double mean_sojourn = 0;///< wait + service
+  bool stable = false;
+};
+
+/// Closed-form M/M/k.
+MmkResult mmk(double lambda, double mu, unsigned k);
+
+/// DES validation: simulate an M/M/k station for `jobs` jobs and return
+/// the measured mean sojourn.
+double simulate_mmk_sojourn(double lambda, double mu, unsigned k,
+                            std::uint64_t jobs, std::uint64_t seed = 99);
+
+}  // namespace arch21::cloud

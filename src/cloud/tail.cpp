@@ -1,0 +1,127 @@
+#include "cloud/tail.hpp"
+
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arch21::cloud {
+
+double tail_amplification(unsigned n, double q) {
+  return 1.0 - std::pow(q, static_cast<double>(n));
+}
+
+LatencyDist make_leaf_distribution(double median_ms, double sigma,
+                                   double p_straggler,
+                                   double straggler_scale_ms,
+                                   double straggler_alpha) {
+  const double mu = std::log(median_ms);
+  return [=](Rng& rng) {
+    double v = rng.lognormal(mu, sigma);
+    if (rng.chance(p_straggler)) {
+      v += rng.pareto(straggler_scale_ms, straggler_alpha);
+    }
+    return v;
+  };
+}
+
+namespace {
+
+/// Draw one leaf completion under the given policy; returns {latency,
+/// issued_backup}.
+std::pair<double, bool> leaf_with_policy(const LatencyDist& leaf,
+                                         const HedgePolicy& policy, Rng& rng) {
+  const double primary = leaf(rng);
+  switch (policy.kind) {
+    case HedgePolicy::Kind::None:
+      return {primary, false};
+    case HedgePolicy::Kind::Hedged: {
+      if (primary <= policy.hedge_delay_ms) return {primary, false};
+      const double backup = policy.hedge_delay_ms + leaf(rng);
+      return {std::min(primary, backup), true};
+    }
+    case HedgePolicy::Kind::Tied: {
+      const double second = leaf(rng);
+      return {std::min(primary, second) + policy.tied_overhead_ms, true};
+    }
+  }
+  return {primary, false};
+}
+
+}  // namespace
+
+ForkJoinResult simulate_fork_join(unsigned fanout, std::uint64_t requests,
+                                  const LatencyDist& leaf, HedgePolicy policy,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> request_lat;
+  std::vector<double> leaf_lat;
+  request_lat.reserve(requests);
+  leaf_lat.reserve(requests * std::min<unsigned>(fanout, 4));
+  std::uint64_t backups = 0;
+  std::uint64_t leaves = 0;
+
+  for (std::uint64_t r = 0; r < requests; ++r) {
+    double worst = 0;
+    for (unsigned f = 0; f < fanout; ++f) {
+      const auto [lat, backup] = leaf_with_policy(leaf, policy, rng);
+      worst = std::max(worst, lat);
+      leaf_lat.push_back(lat);
+      backups += backup ? 1 : 0;
+      ++leaves;
+    }
+    request_lat.push_back(worst);
+  }
+
+  ForkJoinResult res;
+  res.request_latency_ms = Summary::of(request_lat);
+  res.leaf_latency_ms = Summary::of(leaf_lat);
+  res.extra_load_fraction =
+      leaves ? static_cast<double>(backups) / static_cast<double>(leaves) : 0;
+
+  const double leaf_p99 = res.leaf_latency_ms.p99;
+  std::uint64_t over = 0;
+  for (double v : request_lat) over += v >= leaf_p99 ? 1 : 0;
+  res.frac_over_leaf_p99 =
+      requests ? static_cast<double>(over) / static_cast<double>(requests) : 0;
+  return res;
+}
+
+std::vector<FanoutRow> fanout_sweep(const std::vector<unsigned>& fanouts,
+                                    std::uint64_t requests,
+                                    const LatencyDist& leaf,
+                                    std::uint64_t seed) {
+  std::vector<FanoutRow> rows;
+  for (unsigned n : fanouts) {
+    Rng req_rng(seed + n);
+    std::vector<double> lat;
+    lat.reserve(requests);
+    // The per-leaf p99 reference comes from the SAME draws that form the
+    // row's requests; numerator and denominator then share sampling noise
+    // (important because a straggler mixture puts p99 on a sparse cliff).
+    // A log histogram keeps memory bounded at large fan-out.
+    LogHistogram leaf_hist(1e-3, 1e6, 180);
+    for (std::uint64_t r = 0; r < requests; ++r) {
+      double worst = 0;
+      for (unsigned f = 0; f < n; ++f) {
+        const double v = leaf(req_rng);
+        leaf_hist.add(v);
+        worst = std::max(worst, v);
+      }
+      lat.push_back(worst);
+    }
+    const double leaf_p99 = leaf_hist.quantile(0.99);
+    std::uint64_t over = 0;
+    for (double worst : lat) over += worst >= leaf_p99 ? 1 : 0;
+    FanoutRow row;
+    row.fanout = n;
+    row.analytic_frac = tail_amplification(n, 0.99);
+    row.simulated_frac =
+        static_cast<double>(over) / static_cast<double>(requests);
+    row.p99_amplification = percentile(lat, 0.99) / leaf_p99;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace arch21::cloud

@@ -1,0 +1,73 @@
+#pragma once
+// Tail latency at scale.  The white paper's datacenter section states the
+// arithmetic directly: "if 100 systems must jointly respond to a request,
+// 63% of requests will incur the 99-percentile delay of the individual
+// systems due to waiting for stragglers".  That is order statistics:
+// P(max of N draws exceeds the per-server p99) = 1 - 0.99^N.
+//
+// This module provides the closed form, a Monte-Carlo fork-join simulator
+// over configurable leaf-latency distributions, and the standard
+// mitigations from Dean's "Tail at Scale": hedged requests (send a backup
+// copy after a delay) and tied requests (issue two, cancel the loser,
+// modeled as min of two draws with a small fixed overhead).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace arch21::cloud {
+
+/// Closed form: probability a fan-out-N request waits at least the
+/// per-leaf `q`-quantile (q in (0,1)).
+double tail_amplification(unsigned n, double q);
+
+/// A leaf-latency distribution: callable drawing one service time.
+using LatencyDist = std::function<double(Rng&)>;
+
+/// Lognormal body with a Pareto straggler tail: the classic shape of
+/// production leaf latencies.  `p_straggler` of requests take the slow
+/// path.
+LatencyDist make_leaf_distribution(double median_ms = 5.0,
+                                   double sigma = 0.4,
+                                   double p_straggler = 0.01,
+                                   double straggler_scale_ms = 50.0,
+                                   double straggler_alpha = 1.5);
+
+/// Mitigation policy for a fan-out request.
+struct HedgePolicy {
+  enum class Kind { None, Hedged, Tied } kind = Kind::None;
+  double hedge_delay_ms = 10;  ///< backup issued if no reply by this delay
+  double tied_overhead_ms = 0.5;  ///< cancellation/propagation overhead
+};
+
+/// Result of a fork-join experiment.
+struct ForkJoinResult {
+  Summary request_latency_ms;   ///< end-to-end (max over leaves)
+  Summary leaf_latency_ms;      ///< individual leaf samples
+  double extra_load_fraction = 0;  ///< additional backend load from backups
+  /// Fraction of requests that waited >= the leaf p99.
+  double frac_over_leaf_p99 = 0;
+};
+
+/// Run `requests` fork-join requests over `fanout` leaves.
+ForkJoinResult simulate_fork_join(unsigned fanout, std::uint64_t requests,
+                                  const LatencyDist& leaf,
+                                  HedgePolicy policy = {},
+                                  std::uint64_t seed = 7);
+
+/// Sweep fan-out values and report 1 - 0.99^N alongside the simulation.
+struct FanoutRow {
+  unsigned fanout;
+  double analytic_frac;   ///< 1 - 0.99^N
+  double simulated_frac;  ///< measured fraction over leaf p99
+  double p99_amplification;  ///< request p99 / leaf p99
+};
+std::vector<FanoutRow> fanout_sweep(const std::vector<unsigned>& fanouts,
+                                    std::uint64_t requests,
+                                    const LatencyDist& leaf,
+                                    std::uint64_t seed = 7);
+
+}  // namespace arch21::cloud

@@ -1,0 +1,87 @@
+#pragma once
+// Umbrella header: the arch21 public API in one include.
+//
+// arch21 is a cross-layer architectural modeling and simulation toolkit
+// reproducing the agenda of "21st Century Computer Architecture" (CCC
+// white paper, 2012 / PPoPP 2014 keynote) as executable models: see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// experiment-by-experiment reproduction record.
+
+// Infrastructure
+#include "des/resource.hpp"      // IWYU pragma: export
+#include "des/simulator.hpp"     // IWYU pragma: export
+#include "util/fixed_point.hpp"  // IWYU pragma: export
+#include "util/histogram.hpp"    // IWYU pragma: export
+#include "util/rng.hpp"          // IWYU pragma: export
+#include "util/stats.hpp"        // IWYU pragma: export
+#include "util/table.hpp"        // IWYU pragma: export
+#include "util/units.hpp"        // IWYU pragma: export
+
+// Technology and energy
+#include "energy/budget.hpp"     // IWYU pragma: export
+#include "energy/catalogue.hpp"  // IWYU pragma: export
+#include "energy/ladder.hpp"     // IWYU pragma: export
+#include "tech/cpudb.hpp"        // IWYU pragma: export
+#include "tech/dark_silicon.hpp" // IWYU pragma: export
+#include "tech/dvfs.hpp"         // IWYU pragma: export
+#include "tech/node.hpp"         // IWYU pragma: export
+#include "tech/ntv.hpp"          // IWYU pragma: export
+
+// Memory and interconnect
+#include "mem/cache.hpp"          // IWYU pragma: export
+#include "mem/coherence.hpp"      // IWYU pragma: export
+#include "mem/compression.hpp"    // IWYU pragma: export
+#include "mem/dram.hpp"           // IWYU pragma: export
+#include "mem/hierarchy.hpp"      // IWYU pragma: export
+#include "mem/hybrid.hpp"         // IWYU pragma: export
+#include "mem/nvm.hpp"            // IWYU pragma: export
+#include "mem/prefetch.hpp"       // IWYU pragma: export
+#include "mem/sidechannel.hpp"    // IWYU pragma: export
+#include "mem/wear_leveling.hpp"  // IWYU pragma: export
+#include "noc/link.hpp"           // IWYU pragma: export
+#include "noc/mesh.hpp"           // IWYU pragma: export
+#include "noc/rent.hpp"           // IWYU pragma: export
+#include "noc/stacking.hpp"       // IWYU pragma: export
+
+// ISA, security, reliability
+#include "isa/assembler.hpp"          // IWYU pragma: export
+#include "isa/machine.hpp"            // IWYU pragma: export
+#include "isa/programs.hpp"           // IWYU pragma: export
+#include "isa/sr1.hpp"                // IWYU pragma: export
+#include "reliab/availability.hpp"    // IWYU pragma: export
+#include "reliab/checkpoint.hpp"      // IWYU pragma: export
+#include "reliab/ecc.hpp"             // IWYU pragma: export
+#include "reliab/fault_injection.hpp" // IWYU pragma: export
+#include "reliab/fit.hpp"             // IWYU pragma: export
+
+// Parallelism and specialization
+#include "accel/cgra.hpp"     // IWYU pragma: export
+#include "accel/models.hpp"   // IWYU pragma: export
+#include "accel/nre.hpp"      // IWYU pragma: export
+#include "accel/offload.hpp"  // IWYU pragma: export
+#include "par/laws.hpp"       // IWYU pragma: export
+#include "par/scaling.hpp"    // IWYU pragma: export
+#include "par/schedule.hpp"   // IWYU pragma: export
+#include "par/stm.hpp"        // IWYU pragma: export
+#include "par/sync.hpp"       // IWYU pragma: export
+#include "par/taskgraph.hpp"  // IWYU pragma: export
+
+// Cloud and sensor platforms
+#include "cloud/cluster.hpp"      // IWYU pragma: export
+#include "cloud/power.hpp"        // IWYU pragma: export
+#include "cloud/qos.hpp"          // IWYU pragma: export
+#include "cloud/queueing.hpp"     // IWYU pragma: export
+#include "cloud/tail.hpp"         // IWYU pragma: export
+#include "sensor/approx.hpp"      // IWYU pragma: export
+#include "sensor/battery.hpp"     // IWYU pragma: export
+#include "sensor/intermittent.hpp"// IWYU pragma: export
+#include "sensor/tradeoff.hpp"    // IWYU pragma: export
+
+// Cross-layer design-space exploration (the capstone)
+#include "core/design.hpp"     // IWYU pragma: export
+#include "core/dse.hpp"        // IWYU pragma: export
+#include "core/governor.hpp"   // IWYU pragma: export
+#include "core/evaluator.hpp"  // IWYU pragma: export
+#include "core/pareto.hpp"     // IWYU pragma: export
+#include "core/report.hpp"     // IWYU pragma: export
+#include "core/profile.hpp"    // IWYU pragma: export

@@ -1,0 +1,45 @@
+#pragma once
+// Design points and evaluated metrics for cross-layer DSE.  A design
+// point fixes one choice in every layer the paper says must co-operate:
+// technology node and supply (circuit), core count/size and accelerator
+// provisioning (architecture), cache capacity and 3D memory (memory
+// system).  The evaluator (core/evaluator.hpp) composes the substrate
+// models into throughput/power/energy for an application profile.
+
+#include <cstdint>
+#include <string>
+
+#include "accel/models.hpp"
+
+namespace arch21::core {
+
+/// One candidate machine.
+struct DesignPoint {
+  std::string node = "22nm";     ///< technology node name
+  double vdd_scale = 1.0;        ///< supply relative to nominal (DVFS/NTV)
+  std::uint32_t cores = 16;      ///< core count
+  double bce_per_core = 4;       ///< core size in base-core equivalents
+  accel::EngineClass accel = accel::EngineClass::ScalarCpu;  ///< accelerator
+  double accel_area_fraction = 0.0;  ///< die share given to the accelerator
+  double llc_mib = 8;            ///< last-level cache capacity
+  bool stacked_dram = false;     ///< 3D DRAM instead of off-package
+
+  /// Human-readable one-liner.
+  std::string to_string() const;
+};
+
+/// Evaluated metrics.
+struct Metrics {
+  double throughput_ops = 0;   ///< sustained ops/s on the profile
+  double power_w = 0;          ///< total platform power at that throughput
+  double energy_per_op_j = 0;
+  double ops_per_watt = 0;
+  bool meets_power_cap = false;
+  // Power breakdown (for reports).
+  double p_compute_w = 0;
+  double p_memory_w = 0;
+  double p_comm_w = 0;
+  double p_leak_w = 0;
+};
+
+}  // namespace arch21::core

@@ -1,0 +1,123 @@
+#include "core/dse.hpp"
+
+#include <array>
+
+#include "util/rng.hpp"
+
+namespace arch21::core {
+
+std::uint64_t DesignSpace::cardinality() const {
+  return static_cast<std::uint64_t>(nodes.size()) * vdd_scales.size() *
+         core_counts.size() * bces.size() * accels.size() *
+         accel_areas.size() * llc_mibs.size() * stacking.size();
+}
+
+DesignPoint DesignSpace::point(std::uint64_t index) const {
+  DesignPoint d;
+  auto pick = [&index](const auto& dim) -> decltype(auto) {
+    const auto i = index % dim.size();
+    index /= dim.size();
+    return dim[i];
+  };
+  d.node = pick(nodes);
+  d.vdd_scale = pick(vdd_scales);
+  d.cores = pick(core_counts);
+  d.bce_per_core = pick(bces);
+  d.accel = pick(accels);
+  d.accel_area_fraction = pick(accel_areas);
+  d.llc_mib = pick(llc_mibs);
+  d.stacked_dram = pick(stacking);
+  return d;
+}
+
+namespace {
+
+void consider(DseResult& res, const DesignSpace&, const AppProfile& app,
+              PlatformClass pc, const DesignPoint& d) {
+  const Metrics m = evaluate(d, app, pc);
+  ++res.evaluated;
+  if (!m.meets_power_cap || m.throughput_ops <= 0) return;
+  ++res.feasible;
+  res.frontier.offer({d, m});
+}
+
+}  // namespace
+
+DseResult grid_search(const DesignSpace& space, const AppProfile& app,
+                      PlatformClass pc) {
+  DseResult res;
+  const std::uint64_t n = space.cardinality();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    consider(res, space, app, pc, space.point(i));
+  }
+  return res;
+}
+
+DseResult random_search(const DesignSpace& space, const AppProfile& app,
+                        PlatformClass pc, std::uint64_t budget,
+                        std::uint64_t seed) {
+  DseResult res;
+  Rng rng(seed);
+  const std::uint64_t n = space.cardinality();
+  for (std::uint64_t i = 0; i < budget; ++i) {
+    consider(res, space, app, pc, space.point(rng.below(n)));
+  }
+  return res;
+}
+
+DseResult hill_climb(const DesignSpace& space, const AppProfile& app,
+                     PlatformClass pc, std::uint64_t restarts,
+                     std::uint64_t seed) {
+  DseResult res;
+  Rng rng(seed);
+  const std::uint64_t n = space.cardinality();
+
+  // Dimension strides for neighbor moves in the mixed-radix index.
+  const std::array<std::uint64_t, 8> radices = {
+      space.nodes.size(),      space.vdd_scales.size(),
+      space.core_counts.size(), space.bces.size(),
+      space.accels.size(),     space.accel_areas.size(),
+      space.llc_mibs.size(),   space.stacking.size()};
+
+  auto objective = [&](std::uint64_t idx) -> double {
+    const Metrics m = evaluate(space.point(idx), app, pc);
+    ++res.evaluated;
+    if (!m.meets_power_cap || m.throughput_ops <= 0) return -1;
+    ++res.feasible;
+    res.frontier.offer({space.point(idx), m});
+    return m.throughput_ops;
+  };
+
+  for (std::uint64_t r = 0; r < restarts; ++r) {
+    std::uint64_t cur = rng.below(n);
+    double cur_val = objective(cur);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      // Explore +/-1 in each dimension.
+      std::uint64_t stride = 1;
+      std::uint64_t rem = cur;
+      for (std::size_t dim = 0; dim < radices.size(); ++dim) {
+        const std::uint64_t radix = radices[dim];
+        const std::uint64_t digit = rem % radix;
+        for (int delta : {-1, +1}) {
+          const std::int64_t nd = static_cast<std::int64_t>(digit) + delta;
+          if (nd < 0 || nd >= static_cast<std::int64_t>(radix)) continue;
+          const std::uint64_t neighbor =
+              cur + (static_cast<std::uint64_t>(nd) - digit) * stride;
+          const double val = objective(neighbor);
+          if (val > cur_val) {
+            cur = neighbor;
+            cur_val = val;
+            improved = true;
+          }
+        }
+        rem /= radix;
+        stride *= radix;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace arch21::core

@@ -1,0 +1,54 @@
+#pragma once
+// Design-space exploration engines.  Three searchers over the DesignPoint
+// space, all constrained to the platform's power cap:
+//   * grid_search  -- exhaustive over a discretized space (ground truth)
+//   * random_search -- uniform sampling (budgeted baseline)
+//   * hill_climb   -- local search from a seed with restarts
+// Each returns the Pareto frontier plus the best feasible design by
+// throughput and by efficiency.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/pareto.hpp"
+
+namespace arch21::core {
+
+/// Discretized design space.
+struct DesignSpace {
+  std::vector<std::string> nodes = {"45nm", "32nm", "22nm"};
+  std::vector<double> vdd_scales = {0.6, 0.7, 0.8, 0.9, 1.0};
+  std::vector<std::uint32_t> core_counts = {1, 2, 4, 8, 16, 32, 64, 128};
+  std::vector<double> bces = {1, 4, 16};
+  std::vector<accel::EngineClass> accels = {
+      accel::EngineClass::ScalarCpu, accel::EngineClass::GpuSimt,
+      accel::EngineClass::Asic};
+  std::vector<double> accel_areas = {0.0, 0.25, 0.5};
+  std::vector<double> llc_mibs = {2, 8, 32};
+  std::vector<bool> stacking = {false, true};
+
+  std::uint64_t cardinality() const;
+  /// The i-th point in row-major order.
+  DesignPoint point(std::uint64_t index) const;
+};
+
+/// DSE outcome.
+struct DseResult {
+  ParetoFrontier frontier;
+  std::uint64_t evaluated = 0;
+  std::uint64_t feasible = 0;
+};
+
+DseResult grid_search(const DesignSpace& space, const AppProfile& app,
+                      PlatformClass pc);
+
+DseResult random_search(const DesignSpace& space, const AppProfile& app,
+                        PlatformClass pc, std::uint64_t budget,
+                        std::uint64_t seed);
+
+DseResult hill_climb(const DesignSpace& space, const AppProfile& app,
+                     PlatformClass pc, std::uint64_t restarts,
+                     std::uint64_t seed);
+
+}  // namespace arch21::core

@@ -1,0 +1,147 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "energy/catalogue.hpp"
+#include "noc/mesh.hpp"
+#include "tech/dvfs.hpp"
+#include "tech/node.hpp"
+#include "util/units.hpp"
+
+namespace arch21::core {
+
+std::string DesignPoint::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%s v=%.2f cores=%u r=%.0f accel=%s/%.0f%% llc=%.0fMiB %s",
+                node.c_str(), vdd_scale, cores, bce_per_core,
+                accel::to_string(accel), accel_area_fraction * 100, llc_mib,
+                stacked_dram ? "3D" : "ddr");
+  return buf;
+}
+
+Metrics evaluate(const DesignPoint& d, const AppProfile& a, PlatformClass pc) {
+  const auto node = tech::find_node(d.node);
+  if (!node) throw std::invalid_argument("evaluate: unknown node " + d.node);
+  if (d.cores == 0 || d.bce_per_core < 1) {
+    throw std::invalid_argument("evaluate: bad core organization");
+  }
+
+  const energy::Catalogue cat(*node);
+  const tech::DvfsModel dvfs = tech::DvfsModel::for_node(*node);
+
+  // --- operating point -------------------------------------------------
+  const double vfloor = node->vth + 0.05;
+  const double v = std::max(vfloor, d.vdd_scale * node->vdd);
+  const double freq = dvfs.frequency(std::min(v, node->vdd * 1.1));
+  if (freq <= 0) {
+    return {};  // below threshold: nothing runs
+  }
+
+  // --- throughput: 3-phase Hill-Marty ----------------------------------
+  const double r = d.bce_per_core;
+  const double core_rate = freq * std::sqrt(r);  // ops/s of one core
+  const double all_cores_rate = core_rate * static_cast<double>(d.cores);
+
+  // Accelerator rate scales with the area devoted to it.
+  const auto ladder = accel::specialization_ladder();
+  const accel::Engine* eng = nullptr;
+  for (const auto& e : ladder) {
+    if (e.cls == d.accel) eng = &e;
+  }
+  accel::KernelProfile kp;
+  kp.data_parallel = a.data_parallel;
+  kp.regularity = a.regularity;
+  double accel_rate = 0;
+  double cov = 0;
+  if (eng && d.accel != accel::EngineClass::ScalarCpu &&
+      d.accel_area_fraction > 0) {
+    // Peak scales with area fraction relative to a 25%-of-die reference,
+    // and with the node's frequency relative to the engine's 22nm-era
+    // calibration.
+    accel_rate = eng->peak_ops_per_s * (d.accel_area_fraction / 0.25) *
+                 eng->utilization(kp) * (freq / (3.8 * units::giga));
+    cov = std::min(a.accel_coverage, a.parallel_fraction);
+  }
+
+  const double f = a.parallel_fraction;
+  const double serial = 1.0 - f;
+  const double par_cpu = f - cov;
+  double denom = serial / core_rate + par_cpu / all_cores_rate;
+  if (cov > 0) {
+    denom += cov / std::max(accel_rate, 1e3);
+  }
+  double throughput = 1.0 / denom;
+
+  // --- energy per operation --------------------------------------------
+  const double vscale = (v * v) / (node->vdd * node->vdd);
+  const double cpu_overhead = ladder.front().overhead_factor;  // scalar CPU
+  const double e_cpu_op = cat.fp_fma() * cpu_overhead * vscale;
+  const double e_acc_op =
+      eng ? cat.fp_fma() * eng->overhead_factor * vscale : e_cpu_op;
+  const double e_compute = (1.0 - cov) * e_cpu_op + cov * e_acc_op;
+
+  // Memory: locality model -- LLC capture grows as sqrt of the capacity
+  // ratio (a standard concave capture curve), floor 2% / cap 98%.
+  const double llc_bytes = d.llc_mib * units::MiB;
+  const double capture = std::clamp(
+      std::sqrt(llc_bytes / std::max(a.working_set_bytes, llc_bytes)), 0.02,
+      0.98);
+  const double e_llc_byte = cat.access(energy::Level::LLC) / 8.0;
+  const double e_dram_byte =
+      cat.move_per_bit(d.stacked_dram ? energy::Distance::ToStackedDram
+                                      : energy::Distance::ToDram) *
+      8.0;
+  const double e_mem =
+      a.mem_bytes_per_op * (capture * e_llc_byte + (1 - capture) * e_dram_byte);
+
+  // Communication: mesh sized to the core count.
+  double e_comm = 0;
+  if (d.cores > 1 && a.comm_bytes_per_op > 0) {
+    const auto side = static_cast<std::uint32_t>(
+        std::max(2.0, std::ceil(std::sqrt(static_cast<double>(d.cores)))));
+    noc::MeshConfig mc;
+    mc.width = side;
+    mc.height = side;
+    const noc::Mesh mesh(mc);
+    e_comm = a.comm_bytes_per_op * 8.0 * mesh.mean_energy_per_bit() * vscale;
+  }
+
+  const double e_op = e_compute + e_mem + e_comm;
+
+  // --- leakage and the power cap ----------------------------------------
+  const double leak =
+      dvfs.leakage_power(v) * static_cast<double>(d.cores) * (r / 4.0);
+  const double cap = power_cap_w(pc);
+
+  Metrics m;
+  m.p_leak_w = leak;
+  double dyn_power = throughput * e_op;
+  if (leak >= cap) {
+    // Even idle leakage busts the budget: infeasible design.
+    m.meets_power_cap = false;
+    m.throughput_ops = 0;
+    m.power_w = leak;
+    m.energy_per_op_j = e_op;
+    return m;
+  }
+  if (leak + dyn_power > cap) {
+    // Energy-first: throttle to the cap (duty-cycling / DVFS governor).
+    throughput = (cap - leak) / e_op;
+    dyn_power = cap - leak;
+  }
+  m.throughput_ops = throughput;
+  m.energy_per_op_j = e_op;
+  m.p_compute_w = throughput * e_compute;
+  m.p_memory_w = throughput * e_mem;
+  m.p_comm_w = throughput * e_comm;
+  m.power_w = leak + dyn_power;
+  m.ops_per_watt = m.power_w > 0 ? m.throughput_ops / m.power_w : 0;
+  m.meets_power_cap = m.power_w <= cap * 1.0000001;
+  return m;
+}
+
+}  // namespace arch21::core

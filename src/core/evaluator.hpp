@@ -1,0 +1,27 @@
+#pragma once
+// The cross-layer evaluator: composes technology (node + supply), the
+// multicore organization (Hill-Marty), the accelerator (specialization
+// ladder), the memory system (locality model + DRAM/3D), and the on-chip
+// network (mesh) into end-to-end metrics for one application profile.
+//
+// Model summary (each term built from the corresponding substrate):
+//   * per-core rate      = f(Vdd) x sqrt(BCEs)           [tech/dvfs, par/laws]
+//   * job throughput     = 3-phase Hill-Marty: serial, parallel-on-cores,
+//                          parallel-on-accelerator
+//   * compute energy/op  = raw op energy x engine overhead x (V/Vnom)^2
+//   * memory energy/op   = bytes/op priced by an LLC-capacity locality
+//                          model over LLC/DRAM (or stacked-DRAM) energies
+//   * comm energy/op     = bytes/op x mesh mean energy/byte
+//   * leakage            = per-core leakage(V) x cores x size
+//   * power cap          = platform class rung; throughput throttles to fit
+//                          (energy-first: the cap is the constraint).
+
+#include "core/design.hpp"
+#include "core/profile.hpp"
+
+namespace arch21::core {
+
+/// Evaluate a design point on an application for a platform class.
+Metrics evaluate(const DesignPoint& d, const AppProfile& a, PlatformClass pc);
+
+}  // namespace arch21::core

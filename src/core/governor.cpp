@@ -1,0 +1,55 @@
+#include "core/governor.hpp"
+
+#include <cmath>
+
+namespace arch21::core {
+
+namespace {
+
+PhaseCost price(const std::array<std::uint64_t, isa::kNumIntents>& instrs,
+                const std::array<double, isa::kNumIntents>& v,
+                const tech::DvfsModel& dvfs) {
+  PhaseCost c;
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    const double n = static_cast<double>(instrs[i]);
+    if (n == 0) continue;
+    const double f = dvfs.frequency(v[i]);
+    c.time_s += n / f;
+    c.energy_j += n * dvfs.energy_per_op(v[i]);
+  }
+  c.edp = c.time_s * c.energy_j;
+  return c;
+}
+
+}  // namespace
+
+GovernorReport govern(
+    const std::array<std::uint64_t, isa::kNumIntents>& instrs_by_intent,
+    const tech::DvfsModel& dvfs) {
+  GovernorReport r;
+  const double vnom = dvfs.params().vnom;
+  const double vmin = dvfs.min_energy_voltage();
+  const double vbal = std::sqrt(vmin * vnom);  // geometric middle
+
+  r.chosen_v[static_cast<std::size_t>(isa::Intent::Default)] = vbal;
+  r.chosen_v[static_cast<std::size_t>(isa::Intent::Efficiency)] = vmin;
+  r.chosen_v[static_cast<std::size_t>(isa::Intent::Performance)] = vnom;
+
+  r.hinted = price(instrs_by_intent, r.chosen_v, dvfs);
+  r.static_nominal =
+      price(instrs_by_intent, {vnom, vnom, vnom}, dvfs);
+  r.static_efficient =
+      price(instrs_by_intent, {vmin, vmin, vmin}, dvfs);
+
+  // Performance-phase (deadline) time under each policy.
+  const double perf_instrs = static_cast<double>(
+      instrs_by_intent[static_cast<std::size_t>(isa::Intent::Performance)]);
+  if (perf_instrs > 0) {
+    r.perf_time_hinted = perf_instrs / dvfs.frequency(vnom);  // hinted = vnom
+    r.perf_time_nominal = perf_instrs / dvfs.frequency(vnom);
+    r.perf_time_efficient = perf_instrs / dvfs.frequency(vmin);
+  }
+  return r;
+}
+
+}  // namespace arch21::core

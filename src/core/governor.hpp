@@ -1,0 +1,77 @@
+#pragma once
+// Intent-driven energy governor: the consumer side of the SR1 `hint`
+// instruction (section 2.4, "Better Interfaces for High-Level
+// Information": "current ISAs ... have no way of specifying when a
+// program requires energy efficiency ... New, higher-level interfaces
+// are needed to encapsulate and convey programmer and compiler knowledge
+// to the hardware, resulting in major efficiency gains").
+//
+// The machine attributes executed instructions to the active Intent;
+// the governor maps each intent to a DVFS operating point and compares
+// the hinted schedule against intent-blind static policies, quantifying
+// exactly the "major efficiency gains" the interface buys.
+
+#include <array>
+
+#include "isa/machine.hpp"
+#include "tech/dvfs.hpp"
+
+namespace arch21::core {
+
+/// Cost of executing a phase plan at some operating-point assignment.
+struct PhaseCost {
+  double time_s = 0;
+  double energy_j = 0;
+  double edp = 0;  ///< energy-delay product (J*s)
+};
+
+/// Governor output: hinted schedule vs static baselines.
+///
+/// The decisive comparison is constraint-based, not a global product
+/// metric: Performance-intent phases carry a deadline (their time at
+/// nominal V/f).  A policy is *admissible* when it honors that deadline.
+/// `static_efficient` is fast to compute and frugal but inadmissible --
+/// it slows the latency-critical phase; `static_nominal` is admissible
+/// but wastes energy on the other phases.  The hinted policy is
+/// admissible by construction and strictly cheaper, which is the "major
+/// efficiency gains" the intent interface buys.
+struct GovernorReport {
+  PhaseCost hinted;            ///< per-intent operating points
+  PhaseCost static_nominal;    ///< everything at nominal V/f
+  PhaseCost static_efficient;  ///< everything at the min-energy point
+  std::array<double, isa::kNumIntents> chosen_v{};  ///< per-intent supply
+
+  /// Time of the Performance-intent phase under each policy (seconds).
+  double perf_time_hinted = 0;
+  double perf_time_nominal = 0;    ///< the deadline
+  double perf_time_efficient = 0;
+
+  double energy_saving_vs_nominal() const {
+    return static_nominal.energy_j > 0
+               ? 1.0 - hinted.energy_j / static_nominal.energy_j
+               : 0;
+  }
+  double slowdown_vs_nominal() const {
+    return static_nominal.time_s > 0 ? hinted.time_s / static_nominal.time_s
+                                     : 1;
+  }
+  /// Does a policy's performance phase meet the nominal-speed deadline
+  /// (with 1% slack)?
+  bool hinted_admissible() const {
+    return perf_time_hinted <= perf_time_nominal * 1.01;
+  }
+  bool efficient_admissible() const {
+    return perf_time_efficient <= perf_time_nominal * 1.01;
+  }
+};
+
+/// Map each intent's instruction count to an operating point and price
+/// the plan:
+///   Default     -> balanced point (geometric middle of Vmin-energy..Vnom)
+///   Efficiency  -> the min-energy supply
+///   Performance -> nominal supply
+GovernorReport govern(const std::array<std::uint64_t, isa::kNumIntents>&
+                          instrs_by_intent,
+                      const tech::DvfsModel& dvfs);
+
+}  // namespace arch21::core

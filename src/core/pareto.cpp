@@ -1,0 +1,59 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+
+namespace arch21::core {
+
+bool ParetoFrontier::dominates(const Metrics& a, const Metrics& b) {
+  const bool ge = a.throughput_ops >= b.throughput_ops && a.power_w <= b.power_w;
+  const bool strict =
+      a.throughput_ops > b.throughput_ops || a.power_w < b.power_w;
+  return ge && strict;
+}
+
+bool ParetoFrontier::offer(EvaluatedPoint p) {
+  for (const auto& q : pts_) {
+    if (dominates(q.metrics, p.metrics)) return false;
+    // Exact metric ties add no information; keep the incumbent.
+    if (q.metrics.throughput_ops == p.metrics.throughput_ops &&
+        q.metrics.power_w == p.metrics.power_w) {
+      return false;
+    }
+  }
+  std::erase_if(pts_, [&](const EvaluatedPoint& q) {
+    return dominates(p.metrics, q.metrics);
+  });
+  pts_.push_back(std::move(p));
+  return true;
+}
+
+const EvaluatedPoint* ParetoFrontier::best_throughput() const {
+  const EvaluatedPoint* best = nullptr;
+  for (const auto& p : pts_) {
+    if (!best || p.metrics.throughput_ops > best->metrics.throughput_ops) {
+      best = &p;
+    }
+  }
+  return best;
+}
+
+const EvaluatedPoint* ParetoFrontier::best_efficiency() const {
+  const EvaluatedPoint* best = nullptr;
+  for (const auto& p : pts_) {
+    if (!best || p.metrics.ops_per_watt > best->metrics.ops_per_watt) {
+      best = &p;
+    }
+  }
+  return best;
+}
+
+std::vector<EvaluatedPoint> ParetoFrontier::sorted_by_power() const {
+  auto copy = pts_;
+  std::sort(copy.begin(), copy.end(),
+            [](const EvaluatedPoint& a, const EvaluatedPoint& b) {
+              return a.metrics.power_w < b.metrics.power_w;
+            });
+  return copy;
+}
+
+}  // namespace arch21::core

@@ -1,0 +1,42 @@
+#pragma once
+// Pareto frontier over (throughput up, power down).  The DSE engine keeps
+// every non-dominated design; reports print the frontier as the menu of
+// defensible machines for a platform class.
+
+#include <vector>
+
+#include "core/design.hpp"
+
+namespace arch21::core {
+
+/// A design point with its evaluated metrics.
+struct EvaluatedPoint {
+  DesignPoint design;
+  Metrics metrics;
+};
+
+/// Maintains the set of non-dominated (throughput, power) points.
+/// A point dominates another when it has >= throughput and <= power, with
+/// at least one strict.
+class ParetoFrontier {
+ public:
+  /// Offer a point; returns true if it joined the frontier.
+  bool offer(EvaluatedPoint p);
+
+  const std::vector<EvaluatedPoint>& points() const noexcept { return pts_; }
+  std::size_t size() const noexcept { return pts_.size(); }
+
+  /// Highest-throughput point (nullptr if empty).
+  const EvaluatedPoint* best_throughput() const;
+  /// Best ops/W point (nullptr if empty).
+  const EvaluatedPoint* best_efficiency() const;
+
+  /// Sorted copy by ascending power.
+  std::vector<EvaluatedPoint> sorted_by_power() const;
+
+ private:
+  static bool dominates(const Metrics& a, const Metrics& b);
+  std::vector<EvaluatedPoint> pts_;
+};
+
+}  // namespace arch21::core

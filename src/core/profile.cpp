@@ -1,0 +1,77 @@
+#include "core/profile.hpp"
+
+#include "energy/ladder.hpp"
+
+namespace arch21::core {
+
+const char* to_string(PlatformClass c) {
+  switch (c) {
+    case PlatformClass::Sensor: return "sensor";
+    case PlatformClass::Portable: return "portable";
+    case PlatformClass::Departmental: return "departmental";
+    case PlatformClass::Datacenter: return "datacenter";
+  }
+  return "?";
+}
+
+double power_cap_w(PlatformClass c) {
+  return energy::ladder()[static_cast<std::size_t>(c)].power_cap_w;
+}
+
+double target_ops(PlatformClass c) {
+  return energy::ladder()[static_cast<std::size_t>(c)].target_ops;
+}
+
+AppProfile profile_health_monitor() {
+  AppProfile p;
+  p.name = "health-monitor";
+  p.parallel_fraction = 0.85;
+  p.data_parallel = 0.9;
+  p.regularity = 0.95;   // fixed DSP pipeline
+  p.mem_bytes_per_op = 0.1;
+  p.working_set_bytes = 256e3;
+  p.comm_bytes_per_op = 0.01;
+  p.accel_coverage = 0.9;
+  return p;
+}
+
+AppProfile profile_mobile_vision() {
+  AppProfile p;
+  p.name = "mobile-vision";
+  p.parallel_fraction = 0.97;
+  p.data_parallel = 0.92;
+  p.regularity = 0.85;
+  p.mem_bytes_per_op = 0.4;
+  p.working_set_bytes = 32e6;
+  p.comm_bytes_per_op = 0.03;
+  p.accel_coverage = 0.8;
+  return p;
+}
+
+AppProfile profile_graph_analytics() {
+  AppProfile p;
+  p.name = "graph-analytics";
+  p.parallel_fraction = 0.99;
+  p.data_parallel = 0.3;    // pointer chasing
+  p.regularity = 0.25;
+  p.mem_bytes_per_op = 2.0; // memory bound
+  p.working_set_bytes = 8e9;
+  p.comm_bytes_per_op = 0.3;
+  p.accel_coverage = 0.2;
+  return p;
+}
+
+AppProfile profile_scientific_sim() {
+  AppProfile p;
+  p.name = "scientific-sim";
+  p.parallel_fraction = 0.995;
+  p.data_parallel = 0.95;
+  p.regularity = 0.95;
+  p.mem_bytes_per_op = 0.8;
+  p.working_set_bytes = 4e9;
+  p.comm_bytes_per_op = 0.1;
+  p.accel_coverage = 0.6;
+  return p;
+}
+
+}  // namespace arch21::core

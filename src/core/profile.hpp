@@ -1,0 +1,43 @@
+#pragma once
+// Application profiles and platform classes for cross-layer design-space
+// exploration.  A profile is the contract between the application layer
+// and the architecture: how much work, what mix, how parallel, how
+// regular, how memory-hungry.  The paper's "better interfaces for
+// high-level information" is exactly the argument that this information
+// should cross the layer boundary -- here it does, explicitly.
+
+#include <string>
+
+namespace arch21::core {
+
+/// Where the platform lives (the four rungs of the efficiency ladder).
+enum class PlatformClass { Sensor, Portable, Departmental, Datacenter };
+
+const char* to_string(PlatformClass c);
+
+/// Power cap for each platform class (the ladder's denominators).
+double power_cap_w(PlatformClass c);
+
+/// Throughput target for each platform class (the ladder's numerators).
+double target_ops(PlatformClass c);
+
+/// An application's architectural contract.
+struct AppProfile {
+  std::string name = "app";
+  double parallel_fraction = 0.95;   ///< Amdahl f
+  double data_parallel = 0.8;        ///< fraction expressible as SIMD/SIMT
+  double regularity = 0.8;           ///< control regularity
+  double mem_bytes_per_op = 0.5;     ///< DRAM-side traffic per operation
+  double working_set_bytes = 64e6;
+  double comm_bytes_per_op = 0.05;   ///< inter-core traffic per operation
+  double accel_coverage = 0.6;       ///< fraction of ops offloadable to a
+                                     ///< fixed-function accelerator
+};
+
+/// Built-in profiles for the paper's motivating applications (Table A.1).
+AppProfile profile_health_monitor();   ///< on-sensor biosignal filtering
+AppProfile profile_mobile_vision();    ///< AR / vision on a portable device
+AppProfile profile_graph_analytics();  ///< human-network analysis (irregular)
+AppProfile profile_scientific_sim();   ///< dense stencil simulation
+
+}  // namespace arch21::core

@@ -1,0 +1,74 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "energy/ladder.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace arch21::core {
+
+std::string render_report(const DseResult& result, const AppProfile& app,
+                          PlatformClass pc) {
+  std::ostringstream os;
+  const auto& rung = energy::ladder()[static_cast<std::size_t>(pc)];
+
+  os << "# Design-space exploration report\n\n"
+     << "* application: **" << app.name << "** (f = " << app.parallel_fraction
+     << ", " << app.mem_bytes_per_op << " B/op memory, working set "
+     << units::bytes_format(app.working_set_bytes, 1) << ")\n"
+     << "* platform class: **" << to_string(pc) << "** (cap "
+     << units::si_format(rung.power_cap_w, "W", 0) << ", ladder target "
+     << units::si_format(rung.required_ops_per_watt(), "op/W", 0) << ")\n"
+     << "* searched " << result.evaluated << " designs, " << result.feasible
+     << " feasible, frontier size " << result.frontier.size() << "\n\n";
+
+  const auto* best_t = result.frontier.best_throughput();
+  const auto* best_e = result.frontier.best_efficiency();
+  if (best_t == nullptr || best_e == nullptr) {
+    os << "**No feasible design.** Every candidate exceeded the power cap "
+          "or delivered no throughput; widen the space (lower Vdd, fewer "
+          "cores, more specialization).\n";
+    return os.str();
+  }
+
+  os << "## Recommendations\n\n"
+     << "* max throughput: `" << best_t->design.to_string() << "` -> "
+     << units::si_format(best_t->metrics.throughput_ops, "op/s", 2) << " at "
+     << units::si_format(best_t->metrics.power_w, "W", 2) << "\n"
+     << "* max efficiency: `" << best_e->design.to_string() << "` -> "
+     << units::si_format(best_e->metrics.ops_per_watt, "op/W", 2) << "\n";
+  const auto verdict = energy::assess(rung, best_e->metrics.ops_per_watt);
+  os << "* ladder verdict: "
+     << (verdict.met ? "**target met**"
+                     : "**" + TextTable::num(verdict.gap, 3) +
+                           "x short of the rung**")
+     << "\n\n";
+
+  os << "## Pareto frontier (by power)\n\n";
+  TextTable t({"design", "throughput", "power", "ops/W"});
+  for (const auto& p : result.frontier.sorted_by_power()) {
+    t.row({p.design.to_string(),
+           units::si_format(p.metrics.throughput_ops, "op/s", 2),
+           units::si_format(p.metrics.power_w, "W", 2),
+           units::si_format(p.metrics.ops_per_watt, "op/W", 2)});
+  }
+  os << "```\n" << t.to_string(0) << "```\n\n";
+
+  // Power breakdown of the efficiency pick: where do the joules go?
+  const auto& m = best_e->metrics;
+  os << "## Power breakdown of the efficiency pick\n\n"
+     << "| component | watts | share |\n|---|---|---|\n";
+  const double total = m.power_w > 0 ? m.power_w : 1;
+  auto row = [&](const char* name, double w) {
+    os << "| " << name << " | " << units::si_format(w, "W", 2) << " | "
+       << TextTable::num(w / total * 100, 3) << "% |\n";
+  };
+  row("compute", m.p_compute_w);
+  row("memory", m.p_memory_w);
+  row("interconnect", m.p_comm_w);
+  row("leakage", m.p_leak_w);
+  return os.str();
+}
+
+}  // namespace arch21::core

@@ -1,0 +1,16 @@
+#pragma once
+// Markdown report generation for DSE runs: the artifact a design team
+// would actually circulate.  Renders the search summary, the efficiency-
+// ladder verdict, the Pareto frontier, and the recommended designs.
+
+#include <string>
+
+#include "core/dse.hpp"
+
+namespace arch21::core {
+
+/// Render a DSE outcome as a self-contained markdown document.
+std::string render_report(const DseResult& result, const AppProfile& app,
+                          PlatformClass pc);
+
+}  // namespace arch21::core

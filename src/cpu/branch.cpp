@@ -1,0 +1,65 @@
+#include "cpu/branch.hpp"
+
+#include <stdexcept>
+
+namespace arch21::cpu {
+
+namespace {
+
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+void bump(std::uint8_t& counter, bool taken) {
+  if (taken) {
+    if (counter < 3) ++counter;
+  } else {
+    if (counter > 0) --counter;
+  }
+}
+
+}  // namespace
+
+bool BranchPredictor::observe(std::uint64_t pc, bool taken) {
+  const bool predicted = predict(pc);
+  ++stats_.predictions;
+  if (predicted != taken) ++stats_.mispredictions;
+  train(pc, taken);
+  return predicted == taken;
+}
+
+Bimodal::Bimodal(std::size_t entries) : table_(entries, 1) {
+  if (!is_pow2(entries)) {
+    throw std::invalid_argument("Bimodal: entries must be a power of two");
+  }
+}
+
+bool Bimodal::predict(std::uint64_t pc) {
+  return table_[pc & (table_.size() - 1)] >= 2;
+}
+
+void Bimodal::train(std::uint64_t pc, bool taken) {
+  bump(table_[pc & (table_.size() - 1)], taken);
+}
+
+Gshare::Gshare(std::size_t entries, unsigned history_bits)
+    : table_(entries, 1),
+      history_mask_((std::uint64_t{1} << history_bits) - 1) {
+  if (!is_pow2(entries)) {
+    throw std::invalid_argument("Gshare: entries must be a power of two");
+  }
+  if (history_bits == 0 || history_bits > 32) {
+    throw std::invalid_argument("Gshare: history bits in [1, 32]");
+  }
+}
+
+std::size_t Gshare::index(std::uint64_t pc) const {
+  return static_cast<std::size_t>((pc ^ history_) & (table_.size() - 1));
+}
+
+bool Gshare::predict(std::uint64_t pc) { return table_[index(pc)] >= 2; }
+
+void Gshare::train(std::uint64_t pc, bool taken) {
+  bump(table_[index(pc)], taken);
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+}
+
+}  // namespace arch21::cpu

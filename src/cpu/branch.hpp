@@ -1,0 +1,98 @@
+#pragma once
+// Branch predictors, driven by real SR1 branch streams.  Part of the
+// "architecture factor" story (E2/E24): the ~80x single-thread gain the
+// paper credits to architecture is pipelining + caches + *prediction*;
+// this module lets the microarchitecture bench measure the prediction
+// slice directly.
+//
+// Predictors:
+//   * StaticTaken     -- always predict taken (backward-branch heuristic
+//                        degenerates to this on loop-dominated code)
+//   * Bimodal         -- per-PC 2-bit saturating counters
+//   * Gshare          -- global history XOR PC indexing, 2-bit counters
+
+#include <cstdint>
+#include <vector>
+
+namespace arch21::cpu {
+
+/// Common accounting for all predictors.
+struct PredictorStats {
+  std::uint64_t predictions = 0;
+  std::uint64_t mispredictions = 0;
+
+  double accuracy() const noexcept {
+    return predictions ? 1.0 - static_cast<double>(mispredictions) /
+                                   static_cast<double>(predictions)
+                       : 0;
+  }
+  /// Mispredictions per 1000 predictions.
+  double mpk() const noexcept {
+    return predictions ? 1000.0 * static_cast<double>(mispredictions) /
+                             static_cast<double>(predictions)
+                       : 0;
+  }
+};
+
+/// Predictor interface: predict, then train with the outcome.
+class BranchPredictor {
+ public:
+  virtual ~BranchPredictor() = default;
+
+  /// Predict and immediately train on the actual outcome; returns whether
+  /// the prediction was correct.
+  bool observe(std::uint64_t pc, bool taken);
+
+  const PredictorStats& stats() const noexcept { return stats_; }
+  virtual const char* name() const = 0;
+
+ protected:
+  virtual bool predict(std::uint64_t pc) = 0;
+  virtual void train(std::uint64_t pc, bool taken) = 0;
+
+ private:
+  PredictorStats stats_;
+};
+
+/// Always-taken static prediction.
+class StaticTaken final : public BranchPredictor {
+ public:
+  const char* name() const override { return "static-taken"; }
+
+ protected:
+  bool predict(std::uint64_t) override { return true; }
+  void train(std::uint64_t, bool) override {}
+};
+
+/// Per-PC table of 2-bit saturating counters.
+class Bimodal final : public BranchPredictor {
+ public:
+  explicit Bimodal(std::size_t entries = 1024);
+  const char* name() const override { return "bimodal-2bit"; }
+
+ protected:
+  bool predict(std::uint64_t pc) override;
+  void train(std::uint64_t pc, bool taken) override;
+
+ private:
+  std::vector<std::uint8_t> table_;  ///< counters 0..3; >=2 predicts taken
+};
+
+/// Gshare: global-history register XOR PC.
+class Gshare final : public BranchPredictor {
+ public:
+  explicit Gshare(std::size_t entries = 4096, unsigned history_bits = 12);
+  const char* name() const override { return "gshare"; }
+
+ protected:
+  bool predict(std::uint64_t pc) override;
+  void train(std::uint64_t pc, bool taken) override;
+
+ private:
+  std::size_t index(std::uint64_t pc) const;
+  std::vector<std::uint8_t> table_;
+  std::uint64_t history_ = 0;
+  std::uint64_t history_mask_;
+};
+
+}  // namespace arch21::cpu

@@ -1,0 +1,21 @@
+#include "cpu/interval.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arch21::cpu {
+
+CpiBreakdown interval_cpi(const CoreParams& core, const WorkloadRates& w) {
+  if (core.issue_width < 1 || core.mlp < 1) {
+    throw std::invalid_argument("interval_cpi: bad core parameters");
+  }
+  CpiBreakdown b;
+  b.base = 1.0 / core.issue_width;
+  b.branch = w.branch_mpki / 1000.0 * core.branch_penalty;
+  b.l2 = w.l2_apki / 1000.0 * core.l2_latency;
+  b.llc = w.llc_apki / 1000.0 * core.llc_latency;
+  b.dram = w.dram_apki / 1000.0 * (core.dram_latency / core.mlp);
+  return b;
+}
+
+}  // namespace arch21::cpu

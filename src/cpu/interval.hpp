@@ -1,0 +1,56 @@
+#pragma once
+// Interval-analysis core performance model (first-order Eyerman-style):
+// a balanced out-of-order core sustains its issue width except during
+// miss events, each of which inserts a penalty interval:
+//
+//   CPI = 1/width
+//       + mpki_branch/1000 x branch_penalty
+//       + mpki_l2/1000     x l2_penalty        (L1 misses hitting L2)
+//       + mpki_llc/1000    x llc_penalty
+//       + mpki_dram/1000   x (dram_penalty / mlp)
+//
+// DRAM penalties overlap under memory-level parallelism (mlp >= 1).
+// Fed from real SR1 runs: branch MPKI from cpu/branch.hpp, memory MPKIs
+// from the cache hierarchy driven by the machine's trace sink.  This is
+// the quantitative skeleton behind E2's "architecture factor": each
+// mechanism (prediction, each cache level, issue width) shrinks one penalty
+// term.
+
+#include <cstdint>
+
+namespace arch21::cpu {
+
+/// Core configuration for the interval model.
+struct CoreParams {
+  double issue_width = 4;
+  double branch_penalty = 14;  ///< pipeline refill, cycles
+  double l2_latency = 12;      ///< L1-miss/L2-hit exposure
+  double llc_latency = 38;
+  double dram_latency = 200;
+  double mlp = 2.0;            ///< memory-level parallelism on DRAM misses
+};
+
+/// Event rates per kilo-instruction, measured from a real run.
+struct WorkloadRates {
+  double branch_mpki = 0;  ///< branch MISSES (mispredictions) per k-instr
+  double l2_apki = 0;      ///< L1 misses serviced by L2, per k-instr
+  double llc_apki = 0;     ///< serviced by LLC
+  double dram_apki = 0;    ///< serviced by DRAM
+};
+
+/// CPI decomposition.
+struct CpiBreakdown {
+  double base = 0;
+  double branch = 0;
+  double l2 = 0;
+  double llc = 0;
+  double dram = 0;
+
+  double total() const noexcept { return base + branch + l2 + llc + dram; }
+  double ipc() const noexcept { return 1.0 / total(); }
+};
+
+/// Evaluate the interval model.
+CpiBreakdown interval_cpi(const CoreParams& core, const WorkloadRates& w);
+
+}  // namespace arch21::cpu

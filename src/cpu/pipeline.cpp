@@ -1,0 +1,73 @@
+#include "cpu/pipeline.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "isa/assembler.hpp"
+
+namespace arch21::cpu {
+
+ProfiledRun run_profiled(const std::string& source,
+                         const std::vector<std::uint64_t>& inputs,
+                         BranchPredictor& predictor, const CoreParams& core,
+                         const MemoryGeometry& geometry,
+                         std::uint64_t max_instructions) {
+  auto asmres = isa::assemble(source);
+  if (!asmres.ok()) {
+    throw std::invalid_argument("run_profiled: assembly failed: " +
+                                asmres.errors.front());
+  }
+  isa::Machine m(asmres.program);
+  for (auto v : inputs) m.push_input(v);
+
+  const energy::Catalogue cat;
+  mem::Hierarchy hierarchy(geometry.l1, geometry.l2, geometry.llc, cat);
+  m.set_trace_sink([&](isa::TraceRecord t) {
+    hierarchy.access(t.addr, t.write);
+  });
+  m.set_branch_sink([&](isa::BranchRecord b) {
+    predictor.observe(b.pc, b.taken);
+  });
+
+  ProfiledRun out;
+  out.stop = m.run(max_instructions);
+  out.machine = m.stats();
+  out.branch = predictor.stats();
+  out.memory = hierarchy.stats();
+
+  const double ki =
+      static_cast<double>(out.machine.instructions) / 1000.0;
+  if (ki > 0) {
+    out.rates.branch_mpki =
+        static_cast<double>(out.branch.mispredictions) / ki;
+    out.rates.l2_apki = static_cast<double>(out.memory.serviced_at[1]) / ki;
+    out.rates.llc_apki = static_cast<double>(out.memory.serviced_at[2]) / ki;
+    out.rates.dram_apki = static_cast<double>(out.memory.serviced_at[3]) / ki;
+  }
+  out.cpi = interval_cpi(core, out.rates);
+  return out;
+}
+
+std::string threshold_count_program(std::uint64_t n,
+                                    std::uint64_t threshold) {
+  std::ostringstream os;
+  os << "    li   r1, 0          # count above threshold\n"
+     << "    li   r2, 0          # i\n"
+     << "    li   r3, " << n << "\n"
+     << "    li   r4, " << threshold << "\n"
+     << "    li   r6, 0x2000     # output array base\n"
+     << "loop:\n"
+     << "    in   r5\n"
+     << "    st   r5, r6, 0      # record the sample\n"
+     << "    addi r6, r6, 8\n"
+     << "    blt  r5, r4, skip   # data-dependent branch\n"
+     << "    addi r1, r1, 1\n"
+     << "skip:\n"
+     << "    addi r2, r2, 1\n"
+     << "    blt  r2, r3, loop\n"
+     << "    out  r1\n"
+     << "    halt\n";
+  return os.str();
+}
+
+}  // namespace arch21::cpu

@@ -1,0 +1,51 @@
+#pragma once
+// End-to-end microarchitectural profiling: run an SR1 program with a
+// branch predictor on its branch stream and a cache hierarchy on its
+// memory stream, then evaluate the interval model.  One call takes a
+// *program* to a *CPI breakdown* -- software through all the
+// "invisible" 20th-century machinery the paper's section 1 credits for
+// the 80x.
+
+#include <memory>
+#include <string>
+
+#include "cpu/branch.hpp"
+#include "cpu/interval.hpp"
+#include "energy/catalogue.hpp"
+#include "isa/machine.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace arch21::cpu {
+
+/// Result of a profiled run.
+struct ProfiledRun {
+  isa::StopReason stop = isa::StopReason::Halted;
+  isa::MachineStats machine;
+  PredictorStats branch;
+  mem::HierarchyStats memory;
+  WorkloadRates rates;
+  CpiBreakdown cpi;
+};
+
+/// Cache geometry for the profiled run.
+struct MemoryGeometry {
+  mem::CacheConfig l1{.size_bytes = 32768, .line_bytes = 64, .ways = 8};
+  mem::CacheConfig l2{.size_bytes = 262144, .line_bytes = 64, .ways = 8};
+  mem::CacheConfig llc{.size_bytes = 1 << 22, .line_bytes = 64, .ways = 16};
+};
+
+/// Assemble-and-run with full instrumentation.  Throws
+/// std::invalid_argument on assembly errors.
+ProfiledRun run_profiled(const std::string& source,
+                         const std::vector<std::uint64_t>& inputs,
+                         BranchPredictor& predictor,
+                         const CoreParams& core = {},
+                         const MemoryGeometry& geometry = {},
+                         std::uint64_t max_instructions = 10'000'000);
+
+/// Canned workload with data-dependent branches: counts inputs above a
+/// threshold while summing them -- the branch stream is as random as the
+/// data, separating gshare/bimodal from static prediction.
+std::string threshold_count_program(std::uint64_t n, std::uint64_t threshold);
+
+}  // namespace arch21::cpu

@@ -1,0 +1,46 @@
+#include "des/resource.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace arch21::des {
+
+Resource::Resource(Simulator& sim, std::uint32_t servers)
+    : sim_(sim), servers_(servers) {
+  if (servers == 0) {
+    throw std::invalid_argument("Resource: need at least one server");
+  }
+}
+
+void Resource::request(Time service_time,
+                       std::function<void(Time, Time)> on_done) {
+  Job job{sim_.now(), service_time, std::move(on_done)};
+  if (busy_ < servers_) {
+    start(std::move(job));
+  } else {
+    waiting_.push_back(std::move(job));
+  }
+}
+
+void Resource::start(Job job) {
+  ++busy_;
+  const Time wait = sim_.now() - job.arrival;
+  const Time service = job.service;
+  busy_time_ += service;
+  // Capture the job by value in the completion event.
+  sim_.schedule(service, [this, wait, service,
+                          done = std::move(job.on_done)]() mutable {
+    --busy_;
+    ++completed_;
+    wait_stats_.add(wait);
+    sojourn_stats_.add(wait + service);
+    if (done) done(wait, wait + service);
+    if (!waiting_.empty() && busy_ < servers_) {
+      Job next = std::move(waiting_.front());
+      waiting_.pop_front();
+      start(std::move(next));
+    }
+  });
+}
+
+}  // namespace arch21::des

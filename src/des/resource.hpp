@@ -1,0 +1,61 @@
+#pragma once
+// Queued resources on top of the DES kernel: a k-server station with a
+// FIFO queue (the building block of M/M/k models and of the cloud
+// module's leaf servers), plus utilization/wait accounting.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "des/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace arch21::des {
+
+/// A service station with `servers` identical servers and an unbounded
+/// FIFO queue.  Users call `request(service_time, on_done)`; the resource
+/// queues the job if all servers are busy, serves it for `service_time`
+/// simulated seconds, then invokes `on_done`.
+class Resource {
+ public:
+  Resource(Simulator& sim, std::uint32_t servers);
+
+  /// Enqueue a job requiring `service_time` seconds of one server.
+  /// `on_done(wait, total)` fires at completion with the queueing delay
+  /// and the total sojourn time.
+  void request(Time service_time,
+               std::function<void(Time wait, Time total)> on_done);
+
+  std::uint32_t servers() const noexcept { return servers_; }
+  std::uint32_t busy() const noexcept { return busy_; }
+  std::size_t queue_length() const noexcept { return waiting_.size(); }
+
+  /// Mean queueing delay across completed jobs.
+  const OnlineStats& wait_stats() const noexcept { return wait_stats_; }
+  /// Mean sojourn (wait + service) across completed jobs.
+  const OnlineStats& sojourn_stats() const noexcept { return sojourn_stats_; }
+  /// Completed job count.
+  std::uint64_t completed() const noexcept { return completed_; }
+  /// Total busy server-seconds (for utilization = busy_time / (T*servers)).
+  double busy_time() const noexcept { return busy_time_; }
+
+ private:
+  struct Job {
+    Time arrival;
+    Time service;
+    std::function<void(Time, Time)> on_done;
+  };
+
+  void start(Job job);
+
+  Simulator& sim_;
+  std::uint32_t servers_;
+  std::uint32_t busy_ = 0;
+  std::deque<Job> waiting_;
+  OnlineStats wait_stats_;
+  OnlineStats sojourn_stats_;
+  std::uint64_t completed_ = 0;
+  double busy_time_ = 0;
+};
+
+}  // namespace arch21::des

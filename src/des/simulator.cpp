@@ -1,0 +1,38 @@
+#include "des/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace arch21::des {
+
+void Simulator::schedule_at(Time t, Action action) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  queue_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+std::uint64_t Simulator::run(Time until) {
+  std::uint64_t ran = 0;
+  while (step(until)) ++ran;
+  return ran;
+}
+
+bool Simulator::step(Time until) {
+  if (queue_.empty()) return false;
+  if (queue_.top().t > until) {
+    now_ = until;
+    return false;
+  }
+  // priority_queue::top() is const; move out via const_cast on the action
+  // only after copying the header fields.  This is safe because we pop
+  // immediately and never observe the moved-from element.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+}  // namespace arch21::des

@@ -1,0 +1,74 @@
+#pragma once
+// Deterministic discrete-event-simulation (DES) kernel.  The cloud
+// fork-join simulator, the task-DAG scheduler, and the intermittent-
+// computing sensor simulator all run on this.
+//
+// Determinism contract: events with equal timestamps fire in scheduling
+// order (a monotone sequence number breaks ties), so a simulation driven
+// by a seeded Rng reproduces exactly, which the test suite relies on.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace arch21::des {
+
+/// Simulation time, in seconds.
+using Time = double;
+
+/// The event-driven simulator core.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `action` to run `delay` seconds from now (delay >= 0).
+  void schedule(Time delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Schedule `action` at absolute time `t` (must be >= now()).
+  void schedule_at(Time t, Action action);
+
+  /// Run until the event queue drains or `until` is reached (whichever is
+  /// first).  Returns the number of events executed.
+  std::uint64_t run(Time until = kForever);
+
+  /// Execute exactly one event if any is pending before `until`.
+  /// Returns true if an event ran.
+  bool step(Time until = kForever);
+
+  /// True if no events are pending.
+  bool idle() const noexcept { return queue_.empty(); }
+
+  /// Number of pending events.
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Total events executed since construction.
+  std::uint64_t executed() const noexcept { return executed_; }
+
+  static constexpr Time kForever = 1e300;
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace arch21::des

@@ -1,0 +1,38 @@
+#include "energy/budget.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arch21::energy {
+
+PowerBudget::PowerBudget(std::string name, double cap_w)
+    : name_(std::move(name)), cap_w_(cap_w) {
+  if (cap_w <= 0) throw std::invalid_argument("PowerBudget: cap must be > 0");
+}
+
+bool PowerBudget::add(std::string_view component, double watts) {
+  if (watts < 0) throw std::invalid_argument("PowerBudget: negative draw");
+  parts_.push_back({std::string(component), watts});
+  total_w_ += watts;
+  return fits();
+}
+
+bool PowerBudget::remove(std::string_view component) {
+  const auto it = std::find_if(parts_.begin(), parts_.end(),
+                               [&](const Component& c) { return c.name == component; });
+  if (it == parts_.end()) return false;
+  total_w_ -= it->watts;
+  parts_.erase(it);
+  return true;
+}
+
+const PowerBudget::Component* PowerBudget::dominant() const noexcept {
+  if (parts_.empty()) return nullptr;
+  const auto it = std::max_element(parts_.begin(), parts_.end(),
+                                   [](const Component& a, const Component& b) {
+                                     return a.watts < b.watts;
+                                   });
+  return &*it;
+}
+
+}  // namespace arch21::energy

@@ -1,0 +1,51 @@
+#pragma once
+// Hierarchical power budgeting.  "Energy first" design treats the power
+// cap as the primary constraint; this class tracks named components
+// against a cap and supports nested budgets (a datacenter budget contains
+// rack budgets contain server budgets), mirroring how the paper frames
+// power as the cross-scale constraint from sensors to warehouses.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arch21::energy {
+
+/// A named power budget with named component draws.
+class PowerBudget {
+ public:
+  PowerBudget(std::string name, double cap_w);
+
+  const std::string& name() const noexcept { return name_; }
+  double cap() const noexcept { return cap_w_; }
+
+  /// Register a component draw.  Returns false (and records it anyway) if
+  /// this pushes the total over the cap; callers decide how to react.
+  bool add(std::string_view component, double watts);
+
+  /// Remove a component by name; returns true if found.
+  bool remove(std::string_view component);
+
+  double total() const noexcept { return total_w_; }
+  double headroom() const noexcept { return cap_w_ - total_w_; }
+  bool fits() const noexcept { return total_w_ <= cap_w_; }
+  /// total / cap.
+  double utilization() const noexcept { return cap_w_ > 0 ? total_w_ / cap_w_ : 0; }
+
+  struct Component {
+    std::string name;
+    double watts;
+  };
+  const std::vector<Component>& components() const noexcept { return parts_; }
+
+  /// Largest single draw (nullptr if empty).
+  const Component* dominant() const noexcept;
+
+ private:
+  std::string name_;
+  double cap_w_;
+  double total_w_ = 0;
+  std::vector<Component> parts_;
+};
+
+}  // namespace arch21::energy

@@ -1,0 +1,109 @@
+#include "energy/catalogue.hpp"
+
+#include "util/units.hpp"
+
+namespace arch21::energy {
+
+using units::from_pJ;
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::RegisterFile: return "regfile";
+    case Level::L1: return "L1";
+    case Level::L2: return "L2";
+    case Level::LLC: return "LLC";
+    case Level::Dram: return "DRAM";
+  }
+  return "?";
+}
+
+const char* to_string(Distance d) {
+  switch (d) {
+    case Distance::OnChip1mm: return "on-chip 1mm";
+    case Distance::AcrossChip: return "across chip";
+    case Distance::ToDram: return "to DRAM";
+    case Distance::ToStackedDram: return "to 3D DRAM";
+    case Distance::Board: return "board";
+    case Distance::Rack: return "rack";
+    case Distance::Datacenter: return "datacenter";
+    case Distance::SensorRadio: return "sensor radio";
+  }
+  return "?";
+}
+
+Catalogue::Catalogue() {
+  // 45 nm reference values (pJ per 64-bit item unless noted).
+  node_name_ = "45nm";
+  int_op_ = from_pJ(1.0);
+  fp_fma_ = from_pJ(50.0);
+  int8_mac_ = from_pJ(0.25);
+  regfile_ = from_pJ(2.0);
+  l1_ = from_pJ(25.0);       // 32 KiB SRAM read
+  l2_ = from_pJ(100.0);      // 256 KiB SRAM read
+  llc_ = from_pJ(500.0);     // multi-MiB shared cache read + interconnect
+  dram_ = from_pJ(2000.0);   // activate+read+I/O for a 64-bit word
+  wire_mm_bit_ = from_pJ(0.20);  // per bit per mm of global wire
+  offchip_bit_ = from_pJ(5.0);
+  tsv_bit_ = from_pJ(0.50);
+  rack_bit_ = from_pJ(50.0);
+  dc_bit_ = from_pJ(300.0);
+  radio_bit_ = 50e-9;  // 50 nJ/bit, BLE-class including protocol overhead
+}
+
+Catalogue::Catalogue(const tech::TechNode& node) : Catalogue() {
+  const auto ref = tech::find_node("45nm");
+  const double logic_scale =
+      node.switch_energy_rel() / ref->switch_energy_rel();
+  // I/O-dominated paths (DRAM interface, SERDES, network) improve at
+  // roughly half the logic rate: model as sqrt of the logic scale.
+  const double io_scale =
+      logic_scale < 1 ? std::sqrt(logic_scale)
+                      : logic_scale;  // never cheaper than logic when scaling up
+  scale_from_reference(logic_scale, io_scale);
+  node_name_ = node.name;
+}
+
+void Catalogue::scale_from_reference(double logic_scale, double io_scale) {
+  int_op_ *= logic_scale;
+  fp_fma_ *= logic_scale;
+  int8_mac_ *= logic_scale;
+  regfile_ *= logic_scale;
+  l1_ *= logic_scale;
+  l2_ *= logic_scale;
+  llc_ *= logic_scale;
+  wire_mm_bit_ *= logic_scale;
+  dram_ *= io_scale;
+  offchip_bit_ *= io_scale;
+  tsv_bit_ *= io_scale;
+  rack_bit_ *= io_scale;
+  dc_bit_ *= io_scale;
+  // radio_bit_ intentionally unscaled: radio energy is set by physics of
+  // the channel and the protocol, not by CMOS switching energy.
+}
+
+double Catalogue::access(Level level) const noexcept {
+  switch (level) {
+    case Level::RegisterFile: return regfile_;
+    case Level::L1: return l1_;
+    case Level::L2: return l2_;
+    case Level::LLC: return llc_;
+    case Level::Dram: return dram_;
+  }
+  return 0;
+}
+
+double Catalogue::move_per_bit(Distance d) const noexcept {
+  switch (d) {
+    case Distance::OnChip1mm: return wire_mm_bit_;
+    case Distance::AcrossChip: return wire_mm_bit_ * 15.0;  // ~15 mm die
+    case Distance::ToDram: return dram_ / 64.0;
+    case Distance::ToStackedDram: return tsv_bit_ + dram_ / 64.0 * 0.4;
+    case Distance::Board: return offchip_bit_;
+    case Distance::Rack: return rack_bit_;
+    case Distance::Datacenter: return dc_bit_;
+    case Distance::SensorRadio: return radio_bit_;
+  }
+  return 0;
+}
+
+}  // namespace arch21::energy

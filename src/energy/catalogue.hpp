@@ -1,0 +1,105 @@
+#pragma once
+// Per-operation energy catalogue.  Reference values are 45 nm-era numbers
+// from the public literature (Keckler's "Life after Dennard" keynote --
+// cited by the white paper -- and Horowitz's ISSCC energy tables), and
+// scale to other nodes with the switched-energy factor C*V^2 from the
+// node table.  Every other module prices its work through this catalogue
+// so that cross-layer comparisons (compute vs fetch vs communicate) are
+// made in one consistent currency: joules.
+//
+// Paper hooks: "fetching the operands for a floating-point multiply-add
+// can consume one to two orders of magnitude more energy than performing
+// the operation"; "energy is largely spent moving data".
+
+#include <string>
+
+#include "tech/node.hpp"
+
+namespace arch21::energy {
+
+/// Levels of the operand-supply hierarchy (see MemoryEnergy below).
+enum class Level {
+  RegisterFile,
+  L1,
+  L2,
+  LLC,
+  Dram,
+};
+
+/// Communication distance classes for the data-movement ladder.
+enum class Distance {
+  OnChip1mm,     ///< short wire between adjacent units
+  AcrossChip,    ///< corner-to-corner global wire (~10-20 mm)
+  ToDram,        ///< off-package to commodity DRAM
+  ToStackedDram, ///< 3D/TSV-stacked DRAM (see noc/stacking)
+  Board,         ///< chip-to-chip over PCB SERDES
+  Rack,          ///< across a rack (cable + switch)
+  Datacenter,    ///< across the facility network
+  SensorRadio,   ///< low-power wireless uplink (BLE-class)
+};
+
+const char* to_string(Level level);
+const char* to_string(Distance d);
+
+/// Energy catalogue for one technology node.
+///
+/// All accessors return joules for a 64-bit quantity unless stated
+/// otherwise.  The catalogue is immutable after construction.
+class Catalogue {
+ public:
+  /// Catalogue at the 45 nm reference node.
+  Catalogue();
+
+  /// Catalogue scaled to the given node.  Logic and SRAM energies scale
+  /// with the node's switched-energy factor; DRAM and link energies scale
+  /// more slowly (half the logic rate, reflecting I/O-dominated costs);
+  /// radio energy does not scale with CMOS at all.
+  explicit Catalogue(const tech::TechNode& node);
+
+  const std::string& node_name() const noexcept { return node_name_; }
+
+  // --- computation ---
+  /// 64-bit integer ALU operation.
+  double int_op() const noexcept { return int_op_; }
+  /// 64-bit floating-point fused multiply-add.
+  double fp_fma() const noexcept { return fp_fma_; }
+  /// 8-bit integer multiply-accumulate (approximate/quantized compute).
+  double int8_mac() const noexcept { return int8_mac_; }
+
+  // --- operand supply (64-bit read) ---
+  double access(Level level) const noexcept;
+
+  // --- data movement (per bit) ---
+  double move_per_bit(Distance d) const noexcept;
+  /// Energy to move `bits` over distance class `d`.
+  double move(Distance d, double bits) const noexcept {
+    return move_per_bit(d) * bits;
+  }
+
+  /// Ratio of operand-fetch energy (two operands from `level`) to the FMA
+  /// compute energy -- the paper's 10-100x claim evaluated directly.
+  double fetch_to_compute_ratio(Level level) const noexcept {
+    return 2.0 * access(level) / fp_fma();
+  }
+
+ private:
+  void scale_from_reference(double logic_scale, double io_scale);
+
+  std::string node_name_;
+  double int_op_;
+  double fp_fma_;
+  double int8_mac_;
+  double regfile_;
+  double l1_;
+  double l2_;
+  double llc_;
+  double dram_;
+  double wire_mm_bit_;     ///< on-chip wire, J/bit/mm
+  double offchip_bit_;     ///< PCB SERDES, J/bit
+  double tsv_bit_;         ///< 3D TSV, J/bit
+  double rack_bit_;        ///< intra-rack network, J/bit
+  double dc_bit_;          ///< datacenter network, J/bit
+  double radio_bit_;       ///< sensor-class radio, J/bit
+};
+
+}  // namespace arch21::energy

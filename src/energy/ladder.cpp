@@ -1,0 +1,29 @@
+#include "energy/ladder.hpp"
+
+#include "util/units.hpp"
+
+namespace arch21::energy {
+
+const std::array<LadderRung, 4>& ladder() {
+  using namespace units;
+  static const std::array<LadderRung, 4> rungs = {{
+      {"sensor", giga, 10.0 * milli},
+      {"portable", tera, 10.0},
+      {"departmental", peta, 10.0 * kilo},
+      {"datacenter", exa, 10.0 * mega},
+  }};
+  return rungs;
+}
+
+LadderAssessment assess(const LadderRung& rung, double achieved_ops_per_watt) {
+  LadderAssessment a;
+  a.rung = &rung;
+  a.achieved_ops_per_watt = achieved_ops_per_watt;
+  a.gap = achieved_ops_per_watt > 0
+              ? rung.required_ops_per_watt() / achieved_ops_per_watt
+              : 1e300;
+  a.met = a.gap <= 1.0;
+  return a;
+}
+
+}  // namespace arch21::energy

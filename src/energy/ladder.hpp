@@ -1,0 +1,49 @@
+#pragma once
+// The white paper's efficiency ladder (section 2.2, "Energy Across the
+// Layers"): by decade's end,
+//     exa-op  datacenter  <= 10 MW
+//     peta-op dept server <= 10 kW
+//     tera-op portable    <= 10 W
+//     giga-op sensor      <= 10 mW
+// All four rungs demand the same energy efficiency: 1e11 ops/s/W =
+// 100 Gops/W = 10 pJ/op.  This header makes the ladder an executable
+// target: platforms report achieved ops/W, and the gap to the rung is the
+// "two-to-three orders of magnitude" the paper calls for.
+
+#include <array>
+#include <string>
+
+namespace arch21::energy {
+
+/// One rung of the ladder.
+struct LadderRung {
+  const char* platform;   ///< "sensor", "portable", "departmental", "datacenter"
+  double target_ops;      ///< required throughput, ops/s
+  double power_cap_w;     ///< power ceiling, W
+
+  /// Required efficiency, ops/s per watt (identical for all rungs: 1e11).
+  double required_ops_per_watt() const noexcept {
+    return target_ops / power_cap_w;
+  }
+};
+
+/// The four rungs, smallest platform first.
+const std::array<LadderRung, 4>& ladder();
+
+/// Assessment of a concrete platform against a rung.
+struct LadderAssessment {
+  const LadderRung* rung;
+  double achieved_ops_per_watt;
+  /// required / achieved: > 1 means short of the target by that factor.
+  double gap;
+  bool met;
+};
+
+LadderAssessment assess(const LadderRung& rung, double achieved_ops_per_watt);
+
+/// Baseline ~2012 general-purpose efficiency the paper quotes for mobile:
+/// "orders of magnitude improvement in operations/watt (from today's
+/// ~10 giga-operations/watt)".
+inline constexpr double kBaselineOpsPerWatt2012 = 1e10;
+
+}  // namespace arch21::energy

@@ -1,0 +1,267 @@
+#include "isa/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <optional>
+#include <unordered_map>
+
+namespace arch21::isa {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::optional<Reg> parse_reg(std::string_view s) {
+  if (s.size() < 2 || (s[0] != 'r' && s[0] != 'R')) return std::nullopt;
+  int v = 0;
+  const auto* begin = s.data() + 1;
+  const auto* end = s.data() + s.size();
+  const auto [p, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || p != end || v < 0 || v >= kNumRegs) {
+    return std::nullopt;
+  }
+  return static_cast<Reg>(v);
+}
+
+std::optional<std::int64_t> parse_imm(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    s.remove_prefix(1);
+  }
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    s.remove_prefix(2);
+  }
+  std::uint64_t v = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [p, ec] = std::from_chars(begin, end, v, base);
+  if (ec != std::errc() || p != end) return std::nullopt;
+  auto sv = static_cast<std::int64_t>(v);
+  return neg ? -sv : sv;
+}
+
+struct OpSpec {
+  Op op;
+  enum class Form { Rrr, Rri, Ri64, Mem, Branch, Jump, JalForm, OneReg,
+                    ImmOnly, NoArg } form;
+};
+
+const std::unordered_map<std::string, OpSpec>& op_table() {
+  using F = OpSpec::Form;
+  static const std::unordered_map<std::string, OpSpec> t = {
+      {"add", {Op::Add, F::Rrr}},   {"sub", {Op::Sub, F::Rrr}},
+      {"mul", {Op::Mul, F::Rrr}},   {"div", {Op::Div, F::Rrr}},
+      {"and", {Op::And, F::Rrr}},   {"or", {Op::Or, F::Rrr}},
+      {"xor", {Op::Xor, F::Rrr}},   {"shl", {Op::Shl, F::Rrr}},
+      {"shr", {Op::Shr, F::Rrr}},   {"slt", {Op::Slt, F::Rrr}},
+      {"addi", {Op::Addi, F::Rri}}, {"andi", {Op::Andi, F::Rri}},
+      {"ori", {Op::Ori, F::Rri}},   {"xori", {Op::Xori, F::Rri}},
+      {"shli", {Op::Shli, F::Rri}}, {"shri", {Op::Shri, F::Rri}},
+      {"slti", {Op::Slti, F::Rri}}, {"li", {Op::Li, F::Ri64}},
+      {"ld", {Op::Ld, F::Mem}},     {"st", {Op::St, F::Mem}},
+      {"ldb", {Op::Ldb, F::Mem}},   {"stb", {Op::Stb, F::Mem}},
+      {"beq", {Op::Beq, F::Branch}}, {"bne", {Op::Bne, F::Branch}},
+      {"blt", {Op::Blt, F::Branch}}, {"bge", {Op::Bge, F::Branch}},
+      {"jmp", {Op::Jmp, F::Jump}},  {"jal", {Op::Jal, F::JalForm}},
+      {"jr", {Op::Jr, F::OneReg}},  {"in", {Op::In, F::OneReg}},
+      {"out", {Op::Out, F::OneReg}}, {"halt", {Op::Halt, F::NoArg}},
+      {"hint", {Op::Hint, F::ImmOnly}},
+  };
+  return t;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+AssemblyResult assemble(std::string_view source) {
+  AssemblyResult res;
+  struct Pending {
+    std::size_t instr_index;
+    std::string label;
+    int line;
+  };
+  std::unordered_map<std::string, std::uint64_t> labels;
+  std::vector<Pending> fixups;
+
+  int line_no = 0;
+  std::size_t start = 0;
+  auto error = [&](int line, const std::string& msg) {
+    res.errors.push_back("line " + std::to_string(line) + ": " + msg);
+  };
+
+  while (start <= source.size()) {
+    const std::size_t eol = source.find('\n', start);
+    const std::string_view line =
+        source.substr(start, eol == std::string_view::npos ? std::string_view::npos
+                                                           : eol - start);
+    start = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+    ++line_no;
+
+    auto toks = tokenize(line);
+    if (toks.empty()) continue;
+
+    // Label definitions (possibly followed by an instruction).
+    while (!toks.empty() && toks.front().back() == ':') {
+      std::string name = toks.front().substr(0, toks.front().size() - 1);
+      if (labels.count(name)) {
+        error(line_no, "duplicate label '" + name + "'");
+      }
+      labels[name] = res.program.code.size();
+      toks.erase(toks.begin());
+    }
+    if (toks.empty()) continue;
+
+    const std::string mnemonic = lower(toks[0]);
+
+    if (mnemonic == ".data") {
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        const auto v = parse_imm(toks[i]);
+        if (!v) {
+          error(line_no, "bad .data value '" + toks[i] + "'");
+          continue;
+        }
+        const auto u = static_cast<std::uint64_t>(*v);
+        for (int b = 0; b < 8; ++b) {
+          res.program.data.push_back(
+              static_cast<std::uint8_t>((u >> (8 * b)) & 0xff));
+        }
+      }
+      continue;
+    }
+
+    const auto it = op_table().find(mnemonic);
+    if (it == op_table().end()) {
+      error(line_no, "unknown mnemonic '" + mnemonic + "'");
+      continue;
+    }
+    const OpSpec spec = it->second;
+    Instruction ins;
+    ins.op = spec.op;
+
+    auto need = [&](std::size_t n) {
+      if (toks.size() != n + 1) {
+        error(line_no, "expected " + std::to_string(n) + " operands for '" +
+                           mnemonic + "'");
+        return false;
+      }
+      return true;
+    };
+    auto reg_at = [&](std::size_t i, Reg& out) {
+      const auto r = parse_reg(toks[i]);
+      if (!r) {
+        error(line_no, "bad register '" + toks[i] + "'");
+        return false;
+      }
+      out = *r;
+      return true;
+    };
+    auto imm_at = [&](std::size_t i, std::int64_t& out) {
+      const auto v = parse_imm(toks[i]);
+      if (!v) {
+        error(line_no, "bad immediate '" + toks[i] + "'");
+        return false;
+      }
+      out = *v;
+      return true;
+    };
+    auto label_at = [&](std::size_t i) {
+      fixups.push_back({res.program.code.size(), toks[i], line_no});
+    };
+
+    using F = OpSpec::Form;
+    bool ok = true;
+    switch (spec.form) {
+      case F::Rrr:
+        ok = need(3) && reg_at(1, ins.rd) && reg_at(2, ins.ra) &&
+             reg_at(3, ins.rb);
+        break;
+      case F::Rri:
+        ok = need(3) && reg_at(1, ins.rd) && reg_at(2, ins.ra) &&
+             imm_at(3, ins.imm);
+        break;
+      case F::Ri64:
+        ok = need(2) && reg_at(1, ins.rd) && imm_at(2, ins.imm);
+        break;
+      case F::Mem:
+        ok = need(3) && reg_at(1, ins.rd) && reg_at(2, ins.ra) &&
+             imm_at(3, ins.imm);
+        break;
+      case F::Branch:
+        ok = need(3) && reg_at(1, ins.ra) && reg_at(2, ins.rb);
+        if (ok) label_at(3);
+        break;
+      case F::Jump:
+        ok = need(1);
+        if (ok) label_at(1);
+        break;
+      case F::JalForm:
+        ok = need(2) && reg_at(1, ins.rd);
+        if (ok) label_at(2);
+        break;
+      case F::OneReg:
+        ok = need(1);
+        if (ok) {
+          Reg r = 0;
+          ok = reg_at(1, r);
+          // IN writes rd; OUT/JR read ra.
+          if (spec.op == Op::In) {
+            ins.rd = r;
+          } else {
+            ins.ra = r;
+          }
+        }
+        break;
+      case F::ImmOnly:
+        ok = need(1) && imm_at(1, ins.imm);
+        break;
+      case F::NoArg:
+        ok = need(0);
+        break;
+    }
+    if (ok) res.program.code.push_back(ins);
+  }
+
+  for (const auto& fx : fixups) {
+    const auto it = labels.find(fx.label);
+    if (it == labels.end()) {
+      error(fx.line, "undefined label '" + fx.label + "'");
+      continue;
+    }
+    if (fx.instr_index < res.program.code.size()) {
+      res.program.code[fx.instr_index].target = it->second;
+    }
+  }
+  return res;
+}
+
+}  // namespace arch21::isa

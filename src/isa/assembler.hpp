@@ -1,0 +1,36 @@
+#pragma once
+// Two-pass assembler for SR1 assembly text.
+//
+// Syntax (one instruction per line; '#' starts a comment):
+//   label:            -- define a code label
+//   add  rd, ra, rb   -- register ALU
+//   addi rd, ra, 42   -- immediate ALU (decimal or 0x hex)
+//   li   rd, 0xdead   -- 64-bit load immediate
+//   ld   rd, ra, 8    -- rd = mem64[ra + 8]
+//   st   rs, ra, 8    -- mem64[ra + 8] = rs   (rs parsed in rd slot)
+//   beq  ra, rb, loop -- branch to label
+//   jmp  loop / jal rd, fn / jr ra
+//   in   rd / out ra / halt
+//   .data 1, 2, 3     -- append 64-bit words to the data image
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/sr1.hpp"
+
+namespace arch21::isa {
+
+/// Assembly outcome: either a program or a list of errors with line
+/// numbers.
+struct AssemblyResult {
+  Program program;
+  std::vector<std::string> errors;
+
+  bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Assemble SR1 source text.
+AssemblyResult assemble(std::string_view source);
+
+}  // namespace arch21::isa

@@ -1,0 +1,263 @@
+#include "isa/machine.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace arch21::isa {
+
+const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::Halted: return "halted";
+    case StopReason::CycleLimit: return "cycle-limit";
+    case StopReason::MemoryFault: return "memory-fault";
+    case StopReason::DivideByZero: return "divide-by-zero";
+    case StopReason::BadJump: return "bad-jump";
+    case StopReason::DiftTrap: return "dift-trap";
+  }
+  return "?";
+}
+
+Machine::Machine(Program program, std::size_t mem_bytes, DiftPolicy dift)
+    : prog_(std::move(program)),
+      mem_(mem_bytes, 0),
+      regs_(kNumRegs, 0),
+      dift_(dift),
+      taint_reg_(kNumRegs, 0),
+      taint_mem_(dift.enabled ? mem_bytes : 0, 0) {
+  if (!prog_.data.empty()) {
+    if (prog_.data_base + prog_.data.size() > mem_.size()) {
+      throw std::invalid_argument("Machine: data image exceeds memory");
+    }
+    std::memcpy(mem_.data() + prog_.data_base, prog_.data.data(),
+                prog_.data.size());
+  }
+}
+
+std::uint64_t Machine::load64(std::uint64_t addr) const {
+  if (!in_bounds(addr, 8)) throw std::out_of_range("Machine::load64");
+  std::uint64_t v;
+  std::memcpy(&v, mem_.data() + addr, 8);
+  return v;
+}
+
+void Machine::store64(std::uint64_t addr, std::uint64_t v) {
+  if (!in_bounds(addr, 8)) throw std::out_of_range("Machine::store64");
+  std::memcpy(mem_.data() + addr, &v, 8);
+}
+
+bool Machine::mem_tainted(std::uint64_t addr) const {
+  if (taint_mem_.empty() || addr >= taint_mem_.size()) return false;
+  return taint_mem_[addr] != 0;
+}
+
+void Machine::violation(Op op, std::string reason) {
+  violations_.push_back({pc_, op, std::move(reason)});
+}
+
+StopReason Machine::run(std::uint64_t max_instructions) {
+  const bool dift = dift_.enabled;
+  Intent intent = Intent::Default;
+  while (stats_.instructions < max_instructions) {
+    if (pc_ >= prog_.code.size()) return StopReason::BadJump;
+    const Instruction& I = prog_.code[pc_];
+    ++stats_.instructions;
+    ++stats_.instrs_by_intent[static_cast<std::size_t>(intent)];
+    std::uint64_t next_pc = pc_ + 1;
+
+    const std::uint64_t a = regs_[I.ra];
+    const std::uint64_t b = regs_[I.rb];
+    const bool ta = dift && taint_reg_[I.ra];
+    const bool tb = dift && taint_reg_[I.rb];
+
+    // Writes rd with an explicit taint bit.  ALU call sites pre-apply the
+    // propagate_alu policy; loads and IN pass their own source taint.
+    auto set_rd = [&](std::uint64_t v, bool taint) {
+      if (I.rd != 0) {
+        regs_[I.rd] = v;
+        if (dift) {
+          taint_reg_[I.rd] = taint ? 1 : 0;
+          ++stats_.shadow_ops;
+        }
+      }
+    };
+    const bool palu = dift_.propagate_alu;
+
+    switch (I.op) {
+      case Op::Add: ++stats_.alu_ops; set_rd(a + b, palu && (ta || tb)); break;
+      case Op::Sub: ++stats_.alu_ops; set_rd(a - b, palu && (ta || tb)); break;
+      case Op::Mul: ++stats_.alu_ops; set_rd(a * b, palu && (ta || tb)); break;
+      case Op::Div:
+        ++stats_.alu_ops;
+        if (b == 0) return StopReason::DivideByZero;
+        set_rd(a / b, palu && (ta || tb));
+        break;
+      case Op::And: ++stats_.alu_ops; set_rd(a & b, palu && (ta || tb)); break;
+      case Op::Or: ++stats_.alu_ops; set_rd(a | b, palu && (ta || tb)); break;
+      case Op::Xor: ++stats_.alu_ops; set_rd(a ^ b, palu && (ta || tb)); break;
+      case Op::Shl: ++stats_.alu_ops; set_rd(a << (b & 63), palu && (ta || tb)); break;
+      case Op::Shr: ++stats_.alu_ops; set_rd(a >> (b & 63), palu && (ta || tb)); break;
+      case Op::Slt:
+        ++stats_.alu_ops;
+        set_rd(static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b) ? 1 : 0,
+               palu && (ta || tb));
+        break;
+      case Op::Addi: ++stats_.alu_ops; set_rd(a + static_cast<std::uint64_t>(I.imm), palu && ta); break;
+      case Op::Andi: ++stats_.alu_ops; set_rd(a & static_cast<std::uint64_t>(I.imm), palu && ta); break;
+      case Op::Ori: ++stats_.alu_ops; set_rd(a | static_cast<std::uint64_t>(I.imm), palu && ta); break;
+      case Op::Xori: ++stats_.alu_ops; set_rd(a ^ static_cast<std::uint64_t>(I.imm), palu && ta); break;
+      case Op::Shli: ++stats_.alu_ops; set_rd(a << (I.imm & 63), palu && ta); break;
+      case Op::Shri: ++stats_.alu_ops; set_rd(a >> (I.imm & 63), palu && ta); break;
+      case Op::Slti:
+        ++stats_.alu_ops;
+        set_rd(static_cast<std::int64_t>(a) < I.imm ? 1 : 0, palu && ta);
+        break;
+      case Op::Li: set_rd(static_cast<std::uint64_t>(I.imm), false); break;
+
+      case Op::Ld: {
+        ++stats_.loads;
+        const std::uint64_t addr = a + static_cast<std::uint64_t>(I.imm);
+        if (!in_bounds(addr, 8)) return StopReason::MemoryFault;
+        if (trace_) trace_({addr, false});
+        std::uint64_t v;
+        std::memcpy(&v, mem_.data() + addr, 8);
+        bool t = false;
+        if (dift) {
+          for (int i = 0; i < 8; ++i) t = t || taint_mem_[addr + i];
+          if (dift_.propagate_load_addr) t = t || ta;
+          ++stats_.shadow_ops;
+        }
+        set_rd(v, t);
+        break;
+      }
+      case Op::St: {
+        ++stats_.stores;
+        const std::uint64_t addr = a + static_cast<std::uint64_t>(I.imm);
+        if (!in_bounds(addr, 8)) return StopReason::MemoryFault;
+        if (dift && dift_.trap_tainted_store_addr && ta) {
+          violation(I.op, "store through tainted address");
+          return StopReason::DiftTrap;
+        }
+        if (trace_) trace_({addr, true});
+        const std::uint64_t v = regs_[I.rd];  // rd slot holds the source
+        std::memcpy(mem_.data() + addr, &v, 8);
+        if (dift) {
+          const std::uint8_t t = taint_reg_[I.rd];
+          std::memset(taint_mem_.data() + addr, t, 8);
+          ++stats_.shadow_ops;
+        }
+        break;
+      }
+      case Op::Ldb: {
+        ++stats_.loads;
+        const std::uint64_t addr = a + static_cast<std::uint64_t>(I.imm);
+        if (!in_bounds(addr, 1)) return StopReason::MemoryFault;
+        if (trace_) trace_({addr, false});
+        bool t = false;
+        if (dift) {
+          t = taint_mem_[addr];
+          if (dift_.propagate_load_addr) t = t || ta;
+          ++stats_.shadow_ops;
+        }
+        set_rd(mem_[addr], t);
+        break;
+      }
+      case Op::Stb: {
+        ++stats_.stores;
+        const std::uint64_t addr = a + static_cast<std::uint64_t>(I.imm);
+        if (!in_bounds(addr, 1)) return StopReason::MemoryFault;
+        if (dift && dift_.trap_tainted_store_addr && ta) {
+          violation(I.op, "store through tainted address");
+          return StopReason::DiftTrap;
+        }
+        if (trace_) trace_({addr, true});
+        mem_[addr] = static_cast<std::uint8_t>(regs_[I.rd]);
+        if (dift) {
+          taint_mem_[addr] = taint_reg_[I.rd];
+          ++stats_.shadow_ops;
+        }
+        break;
+      }
+
+      case Op::Beq: {
+        ++stats_.branches;
+        const bool taken = a == b;
+        if (branch_sink_) branch_sink_({pc_, taken});
+        if (taken) { next_pc = I.target; ++stats_.taken_branches; }
+        break;
+      }
+      case Op::Bne: {
+        ++stats_.branches;
+        const bool taken = a != b;
+        if (branch_sink_) branch_sink_({pc_, taken});
+        if (taken) { next_pc = I.target; ++stats_.taken_branches; }
+        break;
+      }
+      case Op::Blt: {
+        ++stats_.branches;
+        const bool taken = static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+        if (branch_sink_) branch_sink_({pc_, taken});
+        if (taken) {
+          next_pc = I.target;
+          ++stats_.taken_branches;
+        }
+        break;
+      }
+      case Op::Bge: {
+        ++stats_.branches;
+        const bool taken = static_cast<std::int64_t>(a) >= static_cast<std::int64_t>(b);
+        if (branch_sink_) branch_sink_({pc_, taken});
+        if (taken) {
+          next_pc = I.target;
+          ++stats_.taken_branches;
+        }
+        break;
+      }
+      case Op::Jmp:
+        ++stats_.branches;
+        ++stats_.taken_branches;
+        next_pc = I.target;
+        break;
+      case Op::Jal:
+        ++stats_.branches;
+        ++stats_.taken_branches;
+        set_rd(pc_ + 1, false);
+        next_pc = I.target;
+        break;
+      case Op::Jr:
+        ++stats_.branches;
+        ++stats_.taken_branches;
+        if (dift && dift_.trap_tainted_jump && ta) {
+          violation(I.op, "indirect jump to tainted target");
+          return StopReason::DiftTrap;
+        }
+        next_pc = a;
+        break;
+
+      case Op::In: {
+        std::uint64_t v = 0;
+        if (input_pos_ < input_.size()) v = input_[input_pos_++];
+        set_rd(v, dift_.taint_input);
+        break;
+      }
+      case Op::Out:
+        if (dift && dift_.trap_tainted_out && ta) {
+          violation(I.op, "output of tainted data");
+          return StopReason::DiftTrap;
+        }
+        output_.push_back(a);
+        break;
+      case Op::Halt:
+        return StopReason::Halted;
+      case Op::Hint: {
+        ++stats_.hints;
+        const auto v = static_cast<std::uint64_t>(I.imm);
+        intent = v < kNumIntents ? static_cast<Intent>(v) : Intent::Default;
+        break;
+      }
+    }
+    pc_ = next_pc;
+  }
+  return StopReason::CycleLimit;
+}
+
+}  // namespace arch21::isa

@@ -1,0 +1,146 @@
+#pragma once
+// The SR1 interpreter with optional dynamic information-flow tracking
+// (DIFT).  DIFT keeps a shadow taint bit per register and per memory
+// byte.  Data arriving through IN is tainted; taint propagates through
+// ALU ops and memory traffic; configurable policy sinks raise violations:
+//
+//   * tainted indirect-jump target (JR)  -- control-flow hijack
+//   * tainted store/load *address*       -- pointer injection
+//   * tainted OUT payload                -- information leak
+//
+// This is the paper's "information flow tracking (reducing side-channel
+// attacks)" / "root of trust" mechanism made concrete.  The DIFT
+// experiment measures detection on an injection attack and the tracking
+// overhead (shadow operations per instruction).
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/sr1.hpp"
+
+namespace arch21::isa {
+
+/// DIFT policy switches.
+struct DiftPolicy {
+  bool enabled = false;
+  bool taint_input = true;        ///< IN produces tainted data
+  bool propagate_alu = true;      ///< dest = ra | rb taint
+  bool propagate_load_addr = false;  ///< loads also inherit address taint
+  bool trap_tainted_jump = true;  ///< JR with tainted target -> violation
+  bool trap_tainted_store_addr = true;  ///< ST to tainted address
+  bool trap_tainted_out = false;  ///< OUT of tainted data (leak policy)
+};
+
+/// A raised policy violation.
+struct DiftViolation {
+  std::uint64_t pc = 0;
+  Op op = Op::Halt;
+  std::string reason;
+};
+
+/// Why the machine stopped.
+enum class StopReason { Halted, CycleLimit, MemoryFault, DivideByZero,
+                        BadJump, DiftTrap };
+
+const char* to_string(StopReason r);
+
+/// Application intents conveyed by the HINT instruction.
+enum class Intent : std::uint8_t { Default = 0, Efficiency = 1,
+                                   Performance = 2 };
+
+inline constexpr std::size_t kNumIntents = 3;
+
+/// Execution statistics.
+struct MachineStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t alu_ops = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t taken_branches = 0;
+  std::uint64_t shadow_ops = 0;  ///< DIFT bookkeeping operations
+  std::uint64_t hints = 0;       ///< HINT instructions executed
+  /// Instructions executed while each Intent was active (cross-layer
+  /// interface: the governor prices each phase separately).
+  std::array<std::uint64_t, kNumIntents> instrs_by_intent{};
+};
+
+/// One memory-trace record (for feeding the cache simulator).
+struct TraceRecord {
+  std::uint64_t addr;
+  bool write;
+};
+
+/// One branch-outcome record (for feeding branch predictors).
+struct BranchRecord {
+  std::uint64_t pc;    ///< instruction index of the branch
+  bool taken;
+};
+
+/// The SR1 machine.
+class Machine {
+ public:
+  /// `mem_bytes`: flat memory size.
+  explicit Machine(Program program, std::size_t mem_bytes = 1 << 20,
+                   DiftPolicy dift = {});
+
+  /// Queue input values consumed by IN (FIFO).
+  void push_input(std::uint64_t v) { input_.push_back(v); }
+
+  /// Run until halt/fault or `max_instructions`.
+  StopReason run(std::uint64_t max_instructions = 10'000'000);
+
+  // --- state inspection ---
+  std::uint64_t reg(Reg r) const { return regs_.at(r); }
+  void set_reg(Reg r, std::uint64_t v) { if (r != 0) regs_.at(r) = v; }
+  std::uint64_t load64(std::uint64_t addr) const;
+  void store64(std::uint64_t addr, std::uint64_t v);
+  std::uint64_t pc() const noexcept { return pc_; }
+
+  const std::vector<std::uint64_t>& output() const noexcept { return output_; }
+  const MachineStats& stats() const noexcept { return stats_; }
+  const std::vector<DiftViolation>& violations() const noexcept {
+    return violations_;
+  }
+
+  /// Taint inspection (meaningful when DIFT enabled).
+  bool reg_tainted(Reg r) const { return taint_reg_.at(r); }
+  bool mem_tainted(std::uint64_t addr) const;
+
+  /// Install a memory-trace sink (called per load/store).
+  void set_trace_sink(std::function<void(TraceRecord)> sink) {
+    trace_ = std::move(sink);
+  }
+
+  /// Install a branch-outcome sink (called per conditional branch).
+  void set_branch_sink(std::function<void(BranchRecord)> sink) {
+    branch_sink_ = std::move(sink);
+  }
+
+ private:
+  bool in_bounds(std::uint64_t addr, std::size_t len) const noexcept {
+    return addr + len <= mem_.size() && addr + len >= addr;
+  }
+  void violation(Op op, std::string reason);
+
+  Program prog_;
+  std::vector<std::uint8_t> mem_;
+  std::vector<std::uint64_t> regs_;
+  std::vector<std::uint64_t> input_;
+  std::size_t input_pos_ = 0;
+  std::vector<std::uint64_t> output_;
+  std::uint64_t pc_ = 0;
+  DiftPolicy dift_;
+  std::vector<std::uint8_t> taint_reg_;
+  std::vector<std::uint8_t> taint_mem_;
+  MachineStats stats_;
+  std::vector<DiftViolation> violations_;
+  std::function<void(TraceRecord)> trace_;
+  std::function<void(BranchRecord)> branch_sink_;
+};
+
+}  // namespace arch21::isa

@@ -1,0 +1,80 @@
+#include "isa/programs.hpp"
+
+#include <sstream>
+
+namespace arch21::isa::programs {
+
+std::string sum_loop(std::uint64_t n) {
+  std::ostringstream os;
+  os << "    li   r1, 0          # accumulator\n"
+     << "    li   r2, 1          # i\n"
+     << "    li   r3, " << n << "\n"
+     << "loop:\n"
+     << "    add  r1, r1, r2\n"
+     << "    addi r2, r2, 1\n"
+     << "    bge  r3, r2, loop   # while i <= n\n"
+     << "    out  r1\n"
+     << "    halt\n";
+  return os.str();
+}
+
+std::string stride_walk(std::uint64_t base, std::uint64_t stride,
+                        std::uint64_t count) {
+  std::ostringstream os;
+  os << "    li   r1, " << base << "\n"
+     << "    li   r2, 0\n"
+     << "    li   r3, " << count << "\n"
+     << "loop:\n"
+     << "    ld   r4, r1, 0\n"
+     << "    addi r1, r1, " << stride << "\n"
+     << "    addi r2, r2, 1\n"
+     << "    blt  r2, r3, loop\n"
+     << "    halt\n";
+  return os.str();
+}
+
+std::string vulnerable_dispatch() {
+  // The attacker supplies the dispatch target directly; nothing checks it.
+  // Under DIFT the JR sees a tainted register and traps.
+  return R"(    in   r1             # attacker-controlled "handler address"
+    jr   r1              # CWE-691-style unchecked indirect transfer
+h0:
+    li   r6, 100
+    out  r6
+    halt
+h1:
+    li   r6, 200
+    out  r6
+    halt
+)";
+}
+
+std::string sanitized_dispatch() {
+  // Trusted dispatch table built from program constants at 0x1000.  The
+  // tainted input only *indexes* the table after a bounds check; the
+  // value that reaches JR is untainted program data, so DIFT stays quiet.
+  // Handler instruction indices (h0 = 10, h1 = 13) match the layout below.
+  return R"(    li   r4, 10          # &h0
+    st   r4, r0, 0x1000
+    li   r4, 13          # &h1
+    st   r4, r0, 0x1008
+    in   r1              # tainted index
+    li   r5, 2
+    bge  r1, r5, bad     # bounds check
+    shli r2, r1, 3
+    ld   r3, r2, 0x1000  # load from trusted table
+    jr   r3              # untainted target
+h0:
+    li   r6, 100
+    out  r6
+    halt
+h1:
+    li   r6, 200
+    out  r6
+    halt
+bad:
+    halt
+)";
+}
+
+}  // namespace arch21::isa::programs

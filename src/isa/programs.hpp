@@ -1,0 +1,32 @@
+#pragma once
+// Canned SR1 programs used by tests, benches, and examples:
+//   * sum_loop        -- arithmetic kernel (N loop iterations)
+//   * stride_walk     -- memory kernel emitting a strided trace
+//   * vulnerable_dispatch -- an indirect-dispatch routine that jumps to an
+//     address *computed from unchecked input*: the classic control-flow
+//     hijack that DIFT must catch (tainted JR target)
+//   * sanitized_dispatch -- the fixed version, which masks the input to a
+//     valid range via a bounds check before dispatching
+
+#include <cstdint>
+#include <string>
+
+namespace arch21::isa::programs {
+
+/// Sums 1..n; result in r1 and OUT.
+std::string sum_loop(std::uint64_t n);
+
+/// Walks `count` loads with byte stride `stride` starting at `base`.
+std::string stride_walk(std::uint64_t base, std::uint64_t stride,
+                        std::uint64_t count);
+
+/// Reads a handler *address* from input and jumps to it unchecked.
+/// With DIFT on, the JR of a tainted value traps.
+std::string vulnerable_dispatch();
+
+/// Same dispatcher but validates the input index against a bound and
+/// loads the target from a trusted in-program table, so the final jump
+/// target is untainted program data.
+std::string sanitized_dispatch();
+
+}  // namespace arch21::isa::programs

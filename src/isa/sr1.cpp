@@ -1,0 +1,58 @@
+#include "isa/sr1.hpp"
+
+namespace arch21::isa {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::Div: return "div";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Xor: return "xor";
+    case Op::Shl: return "shl";
+    case Op::Shr: return "shr";
+    case Op::Slt: return "slt";
+    case Op::Addi: return "addi";
+    case Op::Andi: return "andi";
+    case Op::Ori: return "ori";
+    case Op::Xori: return "xori";
+    case Op::Shli: return "shli";
+    case Op::Shri: return "shri";
+    case Op::Slti: return "slti";
+    case Op::Li: return "li";
+    case Op::Ld: return "ld";
+    case Op::St: return "st";
+    case Op::Ldb: return "ldb";
+    case Op::Stb: return "stb";
+    case Op::Beq: return "beq";
+    case Op::Bne: return "bne";
+    case Op::Blt: return "blt";
+    case Op::Bge: return "bge";
+    case Op::Jmp: return "jmp";
+    case Op::Jal: return "jal";
+    case Op::Jr: return "jr";
+    case Op::In: return "in";
+    case Op::Out: return "out";
+    case Op::Halt: return "halt";
+    case Op::Hint: return "hint";
+  }
+  return "?";
+}
+
+bool writes_rd(Op op) {
+  switch (op) {
+    case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+    case Op::And: case Op::Or: case Op::Xor: case Op::Shl:
+    case Op::Shr: case Op::Slt: case Op::Addi: case Op::Andi:
+    case Op::Ori: case Op::Xori: case Op::Shli: case Op::Shri:
+    case Op::Slti: case Op::Li: case Op::Ld: case Op::Ldb:
+    case Op::Jal: case Op::In:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace arch21::isa

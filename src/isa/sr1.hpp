@@ -1,0 +1,74 @@
+#pragma once
+// SR1: a small 64-bit load/store RISC ISA defined for this library.
+// It exists so the security experiments (dynamic information-flow
+// tracking, E14) can demonstrate *mechanisms* end-to-end -- taint
+// sources, propagation rules, and policy sinks -- on real executing
+// programs, not on abstractions.  The assembler (isa/assembler.hpp)
+// builds programs from text; the machine (isa/machine.hpp) executes them
+// and can emit memory traces for the cache simulator.
+//
+// Architectural summary:
+//   * 16 general registers r0..r15; r0 reads as zero, writes ignored.
+//   * Flat byte-addressable memory, little-endian 64-bit words.
+//   * I/O: IN reads a 64-bit value from the input stream (taint source),
+//     OUT appends to the output stream (taint sink).
+//   * JAL/JR give calls and returns; HALT stops the machine.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace arch21::isa {
+
+/// Register index (0..15).
+using Reg = std::uint8_t;
+
+inline constexpr Reg kNumRegs = 16;
+
+/// Opcodes.  Three-operand ALU ops read ra,rb and write rd; immediate
+/// forms read ra and imm.  Branches compare ra,rb and jump to `target`.
+enum class Op : std::uint8_t {
+  // ALU register-register
+  Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, Slt,
+  // ALU register-immediate
+  Addi, Andi, Ori, Xori, Shli, Shri, Slti,
+  // 64-bit load-immediate
+  Li,
+  // memory (64-bit word and single byte)
+  Ld, St, Ldb, Stb,
+  // control flow
+  Beq, Bne, Blt, Bge, Jmp, Jal, Jr,
+  // I/O and termination
+  In, Out, Halt,
+  // Cross-layer intent interface: convey application intent to the
+  // hardware (section 2.4, "Better Interfaces for High-Level
+  // Information").  imm selects an Intent (see machine.hpp); the
+  // machine attributes subsequent instructions to that intent so an
+  // energy governor can pick per-phase operating points.
+  Hint,
+};
+
+const char* to_string(Op op);
+
+/// True when the op writes register rd.
+bool writes_rd(Op op);
+
+/// One decoded instruction.
+struct Instruction {
+  Op op = Op::Halt;
+  Reg rd = 0;
+  Reg ra = 0;
+  Reg rb = 0;
+  std::int64_t imm = 0;     ///< immediate / address offset
+  std::uint64_t target = 0; ///< branch/jump target (instruction index)
+};
+
+/// An assembled program.
+struct Program {
+  std::vector<Instruction> code;
+  /// Initial data image copied to memory offset `data_base` at reset.
+  std::vector<std::uint8_t> data;
+  std::uint64_t data_base = 0x1000;
+};
+
+}  // namespace arch21::isa

@@ -1,0 +1,217 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace arch21::mem {
+
+namespace {
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::uint64_t mix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* to_string(Replacement r) {
+  switch (r) {
+    case Replacement::Lru: return "lru";
+    case Replacement::Fifo: return "fifo";
+    case Replacement::Random: return "random";
+    case Replacement::Plru: return "plru";
+  }
+  return "?";
+}
+
+Cache::Cache(CacheConfig cfg) : cfg_(cfg), rand_state_(cfg.seed) {
+  if (!is_pow2(cfg.size_bytes) || !is_pow2(cfg.line_bytes) ||
+      !is_pow2(cfg.ways)) {
+    throw std::invalid_argument("Cache: sizes must be powers of two");
+  }
+  if (cfg.size_bytes < static_cast<std::uint64_t>(cfg.line_bytes) * cfg.ways) {
+    throw std::invalid_argument("Cache: size < line * ways");
+  }
+  sets_ = cfg.sets();
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(
+      static_cast<std::uint64_t>(cfg.line_bytes)));
+  lines_.assign(sets_ * cfg.ways, Line{});
+  if (cfg.policy == Replacement::Plru) {
+    if (cfg.ways > 16) {
+      // The per-set tree is packed into 32 bits (heap-indexed nodes).
+      throw std::invalid_argument("Cache: PLRU supports at most 16 ways");
+    }
+    plru_.assign(sets_, 0);
+  }
+}
+
+std::uint64_t Cache::set_index(Addr addr) const noexcept {
+  return (addr >> line_shift_) & (sets_ - 1);
+}
+
+Addr Cache::tag_of(Addr addr) const noexcept {
+  return addr >> line_shift_ >> std::countr_zero(sets_);
+}
+
+Addr Cache::line_addr(Addr tag, std::uint64_t set) const noexcept {
+  return ((tag << std::countr_zero(sets_)) | set) << line_shift_;
+}
+
+void Cache::touch(std::uint64_t set, std::uint32_t way) noexcept {
+  Line& ln = lines_[set * cfg_.ways + way];
+  ln.lru = ++tick_;
+  if (cfg_.policy == Replacement::Plru && cfg_.ways > 1) {
+    // Walk the tree from root to the leaf `way`, pointing each node AWAY
+    // from the path taken (standard tree-PLRU promotion).
+    std::uint32_t& bits = plru_[set];
+    std::uint32_t node = 0;  // root at index 0
+    std::uint32_t lo = 0;
+    std::uint32_t hi = cfg_.ways;
+    while (hi - lo > 1) {
+      const std::uint32_t mid = (lo + hi) / 2;
+      const bool right = way >= mid;
+      // Bit = 1 means "next victim is on the left"; set it opposite to
+      // where this access went.
+      if (right) {
+        bits |= (1u << node);
+      } else {
+        bits &= ~(1u << node);
+      }
+      node = 2 * node + (right ? 2 : 1);
+      (right ? lo : hi) = mid;
+    }
+  }
+}
+
+std::uint32_t Cache::pick_victim(std::uint64_t set) noexcept {
+  const Line* base = &lines_[set * cfg_.ways];
+  // Invalid ways always win.
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (!base[w].valid) return w;
+  }
+  switch (cfg_.policy) {
+    case Replacement::Lru: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+        if (base[w].lru < base[victim].lru) victim = w;
+      }
+      return victim;
+    }
+    case Replacement::Fifo: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+        if (base[w].fifo < base[victim].fifo) victim = w;
+      }
+      return victim;
+    }
+    case Replacement::Random:
+      return static_cast<std::uint32_t>(mix64(rand_state_) % cfg_.ways);
+    case Replacement::Plru: {
+      if (cfg_.ways == 1) return 0;
+      const std::uint32_t bits = plru_[set];
+      std::uint32_t node = 0;
+      std::uint32_t lo = 0;
+      std::uint32_t hi = cfg_.ways;
+      while (hi - lo > 1) {
+        const std::uint32_t mid = (lo + hi) / 2;
+        const bool go_left = (bits >> node) & 1u;
+        node = 2 * node + (go_left ? 1 : 2);
+        (go_left ? hi : lo) = mid;
+      }
+      return lo;
+    }
+  }
+  return 0;
+}
+
+AccessResult Cache::access(Addr addr, bool write) {
+  ++stats_.accesses;
+  const std::uint64_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  Line* base = &lines_[set * cfg_.ways];
+
+  // Hit path.
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& ln = base[w];
+    if (ln.valid && ln.tag == tag) {
+      ++stats_.hits;
+      touch(set, w);
+      if (write) ln.dirty = true;
+      return {.hit = true, .writeback_addr = std::nullopt,
+              .evicted_addr = std::nullopt};
+    }
+  }
+
+  // Miss: select a victim per policy.
+  ++stats_.misses;
+  const std::uint32_t vw = pick_victim(set);
+  Line& victim = base[vw];
+
+  AccessResult res;
+  if (victim.valid) {
+    ++stats_.evictions;
+    res.evicted_addr = line_addr(victim.tag, set);
+    if (victim.dirty) {
+      ++stats_.writebacks;
+      res.writeback_addr = res.evicted_addr;
+    }
+  }
+  victim.tag = tag;
+  victim.valid = true;
+  victim.dirty = write;
+  victim.fifo = ++tick_;
+  touch(set, vw);
+  return res;
+}
+
+bool Cache::contains(Addr addr) const noexcept {
+  const std::uint64_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  const Line* base = &lines_[set * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+bool Cache::invalidate(Addr addr) noexcept {
+  const std::uint64_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  Line* base = &lines_[set * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& ln = base[w];
+    if (ln.valid && ln.tag == tag) {
+      const bool was_dirty = ln.dirty;
+      ln = Line{};
+      return was_dirty;
+    }
+  }
+  return false;
+}
+
+bool Cache::clean(Addr addr) noexcept {
+  const std::uint64_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  Line* base = &lines_[set * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& ln = base[w];
+    if (ln.valid && ln.tag == tag) {
+      const bool was_dirty = ln.dirty;
+      ln.dirty = false;
+      return was_dirty;
+    }
+  }
+  return false;
+}
+
+std::uint64_t Cache::resident_lines() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& ln : lines_) n += ln.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace arch21::mem

@@ -1,0 +1,120 @@
+#pragma once
+// Set-associative cache simulator with true-LRU replacement and
+// write-back/write-allocate policy.  This is the building block of the
+// memory-hierarchy model (mem/hierarchy.hpp) and of the MESI coherence
+// simulator (mem/coherence.hpp).
+//
+// The simulator is functional (tag-state only, no data payload): it
+// answers hit/miss and tracks evictions, which is all the energy and
+// performance models need.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace arch21::mem {
+
+/// Physical/virtual address type used by all memory models.
+using Addr = std::uint64_t;
+
+/// Replacement policy.
+enum class Replacement : std::uint8_t {
+  Lru,     ///< true LRU (timestamp)
+  Fifo,    ///< evict oldest insertion
+  Random,  ///< uniform random victim (seeded, deterministic)
+  Plru,    ///< tree pseudo-LRU (requires power-of-two ways)
+};
+
+const char* to_string(Replacement r);
+
+/// Cache geometry.  All sizes in bytes; everything must be a power of two
+/// and size >= line_size * ways.
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 8;
+  Replacement policy = Replacement::Lru;
+  std::uint64_t seed = 1;  ///< for Replacement::Random
+
+  std::uint64_t sets() const noexcept {
+    return size_bytes / (static_cast<std::uint64_t>(line_bytes) * ways);
+  }
+};
+
+/// Result of a cache access.
+struct AccessResult {
+  bool hit = false;
+  /// Set when a dirty line was evicted to make room (write-back traffic).
+  std::optional<Addr> writeback_addr;
+  /// Set when any valid line was evicted (for inclusion upkeep upstream).
+  std::optional<Addr> evicted_addr;
+};
+
+/// Running statistics.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const noexcept {
+    return accesses ? static_cast<double>(hits) / static_cast<double>(accesses)
+                    : 0.0;
+  }
+  double miss_rate() const noexcept { return accesses ? 1.0 - hit_rate() : 0.0; }
+};
+
+/// One cache level.
+class Cache {
+ public:
+  explicit Cache(CacheConfig cfg);
+
+  const CacheConfig& config() const noexcept { return cfg_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// Perform a demand access.  `write` marks the line dirty on hit or on
+  /// the allocated line (write-allocate).
+  AccessResult access(Addr addr, bool write);
+
+  /// Probe without updating LRU or stats (coherence snoops use this).
+  bool contains(Addr addr) const noexcept;
+
+  /// Invalidate a line if present; returns true when the line was dirty
+  /// (the caller owes a write-back).
+  bool invalidate(Addr addr) noexcept;
+
+  /// Downgrade a line to clean (coherence: M -> S supplies data).
+  /// Returns true if the line was present and dirty.
+  bool clean(Addr addr) noexcept;
+
+  /// Number of valid lines currently resident.
+  std::uint64_t resident_lines() const noexcept;
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;   ///< larger = more recently used (LRU)
+    std::uint64_t fifo = 0;  ///< insertion order (FIFO)
+  };
+
+  std::uint64_t set_index(Addr addr) const noexcept;
+  Addr tag_of(Addr addr) const noexcept;
+  Addr line_addr(Addr tag, std::uint64_t set) const noexcept;
+  std::uint32_t pick_victim(std::uint64_t set) noexcept;
+  void touch(std::uint64_t set, std::uint32_t way) noexcept;
+
+  CacheConfig cfg_;
+  std::uint64_t sets_;
+  std::uint32_t line_shift_;
+  std::vector<Line> lines_;  ///< sets_ * ways, row-major by set
+  std::vector<std::uint32_t> plru_;  ///< per-set PLRU tree bits
+  std::uint64_t tick_ = 0;
+  std::uint64_t rand_state_;
+  CacheStats stats_;
+};
+
+}  // namespace arch21::mem

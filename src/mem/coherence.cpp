@@ -1,0 +1,166 @@
+#include "mem/coherence.hpp"
+
+#include <stdexcept>
+
+namespace arch21::mem {
+
+const char* to_string(Mesi s) {
+  switch (s) {
+    case Mesi::Invalid: return "I";
+    case Mesi::Shared: return "S";
+    case Mesi::Exclusive: return "E";
+    case Mesi::Modified: return "M";
+  }
+  return "?";
+}
+
+CoherentSystem::CoherentSystem(std::uint32_t cores, CacheConfig cfg,
+                               const energy::Catalogue& cat)
+    : cat_(cat), line_bytes_(cfg.line_bytes) {
+  if (cores == 0) throw std::invalid_argument("CoherentSystem: cores == 0");
+  caches_.reserve(cores);
+  states_.resize(cores);
+  for (std::uint32_t i = 0; i < cores; ++i) caches_.emplace_back(cfg);
+}
+
+Addr CoherentSystem::line_of(Addr addr) const noexcept {
+  return addr & ~static_cast<Addr>(line_bytes_ - 1);
+}
+
+Mesi& CoherentSystem::state_ref(std::uint32_t c, Addr line) {
+  return states_[c][line];
+}
+
+Mesi CoherentSystem::state(std::uint32_t c, Addr addr) const {
+  const auto it = states_.at(c).find(line_of(addr));
+  return it == states_.at(c).end() ? Mesi::Invalid : it->second;
+}
+
+double CoherentSystem::line_move_energy() const noexcept {
+  return cat_.move(energy::Distance::AcrossChip,
+                   static_cast<double>(line_bytes_) * 8.0);
+}
+
+void CoherentSystem::handle_eviction(std::uint32_t c, Addr line) {
+  auto& m = states_[c];
+  const auto it = m.find(line);
+  if (it == m.end()) return;
+  if (it->second == Mesi::Modified) {
+    ++stats_.writebacks;
+    stats_.bus_energy_j +=
+        cat_.move(energy::Distance::ToDram, static_cast<double>(line_bytes_) * 8.0);
+  }
+  m.erase(it);
+}
+
+void CoherentSystem::read(std::uint32_t c, Addr addr) {
+  ++stats_.reads;
+  const Addr line = line_of(addr);
+  Mesi& st = state_ref(c, line);
+
+  if (st != Mesi::Invalid) {
+    // Hit in any of M/E/S: no bus action.
+    ++stats_.read_hits;
+    caches_[c].access(addr, /*write=*/false);
+    return;
+  }
+
+  // Read miss: BusRd.  Any M holder supplies data and downgrades to S;
+  // any E holder downgrades to S.  If another cache holds the line we get
+  // S, otherwise E.
+  ++stats_.bus_rd;
+  bool others_have = false;
+  for (std::uint32_t o = 0; o < cores(); ++o) {
+    if (o == c) continue;
+    auto it = states_[o].find(line);
+    if (it == states_[o].end() || it->second == Mesi::Invalid) continue;
+    others_have = true;
+    if (it->second == Mesi::Modified) {
+      // Supplier flushes: cache-to-cache transfer + memory update.
+      ++stats_.c2c_transfers;
+      ++stats_.writebacks;
+      caches_[o].clean(line);
+    } else if (it->second == Mesi::Exclusive) {
+      ++stats_.c2c_transfers;
+    }
+    it->second = Mesi::Shared;
+  }
+  stats_.bus_energy_j += line_move_energy();
+  if (!others_have) {
+    stats_.bus_energy_j += cat_.move(
+        energy::Distance::ToDram, static_cast<double>(line_bytes_) * 8.0);
+  }
+  st = others_have ? Mesi::Shared : Mesi::Exclusive;
+
+  const auto r = caches_[c].access(addr, false);
+  if (r.evicted_addr && line_of(*r.evicted_addr) != line) {
+    handle_eviction(c, line_of(*r.evicted_addr));
+  }
+}
+
+void CoherentSystem::write(std::uint32_t c, Addr addr) {
+  ++stats_.writes;
+  const Addr line = line_of(addr);
+  Mesi& st = state_ref(c, line);
+
+  if (st == Mesi::Modified) {
+    ++stats_.write_hits;
+    caches_[c].access(addr, true);
+    return;
+  }
+  if (st == Mesi::Exclusive) {
+    // Silent E -> M upgrade.
+    ++stats_.write_hits;
+    st = Mesi::Modified;
+    caches_[c].access(addr, true);
+    return;
+  }
+
+  // S or I: must invalidate every other copy.
+  if (st == Mesi::Shared) {
+    ++stats_.bus_upgr;
+  } else {
+    ++stats_.bus_rdx;
+    stats_.bus_energy_j += line_move_energy();
+  }
+  for (std::uint32_t o = 0; o < cores(); ++o) {
+    if (o == c) continue;
+    auto it = states_[o].find(line);
+    if (it == states_[o].end() || it->second == Mesi::Invalid) continue;
+    if (it->second == Mesi::Modified) {
+      // Dirty copy flushes before invalidation.
+      ++stats_.writebacks;
+      ++stats_.c2c_transfers;
+      caches_[o].clean(line);
+    }
+    states_[o].erase(it);
+    caches_[o].invalidate(line);
+    ++stats_.invalidations;
+  }
+  st = Mesi::Modified;
+
+  const auto r = caches_[c].access(addr, true);
+  if (r.evicted_addr && line_of(*r.evicted_addr) != line) {
+    handle_eviction(c, line_of(*r.evicted_addr));
+  }
+}
+
+bool CoherentSystem::invariants_hold() const {
+  // Gather the union of known lines, then check: at most one M/E copy
+  // overall, and an M/E copy excludes S copies elsewhere.
+  std::unordered_map<Addr, int> owners;  // count of M|E holders
+  std::unordered_map<Addr, int> sharers;
+  for (std::uint32_t c = 0; c < cores(); ++c) {
+    for (const auto& [line, st] : states_[c]) {
+      if (st == Mesi::Modified || st == Mesi::Exclusive) owners[line] += 1;
+      if (st == Mesi::Shared) sharers[line] += 1;
+    }
+  }
+  for (const auto& [line, n] : owners) {
+    if (n > 1) return false;
+    if (sharers.count(line) && sharers.at(line) > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace arch21::mem

@@ -1,0 +1,86 @@
+#pragma once
+// Snooping MESI coherence over a shared bus.  N private caches keep
+// per-line MESI state; reads and writes trigger the standard transitions
+// with bus reads (BusRd), exclusive reads (BusRdX), upgrades (BusUpgr),
+// cache-to-cache transfers, and write-backs.  The simulator counts every
+// bus transaction and prices coherence traffic through the energy
+// catalogue, quantifying the paper's "communication more expensive than
+// computation" at the on-chip scale (false sharing is the classic
+// pathological case, exercised in the tests and the parallel bench).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "energy/catalogue.hpp"
+#include "mem/cache.hpp"
+
+namespace arch21::mem {
+
+/// Per-line MESI state in one cache.
+enum class Mesi : std::uint8_t { Invalid, Shared, Exclusive, Modified };
+
+const char* to_string(Mesi s);
+
+/// Bus transaction kinds (for stats).
+struct CoherenceStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_hits = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t bus_rd = 0;        ///< read miss -> fetch
+  std::uint64_t bus_rdx = 0;       ///< write miss -> fetch exclusive
+  std::uint64_t bus_upgr = 0;      ///< S->M upgrade (invalidate sharers)
+  std::uint64_t invalidations = 0; ///< lines invalidated in other caches
+  std::uint64_t c2c_transfers = 0; ///< data supplied cache-to-cache
+  std::uint64_t writebacks = 0;    ///< M lines flushed to memory
+  double bus_energy_j = 0;         ///< energy of all bus data movement
+
+  double miss_rate() const noexcept {
+    const auto acc = reads + writes;
+    const auto hits = read_hits + write_hits;
+    return acc ? 1.0 - static_cast<double>(hits) / static_cast<double>(acc) : 0;
+  }
+};
+
+/// A multi-core coherent cache system (one private cache level per core
+/// over a shared bus to memory).
+class CoherentSystem {
+ public:
+  /// `cores` private caches with geometry `cfg`; energies from `cat`.
+  CoherentSystem(std::uint32_t cores, CacheConfig cfg,
+                 const energy::Catalogue& cat);
+
+  std::uint32_t cores() const noexcept { return static_cast<std::uint32_t>(caches_.size()); }
+
+  /// Core `c` reads the line containing `addr`.
+  void read(std::uint32_t c, Addr addr);
+
+  /// Core `c` writes the line containing `addr`.
+  void write(std::uint32_t c, Addr addr);
+
+  /// Current MESI state of `addr`'s line in core `c`'s cache.
+  Mesi state(std::uint32_t c, Addr addr) const;
+
+  const CoherenceStats& stats() const noexcept { return stats_; }
+  const Cache& cache(std::uint32_t c) const { return caches_.at(c); }
+
+  /// Protocol invariant: at most one M or E copy; M/E excludes S copies.
+  /// Verified by tests after every operation sequence.
+  bool invariants_hold() const;
+
+ private:
+  Addr line_of(Addr addr) const noexcept;
+  Mesi& state_ref(std::uint32_t c, Addr line);
+  /// Evict handling when the capacity cache drops a line.
+  void handle_eviction(std::uint32_t c, Addr line);
+  double line_move_energy() const noexcept;
+
+  std::vector<Cache> caches_;
+  std::vector<std::unordered_map<Addr, Mesi>> states_;  ///< by line addr
+  const energy::Catalogue& cat_;
+  std::uint32_t line_bytes_;
+  CoherenceStats stats_;
+};
+
+}  // namespace arch21::mem

@@ -1,0 +1,202 @@
+#include "mem/compression.hpp"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace arch21::mem {
+
+namespace {
+
+template <typename T>
+std::vector<T> as_words(std::span<const std::uint8_t> line) {
+  std::vector<T> out(line.size() / sizeof(T));
+  std::memcpy(out.data(), line.data(), out.size() * sizeof(T));
+  return out;
+}
+
+template <typename T>
+void append_value(std::vector<std::uint8_t>& v, T x) {
+  const auto n = v.size();
+  v.resize(n + sizeof(T));
+  std::memcpy(v.data() + n, &x, sizeof(T));
+}
+
+template <typename T>
+T read_value(std::span<const std::uint8_t> s, std::size_t off) {
+  if (off + sizeof(T) > s.size()) {
+    throw std::invalid_argument("bdi: truncated encoding");
+  }
+  T x;
+  std::memcpy(&x, s.data() + off, sizeof(T));
+  return x;
+}
+
+/// Try base+delta with Base-sized words and Delta-sized deltas.
+/// Returns an encoding (scheme byte + base + deltas) or empty on failure.
+template <typename Base, typename Delta>
+std::vector<std::uint8_t> try_base_delta(std::span<const std::uint8_t> line,
+                                         BdiScheme scheme) {
+  static_assert(sizeof(Delta) < sizeof(Base));
+  const auto words = as_words<Base>(line);
+  if (words.empty()) return {};
+  const Base base = words.front();
+  using SB = std::make_signed_t<Base>;
+  using SD = std::make_signed_t<Delta>;
+  std::vector<std::uint8_t> enc;
+  enc.push_back(static_cast<std::uint8_t>(scheme));
+  append_value(enc, base);
+  for (const Base w : words) {
+    const SB diff = static_cast<SB>(w - base);
+    if (diff < std::numeric_limits<SD>::min() ||
+        diff > std::numeric_limits<SD>::max()) {
+      return {};
+    }
+    append_value(enc, static_cast<Delta>(static_cast<SD>(diff)));
+  }
+  return enc;
+}
+
+template <typename Base, typename Delta>
+std::vector<std::uint8_t> decode_base_delta(std::span<const std::uint8_t> enc,
+                                            std::size_t original_size) {
+  using SD = std::make_signed_t<Delta>;
+  const Base base = read_value<Base>(enc, 1);
+  const std::size_t nwords = original_size / sizeof(Base);
+  std::vector<std::uint8_t> out(original_size);
+  std::size_t off = 1 + sizeof(Base);
+  for (std::size_t i = 0; i < nwords; ++i) {
+    const auto d = static_cast<SD>(read_value<Delta>(enc, off));
+    off += sizeof(Delta);
+    const Base w = static_cast<Base>(base + static_cast<Base>(d));
+    std::memcpy(out.data() + i * sizeof(Base), &w, sizeof(Base));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(BdiScheme s) {
+  switch (s) {
+    case BdiScheme::Zeros: return "zeros";
+    case BdiScheme::Repeat8: return "repeat8";
+    case BdiScheme::Base8Delta1: return "b8d1";
+    case BdiScheme::Base8Delta2: return "b8d2";
+    case BdiScheme::Base8Delta4: return "b8d4";
+    case BdiScheme::Base4Delta1: return "b4d1";
+    case BdiScheme::Base4Delta2: return "b4d2";
+    case BdiScheme::Base2Delta1: return "b2d1";
+    case BdiScheme::Raw: return "raw";
+  }
+  return "?";
+}
+
+BdiResult bdi_compress(std::span<const std::uint8_t> line) {
+  if (line.empty() || line.size() % 8 != 0) {
+    throw std::invalid_argument("bdi_compress: line size must be multiple of 8");
+  }
+
+  BdiResult best;
+  best.scheme = BdiScheme::Raw;
+  best.bytes.reserve(line.size() + 1);
+  best.bytes.push_back(static_cast<std::uint8_t>(BdiScheme::Raw));
+  best.bytes.insert(best.bytes.end(), line.begin(), line.end());
+
+  auto consider = [&](BdiScheme scheme, std::vector<std::uint8_t> enc) {
+    if (!enc.empty() && enc.size() < best.bytes.size()) {
+      best.scheme = scheme;
+      best.bytes = std::move(enc);
+    }
+  };
+
+  // Zeros.
+  {
+    bool all_zero = true;
+    for (auto b : line) {
+      if (b != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) {
+      consider(BdiScheme::Zeros,
+               {static_cast<std::uint8_t>(BdiScheme::Zeros)});
+    }
+  }
+
+  // Repeated 64-bit value.
+  {
+    const auto w = as_words<std::uint64_t>(line);
+    bool same = true;
+    for (auto x : w) {
+      if (x != w.front()) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      std::vector<std::uint8_t> enc;
+      enc.push_back(static_cast<std::uint8_t>(BdiScheme::Repeat8));
+      append_value(enc, w.front());
+      consider(BdiScheme::Repeat8, std::move(enc));
+    }
+  }
+
+  consider(BdiScheme::Base8Delta1,
+           try_base_delta<std::uint64_t, std::uint8_t>(line, BdiScheme::Base8Delta1));
+  consider(BdiScheme::Base8Delta2,
+           try_base_delta<std::uint64_t, std::uint16_t>(line, BdiScheme::Base8Delta2));
+  consider(BdiScheme::Base8Delta4,
+           try_base_delta<std::uint64_t, std::uint32_t>(line, BdiScheme::Base8Delta4));
+  consider(BdiScheme::Base4Delta1,
+           try_base_delta<std::uint32_t, std::uint8_t>(line, BdiScheme::Base4Delta1));
+  consider(BdiScheme::Base4Delta2,
+           try_base_delta<std::uint32_t, std::uint16_t>(line, BdiScheme::Base4Delta2));
+  consider(BdiScheme::Base2Delta1,
+           try_base_delta<std::uint16_t, std::uint8_t>(line, BdiScheme::Base2Delta1));
+  return best;
+}
+
+std::vector<std::uint8_t> bdi_decompress(std::span<const std::uint8_t> enc,
+                                         std::size_t original_size) {
+  if (enc.empty()) throw std::invalid_argument("bdi_decompress: empty");
+  const auto scheme = static_cast<BdiScheme>(enc[0]);
+  switch (scheme) {
+    case BdiScheme::Zeros:
+      return std::vector<std::uint8_t>(original_size, 0);
+    case BdiScheme::Repeat8: {
+      const auto v = read_value<std::uint64_t>(enc, 1);
+      std::vector<std::uint8_t> out(original_size);
+      for (std::size_t i = 0; i < original_size; i += 8) {
+        std::memcpy(out.data() + i, &v, 8);
+      }
+      return out;
+    }
+    case BdiScheme::Base8Delta1:
+      return decode_base_delta<std::uint64_t, std::uint8_t>(enc, original_size);
+    case BdiScheme::Base8Delta2:
+      return decode_base_delta<std::uint64_t, std::uint16_t>(enc, original_size);
+    case BdiScheme::Base8Delta4:
+      return decode_base_delta<std::uint64_t, std::uint32_t>(enc, original_size);
+    case BdiScheme::Base4Delta1:
+      return decode_base_delta<std::uint32_t, std::uint8_t>(enc, original_size);
+    case BdiScheme::Base4Delta2:
+      return decode_base_delta<std::uint32_t, std::uint16_t>(enc, original_size);
+    case BdiScheme::Base2Delta1:
+      return decode_base_delta<std::uint16_t, std::uint8_t>(enc, original_size);
+    case BdiScheme::Raw: {
+      if (enc.size() != original_size + 1) {
+        throw std::invalid_argument("bdi_decompress: bad raw length");
+      }
+      return std::vector<std::uint8_t>(enc.begin() + 1, enc.end());
+    }
+  }
+  throw std::invalid_argument("bdi_decompress: unknown scheme");
+}
+
+double bdi_ratio(std::span<const std::uint8_t> line) {
+  const auto r = bdi_compress(line);
+  return static_cast<double>(line.size()) / static_cast<double>(r.size());
+}
+
+}  // namespace arch21::mem

@@ -1,0 +1,58 @@
+#pragma once
+// Base-Delta-Immediate (BDI) cache-line compression (Pekhimenko et al.,
+// PACT 2012), implemented as a real codec: compress() emits an encoded
+// byte stream and decompress() restores the exact line.  The memory
+// system uses the compressed size to cut bandwidth and therefore data-
+// movement energy -- the paper's "memory systems must seek energy
+// efficiency through specialization (e.g., through compression...)".
+//
+// Schemes tried, best (smallest) wins:
+//   Zeros            -- all-zero line, 1 byte of metadata
+//   Repeat8          -- one repeated 64-bit value
+//   Base8Delta{1,2,4} -- 64-bit base + narrow per-word deltas
+//   Base4Delta{1,2}  -- 32-bit base + narrow per-word deltas
+//   Base2Delta1      -- 16-bit base + 1-byte deltas
+//   Raw              -- uncompressed fallback
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace arch21::mem {
+
+/// Compression scheme identifiers (first byte of every encoding).
+enum class BdiScheme : std::uint8_t {
+  Zeros = 0,
+  Repeat8 = 1,
+  Base8Delta1 = 2,
+  Base8Delta2 = 3,
+  Base8Delta4 = 4,
+  Base4Delta1 = 5,
+  Base4Delta2 = 6,
+  Base2Delta1 = 7,
+  Raw = 8,
+};
+
+const char* to_string(BdiScheme s);
+
+/// Result of compressing one line.
+struct BdiResult {
+  BdiScheme scheme = BdiScheme::Raw;
+  std::vector<std::uint8_t> bytes;  ///< scheme byte + payload
+
+  std::size_t size() const noexcept { return bytes.size(); }
+};
+
+/// Compress a cache line (length must be a multiple of 8; typically 64).
+BdiResult bdi_compress(std::span<const std::uint8_t> line);
+
+/// Decompress an encoding produced by bdi_compress; `original_size` is
+/// the line length.  Throws std::invalid_argument on malformed input.
+std::vector<std::uint8_t> bdi_decompress(std::span<const std::uint8_t> enc,
+                                         std::size_t original_size);
+
+/// Compression ratio (original / compressed) for a line.
+double bdi_ratio(std::span<const std::uint8_t> line);
+
+}  // namespace arch21::mem

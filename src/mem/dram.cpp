@@ -1,0 +1,39 @@
+#include "mem/dram.hpp"
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace arch21::mem {
+
+Dram::Dram(DramConfig cfg) : cfg_(cfg) {
+  if (cfg.banks == 0 || cfg.row_bytes == 0) {
+    throw std::invalid_argument("Dram: bad geometry");
+  }
+  open_row_.assign(cfg.banks, -1);
+}
+
+DramAccess Dram::access(Addr addr, bool write) {
+  (void)write;  // symmetric read/write timing at this fidelity
+  const std::uint64_t row = addr / cfg_.row_bytes;
+  const std::uint32_t bank = static_cast<std::uint32_t>(row % cfg_.banks);
+
+  DramAccess out;
+  if (open_row_[bank] == static_cast<std::int64_t>(row)) {
+    ++row_hits_;
+    out.row_hit = true;
+    out.latency_ns = cfg_.t_cas_ns;
+    out.energy_j = cfg_.e_rw_per64b_nj * units::nano;
+  } else {
+    ++row_misses_;
+    const bool was_open = open_row_[bank] >= 0;
+    out.latency_ns = (was_open ? cfg_.t_rp_ns : 0.0) + cfg_.t_rcd_ns + cfg_.t_cas_ns;
+    out.energy_j =
+        (cfg_.e_activate_nj + cfg_.e_rw_per64b_nj) * units::nano;
+    open_row_[bank] = static_cast<std::int64_t>(row);
+  }
+  energy_j_ += out.energy_j;
+  return out;
+}
+
+}  // namespace arch21::mem

@@ -1,0 +1,60 @@
+#pragma once
+// First-order DRAM timing/energy model with per-bank row buffers.
+// Captures the behaviour that matters to the experiments: row-buffer hits
+// are fast and cheap, row misses pay precharge+activate, and refresh
+// consumes background power.  Used as the volatile half of the hybrid
+// memory experiments (E10) and the baseline for the NVM comparison.
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.hpp"
+
+namespace arch21::mem {
+
+/// DRAM device/channel configuration.
+struct DramConfig {
+  std::uint32_t banks = 8;
+  std::uint64_t row_bytes = 8 * 1024;     ///< row-buffer size
+  double t_cas_ns = 14;                   ///< row-hit access
+  double t_rcd_ns = 14;                   ///< activate
+  double t_rp_ns = 14;                    ///< precharge
+  double e_activate_nj = 1.0;             ///< energy per activate
+  double e_rw_per64b_nj = 0.5;            ///< column access energy
+  double background_w_per_gib = 0.15;     ///< refresh + standby power
+};
+
+/// Outcome of one DRAM access.
+struct DramAccess {
+  bool row_hit = false;
+  double latency_ns = 0;
+  double energy_j = 0;
+};
+
+/// Open-page DRAM channel model.
+class Dram {
+ public:
+  explicit Dram(DramConfig cfg);
+
+  const DramConfig& config() const noexcept { return cfg_; }
+
+  /// Access the 64-bit word at `addr`; banks interleave by row.
+  DramAccess access(Addr addr, bool write);
+
+  std::uint64_t row_hits() const noexcept { return row_hits_; }
+  std::uint64_t row_misses() const noexcept { return row_misses_; }
+  double row_hit_rate() const noexcept {
+    const auto t = row_hits_ + row_misses_;
+    return t ? static_cast<double>(row_hits_) / static_cast<double>(t) : 0;
+  }
+  double total_energy_j() const noexcept { return energy_j_; }
+
+ private:
+  DramConfig cfg_;
+  std::vector<std::int64_t> open_row_;  ///< -1 = closed, else row id
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t row_misses_ = 0;
+  double energy_j_ = 0;
+};
+
+}  // namespace arch21::mem

@@ -1,0 +1,83 @@
+#include "mem/hierarchy.hpp"
+
+namespace arch21::mem {
+
+const char* to_string(ServiceLevel s) {
+  switch (s) {
+    case ServiceLevel::L1: return "L1";
+    case ServiceLevel::L2: return "L2";
+    case ServiceLevel::LLC: return "LLC";
+    case ServiceLevel::Dram: return "DRAM";
+  }
+  return "?";
+}
+
+Hierarchy::Hierarchy(CacheConfig l1, CacheConfig l2, CacheConfig llc,
+                     const energy::Catalogue& cat, HierarchyLatency lat)
+    : l1_(l1), l2_(l2), llc_(llc), cat_(cat), lat_(lat) {}
+
+ServiceLevel Hierarchy::access(Addr addr, bool write) {
+  ++stats_.accesses;
+  using energy::Level;
+
+  // Every lookup that happens costs its level's access energy, whether it
+  // hits or misses (the tag+data array is read either way).
+  double energy = cat_.access(Level::L1);
+  std::uint64_t latency = lat_.l1;
+  ServiceLevel serviced = ServiceLevel::L1;
+
+  // A dirty victim is *installed dirty* in the next level (write-back
+  // write-allocate), which can cascade further evictions outward.
+  auto spill_to_llc = [&](Addr victim) {
+    energy += cat_.access(Level::LLC);
+    const auto r = llc_.access(victim, /*write=*/true);
+    if (r.writeback_addr) {
+      ++stats_.writebacks_to_dram;
+      energy += cat_.access(Level::Dram);
+    }
+  };
+  auto spill_to_l2 = [&](Addr victim) {
+    energy += cat_.access(Level::L2);
+    const auto r = l2_.access(victim, /*write=*/true);
+    if (r.writeback_addr) spill_to_llc(*r.writeback_addr);
+  };
+
+  const auto r1 = l1_.access(addr, write);
+  if (!r1.hit) {
+    energy += cat_.access(Level::L2);
+    latency += lat_.l2;
+    serviced = ServiceLevel::L2;
+    const auto r2 = l2_.access(addr, false);
+    if (!r2.hit) {
+      energy += cat_.access(Level::LLC);
+      latency += lat_.llc;
+      serviced = ServiceLevel::LLC;
+      const auto r3 = llc_.access(addr, false);
+      if (!r3.hit) {
+        energy += cat_.access(Level::Dram);
+        latency += lat_.dram;
+        serviced = ServiceLevel::Dram;
+      }
+      if (r3.writeback_addr) {
+        ++stats_.writebacks_to_dram;
+        energy += cat_.access(Level::Dram);
+      }
+    }
+    if (r2.writeback_addr) spill_to_llc(*r2.writeback_addr);
+  }
+  if (r1.writeback_addr) spill_to_l2(*r1.writeback_addr);
+
+  stats_.serviced_at[static_cast<std::size_t>(serviced)] += 1;
+  stats_.total_energy_j += energy;
+  stats_.total_latency_cycles += latency;
+  return serviced;
+}
+
+void Hierarchy::reset_stats() {
+  stats_ = {};
+  l1_.reset_stats();
+  l2_.reset_stats();
+  llc_.reset_stats();
+}
+
+}  // namespace arch21::mem

@@ -1,0 +1,74 @@
+#pragma once
+// Multi-level memory hierarchy: L1 -> L2 -> LLC -> DRAM, with per-access
+// latency and energy accounting through the energy catalogue.  Used by
+// the fetch-energy experiment (E6), the streaming/compression experiment
+// (E18), and the core cross-layer evaluator.
+
+#include <array>
+#include <cstdint>
+
+#include "energy/catalogue.hpp"
+#include "mem/cache.hpp"
+
+namespace arch21::mem {
+
+/// Where an access was serviced.
+enum class ServiceLevel { L1, L2, LLC, Dram };
+
+const char* to_string(ServiceLevel s);
+
+/// Latency (cycles) of each level, configurable.
+struct HierarchyLatency {
+  std::uint32_t l1 = 4;
+  std::uint32_t l2 = 12;
+  std::uint32_t llc = 38;
+  std::uint32_t dram = 200;
+};
+
+/// Aggregate hierarchy statistics.
+struct HierarchyStats {
+  std::uint64_t accesses = 0;
+  std::array<std::uint64_t, 4> serviced_at{};  ///< indexed by ServiceLevel
+  std::uint64_t writebacks_to_dram = 0;
+  double total_energy_j = 0;
+  std::uint64_t total_latency_cycles = 0;
+
+  double amat_cycles() const noexcept {
+    return accesses ? static_cast<double>(total_latency_cycles) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+  double energy_per_access() const noexcept {
+    return accesses ? total_energy_j / static_cast<double>(accesses) : 0.0;
+  }
+};
+
+/// A three-level cache hierarchy in front of DRAM.
+///
+/// Inclusion policy: non-inclusive, non-exclusive (the common "NINE"
+/// arrangement) -- misses allocate at every level on the way in, and
+/// evictions at an outer level do not force inner invalidations.
+class Hierarchy {
+ public:
+  Hierarchy(CacheConfig l1, CacheConfig l2, CacheConfig llc,
+            const energy::Catalogue& cat, HierarchyLatency lat = {});
+
+  /// Perform one 64-bit demand access; returns the servicing level.
+  ServiceLevel access(Addr addr, bool write);
+
+  const HierarchyStats& stats() const noexcept { return stats_; }
+  const Cache& l1() const noexcept { return l1_; }
+  const Cache& l2() const noexcept { return l2_; }
+  const Cache& llc() const noexcept { return llc_; }
+  void reset_stats();
+
+ private:
+  Cache l1_;
+  Cache l2_;
+  Cache llc_;
+  const energy::Catalogue& cat_;
+  HierarchyLatency lat_;
+  HierarchyStats stats_;
+};
+
+}  // namespace arch21::mem

@@ -1,0 +1,104 @@
+#include "mem/hybrid.hpp"
+
+#include <stdexcept>
+
+namespace arch21::mem {
+
+HybridMemory::HybridMemory(Dram& dram, NvmDevice& nvm, HybridConfig cfg)
+    : dram_(dram), nvm_(nvm), cfg_(cfg) {
+  if (cfg.dram_pages == 0 || cfg.page_bytes == 0) {
+    throw std::invalid_argument("HybridMemory: bad config");
+  }
+  resident_.reserve(cfg.dram_pages);
+}
+
+bool HybridMemory::in_dram(Addr addr) const {
+  return resident_pos_.count(page_of(addr)) != 0;
+}
+
+void HybridMemory::access(Addr addr, bool write) {
+  ++stats_.accesses;
+  const std::uint64_t page = page_of(addr);
+  auto& info = info_[page];
+  info.count += 1;
+
+  const auto pos = resident_pos_.find(page);
+  if (pos != resident_pos_.end()) {
+    ++stats_.dram_hits;
+    info.referenced = true;
+    const auto a = dram_.access(addr, write);
+    stats_.total_latency_ns += a.latency_ns;
+    stats_.total_energy_j += a.energy_j;
+  } else {
+    ++stats_.nvm_hits;
+    const std::uint64_t line =
+        (addr / nvm_.config().line_bytes) % nvm_.config().lines;
+    const auto a = write ? nvm_.write(line) : nvm_.read(line);
+    stats_.total_latency_ns += a.latency_ns;
+    stats_.total_energy_j += a.energy_j;
+    if (info.count >= cfg_.promote_threshold) promote(page);
+  }
+
+  if (++since_epoch_ >= cfg_.epoch_accesses) {
+    since_epoch_ = 0;
+    decay_counters();
+  }
+}
+
+void HybridMemory::promote(std::uint64_t page) {
+  if (resident_.size() >= cfg_.dram_pages) demote_victim();
+  ++stats_.promotions;
+  // Migration traffic: read the page from NVM, write it into DRAM.
+  const std::uint64_t words = cfg_.page_bytes / 8;
+  for (std::uint64_t w = 0; w < words; w += 8) {  // 64 B line granularity
+    const std::uint64_t line =
+        (page * cfg_.page_bytes / nvm_.config().line_bytes + w / 8) %
+        nvm_.config().lines;
+    const auto r = nvm_.read(line);
+    stats_.total_energy_j += r.energy_j;
+    const auto d = dram_.access(page * cfg_.page_bytes + w * 8, true);
+    stats_.total_energy_j += d.energy_j;
+  }
+  resident_pos_[page] = resident_.size();
+  resident_.push_back(page);
+  info_[page].referenced = true;
+}
+
+void HybridMemory::demote_victim() {
+  // CLOCK: sweep until an unreferenced page is found.
+  for (;;) {
+    if (resident_.empty()) return;
+    clock_hand_ %= resident_.size();
+    const std::uint64_t page = resident_[clock_hand_];
+    auto& info = info_[page];
+    if (info.referenced) {
+      info.referenced = false;
+      ++clock_hand_;
+      continue;
+    }
+    // Demote: write the page back to NVM.
+    ++stats_.demotions;
+    const std::uint64_t lines_per_page =
+        cfg_.page_bytes / nvm_.config().line_bytes;
+    for (std::uint64_t l = 0; l < lines_per_page; ++l) {
+      const std::uint64_t line =
+          (page * lines_per_page + l) % nvm_.config().lines;
+      const auto wcost = nvm_.write(line);
+      stats_.total_energy_j += wcost.energy_j;
+    }
+    // Remove from the ring (swap with last).
+    const std::size_t pos = clock_hand_;
+    resident_pos_.erase(page);
+    resident_[pos] = resident_.back();
+    if (pos != resident_.size() - 1) resident_pos_[resident_[pos]] = pos;
+    resident_.pop_back();
+    info_[page].count = 0;
+    return;
+  }
+}
+
+void HybridMemory::decay_counters() {
+  for (auto& [page, info] : info_) info.count /= 2;
+}
+
+}  // namespace arch21::mem

@@ -1,0 +1,81 @@
+#pragma once
+// Hybrid DRAM + NVM main memory with hotness-based page migration.
+// DRAM is the small, fast, write-friendly tier; NVM is the large,
+// non-volatile, write-limited tier.  A CLOCK-with-counters policy
+// promotes hot pages into DRAM and demotes cold ones, answering the
+// paper's "rethinking the relationship between memory and storage".
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/nvm.hpp"
+
+namespace arch21::mem {
+
+/// Hybrid-memory configuration.
+struct HybridConfig {
+  std::uint64_t page_bytes = 4096;
+  std::uint64_t dram_pages = 256;       ///< DRAM tier capacity
+  std::uint32_t promote_threshold = 8;  ///< accesses-per-epoch to promote
+  std::uint64_t epoch_accesses = 4096;  ///< counter-decay period
+};
+
+/// Aggregate statistics.
+struct HybridStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t dram_hits = 0;     ///< serviced from the DRAM tier
+  std::uint64_t nvm_hits = 0;      ///< serviced from the NVM tier
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  double total_latency_ns = 0;
+  double total_energy_j = 0;
+
+  double dram_fraction() const noexcept {
+    return accesses ? static_cast<double>(dram_hits) /
+                          static_cast<double>(accesses)
+                    : 0;
+  }
+  double mean_latency_ns() const noexcept {
+    return accesses ? total_latency_ns / static_cast<double>(accesses) : 0;
+  }
+};
+
+/// The hybrid manager.  Addresses are byte addresses; the manager works
+/// at page granularity and forwards word traffic to the tier models.
+class HybridMemory {
+ public:
+  HybridMemory(Dram& dram, NvmDevice& nvm, HybridConfig cfg);
+
+  /// One 64-bit access.
+  void access(Addr addr, bool write);
+
+  const HybridStats& stats() const noexcept { return stats_; }
+  bool in_dram(Addr addr) const;
+  std::uint64_t dram_resident() const noexcept { return resident_.size(); }
+
+ private:
+  struct PageInfo {
+    std::uint32_t count = 0;  ///< accesses this epoch
+    bool referenced = false;  ///< CLOCK bit (DRAM-resident pages)
+  };
+
+  std::uint64_t page_of(Addr addr) const noexcept { return addr / cfg_.page_bytes; }
+  void promote(std::uint64_t page);
+  void demote_victim();
+  void decay_counters();
+
+  Dram& dram_;
+  NvmDevice& nvm_;
+  HybridConfig cfg_;
+  std::unordered_map<std::uint64_t, PageInfo> info_;
+  std::vector<std::uint64_t> resident_;  ///< DRAM-resident pages (CLOCK ring)
+  std::unordered_map<std::uint64_t, std::size_t> resident_pos_;
+  std::size_t clock_hand_ = 0;
+  std::uint64_t since_epoch_ = 0;
+  HybridStats stats_;
+};
+
+}  // namespace arch21::mem

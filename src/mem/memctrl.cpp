@@ -1,0 +1,92 @@
+#include "mem/memctrl.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace arch21::mem {
+
+const char* to_string(MemSchedule p) {
+  switch (p) {
+    case MemSchedule::Fcfs: return "fcfs";
+    case MemSchedule::FrFcfs: return "fr-fcfs";
+  }
+  return "?";
+}
+
+MemSchedStats drain_batch(const std::vector<MemRequest>& batch,
+                          MemSchedule policy, const DramConfig& cfg,
+                          std::size_t window) {
+  Dram dram(cfg);
+  MemSchedStats stats;
+  stats.requests = batch.size();
+  if (batch.empty()) return stats;
+  if (window == 0) window = 1;
+
+  // The open row per bank, tracked controller-side so FR-FCFS can test
+  // "would this hit?" without touching the device.
+  std::vector<std::int64_t> open_row(cfg.banks, -1);
+  auto row_of = [&](Addr a) {
+    return static_cast<std::int64_t>(a / cfg.row_bytes);
+  };
+  auto bank_of = [&](Addr a) {
+    return static_cast<std::uint32_t>(row_of(a) % cfg.banks);
+  };
+
+  std::deque<MemRequest> queue(batch.begin(), batch.end());
+  double now_ns = 0;
+  double latency_sum = 0;
+
+  while (!queue.empty()) {
+    std::size_t chosen = 0;
+    if (policy == MemSchedule::FrFcfs) {
+      // First ready: the oldest row-hit within the reorder window.
+      const std::size_t limit = std::min(window, queue.size());
+      bool found = false;
+      for (std::size_t i = 0; i < limit; ++i) {
+        const auto& r = queue[i];
+        if (open_row[bank_of(r.addr)] == row_of(r.addr)) {
+          chosen = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) chosen = 0;  // fall back to the oldest request
+    }
+    const MemRequest req = queue[chosen];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(chosen));
+
+    const auto acc = dram.access(req.addr, req.write);
+    open_row[bank_of(req.addr)] = row_of(req.addr);
+    now_ns += acc.latency_ns;
+    stats.total_energy_j += acc.energy_j;
+    stats.row_hits += acc.row_hit ? 1 : 0;
+    latency_sum += now_ns;  // completion time since batch start
+    stats.max_latency_ns = std::max(stats.max_latency_ns, now_ns);
+  }
+  stats.total_time_ns = now_ns;
+  stats.mean_latency_ns =
+      latency_sum / static_cast<double>(stats.requests);
+  return stats;
+}
+
+std::vector<MemRequest> make_interleaved_streams(std::uint32_t streams,
+                                                 std::uint32_t per_stream,
+                                                 std::uint64_t stride_bytes,
+                                                 std::uint64_t row_bytes) {
+  std::vector<MemRequest> out;
+  out.reserve(static_cast<std::size_t>(streams) * per_stream);
+  std::uint64_t id = 0;
+  for (std::uint32_t i = 0; i < per_stream; ++i) {
+    for (std::uint32_t s = 0; s < streams; ++s) {
+      MemRequest r;
+      // Each stream walks its own region (separated by many rows).
+      r.addr = static_cast<Addr>(s) * row_bytes * 64 +
+               static_cast<Addr>(i) * stride_bytes;
+      r.id = id++;
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace arch21::mem

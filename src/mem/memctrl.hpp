@@ -1,0 +1,66 @@
+#pragma once
+// Memory-controller scheduling: FCFS vs FR-FCFS (first-ready, first-come
+// first-served) over the row-buffer DRAM model.  FR-FCFS reorders the
+// request queue to drain row-buffer hits before opening new rows --
+// one of the concrete "new interfaces (beyond the JEDEC standards)"
+// levers the paper's datacenter-memory discussion points at, and a
+// classic throughput-vs-fairness tradeoff.
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/dram.hpp"
+
+namespace arch21::mem {
+
+/// Controller scheduling policy.
+enum class MemSchedule : std::uint8_t {
+  Fcfs,    ///< strict arrival order
+  FrFcfs,  ///< row hits first, then oldest
+};
+
+const char* to_string(MemSchedule p);
+
+/// One memory request.
+struct MemRequest {
+  Addr addr = 0;
+  bool write = false;
+  std::uint64_t id = 0;  ///< arrival order, for latency/fairness tracking
+};
+
+/// Result of draining a request batch.
+struct MemSchedStats {
+  std::uint64_t requests = 0;
+  std::uint64_t row_hits = 0;
+  double total_time_ns = 0;         ///< time to drain the batch
+  double total_energy_j = 0;
+  double mean_latency_ns = 0;       ///< mean completion time per request
+  double max_latency_ns = 0;        ///< worst case (fairness indicator)
+
+  double row_hit_rate() const noexcept {
+    return requests ? static_cast<double>(row_hits) /
+                          static_cast<double>(requests)
+                    : 0;
+  }
+  double throughput_gbs(double bytes_per_req = 64) const noexcept {
+    return total_time_ns > 0
+               ? static_cast<double>(requests) * bytes_per_req /
+                     total_time_ns
+               : 0;
+  }
+};
+
+/// Drain a batch of requests through a fresh DRAM channel under the
+/// given policy.  FR-FCFS uses a bounded reorder window.
+MemSchedStats drain_batch(const std::vector<MemRequest>& batch,
+                          MemSchedule policy, const DramConfig& cfg = {},
+                          std::size_t window = 16);
+
+/// Build an interleaved multi-stream batch: `streams` sequential readers
+/// round-robin their requests (the access pattern that punishes FCFS).
+std::vector<MemRequest> make_interleaved_streams(std::uint32_t streams,
+                                                 std::uint32_t per_stream,
+                                                 std::uint64_t stride_bytes,
+                                                 std::uint64_t row_bytes);
+
+}  // namespace arch21::mem

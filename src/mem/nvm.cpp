@@ -1,0 +1,62 @@
+#include "mem/nvm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace arch21::mem {
+
+NvmDevice::NvmDevice(NvmConfig cfg) : cfg_(cfg) {
+  if (cfg.lines == 0) throw std::invalid_argument("NvmDevice: zero lines");
+  writes_.assign(cfg.lines, 0);
+  endurance_.resize(cfg.lines);
+  Rng rng(cfg.seed);
+  for (auto& e : endurance_) {
+    // Weibull endurance with the configured mean: mean = lambda*Gamma(1+1/k).
+    const double k = cfg.endurance_shape;
+    const double lambda = cfg.mean_endurance / std::tgamma(1.0 + 1.0 / k);
+    e = static_cast<std::uint64_t>(std::max(1.0, rng.weibull(lambda, k)));
+  }
+}
+
+NvmAccess NvmDevice::read(std::uint64_t line) {
+  if (line >= cfg_.lines) throw std::out_of_range("NvmDevice::read");
+  NvmAccess a;
+  a.latency_ns = cfg_.read_ns;
+  a.energy_j = cfg_.e_read_per64b_nj * units::nano *
+               (static_cast<double>(cfg_.line_bytes) / 8.0);
+  energy_j_ += a.energy_j;
+  return a;
+}
+
+NvmAccess NvmDevice::write(std::uint64_t line) {
+  if (line >= cfg_.lines) throw std::out_of_range("NvmDevice::write");
+  NvmAccess a;
+  a.latency_ns = cfg_.write_ns;
+  a.energy_j = cfg_.e_write_per64b_nj * units::nano *
+               (static_cast<double>(cfg_.line_bytes) / 8.0);
+  energy_j_ += a.energy_j;
+  ++total_writes_;
+  auto& w = writes_[line];
+  ++w;
+  if (w == endurance_[line]) {
+    ++failed_count_;
+    a.line_failed = true;
+  }
+  return a;
+}
+
+std::uint64_t NvmDevice::max_wear() const {
+  return *std::max_element(writes_.begin(), writes_.end());
+}
+
+double NvmDevice::wear_cv() const {
+  OnlineStats s;
+  for (auto w : writes_) s.add(static_cast<double>(w));
+  return s.mean() > 0 ? s.stddev() / s.mean() : 0.0;
+}
+
+}  // namespace arch21::mem

@@ -1,0 +1,74 @@
+#pragma once
+// Non-volatile memory (PCM-class) device model: asymmetric read/write
+// latency and energy, limited write endurance with cell-to-cell
+// variation, and wear tracking at line granularity.
+//
+// Paper hook (section 2.3): emerging NVM technologies "require
+// re-architecting memory and storage systems to address the device
+// capabilities (e.g., longer, asymmetric, or variable latency, as well as
+// device wear out)."  The wear-leveling module (mem/wear_leveling.hpp)
+// plugs in front of this model; experiment E10 measures the lifetime it
+// buys.
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::mem {
+
+/// PCM-class device parameters (representative mid-2010s literature
+/// values; DRAM comparison: read ~2-4x slower, write ~10x slower and
+/// ~5-10x more energy, zero refresh power).
+struct NvmConfig {
+  double read_ns = 60;
+  double write_ns = 150;
+  double e_read_per64b_nj = 1.0;
+  double e_write_per64b_nj = 8.0;
+  double mean_endurance = 1e8;   ///< mean writes per line before failure
+  double endurance_shape = 5.0;  ///< Weibull shape (variation across cells)
+  std::uint64_t lines = 1 << 16; ///< device capacity in lines
+  std::uint32_t line_bytes = 64;
+  std::uint64_t seed = 42;       ///< endurance draw seed
+};
+
+/// Result of an NVM access.
+struct NvmAccess {
+  double latency_ns = 0;
+  double energy_j = 0;
+  bool line_failed = false;  ///< this write exhausted the line's endurance
+};
+
+/// The device.  Addresses are *physical line indices* (wear leveling maps
+/// logical -> physical above this layer).
+class NvmDevice {
+ public:
+  explicit NvmDevice(NvmConfig cfg);
+
+  const NvmConfig& config() const noexcept { return cfg_; }
+
+  NvmAccess read(std::uint64_t line);
+  NvmAccess write(std::uint64_t line);
+
+  std::uint64_t writes_to(std::uint64_t line) const { return writes_.at(line); }
+  std::uint64_t endurance_of(std::uint64_t line) const { return endurance_.at(line); }
+  std::uint64_t failed_lines() const noexcept { return failed_count_; }
+  std::uint64_t total_writes() const noexcept { return total_writes_; }
+  double total_energy_j() const noexcept { return energy_j_; }
+
+  /// Maximum per-line write count so far (wear skew indicator).
+  std::uint64_t max_wear() const;
+  /// Coefficient of variation of per-line wear (0 = perfectly even).
+  double wear_cv() const;
+
+ private:
+  NvmConfig cfg_;
+  std::vector<std::uint64_t> writes_;
+  std::vector<std::uint64_t> endurance_;  ///< per-line write budget
+  std::uint64_t failed_count_ = 0;
+  std::uint64_t total_writes_ = 0;
+  double energy_j_ = 0;
+};
+
+}  // namespace arch21::mem

@@ -1,0 +1,64 @@
+#include "mem/prefetch.hpp"
+
+#include <algorithm>
+
+namespace arch21::mem {
+
+StridePrefetcher::StridePrefetcher(Hierarchy& hierarchy, PrefetchConfig cfg)
+    : h_(hierarchy), cfg_(cfg), table_(cfg.table_entries) {
+  inflight_.reserve(256);
+}
+
+ServiceLevel StridePrefetcher::access(Addr addr, bool write) {
+  ++stats_.demand_accesses;
+  const std::uint32_t line_bytes = h_.l1().config().line_bytes;
+  const Addr line = addr / line_bytes;
+
+  // Usefulness attribution: was this line brought in by a prefetch?
+  const auto it = std::find(inflight_.begin(), inflight_.end(), line);
+  if (it != inflight_.end()) {
+    ++stats_.useful;
+    inflight_.erase(it);
+  }
+
+  const ServiceLevel lvl = h_.access(addr, write);
+  if (lvl == ServiceLevel::L1) ++stats_.demand_hits_l1;
+
+  // Train the stride table.
+  const std::uint64_t region = addr / cfg_.region_bytes;
+  Entry& e = table_[region % table_.size()];
+  const auto sline = static_cast<std::int64_t>(line);
+  if (e.region != region) {
+    e = Entry{region, sline, 0, false};
+  } else {
+    const std::int64_t delta = sline - e.last_line;
+    if (delta != 0) {
+      if (delta == e.stride) {
+        e.armed = true;
+      } else {
+        e.stride = delta;
+        e.armed = false;
+      }
+      e.last_line = sline;
+    }
+  }
+
+  // Issue prefetches.
+  if (e.armed && e.stride != 0) {
+    for (std::uint32_t d = 1; d <= cfg_.degree; ++d) {
+      const std::int64_t target =
+          sline + e.stride * static_cast<std::int64_t>(d);
+      if (target < 0) continue;
+      const Addr target_addr = static_cast<Addr>(target) * line_bytes;
+      // Only fetch lines not already resident in L1 (filter).
+      if (h_.l1().contains(target_addr)) continue;
+      ++stats_.issued;
+      h_.access(target_addr, false);
+      if (inflight_.size() >= 256) inflight_.erase(inflight_.begin());
+      inflight_.push_back(static_cast<Addr>(target));
+    }
+  }
+  return lvl;
+}
+
+}  // namespace arch21::mem

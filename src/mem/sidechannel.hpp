@@ -1,0 +1,58 @@
+#pragma once
+// Cache timing side channel (prime+probe) and its partitioning defense.
+//
+// Paper hook (section 2.4): hardware as the "root of trust" must support
+// "information flow tracking (reducing side-channel attacks)".  DIFT
+// (isa/machine.hpp) covers explicit flows; this module demonstrates the
+// *implicit* flow DIFT cannot see: a victim's secret-dependent memory
+// access perturbs shared-cache state, and an attacker recovers the secret
+// purely from its own hit/miss timing.
+//
+// The lab runs the classic attack on the set-associative cache model:
+//   prime:  attacker fills every set with its own lines;
+//   victim: accesses a line whose SET INDEX depends on a secret nibble;
+//   probe:  attacker re-touches its lines and observes which set misses.
+// Defense: static way partitioning -- the victim gets dedicated ways, so
+// its accesses can no longer evict attacker lines.
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::mem {
+
+/// Result of one prime+probe attack campaign.
+struct AttackResult {
+  std::vector<std::uint32_t> guesses;  ///< recovered value per trial
+  std::uint32_t secret = 0;            ///< ground truth
+  double accuracy = 0;                 ///< fraction of trials recovering it
+  double mean_probe_misses = 0;        ///< attacker observable
+};
+
+/// Shared-cache lab configuration.
+struct SidechannelConfig {
+  CacheConfig cache{.size_bytes = 4096, .line_bytes = 64, .ways = 4};
+  std::uint32_t trials = 50;
+  /// Prime/victim/probe rounds aggregated per guess.  Noise spreads
+  /// uniformly over sets while the secret set accumulates every round,
+  /// so a handful of rounds separates signal from noise -- exactly how
+  /// real prime+probe attacks average out background activity.
+  std::uint32_t rounds_per_trial = 8;
+  /// Victim accesses `noise_accesses` random lines besides the secret-
+  /// dependent one (background activity the attacker must average out).
+  std::uint32_t noise_accesses = 2;
+  std::uint64_t seed = 99;
+};
+
+/// Run prime+probe against a victim whose secret selects one cache set.
+/// `partitioned` gives the victim dedicated ways (the defense).
+AttackResult prime_probe_attack(const SidechannelConfig& cfg,
+                                std::uint32_t secret, bool partitioned);
+
+/// Channel capacity proxy: attack accuracy across all possible secrets.
+/// Returns mean accuracy in [1/sets (chance) .. 1.0 (leak)].
+double channel_accuracy(const SidechannelConfig& cfg, bool partitioned);
+
+}  // namespace arch21::mem

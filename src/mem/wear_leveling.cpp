@@ -1,0 +1,67 @@
+#include "mem/wear_leveling.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace arch21::mem {
+
+StartGap::StartGap(NvmDevice& device, std::uint32_t gap_interval)
+    : dev_(device),
+      n_(device.config().lines - 1),
+      gap_(device.config().lines - 1),
+      interval_(gap_interval) {
+  if (device.config().lines < 2) {
+    throw std::invalid_argument("StartGap: device too small");
+  }
+  if (gap_interval == 0) {
+    throw std::invalid_argument("StartGap: gap_interval must be > 0");
+  }
+  phys_of_.resize(n_);
+  std::iota(phys_of_.begin(), phys_of_.end(), 0u);
+  logical_at_.assign(n_ + 1, -1);
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    logical_at_[i] = static_cast<std::int64_t>(i);
+  }
+}
+
+std::uint64_t StartGap::map(std::uint64_t logical) const {
+  if (logical >= n_) throw std::out_of_range("StartGap::map");
+  return phys_of_[logical];
+}
+
+NvmAccess StartGap::read(std::uint64_t logical) {
+  return dev_.read(map(logical));
+}
+
+NvmAccess StartGap::write(std::uint64_t logical) {
+  const auto res = dev_.write(map(logical));
+  ++since_move_;
+  if (since_move_ >= interval_) {
+    since_move_ = 0;
+    move_gap();
+  }
+  return res;
+}
+
+void StartGap::move_gap() {
+  // The line in the slot circularly "before" the gap moves into the gap;
+  // the gap shifts to that slot.  Over lines+1 moves the gap sweeps the
+  // whole device once and every line has shifted by one slot, which is
+  // what spreads a write hot-spot across all physical lines.
+  const std::uint64_t slots = n_ + 1;
+  const std::uint64_t src = (gap_ + slots - 1) % slots;
+  const std::int64_t moving = logical_at_[src];
+  if (moving >= 0) {
+    // Device traffic for the migration: read the source, write the gap.
+    dev_.read(src);
+    dev_.write(gap_);
+    logical_at_[gap_] = moving;
+    phys_of_[static_cast<std::uint64_t>(moving)] =
+        static_cast<std::uint32_t>(gap_);
+    logical_at_[src] = -1;
+  }
+  gap_ = src;
+  ++gap_moves_;
+}
+
+}  // namespace arch21::mem

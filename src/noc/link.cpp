@@ -1,0 +1,60 @@
+#include "noc/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace arch21::noc {
+
+double LinkTech::effective_j_per_bit(double util) const {
+  if (util <= 0 || util > 1) {
+    throw std::invalid_argument("LinkTech: utilization must be in (0,1]");
+  }
+  const double bps = bandwidth_gbps * units::giga * util;
+  return e_per_bit_pj * units::pico + (bps > 0 ? fixed_power_w / bps : 0.0);
+}
+
+double LinkTech::energy(double bits, double util) const {
+  return effective_j_per_bit(util) * bits;
+}
+
+double LinkTech::transfer_time_s(double bits) const {
+  return latency_ns * units::nano + bits / (bandwidth_gbps * units::giga);
+}
+
+std::vector<LinkTech> link_catalog() {
+  return {
+      // name, GB/s, latency ns, pJ/bit, fixed W, reach mm
+      {"onchip-wire", 128, 1, 0.5, 0.0, 20},
+      {"tsv-3d", 512, 0.5, 0.05, 0.0, 0.1},
+      {"serdes-board", 25, 10, 5.0, 0.0, 500},
+      {"photonic", 320, 6, 0.3, 0.5, 100000},
+      {"dram-bus", 12.8, 12, 30.0, 0.1, 80},
+  };
+}
+
+double crossover_utilization(const LinkTech& a, const LinkTech& b) {
+  auto diff = [&](double u) {
+    return a.effective_j_per_bit(u) - b.effective_j_per_bit(u);
+  };
+  // effective_j_per_bit is monotone decreasing in util for fixed-power
+  // links, constant otherwise, so diff is monotone; bisect on sign change.
+  double lo = 1e-6;
+  double hi = 1.0;
+  const double dlo = diff(lo);
+  const double dhi = diff(hi);
+  if (dlo < 0 && dhi < 0) return -1.0;  // a always cheaper
+  if (dlo > 0 && dhi > 0) return 2.0;   // a never cheaper
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if ((diff(mid) > 0) == (dlo > 0)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace arch21::noc

@@ -1,0 +1,48 @@
+#pragma once
+// Interconnect link technologies: electrical on-chip wires, off-chip
+// SERDES, through-silicon vias (3D stacking), and silicon photonics.
+// Photonic links pay a *fixed* laser+thermal-tuning power regardless of
+// traffic, but move bits for ~an order of magnitude less marginal energy
+// and without distance-dependent cost -- so there is a utilization
+// crossover, which experiment E11 locates.
+//
+// Paper hook (section 2.3): "Photonics and 3D chip stacking change
+// communication costs radically enough to affect the entire system
+// design."
+
+#include <string>
+#include <vector>
+
+namespace arch21::noc {
+
+/// A point-to-point link technology instance.
+struct LinkTech {
+  std::string name;
+  double bandwidth_gbps = 10;   ///< peak payload bandwidth
+  double latency_ns = 5;        ///< propagation + SERDES latency
+  double e_per_bit_pj = 5;      ///< marginal energy per transported bit
+  double fixed_power_w = 0;     ///< always-on power (lasers, PLLs, tuning)
+  double reach_mm = 10;         ///< usable physical reach
+
+  /// Total energy to move `bits` at average utilization `util` in (0,1]:
+  /// marginal energy + the amortized share of fixed power.
+  double energy(double bits, double util) const;
+
+  /// Effective J/bit at sustained utilization `util`.
+  double effective_j_per_bit(double util) const;
+
+  /// Time to transfer `bits` (serialization + latency).
+  double transfer_time_s(double bits) const;
+};
+
+/// Representative 2012-era link technology catalog.
+/// Values are first-order literature numbers; relative shapes (photonic
+/// fixed cost vs low marginal cost, TSV cheapness, SERDES expense) are
+/// what the experiments depend on.
+std::vector<LinkTech> link_catalog();
+
+/// The utilization above which `a` beats `b` in J/bit (bisection search);
+/// returns <0 if `a` always wins, >1 if never.
+double crossover_utilization(const LinkTech& a, const LinkTech& b);
+
+}  // namespace arch21::noc

@@ -1,0 +1,110 @@
+#include "noc/mesh.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace arch21::noc {
+
+Mesh::Mesh(MeshConfig cfg) : cfg_(cfg) {
+  if (cfg.width == 0 || cfg.height == 0 || cfg.clock_ghz <= 0 ||
+      cfg.flit_bits <= 0) {
+    throw std::invalid_argument("Mesh: bad config");
+  }
+}
+
+Coord Mesh::coord_of(std::uint32_t node) const {
+  if (node >= nodes()) throw std::out_of_range("Mesh::coord_of");
+  return {node % cfg_.width, node / cfg_.width};
+}
+
+std::uint32_t Mesh::node_of(Coord c) const {
+  if (c.x >= cfg_.width || c.y >= cfg_.height) {
+    throw std::out_of_range("Mesh::node_of");
+  }
+  return c.y * cfg_.width + c.x;
+}
+
+std::uint32_t Mesh::hops(std::uint32_t src, std::uint32_t dst) const {
+  const Coord a = coord_of(src);
+  const Coord b = coord_of(dst);
+  return static_cast<std::uint32_t>(
+      std::abs(static_cast<int>(a.x) - static_cast<int>(b.x)) +
+      std::abs(static_cast<int>(a.y) - static_cast<int>(b.y)));
+}
+
+MessageCost Mesh::send(std::uint32_t src, std::uint32_t dst,
+                       double bytes) const {
+  MessageCost mc;
+  mc.hops = hops(src, dst);
+  const double cycle_s = units::period(cfg_.clock_ghz * units::giga);
+  const double bits = bytes * 8.0;
+  const double flits = std::ceil(bits / cfg_.flit_bits);
+  // Wormhole: head flit traverses routers+links, body pipelines behind.
+  const double head_cycles =
+      static_cast<double>(mc.hops) * (cfg_.router_cycles + cfg_.link_cycles);
+  const double local_cycles = cfg_.router_cycles;  // src injection
+  mc.latency_s = (head_cycles + local_cycles + (flits - 1)) * cycle_s;
+  // Energy: every bit crosses `hops` routers and hop-length wires.
+  const double e_bit =
+      static_cast<double>(mc.hops) *
+      (cfg_.e_router_per_bit_pj + cfg_.e_wire_per_bit_mm_pj * cfg_.link_mm) *
+      units::pico;
+  mc.energy_j = e_bit * bits;
+  return mc;
+}
+
+MessageCost Mesh::send_loaded(std::uint32_t src, std::uint32_t dst,
+                              double bytes, double link_util) const {
+  if (link_util < 0 || link_util >= 1) {
+    throw std::invalid_argument("Mesh::send_loaded: util must be in [0,1)");
+  }
+  MessageCost mc = send(src, dst, bytes);
+  // Queueing inflation applies to the hop-by-hop portion (router+link),
+  // not to serialization of the body flits, which pipelines behind the
+  // head.  First-order: scale the whole head latency.
+  const double cycle_s = units::period(cfg_.clock_ghz * units::giga);
+  const double head_cycles = static_cast<double>(mc.hops) *
+                             (cfg_.router_cycles + cfg_.link_cycles);
+  const double extra =
+      head_cycles * cycle_s * (1.0 / (1.0 - link_util) - 1.0);
+  mc.latency_s += extra;
+  return mc;
+}
+
+double Mesh::saturation_injection_bps() const {
+  // Uniform traffic: half the injected bytes cross the bisection on
+  // average, so saturation is reached when
+  //   (nodes/2) * injection_rate = bisection bandwidth.
+  const double nodes_d = static_cast<double>(nodes());
+  return bisection_bw_bps() / 8.0 / (nodes_d / 2.0);  // bytes/s per node
+}
+
+double Mesh::mean_uniform_hops() const {
+  // Exact expectation of |x1-x2| + |y1-y2| for independent uniform picks.
+  auto mean_abs_diff = [](std::uint32_t n) {
+    // E|a-b| over a,b ~ U{0..n-1} = (n^2 - 1) / (3n).
+    const double nn = static_cast<double>(n);
+    return (nn * nn - 1.0) / (3.0 * nn);
+  };
+  return mean_abs_diff(cfg_.width) + mean_abs_diff(cfg_.height);
+}
+
+double Mesh::bisection_bw_bps() const {
+  const double link_bps = cfg_.flit_bits * cfg_.clock_ghz * units::giga /
+                          static_cast<double>(cfg_.link_cycles);
+  // Cutting the mesh across the narrower dimension severs `min(W,H)`
+  // bidirectional links.
+  const double cut = static_cast<double>(std::min(cfg_.width, cfg_.height));
+  return 2.0 * cut * link_bps;
+}
+
+double Mesh::mean_energy_per_bit() const {
+  return mean_uniform_hops() *
+         (cfg_.e_router_per_bit_pj + cfg_.e_wire_per_bit_mm_pj * cfg_.link_mm) *
+         units::pico;
+}
+
+}  // namespace arch21::noc

@@ -1,0 +1,83 @@
+#pragma once
+// 2-D mesh network-on-chip model with dimension-ordered (XY) routing.
+// Provides per-message hop/latency/energy accounting plus the standard
+// aggregate metrics (average uniform-traffic distance, bisection
+// bandwidth).  The 1000-way-parallelism experiment (E7) charges all
+// inter-task traffic through this model; its energy output is what makes
+// "communication energy outgrows computation energy" measurable.
+
+#include <cstdint>
+
+namespace arch21::noc {
+
+/// Node coordinate in the mesh.
+struct Coord {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Cost of delivering one message.
+struct MessageCost {
+  std::uint32_t hops = 0;
+  double latency_s = 0;
+  double energy_j = 0;
+};
+
+/// Mesh configuration.
+struct MeshConfig {
+  std::uint32_t width = 8;
+  std::uint32_t height = 8;
+  double clock_ghz = 2.0;
+  std::uint32_t router_cycles = 2;   ///< pipeline delay per router
+  std::uint32_t link_cycles = 1;     ///< wire delay per hop
+  double link_mm = 1.5;              ///< physical hop length
+  double e_router_per_bit_pj = 0.6;  ///< buffer+crossbar+arbiter energy
+  double e_wire_per_bit_mm_pj = 0.2; ///< link wire energy
+  double flit_bits = 128;            ///< link width
+};
+
+/// The mesh.
+class Mesh {
+ public:
+  explicit Mesh(MeshConfig cfg);
+
+  const MeshConfig& config() const noexcept { return cfg_; }
+  std::uint32_t nodes() const noexcept { return cfg_.width * cfg_.height; }
+
+  Coord coord_of(std::uint32_t node) const;
+  std::uint32_t node_of(Coord c) const;
+
+  /// Manhattan hop count between two nodes (XY routing).
+  std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const;
+
+  /// Zero-load delivery cost for a `bytes`-byte message (wormhole:
+  /// head latency + serialization).
+  MessageCost send(std::uint32_t src, std::uint32_t dst, double bytes) const;
+
+  /// Delivery cost under background load: each router hop behaves as an
+  /// M/M/1 station at utilization `link_util` in [0,1), inflating the
+  /// per-hop latency by 1/(1-util).  Energy is unchanged (contention
+  /// wastes time, not switching energy).
+  MessageCost send_loaded(std::uint32_t src, std::uint32_t dst, double bytes,
+                          double link_util) const;
+
+  /// Saturation throughput estimate for uniform traffic: the injection
+  /// bandwidth per node at which the bisection saturates (bytes/s).
+  double saturation_injection_bps() const;
+
+  /// Average hop distance under uniform random traffic (closed form
+  /// (W+H)/3 for a W x H mesh, computed exactly here).
+  double mean_uniform_hops() const;
+
+  /// Bisection bandwidth in bits/s (width links crossing the midline).
+  double bisection_bw_bps() const;
+
+  /// Energy per bit for an average uniform-traffic message.
+  double mean_energy_per_bit() const;
+
+ private:
+  MeshConfig cfg_;
+};
+
+}  // namespace arch21::noc

@@ -1,0 +1,36 @@
+#include "noc/rent.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace arch21::noc {
+
+double rent_terminals(const RentParams& rp, double gates) {
+  if (gates <= 0) throw std::invalid_argument("rent_terminals: gates <= 0");
+  return rp.t * std::pow(gates, rp.p);
+}
+
+std::vector<BandwidthWallRow> bandwidth_wall(RentParams rp, double base_gates,
+                                             int gens, double pin_bw_growth) {
+  std::vector<BandwidthWallRow> rows;
+  double gates = base_gates;
+  double pin_bw = 1.0;
+  const double base_pins = rent_terminals(rp, base_gates);
+  for (int g = 0; g <= gens; ++g) {
+    BandwidthWallRow r;
+    r.generation = g;
+    r.gates = gates;
+    // Traffic demand scales with compute (gates); supply with pins x
+    // per-pin bandwidth.  Normalize so generation 0 has gap 1.
+    r.compute_demand = gates / base_gates;
+    r.pins = rent_terminals(rp, gates);
+    const double supply = (r.pins / base_pins) * pin_bw;
+    r.gap = r.compute_demand / supply;
+    rows.push_back(r);
+    gates *= 2.0;
+    pin_bw *= pin_bw_growth;
+  }
+  return rows;
+}
+
+}  // namespace arch21::noc

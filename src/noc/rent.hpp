@@ -1,0 +1,36 @@
+#pragma once
+// Rent's rule and the off-chip bandwidth wall.  Terminals (pins) grow as
+// T = t * G^p with gate count G and Rent exponent p < 1, while on-chip
+// compute grows linearly with G: the pin/bandwidth gap widens every
+// generation.  Table 1 of the paper cites exactly this ("Restricted
+// inter-chip ... communication (e.g. Rent's Rule)").
+
+#include <vector>
+
+namespace arch21::noc {
+
+/// Rent's-rule parameters.
+struct RentParams {
+  double t = 5.0;   ///< terminals per gate-ish block (Rent coefficient)
+  double p = 0.6;   ///< Rent exponent (0.5-0.75 for logic)
+};
+
+/// Terminals required for a block of `gates` gates.
+double rent_terminals(const RentParams& rp, double gates);
+
+/// One generation row for the bandwidth-wall projection.
+struct BandwidthWallRow {
+  int generation;          ///< 0 = today
+  double gates;            ///< on-chip gates
+  double compute_demand;   ///< required off-chip traffic if per-gate demand fixed
+  double pins;             ///< pins available per Rent
+  double gap;              ///< demand / supply (>=1 means wall)
+};
+
+/// Project `gens` generations of 2x-gate growth with per-pin bandwidth
+/// improving `pin_bw_growth`x per generation.
+std::vector<BandwidthWallRow> bandwidth_wall(RentParams rp, double base_gates,
+                                             int gens,
+                                             double pin_bw_growth = 1.15);
+
+}  // namespace arch21::noc

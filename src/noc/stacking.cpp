@@ -1,0 +1,45 @@
+#include "noc/stacking.hpp"
+
+#include <algorithm>
+
+namespace arch21::noc {
+
+StackEval evaluate_stack(const StackConfig& cfg) {
+  StackEval e;
+  if (cfg.dram_layers == 0) {
+    // Off-chip baseline.
+    const OffChipDram base;
+    e.bandwidth_gbs = base.bandwidth_gbs;
+    e.energy_pj_bit = base.energy_pj_bit;
+    e.logic_power_cap_w = cfg.logic_tdp_w;
+    e.capacity_factor = 1.0;
+    return e;
+  }
+  // Bandwidth: TSV bus, shared across layers (rank-style).
+  e.bandwidth_gbs = cfg.tsv_count * cfg.tsv_gbps_each / 8.0;
+  e.energy_pj_bit = cfg.e_tsv_pj_bit + cfg.e_dram_core_pj_bit;
+  // Thermal: logic heat must flow through the DRAM layers to the sink.
+  const double theta =
+      cfg.theta_base_c_per_w +
+      cfg.theta_per_layer_c_per_w * static_cast<double>(cfg.dram_layers);
+  const double dram_power =
+      cfg.layer_power_w * static_cast<double>(cfg.dram_layers);
+  const double headroom_c = cfg.t_max_c - cfg.t_ambient_c;
+  const double total_cap = headroom_c / theta;
+  e.logic_power_cap_w =
+      std::clamp(total_cap - dram_power, 0.0, cfg.logic_tdp_w);
+  e.capacity_factor = static_cast<double>(cfg.dram_layers);
+  return e;
+}
+
+std::vector<StackEval> stacking_sweep(StackConfig cfg,
+                                      std::uint32_t max_layers) {
+  std::vector<StackEval> out;
+  for (std::uint32_t l = 0; l <= max_layers; ++l) {
+    cfg.dram_layers = l;
+    out.push_back(evaluate_stack(cfg));
+  }
+  return out;
+}
+
+}  // namespace arch21::noc

@@ -1,0 +1,52 @@
+#pragma once
+// 3-D die stacking model: memory-on-logic with TSVs.  Captures the two
+// effects the paper highlights -- radically better bandwidth/energy to
+// stacked DRAM -- and the one it warns about implicitly: thermal
+// coupling.  Each stacked layer adds thermal resistance, so the logic
+// die's sustainable power drops as layers are added; experiment E11
+// reports the bandwidth/energy win alongside the thermal tax.
+
+#include <cstdint>
+#include <vector>
+
+namespace arch21::noc {
+
+/// Stack configuration.
+struct StackConfig {
+  std::uint32_t dram_layers = 4;
+  double tsv_count = 2048;          ///< data TSVs
+  double tsv_gbps_each = 2.0;       ///< per-TSV signaling rate
+  double e_tsv_pj_bit = 0.05;       ///< TSV marginal energy
+  double e_dram_core_pj_bit = 4.0;  ///< DRAM array access energy
+  double logic_tdp_w = 100;         ///< logic die power cap, unstacked
+  double theta_base_c_per_w = 0.3;  ///< junction-to-ambient, no stack
+  double theta_per_layer_c_per_w = 0.08;  ///< added resistance per layer
+  double t_ambient_c = 45;
+  double t_max_c = 95;
+  double layer_power_w = 2.5;       ///< background power per DRAM layer
+};
+
+/// Evaluated stack properties.
+struct StackEval {
+  double bandwidth_gbs = 0;        ///< payload GB/s to stacked DRAM
+  double energy_pj_bit = 0;        ///< end-to-end pJ/bit (TSV + array)
+  double logic_power_cap_w = 0;    ///< thermally sustainable logic power
+  double capacity_factor = 0;      ///< relative DRAM capacity (layers)
+};
+
+/// Evaluate a stack configuration.
+StackEval evaluate_stack(const StackConfig& cfg);
+
+/// Baseline off-package DDR-style channel for comparison.
+struct OffChipDram {
+  double bandwidth_gbs = 12.8;
+  double energy_pj_bit = 35.0;  ///< I/O + termination + array
+  double latency_ns = 60;
+};
+
+/// Sweep layer counts 0..max_layers; layer 0 is the off-chip baseline
+/// expressed in the same units.
+std::vector<StackEval> stacking_sweep(StackConfig cfg,
+                                      std::uint32_t max_layers = 8);
+
+}  // namespace arch21::noc

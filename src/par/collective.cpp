@@ -1,0 +1,78 @@
+#include "par/collective.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace arch21::par {
+
+namespace {
+
+double log2_ceil(unsigned p) {
+  return std::ceil(std::log2(static_cast<double>(p)));
+}
+
+void check(unsigned p, double n) {
+  if (p < 1 || n < 0) {
+    throw std::invalid_argument("collective: need p >= 1, n >= 0");
+  }
+}
+
+}  // namespace
+
+double bcast_tree_s(const AlphaBeta& m, unsigned p, double n) {
+  check(p, n);
+  if (p == 1) return 0;
+  return log2_ceil(p) * (m.alpha_s + n * m.beta_s_per_b);
+}
+
+double reduce_tree_s(const AlphaBeta& m, unsigned p, double n) {
+  check(p, n);
+  if (p == 1) return 0;
+  return log2_ceil(p) *
+         (m.alpha_s + n * m.beta_s_per_b + n * m.gamma_s_per_b);
+}
+
+double allreduce_tree_s(const AlphaBeta& m, unsigned p, double n) {
+  return reduce_tree_s(m, p, n) + bcast_tree_s(m, p, n);
+}
+
+double allreduce_ring_s(const AlphaBeta& m, unsigned p, double n) {
+  check(p, n);
+  if (p == 1) return 0;
+  const double pd = static_cast<double>(p);
+  const double frac = (pd - 1.0) / pd;
+  // Reduce-scatter + allgather, each (P-1) steps of n/P bytes.
+  return 2.0 * (pd - 1.0) * m.alpha_s + 2.0 * n * m.beta_s_per_b * frac +
+         n * m.gamma_s_per_b * frac;
+}
+
+double allgather_ring_s(const AlphaBeta& m, unsigned p, double n) {
+  check(p, n);
+  if (p == 1) return 0;
+  const double pd = static_cast<double>(p);
+  return (pd - 1.0) * (m.alpha_s + n / pd * m.beta_s_per_b);
+}
+
+double allreduce_crossover_bytes(const AlphaBeta& m, unsigned p,
+                                 double max_bytes) {
+  if (p <= 2) return 0;  // degenerate: shapes coincide or ring trivially ok
+  auto ring_wins = [&](double n) {
+    return allreduce_ring_s(m, p, n) < allreduce_tree_s(m, p, n);
+  };
+  if (ring_wins(1.0)) return 0;
+  if (!ring_wins(max_bytes)) return std::numeric_limits<double>::infinity();
+  double lo = 1.0;
+  double hi = max_bytes;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = std::sqrt(lo * hi);
+    if (ring_wins(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace arch21::par

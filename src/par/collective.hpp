@@ -1,0 +1,41 @@
+#pragma once
+// Collective-communication cost models (alpha-beta): the MPI-style
+// primitives HPC codes are built from, costed on a cluster link.
+//
+//   alpha = per-message latency (s), beta = per-byte time (s/B)
+//
+//   broadcast (binomial tree):  ceil(log2 P) x (alpha + n beta)
+//   reduce (binomial tree):     ceil(log2 P) x (alpha + n beta + n gamma)
+//   allreduce (tree):           reduce + broadcast
+//   allreduce (ring):           2 (P-1) alpha + 2 n beta (P-1)/P + n gamma (P-1)/P
+//   allgather (ring):           (P-1) (alpha + n/P beta)
+//
+// The ring trades latency (P-1 steps) for bandwidth optimality; the tree
+// is latency-optimal.  The crossover vs message size is the classic
+// result the tests pin down, and the energy side reuses the link model.
+
+#include <cstdint>
+
+namespace arch21::par {
+
+/// Machine parameters for collectives.
+struct AlphaBeta {
+  double alpha_s = 2e-6;    ///< per-message latency
+  double beta_s_per_b = 1e-9;  ///< inverse bandwidth (1 GB/s default)
+  double gamma_s_per_b = 1e-10; ///< per-byte local reduction compute
+};
+
+/// Costs in seconds for P ranks and n-byte payloads.
+double bcast_tree_s(const AlphaBeta& m, unsigned p, double n);
+double reduce_tree_s(const AlphaBeta& m, unsigned p, double n);
+double allreduce_tree_s(const AlphaBeta& m, unsigned p, double n);
+double allreduce_ring_s(const AlphaBeta& m, unsigned p, double n);
+double allgather_ring_s(const AlphaBeta& m, unsigned p, double n);
+
+/// Message size at which the ring allreduce starts beating the tree
+/// (bisection on n); returns 0 if the ring always wins, infinity if never
+/// within `max_bytes`.
+double allreduce_crossover_bytes(const AlphaBeta& m, unsigned p,
+                                 double max_bytes = 1e12);
+
+}  // namespace arch21::par

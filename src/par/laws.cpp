@@ -1,0 +1,87 @@
+#include "par/laws.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace arch21::par {
+
+namespace {
+
+void check_f(double f) {
+  if (f < 0 || f > 1) throw std::invalid_argument("parallel fraction not in [0,1]");
+}
+
+}  // namespace
+
+double amdahl_speedup(double f, double p) {
+  check_f(f);
+  if (p < 1) throw std::invalid_argument("amdahl_speedup: p < 1");
+  return 1.0 / ((1.0 - f) + f / p);
+}
+
+double gustafson_speedup(double f, double p) {
+  check_f(f);
+  if (p < 1) throw std::invalid_argument("gustafson_speedup: p < 1");
+  return (1.0 - f) + f * p;
+}
+
+double core_perf(double r) {
+  if (r < 1) throw std::invalid_argument("core_perf: r < 1");
+  return std::sqrt(r);
+}
+
+double hm_symmetric(double f, double n, double r) {
+  check_f(f);
+  if (r < 1 || r > n) throw std::invalid_argument("hm_symmetric: bad r");
+  const double perf = core_perf(r);
+  const double cores = n / r;
+  return 1.0 / ((1.0 - f) / perf + f / (perf * cores));
+}
+
+double hm_asymmetric(double f, double n, double r) {
+  check_f(f);
+  if (r < 1 || r > n) throw std::invalid_argument("hm_asymmetric: bad r");
+  const double perf = core_perf(r);
+  // Parallel phase: big core + (n - r) base cores all contribute.
+  return 1.0 / ((1.0 - f) / perf + f / (perf + (n - r)));
+}
+
+double hm_dynamic(double f, double n) {
+  check_f(f);
+  if (n < 1) throw std::invalid_argument("hm_dynamic: n < 1");
+  return 1.0 / ((1.0 - f) / core_perf(n) + f / n);
+}
+
+BestSymmetric hm_symmetric_best(double f, double n) {
+  BestSymmetric best;
+  best.r = 1;
+  best.speedup = hm_symmetric(f, n, 1);
+  for (double r = 2; r <= n; r *= 2) {
+    const double s = hm_symmetric(f, n, r);
+    if (s > best.speedup) {
+      best.speedup = s;
+      best.r = r;
+    }
+  }
+  return best;
+}
+
+std::vector<SpeedupRow> hm_sweep(double f, const std::vector<double>& sizes) {
+  std::vector<SpeedupRow> rows;
+  rows.reserve(sizes.size());
+  for (double n : sizes) {
+    SpeedupRow row;
+    row.n = n;
+    row.symmetric = hm_symmetric_best(f, n).speedup;
+    double best_asym = 0;
+    for (double r = 1; r <= n; r *= 2) {
+      best_asym = std::max(best_asym, hm_asymmetric(f, n, r));
+    }
+    row.asymmetric = best_asym;
+    row.dynamic = hm_dynamic(f, n);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace arch21::par

@@ -1,0 +1,56 @@
+#pragma once
+// Multicore speedup laws: Amdahl, Gustafson, and the Hill-Marty "Amdahl's
+// law in the multicore era" family (symmetric / asymmetric / dynamic
+// chips built from base-core equivalents).  The white paper's lead
+// coordinator co-authored the Hill-Marty model; its message -- asymmetric
+// and dynamic chips soften, but do not repeal, the serial bottleneck --
+// is exactly the paper's "rethink how we design for 1,000-way
+// parallelism".
+//
+// Conventions: a chip has a budget of `n` base-core equivalents (BCEs).
+// A core built from r BCEs has sequential performance perf(r) = sqrt(r)
+// (Pollack's rule).  `f` is the parallelizable fraction of the work.
+
+#include <vector>
+
+namespace arch21::par {
+
+/// Classic Amdahl speedup on p equal processors.
+double amdahl_speedup(double f, double p);
+
+/// Gustafson scaled speedup on p processors.
+double gustafson_speedup(double f, double p);
+
+/// Pollack's-rule single-core performance of an r-BCE core.
+double core_perf(double r);
+
+/// Hill-Marty symmetric chip: n BCEs split into n/r cores of r BCEs each.
+double hm_symmetric(double f, double n, double r);
+
+/// Hill-Marty asymmetric chip: one big r-BCE core plus (n - r) 1-BCE
+/// cores; serial phase runs on the big core, parallel phase on all.
+double hm_asymmetric(double f, double n, double r);
+
+/// Hill-Marty dynamic chip: all n BCEs fuse into one core of perf(n)
+/// for serial phases and disperse into n 1-BCE cores for parallel phases.
+double hm_dynamic(double f, double n);
+
+/// Best r (BCEs per core) for a symmetric chip, by scan over 1..n.
+struct BestSymmetric {
+  double r = 1;
+  double speedup = 1;
+};
+BestSymmetric hm_symmetric_best(double f, double n);
+
+/// One row of a speedup sweep.
+struct SpeedupRow {
+  double n;
+  double symmetric;   ///< best-r symmetric
+  double asymmetric;  ///< best-r asymmetric
+  double dynamic;
+};
+
+/// Sweep chip sizes (BCEs) for a fixed parallel fraction.
+std::vector<SpeedupRow> hm_sweep(double f, const std::vector<double>& sizes);
+
+}  // namespace arch21::par

@@ -1,0 +1,71 @@
+#include "par/scaling.hpp"
+
+#include <cmath>
+
+#include "par/sync.hpp"
+#include "util/units.hpp"
+
+namespace arch21::par {
+
+std::vector<ScalingRow> strong_scaling(const ScalingWorkload& w,
+                                       const energy::Catalogue& cat,
+                                       std::uint32_t max_cores) {
+  std::vector<ScalingRow> rows;
+  BarrierModel barrier;
+
+  double t1 = 0;  // single-core time, set on the first row
+
+  for (std::uint32_t side = 1; side * side <= max_cores; side *= 2) {
+    const std::uint32_t p = side * side;
+    noc::MeshConfig mcfg;
+    mcfg.width = side;
+    mcfg.height = side;
+    const noc::Mesh mesh(mcfg);
+
+    ScalingRow r;
+    r.cores = p;
+
+    // Compute: the domain splits into p tiles.
+    const double ops_per_core = w.total_ops / static_cast<double>(p);
+    const double core_rate =
+        w.core_ghz * units::giga * w.core_ops_per_cycle;
+    const double compute_time = ops_per_core / core_rate;
+    r.compute_energy_j = w.total_ops * cat.fp_fma();
+
+    // Communication: each tile exchanges its halo each iteration.  A
+    // square tile of A = domain/p elements has perimeter 4*sqrt(A).
+    const double tile_elems = w.domain_elems / static_cast<double>(p);
+    const double halo_elems = 4.0 * std::sqrt(tile_elems);
+    const double bytes_per_iter = halo_elems * w.halo_bytes_per_elem;
+    double comm_time = 0;
+    // Shared-data traffic: every op's LLC-bank traffic crosses the mesh
+    // at the mean uniform distance, which grows as sqrt(p).
+    if (p > 1) {
+      r.comm_energy_j += w.total_ops * w.shared_bytes_per_op * 8.0 *
+                         mesh.mean_energy_per_bit();
+    }
+    if (p > 1) {
+      // Neighbor exchange: 1-hop messages on the mesh, 4 neighbors.
+      const auto cost = mesh.send(0, 1, bytes_per_iter);
+      comm_time = static_cast<double>(w.iterations) * cost.latency_s * 4.0;
+      r.comm_energy_j += static_cast<double>(w.iterations) *
+                         static_cast<double>(p) * 4.0 * cost.energy_j;
+      r.sync_energy_j =
+          static_cast<double>(w.iterations) * barrier.energy(p);
+      comm_time += static_cast<double>(w.iterations) * barrier.latency(p);
+    }
+
+    r.time_s = compute_time + comm_time;
+    if (rows.empty()) t1 = r.time_s;
+    r.speedup = t1 / r.time_s;
+    const double total_e =
+        r.compute_energy_j + r.comm_energy_j + r.sync_energy_j;
+    r.comm_fraction =
+        total_e > 0 ? (r.comm_energy_j + r.sync_energy_j) / total_e : 0;
+    r.energy_per_op_j = total_e / w.total_ops;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace arch21::par

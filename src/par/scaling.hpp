@@ -1,0 +1,52 @@
+#pragma once
+// Strong-scaling study on a mesh many-core: the E7 driver.  A fixed-size
+// data-parallel job (halo-exchange style: per-core compute shrinks with
+// P, boundary communication shrinks only as 1/sqrt(P)) is scaled from 1
+// to ~1000 cores on a 2-D mesh, charging compute through the energy
+// catalogue and communication through the mesh model.  Output rows show
+// speedup and the compute-vs-communication energy split -- making
+// "communication energy will outgrow computation energy" a measured
+// crossover.
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/catalogue.hpp"
+#include "noc/mesh.hpp"
+
+namespace arch21::par {
+
+/// The scaled workload.
+struct ScalingWorkload {
+  double total_ops = 1e10;        ///< fixed total compute
+  double domain_elems = 1 << 24;  ///< 2-D domain elements (bytes ~ 8/elem)
+  double halo_bytes_per_elem = 8; ///< boundary exchange payload
+  double ops_per_element = 50;
+  std::uint32_t iterations = 10;  ///< halo exchanges per run
+  double core_ghz = 1.0;          ///< per-core scalar rate
+  double core_ops_per_cycle = 1.0;
+  /// Shared-data traffic per operation to distributed LLC banks.  This is
+  /// the term that grows with scale: the mean NoC distance to a bank
+  /// rises as sqrt(P), so per-op communication energy overtakes per-op
+  /// compute energy somewhere past a few hundred cores.
+  double shared_bytes_per_op = 0.5;
+};
+
+/// One row of the scaling study.
+struct ScalingRow {
+  std::uint32_t cores = 1;
+  double time_s = 0;
+  double speedup = 1;
+  double compute_energy_j = 0;
+  double comm_energy_j = 0;
+  double sync_energy_j = 0;
+  double comm_fraction = 0;  ///< comm+sync energy share of total
+  double energy_per_op_j = 0;
+};
+
+/// Run the study for square core counts (1, 4, 16, ..., up to max_cores).
+std::vector<ScalingRow> strong_scaling(const ScalingWorkload& w,
+                                       const energy::Catalogue& cat,
+                                       std::uint32_t max_cores = 1024);
+
+}  // namespace arch21::par

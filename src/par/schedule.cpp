@@ -1,0 +1,246 @@
+#include "par/schedule.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace arch21::par {
+
+CommModel CommModel::uniform(double s_per_byte, double j_per_byte) {
+  CommModel m;
+  m.latency = [s_per_byte](std::uint32_t a, std::uint32_t b, double bytes) {
+    return a == b ? 0.0 : s_per_byte * bytes;
+  };
+  m.energy = [j_per_byte](std::uint32_t a, std::uint32_t b, double bytes) {
+    return a == b ? 0.0 : j_per_byte * bytes;
+  };
+  return m;
+}
+
+CoreModel CoreModel::homogeneous(std::uint32_t cores, double ops_per_second,
+                                 double j_per_op) {
+  if (cores == 0 || ops_per_second <= 0) {
+    throw std::invalid_argument("CoreModel: bad parameters");
+  }
+  CoreModel m;
+  m.s_per_op.assign(cores, 1.0 / ops_per_second);
+  m.j_per_op = j_per_op;
+  return m;
+}
+
+double ScheduleResult::utilization() const {
+  if (makespan_s <= 0 || core_busy_s.empty()) return 0;
+  double busy = 0;
+  for (double b : core_busy_s) busy += b;
+  return busy / (makespan_s * static_cast<double>(core_busy_s.size()));
+}
+
+namespace {
+
+/// Upward rank: longest work path from task to any exit (priority for
+/// list scheduling; scheduling by decreasing rank is topologically safe).
+std::vector<double> upward_ranks(const TaskGraph& g) {
+  const auto order = g.topo_order();
+  std::vector<double> rank(g.size(), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Task& t = g.task(*it);
+    double best = 0;
+    for (TaskId s : t.succ) best = std::max(best, rank[s]);
+    rank[*it] = t.work_ops + best;
+  }
+  return rank;
+}
+
+}  // namespace
+
+ScheduleResult list_schedule(const TaskGraph& g, const CoreModel& cores,
+                             const CommModel& comm) {
+  const auto ranks = upward_ranks(g);
+  const std::uint32_t P = static_cast<std::uint32_t>(cores.s_per_op.size());
+
+  // Tasks sorted by decreasing rank (ties by id for determinism).
+  std::vector<TaskId> order(g.size());
+  for (TaskId i = 0; i < g.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    if (ranks[a] != ranks[b]) return ranks[a] > ranks[b];
+    return a < b;
+  });
+
+  ScheduleResult res;
+  res.core_busy_s.assign(P, 0);
+  res.placement.assign(g.size(), 0);
+  std::vector<double> core_free(P, 0);
+  std::vector<double> finish(g.size(), 0);
+
+  for (TaskId id : order) {
+    const Task& t = g.task(id);
+    double best_eft = 1e300;
+    std::uint32_t best_core = 0;
+    double best_start = 0;
+    for (std::uint32_t c = 0; c < P; ++c) {
+      double ready = core_free[c];
+      for (TaskId p : t.pred) {
+        const double arr =
+            finish[p] + comm.latency(res.placement[p], c, g.task(p).out_bytes);
+        ready = std::max(ready, arr);
+      }
+      const double eft = ready + t.work_ops * cores.s_per_op[c];
+      if (eft < best_eft) {
+        best_eft = eft;
+        best_core = c;
+        best_start = ready;
+      }
+    }
+    res.placement[id] = best_core;
+    finish[id] = best_eft;
+    core_free[best_core] = best_eft;
+    res.core_busy_s[best_core] += t.work_ops * cores.s_per_op[best_core];
+    res.compute_energy_j += t.work_ops * cores.j_per_op;
+    for (TaskId p : t.pred) {
+      if (res.placement[p] != best_core) {
+        res.comm_energy_j +=
+            comm.energy(res.placement[p], best_core, g.task(p).out_bytes);
+        res.comm_bytes += g.task(p).out_bytes;
+      }
+    }
+    res.makespan_s = std::max(res.makespan_s, best_eft);
+    (void)best_start;
+  }
+  return res;
+}
+
+ScheduleResult work_stealing_schedule(const TaskGraph& g,
+                                      const CoreModel& cores,
+                                      const CommModel& comm,
+                                      double steal_latency_s,
+                                      std::uint64_t seed) {
+  const std::uint32_t P = static_cast<std::uint32_t>(cores.s_per_op.size());
+  Rng rng(seed);
+
+  ScheduleResult res;
+  res.core_busy_s.assign(P, 0);
+  res.placement.assign(g.size(), 0);
+
+  std::vector<std::uint32_t> indeg(g.size(), 0);
+  for (TaskId i = 0; i < g.size(); ++i) {
+    indeg[i] = static_cast<std::uint32_t>(g.task(i).pred.size());
+  }
+  std::vector<double> finish(g.size(), 0);
+  std::vector<std::deque<TaskId>> deques(P);
+  std::vector<bool> idle(P, true);
+  std::vector<double> idle_since(P, 0);
+
+  // Seed initial ready tasks round-robin.
+  {
+    std::uint32_t c = 0;
+    for (TaskId i = 0; i < g.size(); ++i) {
+      if (indeg[i] == 0) {
+        deques[c % P].push_back(i);
+        c++;
+      }
+    }
+  }
+
+  struct Ev {
+    double t;
+    std::uint32_t core;
+    TaskId task;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.core > b.core;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, Later> events;
+  std::size_t completed = 0;
+
+  // Start a task on a core at time `now` (after possible steal delay).
+  auto start_task = [&](std::uint32_t c, TaskId id, double now) {
+    const Task& t = g.task(id);
+    double ready = now;
+    for (TaskId p : t.pred) {
+      ready = std::max(
+          ready, finish[p] + comm.latency(res.placement[p], c, g.task(p).out_bytes));
+    }
+    res.placement[id] = c;
+    const double dur = t.work_ops * cores.s_per_op[c];
+    const double end = ready + dur;
+    res.core_busy_s[c] += dur;
+    res.compute_energy_j += t.work_ops * cores.j_per_op;
+    for (TaskId p : t.pred) {
+      if (res.placement[p] != c) {
+        res.comm_energy_j += comm.energy(res.placement[p], c, g.task(p).out_bytes);
+        res.comm_bytes += g.task(p).out_bytes;
+      }
+    }
+    idle[c] = false;
+    events.push({end, c, id});
+  };
+
+  // Try to find work for core c at time `now`; returns true if started.
+  auto seek_work = [&](std::uint32_t c, double now) {
+    if (!deques[c].empty()) {
+      const TaskId id = deques[c].back();  // LIFO own end
+      deques[c].pop_back();
+      start_task(c, id, now);
+      return true;
+    }
+    // Steal: try up to P random victims, each attempt costs latency.
+    double t = now;
+    for (std::uint32_t attempt = 0; attempt < P; ++attempt) {
+      t += steal_latency_s;
+      const std::uint32_t victim = static_cast<std::uint32_t>(rng.below(P));
+      if (victim != c && !deques[victim].empty()) {
+        const TaskId id = deques[victim].front();  // FIFO thief end
+        deques[victim].pop_front();
+        start_task(c, id, t);
+        return true;
+      }
+    }
+    idle[c] = true;
+    idle_since[c] = now;
+    return false;
+  };
+
+  // Kick off all cores at t = 0.
+  for (std::uint32_t c = 0; c < P; ++c) seek_work(c, 0);
+
+  while (completed < g.size()) {
+    if (events.empty()) {
+      throw std::logic_error("work_stealing_schedule: deadlock (bad DAG?)");
+    }
+    const Ev ev = events.top();
+    events.pop();
+    // Task ev.task completed on ev.core at ev.t.
+    finish[ev.task] = ev.t;
+    ++completed;
+    res.makespan_s = std::max(res.makespan_s, ev.t);
+
+    // Release successors; prefer waking idle cores immediately.
+    for (TaskId s : g.task(ev.task).succ) {
+      if (--indeg[s] == 0) {
+        deques[ev.core].push_back(s);
+      }
+    }
+    // The finishing core looks for its next task.
+    seek_work(ev.core, ev.t);
+    // Wake idle cores if work is available anywhere.
+    bool any_work = false;
+    for (std::uint32_t c = 0; c < P; ++c) {
+      if (!deques[c].empty()) {
+        any_work = true;
+        break;
+      }
+    }
+    if (any_work) {
+      for (std::uint32_t c = 0; c < P; ++c) {
+        if (idle[c]) seek_work(c, ev.t);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace arch21::par

@@ -1,0 +1,76 @@
+#pragma once
+// Task-DAG schedulers with communication awareness.
+//
+// Two schedulers are provided:
+//   * ListScheduler -- deterministic HEFT-style list scheduling: tasks in
+//     topological order (critical-path-length priority), each placed on
+//     the core giving the earliest finish time, accounting for
+//     inter-core communication latency.
+//   * WorkStealingScheduler -- randomized-victim work stealing with
+//     per-steal latency, the runtime model the paper's "fine-grain
+//     multitasking" runtimes use.
+//
+// Both charge communication time and energy through a CommModel so the
+// 1000-way-parallelism experiment can show compute energy shrinking per
+// core while communication energy grows with scale.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "par/taskgraph.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::par {
+
+/// Inter-core communication model.
+struct CommModel {
+  /// Seconds to move `bytes` from core `from` to core `to` (0 when equal).
+  std::function<double(std::uint32_t from, std::uint32_t to, double bytes)>
+      latency;
+  /// Joules for the same transfer.
+  std::function<double(std::uint32_t from, std::uint32_t to, double bytes)>
+      energy;
+
+  /// A uniform model: fixed per-byte latency/energy between distinct cores.
+  static CommModel uniform(double s_per_byte, double j_per_byte);
+};
+
+/// Core compute model: seconds per operation (per-core, allowing
+/// heterogeneous speeds) and joules per operation.
+struct CoreModel {
+  std::vector<double> s_per_op;  ///< size = core count
+  double j_per_op = 1e-12;
+
+  static CoreModel homogeneous(std::uint32_t cores, double ops_per_second,
+                               double j_per_op);
+};
+
+/// Result of a schedule.
+struct ScheduleResult {
+  double makespan_s = 0;
+  double compute_energy_j = 0;
+  double comm_energy_j = 0;
+  double comm_bytes = 0;
+  std::vector<double> core_busy_s;      ///< per-core busy time
+  std::vector<std::uint32_t> placement; ///< task -> core
+
+  double utilization() const;
+  double total_energy_j() const noexcept {
+    return compute_energy_j + comm_energy_j;
+  }
+};
+
+/// Deterministic communication-aware list scheduler.
+ScheduleResult list_schedule(const TaskGraph& g, const CoreModel& cores,
+                             const CommModel& comm);
+
+/// Randomized work-stealing execution; `steal_latency_s` per steal
+/// attempt.  Deterministic for a fixed seed.
+ScheduleResult work_stealing_schedule(const TaskGraph& g,
+                                      const CoreModel& cores,
+                                      const CommModel& comm,
+                                      double steal_latency_s,
+                                      std::uint64_t seed);
+
+}  // namespace arch21::par

@@ -1,0 +1,204 @@
+#include "par/stm.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace arch21::par {
+
+StmHeap::StmHeap(std::size_t words) : mem_(words, 0), meta_(words) {
+  if (words == 0) throw std::invalid_argument("StmHeap: zero words");
+}
+
+Txn::Txn(StmHeap& heap, std::uint32_t thread_id)
+    : h_(heap), tid_(thread_id), start_clock_(heap.clock_) {}
+
+std::optional<std::uint64_t> Txn::read(std::size_t addr) {
+  if (finished_) throw std::logic_error("Txn::read after finish");
+  // Read-your-own-writes.
+  for (const auto& [a, v] : write_set_) {
+    if (a == addr) return v;
+  }
+  const auto& w = h_.meta_.at(addr);
+  if (w.locked) return std::nullopt;  // writer in flight
+  const std::uint64_t v = h_.mem_[addr];
+  // TL2 post-validation: the version must not exceed our snapshot, or the
+  // word changed since we started.
+  if (w.version > start_clock_) return std::nullopt;
+  read_set_.push_back({addr, w.version});
+  return v;
+}
+
+void Txn::write(std::size_t addr, std::uint64_t value) {
+  if (finished_) throw std::logic_error("Txn::write after finish");
+  if (addr >= h_.mem_.size()) throw std::out_of_range("Txn::write");
+  for (auto& [a, v] : write_set_) {
+    if (a == addr) {
+      v = value;
+      return;
+    }
+  }
+  write_set_.push_back({addr, value});
+}
+
+bool Txn::lock_write_set() {
+  // Sort by address for deterministic, deadlock-free acquisition.
+  std::sort(write_set_.begin(), write_set_.end());
+  for (std::size_t i = 0; i < write_set_.size(); ++i) {
+    auto& w = h_.meta_[write_set_[i].first];
+    if (w.locked) {
+      // Back out the locks taken so far.
+      for (std::size_t j = 0; j < i; ++j) {
+        h_.meta_[write_set_[j].first].locked = false;
+      }
+      return false;
+    }
+    w.locked = true;
+    w.owner = tid_;
+  }
+  return true;
+}
+
+void Txn::unlock_write_set() {
+  for (const auto& [a, v] : write_set_) h_.meta_[a].locked = false;
+}
+
+bool Txn::commit() {
+  if (finished_) throw std::logic_error("Txn::commit after finish");
+  if (write_set_.empty()) {
+    // Read-only: the per-read validation already guaranteed a consistent
+    // snapshot at start_clock_.
+    finished_ = true;
+    return true;
+  }
+  if (!lock_write_set()) {
+    abort();
+    return false;
+  }
+  // Validate the read set: versions unchanged and not locked by others.
+  for (const auto& [addr, ver] : read_set_) {
+    const auto& w = h_.meta_[addr];
+    const bool locked_by_other = w.locked && w.owner != tid_;
+    if (locked_by_other || w.version != ver) {
+      unlock_write_set();
+      abort();
+      return false;
+    }
+  }
+  // Publish.
+  const std::uint64_t commit_version = ++h_.clock_;
+  for (const auto& [addr, val] : write_set_) {
+    h_.mem_[addr] = val;
+    h_.meta_[addr].version = commit_version;
+    h_.meta_[addr].locked = false;
+  }
+  finished_ = true;
+  return true;
+}
+
+void Txn::abort() {
+  write_set_.clear();
+  read_set_.clear();
+  finished_ = true;
+}
+
+StmRunStats run_interleaved(StmHeap& heap,
+                            const std::vector<TxnScript>& scripts,
+                            std::uint64_t seed,
+                            std::size_t max_concurrent) {
+  StmRunStats stats;
+  Rng rng(seed);
+  if (max_concurrent == 0) max_concurrent = 1;
+
+  struct Live {
+    std::uint32_t tid = 0;
+    const TxnScript* script;
+    std::unique_ptr<Txn> txn;
+    std::size_t step = 0;  ///< index into reads, then writes, then commit
+    std::unordered_map<std::size_t, std::uint64_t> read_values;
+    std::uint32_t attempts = 0;
+  };
+
+  // Admission window: only `max_concurrent` transactions are live; the
+  // rest queue and enter (with a fresh snapshot) as slots free up.
+  std::vector<Live> live;
+  std::size_t next_script = 0;
+  auto admit = [&]() {
+    while (live.size() < max_concurrent && next_script < scripts.size()) {
+      Live l;
+      l.tid = static_cast<std::uint32_t>(next_script);
+      l.script = &scripts[next_script];
+      l.txn = std::make_unique<Txn>(heap, l.tid);
+      live.push_back(std::move(l));
+      ++next_script;
+    }
+  };
+  admit();
+
+  auto restart = [&](Live& l) {
+    ++stats.aborts;
+    ++l.attempts;
+    if (l.attempts > 1000) {
+      throw std::runtime_error("run_interleaved: livelock (1000 aborts)");
+    }
+    l.txn = std::make_unique<Txn>(heap, l.tid);
+    l.step = 0;
+    l.read_values.clear();
+  };
+
+  while (!live.empty()) {
+    const std::size_t pick = rng.below(live.size());
+    Live& l = live[pick];
+    const auto& sc = *l.script;
+    const std::size_t nreads = sc.reads.size();
+    const std::size_t nwrites = sc.writes.size();
+
+    if (l.step < nreads) {
+      const std::size_t addr = sc.reads[l.step];
+      const auto v = l.txn->read(addr);
+      if (!v) {
+        restart(l);
+        continue;
+      }
+      l.read_values[addr] = *v;
+      ++l.step;
+    } else if (l.step < nreads + nwrites) {
+      const auto& [addr, delta] = sc.writes[l.step - nreads];
+      const auto it = l.read_values.find(addr);
+      const std::uint64_t base = it != l.read_values.end() ? it->second : 0;
+      l.txn->write(addr, base + static_cast<std::uint64_t>(delta));
+      ++l.step;
+    } else {
+      if (l.txn->commit()) {
+        ++stats.commits;
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        admit();
+      } else {
+        restart(l);
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<TxnScript> make_transfer_scripts(std::size_t accounts,
+                                             std::size_t count,
+                                             std::uint64_t seed) {
+  if (accounts < 2) throw std::invalid_argument("make_transfer_scripts");
+  Rng rng(seed);
+  std::vector<TxnScript> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t a = rng.below(accounts);
+    std::size_t b = rng.below(accounts);
+    while (b == a) b = rng.below(accounts);
+    TxnScript s;
+    s.reads = {a, b};
+    s.writes = {{a, -1}, {b, +1}};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace arch21::par

@@ -1,0 +1,130 @@
+#pragma once
+// Word-based software transactional memory (TL2-style) over a simulated
+// shared memory, plus a deterministic concurrent workload driver.
+//
+// Paper hook (section 2.4, Improving Programmability): "Transactional
+// memory (TM) is a recent example that seeks to significantly simplify
+// parallelization and synchronization in multithreaded code.  TM research
+// has spanned all levels of the system stack, and is now entering the
+// commercial mainstream."
+//
+// The implementation is the real algorithm, not a cost model:
+//   * a global version clock;
+//   * per-word versioned write-locks;
+//   * transactions read through their write set, validate read versions
+//     against their start snapshot, lock the write set at commit, bump
+//     the clock, publish, and release.
+// Threads are *logical*: a driver interleaves transaction steps with a
+// seeded RNG, so every race and abort is reproducible bit-for-bit.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace arch21::par {
+
+/// The shared memory: `words` 64-bit cells with version/lock metadata.
+class StmHeap {
+ public:
+  explicit StmHeap(std::size_t words);
+
+  std::size_t size() const noexcept { return mem_.size(); }
+
+  /// Non-transactional access (initialization / verification only).
+  std::uint64_t peek(std::size_t addr) const { return mem_.at(addr); }
+  void poke(std::size_t addr, std::uint64_t v) { mem_.at(addr) = v; }
+
+  std::uint64_t clock() const noexcept { return clock_; }
+
+ private:
+  friend class Txn;
+  struct Word {
+    std::uint64_t version = 0;
+    bool locked = false;
+    std::uint32_t owner = 0;
+  };
+  std::vector<std::uint64_t> mem_;
+  std::vector<Word> meta_;
+  std::uint64_t clock_ = 0;
+};
+
+/// One transaction attempt.  Use via StmHeap + Txn:
+///   Txn t(heap, thread_id);
+///   auto v = t.read(a);  t.write(b, v + 1);
+///   if (t.commit()) { ... }
+class Txn {
+ public:
+  Txn(StmHeap& heap, std::uint32_t thread_id);
+
+  /// Transactional read; returns nullopt on conflict (caller must abort).
+  std::optional<std::uint64_t> read(std::size_t addr);
+
+  /// Transactional write (buffered until commit).
+  void write(std::size_t addr, std::uint64_t value);
+
+  /// Two-phase commit: lock write set, validate read set, publish.
+  /// Returns false (and rolls back) on conflict.
+  bool commit();
+
+  /// Explicit abort (drops buffered writes; always safe).
+  void abort();
+
+  bool finished() const noexcept { return finished_; }
+
+ private:
+  bool lock_write_set();
+  void unlock_write_set();
+
+  StmHeap& h_;
+  std::uint32_t tid_;
+  std::uint64_t start_clock_;
+  std::vector<std::pair<std::size_t, std::uint64_t>> read_set_;  // addr, ver
+  std::vector<std::pair<std::size_t, std::uint64_t>> write_set_; // addr, val
+  bool finished_ = false;
+};
+
+/// Workload driver: `threads` logical threads each run `txns_per_thread`
+/// transactions; the body receives (Txn&, thread, attempt-rng) and builds
+/// the read/write set; the driver interleaves *whole transactions* in a
+/// seeded random order with bounded retry.
+struct StmRunStats {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  double abort_rate() const noexcept {
+    const auto total = commits + aborts;
+    return total ? static_cast<double>(aborts) / static_cast<double>(total) : 0;
+  }
+};
+
+/// A step-interleaved run: transactions from different threads are
+/// interleaved at read/write granularity, which is where real conflicts
+/// live.  The body is a list of operations generated up front per
+/// transaction: reads then a computed set of writes.
+struct TxnScript {
+  std::vector<std::size_t> reads;
+  /// Writes: (address, delta).  The committed value is the value this
+  /// transaction READ at that address plus delta (the address must appear
+  /// in `reads`), making read-modify-write races observable.
+  std::vector<std::pair<std::size_t, std::int64_t>> writes;
+};
+
+/// Run scripted transactions with random step interleaving.
+/// At most `max_concurrent` transactions are live at once (a realistic
+/// thread count -- an unbounded window would make every late transaction
+/// abort against every earlier commit).  Each script retries until it
+/// commits (bounded at 1000 attempts).
+StmRunStats run_interleaved(StmHeap& heap,
+                            const std::vector<TxnScript>& scripts,
+                            std::uint64_t seed,
+                            std::size_t max_concurrent = 8);
+
+/// Convenience: bank-transfer scripts (move 1 unit between random
+/// accounts) -- the classic atomicity workload.
+std::vector<TxnScript> make_transfer_scripts(std::size_t accounts,
+                                             std::size_t count,
+                                             std::uint64_t seed);
+
+}  // namespace arch21::par

@@ -1,0 +1,35 @@
+#include "par/sync.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace arch21::par {
+
+double BarrierModel::latency(std::uint32_t p) const {
+  if (p <= 1) return 0;
+  const double levels = std::ceil(std::log2(static_cast<double>(p)));
+  // Up-sweep plus down-sweep.
+  return 2.0 * levels * hop_latency_s;
+}
+
+double BarrierModel::energy(std::uint32_t p) const {
+  if (p <= 1) return 0;
+  // A combining tree sends ~2(P-1) messages per episode.
+  return 2.0 * static_cast<double>(p - 1) * hop_energy_j;
+}
+
+double LockModel::rho(std::uint32_t p, double arrival_hz) const {
+  const double service = critical_section_s + transfer_s;
+  return static_cast<double>(p) * arrival_hz * service;
+}
+
+double LockModel::mean_sojourn(std::uint32_t p, double arrival_hz) const {
+  const double service = critical_section_s + transfer_s;
+  const double r = rho(p, arrival_hz);
+  if (r >= 1.0) return std::numeric_limits<double>::infinity();
+  // M/M/1 sojourn: S / (1 - rho).
+  return service / (1.0 - r);
+}
+
+}  // namespace arch21::par

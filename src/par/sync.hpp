@@ -1,0 +1,46 @@
+#pragma once
+// Synchronization cost models: tree barriers, contended locks, and atomic
+// read-modify-write energy.  The paper calls for "more research on
+// synchronization support [and] energy-efficient communication"; these
+// first-order models let the scaling experiments charge synchronization
+// honestly instead of assuming it free.
+
+#include <cstdint>
+
+namespace arch21::par {
+
+/// Tree barrier: latency grows with log2(P) combining steps.
+struct BarrierModel {
+  double hop_latency_s = 40e-9;  ///< per tree level (cache-to-cache ping)
+  double hop_energy_j = 5e-10;   ///< per message
+
+  /// Latency for P participants.
+  double latency(std::uint32_t p) const;
+  /// Total message energy for one barrier episode.
+  double energy(std::uint32_t p) const;
+};
+
+/// Test-and-set style lock under contention, modeled as an M/M/1 queue of
+/// critical-section requests.
+struct LockModel {
+  double critical_section_s = 200e-9;
+  double transfer_s = 60e-9;  ///< lock-line cache transfer on handoff
+
+  /// Mean time to acquire+execute when `p` cores each retry at rate
+  /// `arrival_hz` (returns infinity past saturation).
+  double mean_sojourn(std::uint32_t p, double arrival_hz) const;
+
+  /// Utilization of the critical section (rho); >= 1 means saturated.
+  double rho(std::uint32_t p, double arrival_hz) const;
+};
+
+/// Atomic RMW energy relative to a plain load (line transfer + serialization).
+struct AtomicModel {
+  double base_op_j = 1e-12;
+  double line_transfer_j = 6.4e-11;
+
+  double energy_contended() const noexcept { return base_op_j + line_transfer_j; }
+  double energy_uncontended() const noexcept { return base_op_j; }
+};
+
+}  // namespace arch21::par

@@ -1,0 +1,165 @@
+#include "par/taskgraph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace arch21::par {
+
+TaskId TaskGraph::add(double work_ops, double out_bytes) {
+  Task t;
+  t.work_ops = work_ops;
+  t.out_bytes = out_bytes;
+  tasks_.push_back(std::move(t));
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void TaskGraph::add_edge(TaskId from, TaskId to) {
+  if (from >= tasks_.size() || to >= tasks_.size() || from == to) {
+    throw std::invalid_argument("TaskGraph::add_edge: bad endpoints");
+  }
+  tasks_[from].succ.push_back(to);
+  tasks_[to].pred.push_back(from);
+}
+
+std::vector<TaskId> TaskGraph::topo_order() const {
+  std::vector<std::uint32_t> indeg(tasks_.size(), 0);
+  for (const auto& t : tasks_) {
+    for (TaskId s : t.succ) ++indeg[s];
+  }
+  std::queue<TaskId> ready;
+  for (TaskId i = 0; i < tasks_.size(); ++i) {
+    if (indeg[i] == 0) ready.push(i);
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (TaskId s : tasks_[id].succ) {
+      if (--indeg[s] == 0) ready.push(s);
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    throw std::logic_error("TaskGraph: cycle detected");
+  }
+  return order;
+}
+
+double TaskGraph::total_work() const {
+  double w = 0;
+  for (const auto& t : tasks_) w += t.work_ops;
+  return w;
+}
+
+double TaskGraph::critical_path() const {
+  const auto order = topo_order();
+  std::vector<double> finish(tasks_.size(), 0);
+  double best = 0;
+  for (TaskId id : order) {
+    double start = 0;
+    for (TaskId p : tasks_[id].pred) start = std::max(start, finish[p]);
+    finish[id] = start + tasks_[id].work_ops;
+    best = std::max(best, finish[id]);
+  }
+  return best;
+}
+
+double TaskGraph::total_edge_bytes() const {
+  double b = 0;
+  for (const auto& t : tasks_) {
+    b += t.out_bytes * static_cast<double>(t.succ.size());
+  }
+  return b;
+}
+
+TaskGraph make_fork_join(std::uint32_t width, double work_per_task,
+                         double bytes_per_edge) {
+  TaskGraph g;
+  const TaskId src = g.add(work_per_task, bytes_per_edge);
+  const TaskId sink_placeholder = 0;
+  (void)sink_placeholder;
+  std::vector<TaskId> workers;
+  workers.reserve(width);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const TaskId w = g.add(work_per_task, bytes_per_edge);
+    g.add_edge(src, w);
+    workers.push_back(w);
+  }
+  const TaskId sink = g.add(work_per_task, 0);
+  for (TaskId w : workers) g.add_edge(w, sink);
+  return g;
+}
+
+TaskGraph make_layered(std::uint32_t layers, std::uint32_t width,
+                       std::uint32_t fan_in, double work_per_task,
+                       double bytes_per_edge, std::uint64_t seed) {
+  if (layers == 0 || width == 0) {
+    throw std::invalid_argument("make_layered: empty graph");
+  }
+  Rng rng(seed);
+  TaskGraph g;
+  std::vector<TaskId> prev;
+  for (std::uint32_t l = 0; l < layers; ++l) {
+    std::vector<TaskId> cur;
+    cur.reserve(width);
+    for (std::uint32_t i = 0; i < width; ++i) {
+      // Jitter work +/-30% so layers are not perfectly balanced.
+      const double w = work_per_task * rng.uniform(0.7, 1.3);
+      const TaskId id = g.add(w, bytes_per_edge);
+      cur.push_back(id);
+      if (!prev.empty()) {
+        const std::uint32_t k =
+            std::min<std::uint32_t>(fan_in, static_cast<std::uint32_t>(prev.size()));
+        // Sample k distinct predecessors.
+        std::vector<TaskId> pool = prev;
+        for (std::uint32_t e = 0; e < k; ++e) {
+          const std::size_t idx = rng.below(pool.size());
+          g.add_edge(pool[idx], id);
+          pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+        }
+      }
+    }
+    prev = std::move(cur);
+  }
+  return g;
+}
+
+TaskGraph make_wavefront(std::uint32_t rows, std::uint32_t cols,
+                         double work_per_task, double bytes_per_edge) {
+  TaskGraph g;
+  std::vector<TaskId> ids(static_cast<std::size_t>(rows) * cols);
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    for (std::uint32_t j = 0; j < cols; ++j) {
+      const TaskId id = g.add(work_per_task, bytes_per_edge);
+      ids[static_cast<std::size_t>(i) * cols + j] = id;
+      if (i > 0) g.add_edge(ids[static_cast<std::size_t>(i - 1) * cols + j], id);
+      if (j > 0) g.add_edge(ids[static_cast<std::size_t>(i) * cols + j - 1], id);
+    }
+  }
+  return g;
+}
+
+TaskGraph make_map_reduce(std::uint32_t mappers, std::uint32_t reducers,
+                          double map_work, double reduce_work,
+                          double shuffle_bytes) {
+  TaskGraph g;
+  std::vector<TaskId> maps;
+  maps.reserve(mappers);
+  for (std::uint32_t i = 0; i < mappers; ++i) {
+    maps.push_back(g.add(map_work, shuffle_bytes));
+  }
+  std::vector<TaskId> reds;
+  reds.reserve(reducers);
+  for (std::uint32_t i = 0; i < reducers; ++i) {
+    const TaskId r = g.add(reduce_work, shuffle_bytes);
+    reds.push_back(r);
+    for (TaskId m : maps) g.add_edge(m, r);
+  }
+  const TaskId merge = g.add(reduce_work, 0);
+  for (TaskId r : reds) g.add_edge(r, merge);
+  return g;
+}
+
+}  // namespace arch21::par

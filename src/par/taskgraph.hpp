@@ -1,0 +1,85 @@
+#pragma once
+// Task DAGs and generators.  A task has compute work (operations) and
+// produces output bytes consumed by its successors; schedulers
+// (par/schedule.hpp) place tasks on cores and charge inter-core edges
+// through a communication model.  Generators cover the standard shapes:
+// fork-join, layered random DAGs, 2-D stencil sweeps (wavefront
+// parallelism), and map-reduce.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace arch21::par {
+
+/// Node id in a task graph.
+using TaskId = std::uint32_t;
+
+/// One task.
+struct Task {
+  double work_ops = 1;     ///< compute operations
+  double out_bytes = 0;    ///< bytes sent along each outgoing edge
+  std::vector<TaskId> succ;
+  std::vector<TaskId> pred;
+};
+
+/// A directed acyclic task graph.
+class TaskGraph {
+ public:
+  /// Add a task; returns its id.
+  TaskId add(double work_ops, double out_bytes = 0);
+
+  /// Add a dependency from -> to (from must finish first).
+  void add_edge(TaskId from, TaskId to);
+
+  std::size_t size() const noexcept { return tasks_.size(); }
+  const Task& task(TaskId id) const { return tasks_.at(id); }
+  Task& task(TaskId id) { return tasks_.at(id); }
+
+  /// Topological order (Kahn); throws std::logic_error if cyclic.
+  std::vector<TaskId> topo_order() const;
+
+  /// Total compute work.
+  double total_work() const;
+
+  /// Critical-path work (longest path by work_ops; ignores comms).
+  double critical_path() const;
+
+  /// Sum of bytes over all edges.
+  double total_edge_bytes() const;
+
+  /// Maximum speedup possible by work/span.
+  double inherent_parallelism() const {
+    const double cp = critical_path();
+    return cp > 0 ? total_work() / cp : 1.0;
+  }
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+// --- generators ---------------------------------------------------------
+
+/// Fork-join: a source task, `width` independent workers, a sink.
+TaskGraph make_fork_join(std::uint32_t width, double work_per_task,
+                         double bytes_per_edge);
+
+/// `layers` layers of `width` tasks; each task depends on `fan_in` random
+/// tasks of the previous layer.
+TaskGraph make_layered(std::uint32_t layers, std::uint32_t width,
+                       std::uint32_t fan_in, double work_per_task,
+                       double bytes_per_edge, std::uint64_t seed);
+
+/// 2-D wavefront (e.g. dynamic-programming sweep): task (i,j) depends on
+/// (i-1,j) and (i,j-1).
+TaskGraph make_wavefront(std::uint32_t rows, std::uint32_t cols,
+                         double work_per_task, double bytes_per_edge);
+
+/// Map-reduce: `mappers` independent map tasks feeding `reducers` tasks
+/// (all-to-all shuffle), then a final merge.
+TaskGraph make_map_reduce(std::uint32_t mappers, std::uint32_t reducers,
+                          double map_work, double reduce_work,
+                          double shuffle_bytes);
+
+}  // namespace arch21::par

@@ -1,0 +1,54 @@
+#include "reliab/availability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arch21::reliab {
+
+namespace {
+
+double binom(unsigned n, unsigned k) {
+  double r = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    r *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return r;
+}
+
+}  // namespace
+
+double series_availability(const Component& c, unsigned n) {
+  return std::pow(c.availability(), n);
+}
+
+double k_of_n_availability(const Component& c, unsigned k, unsigned n) {
+  const double a = c.availability();
+  double total = 0;
+  for (unsigned i = k; i <= n; ++i) {
+    total += binom(n, i) * std::pow(a, i) * std::pow(1 - a, n - i);
+  }
+  return std::min(total, 1.0);
+}
+
+double downtime_minutes_per_year(double a) {
+  return (1.0 - a) * 365.25 * 24.0 * 60.0;
+}
+
+unsigned nines(double a) {
+  if (a >= 1.0) return 12;
+  if (a <= 0.0) return 0;
+  // Tolerate floating-point fuzz at exact-nines boundaries
+  // (1 - 0.999 == 0.0010000000000000009 must still count as three 9s).
+  const double n = -std::log10(1.0 - a) + 1e-9;
+  return static_cast<unsigned>(std::clamp(std::floor(n), 0.0, 12.0));
+}
+
+unsigned replicas_for_availability(const Component& c, double target,
+                                   unsigned max_n) {
+  for (unsigned n = 1; n <= max_n; ++n) {
+    if (k_of_n_availability(c, 1, n) >= target) return n;
+  }
+  return 0;
+}
+
+}  // namespace arch21::reliab

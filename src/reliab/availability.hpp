@@ -1,0 +1,42 @@
+#pragma once
+// Availability algebra: MTBF/MTTR, series/parallel composition, and the
+// cost of "nines".  Table A.2: "current mainframes and medical devices
+// strive for five 9's ... achieving this goal can cost millions of
+// dollars.  Tomorrow's solutions demand this same availability at many
+// levels, some where the cost is only a few dollars."  Experiment E13
+// tabulates how much redundancy each nine requires.
+
+#include <cstdint>
+
+namespace arch21::reliab {
+
+/// A repairable component.
+struct Component {
+  double mtbf_hours = 10'000;
+  double mttr_hours = 4;
+
+  /// Steady-state availability MTBF / (MTBF + MTTR).
+  double availability() const noexcept {
+    return mtbf_hours / (mtbf_hours + mttr_hours);
+  }
+};
+
+/// Availability of `n` components in series (all must be up).
+double series_availability(const Component& c, unsigned n);
+
+/// Availability of `n` identical components in parallel where `k` must
+/// be up (k-of-n redundancy, independent failures).
+double k_of_n_availability(const Component& c, unsigned k, unsigned n);
+
+/// Expected downtime per year (minutes) at availability `a`.
+double downtime_minutes_per_year(double a);
+
+/// Number of nines: floor(-log10(1 - a)), clamped to [0, 12].
+unsigned nines(double a);
+
+/// Smallest replica count n (with 1-of-n redundancy) achieving a target
+/// availability; returns 0 if > `max_n` replicas would be needed.
+unsigned replicas_for_availability(const Component& c, double target,
+                                   unsigned max_n = 16);
+
+}  // namespace arch21::reliab

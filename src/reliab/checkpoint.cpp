@@ -1,0 +1,63 @@
+#include "reliab/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arch21::reliab {
+
+double daly_optimal_interval(const CheckpointParams& p) {
+  if (p.delta_s <= 0 || p.mtbf_s <= 0) {
+    throw std::invalid_argument("daly_optimal_interval: bad params");
+  }
+  const double tau = std::sqrt(2.0 * p.delta_s * p.mtbf_s) - p.delta_s;
+  return std::max(tau, p.delta_s);  // never checkpoint faster than delta
+}
+
+double expected_runtime(const CheckpointParams& p, double tau) {
+  if (tau <= 0) throw std::invalid_argument("expected_runtime: tau <= 0");
+  // Daly's model: each segment of tau useful seconds costs (tau + delta)
+  // exposed time; with exponential failures at rate 1/M, the expected
+  // wall time per segment is
+  //   M * exp(R/M) * (exp((tau+delta)/M) - 1)
+  // and there are work/tau segments.
+  const double M = p.mtbf_s;
+  const double segs = p.work_s / tau;
+  const double per_seg =
+      M * std::exp(p.restart_s / M) * (std::exp((tau + p.delta_s) / M) - 1.0);
+  return segs * per_seg;
+}
+
+double simulate_runtime(const CheckpointParams& p, double tau, Rng& rng) {
+  double wall = 0;
+  double done = 0;            // completed (checkpointed) useful work
+  double next_failure = rng.exponential(p.mtbf_s);
+
+  while (done < p.work_s) {
+    const double seg_useful = std::min(tau, p.work_s - done);
+    const double seg_total = seg_useful + p.delta_s;
+    if (wall + seg_total <= next_failure) {
+      // Segment completes and checkpoints.
+      wall += seg_total;
+      done += seg_useful;
+    } else {
+      // Failure mid-segment: lose uncheckpointed work, pay restart.
+      wall = next_failure + p.restart_s;
+      next_failure = wall + rng.exponential(p.mtbf_s);
+    }
+  }
+  return wall;
+}
+
+double mean_simulated_runtime(const CheckpointParams& p, double tau,
+                              std::uint64_t trials, std::uint64_t seed) {
+  Rng rng(seed);
+  double acc = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    Rng child = rng.split();
+    acc += simulate_runtime(p, tau, child);
+  }
+  return acc / static_cast<double>(trials);
+}
+
+}  // namespace arch21::reliab

@@ -1,0 +1,38 @@
+#pragma once
+// Checkpoint/restart optimization (Daly's model) and a discrete-event
+// validation harness.  Long-running computations on failure-prone
+// hardware checkpoint every tau seconds at cost delta; on a failure they
+// lose the work since the last checkpoint and pay a restart cost R.
+// Daly's first-order optimum is tau* = sqrt(2 delta M) - delta for MTBF
+// M >> delta.  The simulator verifies the analytic expectation -- the
+// "Always Online" attribute of Table A.2 costed out.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace arch21::reliab {
+
+/// Checkpointing parameters.
+struct CheckpointParams {
+  double work_s = 1e6;     ///< total useful work to complete, seconds
+  double delta_s = 60;     ///< checkpoint write cost
+  double restart_s = 120;  ///< restart/recovery cost after a failure
+  double mtbf_s = 86400;   ///< exponential failure interarrival mean
+};
+
+/// Daly's first-order optimal checkpoint interval.
+double daly_optimal_interval(const CheckpointParams& p);
+
+/// Expected total wall-clock time to finish `work_s` of useful work when
+/// checkpointing every `tau` seconds (Daly's expected-runtime model).
+double expected_runtime(const CheckpointParams& p, double tau);
+
+/// Simulated wall-clock time for one run (failures drawn from `rng`).
+double simulate_runtime(const CheckpointParams& p, double tau, Rng& rng);
+
+/// Mean simulated runtime over `trials` independent runs.
+double mean_simulated_runtime(const CheckpointParams& p, double tau,
+                              std::uint64_t trials, std::uint64_t seed);
+
+}  // namespace arch21::reliab

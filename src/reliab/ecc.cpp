@@ -1,0 +1,128 @@
+#include "reliab/ecc.hpp"
+
+#include <array>
+#include <bit>
+
+namespace arch21::reliab {
+
+namespace {
+
+// Extended Hamming construction over codeword positions 1..71:
+// positions that are powers of two hold the 7 Hamming check bits, every
+// other position holds a data bit (64 of them: 71 - 7).  An overall
+// parity bit (stored as check bit 7) extends SEC to SECDED.
+
+constexpr bool is_pow2(unsigned v) { return v && (v & (v - 1)) == 0; }
+
+/// Data-bit index (0..63) -> Hamming position (1..71).
+constexpr std::array<std::uint8_t, 64> make_positions() {
+  std::array<std::uint8_t, 64> map{};
+  unsigned pos = 1;
+  for (unsigned i = 0; i < 64; ++i) {
+    while (is_pow2(pos)) ++pos;
+    map[i] = static_cast<std::uint8_t>(pos);
+    ++pos;
+  }
+  return map;
+}
+
+constexpr auto kDataPos = make_positions();
+
+/// Hamming position (1..71) -> data-bit index, or -1 for check positions.
+constexpr std::array<std::int8_t, 72> make_inverse() {
+  std::array<std::int8_t, 72> inv{};
+  for (auto& v : inv) v = -1;
+  for (unsigned i = 0; i < 64; ++i) inv[kDataPos[i]] = static_cast<std::int8_t>(i);
+  return inv;
+}
+
+constexpr auto kPosToData = make_inverse();
+
+/// Compute the 7 Hamming check bits for the data-bit layout.
+std::uint8_t hamming_checks(std::uint64_t data) {
+  unsigned syndrome = 0;
+  for (unsigned i = 0; i < 64; ++i) {
+    if ((data >> i) & 1) syndrome ^= kDataPos[i];
+  }
+  // syndrome bit k corresponds to parity position 2^k; storing the
+  // syndrome itself as the check bits makes the recomputed syndrome of a
+  // clean codeword zero.
+  return static_cast<std::uint8_t>(syndrome & 0x7f);
+}
+
+bool overall_parity(std::uint64_t data, std::uint8_t check7) {
+  const int ones =
+      std::popcount(data) + std::popcount(static_cast<unsigned>(check7));
+  return (ones & 1) != 0;
+}
+
+}  // namespace
+
+const char* to_string(EccStatus s) {
+  switch (s) {
+    case EccStatus::Ok: return "ok";
+    case EccStatus::Corrected: return "corrected";
+    case EccStatus::DoubleError: return "double-error";
+  }
+  return "?";
+}
+
+Codeword ecc_encode(std::uint64_t data) {
+  Codeword cw;
+  cw.data = data;
+  const std::uint8_t c7 = hamming_checks(data);
+  const bool par = overall_parity(data, c7);
+  cw.check = static_cast<std::uint8_t>(c7 | (par ? 0x80 : 0));
+  return cw;
+}
+
+EccDecode ecc_decode(const Codeword& cw) {
+  const std::uint8_t stored_checks = cw.check & 0x7f;
+  const bool stored_parity = (cw.check & 0x80) != 0;
+  const std::uint8_t recomputed = hamming_checks(cw.data);
+  const unsigned syndrome = recomputed ^ stored_checks;
+  const bool parity_now = overall_parity(cw.data, stored_checks);
+  const bool parity_error = parity_now != stored_parity;
+
+  EccDecode out;
+  out.data = cw.data;
+
+  if (syndrome == 0 && !parity_error) {
+    out.status = EccStatus::Ok;
+    return out;
+  }
+  if (syndrome == 0 && parity_error) {
+    // The overall parity bit itself flipped; data intact.
+    out.status = EccStatus::Corrected;
+    return out;
+  }
+  if (parity_error) {
+    // Odd number of flips with nonzero syndrome: single-bit error at
+    // `syndrome` (a data position or a check position).
+    if (syndrome >= 72) {
+      out.status = EccStatus::DoubleError;  // impossible position
+      return out;
+    }
+    const std::int8_t data_idx = kPosToData[syndrome];
+    if (data_idx >= 0) {
+      out.data = cw.data ^ (std::uint64_t{1} << data_idx);
+    }
+    // A check-position syndrome means the flip hit a check bit: data ok.
+    out.status = EccStatus::Corrected;
+    return out;
+  }
+  // Nonzero syndrome with clean parity: even number of flips.
+  out.status = EccStatus::DoubleError;
+  return out;
+}
+
+Codeword flip_bit(Codeword cw, unsigned pos) {
+  if (pos < 64) {
+    cw.data ^= std::uint64_t{1} << pos;
+  } else if (pos < 72) {
+    cw.check ^= static_cast<std::uint8_t>(1u << (pos - 64));
+  }
+  return cw;
+}
+
+}  // namespace arch21::reliab

@@ -1,0 +1,46 @@
+#pragma once
+// Hamming(72,64) SECDED: the single-error-correcting, double-error-
+// detecting code used on server DRAM for decades -- Table 1's "modest
+// levels of transistor unreliability easily hidden (e.g., via ECC)".
+// This is a real bit-level codec: encode() emits a 72-bit codeword,
+// decode() corrects any single flipped bit (data or check) and flags any
+// double flip.  The fault-injection campaign (reliab/fault_injection.hpp)
+// uses it to measure where ECC stops being enough as raw error rates
+// climb -- the "no longer easy to hide" half of the table row.
+
+#include <cstdint>
+
+namespace arch21::reliab {
+
+/// A 72-bit SECDED codeword: 64 data bits + 8 check bits.
+struct Codeword {
+  std::uint64_t data = 0;
+  std::uint8_t check = 0;
+};
+
+/// Decode outcome.
+enum class EccStatus : std::uint8_t {
+  Ok,            ///< no error detected
+  Corrected,     ///< single-bit error corrected
+  DoubleError,   ///< uncorrectable double-bit error detected
+};
+
+const char* to_string(EccStatus s);
+
+/// Result of decoding a (possibly corrupted) codeword.
+struct EccDecode {
+  EccStatus status = EccStatus::Ok;
+  std::uint64_t data = 0;  ///< corrected data (valid unless DoubleError)
+};
+
+/// Encode 64 data bits into a SECDED codeword.
+Codeword ecc_encode(std::uint64_t data);
+
+/// Decode and correct.  Any single-bit flip (in data or check bits) is
+/// corrected; any double flip is reported as DoubleError.
+EccDecode ecc_decode(const Codeword& cw);
+
+/// Flip bit `pos` (0..71; 0..63 are data bits, 64..71 check bits).
+Codeword flip_bit(Codeword cw, unsigned pos);
+
+}  // namespace arch21::reliab

@@ -1,0 +1,48 @@
+#include "reliab/fault_injection.hpp"
+
+namespace arch21::reliab {
+
+CampaignResult run_campaign(const CampaignConfig& cfg) {
+  Rng rng(cfg.seed);
+  CampaignResult res;
+  res.words = cfg.words;
+
+  for (std::uint64_t w = 0; w < cfg.words; ++w) {
+    const std::uint64_t data = rng.next();
+    Codeword cw = ecc_encode(data);
+
+    // Flip each of the 72 bits independently.  For the tiny per-bit
+    // probabilities used in practice, draw the flip count first to avoid
+    // 72 uniform draws per word.
+    const double lambda = cfg.flip_prob_per_bit * 72.0;
+    unsigned flips = static_cast<unsigned>(rng.poisson(lambda));
+    if (flips > 72) flips = 72;
+    for (unsigned f = 0; f < flips; ++f) {
+      cw = flip_bit(cw, static_cast<unsigned>(rng.below(72)));
+    }
+
+    const EccDecode d = ecc_decode(cw);
+    switch (d.status) {
+      case EccStatus::Ok:
+        if (d.data == data) {
+          ++res.clean;
+        } else {
+          ++res.silent;
+        }
+        break;
+      case EccStatus::Corrected:
+        if (d.data == data) {
+          ++res.corrected;
+        } else {
+          ++res.silent;
+        }
+        break;
+      case EccStatus::DoubleError:
+        ++res.detected;
+        break;
+    }
+  }
+  return res;
+}
+
+}  // namespace arch21::reliab

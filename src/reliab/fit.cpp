@@ -1,0 +1,44 @@
+#include "reliab/fit.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace arch21::reliab {
+
+double fit_to_flips_per_second(double fit_per_mbit, double bytes) {
+  const double mbits = bytes * 8.0 / 1e6;
+  const double failures_per_hour = fit_per_mbit * mbits / 1e9;
+  return failures_per_hour / 3600.0;
+}
+
+double ser_voltage_multiplier(double v, double vnom, double sensitivity) {
+  return std::exp((vnom - v) / sensitivity);
+}
+
+double double_error_probability(double flips_per_bit_s, double scrub_s,
+                                unsigned word_bits) {
+  // Poisson flips per word over the interval; P(>=2) = 1 - e^-l (1 + l).
+  const double lambda =
+      flips_per_bit_s * static_cast<double>(word_bits) * scrub_s;
+  if (lambda <= 0) return 0.0;
+  if (lambda < 1e-8) return 0.5 * lambda * lambda;  // stable small-l form
+  return 1.0 - std::exp(-lambda) * (1.0 + lambda);
+}
+
+double uncorrectable_per_hour(double fit_per_mbit, double bytes,
+                              double scrub_s) {
+  const double flips_per_bit_s =
+      fit_to_flips_per_second(fit_per_mbit, bytes) / (bytes * 8.0);
+  const double words = bytes / 8.0;
+  const double p2 = double_error_probability(flips_per_bit_s, scrub_s);
+  // Each word gets an independent double-error chance every scrub period.
+  const double intervals_per_hour = 3600.0 / scrub_s;
+  return words * p2 * intervals_per_hour;
+}
+
+double mtbe_hours(double fit_per_mbit, double bytes, double scrub_s) {
+  const double rate = uncorrectable_per_hour(fit_per_mbit, bytes, scrub_s);
+  return rate > 0 ? 1.0 / rate : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace arch21::reliab

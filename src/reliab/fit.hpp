@@ -1,0 +1,36 @@
+#pragma once
+// Soft-error rate modeling: FIT arithmetic, supply-voltage sensitivity,
+// and the interaction between scrubbing interval and SECDED protection.
+//
+// FIT = failures per 10^9 device-hours.  Memory soft-error rates are
+// quoted in FIT/Mbit; the word-level double-error probability between
+// scrubs is what determines whether SECDED suffices -- Table 1's
+// "transistor reliability worsening, no longer easy to hide" made
+// quantitative.
+
+#include <cstdint>
+
+namespace arch21::reliab {
+
+/// Convert FIT/Mbit to expected bit flips per second in `bytes` of memory.
+double fit_to_flips_per_second(double fit_per_mbit, double bytes);
+
+/// Critical-charge voltage sensitivity: soft-error rate grows
+/// exponentially as supply drops (rate multiplier relative to vnom).
+/// `sensitivity` is the e-folding in volts (typical 0.1-0.2 V).
+double ser_voltage_multiplier(double v, double vnom, double sensitivity = 0.15);
+
+/// Probability that one 72-bit SECDED word accumulates >= 2 flipped bits
+/// within a scrub interval (Poisson arrivals at `flips_per_bit_s`).
+double double_error_probability(double flips_per_bit_s, double scrub_s,
+                                unsigned word_bits = 72);
+
+/// System-level uncorrectable error rate (events/hour) for a memory of
+/// `bytes` protected by SECDED with periodic scrubbing.
+double uncorrectable_per_hour(double fit_per_mbit, double bytes,
+                              double scrub_s);
+
+/// Mean time between uncorrectable errors, in hours (inf if rate ~ 0).
+double mtbe_hours(double fit_per_mbit, double bytes, double scrub_s);
+
+}  // namespace arch21::reliab

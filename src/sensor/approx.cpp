@@ -1,0 +1,148 @@
+#include "sensor/approx.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+#include "util/fixed_point.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::sensor {
+
+std::vector<double> synthetic_ecg(std::size_t n, double sample_hz,
+                                  double heart_hz, double noise,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  const double beat_period = sample_hz / heart_hz;  // samples per beat
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    const double phase = std::fmod(t, beat_period) / beat_period;
+    // Narrow Gaussian bump for the QRS complex, small P/T waves, baseline
+    // wander, and measurement noise.
+    const double qrs = 1.2 * std::exp(-std::pow((phase - 0.3) / 0.02, 2));
+    const double pw = 0.15 * std::exp(-std::pow((phase - 0.18) / 0.05, 2));
+    const double tw = 0.3 * std::exp(-std::pow((phase - 0.55) / 0.08, 2));
+    const double wander =
+        0.1 * std::sin(2 * std::numbers::pi * t / (sample_hz * 3.0));
+    out[i] = qrs + pw + tw + wander + rng.normal(0, noise);
+  }
+  return out;
+}
+
+std::vector<double> lowpass_fir(std::size_t taps, double cutoff_norm) {
+  if (taps == 0 || cutoff_norm <= 0 || cutoff_norm >= 0.5) {
+    throw std::invalid_argument("lowpass_fir: bad parameters");
+  }
+  std::vector<double> h(taps);
+  const double M = static_cast<double>(taps - 1);
+  double sum = 0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double m = static_cast<double>(i) - M / 2.0;
+    const double x = 2.0 * cutoff_norm * m;
+    const double sinc =
+        m == 0 ? 2.0 * cutoff_norm
+               : std::sin(std::numbers::pi * x) / (std::numbers::pi * m);
+    // Hamming window.
+    const double w =
+        0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * static_cast<double>(i) / M);
+    h[i] = sinc * w;
+    sum += h[i];
+  }
+  for (auto& v : h) v /= sum;  // unity DC gain
+  return h;
+}
+
+std::vector<double> fir_apply(const std::vector<double>& x,
+                              const std::vector<double>& h) {
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double acc = 0;
+    for (std::size_t k = 0; k < h.size() && k <= i; ++k) {
+      acc += h[k] * x[i - k];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<double> fir_apply_fixed(const std::vector<double>& x,
+                                    const std::vector<double>& h,
+                                    int frac_bits) {
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double acc = 0;
+    for (std::size_t k = 0; k < h.size() && k <= i; ++k) {
+      // Quantize operands and the product to the reduced precision --
+      // what a narrow fixed-point datapath computes.
+      const double hq = quantize(h[k], frac_bits);
+      const double xq = quantize(x[i - k], frac_bits);
+      acc += quantize(hq * xq, frac_bits);
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<double> fir_apply_perforated(const std::vector<double>& x,
+                                         const std::vector<double>& h,
+                                         unsigned k) {
+  if (k == 0) throw std::invalid_argument("fir_apply_perforated: k == 0");
+  std::vector<double> y(x.size(), 0.0);
+  double held = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (i % k == 0) {
+      double acc = 0;
+      for (std::size_t t = 0; t < h.size() && t <= i; ++t) {
+        acc += h[t] * x[i - t];
+      }
+      held = acc;
+    }
+    y[i] = held;
+  }
+  return y;
+}
+
+double snr_db(const std::vector<double>& ref,
+              const std::vector<double>& approx) {
+  if (ref.size() != approx.size() || ref.empty()) {
+    throw std::invalid_argument("snr_db: size mismatch");
+  }
+  double sig = 0;
+  double err = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    sig += ref[i] * ref[i];
+    const double e = ref[i] - approx[i];
+    err += e * e;
+  }
+  if (err == 0) return 200.0;  // effectively exact
+  return 10.0 * std::log10(sig / err);
+}
+
+double mult_energy_rel(int bits) {
+  const double b = static_cast<double>(bits);
+  return (b / 32.0) * (b / 32.0);
+}
+
+std::vector<ApproxRow> approx_sweep(std::size_t n, std::uint64_t seed) {
+  const auto x = synthetic_ecg(n, 250, 1.2, 0.05, seed);
+  const auto h = lowpass_fir(31, 0.12);
+  const auto ref = fir_apply(x, h);
+
+  std::vector<ApproxRow> rows;
+  for (int bits : {4, 6, 8, 10, 12, 16, 20, 24}) {
+    const auto y = fir_apply_fixed(x, h, bits);
+    // Datapath width ~ frac bits + 8 integer bits.
+    rows.push_back({"precision", static_cast<double>(bits), snr_db(ref, y),
+                    mult_energy_rel(bits + 8)});
+  }
+  for (unsigned k : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    const auto y = fir_apply_perforated(x, h, k);
+    rows.push_back({"perforation", static_cast<double>(k), snr_db(ref, y),
+                    1.0 / static_cast<double>(k)});
+  }
+  return rows;
+}
+
+}  // namespace arch21::sensor

@@ -1,0 +1,63 @@
+#pragma once
+// Approximate computing on sensor signals.  "Given that sensor data is
+// inherently approximate, it opens the potential to effectively apply
+// approximate computing techniques, which can lead to significant energy
+// savings."  Two techniques are implemented *for real* on a synthetic
+// ECG-like signal and an FIR low-pass filter:
+//   * precision scaling -- run the filter in Q-format fixed point with a
+//     reduced number of fractional bits; multiplier energy scales ~
+//     quadratically with operand width;
+//   * loop perforation -- process only 1/k of the samples and
+//     hold the last output between them.
+// Quality is measured as signal-to-noise ratio against the full-precision
+// result, so the energy/quality Pareto is measured, not assumed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace arch21::sensor {
+
+/// Generate `n` samples of a synthetic ECG-like waveform (periodic QRS
+/// spikes over a baseline wander) with additive noise.
+std::vector<double> synthetic_ecg(std::size_t n, double sample_hz = 250,
+                                  double heart_hz = 1.2, double noise = 0.05,
+                                  std::uint64_t seed = 3);
+
+/// Symmetric low-pass FIR coefficients (windowed sinc), length `taps`.
+std::vector<double> lowpass_fir(std::size_t taps, double cutoff_norm);
+
+/// Reference double-precision FIR.
+std::vector<double> fir_apply(const std::vector<double>& x,
+                              const std::vector<double>& h);
+
+/// FIR in fixed point with `frac_bits` fractional bits.
+std::vector<double> fir_apply_fixed(const std::vector<double>& x,
+                                    const std::vector<double>& h,
+                                    int frac_bits);
+
+/// FIR with loop perforation: compute every k-th output, hold in between.
+std::vector<double> fir_apply_perforated(const std::vector<double>& x,
+                                         const std::vector<double>& h,
+                                         unsigned k);
+
+/// SNR (dB) of `approx` against `ref`.
+double snr_db(const std::vector<double>& ref, const std::vector<double>& approx);
+
+/// Relative multiplier energy of a b-bit multiply vs 32-bit (~ (b/32)^2).
+double mult_energy_rel(int bits);
+
+/// One row of the quality/energy sweep.
+struct ApproxRow {
+  std::string technique;
+  double parameter;   ///< frac bits or perforation k
+  double snr_db;
+  double energy_rel;  ///< energy relative to exact
+};
+
+/// Sweep precision (4..24 frac bits) and perforation (k = 1..8) on the
+/// built-in ECG workload.
+std::vector<ApproxRow> approx_sweep(std::size_t n = 4096,
+                                    std::uint64_t seed = 3);
+
+}  // namespace arch21::sensor

@@ -1,0 +1,32 @@
+#include "sensor/battery.hpp"
+
+#include <algorithm>
+
+namespace arch21::sensor {
+
+double Battery::draw(double joules) {
+  const double supplied = std::min(joules, std::max(level_j_, 0.0));
+  level_j_ -= supplied;
+  return supplied;
+}
+
+Harvester::Harvester(HarvesterConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {}
+
+double Harvester::step(double dt) {
+  double income = 0;
+  if (rng_.chance(cfg_.p_active)) {
+    income = cfg_.power_w * dt;
+  }
+  const double leak = cfg_.leak_w * dt;
+  stored_j_ = std::clamp(stored_j_ + income - leak, 0.0, cfg_.cap_j);
+  return income;
+}
+
+double Harvester::draw(double joules) {
+  const double supplied = std::min(joules, stored_j_);
+  stored_j_ -= supplied;
+  return supplied;
+}
+
+}  // namespace arch21::sensor

@@ -1,0 +1,65 @@
+#pragma once
+// Energy stores for the sensor platform: batteries (fixed reservoir) and
+// harvesting supplies (stochastic income into a small capacitor).  The
+// paper's smart-sensing section calls out "systems that can leverage
+// intermittent power (e.g., from harvested energy)" -- the harvester
+// model below feeds the intermittent-computing simulator.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace arch21::sensor {
+
+/// A battery: finite energy, simple linear discharge.
+class Battery {
+ public:
+  explicit Battery(double capacity_j) : capacity_j_(capacity_j), level_j_(capacity_j) {}
+
+  double capacity_j() const noexcept { return capacity_j_; }
+  double level_j() const noexcept { return level_j_; }
+  bool empty() const noexcept { return level_j_ <= 0; }
+
+  /// Draw energy; returns the amount actually supplied.
+  double draw(double joules);
+
+  /// Lifetime in seconds at a constant power draw.
+  double lifetime_s(double watts) const {
+    return watts > 0 ? level_j_ / watts : 1e300;
+  }
+
+ private:
+  double capacity_j_;
+  double level_j_;
+};
+
+/// A stochastic energy harvester charging a capacitor.
+/// Income arrives in bursts (e.g., light/vibration): per time step, with
+/// probability `p_active` the harvester delivers `power_w` for the step.
+struct HarvesterConfig {
+  double power_w = 5e-3;     ///< instantaneous harvest power when active
+  double p_active = 0.5;     ///< fraction of time energy is available
+  double cap_j = 100e-6;     ///< capacitor size (e.g., 100 uJ)
+  double leak_w = 1e-6;      ///< storage leakage
+};
+
+class Harvester {
+ public:
+  Harvester(HarvesterConfig cfg, std::uint64_t seed);
+
+  /// Advance `dt` seconds; returns energy added to the capacitor.
+  double step(double dt);
+
+  /// Draw from the capacitor; returns amount supplied.
+  double draw(double joules);
+
+  double stored_j() const noexcept { return stored_j_; }
+  const HarvesterConfig& config() const noexcept { return cfg_; }
+
+ private:
+  HarvesterConfig cfg_;
+  Rng rng_;
+  double stored_j_ = 0;
+};
+
+}  // namespace arch21::sensor

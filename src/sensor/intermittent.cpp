@@ -1,0 +1,99 @@
+#include "sensor/intermittent.hpp"
+
+#include <vector>
+
+namespace arch21::sensor {
+
+IntermittentResult run_intermittent(const IntermittentConfig& cfg) {
+  Harvester h(cfg.harvester, cfg.seed);
+  IntermittentResult res;
+
+  std::uint64_t committed = 0;      // checkpointed progress
+  std::uint64_t since_commit = 0;   // volatile progress since checkpoint
+  bool powered = false;
+  double t = 0;
+
+  while (committed < cfg.work_units && t < cfg.max_sim_s) {
+    h.step(cfg.step_s);
+    t += cfg.step_s;
+
+    if (!powered) {
+      if (h.stored_j() >= cfg.on_threshold_j) {
+        powered = true;
+        // Restore: volatile progress was lost at the previous failure.
+        since_commit = 0;
+      } else {
+        continue;
+      }
+    }
+
+    // Execute as many work units as this step's energy allows.
+    while (powered && committed + since_commit < cfg.work_units) {
+      const bool checkpoint_due =
+          since_commit >= cfg.checkpoint_every;
+      const double need = checkpoint_due ? cfg.e_checkpoint_j : cfg.e_unit_j;
+      if (h.stored_j() < need) {
+        // Brown-out: volatile progress is lost.
+        powered = false;
+        ++res.power_failures;
+        res.wasted_energy_j +=
+            static_cast<double>(since_commit) * cfg.e_unit_j;
+        since_commit = 0;
+        break;
+      }
+      h.draw(need);
+      if (checkpoint_due) {
+        ++res.checkpoints;
+        res.checkpoint_energy_j += cfg.e_checkpoint_j;
+        committed += since_commit;
+        since_commit = 0;
+      } else {
+        ++since_commit;
+        ++res.units_executed;
+      }
+      // One unit (or checkpoint) per inner iteration; stop the inner loop
+      // when the step's worth of harvest is spent.  We approximate by
+      // allowing the capacitor itself to meter execution.
+    }
+    if (committed + since_commit >= cfg.work_units && powered) {
+      // Final (implicit) checkpoint commits the tail.
+      if (h.stored_j() >= cfg.e_checkpoint_j) {
+        h.draw(cfg.e_checkpoint_j);
+        ++res.checkpoints;
+        res.checkpoint_energy_j += cfg.e_checkpoint_j;
+        committed += since_commit;
+        since_commit = 0;
+      } else {
+        powered = false;
+        ++res.power_failures;
+        res.wasted_energy_j +=
+            static_cast<double>(since_commit) * cfg.e_unit_j;
+        since_commit = 0;
+      }
+    }
+  }
+
+  res.completed = committed >= cfg.work_units;
+  res.elapsed_s = t;
+  res.units_committed = committed;
+  return res;
+}
+
+IntervalChoice best_checkpoint_interval(
+    IntermittentConfig cfg, const std::vector<std::uint64_t>& candidates) {
+  IntervalChoice best;
+  bool first = true;
+  for (std::uint64_t k : candidates) {
+    cfg.checkpoint_every = k;
+    const auto r = run_intermittent(cfg);
+    if (!r.completed) continue;
+    if (first || r.elapsed_s < best.elapsed_s) {
+      best.interval = k;
+      best.elapsed_s = r.elapsed_s;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace arch21::sensor

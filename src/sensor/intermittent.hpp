@@ -1,0 +1,62 @@
+#pragma once
+// Intermittent computing: executing a program on harvested energy that
+// dies and restarts whenever the capacitor drains.  Progress must be
+// checkpointed to non-volatile memory or it is lost at each power
+// failure.  The simulator measures forward progress, checkpoint overhead,
+// and wasted (re-executed) work as a function of the checkpoint interval
+// -- the sensor-scale analogue of Daly's problem, with energy instead of
+// time as the failing resource.
+
+#include <cstdint>
+#include <vector>
+
+#include "sensor/battery.hpp"
+
+namespace arch21::sensor {
+
+/// Workload and platform parameters.
+struct IntermittentConfig {
+  std::uint64_t work_units = 10'000;  ///< total units to complete
+  double e_unit_j = 2e-7;             ///< energy per work unit
+  double e_checkpoint_j = 1e-6;       ///< energy to checkpoint to NVM
+  std::uint64_t checkpoint_every = 50;///< units between checkpoints
+  double on_threshold_j = 20e-6;      ///< wake when capacitor reaches this
+  double step_s = 1e-3;               ///< harvest timestep
+  HarvesterConfig harvester;
+  std::uint64_t seed = 11;
+  double max_sim_s = 36000;           ///< give-up horizon
+};
+
+/// Simulation outcome.
+struct IntermittentResult {
+  bool completed = false;
+  double elapsed_s = 0;
+  std::uint64_t power_failures = 0;
+  std::uint64_t units_executed = 0;   ///< includes re-executed work
+  std::uint64_t units_committed = 0;  ///< forward progress
+  std::uint64_t checkpoints = 0;
+  double checkpoint_energy_j = 0;
+  double wasted_energy_j = 0;         ///< energy spent on lost work
+
+  /// Fraction of executed work that was re-execution.
+  double waste_fraction() const noexcept {
+    return units_executed
+               ? 1.0 - static_cast<double>(units_committed) /
+                           static_cast<double>(units_executed)
+               : 0;
+  }
+};
+
+/// Run the intermittent-execution simulation.
+IntermittentResult run_intermittent(const IntermittentConfig& cfg);
+
+/// Scan checkpoint intervals and return the one minimizing completion
+/// time (ties broken toward fewer checkpoints).
+struct IntervalChoice {
+  std::uint64_t interval = 1;
+  double elapsed_s = 0;
+};
+IntervalChoice best_checkpoint_interval(IntermittentConfig cfg,
+                                        const std::vector<std::uint64_t>& candidates);
+
+}  // namespace arch21::sensor

@@ -1,0 +1,57 @@
+#include "sensor/tradeoff.hpp"
+
+#include <limits>
+
+namespace arch21::sensor {
+
+std::vector<StrategyPower> strategy_powers(const StreamProfile& s,
+                                           const energy::Catalogue& cat) {
+  const double raw_bits_per_s = s.sample_hz * s.bytes_per_sample * 8.0;
+  const double e_radio_bit =
+      cat.move_per_bit(energy::Distance::SensorRadio);
+  const double e_op = cat.int_op();
+
+  std::vector<StrategyPower> out;
+
+  {
+    StrategyPower p;
+    p.name = "transmit-raw";
+    p.radio_w = raw_bits_per_s * e_radio_bit;
+    p.total_w = p.radio_w;
+    out.push_back(p);
+  }
+  {
+    StrategyPower p;
+    p.name = "filter-on-sensor";
+    p.compute_w = s.sample_hz * s.ops_per_sample_filter * e_op;
+    p.radio_w = (raw_bits_per_s / s.reduction_factor) * e_radio_bit;
+    p.total_w = p.compute_w + p.radio_w;
+    out.push_back(p);
+  }
+  {
+    StrategyPower p;
+    p.name = "batch-compress";
+    const double bytes_per_s = s.sample_hz * s.bytes_per_sample;
+    p.compute_w = bytes_per_s * s.ops_per_byte_compress * e_op;
+    p.radio_w = (raw_bits_per_s / s.compress_ratio) * e_radio_bit;
+    p.total_w = p.compute_w + p.radio_w;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double filter_breakeven_reduction(const StreamProfile& s,
+                                  const energy::Catalogue& cat) {
+  const double raw_bits_per_s = s.sample_hz * s.bytes_per_sample * 8.0;
+  const double e_radio_bit = cat.move_per_bit(energy::Distance::SensorRadio);
+  const double compute_w = s.sample_hz * s.ops_per_sample_filter * cat.int_op();
+  const double raw_radio_w = raw_bits_per_s * e_radio_bit;
+  // filter wins when compute + raw_radio / R < raw_radio
+  //   <=> R > raw_radio / (raw_radio - compute)
+  if (compute_w >= raw_radio_w) {
+    return std::numeric_limits<double>::infinity();  // filtering never wins
+  }
+  return raw_radio_w / (raw_radio_w - compute_w);
+}
+
+}  // namespace arch21::sensor

@@ -1,0 +1,49 @@
+#pragma once
+// The compute-vs-communicate tradeoff at the sensor edge.  "Providing
+// sufficient on-sensor capability to filter and process data where it is
+// generated/collected can be most energy-efficient, because the energy
+// required for communication can dominate that for computation."
+// (Table A.2, Big Data.)  This module prices three strategies for a
+// sampled data stream:
+//   transmit-raw       -- radio every sample to the gateway
+//   filter-on-sensor   -- spend ops/sample locally, transmit the reduced
+//                         stream (events only)
+//   batch-compress     -- accumulate, compress (ratio), transmit batches
+// and finds where each wins as the data-reduction factor varies.
+
+#include <string>
+#include <vector>
+
+#include "energy/catalogue.hpp"
+
+namespace arch21::sensor {
+
+/// The sensed stream.
+struct StreamProfile {
+  double sample_hz = 250;        ///< e.g., single-lead ECG
+  double bytes_per_sample = 2;
+  double ops_per_sample_filter = 400;  ///< on-sensor DSP cost
+  double reduction_factor = 100;  ///< raw bytes / transmitted bytes after filtering
+  double compress_ratio = 4;      ///< batching+compression ratio
+  double ops_per_byte_compress = 8;
+};
+
+/// Energy per second (i.e., average power in watts) of one strategy.
+struct StrategyPower {
+  std::string name;
+  double compute_w = 0;
+  double radio_w = 0;
+  double total_w = 0;
+};
+
+/// Evaluate all three strategies for a stream on a node whose energies
+/// come from `cat` (radio energy is the catalogue's SensorRadio distance).
+std::vector<StrategyPower> strategy_powers(const StreamProfile& s,
+                                           const energy::Catalogue& cat);
+
+/// The reduction factor at which on-sensor filtering starts beating
+/// transmit-raw (closed form: compute cost vs saved radio bytes).
+double filter_breakeven_reduction(const StreamProfile& s,
+                                  const energy::Catalogue& cat);
+
+}  // namespace arch21::sensor

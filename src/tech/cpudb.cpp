@@ -1,0 +1,53 @@
+#include "tech/cpudb.hpp"
+
+#include <array>
+
+namespace arch21::tech {
+
+namespace {
+
+// year, label, nm, MHz, IPC proxy, FO4 ps.  Shapes follow the public
+// record: frequency rides deep pipelining through ~2004 then saturates
+// (the power wall), while IPC climbs through superscalar/OoO and then
+// creeps.  FO4 tracks raw device speed.
+const std::array<CpuGeneration, 12>& rows() {
+  static const std::array<CpuGeneration, 12> t = {{
+      {1985, "gen1985-scalar", 1500, 12.5, 0.20, 1200},
+      {1989, "gen1989-pipelined", 800, 33, 0.30, 700},
+      {1993, "gen1993-superscalar", 500, 66, 0.90, 420},
+      {1995, "gen1995-ooo", 350, 200, 1.00, 300},
+      {1997, "gen1997-ooo2", 250, 300, 1.10, 220},
+      {1999, "gen1999-deep", 180, 600, 1.20, 160},
+      {2001, "gen2001-hyper", 130, 1700, 1.10, 115},
+      {2004, "gen2004-peakfreq", 90, 3400, 1.20, 80},
+      {2006, "gen2006-wide", 65, 3000, 1.60, 60},
+      {2008, "gen2008-nehalem-class", 45, 3400, 1.80, 45},
+      {2010, "gen2010-westmere-class", 32, 3600, 1.90, 37},
+      {2012, "gen2012-ivb-class", 22, 3800, 2.00, 31},
+  }};
+  return t;
+}
+
+}  // namespace
+
+std::span<const CpuGeneration> cpu_db() {
+  return {rows().data(), rows().size()};
+}
+
+std::vector<PerfDecomposition> decompose_performance() {
+  std::vector<PerfDecomposition> out;
+  const auto& base = rows().front();
+  for (const auto& g : rows()) {
+    PerfDecomposition d;
+    d.year = g.year;
+    d.total_gain = g.performance() / base.performance();
+    d.tech_gain = base.fo4_ps / g.fo4_ps;
+    d.arch_gain = d.total_gain / d.tech_gain;
+    out.push_back(d);
+  }
+  return out;
+}
+
+PerfDecomposition decomposition_2012() { return decompose_performance().back(); }
+
+}  // namespace arch21::tech

@@ -1,0 +1,55 @@
+#pragma once
+// Synthetic CPU-generation database and the Danowitz-style decomposition
+// of single-thread performance growth into technology and architecture
+// factors.
+//
+// Paper hook (section 1): "Danowitz et al. apportioned computer
+// performance growth roughly equally between technology and architecture,
+// with architecture credited with ~80x improvement since 1985."
+//
+// SUBSTITUTION NOTE: the real CPU DB is a curated dataset of hundreds of
+// commercial parts.  We embed a 12-generation synthetic series calibrated
+// to the public trend (frequency, IPC-proxy, and FO4 gate-delay by year).
+// The *decomposition arithmetic* -- performance = frequency x IPC;
+// technology factor = gate-speed (FO4) improvement; architecture factor =
+// everything else (pipelining beyond gate speed, superscalar issue, caches,
+// branch prediction folded into the IPC proxy) -- is exactly the published
+// methodology, so the experiment exercises the same computation.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace arch21::tech {
+
+/// One processor generation in the synthetic CPU DB.
+struct CpuGeneration {
+  int year;
+  std::string label;     ///< generic label, e.g. "gen1993-superscalar"
+  double feature_nm;
+  double freq_mhz;       ///< shipping clock frequency
+  double ipc;            ///< sustained instructions/cycle proxy on SPEC-like work
+  double fo4_ps;         ///< fanout-of-4 inverter delay (technology speed)
+
+  /// Relative single-thread performance (freq x IPC).
+  double performance() const noexcept { return freq_mhz * ipc; }
+};
+
+/// The built-in series, 1985..2012, ordered by year.
+std::span<const CpuGeneration> cpu_db();
+
+/// Growth decomposition against the 1985 baseline.
+struct PerfDecomposition {
+  int year;
+  double total_gain;  ///< perf(year) / perf(1985)
+  double tech_gain;   ///< fo4(1985) / fo4(year): raw gate-speed improvement
+  double arch_gain;   ///< total / tech: pipeline depth beyond gate speed + IPC
+};
+
+/// Decomposition for each generation in the table.
+std::vector<PerfDecomposition> decompose_performance();
+
+/// Decomposition at the final (2012) generation -- the paper's claim point.
+PerfDecomposition decomposition_2012();
+
+}  // namespace arch21::tech

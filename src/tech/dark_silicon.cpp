@@ -1,0 +1,52 @@
+#include "tech/dark_silicon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arch21::tech {
+
+namespace {
+
+double power_metric(const TechNode& n) {
+  // Per-mm^2 switching power proxy: transistors * C/gate * V^2 * f.
+  return n.density_mtx_mm2 * n.cgate_rel * n.vdd * n.vdd * n.freq_ghz;
+}
+
+}  // namespace
+
+DarkSiliconModel::DarkSiliconModel(Params p) : p_(std::move(p)) {
+  const auto ref = find_node(p_.reference_node);
+  if (!ref) {
+    throw std::invalid_argument("DarkSiliconModel: unknown reference node");
+  }
+  ref_metric_ = power_metric(*ref);
+  if (ref_metric_ <= 0) {
+    throw std::invalid_argument("DarkSiliconModel: degenerate reference node");
+  }
+}
+
+double DarkSiliconModel::full_power(const TechNode& n) const {
+  // By construction the reference node exactly fills the budget.
+  return p_.power_budget_w * power_metric(n) / ref_metric_;
+}
+
+double DarkSiliconModel::utilization(const TechNode& n) const {
+  const double fp = full_power(n);
+  if (fp <= 0) return 1.0;
+  return std::min(1.0, p_.power_budget_w / fp);
+}
+
+std::vector<DarkSiliconModel::Row> DarkSiliconModel::project() const {
+  std::vector<Row> rows;
+  for (const auto& n : node_table()) {
+    Row r;
+    r.node = &n;
+    r.full_power_w = full_power(n);
+    r.utilization = utilization(n);
+    r.dark_fraction = 1.0 - r.utilization;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace arch21::tech

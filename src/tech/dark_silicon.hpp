@@ -1,0 +1,52 @@
+#pragma once
+// Dark-silicon / utilization-wall model.  Post-Dennard, transistor count
+// doubles per generation but the per-transistor power drop no longer
+// keeps pace, so at a fixed chip power budget a shrinking fraction of the
+// die can switch at full voltage/frequency.  This quantifies the paper's
+// motivation for "energy first" and for specialization (dim/dark area is
+// exactly where accelerators go).
+
+#include <vector>
+
+#include "tech/node.hpp"
+
+namespace arch21::tech {
+
+/// Dark-silicon projection for a fixed die area and fixed power budget.
+class DarkSiliconModel {
+ public:
+  struct Params {
+    double die_mm2 = 100.0;       ///< die area held constant across nodes
+    double power_budget_w = 100;  ///< package/thermal budget (TDP)
+    /// Power of a full chip at the *reference* node when 100% of the die
+    /// switches at nominal V/f.  Calibrated so utilization is 1.0 there.
+    std::string reference_node = "90nm";
+    double activity = 0.1;        ///< average switching activity factor
+  };
+
+  explicit DarkSiliconModel(Params p);
+
+  /// Full-die power (W) at a node when everything runs at nominal V/f.
+  /// Scales as density * C_gate * Vdd^2 * f relative to the reference.
+  double full_power(const TechNode& n) const;
+
+  /// Fraction of the die that can be simultaneously active at nominal V/f
+  /// within the power budget (clamped to [0,1]).  1 - this is "dark".
+  double utilization(const TechNode& n) const;
+
+  struct Row {
+    const TechNode* node;
+    double full_power_w;
+    double utilization;
+    double dark_fraction;
+  };
+
+  /// Evaluate every node in the table.
+  std::vector<Row> project() const;
+
+ private:
+  Params p_;
+  double ref_metric_;  ///< density*C*V^2*f at the reference node
+};
+
+}  // namespace arch21::tech

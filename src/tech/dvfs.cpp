@@ -1,0 +1,127 @@
+#include "tech/dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace arch21::tech {
+
+DvfsModel::DvfsModel(Params p) : p_(p) {
+  if (p_.vnom <= p_.vth) {
+    throw std::invalid_argument("DvfsModel: vnom must exceed vth");
+  }
+  if (p_.alpha <= 0 || p_.fnom_ghz <= 0 || p_.ceff_nj <= 0) {
+    throw std::invalid_argument("DvfsModel: non-positive parameter");
+  }
+  // Fix the alpha-power constant so that f(vnom) == fnom.
+  kf_ = p_.fnom_ghz * units::giga * p_.vnom /
+        std::pow(p_.vnom - p_.vth, p_.alpha);
+}
+
+DvfsModel DvfsModel::for_node(const TechNode& n, double ceff_nj,
+                              double pleak_nom_w) {
+  Params p;
+  p.vnom = n.vdd;
+  p.vth = n.vth;
+  p.fnom_ghz = n.freq_ghz;
+  // Scale switched capacitance with the node's per-gate capacitance so
+  // newer nodes burn less dynamic energy per op.
+  p.ceff_nj = ceff_nj * n.cgate_rel;
+  p.pleak_nom_w = pleak_nom_w * n.leak_rel / 20.0;  // normalized near 22 nm
+  return DvfsModel(p);
+}
+
+double DvfsModel::vfloor() const noexcept {
+  return p_.vmin > 0 ? p_.vmin : p_.vth + 0.05;
+}
+
+double DvfsModel::frequency(double v) const noexcept {
+  if (v <= p_.vth) return 0.0;
+  return kf_ * std::pow(v - p_.vth, p_.alpha) / v;
+}
+
+double DvfsModel::dynamic_energy(double v) const noexcept {
+  // Ceff is quoted as nJ at 1 V: E = Ceff * V^2.
+  return p_.ceff_nj * units::nano * v * v;
+}
+
+double DvfsModel::leakage_power(double v) const noexcept {
+  return p_.pleak_nom_w * (v / p_.vnom) *
+         std::exp((v - p_.vnom) / p_.v_slope);
+}
+
+double DvfsModel::leakage_energy(double v) const noexcept {
+  const double f = frequency(v);
+  if (f <= 0) return std::numeric_limits<double>::infinity();
+  return leakage_power(v) / f;
+}
+
+double DvfsModel::energy_per_op(double v) const noexcept {
+  return dynamic_energy(v) + leakage_energy(v);
+}
+
+double DvfsModel::power(double v) const noexcept {
+  return dynamic_energy(v) * frequency(v) + leakage_power(v);
+}
+
+double DvfsModel::min_energy_voltage() const noexcept {
+  // Golden-section search; energy_per_op is unimodal over (vth, vnom].
+  double lo = vfloor();
+  double hi = p_.vnom;
+  constexpr double phi = 0.6180339887498949;
+  double a = hi - phi * (hi - lo);
+  double b = lo + phi * (hi - lo);
+  double fa = energy_per_op(a);
+  double fb = energy_per_op(b);
+  for (int i = 0; i < 80; ++i) {
+    if (fa < fb) {
+      hi = b;
+      b = a;
+      fb = fa;
+      a = hi - phi * (hi - lo);
+      fa = energy_per_op(a);
+    } else {
+      lo = a;
+      a = b;
+      fa = fb;
+      b = lo + phi * (hi - lo);
+      fb = energy_per_op(b);
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double DvfsModel::voltage_for_power(double budget_w) const noexcept {
+  // power(v) is monotone increasing over [vfloor, vnom]; bisect.
+  double lo = vfloor();
+  double hi = p_.vnom;
+  if (power(hi) <= budget_w) return hi;
+  if (power(lo) >= budget_w) return lo;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (power(mid) <= budget_w) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<DvfsModel::Point> DvfsModel::sweep(int steps) const {
+  std::vector<Point> out;
+  const double lo = vfloor();
+  const double hi = p_.vnom;
+  steps = std::max(steps, 2);
+  out.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const double v =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(steps - 1);
+    out.push_back({v, frequency(v), energy_per_op(v), power(v)});
+  }
+  return out;
+}
+
+}  // namespace arch21::tech

@@ -1,0 +1,90 @@
+#pragma once
+// Dynamic voltage/frequency scaling and near-threshold operation.
+//
+// The circuit model is the standard alpha-power law:
+//     f(V)  =  k * (V - Vth)^alpha / V            (alpha ~ 1.3 for short channel)
+//     E_dyn =  Ceff * V^2                          per operation
+//     P_leak(V) = P_leak_nom * (V / Vnom) * exp((V - Vnom) / v_slope)
+//     E_leak per op = P_leak(V) / f(V)
+//
+// Total energy per operation E(V) = E_dyn + E_leak has the well-known
+// "energy valley": lowering V cuts CV^2 quadratically until the slowdown
+// makes leakage-per-op dominate; the minimum-energy point sits near or
+// just below threshold -- the paper's "near-threshold voltage operation
+// has tremendous potential to reduce power but at the cost of
+// reliability".
+
+#include <vector>
+
+#include "tech/node.hpp"
+
+namespace arch21::tech {
+
+/// Voltage/frequency operating-point model for one core in one node.
+class DvfsModel {
+ public:
+  struct Params {
+    double vnom = 1.0;        ///< nominal supply, V
+    double vth = 0.30;        ///< threshold voltage, V
+    double fnom_ghz = 3.0;    ///< frequency at vnom, GHz
+    double alpha = 1.3;       ///< alpha-power exponent
+    double ceff_nj = 0.5;     ///< switched energy at 1 V, nJ per op (Ceff in nF)
+    double pleak_nom_w = 0.6; ///< leakage power at vnom, W
+    double v_slope = 0.12;    ///< exponential leakage slope vs V, volts/e-fold
+    double vmin = 0.0;        ///< lowest legal supply; 0 => vth + 50 mV
+  };
+
+  explicit DvfsModel(Params p);
+
+  /// Build from a node-table entry (scales frequency and leakage from the
+  /// table row; `cores_sharing_leakage` divides chip leakage per core).
+  static DvfsModel for_node(const TechNode& n, double ceff_nj = 0.5,
+                            double pleak_nom_w = 0.6);
+
+  const Params& params() const noexcept { return p_; }
+
+  /// Clock frequency in Hz at supply `v`; 0 at or below vmin floor.
+  double frequency(double v) const noexcept;
+
+  /// Dynamic energy per operation at supply `v` (joules).
+  double dynamic_energy(double v) const noexcept;
+
+  /// Leakage power at supply `v` (watts).
+  double leakage_power(double v) const noexcept;
+
+  /// Leakage energy charged to each operation at supply `v` (joules).
+  double leakage_energy(double v) const noexcept;
+
+  /// Total energy per operation (joules).
+  double energy_per_op(double v) const noexcept;
+
+  /// Power when running flat out at supply `v` (watts):
+  /// dynamic + leakage at f(v).
+  double power(double v) const noexcept;
+
+  /// Supply minimizing energy/op, found by golden-section search over
+  /// [vmin, vnom].
+  double min_energy_voltage() const noexcept;
+
+  /// Highest supply (<= vnom) whose full-speed power fits `budget_w`;
+  /// returns vmin floor if even that exceeds the budget.
+  double voltage_for_power(double budget_w) const noexcept;
+
+  /// An operating point for tabulation.
+  struct Point {
+    double v = 0;
+    double f_hz = 0;
+    double e_op_j = 0;
+    double power_w = 0;
+  };
+
+  /// Sweep `steps` evenly spaced supplies in [vmin floor, vnom].
+  std::vector<Point> sweep(int steps = 25) const;
+
+ private:
+  double vfloor() const noexcept;
+  Params p_;
+  double kf_ = 0;  ///< alpha-power constant fixing f(vnom) = fnom
+};
+
+}  // namespace arch21::tech

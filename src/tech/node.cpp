@@ -1,0 +1,94 @@
+#include "tech/node.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+
+namespace arch21::tech {
+
+namespace {
+
+// Representative industry trajectory.  Sources: ITRS roadmaps and public
+// product data, smoothed to first order.  The pre-90nm rows follow
+// Dennard scaling closely (Vdd dropping with feature size, frequency
+// riding the shrink); from 65 nm on, Vdd flattens and frequency saturates
+// near 4 GHz while density keeps doubling -- exactly the Table 1 story.
+constexpr int kNodeCount = 11;
+const std::array<TechNode, kNodeCount>& nodes() {
+  static const std::array<TechNode, kNodeCount> t = {{
+      {"180nm", 180, 1999, 1.80, 0.45, 0.4, 1.000, 0.60, 1.0},
+      {"130nm", 130, 2001, 1.50, 0.40, 0.8, 0.720, 1.20, 2.0},
+      {"90nm", 90, 2004, 1.30, 0.38, 1.6, 0.520, 2.40, 6.0},
+      {"65nm", 65, 2006, 1.20, 0.35, 3.2, 0.380, 3.00, 10.0},
+      {"45nm", 45, 2008, 1.10, 0.33, 6.5, 0.270, 3.40, 14.0},
+      {"32nm", 32, 2010, 1.00, 0.31, 13.0, 0.200, 3.60, 18.0},
+      {"22nm", 22, 2012, 0.90, 0.30, 25.0, 0.140, 3.80, 20.0},
+      {"14nm", 14, 2014, 0.80, 0.29, 45.0, 0.100, 4.00, 22.0},
+      {"10nm", 10, 2017, 0.75, 0.28, 80.0, 0.075, 4.20, 24.0},
+      {"7nm", 7, 2019, 0.70, 0.27, 130.0, 0.055, 4.50, 25.0},
+      {"5nm", 5, 2021, 0.65, 0.26, 200.0, 0.040, 4.70, 26.0},
+  }};
+  return t;
+}
+
+}  // namespace
+
+double TechNode::switch_energy_rel() const noexcept {
+  const double v180 = 1.80;
+  return cgate_rel * (vdd * vdd) / (v180 * v180);
+}
+
+std::span<const TechNode> node_table() {
+  return {nodes().data(), nodes().size()};
+}
+
+std::optional<TechNode> find_node(std::string_view name) {
+  for (const auto& n : nodes()) {
+    if (n.name == name) return n;
+  }
+  return std::nullopt;
+}
+
+const TechNode& node_for_year(int year) {
+  const TechNode* best = &nodes().front();
+  for (const auto& n : nodes()) {
+    if (std::abs(n.year - year) < std::abs(best->year - year)) best = &n;
+  }
+  return *best;
+}
+
+GenerationScaling dennard_generation(double s) {
+  GenerationScaling g;
+  g.density = s * s;
+  g.frequency = s;
+  g.vdd = 1.0 / s;
+  g.cap_per_gate = 1.0 / s;
+  // P ~ N * C * V^2 * f = s^2 * (1/s) * (1/s^2) * s = 1.
+  g.power_fixed_area = g.density * g.cap_per_gate * g.vdd * g.vdd * g.frequency;
+  return g;
+}
+
+GenerationScaling post_dennard_generation(double s, double vdd_scale,
+                                          double freq_scale) {
+  GenerationScaling g;
+  g.density = s * s;
+  g.frequency = freq_scale;
+  g.vdd = vdd_scale;
+  g.cap_per_gate = 1.0 / s;
+  g.power_fixed_area = g.density * g.cap_per_gate * g.vdd * g.vdd * g.frequency;
+  return g;
+}
+
+GenerationScaling compound(const GenerationScaling& g, int gens) {
+  GenerationScaling out;
+  for (int i = 0; i < gens; ++i) {
+    out.density *= g.density;
+    out.frequency *= g.frequency;
+    out.vdd *= g.vdd;
+    out.cap_per_gate *= g.cap_per_gate;
+    out.power_fixed_area *= g.power_fixed_area;
+  }
+  return out;
+}
+
+}  // namespace arch21::tech

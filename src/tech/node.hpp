@@ -1,0 +1,84 @@
+#pragma once
+// Technology-node database and classical scaling laws.  This module
+// operationalizes Table 1 of the white paper ("Technology's Challenges to
+// Computer Architecture"): Moore's law continues to deliver transistors,
+// but Dennard scaling -- constant power per chip -- ended around the
+// 90/65 nm generations.  The node table below is a first-order synthesis
+// of public ITRS/industry data; absolute values are representative, and
+// the *ratios between generations* are what the scaling experiments rely
+// on.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arch21::tech {
+
+/// One CMOS process generation.
+struct TechNode {
+  std::string name;           ///< e.g. "65nm"
+  double feature_nm;          ///< drawn feature size, nm
+  int year;                   ///< approximate year of volume production
+  double vdd;                 ///< nominal supply voltage, V
+  double vth;                 ///< threshold voltage, V
+  double density_mtx_mm2;     ///< transistor density, million tx / mm^2
+  double cgate_rel;           ///< switched capacitance per gate, relative to 180 nm
+  double freq_ghz;            ///< representative peak core frequency, GHz
+  double leak_rel;            ///< leakage power per transistor, relative to 180 nm
+
+  /// Transistors on a fixed 100 mm^2 logic die at this node (millions).
+  double transistors_100mm2() const noexcept { return density_mtx_mm2 * 100.0; }
+
+  /// Dynamic switching energy per gate toggle, relative to 180 nm:
+  /// E = C V^2 (alpha and f enter at the chip level).
+  double switch_energy_rel() const noexcept;
+};
+
+/// The built-in node table, 180 nm (1999) through 5 nm (2021), ordered
+/// old-to-new.
+std::span<const TechNode> node_table();
+
+/// Look up a node by name ("45nm"); nullopt if unknown.
+std::optional<TechNode> find_node(std::string_view name);
+
+/// Node closest to a given year (clamped to table range).
+const TechNode& node_for_year(int year);
+
+/// --- Classical scaling laws ------------------------------------------
+/// Scale factor conventions: s > 1 is the linear shrink per generation
+/// (canonically s = sqrt(2) ~ 1.4x per ~2 years).
+
+/// Under *Dennard* scaling, one generation with linear shrink s gives:
+///   density x s^2, frequency x s, Vdd / s, C/gate / s
+///   => power per chip constant at fixed die area.
+struct GenerationScaling {
+  double density = 1;       ///< transistor density multiplier
+  double frequency = 1;     ///< frequency multiplier
+  double vdd = 1;           ///< supply multiplier
+  double cap_per_gate = 1;  ///< capacitance-per-gate multiplier
+  double power_fixed_area = 1;  ///< chip power multiplier at fixed die area
+
+  /// Energy per switch multiplier (C V^2).
+  double switch_energy() const noexcept {
+    return cap_per_gate * vdd * vdd;
+  }
+};
+
+/// Ideal Dennard generation (linear shrink s).
+GenerationScaling dennard_generation(double s = 1.4);
+
+/// Post-Dennard ("leakage-limited") generation: density and capacitance
+/// still scale, but Vdd is stuck (vdd_scale ~= 1) and frequency gains are
+/// modest.  Power at fixed area *grows* by density * freq * C * V^2 --
+/// the power wall.
+GenerationScaling post_dennard_generation(double s = 1.4,
+                                          double vdd_scale = 0.97,
+                                          double freq_scale = 1.05);
+
+/// Compound `gens` generations of a scaling law.
+GenerationScaling compound(const GenerationScaling& g, int gens);
+
+}  // namespace arch21::tech

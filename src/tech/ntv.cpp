@@ -1,0 +1,59 @@
+#include "tech/ntv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arch21::tech {
+
+double NtvReliability::fault_probability(double v) const noexcept {
+  const double v50 = p_.vth + p_.v50_margin;
+  // Logistic in supply: p -> 1 below v50, -> floor well above it.
+  const double p = 1.0 / (1.0 + std::exp((v - v50) / p_.steep));
+  return std::clamp(p + p_.floor, p_.floor, 1.0 - 1e-15);
+}
+
+namespace {
+
+NtvPoint make_point(const DvfsModel& dvfs, const NtvReliability& rel,
+                    double replay_ops, double v) {
+  NtvPoint pt;
+  pt.v = v;
+  pt.f_hz = dvfs.frequency(v);
+  pt.e_op_j = dvfs.energy_per_op(v);
+  pt.p_fault = rel.fault_probability(v);
+  // Each attempt costs E_op; a fault wastes the attempt plus replay_ops
+  // overhead operations.  Expected attempts per success = 1/(1-p).
+  pt.e_effective_j =
+      pt.e_op_j * (1.0 + replay_ops * pt.p_fault) / (1.0 - pt.p_fault);
+  return pt;
+}
+
+}  // namespace
+
+std::vector<NtvPoint> ntv_sweep(const DvfsModel& dvfs,
+                                const NtvReliability& rel, double replay_ops,
+                                int steps) {
+  std::vector<NtvPoint> out;
+  steps = std::max(steps, 2);
+  const double lo = rel.params().vth + 0.02;
+  const double hi = dvfs.params().vnom;
+  out.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const double v =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(steps - 1);
+    out.push_back(make_point(dvfs, rel, replay_ops, v));
+  }
+  return out;
+}
+
+NtvPoint ntv_optimum(const DvfsModel& dvfs, const NtvReliability& rel,
+                     double replay_ops, int steps) {
+  const auto pts = ntv_sweep(dvfs, rel, replay_ops, steps);
+  const auto it =
+      std::min_element(pts.begin(), pts.end(), [](const auto& a, const auto& b) {
+        return a.e_effective_j < b.e_effective_j;
+      });
+  return *it;
+}
+
+}  // namespace arch21::tech

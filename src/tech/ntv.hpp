@@ -1,0 +1,65 @@
+#pragma once
+// Near-threshold-voltage (NTV) reliability model.  Lowering supply toward
+// threshold multiplies energy efficiency but amplifies the effect of
+// process variation: the slowest path's delay spread grows, producing
+// timing faults.  This module couples the DvfsModel's energy valley with
+// a variation-induced failure-rate curve and computes the *resilience-
+// compensated* optimum: the supply that minimizes energy per
+// *successfully completed* operation when every detected fault costs a
+// replay (or stronger: a checkpoint restore).
+//
+// Paper hook (section 2.3): "Near-threshold voltage operation has
+// tremendous potential to reduce power but at the cost of reliability,
+// driving a new discipline of resiliency-centered design."
+
+#include <vector>
+
+#include "tech/dvfs.hpp"
+
+namespace arch21::tech {
+
+/// Timing-fault probability per operation as a function of supply.
+/// Modeled as a log-logistic ramp centered a configurable margin above
+/// threshold: negligible at nominal supply, growing steeply through the
+/// near-threshold region.
+class NtvReliability {
+ public:
+  struct Params {
+    double vth = 0.30;        ///< device threshold, V
+    double v50_margin = 0.08; ///< supply margin above vth where p_fault = 0.5
+    double steep = 0.02;      ///< logistic steepness, V (smaller = sharper)
+    double floor = 1e-12;     ///< fault probability floor at nominal supply
+  };
+
+  explicit NtvReliability(Params p) : p_(p) {}
+
+  /// Per-operation timing-fault probability at supply `v`, in [floor, 1).
+  double fault_probability(double v) const noexcept;
+
+  const Params& params() const noexcept { return p_; }
+
+ private:
+  Params p_;
+};
+
+/// Energy per *correct* operation when faults cost `replay_ops` extra
+/// operations each (detection + replay):
+///     E_eff(V) = E_op(V) * (1 + replay_ops * p(V)) / (1 - p(V))
+struct NtvPoint {
+  double v = 0;
+  double f_hz = 0;
+  double e_op_j = 0;        ///< raw energy/op
+  double p_fault = 0;       ///< per-op fault probability
+  double e_effective_j = 0; ///< energy per successfully completed op
+};
+
+/// Sweep supply and return the resilience-compensated curve.
+std::vector<NtvPoint> ntv_sweep(const DvfsModel& dvfs,
+                                const NtvReliability& rel,
+                                double replay_ops = 10.0, int steps = 40);
+
+/// Supply minimizing e_effective over the sweep.
+NtvPoint ntv_optimum(const DvfsModel& dvfs, const NtvReliability& rel,
+                     double replay_ops = 10.0, int steps = 400);
+
+}  // namespace arch21::tech

@@ -1,0 +1,113 @@
+#pragma once
+// Signed Q-format fixed-point arithmetic.  The sensor module's
+// approximate-computing models (precision scaling) use this to quantify
+// the accuracy/energy tradeoff of dropping mantissa bits -- the paper's
+// "sensor data is inherently approximate ... approximate computing
+// techniques can lead to significant energy savings".
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace arch21 {
+
+/// Fixed<F>: signed 64-bit value with F fractional bits (Q(63-F).F).
+/// Arithmetic saturates on overflow rather than wrapping, matching DSP
+/// hardware behaviour.
+template <int F>
+class Fixed {
+  static_assert(F >= 0 && F < 63, "fraction bits must be in [0, 62]");
+
+ public:
+  using rep = std::int64_t;
+
+  constexpr Fixed() = default;
+
+  /// Quantize a double to this format (round to nearest).
+  static constexpr Fixed from_double(double v) noexcept {
+    constexpr double scale = static_cast<double>(rep{1} << F);
+    const double scaled = v * scale;
+    if (scaled >= static_cast<double>(std::numeric_limits<rep>::max())) {
+      return from_raw(std::numeric_limits<rep>::max());
+    }
+    if (scaled <= static_cast<double>(std::numeric_limits<rep>::min())) {
+      return from_raw(std::numeric_limits<rep>::min());
+    }
+    // llround is not constexpr pre-C++23 on all compilers; emulate.
+    const double r = scaled >= 0 ? scaled + 0.5 : scaled - 0.5;
+    return from_raw(static_cast<rep>(r));
+  }
+
+  static constexpr Fixed from_raw(rep r) noexcept {
+    Fixed f;
+    f.raw_ = r;
+    return f;
+  }
+
+  constexpr rep raw() const noexcept { return raw_; }
+
+  constexpr double to_double() const noexcept {
+    constexpr double inv = 1.0 / static_cast<double>(rep{1} << F);
+    return static_cast<double>(raw_) * inv;
+  }
+
+  /// Smallest representable increment.
+  static constexpr double resolution() noexcept {
+    return 1.0 / static_cast<double>(rep{1} << F);
+  }
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) noexcept {
+    return from_raw(sat_add(a.raw_, b.raw_));
+  }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) noexcept {
+    return from_raw(sat_add(a.raw_, -b.raw_));
+  }
+  friend constexpr Fixed operator*(Fixed a, Fixed b) noexcept {
+    // 128-bit intermediate keeps full precision before the shift back.
+    const __int128 prod = static_cast<__int128>(a.raw_) * b.raw_;
+    const __int128 shifted = prod >> F;
+    return from_raw(sat_narrow(shifted));
+  }
+  friend constexpr Fixed operator/(Fixed a, Fixed b) noexcept {
+    if (b.raw_ == 0) {
+      return from_raw(a.raw_ >= 0 ? std::numeric_limits<rep>::max()
+                                  : std::numeric_limits<rep>::min());
+    }
+    const __int128 num = static_cast<__int128>(a.raw_) << F;
+    return from_raw(sat_narrow(num / b.raw_));
+  }
+  friend constexpr bool operator==(Fixed a, Fixed b) noexcept {
+    return a.raw_ == b.raw_;
+  }
+  friend constexpr auto operator<=>(Fixed a, Fixed b) noexcept {
+    return a.raw_ <=> b.raw_;
+  }
+
+ private:
+  static constexpr rep sat_add(rep a, rep b) noexcept {
+    rep r = 0;
+    if (__builtin_add_overflow(a, b, &r)) {
+      return a > 0 ? std::numeric_limits<rep>::max()
+                   : std::numeric_limits<rep>::min();
+    }
+    return r;
+  }
+  static constexpr rep sat_narrow(__int128 v) noexcept {
+    if (v > std::numeric_limits<rep>::max()) return std::numeric_limits<rep>::max();
+    if (v < std::numeric_limits<rep>::min()) return std::numeric_limits<rep>::min();
+    return static_cast<rep>(v);
+  }
+
+  rep raw_ = 0;
+};
+
+/// Quantization helper used by the approximate-computing model: round `v`
+/// to `frac_bits` fractional bits (as a double), i.e. the value a Fixed
+/// with that many bits would hold.
+inline double quantize(double v, int frac_bits) noexcept {
+  const double scale = std::ldexp(1.0, frac_bits);
+  return std::nearbyint(v * scale) / scale;
+}
+
+}  // namespace arch21

@@ -1,0 +1,107 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace arch21 {
+
+LogHistogram::LogHistogram(double lowest, double highest,
+                           std::size_t buckets_per_decade)
+    : lowest_(lowest), highest_(highest) {
+  if (!(lowest > 0) || !(highest > lowest) || buckets_per_decade == 0) {
+    throw std::invalid_argument("LogHistogram: bad construction parameters");
+  }
+  const double log_growth =
+      std::log(10.0) / static_cast<double>(buckets_per_decade);
+  growth_ = std::exp(log_growth);
+  log_lowest_ = std::log(lowest_);
+  inv_log_growth_ = 1.0 / log_growth;
+  const auto n = static_cast<std::size_t>(
+      std::ceil((std::log(highest_) - log_lowest_) * inv_log_growth_));
+  counts_.assign(n + 2, 0);  // +under +over
+}
+
+std::size_t LogHistogram::bucket_of(double v) const {
+  if (v < lowest_) return 0;                       // underflow
+  if (v >= highest_) return counts_.size() - 1;    // overflow
+  const auto i = static_cast<std::size_t>(
+      (std::log(v) - log_lowest_) * inv_log_growth_);
+  return std::min(i + 1, counts_.size() - 2);
+}
+
+double LogHistogram::bucket_lo(std::size_t i) const {
+  // i is an interior index (1..n); interior bucket k = i-1 starts at
+  // lowest * growth^k.
+  return std::exp(log_lowest_ +
+                  static_cast<double>(i - 1) / inv_log_growth_);
+}
+
+void LogHistogram::add(double v, std::uint64_t count) {
+  if (count == 0) return;
+  if (total_ == 0) {
+    min_seen_ = max_seen_ = v;
+  } else {
+    min_seen_ = std::min(min_seen_, v);
+    max_seen_ = std::max(max_seen_, v);
+  }
+  counts_[bucket_of(v)] += count;
+  total_ += count;
+  sum_ += v * static_cast<double>(count);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lowest_ != lowest_ ||
+      other.highest_ != highest_) {
+    throw std::invalid_argument("LogHistogram::merge: incompatible layout");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.total_) {
+    if (total_ == 0) {
+      min_seen_ = other.min_seen_;
+      max_seen_ = other.max_seen_;
+    } else {
+      min_seen_ = std::min(min_seen_, other.min_seen_);
+      max_seen_ = std::max(max_seen_, other.max_seen_);
+    }
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = static_cast<double>(cum + counts_[i]);
+    if (next >= target) {
+      if (i == 0) return min_seen_;                    // underflow bucket
+      if (i == counts_.size() - 1) return max_seen_;   // overflow bucket
+      // Interpolate within the bucket by rank fraction.
+      const double lo = bucket_lo(i);
+      const double hi = lo * growth_;
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts_[i]);
+      const double v = lo + frac * (hi - lo);
+      return std::clamp(v, min_seen_, max_seen_);
+    }
+    cum += counts_[i];
+  }
+  return max_seen_;
+}
+
+std::string LogHistogram::percentile_line() const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "p50=%.4g p90=%.4g p99=%.4g p99.9=%.4g max=%.4g (n=%llu)",
+                quantile(0.5), quantile(0.9), quantile(0.99), quantile(0.999),
+                max_seen_, static_cast<unsigned long long>(total_));
+  return buf;
+}
+
+}  // namespace arch21

@@ -1,0 +1,62 @@
+#pragma once
+// Log-scaled histogram with bounded relative error, in the spirit of HDR
+// histograms.  The cloud simulator records millions of request latencies;
+// storing raw samples for percentile queries is wasteful, so latency
+// telemetry uses this instead.  Values are bucketed geometrically so a
+// quantile query has relative error bounded by the per-bucket growth
+// factor.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace arch21 {
+
+/// Geometric-bucket histogram over (0, +inf).
+///
+/// Bucket i covers [lo * g^i, lo * g^(i+1)) where g = growth().  Values
+/// below `lo` fall in an underflow bucket; an overflow bucket catches the
+/// top.  Quantile queries interpolate within a bucket, so the result's
+/// relative error is at most (g - 1).
+class LogHistogram {
+ public:
+  /// `lowest`: smallest representable value (> 0);
+  /// `highest`: values >= highest land in the overflow bucket;
+  /// `buckets_per_decade`: resolution; 90 gives ~2.6% relative error.
+  LogHistogram(double lowest = 1e-9, double highest = 1e6,
+               std::size_t buckets_per_decade = 90);
+
+  void add(double v, std::uint64_t count = 1);
+  void merge(const LogHistogram& other);
+
+  std::uint64_t count() const noexcept { return total_; }
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double mean() const noexcept { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+  double max_seen() const noexcept { return max_seen_; }
+  double min_seen() const noexcept { return min_seen_; }
+
+  /// Per-bucket growth factor g.
+  double growth() const noexcept { return growth_; }
+
+  /// Render "p50=… p90=… p99=… p99.9=…" for bench output.
+  std::string percentile_line() const;
+
+ private:
+  std::size_t bucket_of(double v) const;
+  double bucket_lo(std::size_t i) const;
+
+  double lowest_;
+  double highest_;
+  double log_lowest_;
+  double inv_log_growth_;
+  double growth_;
+  std::vector<std::uint64_t> counts_;  // [under, b0..bn-1, over]
+  std::uint64_t total_ = 0;
+  double sum_ = 0;
+  double max_seen_ = 0;
+  double min_seen_ = 0;
+};
+
+}  // namespace arch21

@@ -1,0 +1,174 @@
+#pragma once
+// Deterministic, seedable random-number generation for all arch21
+// simulators.  Every stochastic component in the library takes an explicit
+// seed so that simulations are exactly reproducible across runs and
+// platforms (a requirement the white paper's "verifiability" agenda makes
+// explicit: you cannot verify what you cannot replay).
+//
+// We implement our own small generators (SplitMix64 for seeding,
+// xoshiro256** for the main stream) instead of std::mt19937 because their
+// output is specified bit-exactly, they are 4-8x faster, and their state
+// is trivially copyable -- useful when a simulator snapshots its RNG as
+// part of a checkpoint (see reliab/checkpoint.hpp).
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+namespace arch21 {
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer.  Used to expand one
+/// 64-bit seed into the larger state of xoshiro256**, and as a cheap
+/// standalone generator for non-critical randomness.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the library's main pseudo-random generator.
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can also be
+/// plugged into <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a single 64-bit seed (expanded via SplitMix64).
+  explicit constexpr Rng(std::uint64_t seed = 0x21c3a5c7u) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  /// Next 64 uniformly distributed bits.
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.  Uses rejection sampling
+  /// to avoid modulo bias.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Bernoulli trial with success probability p.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponential variate with the given mean (inverse-transform).
+  double exponential(double mean) noexcept {
+    return -mean * std::log1p(-uniform());
+  }
+
+  /// Standard normal variate (Marsaglia polar method, cached spare).
+  double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u = 0;
+    double v = 0;
+    double s = 0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    has_spare_ = true;
+    return u * m;
+  }
+
+  /// Normal variate with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Log-normal variate parameterized by the *underlying* normal's mu and
+  /// sigma.  Heavy-tailed service times in the cloud simulator use this.
+  double lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Pareto (Type I) variate with scale x_m > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) noexcept {
+    return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+  }
+
+  /// Weibull variate with scale lambda and shape k (device-wearout model).
+  double weibull(double lambda, double k) noexcept {
+    return lambda * std::pow(-std::log1p(-uniform()), 1.0 / k);
+  }
+
+  /// Poisson variate with the given mean (Knuth for small, normal approx
+  /// for large means).
+  std::uint64_t poisson(double mean) noexcept {
+    if (mean <= 0) return 0;
+    if (mean > 64.0) {
+      const double x = normal(mean, std::sqrt(mean));
+      return x <= 0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    std::uint64_t n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= uniform();
+    }
+    return n;
+  }
+
+  /// Split off an independent child generator (for per-entity streams).
+  constexpr Rng split() noexcept { return Rng(next() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace arch21

@@ -1,0 +1,161 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace arch21 {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::sample_variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> xs, double q) {
+  Percentiles p(std::vector<double>(xs.begin(), xs.end()));
+  return p.at(q);
+}
+
+Percentiles::Percentiles(std::vector<double> xs) : sorted_(std::move(xs)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Percentiles::at(double q) const {
+  if (sorted_.empty()) throw std::invalid_argument("percentile of empty set");
+  if (q <= 0) return sorted_.front();
+  if (q >= 1) return sorted_.back();
+  const double h = q * (static_cast<double>(sorted_.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(h);
+  const double frac = h - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+}
+
+double Percentiles::min() const {
+  if (sorted_.empty()) throw std::invalid_argument("min of empty set");
+  return sorted_.front();
+}
+
+double Percentiles::max() const {
+  if (sorted_.empty()) throw std::invalid_argument("max of empty set");
+  return sorted_.back();
+}
+
+Summary Summary::of(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  OnlineStats os;
+  for (double x : xs) os.add(x);
+  Percentiles p(std::vector<double>(xs.begin(), xs.end()));
+  s.mean = os.mean();
+  s.stddev = os.stddev();
+  s.min = p.min();
+  s.p50 = p.at(0.50);
+  s.p90 = p.at(0.90);
+  s.p99 = p.at(0.99);
+  s.p999 = p.at(0.999);
+  s.max = p.max();
+  return s;
+}
+
+std::string Summary::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu mean=%.4g sd=%.4g min=%.4g p50=%.4g p90=%.4g "
+                "p99=%.4g p99.9=%.4g max=%.4g",
+                n, mean, stddev, min, p50, p90, p99, p999, max);
+  return buf;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  OnlineStats sx;
+  OnlineStats sy;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx.add(xs[i]);
+    sy.add(ys[i]);
+  }
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+  }
+  cov /= static_cast<double>(n);
+  const double denom = sx.stddev() * sy.stddev();
+  return denom > 0 ? cov / denom : 0.0;
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  const std::size_t n = xs.size();
+  if (n < 2) return {};
+  OnlineStats sx;
+  OnlineStats sy;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx.add(xs[i]);
+    sy.add(ys[i]);
+  }
+  double cov = 0.0;
+  double varx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+    varx += (xs[i] - sx.mean()) * (xs[i] - sx.mean());
+  }
+  LinearFit f;
+  f.slope = varx > 0 ? cov / varx : 0.0;
+  f.intercept = sy.mean() - f.slope * sx.mean();
+  return f;
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    assert(x > 0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace arch21

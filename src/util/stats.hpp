@@ -1,0 +1,100 @@
+#pragma once
+// Descriptive statistics used throughout the library: streaming moments
+// (Welford), exact percentiles over stored samples, and a compact summary
+// type that benches print.  Tail percentiles are first-class citizens
+// because the white paper's datacenter section is built around them
+// ("infrequent tail latencies become performance critical").
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace arch21 {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+/// O(1) memory; numerically stable; mergeable (parallel reduction).
+class OnlineStats {
+ public:
+  /// Add one observation.
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one (Chan et al. update).
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (n in the denominator); 0 if fewer than 2 samples.
+  double variance() const noexcept;
+  /// Sample variance (n-1 in the denominator); 0 if fewer than 2 samples.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile of a sample set using linear interpolation between
+/// closest ranks (the "type 7" estimator used by R and NumPy).
+/// `q` in [0,1].  The input span is copied and sorted; for repeated
+/// queries over the same data prefer `Percentiles`.
+double percentile(std::span<const double> xs, double q);
+
+/// Sorted-sample percentile reader: sort once, query many.
+class Percentiles {
+ public:
+  explicit Percentiles(std::vector<double> xs);
+
+  /// q in [0,1]; linear interpolation between closest ranks.
+  double at(double q) const;
+  double median() const { return at(0.5); }
+  double p99() const { return at(0.99); }
+  std::size_t count() const noexcept { return sorted_.size(); }
+  double min() const;
+  double max() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Compact five-number-plus summary for bench output.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double p999 = 0;
+  double max = 0;
+
+  /// Compute all fields from a sample set.
+  static Summary of(std::span<const double> xs);
+
+  /// One-line human-readable rendering.
+  std::string to_string() const;
+};
+
+/// Pearson correlation coefficient of two equal-length series.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Ordinary-least-squares fit y = a + b*x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Geometric mean (all inputs must be > 0).
+double geomean(std::span<const double> xs);
+
+}  // namespace arch21

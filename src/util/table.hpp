@@ -1,0 +1,50 @@
+#pragma once
+// Aligned text tables and CSV emission.  Every bench in bench/ regenerates
+// one of the paper's tables or quantitative claims and prints it through
+// this writer, so the output format is uniform and diffable run-to-run.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace arch21 {
+
+/// A simple column-aligned table builder.
+///
+///   TextTable t({"node", "freq", "power"});
+///   t.row({"45nm", "3.0 GHz", "130 W"});
+///   t.print(std::cout);           // aligned ASCII
+///   t.write_csv(std::cout);       // machine-readable
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with %.4g alongside strings.
+  /// Cell helper for numeric values.
+  static std::string num(double v, int precision = 4);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return headers_.size(); }
+  const std::string& cell(std::size_t r, std::size_t c) const;
+
+  /// Print with column alignment, a header underline, and `indent` spaces
+  /// of left margin.
+  void print(std::ostream& os, int indent = 2) const;
+
+  /// Comma-separated output with minimal quoting (cells containing commas
+  /// or quotes are double-quoted).
+  void write_csv(std::ostream& os) const;
+
+  /// Render to a string (print() into a buffer).
+  std::string to_string(int indent = 2) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace arch21

@@ -1,0 +1,55 @@
+#pragma once
+// A small work-sharing thread pool with a blocking parallel_for.  Monte
+// Carlo benches (tail latency, fault injection) use it to spread trials
+// across hardware threads; everything remains deterministic because each
+// chunk derives its RNG from (seed, chunk_index), not from thread
+// identity or timing.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace arch21 {
+
+/// Fixed-size pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Submit a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed.
+  void wait_idle();
+
+  /// Split [0, n) into roughly size()*4 chunks and run
+  /// body(begin, end, chunk_index) on the pool; blocks until done.
+  /// Chunk indices are stable across runs for RNG derivation.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace arch21

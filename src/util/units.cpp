@@ -1,0 +1,69 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace arch21::units {
+
+namespace {
+
+struct Prefix {
+  double scale;
+  const char* symbol;
+};
+
+constexpr std::array<Prefix, 11> kPrefixes = {{
+    {1e18, "E"},
+    {1e15, "P"},
+    {1e12, "T"},
+    {1e9, "G"},
+    {1e6, "M"},
+    {1e3, "k"},
+    {1.0, ""},
+    {1e-3, "m"},
+    {1e-6, "u"},
+    {1e-9, "n"},
+    {1e-12, "p"},
+}};
+
+}  // namespace
+
+std::string si_format(double value, const char* unit, int precision) {
+  if (value == 0.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "0 %s", unit);
+    return buf;
+  }
+  const double mag = std::fabs(value);
+  const Prefix* chosen = &kPrefixes.back();
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale) {
+      chosen = &p;
+      break;
+    }
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f %s%s", precision, value / chosen->scale,
+                chosen->symbol, unit);
+  return buf;
+}
+
+std::string time_format(double seconds, int precision) {
+  return si_format(seconds, "s", precision);
+}
+
+std::string bytes_format(double bytes, int precision) {
+  char buf[96];
+  if (bytes >= GiB) {
+    std::snprintf(buf, sizeof buf, "%.*f GiB", precision, bytes / GiB);
+  } else if (bytes >= MiB) {
+    std::snprintf(buf, sizeof buf, "%.*f MiB", precision, bytes / MiB);
+  } else if (bytes >= KiB) {
+    std::snprintf(buf, sizeof buf, "%.*f KiB", precision, bytes / KiB);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f B", precision, bytes);
+  }
+  return buf;
+}
+
+}  // namespace arch21::units

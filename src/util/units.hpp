@@ -1,0 +1,70 @@
+#pragma once
+// SI units, prefixes and engineering formatting.  The library's models
+// span twelve orders of magnitude (a 10 mW sensor to a 10 MW datacenter
+// -- the white paper's efficiency ladder), so consistent unit handling
+// and readable formatting matter more than usual.
+//
+// Conventions used throughout arch21:
+//   time    : seconds (double)
+//   energy  : joules
+//   power   : watts
+//   capacity: bytes
+//   rates   : per-second (ops/s, bytes/s)
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace arch21::units {
+
+// ---- scale constants -------------------------------------------------
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+inline constexpr double tera = 1e12;
+inline constexpr double peta = 1e15;
+inline constexpr double exa = 1e18;
+
+inline constexpr double milli = 1e-3;
+inline constexpr double micro = 1e-6;
+inline constexpr double nano = 1e-9;
+inline constexpr double pico = 1e-12;
+inline constexpr double femto = 1e-15;
+
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * 1024.0;
+inline constexpr double GiB = 1024.0 * 1024.0 * 1024.0;
+
+// ---- common derived helpers -------------------------------------------
+
+/// Joules from picojoules (most per-op energies are quoted in pJ).
+constexpr double from_pJ(double pj) noexcept { return pj * pico; }
+/// Picojoules from joules.
+constexpr double to_pJ(double j) noexcept { return j / pico; }
+/// Joules from nanojoules.
+constexpr double from_nJ(double nj) noexcept { return nj * nano; }
+/// Seconds from nanoseconds.
+constexpr double from_ns(double ns) noexcept { return ns * nano; }
+/// Nanoseconds from seconds.
+constexpr double to_ns(double s) noexcept { return s / nano; }
+/// Seconds from a frequency (period).
+constexpr double period(double hz) noexcept { return 1.0 / hz; }
+
+/// Operations per second per watt = operations per joule.
+constexpr double ops_per_watt(double ops_per_s, double watts) noexcept {
+  return watts > 0 ? ops_per_s / watts : 0.0;
+}
+
+// ---- formatting --------------------------------------------------------
+
+/// Format a value with an SI prefix, e.g. si_format(2.5e9, "op/s")
+/// -> "2.50 Gop/s".  Covers f..E prefixes.
+std::string si_format(double value, const char* unit, int precision = 3);
+
+/// Format seconds with an appropriate unit (ns/us/ms/s).
+std::string time_format(double seconds, int precision = 3);
+
+/// Format bytes with binary prefixes (KiB/MiB/GiB).
+std::string bytes_format(double bytes, int precision = 3);
+
+}  // namespace arch21::units

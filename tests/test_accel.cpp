@@ -1,0 +1,278 @@
+// Tests for the specialization machinery: the engine ladder and the
+// paper's 100x claim, offload planning with break-evens, NRE crossover
+// economics, and the CGRA mapper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/cgra.hpp"
+#include "accel/models.hpp"
+#include "accel/nre.hpp"
+#include "accel/offload.hpp"
+#include "energy/catalogue.hpp"
+#include "noc/link.hpp"
+#include "par/taskgraph.hpp"
+
+namespace arch21::accel {
+namespace {
+
+KernelProfile regular_kernel() {
+  KernelProfile k;
+  k.ops = 1e9;
+  k.bytes_moved = 1e7;  // compute-intense
+  k.data_parallel = 0.95;
+  k.regularity = 0.95;
+  return k;
+}
+
+KernelProfile irregular_kernel() {
+  KernelProfile k;
+  k.ops = 1e9;
+  k.bytes_moved = 1e8;
+  k.data_parallel = 0.2;
+  k.regularity = 0.2;
+  return k;
+}
+
+TEST(Ladder, OrderedGeneralToSpecialized) {
+  const auto ladder = specialization_ladder();
+  ASSERT_EQ(ladder.size(), 6u);
+  EXPECT_EQ(ladder.front().cls, EngineClass::ScalarCpu);
+  EXPECT_EQ(ladder.back().cls, EngineClass::Asic);
+  // Overhead factors strictly decrease along the ladder.
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_LT(ladder[i].overhead_factor, ladder[i - 1].overhead_factor);
+  }
+}
+
+TEST(Ladder, AsicGivesRoughly100xOnRegularKernels) {
+  // The paper: "Specialization can give 100x higher energy efficiency
+  // than a general-purpose compute unit."
+  const energy::Catalogue cat;
+  const auto ladder = specialization_ladder();
+  const auto& cpu = ladder.front();
+  const auto& asic = ladder.back();
+  const double gain = efficiency_gain(cpu, asic, regular_kernel(), cat);
+  EXPECT_GT(gain, 40.0);
+  EXPECT_LT(gain, 200.0);
+}
+
+TEST(Ladder, EfficiencyMonotoneOnRegularKernels) {
+  const energy::Catalogue cat;
+  const auto ladder = specialization_ladder();
+  const auto k = regular_kernel();
+  double prev = 0;
+  for (const auto& e : ladder) {
+    if (e.cls == EngineClass::GpuSimt || e.cls == EngineClass::Fpga) {
+      // GPU/FPGA swap order depending on kernel; just require > CPU.
+      EXPECT_GT(e.ops_per_watt(k, cat), ladder.front().ops_per_watt(k, cat));
+      continue;
+    }
+    const double eff = e.ops_per_watt(k, cat);
+    EXPECT_GT(eff, prev);
+    prev = eff;
+  }
+}
+
+TEST(Ladder, IrregularKernelsShrinkTheGain) {
+  const energy::Catalogue cat;
+  const auto ladder = specialization_ladder();
+  const auto& cpu = ladder.front();
+  const auto& gpu = ladder[2];
+  const double regular = efficiency_gain(cpu, gpu, regular_kernel(), cat);
+  const double irregular = efficiency_gain(cpu, gpu, irregular_kernel(), cat);
+  EXPECT_GT(regular, irregular);
+  // And the GPU loses most of its throughput on irregular work.
+  EXPECT_LT(gpu.utilization(irregular_kernel()),
+            gpu.utilization(regular_kernel()));
+}
+
+TEST(Ladder, UtilizationClamped) {
+  const auto ladder = specialization_ladder();
+  KernelProfile k = regular_kernel();
+  k.data_parallel = 0.0;
+  k.regularity = 0.0;
+  for (const auto& e : ladder) {
+    const double u = e.utilization(k);
+    EXPECT_GE(u, 0.02);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Ladder, EngineNames) {
+  EXPECT_STREQ(to_string(EngineClass::Asic), "asic");
+  EXPECT_STREQ(to_string(EngineClass::Cgra), "cgra");
+}
+
+TEST(Offload, BigKernelOffloadsSmallDoesNot) {
+  const energy::Catalogue cat;
+  const auto ladder = specialization_ladder();
+  const auto link = noc::link_catalog()[2];  // serdes-board
+  KernelProfile big = regular_kernel();
+  big.ops = 1e11;
+  big.bytes_moved = 1e8;
+  const auto d_big = plan_offload(big, ladder[0], ladder[2], link, cat);
+  EXPECT_TRUE(d_big.offload_time);
+  EXPECT_GT(d_big.speedup, 5.0);
+
+  // A tiny kernel with a large payload: moving the data costs more than
+  // just computing locally.
+  KernelProfile small = big;
+  small.ops = 1e4;
+  small.bytes_moved = 1e6;
+  const auto d_small = plan_offload(small, ladder[0], ladder[2], link, cat);
+  EXPECT_FALSE(d_small.offload_time);  // transfer latency dominates
+}
+
+TEST(Offload, BreakevenIsConsistent) {
+  const energy::Catalogue cat;
+  const auto ladder = specialization_ladder();
+  const auto link = noc::link_catalog()[2];
+  KernelProfile k = regular_kernel();
+  k.bytes_moved = k.ops * 0.01;
+  const double be = breakeven_ops(k, ladder[0], ladder[2], link, cat);
+  ASSERT_TRUE(std::isfinite(be));
+  EXPECT_GT(be, 1.0);
+  // Just above break-even offloading wins; just below it loses.
+  KernelProfile above = k;
+  above.ops = be * 2;
+  above.bytes_moved = above.ops * 0.01;
+  EXPECT_TRUE(plan_offload(above, ladder[0], ladder[2], link, cat).offload_time);
+  KernelProfile below = k;
+  below.ops = be / 2;
+  below.bytes_moved = below.ops * 0.01;
+  EXPECT_FALSE(plan_offload(below, ladder[0], ladder[2], link, cat).offload_time);
+}
+
+TEST(Offload, EnergyAndTimeCanDisagree) {
+  // A fast link with high per-bit energy can make offload win on time but
+  // lose on energy.
+  const energy::Catalogue cat;
+  const auto ladder = specialization_ladder();
+  noc::LinkTech hot{.name = "hot", .bandwidth_gbps = 1000, .latency_ns = 1,
+               .e_per_bit_pj = 5000, .fixed_power_w = 0, .reach_mm = 10};
+  KernelProfile k = regular_kernel();
+  k.ops = 1e10;
+  k.bytes_moved = 1e9;
+  const auto d = plan_offload(k, ladder[0], ladder[5], hot, cat);
+  EXPECT_TRUE(d.offload_time);
+  EXPECT_FALSE(d.offload_energy);
+}
+
+TEST(Nre, CatalogShapes) {
+  const auto routes = route_catalog();
+  ASSERT_EQ(routes.size(), 4u);
+  // NRE rises with specialization; unit cost and energy fall.
+  for (std::size_t i = 1; i < routes.size(); ++i) {
+    EXPECT_GT(routes[i].nre_usd, routes[i - 1].nre_usd);
+    EXPECT_LT(routes[i].energy_per_op_pj, routes[i - 1].energy_per_op_pj);
+  }
+}
+
+TEST(Nre, CostPerUnitAmortizes) {
+  const ImplementationRoute asic = route_catalog()[3];
+  EXPECT_GT(asic.cost_per_unit(1), asic.nre_usd * 0.99);
+  EXPECT_NEAR(asic.cost_per_unit(1e9), asic.unit_cost_usd, 1.0);
+}
+
+TEST(Nre, CrossoverVolumes) {
+  const auto routes = route_catalog();
+  const auto& sw = routes[0];
+  const auto& fpga = routes[1];
+  const auto& asic = routes[3];
+  // ASIC (cheapest unit cost) eventually beats both.
+  const double v_asic_fpga = crossover_volume(asic, fpga);
+  EXPECT_GT(v_asic_fpga, 0.0);
+  // At that volume the costs are indeed equal.
+  EXPECT_NEAR(asic.cost_per_unit(v_asic_fpga), fpga.cost_per_unit(v_asic_fpga),
+              1e-6);
+  // FPGA vs software: FPGA has higher unit cost AND higher NRE -> no
+  // upward crossover on cost alone (its value is energy, not dollars).
+  EXPECT_LT(crossover_volume(fpga, sw), 0.0);
+}
+
+TEST(Nre, WinnersProgressWithVolume) {
+  const auto routes = route_catalog();
+  const auto winners = winners_by_volume(routes, 1, 1e8);
+  ASSERT_GE(winners.size(), 8u);
+  // Low volume: software wins; high volume: ASIC wins.
+  EXPECT_EQ(winners.front().route->name, "software-on-cpu");
+  EXPECT_EQ(winners.back().route->name, "asic-22nm");
+  // Cost per unit is non-increasing in volume for the winner.
+  for (std::size_t i = 1; i < winners.size(); ++i) {
+    EXPECT_LE(winners[i].cost_per_unit, winners[i - 1].cost_per_unit + 1e-9);
+  }
+}
+
+TEST(Cgra, MapsSmallGraphFeasibly) {
+  const auto g = par::make_fork_join(6, 1, 8);
+  const auto m = map_to_cgra(g, CgraConfig{});
+  ASSERT_TRUE(m.feasible);
+  EXPECT_EQ(m.used_pes, g.size());
+  // All placements distinct.
+  std::vector<bool> used(64, false);
+  for (auto pe : m.pe_of) {
+    ASSERT_GE(pe, 0);
+    ASSERT_FALSE(used[static_cast<std::size_t>(pe)]);
+    used[static_cast<std::size_t>(pe)] = true;
+  }
+  EXPECT_GT(m.throughput_ops_per_s, 0.0);
+  EXPECT_GT(m.energy_per_invocation_j, 0.0);
+}
+
+TEST(Cgra, TooManyNodesInfeasible) {
+  par::TaskGraph g;
+  for (int i = 0; i < 100; ++i) g.add(1);
+  CgraConfig cfg;
+  cfg.width = 4;
+  cfg.height = 4;
+  EXPECT_FALSE(map_to_cgra(g, cfg).feasible);
+}
+
+TEST(Cgra, RouteLimitCanFail) {
+  // A star with many leaves forces long routes from the hub on a narrow
+  // fabric with a tiny route limit.
+  par::TaskGraph g;
+  const auto hub = g.add(1, 8);
+  for (int i = 0; i < 35; ++i) {
+    const auto leaf = g.add(1);
+    g.add_edge(hub, leaf);
+  }
+  CgraConfig tight;
+  tight.width = 6;
+  tight.height = 6;
+  tight.route_limit = 2;
+  EXPECT_FALSE(map_to_cgra(g, tight).feasible);
+  CgraConfig loose = tight;
+  loose.route_limit = 12;
+  EXPECT_TRUE(map_to_cgra(g, loose).feasible);
+}
+
+TEST(Cgra, PlacementMinimizesNeighborDistance) {
+  // A chain should be placed with unit-hop edges: II = 1.
+  par::TaskGraph g;
+  auto prev = g.add(1, 8);
+  for (int i = 0; i < 7; ++i) {
+    const auto next = g.add(1, 8);
+    g.add_edge(prev, next);
+    prev = next;
+  }
+  const auto m = map_to_cgra(g, CgraConfig{});
+  ASSERT_TRUE(m.feasible);
+  EXPECT_EQ(m.initiation_interval_cycles, 1.0);
+  EXPECT_EQ(m.total_route_hops, 7u);
+}
+
+TEST(Cgra, EnergyScalesWithRouting) {
+  const auto chain_like = par::make_wavefront(3, 3, 1, 8);
+  CgraConfig cfg;
+  const auto m = map_to_cgra(chain_like, cfg);
+  ASSERT_TRUE(m.feasible);
+  const double pe_only =
+      static_cast<double>(chain_like.size()) * cfg.e_pe_op_pj * 1e-12;
+  EXPECT_GT(m.energy_per_invocation_j, pe_only);
+}
+
+}  // namespace
+}  // namespace arch21::accel

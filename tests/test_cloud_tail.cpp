@@ -1,0 +1,122 @@
+// Tests for the tail-latency machinery: the paper's 63% closed form, the
+// fork-join simulator's agreement with it, and the Dean mitigations
+// (hedged and tied requests).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/tail.hpp"
+
+namespace arch21::cloud {
+namespace {
+
+TEST(TailAmplification, PaperHeadlineNumber) {
+  // "if 100 systems must jointly respond to a request, 63% of requests
+  // will incur the 99-percentile delay of the individual systems"
+  EXPECT_NEAR(tail_amplification(100, 0.99), 0.634, 0.001);
+  EXPECT_NEAR(tail_amplification(1, 0.99), 0.01, 1e-12);
+  EXPECT_NEAR(tail_amplification(2000, 0.9999), 1.0 - std::pow(0.9999, 2000),
+              1e-12);
+}
+
+TEST(TailAmplification, MonotoneInFanout) {
+  double prev = 0;
+  for (unsigned n : {1u, 10u, 100u, 1000u}) {
+    const double a = tail_amplification(n, 0.99);
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+  EXPECT_LT(prev, 1.0);
+}
+
+TEST(LeafDistribution, ShapeSane) {
+  auto leaf = make_leaf_distribution(5.0, 0.4, 0.01, 50.0, 1.5);
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(leaf(rng));
+  const auto s = Summary::of(xs);
+  EXPECT_NEAR(s.p50, 5.0, 0.4);       // median ~ parameter
+  EXPECT_GT(s.p999, s.p99 * 1.5);     // heavy tail
+  EXPECT_GT(s.max, 20.0);             // stragglers exist
+}
+
+TEST(ForkJoin, SimulationMatchesClosedForm) {
+  auto leaf = make_leaf_distribution();
+  const auto rows = fanout_sweep({1, 10, 100}, 20000, leaf, 99);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& r : rows) {
+    EXPECT_NEAR(r.simulated_frac, r.analytic_frac, 0.04)
+        << "fanout " << r.fanout;
+  }
+  // The 100-way row reproduces the paper's 63%.
+  EXPECT_NEAR(rows[2].simulated_frac, 0.63, 0.04);
+}
+
+TEST(ForkJoin, P99AmplificationGrowsWithFanout) {
+  // Use a smooth (straggler-free) lognormal so the p99 estimate is stable
+  // at modest sample counts; the mixture's straggler cliff makes p99 an
+  // extremely high-variance statistic.
+  auto leaf = make_leaf_distribution(5.0, 0.4, 0.0);
+  const auto rows = fanout_sweep({1, 10, 100, 1000}, 5000, leaf, 7);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].p99_amplification, rows[i - 1].p99_amplification);
+  }
+  EXPECT_NEAR(rows[0].p99_amplification, 1.0, 0.15);
+}
+
+TEST(ForkJoin, RequestLatencyIsMaxOfLeaves) {
+  auto leaf = make_leaf_distribution();
+  const auto res = simulate_fork_join(50, 5000, leaf);
+  EXPECT_GE(res.request_latency_ms.p50, res.leaf_latency_ms.p50);
+  EXPECT_GE(res.request_latency_ms.min, res.leaf_latency_ms.min);
+  EXPECT_EQ(res.extra_load_fraction, 0.0);  // no mitigation
+}
+
+TEST(Hedging, CutsTailWithSmallExtraLoad) {
+  auto leaf = make_leaf_distribution(5.0, 0.4, 0.02, 60.0, 1.4);
+  HedgePolicy none;
+  HedgePolicy hedged;
+  hedged.kind = HedgePolicy::Kind::Hedged;
+  hedged.hedge_delay_ms = 15.0;  // ~ leaf p95
+  const auto base = simulate_fork_join(100, 10000, leaf, none, 5);
+  const auto mit = simulate_fork_join(100, 10000, leaf, hedged, 5);
+  // Tail shrinks substantially...
+  EXPECT_LT(mit.request_latency_ms.p99, base.request_latency_ms.p99 * 0.7);
+  // ...for a small duplicate-request budget (Dean reports ~5%).
+  EXPECT_LT(mit.extra_load_fraction, 0.10);
+  EXPECT_GT(mit.extra_load_fraction, 0.0);
+}
+
+TEST(TiedRequests, StrongestTailCutMostExtraLoad) {
+  auto leaf = make_leaf_distribution(5.0, 0.4, 0.02, 60.0, 1.4);
+  HedgePolicy tied;
+  tied.kind = HedgePolicy::Kind::Tied;
+  const auto base = simulate_fork_join(100, 8000, leaf, {}, 6);
+  const auto mit = simulate_fork_join(100, 8000, leaf, tied, 6);
+  EXPECT_LT(mit.request_latency_ms.p99, base.request_latency_ms.p99 * 0.6);
+  // Tied duplicates everything.
+  EXPECT_NEAR(mit.extra_load_fraction, 1.0, 1e-9);
+}
+
+TEST(Hedging, MedianBarelyMoves) {
+  // Mitigations target the tail; the median should be almost unchanged.
+  auto leaf = make_leaf_distribution();
+  HedgePolicy hedged;
+  hedged.kind = HedgePolicy::Kind::Hedged;
+  hedged.hedge_delay_ms = 15.0;
+  const auto base = simulate_fork_join(10, 10000, leaf, {}, 8);
+  const auto mit = simulate_fork_join(10, 10000, leaf, hedged, 8);
+  EXPECT_NEAR(mit.request_latency_ms.p50 / base.request_latency_ms.p50, 1.0,
+              0.1);
+}
+
+TEST(ForkJoin, DeterministicForSeed) {
+  auto leaf = make_leaf_distribution();
+  const auto a = simulate_fork_join(10, 1000, leaf, {}, 33);
+  const auto b = simulate_fork_join(10, 1000, leaf, {}, 33);
+  EXPECT_DOUBLE_EQ(a.request_latency_ms.p99, b.request_latency_ms.p99);
+}
+
+}  // namespace
+}  // namespace arch21::cloud

@@ -1,0 +1,162 @@
+// Tests for the discrete-event kernel and the queued Resource: event
+// ordering, tie-breaking, time bounds, and M/M/1 behaviour.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "des/resource.hpp"
+#include "des/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::des {
+namespace {
+
+TEST(Simulator, StartsAtZeroAndIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulator, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(0.5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(10.0, [&] { ++fired; });
+  const auto ran = sim.run(5.0);
+  EXPECT_EQ(ran, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule(1.0, chain);
+  };
+  sim.schedule(1.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Resource, RequiresServers) {
+  Simulator sim;
+  EXPECT_THROW(Resource(sim, 0), std::invalid_argument);
+}
+
+TEST(Resource, ServesImmediatelyWhenFree) {
+  Simulator sim;
+  Resource r(sim, 1);
+  double wait = -1;
+  double total = -1;
+  r.request(2.0, [&](Time w, Time t) {
+    wait = w;
+    total = t;
+  });
+  sim.run();
+  EXPECT_EQ(wait, 0.0);
+  EXPECT_EQ(total, 2.0);
+  EXPECT_EQ(r.completed(), 1u);
+}
+
+TEST(Resource, QueuesWhenBusyFifo) {
+  Simulator sim;
+  Resource r(sim, 1);
+  std::vector<int> done;
+  r.request(1.0, [&](Time, Time) { done.push_back(1); });
+  r.request(1.0, [&](Time w, Time) {
+    done.push_back(2);
+    EXPECT_EQ(w, 1.0);
+  });
+  r.request(1.0, [&](Time w, Time) {
+    done.push_back(3);
+    EXPECT_EQ(w, 2.0);
+  });
+  EXPECT_EQ(r.queue_length(), 2u);
+  sim.run();
+  EXPECT_EQ(done, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Resource, MultipleServersRunInParallel) {
+  Simulator sim;
+  Resource r(sim, 3);
+  int done = 0;
+  for (int i = 0; i < 3; ++i) r.request(5.0, [&](Time w, Time) {
+    ++done;
+    EXPECT_EQ(w, 0.0);
+  });
+  sim.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(sim.now(), 5.0);
+  EXPECT_EQ(r.busy_time(), 15.0);
+}
+
+TEST(Resource, Mm1MeanSojournMatchesTheory) {
+  // lambda = 0.5, mu = 1.0 => rho = 0.5, E[T] = 1/(mu - lambda) = 2.
+  Simulator sim;
+  Resource r(sim, 1);
+  arch21::Rng rng(77);
+  double t = 0;
+  const int jobs = 60000;
+  for (int i = 0; i < jobs; ++i) {
+    t += rng.exponential(2.0);        // interarrival, 1/lambda
+    const double s = rng.exponential(1.0);
+    sim.schedule_at(t, [&r, s] { r.request(s, nullptr); });
+  }
+  sim.run();
+  EXPECT_EQ(r.completed(), static_cast<std::uint64_t>(jobs));
+  EXPECT_NEAR(r.sojourn_stats().mean(), 2.0, 0.12);
+  EXPECT_NEAR(r.wait_stats().mean(), 1.0, 0.12);
+}
+
+}  // namespace
+}  // namespace arch21::des

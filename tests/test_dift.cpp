@@ -1,0 +1,212 @@
+// Tests for dynamic information-flow tracking on SR1: taint sources,
+// propagation rules, memory shadow state, policy sinks (control hijack,
+// pointer injection, data leak), and overhead accounting.
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/machine.hpp"
+#include "isa/programs.hpp"
+
+namespace arch21::isa {
+namespace {
+
+DiftPolicy default_policy() {
+  DiftPolicy p;
+  p.enabled = true;
+  return p;
+}
+
+Machine make(const std::string& src, DiftPolicy pol,
+             std::vector<std::uint64_t> inputs = {}) {
+  auto r = assemble(src);
+  EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+  Machine m(r.program, 1 << 20, pol);
+  for (auto v : inputs) m.push_input(v);
+  return m;
+}
+
+TEST(Dift, InputIsTainted) {
+  auto m = make("in r1\nhalt\n", default_policy(), {5});
+  EXPECT_EQ(m.run(), StopReason::Halted);
+  EXPECT_TRUE(m.reg_tainted(1));
+}
+
+TEST(Dift, ConstantsAreClean) {
+  auto m = make("li r1, 7\nhalt\n", default_policy());
+  m.run();
+  EXPECT_FALSE(m.reg_tainted(1));
+}
+
+TEST(Dift, AluPropagatesTaint) {
+  auto m = make("in r1\nli r2, 3\nadd r3, r1, r2\nxor r4, r2, r2\nhalt\n",
+                default_policy(), {9});
+  m.run();
+  EXPECT_TRUE(m.reg_tainted(3));   // tainted + clean = tainted
+  EXPECT_FALSE(m.reg_tainted(4));  // clean op clean
+}
+
+TEST(Dift, OverwriteClearsTaint) {
+  auto m = make("in r1\nli r1, 0\nhalt\n", default_policy(), {9});
+  m.run();
+  EXPECT_FALSE(m.reg_tainted(1));
+}
+
+TEST(Dift, TaintFlowsThroughMemory) {
+  auto m = make(R"(
+    in  r1
+    li  r2, 0x4000
+    st  r1, r2, 0       # taint 8 bytes
+    ld  r3, r2, 0       # reload: tainted
+    ldb r4, r2, 3       # single tainted byte
+    halt
+)",
+                default_policy(), {0xdead});
+  m.run();
+  EXPECT_TRUE(m.reg_tainted(3));
+  EXPECT_TRUE(m.reg_tainted(4));
+  EXPECT_TRUE(m.mem_tainted(0x4000));
+  EXPECT_TRUE(m.mem_tainted(0x4007));
+  EXPECT_FALSE(m.mem_tainted(0x4008));
+}
+
+TEST(Dift, CleanStoreScrubsMemoryTaint) {
+  auto m = make(R"(
+    in  r1
+    li  r2, 0x4000
+    st  r1, r2, 0
+    li  r3, 0
+    st  r3, r2, 0       # clean store over tainted bytes
+    ld  r4, r2, 0
+    halt
+)",
+                default_policy(), {1});
+  m.run();
+  EXPECT_FALSE(m.reg_tainted(4));
+  EXPECT_FALSE(m.mem_tainted(0x4000));
+}
+
+TEST(Dift, TaintedJumpTrapsAndIsAttributed) {
+  auto m = make(programs::vulnerable_dispatch(), default_policy(), {2});
+  EXPECT_EQ(m.run(), StopReason::DiftTrap);
+  ASSERT_EQ(m.violations().size(), 1u);
+  EXPECT_EQ(m.violations()[0].op, Op::Jr);
+  EXPECT_NE(m.violations()[0].reason.find("tainted"), std::string::npos);
+}
+
+TEST(Dift, SanitizedDispatchDoesNotTrap) {
+  // The fixed dispatcher bounds-checks and reads the target from trusted
+  // program data: no violation, correct handler runs.
+  auto m = make(programs::sanitized_dispatch(), default_policy(), {1});
+  EXPECT_EQ(m.run(), StopReason::Halted);
+  EXPECT_TRUE(m.violations().empty());
+  ASSERT_EQ(m.output().size(), 1u);
+  EXPECT_EQ(m.output()[0], 200u);
+}
+
+TEST(Dift, WithoutDiftAttackSucceedsSilently) {
+  // The same attack with DIFT off diverts control with no alarm --
+  // jumping to instruction 2 (h0) runs the attacker-chosen handler.
+  DiftPolicy off;
+  off.enabled = false;
+  auto m = make(programs::vulnerable_dispatch(), off, {2});
+  EXPECT_EQ(m.run(), StopReason::Halted);
+  ASSERT_EQ(m.output().size(), 1u);
+  EXPECT_EQ(m.output()[0], 100u);  // attacker reached h0
+  EXPECT_TRUE(m.violations().empty());
+}
+
+TEST(Dift, TaintedStoreAddressTraps) {
+  auto m = make(R"(
+    in  r1              # attacker-controlled pointer
+    li  r2, 7
+    st  r2, r1, 0       # write-anywhere primitive
+    halt
+)",
+                default_policy(), {0x8000});
+  EXPECT_EQ(m.run(), StopReason::DiftTrap);
+  ASSERT_EQ(m.violations().size(), 1u);
+  EXPECT_EQ(m.violations()[0].op, Op::St);
+}
+
+TEST(Dift, LeakPolicyTrapsTaintedOut) {
+  DiftPolicy pol = default_policy();
+  pol.trap_tainted_out = true;
+  auto m = make("in r1\nout r1\nhalt\n", pol, {42});
+  EXPECT_EQ(m.run(), StopReason::DiftTrap);
+  EXPECT_EQ(m.violations()[0].op, Op::Out);
+  // Default policy allows it.
+  auto m2 = make("in r1\nout r1\nhalt\n", default_policy(), {42});
+  EXPECT_EQ(m2.run(), StopReason::Halted);
+}
+
+TEST(Dift, PolicyTogglesDisableChecks) {
+  DiftPolicy pol = default_policy();
+  pol.trap_tainted_jump = false;
+  auto m = make(programs::vulnerable_dispatch(), pol, {2});
+  EXPECT_EQ(m.run(), StopReason::Halted);  // no trap, attack "works"
+  pol = default_policy();
+  pol.propagate_alu = false;
+  auto m2 = make("in r1\naddi r2, r1, 0\nhalt\n", pol, {1});
+  m2.run();
+  EXPECT_FALSE(m2.reg_tainted(2));  // propagation cut
+  EXPECT_TRUE(m2.reg_tainted(1));   // source still marked
+}
+
+TEST(Dift, LoadAddressPropagationOptIn) {
+  const std::string src = R"(
+    in  r1
+    andi r2, r1, 0x38   # tainted index
+    ld  r3, r2, 0x1000  # load from clean memory via tainted address
+    halt
+)";
+  auto lax = make(src, default_policy(), {8});
+  lax.run();
+  EXPECT_FALSE(lax.reg_tainted(3));  // value-only tracking
+
+  DiftPolicy strict = default_policy();
+  strict.propagate_load_addr = true;
+  auto m = make(src, strict, {8});
+  m.run();
+  EXPECT_TRUE(m.reg_tainted(3));  // address taint reaches the value
+}
+
+TEST(Dift, ShadowOpsCountedOnlyWhenEnabled) {
+  auto on = make(programs::sum_loop(500), default_policy());
+  on.run();
+  EXPECT_GT(on.stats().shadow_ops, 0u);
+  DiftPolicy off;
+  off.enabled = false;
+  auto moff = make(programs::sum_loop(500), off);
+  moff.run();
+  EXPECT_EQ(moff.stats().shadow_ops, 0u);
+  // Same architectural result either way.
+  EXPECT_EQ(on.output(), moff.output());
+}
+
+TEST(Dift, ShadowOverheadBounded) {
+  // Tracking adds at most ~2 shadow operations per instruction on this
+  // kernel -- the "low-overhead dynamic checking" the paper asks for.
+  auto m = make(programs::sum_loop(2000), default_policy());
+  m.run();
+  const double per_instr = static_cast<double>(m.stats().shadow_ops) /
+                           static_cast<double>(m.stats().instructions);
+  EXPECT_GT(per_instr, 0.1);
+  EXPECT_LT(per_instr, 2.0);
+}
+
+TEST(Dift, UntaintedJrIsFine) {
+  auto m = make(R"(
+    jal r15, fn
+    out r0
+    halt
+fn:
+    jr r15
+)",
+                default_policy());
+  EXPECT_EQ(m.run(), StopReason::Halted);
+  EXPECT_TRUE(m.violations().empty());
+}
+
+}  // namespace
+}  // namespace arch21::isa

@@ -1,0 +1,117 @@
+// Tests for the energy module: catalogue scaling across every node,
+// distance-ladder ordering, power budgets, and ladder assessment edges.
+
+#include <gtest/gtest.h>
+
+#include "energy/budget.hpp"
+#include "energy/catalogue.hpp"
+#include "energy/ladder.hpp"
+#include "tech/node.hpp"
+
+namespace arch21::energy {
+namespace {
+
+TEST(Catalogue, ReferenceValuesInLiteratureBand) {
+  const Catalogue cat;  // 45 nm
+  EXPECT_EQ(cat.node_name(), "45nm");
+  // Keckler/Horowitz-era sanity: DP FMA tens of pJ; DRAM word ~ nJ.
+  EXPECT_GT(cat.fp_fma(), 10e-12);
+  EXPECT_LT(cat.fp_fma(), 100e-12);
+  EXPECT_GT(cat.access(Level::Dram), 1e-9);
+  EXPECT_LT(cat.access(Level::Dram), 10e-9);
+  EXPECT_LT(cat.int_op(), cat.fp_fma());
+  EXPECT_LT(cat.int8_mac(), cat.int_op());
+}
+
+TEST(Catalogue, DistanceLadderStrictlyOrdered) {
+  const Catalogue cat;
+  const Distance order[] = {Distance::OnChip1mm, Distance::AcrossChip,
+                            Distance::ToStackedDram, Distance::ToDram,
+                            Distance::Rack, Distance::Datacenter,
+                            Distance::SensorRadio};
+  for (std::size_t i = 1; i < std::size(order); ++i) {
+    EXPECT_LT(cat.move_per_bit(order[i - 1]), cat.move_per_bit(order[i]))
+        << to_string(order[i - 1]) << " vs " << to_string(order[i]);
+  }
+  // move() is linear in bits.
+  EXPECT_DOUBLE_EQ(cat.move(Distance::Board, 128),
+                   2 * cat.move(Distance::Board, 64));
+}
+
+TEST(Catalogue, EveryNodeScalesMonotonically) {
+  // Walking the node table newest-ward, logic energies fall monotonically
+  // and the radio never changes.
+  double prev_fma = 1e9;
+  double prev_l1 = 1e9;
+  const double radio45 =
+      Catalogue{}.move_per_bit(Distance::SensorRadio);
+  for (const auto& n : tech::node_table()) {
+    const Catalogue cat(n);
+    EXPECT_LT(cat.fp_fma(), prev_fma) << n.name;
+    EXPECT_LT(cat.access(Level::L1), prev_l1) << n.name;
+    EXPECT_DOUBLE_EQ(cat.move_per_bit(Distance::SensorRadio), radio45)
+        << n.name;
+    prev_fma = cat.fp_fma();
+    prev_l1 = cat.access(Level::L1);
+  }
+}
+
+TEST(Catalogue, FetchRatioWellDefinedEverywhere) {
+  for (const auto& n : tech::node_table()) {
+    const Catalogue cat(n);
+    EXPECT_GT(cat.fetch_to_compute_ratio(Level::Dram), 1.0) << n.name;
+    EXPECT_LT(cat.fetch_to_compute_ratio(Level::RegisterFile), 1.0)
+        << n.name;
+  }
+}
+
+TEST(Catalogue, LevelNames) {
+  EXPECT_STREQ(to_string(Level::RegisterFile), "regfile");
+  EXPECT_STREQ(to_string(Level::Dram), "DRAM");
+  EXPECT_STREQ(to_string(Distance::SensorRadio), "sensor radio");
+}
+
+TEST(Budget, TracksComponentsAndHeadroom) {
+  PowerBudget b("soc", 10.0);
+  EXPECT_TRUE(b.add("cpu", 4.0));
+  EXPECT_TRUE(b.add("gpu", 5.0));
+  EXPECT_NEAR(b.headroom(), 1.0, 1e-12);
+  EXPECT_NEAR(b.utilization(), 0.9, 1e-12);
+  EXPECT_FALSE(b.add("modem", 2.0));  // now over
+  EXPECT_FALSE(b.fits());
+  ASSERT_NE(b.dominant(), nullptr);
+  EXPECT_EQ(b.dominant()->name, "gpu");
+  EXPECT_TRUE(b.remove("modem"));
+  EXPECT_TRUE(b.fits());
+  EXPECT_FALSE(b.remove("nonexistent"));
+  EXPECT_EQ(b.components().size(), 2u);
+}
+
+TEST(Budget, Validation) {
+  EXPECT_THROW(PowerBudget("x", 0.0), std::invalid_argument);
+  PowerBudget b("x", 1.0);
+  EXPECT_THROW(b.add("neg", -1.0), std::invalid_argument);
+  EXPECT_EQ(b.dominant(), nullptr);
+}
+
+TEST(Ladder, RungsSpanTwelveOrdersOfMagnitude) {
+  const auto& rungs = ladder();
+  EXPECT_DOUBLE_EQ(rungs.front().target_ops, 1e9);
+  EXPECT_DOUBLE_EQ(rungs.back().target_ops, 1e18);
+  EXPECT_DOUBLE_EQ(rungs.front().power_cap_w, 1e-2);
+  EXPECT_DOUBLE_EQ(rungs.back().power_cap_w, 1e7);
+  // The paper's stated 2012 mobile baseline sits ~10x below the rung.
+  const auto a = assess(rungs[1], kBaselineOpsPerWatt2012);
+  EXPECT_NEAR(a.gap, 10.0, 1e-9);
+}
+
+TEST(Ladder, AssessEdgeCases) {
+  const auto& rung = ladder()[0];
+  EXPECT_FALSE(assess(rung, 0.0).met);
+  EXPECT_TRUE(assess(rung, 1e11).met);
+  EXPECT_TRUE(assess(rung, 1e12).met);
+  EXPECT_NEAR(assess(rung, 1e12).gap, 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace arch21::energy

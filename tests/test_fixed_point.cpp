@@ -1,0 +1,115 @@
+// Tests for Q-format fixed-point arithmetic: round trips, arithmetic,
+// saturation semantics, and the quantize() helper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/fixed_point.hpp"
+#include "util/rng.hpp"
+
+namespace arch21 {
+namespace {
+
+TEST(Fixed, RoundTripWithinResolution) {
+  using F = Fixed<16>;
+  for (double v : {0.0, 1.0, -1.0, 3.14159, -2.71828, 1000.5, -0.00001}) {
+    const F f = F::from_double(v);
+    EXPECT_NEAR(f.to_double(), v, F::resolution());
+  }
+}
+
+TEST(Fixed, ResolutionIsPowerOfTwo) {
+  EXPECT_DOUBLE_EQ(Fixed<8>::resolution(), 1.0 / 256.0);
+  EXPECT_DOUBLE_EQ(Fixed<0>::resolution(), 1.0);
+  EXPECT_DOUBLE_EQ(Fixed<20>::resolution(), std::ldexp(1.0, -20));
+}
+
+TEST(Fixed, AdditionAndSubtraction) {
+  using F = Fixed<16>;
+  const F a = F::from_double(1.5);
+  const F b = F::from_double(2.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), -0.75);
+}
+
+TEST(Fixed, MultiplicationExactOnDyadics) {
+  using F = Fixed<16>;
+  const F a = F::from_double(1.5);
+  const F b = F::from_double(-2.5);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), -3.75);
+}
+
+TEST(Fixed, DivisionApproximate) {
+  using F = Fixed<24>;
+  const F a = F::from_double(1.0);
+  const F b = F::from_double(3.0);
+  EXPECT_NEAR((a / b).to_double(), 1.0 / 3.0, 2 * F::resolution());
+}
+
+TEST(Fixed, DivisionByZeroSaturates) {
+  using F = Fixed<16>;
+  const F a = F::from_double(5.0);
+  const F z = F::from_double(0.0);
+  EXPECT_EQ((a / z).raw(), std::numeric_limits<std::int64_t>::max());
+  const F n = F::from_double(-5.0);
+  EXPECT_EQ((n / z).raw(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Fixed, AdditionSaturatesOnOverflow) {
+  using F = Fixed<8>;
+  const F big = F::from_raw(std::numeric_limits<std::int64_t>::max() - 1);
+  const F one = F::from_double(1.0);
+  EXPECT_EQ((big + one).raw(), std::numeric_limits<std::int64_t>::max());
+  const F small = F::from_raw(std::numeric_limits<std::int64_t>::min() + 1);
+  EXPECT_EQ((small - one).raw(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Fixed, FromDoubleSaturates) {
+  using F = Fixed<32>;
+  EXPECT_EQ(F::from_double(1e30).raw(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(F::from_double(-1e30).raw(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Fixed, Comparisons) {
+  using F = Fixed<16>;
+  EXPECT_TRUE(F::from_double(1.0) < F::from_double(2.0));
+  EXPECT_TRUE(F::from_double(2.0) == F::from_double(2.0));
+  EXPECT_TRUE(F::from_double(-1.0) > F::from_double(-2.0));
+}
+
+TEST(Quantize, MatchesFixedRoundTrip) {
+  for (int bits : {4, 8, 12, 16}) {
+    for (double v : {0.123456, -7.654321, 3.0, 0.0}) {
+      const double q = quantize(v, bits);
+      EXPECT_NEAR(q, v, std::ldexp(1.0, -bits));
+      // Quantizing twice is idempotent.
+      EXPECT_DOUBLE_EQ(quantize(q, bits), q);
+    }
+  }
+}
+
+// Property: (a+b) and (a*b) in fixed point track doubles within a bound
+// derived from the resolution.
+class FixedArithmeticProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FixedArithmeticProperty, TracksDoubleArithmetic) {
+  using F = Fixed<20>;
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.uniform(-100.0, 100.0);
+    const double b = rng.uniform(-100.0, 100.0);
+    const F fa = F::from_double(a);
+    const F fb = F::from_double(b);
+    EXPECT_NEAR((fa + fb).to_double(), a + b, 2 * F::resolution());
+    EXPECT_NEAR((fa * fb).to_double(), a * b,
+                (std::abs(a) + std::abs(b) + 1) * F::resolution());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedArithmeticProperty,
+                         ::testing::Values(1, 22, 333));
+
+}  // namespace
+}  // namespace arch21

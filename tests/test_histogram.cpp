@@ -1,0 +1,121 @@
+// Tests for the log-scaled histogram: bounded relative error of quantile
+// queries, merging, and boundary behaviour.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace arch21 {
+namespace {
+
+TEST(LogHistogram, EmptyQuantileIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, SingleValue) {
+  LogHistogram h;
+  h.add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_NEAR(h.quantile(0.5), 42.0, 42.0 * 0.05);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 42.0);
+  EXPECT_DOUBLE_EQ(h.min_seen(), 42.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(LogHistogram, WeightedAdd) {
+  LogHistogram h;
+  h.add(1.0, 99);
+  h.add(100.0, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.quantile(0.5), 1.0, 0.1);
+  EXPECT_GT(h.quantile(0.995), 50.0);
+}
+
+TEST(LogHistogram, BadConstructionThrows) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 10), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 0.5, 10), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, QuantileRelativeErrorBounded) {
+  Rng rng(5);
+  LogHistogram h(1e-3, 1e4, 90);
+  std::vector<double> exact;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.lognormal(1.0, 1.0);
+    h.add(v);
+    exact.push_back(v);
+  }
+  Percentiles p(exact);
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double approx = h.quantile(q);
+    const double truth = p.at(q);
+    // Allowed relative error: bucket growth (~2.6% at 90/decade) plus a
+    // little sampling noise at the extreme tail.
+    EXPECT_NEAR(approx / truth, 1.0, 0.06) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, MergePreservesCounts) {
+  Rng rng(6);
+  LogHistogram a(1e-3, 1e4, 90);
+  LogHistogram b(1e-3, 1e4, 90);
+  LogHistogram all(1e-3, 1e4, 90);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.exponential(3.0) + 1e-3;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  for (double q : {0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q));
+  }
+  EXPECT_DOUBLE_EQ(a.max_seen(), all.max_seen());
+}
+
+TEST(LogHistogram, MergeIncompatibleThrows) {
+  LogHistogram a(1e-3, 1e4, 90);
+  LogHistogram b(1e-3, 1e4, 45);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(LogHistogram, UnderflowAndOverflowCaptured) {
+  LogHistogram h(1.0, 100.0, 30);
+  h.add(1e-9);   // underflow bucket
+  h.add(1e9);    // overflow bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1e-9);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1e9);
+}
+
+TEST(LogHistogram, QuantileMonotone) {
+  Rng rng(7);
+  LogHistogram h;
+  for (int i = 0; i < 5000; ++i) h.add(rng.pareto(1.0, 1.2));
+  double prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(LogHistogram, PercentileLineRenders) {
+  LogHistogram h;
+  h.add(1.0);
+  h.add(2.0);
+  const auto line = h.percentile_line();
+  EXPECT_NE(line.find("p50="), std::string::npos);
+  EXPECT_NE(line.find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arch21

@@ -1,0 +1,165 @@
+// Cross-module integration tests: scenarios that thread several
+// subsystems together the way the examples and benches do, pinning the
+// seams between modules.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/power.hpp"
+#include "cloud/tail.hpp"
+#include "core/dse.hpp"
+#include "core/governor.hpp"
+#include "core/report.hpp"
+#include "cpu/pipeline.hpp"
+#include "energy/budget.hpp"
+#include "energy/ladder.hpp"
+#include "energy/catalogue.hpp"
+#include "isa/assembler.hpp"
+#include "isa/machine.hpp"
+#include "isa/programs.hpp"
+#include "mem/hierarchy.hpp"
+#include "mem/prefetch.hpp"
+#include "par/laws.hpp"
+#include "par/schedule.hpp"
+#include "par/taskgraph.hpp"
+#include "sensor/tradeoff.hpp"
+#include "tech/dvfs.hpp"
+
+namespace arch21 {
+namespace {
+
+TEST(Integration, Sr1TraceDrivesHierarchyThroughPrefetcher) {
+  // Machine -> trace sink -> prefetcher -> hierarchy: the full memory
+  // path.  A strided SR1 loop should enjoy prefetched L1 hits.
+  auto asmres = isa::assemble(isa::programs::stride_walk(0x2000, 64, 8000));
+  ASSERT_TRUE(asmres.ok());
+  isa::Machine m(asmres.program);
+  const energy::Catalogue cat;
+  mem::Hierarchy h({.size_bytes = 4096, .line_bytes = 64, .ways = 4},
+                   {.size_bytes = 32768, .line_bytes = 64, .ways = 8},
+                   {.size_bytes = 262144, .line_bytes = 64, .ways = 8}, cat);
+  mem::StridePrefetcher pf(h);
+  m.set_trace_sink([&](isa::TraceRecord t) { pf.access(t.addr, t.write); });
+  EXPECT_EQ(m.run(), isa::StopReason::Halted);
+  EXPECT_EQ(pf.stats().demand_accesses, 8000u);
+  EXPECT_GT(pf.stats().accuracy(), 0.9);
+  EXPECT_GT(pf.stats().demand_hits_l1, 6000u);
+}
+
+TEST(Integration, DiftAndGovernorComposeOnOneProgram) {
+  // Security and energy interfaces are orthogonal: a hinted program under
+  // DIFT still attributes intents and still traps on the attack.
+  const std::string prog = R"(
+    hint 1
+    in   r1
+    li   r2, 0
+    li   r3, 500
+loop:
+    addi r2, r2, 1
+    blt  r2, r3, loop
+    hint 2
+    jr   r1            # attacker-controlled: must trap
+)";
+  auto asmres = isa::assemble(prog);
+  ASSERT_TRUE(asmres.ok());
+  isa::DiftPolicy pol;
+  pol.enabled = true;
+  isa::Machine m(asmres.program, 1 << 20, pol);
+  m.push_input(3);
+  EXPECT_EQ(m.run(), isa::StopReason::DiftTrap);
+  // The loop ran under the Efficiency intent before the trap.
+  const auto& by = m.stats().instrs_by_intent;
+  EXPECT_GT(by[1], 900u);
+  const auto dvfs = tech::DvfsModel::for_node(*tech::find_node("22nm"));
+  const auto rep = core::govern(by, dvfs);
+  EXPECT_GT(rep.energy_saving_vs_nominal(), 0.3);
+}
+
+TEST(Integration, DseWinnerSurvivesBudgetDecomposition) {
+  // The DSE best design's power breakdown re-assembles into a PowerBudget
+  // that fits the platform cap.
+  core::DesignSpace space;
+  space.nodes = {"22nm"};
+  space.core_counts = {4, 16};
+  space.bces = {1, 4};
+  space.llc_mibs = {8};
+  const auto res = core::grid_search(space, core::profile_mobile_vision(),
+                                     core::PlatformClass::Portable);
+  const auto* best = res.frontier.best_throughput();
+  ASSERT_NE(best, nullptr);
+  energy::PowerBudget budget("soc", core::power_cap_w(core::PlatformClass::Portable));
+  budget.add("compute", best->metrics.p_compute_w);
+  budget.add("memory", best->metrics.p_memory_w);
+  budget.add("noc", best->metrics.p_comm_w);
+  budget.add("leakage", best->metrics.p_leak_w);
+  EXPECT_TRUE(budget.fits());
+  EXPECT_NEAR(budget.total(), best->metrics.power_w,
+              best->metrics.power_w * 0.02);
+  // And the report renders it.
+  const auto md = core::render_report(res, core::profile_mobile_vision(),
+                                      core::PlatformClass::Portable);
+  EXPECT_NE(md.find(best->design.to_string()), std::string::npos);
+}
+
+TEST(Integration, SchedulerEnergyMatchesCataloguePricing) {
+  // Task-DAG comm energy priced via CommModel agrees with hand-computed
+  // catalogue pricing for a known placement.
+  par::TaskGraph g;
+  const auto a = g.add(1e6, 1e4);
+  const auto b = g.add(1e6, 1e4);
+  const auto c = g.add(1e6);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  const double j_per_byte = 2e-9;
+  const auto comm = par::CommModel::uniform(1e-12, j_per_byte);
+  const auto cores = par::CoreModel::homogeneous(2, 1e9, 1e-12);
+  const auto r = par::list_schedule(g, cores, comm);
+  // a and b run on different cores; exactly one feeds c cross-core.
+  EXPECT_NEAR(r.comm_energy_j, 1e4 * j_per_byte, 1e-12);
+  EXPECT_NEAR(r.compute_energy_j, 3e6 * 1e-12, 1e-18);
+}
+
+TEST(Integration, TailClaimConsistentAcrossAnalyticAndSimulated) {
+  // Closed form, sampler, and the Summary pipeline agree on the headline.
+  const double analytic = cloud::tail_amplification(100, 0.99);
+  auto leaf = cloud::make_leaf_distribution();
+  const auto sim = cloud::simulate_fork_join(100, 10000, leaf, {}, 21);
+  EXPECT_NEAR(sim.frac_over_leaf_p99, analytic, 0.05);
+  EXPECT_GE(sim.request_latency_ms.max, sim.leaf_latency_ms.max);
+}
+
+TEST(Integration, SensorStrategyScalesWithNode) {
+  // The sensor tradeoff shifts with technology: cheaper compute (newer
+  // node) lowers the filtering break-even.
+  sensor::StreamProfile s;
+  const energy::Catalogue old_node(*tech::find_node("90nm"));
+  const energy::Catalogue new_node(*tech::find_node("22nm"));
+  const double be_old = sensor::filter_breakeven_reduction(s, old_node);
+  const double be_new = sensor::filter_breakeven_reduction(s, new_node);
+  EXPECT_LT(be_new, be_old);  // radio energy is fixed; compute got cheaper
+}
+
+TEST(Integration, ExaopFacilityVsLadderRung) {
+  // The facility model and the ladder tell the same story from two sides.
+  const auto sizing =
+      cloud::Facility::size_for(cloud::ServerPower{}, 1.5, 1e18, 0.8);
+  const auto rung = energy::ladder()[3];  // datacenter
+  EXPECT_GT(sizing.power_w, rung.power_cap_w * 10);  // 2012 servers: >10x over
+}
+
+TEST(Integration, ProfiledCpiFeedsPerfModelSanely) {
+  // cpu pipeline CPI and par laws compose: a core with measured IPC used
+  // as the base-core rate in an Amdahl estimate.
+  cpu::Gshare gs;
+  const auto r =
+      cpu::run_profiled(isa::programs::sum_loop(10000), {}, gs);
+  const double ipc = r.cpi.ipc();
+  ASSERT_GT(ipc, 1.0);
+  const double speedup = par::amdahl_speedup(0.95, 16);
+  const double throughput_16 = ipc * 1e9 * speedup;  // at 1 GHz
+  EXPECT_GT(throughput_16, ipc * 1e9 * 8);  // f=0.95, 16 cores > 8x
+}
+
+}  // namespace
+}  // namespace arch21

@@ -1,0 +1,310 @@
+// Tests for the SR1 assembler and interpreter: syntax and error
+// reporting, opcode semantics, control flow, memory, I/O, faults, and
+// trace generation.
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/machine.hpp"
+#include "isa/programs.hpp"
+
+namespace arch21::isa {
+namespace {
+
+Machine run_ok(const std::string& src, std::uint64_t max = 1'000'000) {
+  auto asmres = assemble(src);
+  EXPECT_TRUE(asmres.ok()) << (asmres.errors.empty() ? "" : asmres.errors[0]);
+  Machine m(asmres.program);
+  EXPECT_EQ(m.run(max), StopReason::Halted);
+  return m;
+}
+
+TEST(Assembler, EmptyAndComments) {
+  const auto r = assemble("# just a comment\n\n   \n");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.program.code.empty());
+}
+
+TEST(Assembler, ReportsUnknownMnemonic) {
+  const auto r = assemble("frobnicate r1, r2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("unknown mnemonic"), std::string::npos);
+  EXPECT_NE(r.errors[0].find("line 1"), std::string::npos);
+}
+
+TEST(Assembler, ReportsBadRegisterAndImmediate) {
+  EXPECT_FALSE(assemble("add r1, r2, r99\n").ok());
+  EXPECT_FALSE(assemble("add r1, r2, x3\n").ok());
+  EXPECT_FALSE(assemble("addi r1, r2, notanumber\n").ok());
+  EXPECT_FALSE(assemble("add r1, r2\n").ok());  // missing operand
+}
+
+TEST(Assembler, ReportsUndefinedAndDuplicateLabels) {
+  const auto r1 = assemble("jmp nowhere\nhalt\n");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.errors[0].find("undefined label"), std::string::npos);
+  const auto r2 = assemble("x:\nhalt\nx:\nhalt\n");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.errors[0].find("duplicate label"), std::string::npos);
+}
+
+TEST(Assembler, HexAndNegativeImmediates) {
+  const auto m = run_ok("li r1, 0xff\nli r2, -5\nadd r3, r1, r2\nout r3\nhalt\n");
+  EXPECT_EQ(m.output().at(0), 250u);
+}
+
+TEST(Assembler, DataDirective) {
+  const auto r = assemble(".data 0x1122334455667788, 2\nhalt\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.program.data.size(), 16u);
+  EXPECT_EQ(r.program.data[0], 0x88);
+  EXPECT_EQ(r.program.data[7], 0x11);
+  EXPECT_EQ(r.program.data[8], 0x02);
+}
+
+TEST(Assembler, LabelOnItsOwnLineAndInline) {
+  const auto m = run_ok(R"(
+    li r1, 1
+here:
+    addi r1, r1, 1
+    slti r2, r1, 5
+    bne r2, r0, here
+    out r1
+    halt
+)");
+  EXPECT_EQ(m.output().at(0), 5u);
+}
+
+TEST(Machine, R0IsAlwaysZero) {
+  const auto m = run_ok("li r0, 99\nadd r0, r0, r0\nout r0\nhalt\n");
+  EXPECT_EQ(m.output().at(0), 0u);
+}
+
+TEST(Machine, AluSemantics) {
+  const auto m = run_ok(R"(
+    li r1, 12
+    li r2, 5
+    add r3, r1, r2
+    sub r4, r1, r2
+    mul r5, r1, r2
+    div r6, r1, r2
+    and r7, r1, r2
+    or  r8, r1, r2
+    xor r9, r1, r2
+    out r3
+    out r4
+    out r5
+    out r6
+    out r7
+    out r8
+    out r9
+    halt
+)");
+  const auto& o = m.output();
+  EXPECT_EQ(o[0], 17u);
+  EXPECT_EQ(o[1], 7u);
+  EXPECT_EQ(o[2], 60u);
+  EXPECT_EQ(o[3], 2u);
+  EXPECT_EQ(o[4], 4u);
+  EXPECT_EQ(o[5], 13u);
+  EXPECT_EQ(o[6], 9u);
+}
+
+TEST(Machine, ShiftsAndComparisons) {
+  const auto m = run_ok(R"(
+    li r1, 1
+    shli r2, r1, 10
+    shri r3, r2, 3
+    li r4, -1
+    slt r5, r4, r1      # signed: -1 < 1 -> 1
+    slti r6, r1, -3     # 1 < -3 -> 0
+    out r2
+    out r3
+    out r5
+    out r6
+    halt
+)");
+  EXPECT_EQ(m.output()[0], 1024u);
+  EXPECT_EQ(m.output()[1], 128u);
+  EXPECT_EQ(m.output()[2], 1u);
+  EXPECT_EQ(m.output()[3], 0u);
+}
+
+TEST(Machine, LoadStoreWordAndByte) {
+  const auto m = run_ok(R"(
+    li r1, 0x2000
+    li r2, 0x1122334455667788
+    st r2, r1, 0
+    ld r3, r1, 0
+    ldb r4, r1, 7       # top byte, little-endian
+    li r5, 0xAB
+    stb r5, r1, 0
+    ldb r6, r1, 0
+    out r3
+    out r4
+    out r6
+    halt
+)");
+  EXPECT_EQ(m.output()[0], 0x1122334455667788u);
+  EXPECT_EQ(m.output()[1], 0x11u);
+  EXPECT_EQ(m.output()[2], 0xABu);
+}
+
+TEST(Machine, DataImageVisible) {
+  const auto r = assemble(".data 777\nli r1, 0x1000\nld r2, r1, 0\nout r2\nhalt\n");
+  ASSERT_TRUE(r.ok());
+  Machine m(r.program);
+  EXPECT_EQ(m.run(), StopReason::Halted);
+  EXPECT_EQ(m.output()[0], 777u);
+}
+
+TEST(Machine, JalAndJrImplementCalls) {
+  const auto m = run_ok(R"(
+    jal r15, func
+    out r1
+    halt
+func:
+    li r1, 42
+    jr r15
+)");
+  EXPECT_EQ(m.output()[0], 42u);
+}
+
+TEST(Machine, BranchVariants) {
+  const auto m = run_ok(R"(
+    li r1, 3
+    li r2, 3
+    beq r1, r2, eq_ok
+    out r0
+    halt
+eq_ok:
+    li r3, -2
+    blt r3, r1, lt_ok
+    out r0
+    halt
+lt_ok:
+    bge r1, r2, ge_ok
+    out r0
+    halt
+ge_ok:
+    li r4, 1
+    out r4
+    halt
+)");
+  EXPECT_EQ(m.output().at(0), 1u);
+}
+
+TEST(Machine, InputQueueFifo) {
+  auto r = assemble("in r1\nin r2\nsub r3, r1, r2\nout r3\nhalt\n");
+  ASSERT_TRUE(r.ok());
+  Machine m(r.program);
+  m.push_input(10);
+  m.push_input(4);
+  EXPECT_EQ(m.run(), StopReason::Halted);
+  EXPECT_EQ(m.output()[0], 6u);
+  // Exhausted input reads zero.
+  Machine m2(r.program);
+  EXPECT_EQ(m2.run(), StopReason::Halted);
+  EXPECT_EQ(m2.output()[0], 0u);
+}
+
+TEST(Machine, Faults) {
+  {
+    auto r = assemble("li r1, 0\nli r2, 5\ndiv r3, r2, r1\nhalt\n");
+    Machine m(r.program);
+    EXPECT_EQ(m.run(), StopReason::DivideByZero);
+  }
+  {
+    auto r = assemble("li r1, 0xffffffffff\nld r2, r1, 0\nhalt\n");
+    Machine m(r.program);
+    EXPECT_EQ(m.run(), StopReason::MemoryFault);
+  }
+  {
+    auto r = assemble("li r1, 12345\njr r1\nhalt\n");
+    Machine m(r.program);
+    EXPECT_EQ(m.run(), StopReason::BadJump);
+  }
+  {
+    auto r = assemble("loop: jmp loop\n");
+    Machine m(r.program);
+    EXPECT_EQ(m.run(1000), StopReason::CycleLimit);
+    EXPECT_EQ(m.stats().instructions, 1000u);
+  }
+}
+
+TEST(Machine, StatsCountClasses) {
+  const auto m = run_ok(R"(
+    li r1, 0x2000
+    st r1, r1, 0
+    ld r2, r1, 0
+    add r3, r2, r2
+    beq r0, r0, end
+end:
+    halt
+)");
+  EXPECT_EQ(m.stats().loads, 1u);
+  EXPECT_EQ(m.stats().stores, 1u);
+  EXPECT_GE(m.stats().alu_ops, 1u);
+  EXPECT_EQ(m.stats().branches, 1u);
+  EXPECT_EQ(m.stats().taken_branches, 1u);
+}
+
+TEST(Machine, TraceSinkSeesMemoryOps) {
+  auto r = assemble(programs::stride_walk(0x1000, 64, 10));
+  ASSERT_TRUE(r.ok());
+  Machine m(r.program);
+  std::vector<TraceRecord> trace;
+  m.set_trace_sink([&](TraceRecord t) { trace.push_back(t); });
+  EXPECT_EQ(m.run(), StopReason::Halted);
+  ASSERT_EQ(trace.size(), 10u);
+  EXPECT_EQ(trace[0].addr, 0x1000u);
+  EXPECT_EQ(trace[1].addr, 0x1040u);
+  EXPECT_FALSE(trace[0].write);
+}
+
+TEST(Programs, SumLoopComputesGauss) {
+  auto r = assemble(programs::sum_loop(100));
+  ASSERT_TRUE(r.ok());
+  Machine m(r.program);
+  EXPECT_EQ(m.run(), StopReason::Halted);
+  EXPECT_EQ(m.output().at(0), 5050u);
+}
+
+TEST(Programs, SanitizedDispatchSelectsHandlers) {
+  for (std::uint64_t idx : {0ull, 1ull}) {
+    auto r = assemble(programs::sanitized_dispatch());
+    ASSERT_TRUE(r.ok());
+    Machine m(r.program);
+    m.push_input(idx);
+    EXPECT_EQ(m.run(), StopReason::Halted);
+    ASSERT_EQ(m.output().size(), 1u);
+    EXPECT_EQ(m.output()[0], idx == 0 ? 100u : 200u);
+  }
+  // Out-of-range index hits the bounds check and halts silently.
+  auto r = assemble(programs::sanitized_dispatch());
+  Machine m(r.program);
+  m.push_input(7);
+  EXPECT_EQ(m.run(), StopReason::Halted);
+  EXPECT_TRUE(m.output().empty());
+}
+
+TEST(OpMetadata, WritesRdClassification) {
+  EXPECT_TRUE(writes_rd(Op::Add));
+  EXPECT_TRUE(writes_rd(Op::Ld));
+  EXPECT_TRUE(writes_rd(Op::In));
+  EXPECT_TRUE(writes_rd(Op::Jal));
+  EXPECT_FALSE(writes_rd(Op::St));
+  EXPECT_FALSE(writes_rd(Op::Out));
+  EXPECT_FALSE(writes_rd(Op::Beq));
+  EXPECT_FALSE(writes_rd(Op::Halt));
+}
+
+TEST(OpMetadata, Names) {
+  EXPECT_STREQ(to_string(Op::Add), "add");
+  EXPECT_STREQ(to_string(Op::Halt), "halt");
+  EXPECT_STREQ(to_string(StopReason::Halted), "halted");
+  EXPECT_STREQ(to_string(StopReason::DiftTrap), "dift-trap");
+}
+
+}  // namespace
+}  // namespace arch21::isa

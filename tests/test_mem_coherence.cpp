@@ -1,0 +1,161 @@
+// Tests for the MESI snooping protocol: every canonical transition,
+// transaction accounting, protocol invariants under random stress, and
+// the false-sharing pathology.
+
+#include <gtest/gtest.h>
+
+#include "energy/catalogue.hpp"
+#include "mem/coherence.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::mem {
+namespace {
+
+class MesiTest : public ::testing::Test {
+ protected:
+  energy::Catalogue cat;
+  CacheConfig cfg{.size_bytes = 4096, .line_bytes = 64, .ways = 4};
+};
+
+TEST_F(MesiTest, FirstReadGetsExclusive) {
+  CoherentSystem sys(4, cfg, cat);
+  sys.read(0, 0x1000);
+  EXPECT_EQ(sys.state(0, 0x1000), Mesi::Exclusive);
+  EXPECT_EQ(sys.stats().bus_rd, 1u);
+  EXPECT_TRUE(sys.invariants_hold());
+}
+
+TEST_F(MesiTest, SecondReaderDowngradesToShared) {
+  CoherentSystem sys(4, cfg, cat);
+  sys.read(0, 0x1000);
+  sys.read(1, 0x1000);
+  EXPECT_EQ(sys.state(0, 0x1000), Mesi::Shared);
+  EXPECT_EQ(sys.state(1, 0x1000), Mesi::Shared);
+  EXPECT_EQ(sys.stats().c2c_transfers, 1u);  // E supplier
+  EXPECT_TRUE(sys.invariants_hold());
+}
+
+TEST_F(MesiTest, WriteOnExclusiveIsSilent) {
+  CoherentSystem sys(2, cfg, cat);
+  sys.read(0, 0x40);
+  const auto upgrades_before = sys.stats().bus_upgr;
+  sys.write(0, 0x40);
+  EXPECT_EQ(sys.state(0, 0x40), Mesi::Modified);
+  EXPECT_EQ(sys.stats().bus_upgr, upgrades_before);  // silent E->M
+  EXPECT_EQ(sys.stats().write_hits, 1u);
+}
+
+TEST_F(MesiTest, WriteOnSharedUpgradesAndInvalidates) {
+  CoherentSystem sys(3, cfg, cat);
+  sys.read(0, 0x40);
+  sys.read(1, 0x40);
+  sys.read(2, 0x40);
+  sys.write(1, 0x40);
+  EXPECT_EQ(sys.state(1, 0x40), Mesi::Modified);
+  EXPECT_EQ(sys.state(0, 0x40), Mesi::Invalid);
+  EXPECT_EQ(sys.state(2, 0x40), Mesi::Invalid);
+  EXPECT_EQ(sys.stats().bus_upgr, 1u);
+  EXPECT_EQ(sys.stats().invalidations, 2u);
+  EXPECT_TRUE(sys.invariants_hold());
+}
+
+TEST_F(MesiTest, ReadOfModifiedForcesFlushToShared) {
+  CoherentSystem sys(2, cfg, cat);
+  sys.write(0, 0x80);  // I -> M via BusRdX
+  EXPECT_EQ(sys.stats().bus_rdx, 1u);
+  sys.read(1, 0x80);
+  EXPECT_EQ(sys.state(0, 0x80), Mesi::Shared);
+  EXPECT_EQ(sys.state(1, 0x80), Mesi::Shared);
+  EXPECT_GE(sys.stats().writebacks, 1u);
+  EXPECT_GE(sys.stats().c2c_transfers, 1u);
+  EXPECT_TRUE(sys.invariants_hold());
+}
+
+TEST_F(MesiTest, WriteInvalidatesModifiedElsewhere) {
+  CoherentSystem sys(2, cfg, cat);
+  sys.write(0, 0xC0);
+  sys.write(1, 0xC0);
+  EXPECT_EQ(sys.state(0, 0xC0), Mesi::Invalid);
+  EXPECT_EQ(sys.state(1, 0xC0), Mesi::Modified);
+  EXPECT_GE(sys.stats().writebacks, 1u);  // core 0's dirty copy flushed
+  EXPECT_TRUE(sys.invariants_hold());
+}
+
+TEST_F(MesiTest, RepeatedPrivateAccessStaysLocal) {
+  CoherentSystem sys(4, cfg, cat);
+  sys.read(2, 0x2000);
+  const auto bus_before = sys.stats().bus_rd + sys.stats().bus_rdx;
+  for (int i = 0; i < 100; ++i) {
+    sys.read(2, 0x2000);
+    sys.write(2, 0x2000);
+  }
+  EXPECT_EQ(sys.stats().bus_rd + sys.stats().bus_rdx, bus_before);
+  EXPECT_EQ(sys.stats().read_hits, 100u);
+}
+
+TEST_F(MesiTest, FalseSharingPingPong) {
+  // Two cores write different words of the SAME line: every write
+  // invalidates the other's copy -- the classic false-sharing storm.
+  CoherentSystem sys(2, cfg, cat);
+  for (int i = 0; i < 50; ++i) {
+    sys.write(0, 0x100);       // word 0 of the line
+    sys.write(1, 0x108);       // word 1 of the same line
+  }
+  EXPECT_GE(sys.stats().invalidations, 98u);
+  EXPECT_GT(sys.stats().bus_energy_j, 0.0);
+  // Same words on DIFFERENT lines: no invalidations after warmup.
+  CoherentSystem calm(2, cfg, cat);
+  for (int i = 0; i < 50; ++i) {
+    calm.write(0, 0x100);
+    calm.write(1, 0x180);
+  }
+  EXPECT_EQ(calm.stats().invalidations, 0u);
+  EXPECT_LT(calm.stats().bus_energy_j, sys.stats().bus_energy_j);
+}
+
+TEST_F(MesiTest, StateOfUnknownLineIsInvalid) {
+  CoherentSystem sys(2, cfg, cat);
+  EXPECT_EQ(sys.state(0, 0xDEAD00), Mesi::Invalid);
+}
+
+TEST_F(MesiTest, ZeroCoresRejected) {
+  EXPECT_THROW(CoherentSystem(0, cfg, cat), std::invalid_argument);
+}
+
+TEST_F(MesiTest, StateNames) {
+  EXPECT_STREQ(to_string(Mesi::Modified), "M");
+  EXPECT_STREQ(to_string(Mesi::Invalid), "I");
+}
+
+// Property: invariants hold after arbitrary random access sequences.
+class MesiStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MesiStress, InvariantsHoldUnderRandomTraffic) {
+  const energy::Catalogue cat;
+  CoherentSystem sys(4, {.size_bytes = 1024, .line_bytes = 64, .ways = 2},
+                     cat);
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const auto core = static_cast<std::uint32_t>(rng.below(4));
+    const Addr addr = rng.below(64) * 64;  // 64 hot lines
+    if (rng.chance(0.4)) {
+      sys.write(core, addr);
+    } else {
+      sys.read(core, addr);
+    }
+    if (i % 500 == 0) {
+      ASSERT_TRUE(sys.invariants_hold()) << "iteration " << i;
+    }
+  }
+  EXPECT_TRUE(sys.invariants_hold());
+  // Sanity: all four transaction classes occurred.
+  EXPECT_GT(sys.stats().bus_rd, 0u);
+  EXPECT_GT(sys.stats().bus_rdx, 0u);
+  EXPECT_GT(sys.stats().invalidations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MesiStress,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace arch21::mem

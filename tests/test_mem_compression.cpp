@@ -1,0 +1,191 @@
+// Tests for the BDI codec: exact round trips for every scheme, scheme
+// selection, compression ratios on characteristic data, and malformed-
+// input handling.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/compression.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::mem {
+namespace {
+
+std::vector<std::uint8_t> from_words(const std::vector<std::uint64_t>& ws) {
+  std::vector<std::uint8_t> out(ws.size() * 8);
+  std::memcpy(out.data(), ws.data(), out.size());
+  return out;
+}
+
+void expect_roundtrip(const std::vector<std::uint8_t>& line) {
+  const auto enc = bdi_compress(line);
+  const auto dec = bdi_decompress(enc.bytes, line.size());
+  ASSERT_EQ(dec, line) << "scheme " << to_string(enc.scheme);
+}
+
+TEST(Bdi, ZeroLineCompressesToOneByte) {
+  std::vector<std::uint8_t> line(64, 0);
+  const auto r = bdi_compress(line);
+  EXPECT_EQ(r.scheme, BdiScheme::Zeros);
+  EXPECT_EQ(r.size(), 1u);
+  expect_roundtrip(line);
+  EXPECT_DOUBLE_EQ(bdi_ratio(line), 64.0);
+}
+
+TEST(Bdi, RepeatedValueCompressesToNineBytes) {
+  const auto line = from_words({42, 42, 42, 42, 42, 42, 42, 42});
+  const auto r = bdi_compress(line);
+  EXPECT_EQ(r.scheme, BdiScheme::Repeat8);
+  EXPECT_EQ(r.size(), 9u);
+  expect_roundtrip(line);
+}
+
+TEST(Bdi, SmallDeltasUseNarrowEncoding) {
+  // Pointers into the same region: 64-bit base + 1-byte deltas.
+  const auto line = from_words({0x7fff00001000, 0x7fff00001008,
+                                0x7fff00001010, 0x7fff00001018,
+                                0x7fff00001020, 0x7fff00001028,
+                                0x7fff00001030, 0x7fff00001038});
+  const auto r = bdi_compress(line);
+  EXPECT_EQ(r.scheme, BdiScheme::Base8Delta1);
+  EXPECT_EQ(r.size(), 1u + 8u + 8u);  // tag + base + 8 deltas
+  expect_roundtrip(line);
+}
+
+TEST(Bdi, NegativeDeltasHandled) {
+  const auto line = from_words({1000, 996, 1004, 992, 1008, 1000, 999, 1001});
+  const auto r = bdi_compress(line);
+  EXPECT_EQ(r.scheme, BdiScheme::Base8Delta1);
+  expect_roundtrip(line);
+}
+
+TEST(Bdi, MediumDeltasFallBackToWiderDeltas) {
+  const auto line = from_words({100000, 100000 + 20000, 100000 - 20000,
+                                100000 + 30000, 100000, 100000 + 1,
+                                100000 + 2, 100000 + 3});
+  const auto r = bdi_compress(line);
+  EXPECT_EQ(r.scheme, BdiScheme::Base8Delta2);
+  expect_roundtrip(line);
+}
+
+TEST(Bdi, RandomDataStaysRaw) {
+  Rng rng(1);
+  std::vector<std::uint8_t> line(64);
+  for (auto& b : line) b = static_cast<std::uint8_t>(rng.below(256));
+  const auto r = bdi_compress(line);
+  EXPECT_EQ(r.scheme, BdiScheme::Raw);
+  EXPECT_EQ(r.size(), 65u);
+  expect_roundtrip(line);
+}
+
+TEST(Bdi, Int32ArrayUsesBase4) {
+  // Small 32-bit integers (counts, indices): 4-byte base + 1-byte deltas
+  // beats any 8-byte-base scheme.
+  std::vector<std::uint32_t> vals = {500, 510, 498, 503, 505, 500, 497, 512,
+                                     501, 499, 507, 500, 502, 509, 498, 500};
+  std::vector<std::uint8_t> line(64);
+  std::memcpy(line.data(), vals.data(), 64);
+  const auto r = bdi_compress(line);
+  EXPECT_EQ(r.scheme, BdiScheme::Base4Delta1);
+  EXPECT_EQ(r.size(), 1u + 4u + 16u);
+  expect_roundtrip(line);
+}
+
+TEST(Bdi, InvalidInputsThrow) {
+  EXPECT_THROW(bdi_compress(std::vector<std::uint8_t>{}), std::invalid_argument);
+  EXPECT_THROW(bdi_compress(std::vector<std::uint8_t>(63, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(bdi_decompress(std::vector<std::uint8_t>{}, 64),
+               std::invalid_argument);
+  // Truncated base-delta payload.
+  std::vector<std::uint8_t> bad = {
+      static_cast<std::uint8_t>(BdiScheme::Base8Delta1), 1, 2};
+  EXPECT_THROW(bdi_decompress(bad, 64), std::invalid_argument);
+  // Unknown scheme byte.
+  std::vector<std::uint8_t> unk = {200};
+  EXPECT_THROW(bdi_decompress(unk, 64), std::invalid_argument);
+  // Raw with wrong length.
+  std::vector<std::uint8_t> short_raw = {
+      static_cast<std::uint8_t>(BdiScheme::Raw), 1, 2, 3};
+  EXPECT_THROW(bdi_decompress(short_raw, 64), std::invalid_argument);
+}
+
+TEST(Bdi, SchemeNames) {
+  EXPECT_STREQ(to_string(BdiScheme::Zeros), "zeros");
+  EXPECT_STREQ(to_string(BdiScheme::Raw), "raw");
+  EXPECT_STREQ(to_string(BdiScheme::Base4Delta2), "b4d2");
+}
+
+// Property: round trip holds for every generated pattern family.
+class BdiRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BdiRoundTrip, AlwaysLossless) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> line(64);
+    const auto family = rng.below(6);
+    switch (family) {
+      case 0:  // zeros with occasional one-bit noise
+        for (auto& b : line) b = rng.chance(0.02) ? 1 : 0;
+        break;
+      case 1: {  // repeated word
+        const std::uint64_t w = rng.next();
+        for (int i = 0; i < 8; ++i) std::memcpy(line.data() + i * 8, &w, 8);
+        break;
+      }
+      case 2: {  // base + small deltas
+        const std::uint64_t base = rng.next();
+        for (int i = 0; i < 8; ++i) {
+          const std::uint64_t w = base + rng.below(200) - 100;
+          std::memcpy(line.data() + i * 8, &w, 8);
+        }
+        break;
+      }
+      case 3: {  // 32-bit values
+        for (int i = 0; i < 16; ++i) {
+          const auto w = static_cast<std::uint32_t>(1000 + rng.below(60000));
+          std::memcpy(line.data() + i * 4, &w, 4);
+        }
+        break;
+      }
+      case 4:  // pure random
+        for (auto& b : line) b = static_cast<std::uint8_t>(rng.below(256));
+        break;
+      case 5: {  // 16-bit samples (sensor data)
+        for (int i = 0; i < 32; ++i) {
+          const auto w = static_cast<std::uint16_t>(2048 + rng.below(64));
+          std::memcpy(line.data() + i * 2, &w, 2);
+        }
+        break;
+      }
+    }
+    const auto enc = bdi_compress(line);
+    ASSERT_LE(enc.size(), 65u);
+    const auto dec = bdi_decompress(enc.bytes, 64);
+    ASSERT_EQ(dec, line) << "family " << family << " trial " << trial
+                         << " scheme " << to_string(enc.scheme);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BdiRoundTrip,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(Bdi, TypicalWorkloadRatiosOrdered) {
+  // Zeros > repeated > pointer-ish > random, in compression ratio.
+  std::vector<std::uint8_t> zeros(64, 0);
+  const auto repeated = from_words({7, 7, 7, 7, 7, 7, 7, 7});
+  const auto pointers = from_words({4096, 4104, 4112, 4120, 4128, 4136, 4144,
+                                    4152});
+  Rng rng(3);
+  std::vector<std::uint8_t> random(64);
+  for (auto& b : random) b = static_cast<std::uint8_t>(rng.below(256));
+  EXPECT_GT(bdi_ratio(zeros), bdi_ratio(repeated));
+  EXPECT_GT(bdi_ratio(repeated), bdi_ratio(pointers));
+  EXPECT_GT(bdi_ratio(pointers), bdi_ratio(random));
+  EXPECT_LE(bdi_ratio(random), 1.0);
+}
+
+}  // namespace
+}  // namespace arch21::mem

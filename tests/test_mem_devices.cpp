@@ -1,0 +1,230 @@
+// Tests for the device models: DRAM row-buffer behaviour, NVM endurance
+// and wear, Start-Gap wear leveling, and the hybrid migration manager.
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hpp"
+#include "mem/hybrid.hpp"
+#include "mem/nvm.hpp"
+#include "mem/wear_leveling.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::mem {
+namespace {
+
+TEST(Dram, RowHitsAreFastAndCheap) {
+  Dram d(DramConfig{});
+  const auto miss = d.access(0, false);
+  EXPECT_FALSE(miss.row_hit);
+  const auto hit = d.access(8, false);
+  EXPECT_TRUE(hit.row_hit);
+  EXPECT_LT(hit.latency_ns, miss.latency_ns);
+  EXPECT_LT(hit.energy_j, miss.energy_j);
+  EXPECT_DOUBLE_EQ(d.row_hit_rate(), 0.5);
+}
+
+TEST(Dram, RowConflictPaysPrecharge) {
+  DramConfig cfg;
+  Dram d(cfg);
+  d.access(0, false);                      // opens row 0 in bank 0
+  const auto conflict =
+      d.access(cfg.row_bytes * cfg.banks, false);  // row `banks` -> bank 0
+  EXPECT_FALSE(conflict.row_hit);
+  // Closed-bank first activate costs rcd+cas; conflict adds rp.
+  EXPECT_NEAR(conflict.latency_ns, cfg.t_rp_ns + cfg.t_rcd_ns + cfg.t_cas_ns,
+              1e-9);
+}
+
+TEST(Dram, BanksInterleaveIndependently) {
+  DramConfig cfg;
+  Dram d(cfg);
+  d.access(0, false);                  // bank 0
+  d.access(cfg.row_bytes, false);      // bank 1
+  const auto back = d.access(8, false);  // bank 0, row still open
+  EXPECT_TRUE(back.row_hit);
+}
+
+TEST(Dram, StreamingHasHighRowHitRate) {
+  Dram d(DramConfig{});
+  for (Addr a = 0; a < 1 << 20; a += 8) d.access(a, false);
+  EXPECT_GT(d.row_hit_rate(), 0.99);
+  Dram r(DramConfig{});
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) r.access(rng.below(1ull << 32), false);
+  EXPECT_LT(r.row_hit_rate(), 0.05);
+}
+
+TEST(Nvm, AsymmetricCosts) {
+  NvmDevice n(NvmConfig{});
+  const auto rd = n.read(0);
+  const auto wr = n.write(0);
+  EXPECT_GT(wr.latency_ns, rd.latency_ns);
+  EXPECT_GT(wr.energy_j, rd.energy_j);
+}
+
+TEST(Nvm, EnduranceExhaustionFlagsFailure) {
+  NvmConfig cfg;
+  cfg.lines = 16;
+  cfg.mean_endurance = 100;  // tiny for the test
+  cfg.endurance_shape = 20;  // low variance
+  NvmDevice n(cfg);
+  bool failed = false;
+  for (int i = 0; i < 200 && !failed; ++i) {
+    failed = n.write(3).line_failed;
+  }
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(n.failed_lines(), 1u);
+  EXPECT_GT(n.writes_to(3), 50u);
+}
+
+TEST(Nvm, EnduranceVariesAcrossLines) {
+  NvmConfig cfg;
+  cfg.lines = 4096;
+  NvmDevice n(cfg);
+  std::uint64_t mn = UINT64_MAX;
+  std::uint64_t mx = 0;
+  for (std::uint64_t l = 0; l < cfg.lines; ++l) {
+    mn = std::min(mn, n.endurance_of(l));
+    mx = std::max(mx, n.endurance_of(l));
+  }
+  EXPECT_LT(mn, mx);
+  // Both within an order of magnitude of the configured mean.
+  EXPECT_GT(mn, cfg.mean_endurance / 100);
+  EXPECT_LT(mx, cfg.mean_endurance * 10);
+}
+
+TEST(Nvm, OutOfRangeThrows) {
+  NvmConfig cfg;
+  cfg.lines = 8;
+  NvmDevice n(cfg);
+  EXPECT_THROW(n.read(8), std::out_of_range);
+  EXPECT_THROW(n.write(100), std::out_of_range);
+}
+
+TEST(StartGap, MappingIsAPermutation) {
+  NvmConfig cfg;
+  cfg.lines = 257;
+  NvmDevice dev(cfg);
+  StartGap sg(dev, 4);
+  // Hammer one line to force many gap moves.
+  for (int i = 0; i < 5000; ++i) sg.write(0);
+  EXPECT_GT(sg.gap_moves(), 1000u);
+  std::vector<bool> seen(cfg.lines, false);
+  for (std::uint64_t l = 0; l < sg.logical_lines(); ++l) {
+    const auto p = sg.map(l);
+    ASSERT_LT(p, cfg.lines);
+    ASSERT_FALSE(seen[p]) << "duplicate physical slot " << p;
+    seen[p] = true;
+  }
+}
+
+TEST(StartGap, SpreadsHotLineWear) {
+  // A 100% hot-line workload on the raw device puts all wear on one
+  // line; through Start-Gap the same workload spreads across the device.
+  NvmConfig cfg;
+  cfg.lines = 129;
+  cfg.mean_endurance = 1e12;  // never fail during the test
+  const std::uint64_t writes = 100000;
+
+  NvmDevice raw(cfg);
+  for (std::uint64_t i = 0; i < writes; ++i) raw.write(5);
+  EXPECT_EQ(raw.max_wear(), writes);
+
+  NvmDevice leveled(cfg);
+  StartGap sg(leveled, 16);
+  for (std::uint64_t i = 0; i < writes; ++i) sg.write(5);
+  // Max wear should drop by orders of magnitude (the hot line visits
+  // every slot as the gap rotates).
+  EXPECT_LT(leveled.max_wear(), writes / 10);
+  EXPECT_LT(leveled.wear_cv(), raw.wear_cv());
+}
+
+TEST(StartGap, GapMoveOverheadBounded) {
+  NvmConfig cfg;
+  cfg.lines = 65;
+  cfg.mean_endurance = 1e12;
+  NvmDevice dev(cfg);
+  StartGap sg(dev, 100);
+  for (int i = 0; i < 10000; ++i) sg.write(static_cast<std::uint64_t>(i) % 64);
+  // One gap move per 100 writes; each move costs <= 1 extra write.
+  EXPECT_NEAR(static_cast<double>(sg.gap_moves()), 100.0, 2.0);
+  EXPECT_LE(dev.total_writes(), 10000u + sg.gap_moves());
+}
+
+TEST(StartGap, ParameterValidation) {
+  NvmConfig cfg;
+  cfg.lines = 1;
+  NvmDevice tiny(cfg);
+  EXPECT_THROW(StartGap(tiny, 10), std::invalid_argument);
+  cfg.lines = 8;
+  NvmDevice ok(cfg);
+  EXPECT_THROW(StartGap(ok, 0), std::invalid_argument);
+  StartGap sg(ok, 5);
+  EXPECT_THROW(sg.map(7), std::out_of_range);  // 7 logical lines: 0..6
+}
+
+TEST(Hybrid, HotPagePromotedToDram) {
+  Dram dram(DramConfig{});
+  NvmConfig ncfg;
+  ncfg.lines = 1 << 14;
+  NvmDevice nvm(ncfg);
+  HybridMemory hm(dram, nvm, {.page_bytes = 4096, .dram_pages = 8,
+                              .promote_threshold = 4, .epoch_accesses = 1 << 20});
+  const Addr hot = 0x10000;
+  EXPECT_FALSE(hm.in_dram(hot));
+  for (int i = 0; i < 10; ++i) hm.access(hot + (i % 8) * 8, false);
+  EXPECT_TRUE(hm.in_dram(hot));
+  EXPECT_GE(hm.stats().promotions, 1u);
+}
+
+TEST(Hybrid, ColdPagesStayInNvm) {
+  Dram dram(DramConfig{});
+  NvmConfig ncfg;
+  ncfg.lines = 1 << 14;
+  NvmDevice nvm(ncfg);
+  HybridMemory hm(dram, nvm, {.page_bytes = 4096, .dram_pages = 8,
+                              .promote_threshold = 4, .epoch_accesses = 1 << 20});
+  // Touch 100 pages once each: nothing qualifies for promotion.
+  for (int p = 0; p < 100; ++p) hm.access(static_cast<Addr>(p) * 4096, false);
+  EXPECT_EQ(hm.stats().promotions, 0u);
+  EXPECT_EQ(hm.stats().nvm_hits, 100u);
+}
+
+TEST(Hybrid, DemotionMakesRoom) {
+  Dram dram(DramConfig{});
+  NvmConfig ncfg;
+  ncfg.lines = 1 << 14;
+  NvmDevice nvm(ncfg);
+  HybridMemory hm(dram, nvm, {.page_bytes = 4096, .dram_pages = 4,
+                              .promote_threshold = 2, .epoch_accesses = 256});
+  // Promote 10 distinct pages; capacity 4 forces demotions.
+  for (int p = 0; p < 10; ++p) {
+    for (int i = 0; i < 5; ++i) {
+      hm.access(static_cast<Addr>(p) * 4096 + static_cast<Addr>(i) * 64, false);
+    }
+  }
+  EXPECT_LE(hm.dram_resident(), 4u);
+  EXPECT_GT(hm.stats().demotions, 0u);
+}
+
+TEST(Hybrid, SkewedWorkloadMostlyServedFromDram) {
+  Dram dram(DramConfig{});
+  NvmConfig ncfg;
+  ncfg.lines = 1 << 16;
+  NvmDevice nvm(ncfg);
+  HybridMemory hm(dram, nvm, {.page_bytes = 4096, .dram_pages = 32,
+                              .promote_threshold = 4, .epoch_accesses = 8192});
+  Rng rng(6);
+  for (int i = 0; i < 100000; ++i) {
+    // 90% of traffic to 16 hot pages, 10% to a large cold range.
+    const Addr page = rng.chance(0.9) ? rng.below(16)
+                                      : 16 + rng.below(4096);
+    hm.access(page * 4096 + rng.below(512) * 8, rng.chance(0.3));
+  }
+  EXPECT_GT(hm.stats().dram_fraction(), 0.8);
+  // Mean latency far below raw NVM read latency.
+  EXPECT_LT(hm.stats().mean_latency_ns(), NvmConfig{}.read_ns);
+}
+
+}  // namespace
+}  // namespace arch21::mem

@@ -1,0 +1,130 @@
+// Tests for the multi-level hierarchy: service-level attribution, AMAT
+// and energy accounting, and the locality sensitivity that drives the
+// fetch-energy experiment.
+
+#include <gtest/gtest.h>
+
+#include "energy/catalogue.hpp"
+#include "mem/hierarchy.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::mem {
+namespace {
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  energy::Catalogue cat;  // 45nm reference
+  CacheConfig l1{.size_bytes = 4096, .line_bytes = 64, .ways = 4};
+  CacheConfig l2{.size_bytes = 32768, .line_bytes = 64, .ways = 8};
+  CacheConfig llc{.size_bytes = 262144, .line_bytes = 64, .ways = 16};
+};
+
+TEST_F(HierarchyTest, ColdAccessGoesToDram) {
+  Hierarchy h(l1, l2, llc, cat);
+  EXPECT_EQ(h.access(0x10000, false), ServiceLevel::Dram);
+  EXPECT_EQ(h.stats().serviced_at[3], 1u);
+}
+
+TEST_F(HierarchyTest, SecondAccessHitsL1) {
+  Hierarchy h(l1, l2, llc, cat);
+  h.access(0x10000, false);
+  EXPECT_EQ(h.access(0x10000, false), ServiceLevel::L1);
+  EXPECT_EQ(h.access(0x10008, false), ServiceLevel::L1);  // same line
+}
+
+TEST_F(HierarchyTest, L1VictimStillInL2) {
+  Hierarchy h(l1, l2, llc, cat);
+  // Touch enough distinct lines to overflow L1 (64 lines) but not L2.
+  for (Addr a = 0; a < 4096 * 4; a += 64) h.access(a, false);
+  // Line 0 was evicted from L1 but should be served by L2.
+  const auto lvl = h.access(0, false);
+  EXPECT_EQ(lvl, ServiceLevel::L2);
+}
+
+TEST_F(HierarchyTest, AmatBetweenL1AndDramLatency) {
+  Hierarchy h(l1, l2, llc, cat);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    h.access(rng.below(1 << 22), false);
+  }
+  const double amat = h.stats().amat_cycles();
+  HierarchyLatency lat;
+  EXPECT_GE(amat, static_cast<double>(lat.l1));
+  EXPECT_LE(amat,
+            static_cast<double>(lat.l1 + lat.l2 + lat.llc + lat.dram));
+}
+
+TEST_F(HierarchyTest, SequentialBeatsRandomOnEnergy) {
+  Hierarchy seq(l1, l2, llc, cat);
+  Hierarchy rnd(l1, l2, llc, cat);
+  Rng rng(4);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    seq.access(static_cast<Addr>(i) * 8 % (1 << 18), false);  // streaming
+    rnd.access(rng.below(1 << 26), false);                    // random
+  }
+  EXPECT_LT(seq.stats().energy_per_access(), rnd.stats().energy_per_access());
+  EXPECT_LT(seq.stats().amat_cycles(), rnd.stats().amat_cycles());
+}
+
+TEST_F(HierarchyTest, EnergyPerAccessBracketedByLevels) {
+  Hierarchy h(l1, l2, llc, cat);
+  for (int i = 0; i < 1000; ++i) h.access(0x40, false);
+  // Nearly all L1 hits: energy/access close to the L1 access energy.
+  EXPECT_LT(h.stats().energy_per_access(),
+            2.0 * cat.access(energy::Level::L1));
+  EXPECT_GE(h.stats().energy_per_access(), cat.access(energy::Level::L1));
+}
+
+TEST_F(HierarchyTest, FetchToComputeRatioMatchesPaperClaim) {
+  // E6 core assertion: operand fetch from LLC/DRAM costs one to two
+  // orders of magnitude more than the FMA itself.
+  EXPECT_GT(cat.fetch_to_compute_ratio(energy::Level::Dram), 10.0);
+  EXPECT_LT(cat.fetch_to_compute_ratio(energy::Level::Dram), 200.0);
+  EXPECT_GT(cat.fetch_to_compute_ratio(energy::Level::LLC), 10.0);
+  EXPECT_LT(cat.fetch_to_compute_ratio(energy::Level::RegisterFile), 1.0);
+}
+
+TEST_F(HierarchyTest, ResetStatsClearsEverything) {
+  Hierarchy h(l1, l2, llc, cat);
+  h.access(0x1234, true);
+  h.reset_stats();
+  EXPECT_EQ(h.stats().accesses, 0u);
+  EXPECT_EQ(h.l1().stats().accesses, 0u);
+  EXPECT_EQ(h.stats().total_energy_j, 0.0);
+}
+
+TEST_F(HierarchyTest, WritebackTrafficCounted) {
+  Hierarchy h(l1, l2, llc, cat);
+  // Dirty many lines, then stream far past every capacity so the dirty
+  // lines eventually wash out of the LLC.
+  for (Addr a = 0; a < 262144; a += 64) h.access(a, true);
+  for (Addr a = 1 << 22; a < (1 << 22) + 2 * 262144; a += 64) {
+    h.access(a, false);
+  }
+  EXPECT_GT(h.stats().writebacks_to_dram, 0u);
+}
+
+TEST(HierarchyEnergy, NewerNodeCheaper) {
+  const energy::Catalogue c45(*tech::find_node("45nm"));
+  const energy::Catalogue c22(*tech::find_node("22nm"));
+  EXPECT_LT(c22.fp_fma(), c45.fp_fma());
+  EXPECT_LT(c22.access(energy::Level::L1), c45.access(energy::Level::L1));
+  // DRAM improves more slowly (I/O-bound): ratio closer to 1.
+  const double logic_ratio = c22.fp_fma() / c45.fp_fma();
+  const double dram_ratio =
+      c22.access(energy::Level::Dram) / c45.access(energy::Level::Dram);
+  EXPECT_GT(dram_ratio, logic_ratio);
+}
+
+TEST(HierarchyEnergy, LevelsOrderedByEnergy) {
+  const energy::Catalogue cat;
+  using energy::Level;
+  EXPECT_LT(cat.access(Level::RegisterFile), cat.access(Level::L1));
+  EXPECT_LT(cat.access(Level::L1), cat.access(Level::L2));
+  EXPECT_LT(cat.access(Level::L2), cat.access(Level::LLC));
+  EXPECT_LT(cat.access(Level::LLC), cat.access(Level::Dram));
+}
+
+}  // namespace
+}  // namespace arch21::mem

@@ -1,0 +1,146 @@
+// Tests for the memory-controller scheduler (FCFS vs FR-FCFS) and the
+// collective-communication cost models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mem/memctrl.hpp"
+#include "par/collective.hpp"
+#include "util/rng.hpp"
+
+namespace arch21 {
+namespace {
+
+using namespace mem;
+
+TEST(MemCtrl, EmptyBatch) {
+  const auto s = drain_batch({}, MemSchedule::Fcfs);
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_EQ(s.total_time_ns, 0.0);
+}
+
+TEST(MemCtrl, SingleStreamBothPoliciesEqual) {
+  // One sequential stream: already row-friendly, nothing to reorder.
+  std::vector<MemRequest> batch;
+  for (int i = 0; i < 500; ++i) {
+    batch.push_back({static_cast<Addr>(i) * 64, false,
+                     static_cast<std::uint64_t>(i)});
+  }
+  const auto fcfs = drain_batch(batch, MemSchedule::Fcfs);
+  const auto fr = drain_batch(batch, MemSchedule::FrFcfs);
+  EXPECT_EQ(fcfs.row_hits, fr.row_hits);
+  EXPECT_DOUBLE_EQ(fcfs.total_time_ns, fr.total_time_ns);
+  EXPECT_GT(fcfs.row_hit_rate(), 0.99);
+}
+
+TEST(MemCtrl, FrFcfsRescuesInterleavedStreams) {
+  DramConfig cfg;
+  const auto batch = make_interleaved_streams(8, 64, 64, cfg.row_bytes);
+  const auto fcfs = drain_batch(batch, MemSchedule::Fcfs, cfg, 16);
+  const auto fr = drain_batch(batch, MemSchedule::FrFcfs, cfg, 16);
+  // Interleaving thrashes the row buffer under FCFS; FR-FCFS recovers.
+  EXPECT_LT(fcfs.row_hit_rate(), 0.2);
+  EXPECT_GT(fr.row_hit_rate(), 0.7);
+  EXPECT_LT(fr.total_time_ns, fcfs.total_time_ns * 0.7);
+  EXPECT_GT(fr.throughput_gbs(), fcfs.throughput_gbs());
+}
+
+TEST(MemCtrl, ReorderingCostsWorstCaseLatency) {
+  // Fairness: FR-FCFS may starve row-miss requests within the window,
+  // but the drain-completion bound still holds.
+  DramConfig cfg;
+  const auto batch = make_interleaved_streams(4, 64, 64, cfg.row_bytes);
+  const auto fcfs = drain_batch(batch, MemSchedule::Fcfs, cfg, 32);
+  const auto fr = drain_batch(batch, MemSchedule::FrFcfs, cfg, 32);
+  EXPECT_LE(fr.max_latency_ns, fr.total_time_ns + 1e-9);
+  EXPECT_LE(fcfs.max_latency_ns, fcfs.total_time_ns + 1e-9);
+  // Mean latency improves with the faster drain.
+  EXPECT_LT(fr.mean_latency_ns, fcfs.mean_latency_ns);
+}
+
+TEST(MemCtrl, WindowOfOneDegeneratesToFcfs) {
+  DramConfig cfg;
+  const auto batch = make_interleaved_streams(8, 32, 64, cfg.row_bytes);
+  const auto fr1 = drain_batch(batch, MemSchedule::FrFcfs, cfg, 1);
+  const auto fcfs = drain_batch(batch, MemSchedule::Fcfs, cfg, 1);
+  EXPECT_EQ(fr1.row_hits, fcfs.row_hits);
+  EXPECT_DOUBLE_EQ(fr1.total_time_ns, fcfs.total_time_ns);
+}
+
+TEST(MemCtrl, BiggerWindowHelpsMore) {
+  DramConfig cfg;
+  const auto batch = make_interleaved_streams(16, 64, 64, cfg.row_bytes);
+  const auto w4 = drain_batch(batch, MemSchedule::FrFcfs, cfg, 4);
+  const auto w32 = drain_batch(batch, MemSchedule::FrFcfs, cfg, 32);
+  EXPECT_GE(w32.row_hits, w4.row_hits);
+}
+
+TEST(MemCtrl, Names) {
+  EXPECT_STREQ(to_string(MemSchedule::Fcfs), "fcfs");
+  EXPECT_STREQ(to_string(MemSchedule::FrFcfs), "fr-fcfs");
+}
+
+using namespace par;
+
+TEST(Collective, SingleRankIsFree) {
+  AlphaBeta m;
+  EXPECT_EQ(bcast_tree_s(m, 1, 1e6), 0.0);
+  EXPECT_EQ(allreduce_ring_s(m, 1, 1e6), 0.0);
+  EXPECT_EQ(allgather_ring_s(m, 1, 1e6), 0.0);
+}
+
+TEST(Collective, TreeCostsLogSteps) {
+  AlphaBeta m{.alpha_s = 1e-6, .beta_s_per_b = 0, .gamma_s_per_b = 0};
+  EXPECT_NEAR(bcast_tree_s(m, 8, 0), 3e-6, 1e-15);
+  EXPECT_NEAR(bcast_tree_s(m, 9, 0), 4e-6, 1e-15);   // ceil(log2 9) = 4
+  EXPECT_NEAR(bcast_tree_s(m, 1024, 0), 10e-6, 1e-15);
+}
+
+TEST(Collective, RingIsBandwidthOptimal) {
+  // For huge messages the ring moves ~2n bytes regardless of P; the tree
+  // moves 2n log2(P).
+  AlphaBeta m;
+  const unsigned p = 64;
+  const double n = 1e9;
+  const double ring = allreduce_ring_s(m, p, n);
+  const double tree = allreduce_tree_s(m, p, n);
+  EXPECT_LT(ring, tree / 4);
+  // Ring beta term approaches 2 n beta.
+  EXPECT_NEAR(ring, 2 * n * m.beta_s_per_b, ring * 0.2);
+}
+
+TEST(Collective, TreeWinsSmallMessages) {
+  AlphaBeta m;
+  const unsigned p = 64;
+  EXPECT_LT(allreduce_tree_s(m, p, 8), allreduce_ring_s(m, p, 8));
+}
+
+TEST(Collective, CrossoverIsConsistent) {
+  AlphaBeta m;
+  for (unsigned p : {16u, 64u, 256u}) {
+    const double x = allreduce_crossover_bytes(m, p);
+    ASSERT_TRUE(std::isfinite(x));
+    ASSERT_GT(x, 0.0);
+    EXPECT_LT(allreduce_tree_s(m, p, x * 0.5), allreduce_ring_s(m, p, x * 0.5));
+    EXPECT_GT(allreduce_tree_s(m, p, x * 2.0), allreduce_ring_s(m, p, x * 2.0));
+  }
+}
+
+TEST(Collective, CrossoverGrowsWithRanks) {
+  // More ranks = more ring latency steps = bigger messages needed.
+  AlphaBeta m;
+  EXPECT_LT(allreduce_crossover_bytes(m, 16),
+            allreduce_crossover_bytes(m, 256));
+}
+
+TEST(Collective, CostsMonotoneInSizeAndRanks) {
+  AlphaBeta m;
+  EXPECT_LT(allgather_ring_s(m, 8, 1e3), allgather_ring_s(m, 8, 1e6));
+  EXPECT_LT(allreduce_tree_s(m, 8, 1e6), allreduce_tree_s(m, 64, 1e6));
+  EXPECT_THROW(bcast_tree_s(m, 0, 10), std::invalid_argument);
+  EXPECT_THROW(bcast_tree_s(m, 4, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arch21

@@ -1,0 +1,166 @@
+// Tests for the interconnect models: mesh geometry/cost, link-technology
+// crossovers, 3D stacking, and Rent's-rule projection.
+
+#include <gtest/gtest.h>
+
+#include "noc/link.hpp"
+#include "noc/mesh.hpp"
+#include "noc/rent.hpp"
+#include "noc/stacking.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::noc {
+namespace {
+
+TEST(Mesh, CoordinateMapping) {
+  Mesh m(MeshConfig{.width = 4, .height = 3});
+  EXPECT_EQ(m.nodes(), 12u);
+  EXPECT_EQ(m.coord_of(0).x, 0u);
+  EXPECT_EQ(m.coord_of(5).x, 1u);
+  EXPECT_EQ(m.coord_of(5).y, 1u);
+  EXPECT_EQ(m.node_of({3, 2}), 11u);
+  EXPECT_THROW(m.coord_of(12), std::out_of_range);
+  EXPECT_THROW(m.node_of({4, 0}), std::out_of_range);
+}
+
+TEST(Mesh, HopsAreManhattan) {
+  Mesh m(MeshConfig{.width = 8, .height = 8});
+  EXPECT_EQ(m.hops(0, 0), 0u);
+  EXPECT_EQ(m.hops(0, 7), 7u);
+  EXPECT_EQ(m.hops(0, 63), 14u);
+  EXPECT_EQ(m.hops(9, 18), m.hops(18, 9));  // symmetric
+}
+
+TEST(Mesh, SendCostScalesWithDistanceAndSize) {
+  Mesh m(MeshConfig{});
+  const auto near = m.send(0, 1, 64);
+  const auto far = m.send(0, 63, 64);
+  EXPECT_LT(near.latency_s, far.latency_s);
+  EXPECT_LT(near.energy_j, far.energy_j);
+  const auto big = m.send(0, 1, 4096);
+  EXPECT_GT(big.latency_s, near.latency_s);
+  EXPECT_NEAR(big.energy_j / near.energy_j, 64.0, 1e-6);
+}
+
+TEST(Mesh, LocalDeliveryCostsNoLinkEnergy) {
+  Mesh m(MeshConfig{});
+  const auto self = m.send(5, 5, 64);
+  EXPECT_EQ(self.hops, 0u);
+  EXPECT_EQ(self.energy_j, 0.0);
+}
+
+TEST(Mesh, MeanUniformHopsMatchesMonteCarlo) {
+  Mesh m(MeshConfig{.width = 8, .height = 8});
+  Rng rng(12);
+  double acc = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    acc += m.hops(static_cast<std::uint32_t>(rng.below(64)),
+                  static_cast<std::uint32_t>(rng.below(64)));
+  }
+  EXPECT_NEAR(acc / trials, m.mean_uniform_hops(), 0.02);
+}
+
+TEST(Mesh, BiggerMeshCostsMoreEnergyPerBit) {
+  Mesh small(MeshConfig{.width = 4, .height = 4});
+  Mesh large(MeshConfig{.width = 32, .height = 32});
+  EXPECT_GT(large.mean_energy_per_bit(), small.mean_energy_per_bit());
+  EXPECT_GT(large.bisection_bw_bps(), small.bisection_bw_bps());
+}
+
+TEST(Mesh, BadConfigThrows) {
+  EXPECT_THROW(Mesh(MeshConfig{.width = 0}), std::invalid_argument);
+}
+
+TEST(Link, EffectiveEnergyFallsWithUtilizationWhenFixedPower) {
+  const auto cat = link_catalog();
+  const auto* photonic = &cat[3];
+  ASSERT_EQ(photonic->name, "photonic");
+  EXPECT_GT(photonic->effective_j_per_bit(0.01),
+            photonic->effective_j_per_bit(0.9));
+  // A link with no fixed power is utilization-independent.
+  const auto* tsv = &cat[1];
+  ASSERT_EQ(tsv->name, "tsv-3d");
+  EXPECT_DOUBLE_EQ(tsv->effective_j_per_bit(0.01),
+                   tsv->effective_j_per_bit(0.9));
+}
+
+TEST(Link, PhotonicBeatsSerdesAtHighUtilization) {
+  const auto cat = link_catalog();
+  const auto& serdes = cat[2];
+  const auto& photonic = cat[3];
+  EXPECT_LT(photonic.effective_j_per_bit(0.9),
+            serdes.effective_j_per_bit(0.9));
+  // At very low utilization the laser's fixed power dominates.
+  EXPECT_GT(photonic.effective_j_per_bit(1e-4),
+            serdes.effective_j_per_bit(1e-4));
+  // So there is a crossover strictly inside (0, 1).
+  const double x = crossover_utilization(photonic, serdes);
+  EXPECT_GT(x, 0.0);
+  EXPECT_LT(x, 1.0);
+}
+
+TEST(Link, CrossoverDegenerateCases) {
+  const auto cat = link_catalog();
+  const auto& tsv = cat[1];
+  const auto& dram = cat[4];
+  // TSV is always cheaper than the DRAM bus.
+  EXPECT_LT(crossover_utilization(tsv, dram), 0.0);
+  EXPECT_GT(crossover_utilization(dram, tsv), 1.0);
+}
+
+TEST(Link, TransferTimeHasLatencyAndSerialization) {
+  LinkTech l{.name = "x", .bandwidth_gbps = 8, .latency_ns = 100,
+             .e_per_bit_pj = 1, .fixed_power_w = 0, .reach_mm = 10};
+  // 8 Gbit at 8 Gbps = 1 s (+100 ns latency).
+  EXPECT_NEAR(l.transfer_time_s(8e9), 1.0 + 100e-9, 1e-9);
+}
+
+TEST(Link, BadUtilizationThrows) {
+  const auto cat = link_catalog();
+  EXPECT_THROW(cat[0].effective_j_per_bit(0.0), std::invalid_argument);
+  EXPECT_THROW(cat[0].effective_j_per_bit(1.5), std::invalid_argument);
+}
+
+TEST(Stacking, StackedBeatsOffChipOnBandwidthAndEnergy) {
+  StackConfig cfg;
+  const auto stacked = evaluate_stack(cfg);
+  cfg.dram_layers = 0;
+  const auto off = evaluate_stack(cfg);
+  EXPECT_GT(stacked.bandwidth_gbs / off.bandwidth_gbs, 5.0);
+  EXPECT_LT(stacked.energy_pj_bit / off.energy_pj_bit, 0.5);
+}
+
+TEST(Stacking, ThermalTaxGrowsWithLayers) {
+  const auto rows = stacking_sweep(StackConfig{}, 8);
+  ASSERT_EQ(rows.size(), 9u);
+  for (std::size_t i = 2; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i].logic_power_cap_w, rows[i - 1].logic_power_cap_w);
+    EXPECT_GT(rows[i].capacity_factor, rows[i - 1].capacity_factor);
+  }
+  // The unstacked baseline keeps its full TDP.
+  EXPECT_DOUBLE_EQ(rows[0].logic_power_cap_w, StackConfig{}.logic_tdp_w);
+}
+
+TEST(Rent, TerminalsSublinearInGates) {
+  RentParams rp{.t = 5.0, .p = 0.6};
+  EXPECT_NEAR(rent_terminals(rp, 1.0), 5.0, 1e-12);
+  // Doubling gates multiplies pins by 2^0.6 ~ 1.52, not 2.
+  const double r = rent_terminals(rp, 2e6) / rent_terminals(rp, 1e6);
+  EXPECT_NEAR(r, std::pow(2.0, 0.6), 1e-9);
+  EXPECT_THROW(rent_terminals(rp, 0.0), std::invalid_argument);
+}
+
+TEST(Rent, BandwidthWallWidens) {
+  const auto rows = bandwidth_wall({.t = 5, .p = 0.6}, 1e8, 8, 1.15);
+  ASSERT_EQ(rows.size(), 9u);
+  EXPECT_NEAR(rows[0].gap, 1.0, 1e-9);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].gap, rows[i - 1].gap);
+  }
+  // After 8 generations of 2x gates, demand/supply gap is severe.
+  EXPECT_GT(rows.back().gap, 2.0);
+}
+
+}  // namespace
+}  // namespace arch21::noc

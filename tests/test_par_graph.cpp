@@ -1,0 +1,142 @@
+// Tests for task graphs: construction, topological ordering, cycle
+// detection, critical paths, and the generator shapes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "par/taskgraph.hpp"
+
+namespace arch21::par {
+namespace {
+
+TEST(TaskGraph, AddAndQuery) {
+  TaskGraph g;
+  const auto a = g.add(10, 100);
+  const auto b = g.add(20);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.task(a).succ.size(), 1u);
+  EXPECT_EQ(g.task(b).pred.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.total_work(), 30.0);
+  EXPECT_DOUBLE_EQ(g.total_edge_bytes(), 100.0);
+}
+
+TEST(TaskGraph, EdgeValidation) {
+  TaskGraph g;
+  const auto a = g.add(1);
+  EXPECT_THROW(g.add_edge(a, a), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, 99), std::invalid_argument);
+}
+
+TEST(TaskGraph, TopoOrderRespectsEdges) {
+  TaskGraph g;
+  const auto a = g.add(1);
+  const auto b = g.add(1);
+  const auto c = g.add(1);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  const auto order = g.topo_order();
+  ASSERT_EQ(order.size(), 3u);
+  const auto pos = [&](TaskId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(c));
+  EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(TaskGraph, CycleDetected) {
+  TaskGraph g;
+  const auto a = g.add(1);
+  const auto b = g.add(1);
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_THROW(g.topo_order(), std::logic_error);
+  EXPECT_THROW(g.critical_path(), std::logic_error);
+}
+
+TEST(TaskGraph, CriticalPathHandComputed) {
+  // Diamond: a(5) -> {b(10), c(3)} -> d(2).  CP = 5 + 10 + 2 = 17.
+  TaskGraph g;
+  const auto a = g.add(5);
+  const auto b = g.add(10);
+  const auto c = g.add(3);
+  const auto d = g.add(2);
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  EXPECT_DOUBLE_EQ(g.critical_path(), 17.0);
+  EXPECT_DOUBLE_EQ(g.total_work(), 20.0);
+  EXPECT_NEAR(g.inherent_parallelism(), 20.0 / 17.0, 1e-12);
+}
+
+TEST(TaskGraph, DisconnectedComponents) {
+  TaskGraph g;
+  g.add(7);
+  g.add(9);
+  EXPECT_DOUBLE_EQ(g.critical_path(), 9.0);
+  EXPECT_EQ(g.topo_order().size(), 2u);
+}
+
+TEST(Generators, ForkJoinShape) {
+  const auto g = make_fork_join(8, 10.0, 64.0);
+  EXPECT_EQ(g.size(), 10u);  // src + 8 + sink
+  // CP = src + one worker + sink.
+  EXPECT_DOUBLE_EQ(g.critical_path(), 30.0);
+  EXPECT_DOUBLE_EQ(g.total_work(), 100.0);
+  // 8 edges out of src + 8 into sink.
+  EXPECT_DOUBLE_EQ(g.total_edge_bytes(), 16 * 64.0);
+  EXPECT_NEAR(g.inherent_parallelism(), 100.0 / 30.0, 1e-12);
+}
+
+TEST(Generators, LayeredShapeAndDeterminism) {
+  const auto g1 = make_layered(5, 10, 2, 100.0, 32.0, 99);
+  const auto g2 = make_layered(5, 10, 2, 100.0, 32.0, 99);
+  EXPECT_EQ(g1.size(), 50u);
+  EXPECT_EQ(g2.size(), 50u);
+  EXPECT_DOUBLE_EQ(g1.total_work(), g2.total_work());  // same seed
+  const auto g3 = make_layered(5, 10, 2, 100.0, 32.0, 100);
+  EXPECT_NE(g1.total_work(), g3.total_work());  // different seed jitter
+  // Critical path spans at least all layers of min work.
+  EXPECT_GE(g1.critical_path(), 5 * 70.0);
+  EXPECT_THROW(make_layered(0, 4, 1, 1, 0, 1), std::invalid_argument);
+}
+
+TEST(Generators, LayeredFanInBounded) {
+  const auto g = make_layered(3, 4, 2, 10, 1, 7);
+  for (TaskId i = 0; i < g.size(); ++i) {
+    EXPECT_LE(g.task(i).pred.size(), 2u);
+    // No duplicate predecessors.
+    auto preds = g.task(i).pred;
+    std::sort(preds.begin(), preds.end());
+    EXPECT_EQ(std::adjacent_find(preds.begin(), preds.end()), preds.end());
+  }
+}
+
+TEST(Generators, WavefrontDependencies) {
+  const auto g = make_wavefront(4, 5, 2.0, 8.0);
+  EXPECT_EQ(g.size(), 20u);
+  // Task (0,0) has no preds; (3,4) has two.
+  EXPECT_TRUE(g.task(0).pred.empty());
+  EXPECT_EQ(g.task(19).pred.size(), 2u);
+  // CP walks rows+cols-1 cells.
+  EXPECT_DOUBLE_EQ(g.critical_path(), (4 + 5 - 1) * 2.0);
+  // Inherent parallelism bounded by min(rows, cols) for a wavefront.
+  EXPECT_LE(g.inherent_parallelism(), 4.0 + 1e-12);
+}
+
+TEST(Generators, MapReduceShape) {
+  const auto g = make_map_reduce(6, 3, 10.0, 5.0, 128.0);
+  EXPECT_EQ(g.size(), 10u);  // 6 + 3 + merge
+  // Every reducer depends on every mapper.
+  for (TaskId r = 6; r < 9; ++r) {
+    EXPECT_EQ(g.task(r).pred.size(), 6u);
+  }
+  // Merge depends on all reducers.
+  EXPECT_EQ(g.task(9).pred.size(), 3u);
+  EXPECT_DOUBLE_EQ(g.critical_path(), 10.0 + 5.0 + 5.0);
+}
+
+}  // namespace
+}  // namespace arch21::par

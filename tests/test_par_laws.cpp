@@ -1,0 +1,128 @@
+// Tests for the speedup laws: Amdahl/Gustafson limits and the Hill-Marty
+// multicore-era family, including the relationships the original paper
+// proves (dynamic >= asymmetric >= symmetric, convergence to Amdahl).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "par/laws.hpp"
+
+namespace arch21::par {
+namespace {
+
+TEST(Amdahl, KnownValuesAndLimits) {
+  EXPECT_DOUBLE_EQ(amdahl_speedup(0.0, 64), 1.0);     // all serial
+  EXPECT_DOUBLE_EQ(amdahl_speedup(1.0, 64), 64.0);    // all parallel
+  EXPECT_NEAR(amdahl_speedup(0.5, 1e12), 2.0, 1e-6);  // 1/(1-f) ceiling
+  EXPECT_NEAR(amdahl_speedup(0.9, 10), 1.0 / (0.1 + 0.09), 1e-12);
+}
+
+TEST(Amdahl, MonotoneInPAndF) {
+  double prev = 0;
+  for (double p = 1; p <= 1024; p *= 2) {
+    const double s = amdahl_speedup(0.95, p);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  EXPECT_LT(amdahl_speedup(0.5, 64), amdahl_speedup(0.9, 64));
+  EXPECT_THROW(amdahl_speedup(1.1, 2), std::invalid_argument);
+  EXPECT_THROW(amdahl_speedup(0.5, 0.5), std::invalid_argument);
+}
+
+TEST(Gustafson, ScaledSpeedupLinearInP) {
+  EXPECT_DOUBLE_EQ(gustafson_speedup(1.0, 100), 100.0);
+  EXPECT_DOUBLE_EQ(gustafson_speedup(0.0, 100), 1.0);
+  EXPECT_NEAR(gustafson_speedup(0.9, 100), 0.1 + 90.0, 1e-12);
+  // Gustafson always >= Amdahl for same f, p.
+  for (double f : {0.5, 0.9, 0.99}) {
+    EXPECT_GE(gustafson_speedup(f, 256), amdahl_speedup(f, 256));
+  }
+}
+
+TEST(HillMarty, SymmetricWithUnitCoresIsAmdahl) {
+  for (double f : {0.5, 0.9, 0.99}) {
+    for (double n : {16.0, 64.0, 256.0}) {
+      EXPECT_NEAR(hm_symmetric(f, n, 1), amdahl_speedup(f, n), 1e-9);
+    }
+  }
+}
+
+TEST(HillMarty, SingleBigCoreIsPollack) {
+  // r = n: one core, speedup = sqrt(n) regardless of f.
+  EXPECT_NEAR(hm_symmetric(0.5, 64, 64), 8.0, 1e-9);
+  EXPECT_NEAR(hm_symmetric(0.99, 64, 64), 8.0, 1e-9);
+}
+
+TEST(HillMarty, DynamicDominatesAsymmetricDominatesSymmetric) {
+  for (double f : {0.5, 0.9, 0.975, 0.99, 0.999}) {
+    for (double n : {16.0, 64.0, 256.0, 1024.0}) {
+      const double sym = hm_symmetric_best(f, n).speedup;
+      double asym = 0;
+      for (double r = 1; r <= n; r *= 2) {
+        asym = std::max(asym, hm_asymmetric(f, n, r));
+      }
+      const double dyn = hm_dynamic(f, n);
+      EXPECT_GE(asym, sym - 1e-9) << "f=" << f << " n=" << n;
+      EXPECT_GE(dyn, asym - 1e-9) << "f=" << f << " n=" << n;
+    }
+  }
+}
+
+TEST(HillMarty, BestSymmetricCoreGrowsWithSerialFraction) {
+  // More serial work favors beefier cores.
+  const auto high_f = hm_symmetric_best(0.999, 256);
+  const auto low_f = hm_symmetric_best(0.5, 256);
+  EXPECT_LE(high_f.r, low_f.r);
+  // With f = 0.5, the best organization is nearly one big core.
+  EXPECT_GE(low_f.r, 64);
+}
+
+TEST(HillMarty, CorePerfIsPollack) {
+  EXPECT_DOUBLE_EQ(core_perf(1), 1.0);
+  EXPECT_DOUBLE_EQ(core_perf(16), 4.0);
+  EXPECT_THROW(core_perf(0.5), std::invalid_argument);
+}
+
+TEST(HillMarty, ParameterValidation) {
+  EXPECT_THROW(hm_symmetric(0.9, 16, 32), std::invalid_argument);
+  EXPECT_THROW(hm_symmetric(0.9, 16, 0.5), std::invalid_argument);
+  EXPECT_THROW(hm_asymmetric(2.0, 16, 4), std::invalid_argument);
+  EXPECT_THROW(hm_dynamic(0.9, 0.5), std::invalid_argument);
+}
+
+TEST(HillMarty, SweepRowsConsistent) {
+  const auto rows = hm_sweep(0.99, {16, 64, 256});
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].asymmetric, rows[i].symmetric - 1e-9);
+    EXPECT_GE(rows[i].dynamic, rows[i].asymmetric - 1e-9);
+    if (i > 0) {
+      EXPECT_GT(rows[i].dynamic, rows[i - 1].dynamic);
+    }
+  }
+}
+
+// Property: speedups bounded by both n and the Amdahl ceiling scaled by
+// the biggest core's perf.
+class HmBoundsProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(HmBoundsProperty, SpeedupsWithinTheoreticalBounds) {
+  const double f = GetParam();
+  for (double n : {4.0, 16.0, 64.0, 256.0}) {
+    for (double r = 1; r <= n; r *= 4) {
+      const double s = hm_symmetric(f, n, r);
+      EXPECT_GT(s, 0);
+      EXPECT_LE(s, n + 1e-9);  // can't beat n base-cores of work
+      const double a = hm_asymmetric(f, n, r);
+      EXPECT_LE(a, core_perf(r) + (n - r) + 1e-9);
+    }
+    EXPECT_LE(hm_dynamic(f, n), n + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, HmBoundsProperty,
+                         ::testing::Values(0.1, 0.5, 0.9, 0.99, 0.999));
+
+}  // namespace
+}  // namespace arch21::par

@@ -1,0 +1,118 @@
+// Tests for synchronization cost models and the 1000-way strong-scaling
+// study (E7): speedup shape and the communication-energy crossover.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/catalogue.hpp"
+#include "par/scaling.hpp"
+#include "par/sync.hpp"
+
+namespace arch21::par {
+namespace {
+
+TEST(Barrier, LogarithmicLatency) {
+  BarrierModel b;
+  EXPECT_EQ(b.latency(1), 0.0);
+  EXPECT_GT(b.latency(2), 0.0);
+  // Doubling participants adds one level, not double latency.
+  const double l64 = b.latency(64);
+  const double l128 = b.latency(128);
+  EXPECT_NEAR(l128 - l64, 2.0 * b.hop_latency_s, 1e-15);
+  EXPECT_NEAR(l64, 2.0 * 6.0 * b.hop_latency_s, 1e-15);
+}
+
+TEST(Barrier, LinearEnergy) {
+  BarrierModel b;
+  EXPECT_EQ(b.energy(1), 0.0);
+  EXPECT_NEAR(b.energy(101) / b.energy(51), 2.0, 1e-9);
+}
+
+TEST(Lock, SaturationAtRhoOne) {
+  LockModel l;
+  const double service = l.critical_section_s + l.transfer_s;
+  const double sat_rate = 1.0 / service;
+  EXPECT_LT(l.rho(1, sat_rate * 0.5), 1.0);
+  EXPECT_GE(l.rho(2, sat_rate * 0.6), 1.0);
+  EXPECT_TRUE(std::isinf(l.mean_sojourn(2, sat_rate)));
+}
+
+TEST(Lock, SojournGrowsWithContention) {
+  LockModel l;
+  const double rate = 1e5;  // per-core acquisition rate
+  double prev = 0;
+  for (std::uint32_t p = 1; p <= 16; p *= 2) {
+    const double s = l.mean_sojourn(p, rate);
+    if (std::isinf(s)) break;
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  // Uncontended sojourn ~= service time.
+  EXPECT_NEAR(l.mean_sojourn(1, 1.0),
+              l.critical_section_s + l.transfer_s, 1e-9);
+}
+
+TEST(Atomic, ContentionCostsLineTransfer) {
+  AtomicModel a;
+  EXPECT_GT(a.energy_contended(), a.energy_uncontended());
+  EXPECT_NEAR(a.energy_contended() - a.energy_uncontended(),
+              a.line_transfer_j, 1e-18);
+}
+
+class ScalingTest : public ::testing::Test {
+ protected:
+  energy::Catalogue cat;
+  ScalingWorkload w;
+};
+
+TEST_F(ScalingTest, RowsCoverSquareCounts) {
+  const auto rows = strong_scaling(w, cat, 1024);
+  ASSERT_EQ(rows.size(), 6u);  // 1,4,16,64,256,1024
+  EXPECT_EQ(rows.front().cores, 1u);
+  EXPECT_EQ(rows.back().cores, 1024u);
+}
+
+TEST_F(ScalingTest, SpeedupMonotoneButSublinear) {
+  const auto rows = strong_scaling(w, cat, 1024);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].speedup, rows[i - 1].speedup);
+  }
+  // Parallel efficiency decays: speedup at 1024 clearly below 1024.
+  EXPECT_LT(rows.back().speedup, 1024.0);
+  EXPECT_GT(rows.back().speedup, 32.0);
+}
+
+TEST_F(ScalingTest, CommunicationEnergyFractionGrows) {
+  // The paper's claim: communication energy outgrows computation energy
+  // as parallelism scales.
+  const auto rows = strong_scaling(w, cat, 1024);
+  EXPECT_EQ(rows.front().comm_fraction, 0.0);  // single core: no comm
+  for (std::size_t i = 2; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].comm_fraction, rows[i - 1].comm_fraction);
+  }
+  EXPECT_GT(rows.back().comm_fraction, 0.05);
+}
+
+TEST_F(ScalingTest, ComputeEnergyConstantAcrossScale) {
+  // Same total ops at every scale: compute energy is flat; total
+  // energy/op grows only through communication.
+  const auto rows = strong_scaling(w, cat, 256);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_NEAR(rows[i].compute_energy_j, rows[0].compute_energy_j, 1e-9);
+    EXPECT_GE(rows[i].energy_per_op_j, rows[i - 1].energy_per_op_j - 1e-18);
+  }
+}
+
+TEST_F(ScalingTest, TimeDecomposesSanely) {
+  const auto rows = strong_scaling(w, cat, 64);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.time_s, 0.0);
+    EXPECT_GE(r.compute_energy_j, 0.0);
+    EXPECT_GE(r.comm_energy_j, 0.0);
+    EXPECT_GE(r.sync_energy_j, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace arch21::par

@@ -1,0 +1,163 @@
+// Tests for the schedulers: correctness bounds (critical path <= makespan
+// <= serial time), communication accounting, determinism, and the
+// relationship between list scheduling and work stealing.
+
+#include <gtest/gtest.h>
+
+#include "par/schedule.hpp"
+#include "par/taskgraph.hpp"
+
+namespace arch21::par {
+namespace {
+
+constexpr double kOps = 1e9;  // 1 Gop/s cores
+constexpr double kJop = 1e-12;
+
+CommModel free_comm() { return CommModel::uniform(0.0, 0.0); }
+
+TEST(ListSchedule, SingleTask) {
+  TaskGraph g;
+  g.add(1e9);
+  const auto r = list_schedule(g, CoreModel::homogeneous(4, kOps, kJop),
+                               free_comm());
+  EXPECT_NEAR(r.makespan_s, 1.0, 1e-9);
+  EXPECT_NEAR(r.compute_energy_j, 1e9 * kJop, 1e-15);
+  EXPECT_EQ(r.comm_bytes, 0.0);
+}
+
+TEST(ListSchedule, ChainIsSerial) {
+  TaskGraph g;
+  TaskId prev = g.add(1e8);
+  for (int i = 0; i < 9; ++i) {
+    const TaskId next = g.add(1e8);
+    g.add_edge(prev, next);
+    prev = next;
+  }
+  const auto r = list_schedule(g, CoreModel::homogeneous(8, kOps, kJop),
+                               free_comm());
+  EXPECT_NEAR(r.makespan_s, 1.0, 1e-9);  // no parallelism available
+}
+
+TEST(ListSchedule, IndependentTasksSpread) {
+  TaskGraph g;
+  for (int i = 0; i < 16; ++i) g.add(1e8);
+  const auto r = list_schedule(g, CoreModel::homogeneous(4, kOps, kJop),
+                               free_comm());
+  EXPECT_NEAR(r.makespan_s, 0.4, 1e-9);  // 16 tasks / 4 cores
+  EXPECT_NEAR(r.utilization(), 1.0, 1e-9);
+}
+
+TEST(ListSchedule, MakespanBounds) {
+  const auto g = make_layered(6, 8, 3, 1e7, 1024, 5);
+  const auto cores = CoreModel::homogeneous(4, kOps, kJop);
+  const auto r = list_schedule(g, cores, free_comm());
+  const double cp_time = g.critical_path() / kOps;
+  const double serial_time = g.total_work() / kOps;
+  EXPECT_GE(r.makespan_s, cp_time - 1e-12);
+  EXPECT_LE(r.makespan_s, serial_time + 1e-12);
+  // Greedy bound: makespan <= work/P + critical path.
+  EXPECT_LE(r.makespan_s, serial_time / 4 + cp_time + 1e-9);
+}
+
+TEST(ListSchedule, CommunicationChangesPlacement) {
+  // Chain with heavy data: with expensive comm, both tasks co-locate.
+  TaskGraph g;
+  const auto a = g.add(1e8, 1e9);  // 1 GB output
+  const auto b = g.add(1e8);
+  g.add_edge(a, b);
+  const auto cores = CoreModel::homogeneous(4, kOps, kJop);
+  const auto pricey = CommModel::uniform(1e-6, 1e-9);  // 1 us and 1 nJ per byte
+  const auto r = list_schedule(g, cores, pricey);
+  EXPECT_EQ(r.placement[a], r.placement[b]);
+  EXPECT_EQ(r.comm_bytes, 0.0);
+  EXPECT_EQ(r.comm_energy_j, 0.0);
+}
+
+TEST(ListSchedule, CrossCoreEdgesAreCharged) {
+  // Two independent producers feeding one consumer: at least one edge
+  // must cross cores when producers run in parallel.
+  TaskGraph g;
+  const auto a = g.add(1e8, 1000);
+  const auto b = g.add(1e8, 1000);
+  const auto c = g.add(1e8);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  const auto comm = CommModel::uniform(1e-12, 2e-9);
+  const auto r = list_schedule(g, CoreModel::homogeneous(4, kOps, kJop), comm);
+  EXPECT_GE(r.comm_bytes, 1000.0);
+  EXPECT_NEAR(r.comm_energy_j, r.comm_bytes * 2e-9, 1e-12);
+}
+
+TEST(WorkStealing, CompletesAllTasksAndRespectsBounds) {
+  const auto g = make_layered(5, 16, 2, 1e7, 256, 11);
+  const auto cores = CoreModel::homogeneous(8, kOps, kJop);
+  const auto r = work_stealing_schedule(g, cores, free_comm(), 1e-7, 42);
+  const double cp_time = g.critical_path() / kOps;
+  EXPECT_GE(r.makespan_s, cp_time - 1e-12);
+  // All compute energy accounted.
+  EXPECT_NEAR(r.compute_energy_j, g.total_work() * kJop, 1e-9);
+}
+
+TEST(WorkStealing, DeterministicForSeed) {
+  const auto g = make_layered(4, 12, 2, 1e7, 128, 3);
+  const auto cores = CoreModel::homogeneous(4, kOps, kJop);
+  const auto a = work_stealing_schedule(g, cores, free_comm(), 1e-7, 9);
+  const auto b = work_stealing_schedule(g, cores, free_comm(), 1e-7, 9);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.placement, b.placement);
+}
+
+TEST(WorkStealing, ScalesDownWithMoreCores) {
+  const auto g = make_fork_join(64, 1e8, 64);
+  auto run = [&](std::uint32_t p) {
+    return work_stealing_schedule(g, CoreModel::homogeneous(p, kOps, kJop),
+                                  free_comm(), 1e-7, 5)
+        .makespan_s;
+  };
+  const double t1 = run(1);
+  const double t4 = run(4);
+  const double t16 = run(16);
+  EXPECT_GT(t1 / t4, 2.5);
+  EXPECT_GT(t4 / t16, 2.0);
+}
+
+TEST(WorkStealing, StealLatencySlowsSmallTasks) {
+  const auto g = make_fork_join(64, 1e5, 0);  // tiny tasks
+  const auto cores = CoreModel::homogeneous(8, kOps, kJop);
+  const auto cheap = work_stealing_schedule(g, cores, free_comm(), 1e-9, 7);
+  const auto dear = work_stealing_schedule(g, cores, free_comm(), 1e-4, 7);
+  EXPECT_GT(dear.makespan_s, cheap.makespan_s);
+}
+
+TEST(WorkStealing, SingleCoreEqualsSerial) {
+  const auto g = make_layered(3, 5, 2, 1e7, 64, 2);
+  const auto r = work_stealing_schedule(
+      g, CoreModel::homogeneous(1, kOps, kJop), free_comm(), 1e-7, 1);
+  EXPECT_NEAR(r.makespan_s, g.total_work() / kOps, 1e-6);
+}
+
+TEST(Schedulers, ListBeatsOrMatchesStealingOnStaticGraphs) {
+  // With full knowledge, HEFT-style list scheduling should not lose badly
+  // to randomized stealing on a static DAG.
+  const auto g = make_layered(6, 10, 3, 1e7, 512, 8);
+  const auto cores = CoreModel::homogeneous(4, kOps, kJop);
+  const auto ls = list_schedule(g, cores, free_comm());
+  const auto ws = work_stealing_schedule(g, cores, free_comm(), 1e-7, 3);
+  EXPECT_LE(ls.makespan_s, ws.makespan_s * 1.1);
+}
+
+TEST(CoreModel, Validation) {
+  EXPECT_THROW(CoreModel::homogeneous(0, 1e9, 1e-12), std::invalid_argument);
+  EXPECT_THROW(CoreModel::homogeneous(4, 0, 1e-12), std::invalid_argument);
+}
+
+TEST(ScheduleResult, UtilizationBounded) {
+  const auto g = make_fork_join(10, 1e8, 0);
+  const auto r = list_schedule(g, CoreModel::homogeneous(4, kOps, kJop),
+                               free_comm());
+  EXPECT_GT(r.utilization(), 0.0);
+  EXPECT_LE(r.utilization(), 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace arch21::par

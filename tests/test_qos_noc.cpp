@@ -1,0 +1,84 @@
+// Tests for the QoS colocation model and the loaded-mesh contention
+// extension.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/qos.hpp"
+#include "noc/mesh.hpp"
+
+namespace arch21 {
+namespace {
+
+using namespace cloud;
+
+TEST(Qos, UnloadedLcMeetsSlo) {
+  QosConfig cfg;
+  const auto rows = colocation_sweep(cfg, false, 11);
+  ASSERT_EQ(rows.size(), 11u);
+  EXPECT_TRUE(rows.front().slo_met);  // be = 0
+  EXPECT_LT(rows.front().lc_p99_ms, cfg.slo_p99_ms);
+}
+
+TEST(Qos, SharedInterferenceBreaksSloBeforeFullColocation) {
+  QosConfig cfg;
+  const auto rows = colocation_sweep(cfg, false, 11);
+  EXPECT_FALSE(rows.back().slo_met);  // be = 1.0 under shared resources
+  // p99 is monotone in BE load.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].lc_p99_ms, rows[i - 1].lc_p99_ms);
+  }
+}
+
+TEST(Qos, PartitioningExtendsSafeColocation) {
+  QosConfig cfg;
+  const double shared = max_safe_be_utilization(cfg, false);
+  const double part = max_safe_be_utilization(cfg, true);
+  EXPECT_GT(part, shared + 0.2);  // the QoS interface buys real colocation
+  EXPECT_GT(part, 0.9);           // near-full colocation with partitioning
+}
+
+TEST(Qos, PartitioningCostsBeThroughput) {
+  QosConfig cfg;
+  const auto shared = colocation_sweep(cfg, false, 11);
+  const auto part = colocation_sweep(cfg, true, 11);
+  // At equal offered BE load, the partitioned BE gets less goodput.
+  EXPECT_LT(part[5].be_goodput, shared[5].be_goodput);
+}
+
+TEST(Qos, OverloadedLcIsInfinity) {
+  QosConfig cfg;
+  cfg.lc_rate_hz = 2000;  // rho = 2 at 1 ms service: unstable
+  const auto rows = colocation_sweep(cfg, false, 3);
+  EXPECT_TRUE(std::isinf(rows.front().lc_p99_ms));
+  EXPECT_EQ(max_safe_be_utilization(cfg, true), 0.0);
+}
+
+TEST(MeshLoaded, ContentionInflatesLatencyOnly) {
+  noc::Mesh m(noc::MeshConfig{});
+  const auto zero = m.send(0, 63, 256);
+  const auto mid = m.send_loaded(0, 63, 256, 0.5);
+  const auto hot = m.send_loaded(0, 63, 256, 0.9);
+  EXPECT_GT(mid.latency_s, zero.latency_s);
+  EXPECT_GT(hot.latency_s, mid.latency_s * 2);
+  EXPECT_DOUBLE_EQ(mid.energy_j, zero.energy_j);  // contention wastes time
+  EXPECT_EQ(mid.hops, zero.hops);
+  EXPECT_THROW(m.send_loaded(0, 1, 64, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.send_loaded(0, 1, 64, -0.1), std::invalid_argument);
+  // Zero load reduces to the unloaded cost.
+  const auto same = m.send_loaded(0, 63, 256, 0.0);
+  EXPECT_DOUBLE_EQ(same.latency_s, zero.latency_s);
+}
+
+TEST(MeshLoaded, SaturationScalesWithMeshSize) {
+  noc::Mesh small(noc::MeshConfig{.width = 4, .height = 4});
+  noc::Mesh large(noc::MeshConfig{.width = 16, .height = 16});
+  // Per-node injection budget shrinks as the mesh grows (bisection grows
+  // as sqrt(N), demand as N).
+  EXPECT_GT(small.saturation_injection_bps(),
+            large.saturation_injection_bps());
+}
+
+}  // namespace
+}  // namespace arch21

@@ -1,0 +1,182 @@
+// Tests for FIT arithmetic, scrubbing math, Daly checkpointing (analytic
+// vs simulated), availability algebra, and the fault-injection campaign.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reliab/availability.hpp"
+#include "reliab/checkpoint.hpp"
+#include "reliab/fault_injection.hpp"
+#include "reliab/fit.hpp"
+
+namespace arch21::reliab {
+namespace {
+
+TEST(Fit, UnitConversion) {
+  // 1000 FIT/Mbit over 1 Mbit = 1000 failures / 1e9 h = 1e-6 / h.
+  const double bytes = 1e6 / 8.0;
+  EXPECT_NEAR(fit_to_flips_per_second(1000, bytes) * 3600.0, 1e-6, 1e-12);
+  // Scales linearly with capacity.
+  EXPECT_NEAR(fit_to_flips_per_second(1000, bytes * 8) /
+                  fit_to_flips_per_second(1000, bytes),
+              8.0, 1e-9);
+}
+
+TEST(Fit, VoltageSensitivityExponential) {
+  EXPECT_DOUBLE_EQ(ser_voltage_multiplier(1.0, 1.0), 1.0);
+  const double low = ser_voltage_multiplier(0.7, 1.0, 0.15);
+  EXPECT_NEAR(low, std::exp(0.3 / 0.15), 1e-9);
+  EXPECT_GT(low, 7.0);  // e^2
+}
+
+TEST(Fit, DoubleErrorProbabilitySmallLambda) {
+  // P(>=2) ~ lambda^2/2 for small lambda.
+  const double p = double_error_probability(1e-12, 3600.0, 72);
+  const double lambda = 1e-12 * 72 * 3600;
+  EXPECT_NEAR(p, lambda * lambda / 2.0, p * 0.01);
+  EXPECT_EQ(double_error_probability(0, 100), 0.0);
+}
+
+TEST(Fit, FasterScrubbingRaisesMtbe) {
+  const double bytes = 64.0 * (1ull << 30);  // 64 GiB
+  const double slow = mtbe_hours(50000, bytes, 24 * 3600.0);
+  const double fast = mtbe_hours(50000, bytes, 600.0);
+  EXPECT_GT(fast, slow * 10);
+}
+
+TEST(Checkpoint, DalyFormula) {
+  CheckpointParams p;
+  p.delta_s = 50;
+  p.mtbf_s = 100000;
+  EXPECT_NEAR(daly_optimal_interval(p), std::sqrt(2 * 50.0 * 100000.0) - 50.0,
+              1e-9);
+  // Interval never shorter than the checkpoint cost itself.
+  p.mtbf_s = 10;
+  EXPECT_GE(daly_optimal_interval(p), p.delta_s);
+  p.delta_s = 0;
+  EXPECT_THROW(daly_optimal_interval(p), std::invalid_argument);
+}
+
+TEST(Checkpoint, ExpectedRuntimeConvexWithMinimumNearDaly) {
+  CheckpointParams p;
+  p.work_s = 1e6;
+  p.delta_s = 60;
+  p.restart_s = 120;
+  p.mtbf_s = 86400;
+  const double tau_star = daly_optimal_interval(p);
+  const double at_star = expected_runtime(p, tau_star);
+  // Both much-smaller and much-larger intervals are worse.
+  EXPECT_GT(expected_runtime(p, tau_star / 8), at_star);
+  EXPECT_GT(expected_runtime(p, tau_star * 8), at_star);
+  // And the runtime exceeds the raw work (overhead is positive).
+  EXPECT_GT(at_star, p.work_s);
+  EXPECT_THROW(expected_runtime(p, 0), std::invalid_argument);
+}
+
+TEST(Checkpoint, SimulationTracksAnalyticModel) {
+  CheckpointParams p;
+  p.work_s = 2e5;
+  p.delta_s = 60;
+  p.restart_s = 120;
+  p.mtbf_s = 20000;
+  const double tau = daly_optimal_interval(p);
+  const double analytic = expected_runtime(p, tau);
+  const double simulated = mean_simulated_runtime(p, tau, 400, 77);
+  EXPECT_NEAR(simulated / analytic, 1.0, 0.1);
+}
+
+TEST(Checkpoint, NoFailuresMeansDeterministicRuntime) {
+  CheckpointParams p;
+  p.work_s = 1000;
+  p.delta_s = 10;
+  p.restart_s = 0;
+  p.mtbf_s = 1e15;  // effectively never fails
+  Rng rng(1);
+  const double t = simulate_runtime(p, 100, rng);
+  // 10 segments of (100 + 10).
+  EXPECT_NEAR(t, 1100.0, 1e-6);
+}
+
+TEST(Availability, ComponentBasics) {
+  Component c{.mtbf_hours = 9999, .mttr_hours = 1};
+  EXPECT_NEAR(c.availability(), 0.9999, 1e-9);
+  EXPECT_EQ(nines(c.availability()), 4u);  // exactly four nines
+  EXPECT_EQ(nines(0.999), 3u);
+  EXPECT_EQ(nines(0.99999), 5u);
+  EXPECT_EQ(nines(0.995), 2u);  // floors between nines
+  EXPECT_EQ(nines(1.0), 12u);
+  EXPECT_EQ(nines(0.0), 0u);
+}
+
+TEST(Availability, DowntimePerYear) {
+  // Five 9s = ~5.26 minutes/year (Table A.2's "all but five minutes").
+  EXPECT_NEAR(downtime_minutes_per_year(0.99999), 5.26, 0.05);
+  EXPECT_NEAR(downtime_minutes_per_year(0.99), 5259.6, 1.0);
+}
+
+TEST(Availability, SeriesHurtsParallelHelps) {
+  Component c{.mtbf_hours = 1000, .mttr_hours = 10};
+  const double single = c.availability();
+  EXPECT_LT(series_availability(c, 3), single);
+  EXPECT_GT(k_of_n_availability(c, 1, 2), single);
+  EXPECT_GT(k_of_n_availability(c, 1, 3), k_of_n_availability(c, 1, 2));
+  // k-of-n with k = n equals series.
+  EXPECT_NEAR(k_of_n_availability(c, 3, 3), series_availability(c, 3), 1e-12);
+}
+
+TEST(Availability, ReplicasForFiveNines) {
+  // A mediocre server (~99% available) needs 3 replicas for five 9s.
+  Component c{.mtbf_hours = 990, .mttr_hours = 10};
+  EXPECT_NEAR(c.availability(), 0.99, 1e-9);
+  const unsigned n = replicas_for_availability(c, 0.99999);
+  EXPECT_EQ(n, 3u);
+  // Unreachable target reports 0.
+  Component awful{.mtbf_hours = 1, .mttr_hours = 10};
+  EXPECT_EQ(replicas_for_availability(awful, 0.9999999999, 4), 0u);
+}
+
+TEST(Campaign, ZeroRateAllClean) {
+  const auto r = run_campaign({.words = 5000, .flip_prob_per_bit = 0.0,
+                               .seed = 1});
+  EXPECT_EQ(r.clean, 5000u);
+  EXPECT_EQ(r.silent, 0u);
+  EXPECT_EQ(r.detected, 0u);
+  EXPECT_EQ(r.uncorrectable_rate(), 0.0);
+}
+
+TEST(Campaign, ModerateRateMostlyCorrected) {
+  const auto r = run_campaign({.words = 20000, .flip_prob_per_bit = 1e-3,
+                               .seed = 2});
+  EXPECT_GT(r.corrected, 500u);          // singles happen and are fixed
+  EXPECT_LT(r.uncorrectable_rate(), 0.01);  // doubles are rare
+}
+
+TEST(Campaign, HighRateOverwhelmsSecded) {
+  const auto r = run_campaign({.words = 20000, .flip_prob_per_bit = 0.05,
+                               .seed = 3});
+  // At 5% BER per bit, multi-bit errors dominate: SECDED can no longer
+  // hide the unreliability (the Table 1 inflection).
+  EXPECT_GT(r.uncorrectable_rate(), 0.3);
+  EXPECT_GT(r.detected, 0u);
+}
+
+TEST(Campaign, RatesMonotoneInBer) {
+  double prev = -1;
+  for (double ber : {1e-5, 1e-4, 1e-3, 1e-2}) {
+    const auto r = run_campaign({.words = 30000, .flip_prob_per_bit = ber,
+                                 .seed = 4});
+    const double rate = r.uncorrectable_rate();
+    EXPECT_GE(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(Campaign, CountsAddUp) {
+  const auto r = run_campaign({.words = 10000, .flip_prob_per_bit = 1e-3,
+                               .seed = 5});
+  EXPECT_EQ(r.clean + r.corrected + r.detected + r.silent, r.words);
+}
+
+}  // namespace
+}  // namespace arch21::reliab

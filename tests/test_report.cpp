@@ -1,0 +1,75 @@
+// Tests for the DSE report generator.
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace arch21::core {
+namespace {
+
+DesignSpace small_space() {
+  DesignSpace s;
+  s.nodes = {"22nm"};
+  s.vdd_scales = {0.7, 1.0};
+  s.core_counts = {4, 16};
+  s.bces = {1, 4};
+  s.accel_areas = {0.0, 0.25};
+  s.llc_mibs = {8};
+  s.stacking = {false};
+  return s;
+}
+
+TEST(Report, ContainsAllSections) {
+  const auto res = grid_search(small_space(), profile_mobile_vision(),
+                               PlatformClass::Portable);
+  const auto md = render_report(res, profile_mobile_vision(),
+                                PlatformClass::Portable);
+  EXPECT_NE(md.find("# Design-space exploration report"), std::string::npos);
+  EXPECT_NE(md.find("## Recommendations"), std::string::npos);
+  EXPECT_NE(md.find("## Pareto frontier"), std::string::npos);
+  EXPECT_NE(md.find("## Power breakdown"), std::string::npos);
+  EXPECT_NE(md.find("mobile-vision"), std::string::npos);
+  EXPECT_NE(md.find("portable"), std::string::npos);
+  EXPECT_NE(md.find("max throughput"), std::string::npos);
+  EXPECT_NE(md.find("ladder verdict"), std::string::npos);
+}
+
+TEST(Report, StatesSearchVolume) {
+  const auto space = small_space();
+  const auto res =
+      grid_search(space, profile_mobile_vision(), PlatformClass::Portable);
+  const auto md = render_report(res, profile_mobile_vision(),
+                                PlatformClass::Portable);
+  EXPECT_NE(md.find("searched " + std::to_string(space.cardinality())),
+            std::string::npos);
+}
+
+TEST(Report, HandlesEmptyFrontier) {
+  // A space of leaky monsters at the sensor rung: nothing is feasible.
+  DesignSpace s = small_space();
+  s.vdd_scales = {1.0};
+  s.core_counts = {128};
+  s.bces = {16};
+  const auto res =
+      grid_search(s, profile_health_monitor(), PlatformClass::Sensor);
+  EXPECT_EQ(res.feasible, 0u);
+  const auto md =
+      render_report(res, profile_health_monitor(), PlatformClass::Sensor);
+  EXPECT_NE(md.find("No feasible design"), std::string::npos);
+  // No dangling sections after the early return.
+  EXPECT_EQ(md.find("## Pareto frontier"), std::string::npos);
+}
+
+TEST(Report, FrontierRowsMatchResult) {
+  const auto res = grid_search(small_space(), profile_mobile_vision(),
+                               PlatformClass::Portable);
+  const auto md = render_report(res, profile_mobile_vision(),
+                                PlatformClass::Portable);
+  // Every frontier design's string appears in the report.
+  for (const auto& p : res.frontier.points()) {
+    EXPECT_NE(md.find(p.design.to_string()), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace arch21::core

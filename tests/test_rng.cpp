@@ -1,0 +1,162 @@
+// Tests for the deterministic RNG layer: bit-exact reproducibility,
+// distributional sanity of every variate generator, and stream splitting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace arch21 {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    s.add(u);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedAndBounded) {
+  Rng rng(3);
+  std::array<int, 7> counts{};
+  const int trials = 140000;
+  for (int i = 0; i < trials; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    counts[v]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), trials / 7.0, trials * 0.01);
+  }
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(4);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.exponential(2.5));
+  EXPECT_NEAR(s.mean(), 2.5, 0.05);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(s.stddev(), 2.5, 0.08);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(6);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(rng.lognormal(std::log(5.0), 0.5));
+  EXPECT_NEAR(percentile(xs, 0.5), 5.0, 0.15);
+}
+
+TEST(Rng, ParetoBoundsAndMean) {
+  Rng rng(8);
+  OnlineStats s;
+  const double xm = 2.0;
+  const double alpha = 3.0;
+  for (int i = 0; i < 200000; ++i) {
+    const double v = rng.pareto(xm, alpha);
+    ASSERT_GE(v, xm);
+    s.add(v);
+  }
+  // Mean = alpha*xm/(alpha-1) = 3.
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+}
+
+TEST(Rng, WeibullMean) {
+  Rng rng(9);
+  OnlineStats s;
+  const double lambda = 4.0;
+  const double k = 2.0;
+  for (int i = 0; i < 200000; ++i) s.add(rng.weibull(lambda, k));
+  // Mean = lambda * Gamma(1 + 1/k) = 4 * Gamma(1.5) = 4 * 0.8862.
+  EXPECT_NEAR(s.mean(), 4.0 * std::tgamma(1.5), 0.05);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(10);
+  OnlineStats small;
+  OnlineStats large;
+  for (int i = 0; i < 100000; ++i) {
+    small.add(static_cast<double>(rng.poisson(3.0)));
+    large.add(static_cast<double>(rng.poisson(200.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.0, 0.05);
+  EXPECT_NEAR(large.mean(), 200.0, 0.5);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(11);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(12);
+  Rng child = parent.split();
+  // Child stream should not replicate the parent stream.
+  Rng parent2(12);
+  parent2.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += child.next() == parent.next() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace arch21

@@ -1,0 +1,237 @@
+// Tests for the sensor platform: energy stores, intermittent execution,
+// the compute-vs-communicate tradeoff, and approximate computing on the
+// ECG/FIR workload.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/catalogue.hpp"
+#include "sensor/approx.hpp"
+#include "sensor/battery.hpp"
+#include "sensor/intermittent.hpp"
+#include "sensor/tradeoff.hpp"
+
+namespace arch21::sensor {
+namespace {
+
+TEST(Battery, DrawsAndDepletes) {
+  Battery b(10.0);
+  EXPECT_DOUBLE_EQ(b.draw(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(b.level_j(), 6.0);
+  EXPECT_DOUBLE_EQ(b.draw(100.0), 6.0);  // partial supply
+  EXPECT_TRUE(b.empty());
+  EXPECT_DOUBLE_EQ(b.lifetime_s(1.0), 0.0);
+  Battery c(3600.0);
+  EXPECT_DOUBLE_EQ(c.lifetime_s(1.0), 3600.0);
+}
+
+TEST(Harvester, ChargesTowardCapAndLeaks) {
+  HarvesterConfig cfg;
+  cfg.power_w = 1e-3;
+  cfg.p_active = 1.0;  // always harvesting
+  cfg.cap_j = 5e-6;
+  cfg.leak_w = 0;
+  Harvester h(cfg, 1);
+  for (int i = 0; i < 100; ++i) h.step(1e-3);
+  EXPECT_DOUBLE_EQ(h.stored_j(), cfg.cap_j);  // clamped at capacity
+  EXPECT_DOUBLE_EQ(h.draw(2e-6), 2e-6);
+  EXPECT_NEAR(h.stored_j(), 3e-6, 1e-12);
+}
+
+TEST(Harvester, IntermittencyFollowsDutyCycle) {
+  HarvesterConfig cfg;
+  cfg.power_w = 1e-3;
+  cfg.p_active = 0.25;
+  cfg.cap_j = 1.0;  // effectively unbounded
+  cfg.leak_w = 0;
+  Harvester h(cfg, 2);
+  double income = 0;
+  const int steps = 100000;
+  for (int i = 0; i < steps; ++i) income += h.step(1e-3);
+  EXPECT_NEAR(income / (steps * 1e-3 * cfg.power_w), 0.25, 0.01);
+}
+
+TEST(Intermittent, CompletesWithAdequateHarvest) {
+  IntermittentConfig cfg;
+  cfg.work_units = 2000;
+  cfg.harvester.power_w = 5e-3;
+  cfg.harvester.p_active = 0.6;
+  const auto r = run_intermittent(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.units_committed, cfg.work_units);
+  EXPECT_GT(r.checkpoints, 0u);
+}
+
+TEST(Intermittent, StarvedHarvestTimesOut) {
+  IntermittentConfig cfg;
+  cfg.work_units = 100000;
+  cfg.harvester.power_w = 1e-7;  // far below demand
+  cfg.harvester.p_active = 0.05;
+  cfg.max_sim_s = 50;
+  const auto r = run_intermittent(cfg);
+  EXPECT_FALSE(r.completed);
+  EXPECT_LT(r.units_committed, cfg.work_units);
+}
+
+TEST(Intermittent, PowerFailuresLoseUncommittedWork) {
+  IntermittentConfig cfg;
+  cfg.work_units = 5000;
+  cfg.checkpoint_every = 500;          // long intervals: big loss windows
+  cfg.harvester.power_w = 2e-3;
+  cfg.harvester.p_active = 0.3;        // choppy supply
+  cfg.harvester.cap_j = 40e-6;         // small buffer
+  cfg.on_threshold_j = 25e-6;
+  const auto r = run_intermittent(cfg);
+  EXPECT_GT(r.power_failures, 0u);
+  EXPECT_GT(r.wasted_energy_j, 0.0);
+  EXPECT_GT(r.waste_fraction(), 0.0);
+}
+
+TEST(Intermittent, CheckpointIntervalTradeoff) {
+  // Very frequent checkpoints burn energy on overhead; very rare ones
+  // lose big windows to power failures.  The best interval is interior.
+  IntermittentConfig cfg;
+  cfg.work_units = 4000;
+  cfg.harvester.power_w = 2e-3;
+  cfg.harvester.p_active = 0.35;
+  cfg.harvester.cap_j = 40e-6;
+  cfg.on_threshold_j = 25e-6;
+  const std::vector<std::uint64_t> candidates = {1, 10, 50, 200, 2000};
+  const auto best = best_checkpoint_interval(cfg, candidates);
+  EXPECT_GT(best.elapsed_s, 0.0);
+  EXPECT_NE(best.interval, 1u);      // not the thrashing extreme
+  EXPECT_NE(best.interval, 2000u);   // not the reckless extreme
+}
+
+TEST(Tradeoff, RadioDominatesRawTransmission) {
+  const energy::Catalogue cat;
+  StreamProfile s;
+  const auto strategies = strategy_powers(s, cat);
+  ASSERT_EQ(strategies.size(), 3u);
+  EXPECT_EQ(strategies[0].name, "transmit-raw");
+  // Raw transmission spends everything on the radio.
+  EXPECT_EQ(strategies[0].compute_w, 0.0);
+  EXPECT_GT(strategies[0].radio_w, 0.0);
+}
+
+TEST(Tradeoff, FilteringWinsAtHighReduction) {
+  // The paper: "the energy required to communicate data often outweighs
+  // that of computation" -- so spending ops to cut the radio stream wins.
+  const energy::Catalogue cat;
+  StreamProfile s;
+  s.reduction_factor = 100;
+  const auto strategies = strategy_powers(s, cat);
+  EXPECT_LT(strategies[1].total_w, strategies[0].total_w);
+  // At reduction factor 1 (filter transmits everything anyway) filtering
+  // can only lose.
+  s.reduction_factor = 1;
+  const auto no_gain = strategy_powers(s, cat);
+  EXPECT_GT(no_gain[1].total_w, no_gain[0].total_w);
+}
+
+TEST(Tradeoff, BreakevenFormulaConsistent) {
+  const energy::Catalogue cat;
+  StreamProfile s;
+  const double r_star = filter_breakeven_reduction(s, cat);
+  ASSERT_TRUE(std::isfinite(r_star));
+  EXPECT_GT(r_star, 1.0);
+  // Just above break-even filtering wins; just below it loses.
+  s.reduction_factor = r_star * 1.1;
+  EXPECT_LT(strategy_powers(s, cat)[1].total_w,
+            strategy_powers(s, cat)[0].total_w);
+  s.reduction_factor = r_star * 0.9;
+  EXPECT_GT(strategy_powers(s, cat)[1].total_w,
+            strategy_powers(s, cat)[0].total_w);
+}
+
+TEST(Tradeoff, ExpensiveComputeNeverBreaksEven) {
+  const energy::Catalogue cat;
+  StreamProfile s;
+  s.ops_per_sample_filter = 1e9;  // absurd DSP cost
+  EXPECT_TRUE(std::isinf(filter_breakeven_reduction(s, cat)));
+}
+
+TEST(Approx, SyntheticEcgHasBeats) {
+  const auto x = synthetic_ecg(2500, 250, 1.2, 0.01, 3);
+  // ~12 beats in 10 s at 1.2 Hz; peaks above 1.0 exist.
+  int peaks = 0;
+  for (std::size_t i = 1; i + 1 < x.size(); ++i) {
+    if (x[i] > 0.9 && x[i] >= x[i - 1] && x[i] >= x[i + 1]) ++peaks;
+  }
+  EXPECT_NEAR(peaks, 12, 3);
+}
+
+TEST(Approx, FirIsLowPass) {
+  const auto h = lowpass_fir(31, 0.1);
+  // Unity DC gain.
+  double sum = 0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_THROW(lowpass_fir(0, 0.1), std::invalid_argument);
+  EXPECT_THROW(lowpass_fir(31, 0.6), std::invalid_argument);
+}
+
+TEST(Approx, SnrIncreasesWithPrecision) {
+  const auto x = synthetic_ecg(2048);
+  const auto h = lowpass_fir(31, 0.12);
+  const auto ref = fir_apply(x, h);
+  double prev = -100;
+  for (int bits : {4, 8, 12, 16, 20}) {
+    const double snr = snr_db(ref, fir_apply_fixed(x, h, bits));
+    EXPECT_GT(snr, prev) << bits << " bits";
+    prev = snr;
+  }
+  // 20 fractional bits is effectively exact for this signal.
+  EXPECT_GT(prev, 60.0);
+}
+
+TEST(Approx, PerforationDegradesGracefully) {
+  const auto x = synthetic_ecg(2048);
+  const auto h = lowpass_fir(31, 0.12);
+  const auto ref = fir_apply(x, h);
+  EXPECT_GT(snr_db(ref, fir_apply_perforated(x, h, 1)), 100.0);  // k=1 exact
+  const double k2 = snr_db(ref, fir_apply_perforated(x, h, 2));
+  const double k8 = snr_db(ref, fir_apply_perforated(x, h, 8));
+  EXPECT_GT(k2, k8);
+  EXPECT_GT(k2, 5.0);
+  EXPECT_THROW(fir_apply_perforated(x, h, 0), std::invalid_argument);
+}
+
+TEST(Approx, EnergyModelShapes) {
+  EXPECT_DOUBLE_EQ(mult_energy_rel(32), 1.0);
+  EXPECT_DOUBLE_EQ(mult_energy_rel(16), 0.25);
+  EXPECT_DOUBLE_EQ(mult_energy_rel(8), 1.0 / 16.0);
+}
+
+TEST(Approx, SweepParetoShape) {
+  const auto rows = approx_sweep(2048, 3);
+  ASSERT_GE(rows.size(), 12u);
+  // Precision family: SNR and energy both rise with bits.
+  double prev_snr = -1e9;
+  double prev_e = 0;
+  for (const auto& r : rows) {
+    if (r.technique != "precision") continue;
+    EXPECT_GE(r.snr_db, prev_snr);
+    EXPECT_GE(r.energy_rel, prev_e);
+    prev_snr = r.snr_db;
+    prev_e = r.energy_rel;
+  }
+  // A mid-precision point gives usable SNR (> 20 dB) at < 1/4 the energy.
+  bool sweet_spot = false;
+  for (const auto& r : rows) {
+    if (r.technique == "precision" && r.snr_db > 20 && r.energy_rel < 0.4) {
+      sweet_spot = true;
+    }
+  }
+  EXPECT_TRUE(sweet_spot);
+}
+
+TEST(Approx, SnrValidation) {
+  EXPECT_THROW(snr_db({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(snr_db({}, {}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(snr_db({1, 2, 3}, {1, 2, 3}), 200.0);
+}
+
+}  // namespace
+}  // namespace arch21::sensor

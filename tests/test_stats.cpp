@@ -1,0 +1,208 @@
+// Tests for descriptive statistics: Welford accumulation, merging,
+// percentile estimators against closed forms, fits, and error handling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace arch21 {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.5, 2.5, -3.0, 7.25, 0.0, 4.5};
+  OnlineStats s;
+  for (double x : xs) s.add(x);
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.25);
+  EXPECT_NEAR(s.sum(), 12.75, 1e-12);
+}
+
+TEST(OnlineStats, SampleVarianceUsesNMinusOne) {
+  OnlineStats s;
+  s.add(1);
+  s.add(3);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);         // population
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);  // n-1
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng(42);
+  OnlineStats all;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5, 2);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1);
+  a.add(2);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 1.5);
+}
+
+TEST(Percentiles, ClosedFormOnArithmeticSequence) {
+  // 0..100: percentile q should be 100q exactly under type-7.
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) xs.push_back(i);
+  Percentiles p(xs);
+  EXPECT_DOUBLE_EQ(p.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.at(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(p.at(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(p.at(0.25), 25.0);
+}
+
+TEST(Percentiles, InterpolatesBetweenRanks) {
+  Percentiles p({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(p.at(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(p.at(0.75), 17.5);
+}
+
+TEST(Percentiles, SingleElement) {
+  Percentiles p({7.0});
+  EXPECT_DOUBLE_EQ(p.at(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.at(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(p.at(1.0), 7.0);
+}
+
+TEST(Percentiles, EmptyThrows) {
+  Percentiles p((std::vector<double>()));
+  EXPECT_THROW(p.at(0.5), std::invalid_argument);
+  EXPECT_THROW(p.min(), std::invalid_argument);
+  EXPECT_THROW(p.max(), std::invalid_argument);
+}
+
+TEST(Percentiles, UnsortedInputHandled) {
+  Percentiles p({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+  EXPECT_DOUBLE_EQ(p.min(), 1.0);
+  EXPECT_DOUBLE_EQ(p.max(), 5.0);
+}
+
+TEST(Summary, FieldsConsistent) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) xs.push_back(i);
+  const Summary s = Summary::of(xs);
+  EXPECT_EQ(s.n, 1000u);
+  EXPECT_NEAR(s.mean, 500.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_NEAR(s.p50, 500.5, 1.0);
+  EXPECT_NEAR(s.p99, 990.0, 1.5);
+  EXPECT_GT(s.p999, s.p99);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(Summary, EmptyInput) {
+  const Summary s = Summary::of({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Correlation, PerfectPositiveAndNegative) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+  std::vector<double> zs = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(correlation(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentNearZero) {
+  Rng rng(9);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.uniform());
+    ys.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(correlation(xs, ys), 0.0, 0.02);
+}
+
+TEST(LinearFit, RecoversLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const auto f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+}
+
+TEST(LinearFit, DegenerateInput) {
+  const auto f = linear_fit(std::vector<double>{1.0}, std::vector<double>{2.0});
+  EXPECT_EQ(f.slope, 0.0);
+}
+
+TEST(Geomean, KnownValues) {
+  std::vector<double> xs = {1.0, 100.0};
+  EXPECT_NEAR(geomean(xs), 10.0, 1e-9);
+  std::vector<double> ys = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(geomean(ys), 2.0, 1e-12);
+  EXPECT_EQ(geomean({}), 0.0);
+}
+
+// Property: percentile() free function agrees with Percentiles reader.
+class PercentileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileProperty, FreeFunctionMatchesReader) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(0, 10));
+  Percentiles p(xs);
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile(xs, q), p.at(q));
+  }
+  // Monotonicity of quantiles.
+  double prev = p.at(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = p.at(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty,
+                         ::testing::Values(1, 2, 3, 17, 99, 1234));
+
+}  // namespace
+}  // namespace arch21

@@ -1,0 +1,164 @@
+// Tests for the TL2-style STM: single-transaction semantics, conflict
+// detection, atomicity under adversarial interleavings (the bank-
+// transfer conservation invariant), and abort statistics.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "par/stm.hpp"
+
+namespace arch21::par {
+namespace {
+
+TEST(Stm, HeapBasics) {
+  StmHeap h(16);
+  EXPECT_EQ(h.size(), 16u);
+  h.poke(3, 42);
+  EXPECT_EQ(h.peek(3), 42u);
+  EXPECT_THROW(StmHeap(0), std::invalid_argument);
+}
+
+TEST(Stm, SoloTransactionCommits) {
+  StmHeap h(8);
+  h.poke(0, 10);
+  Txn t(h, 0);
+  const auto v = t.read(0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 10u);
+  t.write(0, *v + 5);
+  t.write(1, 99);
+  EXPECT_TRUE(t.commit());
+  EXPECT_EQ(h.peek(0), 15u);
+  EXPECT_EQ(h.peek(1), 99u);
+  EXPECT_GT(h.clock(), 0u);
+}
+
+TEST(Stm, ReadYourOwnWrites) {
+  StmHeap h(8);
+  Txn t(h, 0);
+  t.write(2, 7);
+  const auto v = t.read(2);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7u);
+  t.abort();
+  EXPECT_EQ(h.peek(2), 0u);  // nothing published
+}
+
+TEST(Stm, WriteWriteUpgrade) {
+  StmHeap h(8);
+  Txn t(h, 0);
+  t.write(1, 1);
+  t.write(1, 2);  // overwrite in the write set
+  EXPECT_TRUE(t.commit());
+  EXPECT_EQ(h.peek(1), 2u);
+}
+
+TEST(Stm, ConflictingCommitAborts) {
+  StmHeap h(8);
+  h.poke(0, 100);
+  Txn a(h, 0);
+  Txn b(h, 1);
+  const auto va = a.read(0);
+  const auto vb = b.read(0);
+  ASSERT_TRUE(va && vb);
+  a.write(0, *va + 1);
+  b.write(0, *vb + 1);
+  EXPECT_TRUE(a.commit());
+  // b's read of word 0 is now stale: commit must fail.
+  EXPECT_FALSE(b.commit());
+  EXPECT_EQ(h.peek(0), 101u);  // exactly one increment won
+}
+
+TEST(Stm, ReadSeesNoLockedWord) {
+  StmHeap h(8);
+  Txn writer(h, 0);
+  writer.write(4, 1);
+  // Lock the write set manually by starting commit in two phases is not
+  // exposed; emulate by a committed change bumping the version past a
+  // later snapshot instead.
+  EXPECT_TRUE(writer.commit());
+  // A transaction that STARTED before the commit sees a newer version.
+  // (Constructed after, so this read is fine.)
+  Txn reader(h, 1);
+  EXPECT_TRUE(reader.read(4).has_value());
+}
+
+TEST(Stm, StaleSnapshotRejected) {
+  StmHeap h(8);
+  Txn old(h, 0);      // snapshot at clock 0
+  Txn writer(h, 1);
+  writer.write(5, 7);
+  EXPECT_TRUE(writer.commit());  // clock -> 1, word 5 version 1
+  // old's snapshot (0) cannot read version-1 data consistently.
+  EXPECT_FALSE(old.read(5).has_value());
+}
+
+TEST(Stm, UseAfterFinishThrows) {
+  StmHeap h(8);
+  Txn t(h, 0);
+  t.write(0, 1);
+  EXPECT_TRUE(t.commit());
+  EXPECT_THROW(t.read(0), std::logic_error);
+  EXPECT_THROW(t.write(0, 2), std::logic_error);
+  EXPECT_THROW(t.commit(), std::logic_error);
+}
+
+TEST(Stm, TransferScriptsConserveTotal) {
+  // The headline atomicity property: random transfers under adversarial
+  // interleaving never create or destroy money.
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+    StmHeap h(16);
+    for (std::size_t i = 0; i < h.size(); ++i) h.poke(i, 1000);
+    const auto scripts = make_transfer_scripts(16, 200, seed);
+    const auto stats = run_interleaved(h, scripts, seed * 31);
+    EXPECT_EQ(stats.commits, 200u);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < h.size(); ++i) total += h.peek(i);
+    EXPECT_EQ(total, 16u * 1000u) << "seed " << seed;
+  }
+}
+
+TEST(Stm, ContentionRaisesAbortRate) {
+  // 2 hot accounts vs 64 accounts: fewer accounts = more conflicts.
+  auto run = [](std::size_t accounts) {
+    StmHeap h(accounts);
+    for (std::size_t i = 0; i < accounts; ++i) h.poke(i, 1000);
+    const auto scripts = make_transfer_scripts(accounts, 300, 5);
+    return run_interleaved(h, scripts, 99).abort_rate();
+  };
+  const double hot = run(2);
+  const double cool = run(64);
+  EXPECT_GT(hot, cool);
+  EXPECT_GT(hot, 0.05);
+}
+
+TEST(Stm, ReadOnlyTransactionsNeverBlockProgress) {
+  StmHeap h(8);
+  h.poke(0, 5);
+  Txn ro(h, 0);
+  const auto v = ro.read(0);
+  ASSERT_TRUE(v);
+  EXPECT_TRUE(ro.commit());  // read-only commit always succeeds
+  EXPECT_EQ(h.clock(), 0u);  // and does not bump the clock
+}
+
+TEST(Stm, DeterministicForSeed) {
+  auto run = [] {
+    StmHeap h(8);
+    for (std::size_t i = 0; i < 8; ++i) h.poke(i, 100);
+    const auto scripts = make_transfer_scripts(8, 100, 3);
+    return run_interleaved(h, scripts, 17);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.aborts, b.aborts);
+}
+
+TEST(Stm, ScriptValidation) {
+  EXPECT_THROW(make_transfer_scripts(1, 10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arch21::par

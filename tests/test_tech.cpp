@@ -1,0 +1,266 @@
+// Tests for the technology module: node-table invariants, Dennard vs
+// post-Dennard scaling algebra, DVFS physics (energy valley), NTV
+// reliability coupling, dark-silicon projection, and the CPU-DB
+// decomposition (the paper's ~80x architecture claim).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/cpudb.hpp"
+#include "tech/dark_silicon.hpp"
+#include "tech/dvfs.hpp"
+#include "tech/node.hpp"
+#include "tech/ntv.hpp"
+
+namespace arch21::tech {
+namespace {
+
+TEST(NodeTable, OrderedAndMonotone) {
+  const auto nodes = node_table();
+  ASSERT_GE(nodes.size(), 8u);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i].feature_nm, nodes[i - 1].feature_nm);
+    EXPECT_GE(nodes[i].year, nodes[i - 1].year);
+    EXPECT_GT(nodes[i].density_mtx_mm2, nodes[i - 1].density_mtx_mm2);
+    EXPECT_LE(nodes[i].vdd, nodes[i - 1].vdd);
+    EXPECT_LT(nodes[i].cgate_rel, nodes[i - 1].cgate_rel);
+  }
+}
+
+TEST(NodeTable, MooresLawHolds) {
+  // Transistor count on fixed area roughly doubles every ~2 years across
+  // the table (Table 1 row 1: "still 2x every 18-24 months").
+  const auto nodes = node_table();
+  const auto& first = nodes.front();
+  const auto& last = nodes.back();
+  const double years = last.year - first.year;
+  const double gens = years / 2.0;
+  const double growth = last.density_mtx_mm2 / first.density_mtx_mm2;
+  const double doubling_per_2yr = std::pow(growth, 1.0 / gens);
+  EXPECT_GT(doubling_per_2yr, 1.6);
+  EXPECT_LT(doubling_per_2yr, 2.6);
+}
+
+TEST(NodeTable, FrequencySaturatesPostDennard) {
+  // Frequency grew ~5x from 180nm to 90nm but < 2x from 65nm to 5nm.
+  const auto n180 = *find_node("180nm");
+  const auto n90 = *find_node("90nm");
+  const auto n65 = *find_node("65nm");
+  const auto n5 = *find_node("5nm");
+  EXPECT_GT(n90.freq_ghz / n180.freq_ghz, 3.0);
+  EXPECT_LT(n5.freq_ghz / n65.freq_ghz, 2.0);
+}
+
+TEST(NodeTable, Lookup) {
+  EXPECT_TRUE(find_node("45nm").has_value());
+  EXPECT_FALSE(find_node("3nm").has_value());
+  EXPECT_EQ(node_for_year(2008).name, "45nm");
+  EXPECT_EQ(node_for_year(1900).name, "180nm");
+  EXPECT_EQ(node_for_year(2100).name, "5nm");
+}
+
+TEST(Scaling, DennardKeepsPowerConstant) {
+  const auto g = dennard_generation(1.4);
+  EXPECT_NEAR(g.power_fixed_area, 1.0, 1e-12);
+  EXPECT_NEAR(g.density, 1.96, 1e-12);
+  EXPECT_NEAR(g.frequency, 1.4, 1e-12);
+  // Switching energy per op drops by s^3.
+  EXPECT_NEAR(g.switch_energy(), 1.0 / (1.4 * 1.4 * 1.4), 1e-12);
+}
+
+TEST(Scaling, PostDennardPowerGrows) {
+  const auto g = post_dennard_generation(1.4, 0.97, 1.05);
+  EXPECT_GT(g.power_fixed_area, 1.2);
+  // Table 1 row 2: power would roughly double with 2x transistors if
+  // nothing is done -- check the compounding over two generations.
+  const auto two = compound(g, 2);
+  EXPECT_GT(two.power_fixed_area, 1.6);
+  EXPECT_NEAR(two.density, g.density * g.density, 1e-9);
+}
+
+TEST(Scaling, CompoundZeroIsIdentity) {
+  const auto g = compound(dennard_generation(), 0);
+  EXPECT_EQ(g.density, 1.0);
+  EXPECT_EQ(g.frequency, 1.0);
+}
+
+TEST(Dvfs, NominalFrequencyCalibrated) {
+  DvfsModel::Params p;
+  p.vnom = 1.0;
+  p.vth = 0.3;
+  p.fnom_ghz = 3.0;
+  const DvfsModel m(p);
+  EXPECT_NEAR(m.frequency(1.0), 3.0e9, 1.0);
+}
+
+TEST(Dvfs, FrequencyMonotoneAndZeroBelowVth) {
+  const DvfsModel m = DvfsModel::for_node(*find_node("22nm"));
+  EXPECT_EQ(m.frequency(0.2), 0.0);
+  double prev = 0;
+  for (double v = 0.35; v <= 0.9; v += 0.05) {
+    const double f = m.frequency(v);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Dvfs, DynamicEnergyQuadraticInV) {
+  DvfsModel::Params p;
+  const DvfsModel m(p);
+  EXPECT_NEAR(m.dynamic_energy(1.0) / m.dynamic_energy(0.5), 4.0, 1e-9);
+}
+
+TEST(Dvfs, EnergyValleyExists) {
+  // The minimum-energy voltage sits strictly between the floor and vnom:
+  // the defining NTV result.
+  const DvfsModel m = DvfsModel::for_node(*find_node("22nm"));
+  const double vmin = m.min_energy_voltage();
+  EXPECT_GT(vmin, m.params().vth);
+  EXPECT_LT(vmin, m.params().vnom);
+  // Energy at the valley beats both endpoints.
+  EXPECT_LT(m.energy_per_op(vmin), m.energy_per_op(m.params().vnom));
+  EXPECT_LT(m.energy_per_op(vmin), m.energy_per_op(m.params().vth + 0.06));
+}
+
+TEST(Dvfs, ValleySavesSeveralX) {
+  // NTV's promised "tremendous potential": several-fold energy reduction
+  // vs nominal operation.
+  const DvfsModel m = DvfsModel::for_node(*find_node("32nm"));
+  const double gain =
+      m.energy_per_op(m.params().vnom) / m.energy_per_op(m.min_energy_voltage());
+  EXPECT_GT(gain, 2.0);
+  EXPECT_LT(gain, 50.0);
+}
+
+TEST(Dvfs, VoltageForPowerRespectsBudget) {
+  const DvfsModel m = DvfsModel::for_node(*find_node("22nm"));
+  const double full = m.power(m.params().vnom);
+  const double v = m.voltage_for_power(full / 4.0);
+  EXPECT_LT(v, m.params().vnom);
+  EXPECT_LE(m.power(v), full / 4.0 * 1.01);
+  // A generous budget returns vnom.
+  EXPECT_DOUBLE_EQ(m.voltage_for_power(full * 2), m.params().vnom);
+}
+
+TEST(Dvfs, SweepShapes) {
+  const DvfsModel m = DvfsModel::for_node(*find_node("22nm"));
+  const auto pts = m.sweep(20);
+  ASSERT_EQ(pts.size(), 20u);
+  EXPECT_LT(pts.front().v, pts.back().v);
+  EXPECT_LT(pts.front().f_hz, pts.back().f_hz);
+  EXPECT_LT(pts.front().power_w, pts.back().power_w);
+}
+
+TEST(Dvfs, BadParamsThrow) {
+  DvfsModel::Params p;
+  p.vnom = 0.2;
+  p.vth = 0.3;
+  EXPECT_THROW(DvfsModel{p}, std::invalid_argument);
+}
+
+TEST(Ntv, FaultProbabilityMonotoneDecreasingInV) {
+  NtvReliability rel({.vth = 0.3, .v50_margin = 0.08, .steep = 0.02,
+                      .floor = 1e-12});
+  double prev = 1.0;
+  for (double v = 0.32; v <= 1.0; v += 0.02) {
+    const double p = rel.fault_probability(v);
+    EXPECT_LE(p, prev);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+    prev = p;
+  }
+  // Near nominal, faults are negligible; at threshold, near certain.
+  EXPECT_LT(rel.fault_probability(1.0), 1e-6);
+  EXPECT_GT(rel.fault_probability(0.31), 0.9);
+}
+
+TEST(Ntv, ResilienceShiftsOptimumUp) {
+  // With replay costs, the effective-energy optimum sits at or above the
+  // raw minimum-energy voltage: reliability taxes the deepest NTV points.
+  const DvfsModel m = DvfsModel::for_node(*find_node("22nm"));
+  NtvReliability rel({.vth = m.params().vth, .v50_margin = 0.1,
+                      .steep = 0.03, .floor = 1e-12});
+  const double raw_vmin = m.min_energy_voltage();
+  const auto opt = ntv_optimum(m, rel, /*replay_ops=*/50.0);
+  EXPECT_GE(opt.v, raw_vmin - 0.02);
+  // The optimum is still below nominal -- NTV still pays off.
+  EXPECT_LT(opt.v, m.params().vnom);
+  EXPECT_LT(opt.e_effective_j, m.energy_per_op(m.params().vnom));
+}
+
+TEST(Ntv, SweepConsistent) {
+  const DvfsModel m = DvfsModel::for_node(*find_node("32nm"));
+  NtvReliability rel({.vth = m.params().vth, .v50_margin = 0.08,
+                      .steep = 0.02, .floor = 1e-12});
+  const auto pts = ntv_sweep(m, rel, 10.0, 30);
+  ASSERT_EQ(pts.size(), 30u);
+  for (const auto& pt : pts) {
+    EXPECT_GE(pt.e_effective_j, pt.e_op_j);  // replay can only add energy
+  }
+}
+
+TEST(DarkSilicon, ReferenceNodeFullyLit) {
+  DarkSiliconModel m({.die_mm2 = 100, .power_budget_w = 100,
+                      .reference_node = "90nm", .activity = 0.1});
+  EXPECT_NEAR(m.utilization(*find_node("90nm")), 1.0, 1e-9);
+}
+
+TEST(DarkSilicon, UtilizationFallsAfterReference) {
+  DarkSiliconModel m({.die_mm2 = 100, .power_budget_w = 100,
+                      .reference_node = "90nm", .activity = 0.1});
+  const auto rows = m.project();
+  // Find the reference row, then check monotone decline afterwards.
+  double prev = 2.0;
+  bool past_ref = false;
+  for (const auto& r : rows) {
+    if (r.node->name == "90nm") past_ref = true;
+    if (past_ref) {
+      EXPECT_LE(r.utilization, prev + 1e-12);
+      prev = r.utilization;
+    }
+    EXPECT_NEAR(r.utilization + r.dark_fraction, 1.0, 1e-12);
+  }
+  // By the deep-submicron end, most of the chip is dark.
+  EXPECT_LT(rows.back().utilization, 0.5);
+}
+
+TEST(DarkSilicon, UnknownReferenceThrows) {
+  EXPECT_THROW(DarkSiliconModel({.die_mm2 = 100, .power_budget_w = 100,
+                                 .reference_node = "1nm", .activity = 0.1}),
+               std::invalid_argument);
+}
+
+TEST(CpuDb, SeriesShape) {
+  const auto db = cpu_db();
+  ASSERT_GE(db.size(), 10u);
+  EXPECT_EQ(db.front().year, 1985);
+  EXPECT_EQ(db.back().year, 2012);
+  for (std::size_t i = 1; i < db.size(); ++i) {
+    EXPECT_GT(db[i].performance(), db[i - 1].performance());
+    EXPECT_LT(db[i].fo4_ps, db[i - 1].fo4_ps);
+  }
+}
+
+TEST(CpuDb, ArchitectureGainNear80x) {
+  // The paper: "architecture credited with ~80x improvement since 1985".
+  const auto d = decomposition_2012();
+  EXPECT_GT(d.arch_gain, 55.0);
+  EXPECT_LT(d.arch_gain, 110.0);
+  // And total single-thread growth is in the thousands.
+  EXPECT_GT(d.total_gain, 1000.0);
+  EXPECT_NEAR(d.total_gain, d.tech_gain * d.arch_gain, 1e-6);
+}
+
+TEST(CpuDb, DecompositionMonotoneGrowth) {
+  const auto rows = decompose_performance();
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].total_gain, rows[i - 1].total_gain);
+    EXPECT_GE(rows[i].tech_gain, rows[i - 1].tech_gain);
+  }
+  EXPECT_DOUBLE_EQ(rows.front().total_gain, 1.0);
+  EXPECT_DOUBLE_EQ(rows.front().arch_gain, 1.0);
+}
+
+}  // namespace
+}  // namespace arch21::tech

@@ -1,0 +1,96 @@
+// Tests for the thread pool: task execution, parallel_for coverage, and
+// stable chunk indexing for RNG derivation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace arch21 {
+namespace {
+
+TEST(ThreadPool, DefaultSizeAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ChunkIndicesAreStable) {
+  // Chunk decomposition must be a pure function of (n, pool size), so two
+  // identical runs see identical (begin, end, chunk) triples.
+  auto collect = [](std::size_t threads, std::size_t n) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::set<std::tuple<std::size_t, std::size_t, std::size_t>> out;
+    pool.parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t c) {
+      std::lock_guard lk(mu);
+      out.insert({b, e, c});
+    });
+    return out;
+  };
+  EXPECT_EQ(collect(3, 1000), collect(3, 1000));
+}
+
+TEST(ThreadPool, ChunkCountBounded) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::size_t chunks = 0;
+  pool.parallel_for(100, [&](std::size_t, std::size_t, std::size_t) {
+    std::lock_guard lk(mu);
+    ++chunks;
+  });
+  EXPECT_LE(chunks, pool.size() * 4);
+  EXPECT_GE(chunks, 1u);
+}
+
+TEST(ThreadPool, SmallNFewerChunksThanItems) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  pool.parallel_for(3, [&](std::size_t b, std::size_t e, std::size_t) {
+    std::lock_guard lk(mu);
+    for (std::size_t i = b; i < e; ++i) seen.insert(i);
+  });
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace arch21

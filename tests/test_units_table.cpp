@@ -1,0 +1,116 @@
+// Tests for SI formatting and the text/CSV table writer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace arch21 {
+namespace {
+
+using namespace units;
+
+TEST(Units, Constants) {
+  EXPECT_DOUBLE_EQ(giga, 1e9);
+  EXPECT_DOUBLE_EQ(pico, 1e-12);
+  EXPECT_DOUBLE_EQ(from_pJ(50.0), 50e-12);
+  EXPECT_DOUBLE_EQ(to_pJ(50e-12), 50.0);
+  EXPECT_DOUBLE_EQ(from_ns(10), 1e-8);
+  EXPECT_DOUBLE_EQ(to_ns(1e-8), 10.0);
+  EXPECT_DOUBLE_EQ(period(1e9), 1e-9);
+}
+
+TEST(Units, OpsPerWatt) {
+  EXPECT_DOUBLE_EQ(ops_per_watt(1e12, 10.0), 1e11);
+  EXPECT_DOUBLE_EQ(ops_per_watt(1e12, 0.0), 0.0);
+}
+
+TEST(Units, SiFormatPicksPrefix) {
+  EXPECT_EQ(si_format(2.5e9, "op/s", 2), "2.50 Gop/s");
+  EXPECT_EQ(si_format(1.0e12, "op/s", 1), "1.0 Top/s");
+  EXPECT_EQ(si_format(10e-3, "W", 0), "10 mW");
+  EXPECT_EQ(si_format(3.2e-12, "J", 1), "3.2 pJ");
+  EXPECT_EQ(si_format(0.0, "W", 3), "0 W");
+  EXPECT_EQ(si_format(42.0, "B", 0), "42 B");
+}
+
+TEST(Units, TimeFormat) {
+  EXPECT_EQ(time_format(5e-9, 0), "5 ns");
+  EXPECT_EQ(time_format(1.5, 1), "1.5 s");
+}
+
+TEST(Units, BytesFormat) {
+  EXPECT_EQ(bytes_format(512, 0), "512 B");
+  EXPECT_EQ(bytes_format(2048, 0), "2 KiB");
+  EXPECT_EQ(bytes_format(3.5 * MiB, 1), "3.5 MiB");
+  EXPECT_EQ(bytes_format(2.0 * GiB, 0), "2 GiB");
+}
+
+TEST(TextTable, RejectsEmptyHeadersAndBadRows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, AlignedOutput) {
+  TextTable t({"node", "power"});
+  t.row({"45nm", "130 W"});
+  t.row({"22nm-long-name", "95 W"});
+  std::ostringstream os;
+  t.print(os, 0);
+  const std::string out = os.str();
+  // Header, underline, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Columns aligned: "power" in the header and both power cells start at
+  // the same column offset within their lines.
+  std::vector<std::string> lines;
+  std::istringstream is(out);
+  for (std::string l; std::getline(is, l);) lines.push_back(l);
+  ASSERT_EQ(lines.size(), 4u);
+  const auto col = lines[0].find("power");
+  ASSERT_NE(col, std::string::npos);
+  EXPECT_EQ(lines[2].find("130 W"), col);
+  EXPECT_EQ(lines[3].find("95 W"), col);
+}
+
+TEST(TextTable, CellAccessors) {
+  TextTable t({"x"});
+  t.row({"1"});
+  t.row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 1u);
+  EXPECT_EQ(t.cell(1, 0), "2");
+  EXPECT_THROW(t.cell(2, 0), std::out_of_range);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"name", "note"});
+  t.row({"plain", "with,comma"});
+  t.row({"quote\"inside", "multi\nline"});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(out.find("\"multi\nline\""), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsCompactly) {
+  EXPECT_EQ(TextTable::num(3.14159, 3), "3.14");
+  EXPECT_EQ(TextTable::num(1e12, 4), "1e+12");
+  EXPECT_EQ(TextTable::num(0.5), "0.5");
+}
+
+TEST(TextTable, ToStringMatchesPrint) {
+  TextTable t({"a"});
+  t.row({"x"});
+  std::ostringstream os;
+  t.print(os, 2);
+  EXPECT_EQ(t.to_string(2), os.str());
+}
+
+}  // namespace
+}  // namespace arch21
