@@ -1,0 +1,171 @@
+// Parallel-engine harness: measures serial (pool of 1) vs parallel
+// (default pool) wall clock for every hot path wired into the thread
+// pool, verifies the results are bit-identical, and emits the numbers as
+// machine-readable JSON (BENCH_parallel.json) for the PR record.
+//
+// This binary has its own main (no google-benchmark): the point is a
+// like-for-like A/B with identical work on both sides, best-of-3 to damp
+// scheduler noise.
+
+#include <chrono>
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cloud/tail.hpp"
+#include "core/dse.hpp"
+#include "core/profile.hpp"
+#include "reliab/fault_injection.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace arch21;
+
+struct Row {
+  std::string name;
+  double serial_s = 0;
+  double parallel_s = 0;
+  bool identical = false;
+  double speedup() const { return parallel_s > 0 ? serial_s / parallel_s : 0; }
+};
+
+// Best-of-3 wall clock of `fn()`; the last call's result is kept by the
+// caller via the lambda's side channel.
+template <typename F>
+double best_of_3(F&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+bool same(const Summary& a, const Summary& b) {
+  return a.n == b.n && a.mean == b.mean && a.stddev == b.stddev &&
+         a.min == b.min && a.p50 == b.p50 && a.p90 == b.p90 &&
+         a.p99 == b.p99 && a.p999 == b.p999 && a.max == b.max;
+}
+
+bool same(const core::DseResult& a, const core::DseResult& b) {
+  if (a.evaluated != b.evaluated || a.feasible != b.feasible ||
+      a.frontier.size() != b.frontier.size()) {
+    return false;
+  }
+  const auto& pa = a.frontier.points();
+  const auto& pb = b.frontier.points();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i].design.to_string() != pb[i].design.to_string() ||
+        pa[i].metrics.throughput_ops != pb[i].metrics.throughput_ops ||
+        pa[i].metrics.power_w != pb[i].metrics.power_w) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Row bench_fanout_sweep(ThreadPool& serial, ThreadPool& par) {
+  Row row{.name = "fanout_sweep(fanout=100, requests=20000)"};
+  auto leaf = cloud::make_leaf_distribution();
+  std::vector<cloud::FanoutRow> rs, rp;
+  row.serial_s = best_of_3(
+      [&] { rs = cloud::fanout_sweep({100}, 20000, leaf, 7, &serial); });
+  row.parallel_s = best_of_3(
+      [&] { rp = cloud::fanout_sweep({100}, 20000, leaf, 7, &par); });
+  row.identical = rs.size() == rp.size() &&
+                  rs[0].simulated_frac == rp[0].simulated_frac &&
+                  rs[0].p99_amplification == rp[0].p99_amplification;
+  return row;
+}
+
+Row bench_fork_join(ThreadPool& serial, ThreadPool& par) {
+  Row row{.name = "simulate_fork_join(fanout=100, requests=20000)"};
+  auto leaf = cloud::make_leaf_distribution();
+  cloud::ForkJoinResult rs, rp;
+  row.serial_s = best_of_3([&] {
+    rs = cloud::simulate_fork_join(100, 20000, leaf, {}, 7, &serial);
+  });
+  row.parallel_s = best_of_3(
+      [&] { rp = cloud::simulate_fork_join(100, 20000, leaf, {}, 7, &par); });
+  row.identical = same(rs.request_latency_ms, rp.request_latency_ms) &&
+                  same(rs.leaf_latency_ms, rp.leaf_latency_ms) &&
+                  rs.frac_over_leaf_p99 == rp.frac_over_leaf_p99;
+  return row;
+}
+
+Row bench_grid(ThreadPool& serial, ThreadPool& par) {
+  Row row{.name = "grid_search(default space, 10 repeats)"};
+  core::DesignSpace space;
+  const auto app = core::profile_mobile_vision();
+  core::DseResult rs, rp;
+  // A single grid pass is ~milliseconds; repeat to get a stable reading.
+  row.serial_s = best_of_3([&] {
+    for (int i = 0; i < 10; ++i) {
+      rs = core::grid_search(space, app, core::PlatformClass::Portable,
+                             &serial);
+    }
+  });
+  row.parallel_s = best_of_3([&] {
+    for (int i = 0; i < 10; ++i) {
+      rp = core::grid_search(space, app, core::PlatformClass::Portable, &par);
+    }
+  });
+  row.identical = same(rs, rp);
+  return row;
+}
+
+Row bench_campaign(ThreadPool& serial, ThreadPool& par) {
+  Row row{.name = "run_campaign(words=200000, p=1e-4)"};
+  const reliab::CampaignConfig cfg{
+      .words = 200'000, .flip_prob_per_bit = 1e-4, .seed = 99};
+  reliab::CampaignResult rs, rp;
+  row.serial_s = best_of_3([&] { rs = reliab::run_campaign(cfg, &serial); });
+  row.parallel_s = best_of_3([&] { rp = reliab::run_campaign(cfg, &par); });
+  row.identical = rs.clean == rp.clean && rs.corrected == rp.corrected &&
+                  rs.detected == rp.detected && rs.silent == rp.silent;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool serial(1);
+  ThreadPool par;  // default_threads(): hardware_concurrency or
+                   // ARCH21_THREADS
+  std::cout << "parallel harness: serial pool=1 vs parallel pool="
+            << par.size() << "\n";
+
+  std::vector<Row> rows;
+  rows.push_back(bench_fanout_sweep(serial, par));
+  rows.push_back(bench_fork_join(serial, par));
+  rows.push_back(bench_grid(serial, par));
+  rows.push_back(bench_campaign(serial, par));
+
+  bool all_identical = true;
+  for (const auto& r : rows) {
+    std::cout << "  " << r.name << ": serial " << r.serial_s << " s, parallel "
+              << r.parallel_s << " s, speedup " << r.speedup()
+              << (r.identical ? "  [bit-identical]" : "  [MISMATCH]") << "\n";
+    all_identical = all_identical && r.identical;
+  }
+
+  std::ofstream out("BENCH_parallel.json");
+  out << "{\n  \"threads\": " << par.size() << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"serial_s\": " << r.serial_s
+        << ", \"parallel_s\": " << r.parallel_s
+        << ", \"speedup\": " << r.speedup()
+        << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote BENCH_parallel.json\n";
+  return all_identical ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + full test suite, then a ThreadSanitizer pass
+# over the concurrency-bearing tests (thread pool, parallel engines, and
+# their heaviest consumer).  Fails on any test failure or reported race.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: plain build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure
+
+echo "== tier-1: ThreadSanitizer pass =="
+cmake -B build-tsan -S . -DARCH21_SAN=thread >/dev/null
+cmake --build build-tsan -j "$(nproc)" --target \
+  test_thread_pool test_cloud_tail test_parallel_determinism
+for t in test_thread_pool test_cloud_tail test_parallel_determinism; do
+  echo "-- tsan: $t"
+  TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
+done
+
+echo "tier-1 OK"

@@ -21,6 +21,13 @@ ClusterResult simulate_cluster(const ClusterConfig& cfg) {
 
   ClusterResult res;
   const double horizon_ms = cfg.duration_s * 1000.0;
+  // All background arrivals and query starts are scheduled up front;
+  // pre-size the event heap for them (plus in-flight completions) so the
+  // hot loop never reallocates.
+  sim.reserve(static_cast<std::size_t>(
+                  cfg.duration_s * (cfg.background_rate_hz * cfg.leaves +
+                                    cfg.query_rate_hz) * 1.1) +
+              2 * cfg.leaves + 64);
   const double mu_log = std::log(cfg.leaf_service_ms) -
                         0.5 * cfg.service_sigma * cfg.service_sigma;
 

@@ -50,28 +50,52 @@ std::pair<double, bool> leaf_with_policy(const LatencyDist& leaf,
 
 }  // namespace
 
+namespace {
+
+/// Requests per reduce chunk.  Fixed (never thread-count-dependent) so
+/// chunked RNG streams and ordered merges reproduce at any pool size.
+constexpr std::size_t kRequestGrain = 256;
+
+}  // namespace
+
 ForkJoinResult simulate_fork_join(unsigned fanout, std::uint64_t requests,
                                   const LatencyDist& leaf, HedgePolicy policy,
-                                  std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> request_lat;
-  std::vector<double> leaf_lat;
-  request_lat.reserve(requests);
-  leaf_lat.reserve(requests * std::min<unsigned>(fanout, 4));
-  std::uint64_t backups = 0;
-  std::uint64_t leaves = 0;
-
-  for (std::uint64_t r = 0; r < requests; ++r) {
-    double worst = 0;
-    for (unsigned f = 0; f < fanout; ++f) {
-      const auto [lat, backup] = leaf_with_policy(leaf, policy, rng);
-      worst = std::max(worst, lat);
-      leaf_lat.push_back(lat);
-      backups += backup ? 1 : 0;
-      ++leaves;
-    }
-    request_lat.push_back(worst);
-  }
+                                  std::uint64_t seed, ThreadPool* pool) {
+  ThreadPool& tp = pool ? *pool : ThreadPool::global();
+  // Samples land in pre-sized slots (request r -> request_lat[r], its
+  // leaves -> leaf_lat[r*fanout ..]), so vector contents -- and the
+  // summaries computed from them -- are independent of chunk scheduling.
+  std::vector<double> request_lat(requests);
+  std::vector<double> leaf_lat(requests * fanout);
+  struct Counts {
+    std::uint64_t backups = 0;
+    std::uint64_t leaves = 0;
+  };
+  const Counts totals = tp.parallel_reduce<Counts>(
+      requests, Counts{}, kRequestGrain,
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        Counts out;
+        Rng rng(seed, chunk);
+        for (std::uint64_t r = begin; r < end; ++r) {
+          double worst = 0;
+          for (unsigned f = 0; f < fanout; ++f) {
+            const auto [lat, backup] = leaf_with_policy(leaf, policy, rng);
+            worst = std::max(worst, lat);
+            leaf_lat[r * fanout + f] = lat;
+            out.backups += backup ? 1 : 0;
+            ++out.leaves;
+          }
+          request_lat[r] = worst;
+        }
+        return out;
+      },
+      [](Counts acc, Counts c) {
+        acc.backups += c.backups;
+        acc.leaves += c.leaves;
+        return acc;
+      });
+  const std::uint64_t backups = totals.backups;
+  const std::uint64_t leaves = totals.leaves;
 
   ForkJoinResult res;
   res.request_latency_ms = Summary::of(request_lat);
@@ -90,26 +114,38 @@ ForkJoinResult simulate_fork_join(unsigned fanout, std::uint64_t requests,
 std::vector<FanoutRow> fanout_sweep(const std::vector<unsigned>& fanouts,
                                     std::uint64_t requests,
                                     const LatencyDist& leaf,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed, ThreadPool* pool) {
+  ThreadPool& tp = pool ? *pool : ThreadPool::global();
   std::vector<FanoutRow> rows;
+  std::vector<double> lat(requests);
   for (unsigned n : fanouts) {
-    Rng req_rng(seed + n);
-    std::vector<double> lat;
-    lat.reserve(requests);
     // The per-leaf p99 reference comes from the SAME draws that form the
     // row's requests; numerator and denominator then share sampling noise
     // (important because a straggler mixture puts p99 on a sparse cliff).
-    // A log histogram keeps memory bounded at large fan-out.
-    LogHistogram leaf_hist(1e-3, 1e6, 180);
-    for (std::uint64_t r = 0; r < requests; ++r) {
-      double worst = 0;
-      for (unsigned f = 0; f < n; ++f) {
-        const double v = leaf(req_rng);
-        leaf_hist.add(v);
-        worst = std::max(worst, v);
-      }
-      lat.push_back(worst);
-    }
+    // A log histogram keeps memory bounded at large fan-out.  Each chunk
+    // fills a private histogram from its Rng(seed + n, chunk) stream and
+    // writes request maxima into its lat slots; histograms merge in chunk
+    // order, so the row is bit-identical at any pool size.
+    const LogHistogram leaf_hist = tp.parallel_reduce<LogHistogram>(
+        requests, LogHistogram(1e-3, 1e6, 180), kRequestGrain,
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          LogHistogram hist(1e-3, 1e6, 180);
+          Rng req_rng(seed + n, chunk);
+          for (std::uint64_t r = begin; r < end; ++r) {
+            double worst = 0;
+            for (unsigned f = 0; f < n; ++f) {
+              const double v = leaf(req_rng);
+              hist.add(v);
+              worst = std::max(worst, v);
+            }
+            lat[r] = worst;
+          }
+          return hist;
+        },
+        [](LogHistogram acc, const LogHistogram& h) {
+          acc.merge(h);
+          return acc;
+        });
     const double leaf_p99 = leaf_hist.quantile(0.99);
     std::uint64_t over = 0;
     for (double worst : lat) over += worst >= leaf_p99 ? 1 : 0;

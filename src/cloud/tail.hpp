@@ -17,6 +17,7 @@
 
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace arch21::cloud {
 
@@ -52,11 +53,14 @@ struct ForkJoinResult {
   double frac_over_leaf_p99 = 0;
 };
 
-/// Run `requests` fork-join requests over `fanout` leaves.
+/// Run `requests` fork-join requests over `fanout` leaves.  Request
+/// chunks run on `pool` (ThreadPool::global() when null); chunk i draws
+/// from Rng(seed, i), so the result is bit-identical for any pool size.
 ForkJoinResult simulate_fork_join(unsigned fanout, std::uint64_t requests,
                                   const LatencyDist& leaf,
                                   HedgePolicy policy = {},
-                                  std::uint64_t seed = 7);
+                                  std::uint64_t seed = 7,
+                                  ThreadPool* pool = nullptr);
 
 /// Sweep fan-out values and report 1 - 0.99^N alongside the simulation.
 struct FanoutRow {
@@ -65,9 +69,12 @@ struct FanoutRow {
   double simulated_frac;  ///< measured fraction over leaf p99
   double p99_amplification;  ///< request p99 / leaf p99
 };
+/// Request chunks of row N run on `pool`; chunk i of that row draws from
+/// Rng(seed + N, i) (the historical per-row stream, chunk-derived).
 std::vector<FanoutRow> fanout_sweep(const std::vector<unsigned>& fanouts,
                                     std::uint64_t requests,
                                     const LatencyDist& leaf,
-                                    std::uint64_t seed = 7);
+                                    std::uint64_t seed = 7,
+                                    ThreadPool* pool = nullptr);
 
 }  // namespace arch21::cloud

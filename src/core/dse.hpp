@@ -12,6 +12,7 @@
 
 #include "core/evaluator.hpp"
 #include "core/pareto.hpp"
+#include "util/thread_pool.hpp"
 
 namespace arch21::core {
 
@@ -40,12 +41,17 @@ struct DseResult {
   std::uint64_t feasible = 0;
 };
 
+// grid_search and random_search evaluate design-point chunks on `pool`
+// (ThreadPool::global() when null).  Each chunk builds a local
+// ParetoFrontier, merged in ascending chunk order; random_search chunk i
+// draws from Rng(seed, i).  Results are bit-identical for any pool size.
+
 DseResult grid_search(const DesignSpace& space, const AppProfile& app,
-                      PlatformClass pc);
+                      PlatformClass pc, ThreadPool* pool = nullptr);
 
 DseResult random_search(const DesignSpace& space, const AppProfile& app,
                         PlatformClass pc, std::uint64_t budget,
-                        std::uint64_t seed);
+                        std::uint64_t seed, ThreadPool* pool = nullptr);
 
 DseResult hill_climb(const DesignSpace& space, const AppProfile& app,
                      PlatformClass pc, std::uint64_t restarts,

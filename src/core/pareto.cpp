@@ -27,6 +27,10 @@ bool ParetoFrontier::offer(EvaluatedPoint p) {
   return true;
 }
 
+void ParetoFrontier::merge(const ParetoFrontier& other) {
+  for (const auto& p : other.pts_) offer(p);
+}
+
 const EvaluatedPoint* ParetoFrontier::best_throughput() const {
   const EvaluatedPoint* best = nullptr;
   for (const auto& p : pts_) {

@@ -23,6 +23,12 @@ class ParetoFrontier {
   /// Offer a point; returns true if it joined the frontier.
   bool offer(EvaluatedPoint p);
 
+  /// Offer every point of `other`, in its stored order.  The parallel DSE
+  /// engines build one frontier per chunk and merge them in ascending
+  /// chunk-index order, which keeps the result bit-identical for any
+  /// thread count (offer order resolves exact-tie cases).
+  void merge(const ParetoFrontier& other);
+
   const std::vector<EvaluatedPoint>& points() const noexcept { return pts_; }
   std::size_t size() const noexcept { return pts_.size(); }
 

@@ -1,5 +1,6 @@
 #include "des/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -9,7 +10,8 @@ void Simulator::schedule_at(Time t, Action action) {
   if (t < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  queue_.push(Event{t, next_seq_++, std::move(action)});
+  queue_.push_back(Event{t, next_seq_++, std::move(action)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 std::uint64_t Simulator::run(Time until) {
@@ -20,15 +22,13 @@ std::uint64_t Simulator::run(Time until) {
 
 bool Simulator::step(Time until) {
   if (queue_.empty()) return false;
-  if (queue_.top().t > until) {
+  if (queue_.front().t > until) {
     now_ = until;
     return false;
   }
-  // priority_queue::top() is const; move out via const_cast on the action
-  // only after copying the header fields.  This is safe because we pop
-  // immediately and never observe the moved-from element.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
   now_ = ev.t;
   ++executed_;
   ev.action();

@@ -8,9 +8,9 @@
 // by a seeded Rng reproduces exactly, which the test suite relies on.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "util/inline_function.hpp"
 
 namespace arch21::des {
 
@@ -20,7 +20,12 @@ using Time = double;
 /// The event-driven simulator core.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  /// Scheduled callables are stored inline in the event record -- no heap
+  /// allocation per event for closures up to Action::capacity() bytes
+  /// (sized so des::Resource's completion closure, `this` + two doubles +
+  /// a std::function, fits; verified by test_des).  Larger closures fall
+  /// back to the heap.  Actions may be move-only.
+  using Action = InlineFunction<56>;
 
   /// Current simulation time.
   Time now() const noexcept { return now_; }
@@ -50,6 +55,11 @@ class Simulator {
   /// Total events executed since construction.
   std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Pre-size the event heap for an expected number of simultaneously
+  /// outstanding events, avoiding growth reallocations in schedule-heavy
+  /// runs (the cloud cluster sim schedules millions of events).
+  void reserve(std::size_t events) { queue_.reserve(events); }
+
   static constexpr Time kForever = 1e300;
 
  private:
@@ -65,7 +75,10 @@ class Simulator {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Binary heap managed with std::push_heap/std::pop_heap over a plain
+  // vector (instead of std::priority_queue) so storage can be reserved
+  // and the top event moved out without const_cast tricks.
+  std::vector<Event> queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -2,12 +2,18 @@
 
 namespace arch21::reliab {
 
-CampaignResult run_campaign(const CampaignConfig& cfg) {
-  Rng rng(cfg.seed);
-  CampaignResult res;
-  res.words = cfg.words;
+namespace {
 
-  for (std::uint64_t w = 0; w < cfg.words; ++w) {
+/// Codewords injected per reduce chunk (fixed so per-chunk RNG streams
+/// are independent of the worker count).
+constexpr std::size_t kWordGrain = 2048;
+
+CampaignResult campaign_chunk(const CampaignConfig& cfg, std::uint64_t begin,
+                              std::uint64_t end, std::uint64_t chunk) {
+  Rng rng(cfg.seed, chunk);
+  CampaignResult res;
+
+  for (std::uint64_t w = begin; w < end; ++w) {
     const std::uint64_t data = rng.next();
     Codeword cw = ecc_encode(data);
 
@@ -42,6 +48,26 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         break;
     }
   }
+  return res;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& cfg, ThreadPool* pool) {
+  ThreadPool& tp = pool ? *pool : ThreadPool::global();
+  CampaignResult res = tp.parallel_reduce<CampaignResult>(
+      cfg.words, CampaignResult{}, kWordGrain,
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        return campaign_chunk(cfg, begin, end, chunk);
+      },
+      [](CampaignResult acc, const CampaignResult& c) {
+        acc.clean += c.clean;
+        acc.corrected += c.corrected;
+        acc.detected += c.detected;
+        acc.silent += c.silent;
+        return acc;
+      });
+  res.words = cfg.words;
   return res;
 }
 

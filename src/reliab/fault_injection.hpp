@@ -11,6 +11,7 @@
 
 #include "reliab/ecc.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace arch21::reliab {
 
@@ -39,7 +40,10 @@ struct CampaignResult {
   }
 };
 
-/// Run one campaign.
-CampaignResult run_campaign(const CampaignConfig& cfg);
+/// Run one campaign.  Codeword chunks run on `pool` (ThreadPool::global()
+/// when null); chunk i draws from Rng(cfg.seed, i), and chunk counts fold
+/// in chunk order, so results are identical at any pool size.
+CampaignResult run_campaign(const CampaignConfig& cfg,
+                            ThreadPool* pool = nullptr);
 
 }  // namespace arch21::reliab

@@ -80,15 +80,28 @@ IntermittentResult run_intermittent(const IntermittentConfig& cfg) {
 }
 
 IntervalChoice best_checkpoint_interval(
-    IntermittentConfig cfg, const std::vector<std::uint64_t>& candidates) {
+    IntermittentConfig cfg, const std::vector<std::uint64_t>& candidates,
+    ThreadPool* pool) {
+  ThreadPool& tp = pool ? *pool : ThreadPool::global();
+  // Each candidate's trial is an independent deterministic simulation;
+  // run them on the pool, then pick the winner serially in candidate
+  // order (preserving the historical tie-break toward earlier entries).
+  std::vector<IntermittentResult> trials(candidates.size());
+  tp.parallel_for(candidates.size(),
+                  [&](std::size_t begin, std::size_t end, std::size_t) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      IntermittentConfig local = cfg;
+                      local.checkpoint_every = candidates[i];
+                      trials[i] = run_intermittent(local);
+                    }
+                  });
   IntervalChoice best;
   bool first = true;
-  for (std::uint64_t k : candidates) {
-    cfg.checkpoint_every = k;
-    const auto r = run_intermittent(cfg);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& r = trials[i];
     if (!r.completed) continue;
     if (first || r.elapsed_s < best.elapsed_s) {
-      best.interval = k;
+      best.interval = candidates[i];
       best.elapsed_s = r.elapsed_s;
       first = false;
     }

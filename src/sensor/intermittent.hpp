@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sensor/battery.hpp"
+#include "util/thread_pool.hpp"
 
 namespace arch21::sensor {
 
@@ -51,12 +52,16 @@ struct IntermittentResult {
 IntermittentResult run_intermittent(const IntermittentConfig& cfg);
 
 /// Scan checkpoint intervals and return the one minimizing completion
-/// time (ties broken toward fewer checkpoints).
+/// time (ties broken toward fewer checkpoints).  Candidate trials run on
+/// `pool` (ThreadPool::global() when null); each trial is a deterministic
+/// simulation and the winner is selected serially in candidate order, so
+/// the choice is identical at any pool size.
 struct IntervalChoice {
   std::uint64_t interval = 1;
   double elapsed_s = 0;
 };
-IntervalChoice best_checkpoint_interval(IntermittentConfig cfg,
-                                        const std::vector<std::uint64_t>& candidates);
+IntervalChoice best_checkpoint_interval(
+    IntermittentConfig cfg, const std::vector<std::uint64_t>& candidates,
+    ThreadPool* pool = nullptr);
 
 }  // namespace arch21::sensor

@@ -1,0 +1,127 @@
+#pragma once
+// Small-buffer-optimized, move-only `void()` callable for hot paths that
+// schedule millions of closures (the DES kernel foremost).  Unlike
+// std::function it never heap-allocates for callables whose size fits the
+// inline buffer, and it accepts move-only callables.  Closures larger
+// than the buffer fall back to the heap; every fallback is counted in a
+// process-wide counter so tests and benches can assert that a hot path
+// stayed allocation-free.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace arch21 {
+
+namespace detail {
+/// Process-wide count of InlineFunction heap fallbacks (monotone).
+inline std::atomic<std::uint64_t> inline_function_heap_allocs{0};
+}  // namespace detail
+
+/// Number of times any InlineFunction has fallen back to the heap since
+/// process start.  Sample before/after a hot loop to verify it allocated
+/// nothing (see test_des.cpp).
+inline std::uint64_t inline_function_heap_allocations() noexcept {
+  return detail::inline_function_heap_allocs.load(std::memory_order_relaxed);
+}
+
+/// Move-only `void()` callable with `Capacity` bytes of inline storage.
+/// Callables with sizeof <= Capacity (and suitable alignment) are stored
+/// in place; larger ones are heap-allocated behind a pointer kept in the
+/// same buffer.  Invoking an empty InlineFunction is undefined (like
+/// calling through a null function pointer); check with operator bool.
+template <std::size_t Capacity = 48>
+class InlineFunction {
+ public:
+  InlineFunction() noexcept = default;
+
+  /// Wrap any `void()`-invocable.  Taken by value so both lvalues (copied
+  /// in) and rvalues (moved in) work, including move-only callables.
+  template <typename F>
+    requires(!std::is_same_v<F, InlineFunction> && std::is_invocable_v<F&>)
+  InlineFunction(F f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(F) <= Capacity &&
+                  alignof(F) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) F(std::move(f));
+      vt_ = &kInlineVTable<F>;
+    } else {
+      ::new (static_cast<void*>(buf_)) F*(new F(std::move(f)));
+      detail::inline_function_heap_allocs.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      vt_ = &kHeapVTable<F>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  /// Largest callable stored without a heap allocation.
+  static constexpr std::size_t capacity() noexcept { return Capacity; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-construct dst's buffer from src's buffer, then destroy src's.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename F>
+  static constexpr VTable kInlineVTable = {
+      [](void* p) { (*std::launder(reinterpret_cast<F*>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        F* s = std::launder(reinterpret_cast<F*>(src));
+        ::new (dst) F(std::move(*s));
+        s->~F();
+      },
+      [](void* p) noexcept { std::launder(reinterpret_cast<F*>(p))->~F(); },
+  };
+
+  template <typename F>
+  static constexpr VTable kHeapVTable = {
+      [](void* p) { (**std::launder(reinterpret_cast<F**>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) F*(*std::launder(reinterpret_cast<F**>(src)));
+      },
+      [](void* p) noexcept { delete *std::launder(reinterpret_cast<F**>(p)); },
+  };
+
+  void move_from(InlineFunction& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vt_) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace arch21

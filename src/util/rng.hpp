@@ -51,6 +51,15 @@ class Rng {
     for (auto& s : state_) s = sm.next();
   }
 
+  /// Construct sub-stream `stream` of `seed`.  This is the repo-wide
+  /// seed-derivation convention for chunked parallel loops: chunk i of a
+  /// computation seeded with S draws from Rng(S, i), so results depend
+  /// only on the (fixed) chunk decomposition, never on which thread runs
+  /// the chunk.  See "Parallel execution & determinism" in DESIGN.md.
+  explicit constexpr Rng(std::uint64_t seed, std::uint64_t stream) noexcept
+      : Rng(SplitMix64(seed).next() ^
+            SplitMix64(stream ^ 0x6a09e667f3bcc909ULL).next()) {}
+
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept {
     return std::numeric_limits<result_type>::max();

@@ -1,13 +1,17 @@
 // Tests for the discrete-event kernel and the queued Resource: event
-// ordering, tie-breaking, time bounds, and M/M/1 behaviour.
+// ordering, tie-breaking, time bounds, M/M/1 behaviour, and the
+// no-heap-allocation guarantee for small scheduled closures.
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
 #include <stdexcept>
 #include <vector>
 
 #include "des/resource.hpp"
 #include "des/simulator.hpp"
+#include "util/inline_function.hpp"
 #include "util/rng.hpp"
 
 namespace arch21::des {
@@ -138,6 +142,62 @@ TEST(Resource, MultipleServersRunInParallel) {
   EXPECT_EQ(done, 3);
   EXPECT_EQ(sim.now(), 5.0);
   EXPECT_EQ(r.busy_time(), 15.0);
+}
+
+TEST(Simulator, SmallActionsDoNotHeapAllocate) {
+  // The whole point of InlineFunction-backed events: scheduling closures
+  // up to Action::capacity() bytes must never touch the heap (with the
+  // event vector pre-reserved so heap growth is out of the picture too).
+  Simulator sim;
+  sim.reserve(1024);
+  int fired = 0;
+  double acc = 0;
+  const auto before = arch21::inline_function_heap_allocations();
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule(static_cast<Time>(i + 1), [&fired, &acc, i] {
+      ++fired;
+      acc += i;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 1000);
+  EXPECT_EQ(arch21::inline_function_heap_allocations(), before);
+}
+
+TEST(Simulator, OversizedActionFallsBackToHeap) {
+  Simulator sim;
+  std::array<char, 96> big{};
+  big[3] = 1;
+  static_assert(sizeof(big) > Simulator::Action::capacity());
+  int out = 0;
+  const auto before = arch21::inline_function_heap_allocations();
+  sim.schedule(1.0, [big, &out] { out = big[3]; });
+  EXPECT_EQ(arch21::inline_function_heap_allocations(), before + 1);
+  sim.run();
+  EXPECT_EQ(out, 1);
+}
+
+TEST(Resource, CompletionEventsStayInline) {
+  // Action is sized at 56 bytes precisely so Resource's completion
+  // closure (this + two doubles + a std::function callback) stays
+  // inline; a queued M/M/1-style run must not allocate per event.
+  Simulator sim;
+  sim.reserve(256);
+  Resource r(sim, 1);
+  arch21::Rng rng(5);
+  double t = 0;
+  int done = 0;
+  std::function<void(Time, Time)> cb = [&done](Time, Time) { ++done; };
+  for (int i = 0; i < 100; ++i) {
+    t += rng.exponential(1.0);
+    const double s = rng.exponential(0.8);
+    sim.schedule_at(t, [&r, s, cb] { r.request(s, cb); });
+  }
+  const auto before = arch21::inline_function_heap_allocations();
+  sim.run();
+  EXPECT_EQ(done, 100);
+  EXPECT_EQ(r.completed(), 100u);
+  EXPECT_EQ(arch21::inline_function_heap_allocations(), before);
 }
 
 TEST(Resource, Mm1MeanSojournMatchesTheory) {

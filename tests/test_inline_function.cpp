@@ -1,0 +1,137 @@
+// Tests for the small-buffer-optimized callable: inline vs heap storage,
+// move semantics, move-only callables, and the heap-fallback counter the
+// DES no-allocation guarantee is verified with.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "util/inline_function.hpp"
+
+namespace arch21 {
+namespace {
+
+using Fn48 = InlineFunction<48>;
+
+TEST(InlineFunction, DefaultConstructedIsEmpty) {
+  Fn48 f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, InvokesSmallCallableWithoutHeap) {
+  const auto before = inline_function_heap_allocations();
+  int hits = 0;
+  Fn48 f([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(inline_function_heap_allocations(), before);
+}
+
+TEST(InlineFunction, CapacityBoundaryStaysInline) {
+  // A callable of exactly capacity() bytes must not allocate; one byte
+  // past it must.
+  static int out = 0;
+  std::array<char, Fn48::capacity()> payload{};
+  payload[0] = 42;
+  auto at_capacity = [payload] { out = payload[0]; };
+  static_assert(sizeof(at_capacity) == Fn48::capacity());
+  const auto before = inline_function_heap_allocations();
+  Fn48 f(at_capacity);
+  EXPECT_EQ(inline_function_heap_allocations(), before);
+  f();
+  EXPECT_EQ(out, 42);
+
+  std::array<char, Fn48::capacity() + 1> bigger{};
+  auto over_capacity = [bigger] { out = bigger[0]; };
+  static_assert(sizeof(over_capacity) > Fn48::capacity());
+  Fn48 g(over_capacity);
+  EXPECT_EQ(inline_function_heap_allocations(), before + 1);
+}
+
+TEST(InlineFunction, OversizedCallableUsesHeapAndCounts) {
+  const auto before = inline_function_heap_allocations();
+  std::array<char, 128> big{};
+  big[7] = 9;
+  int out = 0;
+  Fn48 f([big, &out] { out = big[7]; });
+  EXPECT_EQ(inline_function_heap_allocations(), before + 1);
+  f();
+  EXPECT_EQ(out, 9);
+}
+
+TEST(InlineFunction, MovePreservesStateInline) {
+  int count = 0;
+  Fn48 a([&count, acc = 0]() mutable { count = ++acc; });
+  a();
+  Fn48 b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(count, 2);  // internal accumulator moved with the callable
+  Fn48 c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(InlineFunction, MovePreservesStateHeap) {
+  const auto before = inline_function_heap_allocations();
+  std::array<char, 100> pad{};
+  int count = 0;
+  Fn48 a([&count, pad, acc = 0]() mutable {
+    (void)pad;
+    count = ++acc;
+  });
+  EXPECT_EQ(inline_function_heap_allocations(), before + 1);
+  a();
+  Fn48 b(std::move(a));
+  b();
+  EXPECT_EQ(count, 2);
+  // Moving a heap-stored callable transfers the pointer: no new allocation.
+  EXPECT_EQ(inline_function_heap_allocations(), before + 1);
+}
+
+TEST(InlineFunction, AcceptsMoveOnlyCallables) {
+  auto p = std::make_unique<int>(31);
+  int out = 0;
+  Fn48 f([p = std::move(p), &out] { out = *p; });
+  f();
+  EXPECT_EQ(out, 31);
+}
+
+TEST(InlineFunction, AcceptsStdFunctionLvalue) {
+  int hits = 0;
+  std::function<void()> fn = [&hits] { ++hits; };
+  Fn48 f(fn);  // copied in; sizeof(std::function) <= 48 stays inline
+  fn();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, MoveAssignDestroysPreviousTarget) {
+  int destroyed = 0;
+  struct Sentinel {
+    int* d;
+    explicit Sentinel(int* dd) : d(dd) {}
+    Sentinel(Sentinel&& o) noexcept : d(std::exchange(o.d, nullptr)) {}
+    ~Sentinel() {
+      if (d) ++*d;
+    }
+    void operator()() {}
+  };
+  {
+    Fn48 a{Sentinel(&destroyed)};
+    EXPECT_EQ(destroyed, 0);
+    a = Fn48([] {});
+    EXPECT_EQ(destroyed, 1);  // old callable destroyed on assignment
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+}  // namespace
+}  // namespace arch21

@@ -1,0 +1,246 @@
+// Determinism contract of the parallel execution layer: every engine
+// that fans work out over the thread pool must produce BIT-IDENTICAL
+// results for pool sizes 1, 2, and hardware_concurrency, and across two
+// runs at the same seed.  Chunk decompositions depend only on the trip
+// count and grain, per-chunk RNG streams are Rng(seed, chunk), and chunk
+// results fold in ascending chunk order -- so thread count must never
+// leak into a result.  See "Parallel execution & determinism" in
+// DESIGN.md.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloud/tail.hpp"
+#include "core/dse.hpp"
+#include "core/profile.hpp"
+#include "reliab/fault_injection.hpp"
+#include "sensor/intermittent.hpp"
+#include "util/thread_pool.hpp"
+
+namespace arch21 {
+namespace {
+
+std::vector<std::size_t> pool_sizes() {
+  std::vector<std::size_t> sizes = {1, 2};
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (hw != 1 && hw != 2) sizes.push_back(hw);
+  return sizes;
+}
+
+void expect_same_summary(const Summary& a, const Summary& b,
+                         const std::string& what) {
+  EXPECT_EQ(a.n, b.n) << what;
+  EXPECT_DOUBLE_EQ(a.mean, b.mean) << what;
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev) << what;
+  EXPECT_DOUBLE_EQ(a.min, b.min) << what;
+  EXPECT_DOUBLE_EQ(a.p50, b.p50) << what;
+  EXPECT_DOUBLE_EQ(a.p90, b.p90) << what;
+  EXPECT_DOUBLE_EQ(a.p99, b.p99) << what;
+  EXPECT_DOUBLE_EQ(a.p999, b.p999) << what;
+  EXPECT_DOUBLE_EQ(a.max, b.max) << what;
+}
+
+void expect_same_frontier(const core::DseResult& a, const core::DseResult& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.evaluated, b.evaluated) << what;
+  EXPECT_EQ(a.feasible, b.feasible) << what;
+  ASSERT_EQ(a.frontier.size(), b.frontier.size()) << what;
+  const auto& pa = a.frontier.points();
+  const auto& pb = b.frontier.points();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].design.to_string(), pb[i].design.to_string())
+        << what << " point " << i;
+    EXPECT_DOUBLE_EQ(pa[i].metrics.throughput_ops, pb[i].metrics.throughput_ops)
+        << what << " point " << i;
+    EXPECT_DOUBLE_EQ(pa[i].metrics.power_w, pb[i].metrics.power_w)
+        << what << " point " << i;
+    EXPECT_DOUBLE_EQ(pa[i].metrics.ops_per_watt, pb[i].metrics.ops_per_watt)
+        << what << " point " << i;
+  }
+}
+
+TEST(ParallelDeterminism, ForkJoinIdenticalAcrossPoolSizes) {
+  auto leaf = cloud::make_leaf_distribution();
+  ThreadPool one(1);
+  const auto ref = cloud::simulate_fork_join(50, 4000, leaf, {}, 33, &one);
+  for (std::size_t threads : pool_sizes()) {
+    ThreadPool pool(threads);
+    const auto got = cloud::simulate_fork_join(50, 4000, leaf, {}, 33, &pool);
+    const std::string what = "threads=" + std::to_string(threads);
+    expect_same_summary(ref.request_latency_ms, got.request_latency_ms,
+                        what + " request");
+    expect_same_summary(ref.leaf_latency_ms, got.leaf_latency_ms,
+                        what + " leaf");
+    EXPECT_DOUBLE_EQ(ref.extra_load_fraction, got.extra_load_fraction) << what;
+    EXPECT_DOUBLE_EQ(ref.frac_over_leaf_p99, got.frac_over_leaf_p99) << what;
+  }
+}
+
+TEST(ParallelDeterminism, ForkJoinHedgedIdenticalAcrossPoolSizes) {
+  auto leaf = cloud::make_leaf_distribution(5.0, 0.4, 0.02, 60.0, 1.4);
+  cloud::HedgePolicy hedged;
+  hedged.kind = cloud::HedgePolicy::Kind::Hedged;
+  hedged.hedge_delay_ms = 15.0;
+  ThreadPool one(1);
+  ThreadPool many(4);
+  const auto a = cloud::simulate_fork_join(100, 3000, leaf, hedged, 5, &one);
+  const auto b = cloud::simulate_fork_join(100, 3000, leaf, hedged, 5, &many);
+  expect_same_summary(a.request_latency_ms, b.request_latency_ms, "hedged");
+  EXPECT_DOUBLE_EQ(a.extra_load_fraction, b.extra_load_fraction);
+}
+
+TEST(ParallelDeterminism, FanoutSweepIdenticalAcrossPoolSizes) {
+  auto leaf = cloud::make_leaf_distribution();
+  ThreadPool one(1);
+  const auto ref = cloud::fanout_sweep({1, 10, 100}, 4000, leaf, 99, &one);
+  for (std::size_t threads : pool_sizes()) {
+    ThreadPool pool(threads);
+    const auto got = cloud::fanout_sweep({1, 10, 100}, 4000, leaf, 99, &pool);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(ref[i].fanout, got[i].fanout);
+      EXPECT_DOUBLE_EQ(ref[i].analytic_frac, got[i].analytic_frac);
+      EXPECT_DOUBLE_EQ(ref[i].simulated_frac, got[i].simulated_frac)
+          << "threads=" << threads << " row " << i;
+      EXPECT_DOUBLE_EQ(ref[i].p99_amplification, got[i].p99_amplification)
+          << "threads=" << threads << " row " << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, GridSearchIdenticalAcrossPoolSizes) {
+  core::DesignSpace space;  // default space: 19440 points, ~38 chunks
+  const auto app = core::profile_mobile_vision();
+  ThreadPool one(1);
+  const auto ref =
+      core::grid_search(space, app, core::PlatformClass::Portable, &one);
+  for (std::size_t threads : pool_sizes()) {
+    ThreadPool pool(threads);
+    const auto got =
+        core::grid_search(space, app, core::PlatformClass::Portable, &pool);
+    expect_same_frontier(ref, got, "grid threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminism, RandomSearchIdenticalAcrossPoolSizes) {
+  core::DesignSpace space;
+  const auto app = core::profile_graph_analytics();
+  ThreadPool one(1);
+  const auto ref = core::random_search(space, app,
+                                       core::PlatformClass::Departmental,
+                                       5000, 17, &one);
+  EXPECT_EQ(ref.evaluated, 5000u);
+  for (std::size_t threads : pool_sizes()) {
+    ThreadPool pool(threads);
+    const auto got = core::random_search(
+        space, app, core::PlatformClass::Departmental, 5000, 17, &pool);
+    expect_same_frontier(ref, got, "random threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminism, CampaignIdenticalAcrossPoolSizes) {
+  const reliab::CampaignConfig cfg{.words = 30000, .flip_prob_per_bit = 1e-3,
+                                   .seed = 2};
+  ThreadPool one(1);
+  const auto ref = reliab::run_campaign(cfg, &one);
+  for (std::size_t threads : pool_sizes()) {
+    ThreadPool pool(threads);
+    const auto got = reliab::run_campaign(cfg, &pool);
+    EXPECT_EQ(ref.clean, got.clean) << "threads=" << threads;
+    EXPECT_EQ(ref.corrected, got.corrected) << "threads=" << threads;
+    EXPECT_EQ(ref.detected, got.detected) << "threads=" << threads;
+    EXPECT_EQ(ref.silent, got.silent) << "threads=" << threads;
+    EXPECT_EQ(got.clean + got.corrected + got.detected + got.silent,
+              got.words);
+  }
+}
+
+TEST(ParallelDeterminism, CheckpointIntervalChoiceIdenticalAcrossPoolSizes) {
+  sensor::IntermittentConfig cfg;
+  cfg.work_units = 4000;
+  cfg.harvester.power_w = 2e-3;
+  cfg.harvester.p_active = 0.35;
+  cfg.harvester.cap_j = 40e-6;
+  cfg.on_threshold_j = 25e-6;
+  const std::vector<std::uint64_t> candidates = {1, 10, 50, 200, 2000};
+  ThreadPool one(1);
+  const auto ref = sensor::best_checkpoint_interval(cfg, candidates, &one);
+  for (std::size_t threads : pool_sizes()) {
+    ThreadPool pool(threads);
+    const auto got = sensor::best_checkpoint_interval(cfg, candidates, &pool);
+    EXPECT_EQ(ref.interval, got.interval) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(ref.elapsed_s, got.elapsed_s) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, RepeatedRunsAtSameSeedIdentical) {
+  auto leaf = cloud::make_leaf_distribution();
+  ThreadPool pool(4);
+  const auto a = cloud::simulate_fork_join(20, 2000, leaf, {}, 7, &pool);
+  const auto b = cloud::simulate_fork_join(20, 2000, leaf, {}, 7, &pool);
+  expect_same_summary(a.request_latency_ms, b.request_latency_ms, "rerun");
+
+  core::DesignSpace space;
+  const auto app = core::profile_health_monitor();
+  const auto g1 =
+      core::grid_search(space, app, core::PlatformClass::Sensor, &pool);
+  const auto g2 =
+      core::grid_search(space, app, core::PlatformClass::Sensor, &pool);
+  expect_same_frontier(g1, g2, "grid rerun");
+}
+
+TEST(ParallelDeterminism, DesignSpacePointDecodeOrderPinned) {
+  // Pin the mixed-radix decode of DesignSpace::point so the parallel grid
+  // split can never silently reorder the space: the FIRST listed
+  // dimension (nodes) varies fastest, and each later dimension is a
+  // coarser stride.  point() must stay a pure function of its index.
+  const core::DesignSpace space;
+  const auto n = space.cardinality();
+  ASSERT_EQ(n, 3u * 5 * 8 * 3 * 3 * 3 * 3 * 2);
+
+  const auto p0 = space.point(0);  // first entry of every dimension
+  EXPECT_EQ(p0.node, "45nm");
+  EXPECT_DOUBLE_EQ(p0.vdd_scale, 0.6);
+  EXPECT_EQ(p0.cores, 1u);
+  EXPECT_DOUBLE_EQ(p0.bce_per_core, 1.0);
+  EXPECT_EQ(p0.accel, accel::EngineClass::ScalarCpu);
+  EXPECT_DOUBLE_EQ(p0.accel_area_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(p0.llc_mib, 2.0);
+  EXPECT_FALSE(p0.stacked_dram);
+
+  const auto plast = space.point(n - 1);  // last entry of every dimension
+  EXPECT_EQ(plast.node, "22nm");
+  EXPECT_DOUBLE_EQ(plast.vdd_scale, 1.0);
+  EXPECT_EQ(plast.cores, 128u);
+  EXPECT_DOUBLE_EQ(plast.bce_per_core, 16.0);
+  EXPECT_EQ(plast.accel, accel::EngineClass::Asic);
+  EXPECT_DOUBLE_EQ(plast.accel_area_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(plast.llc_mib, 32.0);
+  EXPECT_TRUE(plast.stacked_dram);
+
+  // Mid-point: index = 1 + 3*(2 + 5*4) = 67 decodes digit-by-digit as
+  // node[1], vdd[2], cores[4], then zeros.
+  const auto mid = space.point(67);
+  EXPECT_EQ(mid.node, "32nm");
+  EXPECT_DOUBLE_EQ(mid.vdd_scale, 0.8);
+  EXPECT_EQ(mid.cores, 16u);
+  EXPECT_DOUBLE_EQ(mid.bce_per_core, 1.0);
+  EXPECT_EQ(mid.accel, accel::EngineClass::ScalarCpu);
+  EXPECT_DOUBLE_EQ(mid.accel_area_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(mid.llc_mib, 2.0);
+  EXPECT_FALSE(mid.stacked_dram);
+
+  // Index arithmetic: +1 moves one step in the fastest dimension.
+  EXPECT_EQ(space.point(1).node, "32nm");
+  EXPECT_EQ(space.point(2).node, "22nm");
+  EXPECT_EQ(space.point(3).node, "45nm");
+  EXPECT_DOUBLE_EQ(space.point(3).vdd_scale, 0.7);
+}
+
+}  // namespace
+}  // namespace arch21

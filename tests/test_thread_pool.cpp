@@ -3,9 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -90,6 +95,135 @@ TEST(ThreadPool, SmallNFewerChunksThanItems) {
     for (std::size_t i = b; i < e; ++i) seen.insert(i);
   });
   EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(ThreadPool, ChunksAreNonEmptyAndBalanced) {
+  // Contract: chunks = clamp(n/grain, 1, size()*4); lengths differ by at
+  // most one and no chunk is empty, even when n is not divisible.
+  ThreadPool pool(2);
+  for (std::size_t n : {1u, 3u, 7u, 9u, 100u, 101u, 1000u}) {
+    std::mutex mu;
+    std::vector<std::size_t> lens;
+    pool.parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t) {
+      std::lock_guard lk(mu);
+      lens.push_back(e - b);
+    });
+    const std::size_t expect_chunks =
+        std::clamp<std::size_t>(n, 1, pool.size() * 4);
+    EXPECT_EQ(lens.size(), expect_chunks) << "n=" << n;
+    const auto [mn, mx] = std::minmax_element(lens.begin(), lens.end());
+    EXPECT_GE(*mn, 1u) << "n=" << n;
+    EXPECT_LE(*mx - *mn, 1u) << "n=" << n;
+  }
+}
+
+TEST(ThreadPool, GrainCoarsensChunks) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::size_t chunks = 0;
+  pool.parallel_for(
+      1000, [&](std::size_t, std::size_t, std::size_t) {
+        std::lock_guard lk(mu);
+        ++chunks;
+      },
+      /*grain=*/250);
+  EXPECT_EQ(chunks, 4u);  // clamp(1000/250, 1, 16)
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t b, std::size_t, std::size_t) {
+                          if (b == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&](std::size_t b, std::size_t e, std::size_t) {
+    ok.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, SubmitFromWorkerIsExecuted) {
+  // Tasks submitted from inside a pool task land on some deque and are
+  // drained (work stealing keeps them reachable from any worker).
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &ran] {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ReduceChunksIndependentOfPoolSize) {
+  EXPECT_EQ(ThreadPool::reduce_chunks(0, 100), 0u);
+  EXPECT_EQ(ThreadPool::reduce_chunks(1, 100), 1u);
+  EXPECT_EQ(ThreadPool::reduce_chunks(100, 100), 1u);
+  EXPECT_EQ(ThreadPool::reduce_chunks(101, 100), 2u);
+  EXPECT_EQ(ThreadPool::reduce_chunks(1000, 100), 10u);
+}
+
+TEST(ThreadPool, ParallelReduceCombinesInChunkOrder) {
+  // A non-commutative combine (string concatenation) exposes any
+  // out-of-order fold: the result must list chunks 0,1,2,... regardless
+  // of pool size.
+  auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    return pool.parallel_reduce<std::string>(
+        1000, std::string{}, /*grain=*/64,
+        [](std::size_t, std::size_t, std::size_t chunk) {
+          return "#" + std::to_string(chunk);
+        },
+        [](std::string acc, std::string part) { return acc + part; });
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(serial.substr(0, 6), "#0#1#2");
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(5), serial);
+  EXPECT_EQ(run(16), serial);
+}
+
+TEST(ThreadPool, ParallelReduceSumsEveryIndexOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 4321;
+  const auto sum = pool.parallel_reduce<std::uint64_t>(
+      n, std::uint64_t{0}, /*grain=*/100,
+      [](std::size_t b, std::size_t e, std::size_t) {
+        std::uint64_t s = 0;
+        for (std::size_t i = b; i < e; ++i) s += i;
+        return s;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ParallelReducePropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_reduce<int>(
+                   100, 0, /*grain=*/10,
+                   [](std::size_t b, std::size_t, std::size_t) -> int {
+                     if (b >= 50) throw std::runtime_error("chunk failed");
+                     return 1;
+                   },
+                   [](int a, int b) { return a + b; }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvOverride) {
+  // ARCH21_THREADS overrides hardware_concurrency for default pools.
+  setenv("ARCH21_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 3u);
+  ThreadPool pool;  // threads == 0 -> default_threads()
+  EXPECT_EQ(pool.size(), 3u);
+  setenv("ARCH21_THREADS", "garbage", 1);
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+  unsetenv("ARCH21_THREADS");
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
 }
 
 }  // namespace
