@@ -13,8 +13,9 @@ ctest --test-dir build --output-on-failure
 echo "== tier-1: ThreadSanitizer pass =="
 cmake -B build-tsan -S . -DARCH21_SAN=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target \
-  test_thread_pool test_cloud_tail test_parallel_determinism
-for t in test_thread_pool test_cloud_tail test_parallel_determinism; do
+  test_thread_pool test_cloud_tail test_parallel_determinism test_resilience
+for t in test_thread_pool test_cloud_tail test_parallel_determinism \
+         test_resilience; do
   echo "-- tsan: $t"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
 done

@@ -1,16 +1,104 @@
 #include "cloud/cluster.hpp"
 
 #include <cmath>
+#include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "des/resource.hpp"
 #include "des/simulator.hpp"
+#include "reliab/failure_trace.hpp"
 
 namespace arch21::cloud {
 
 // Simulation time unit: milliseconds.
 
+namespace {
+
+constexpr double kMsPerHour = 3.6e6;
+
+[[noreturn]] void bad(const char* strct, const char* field) {
+  throw std::invalid_argument(std::string(strct) + "::" + field);
+}
+
+}  // namespace
+
+void ClusterFaultConfig::validate() const {
+  if (!enabled) return;
+  if (!(leaf.mtbf_hours > 0)) {
+    bad("ClusterFaultConfig", "leaf.mtbf_hours must be > 0");
+  }
+  if (!(leaf.mttr_hours >= 0)) {
+    bad("ClusterFaultConfig", "leaf.mttr_hours must be >= 0");
+  }
+  if (leaves_per_domain > 0) {
+    if (!(domain.mtbf_hours > 0)) {
+      bad("ClusterFaultConfig", "domain.mtbf_hours must be > 0");
+    }
+    if (!(domain.mttr_hours >= 0)) {
+      bad("ClusterFaultConfig", "domain.mttr_hours must be >= 0");
+    }
+  }
+}
+
+void ClusterConfig::validate() const {
+  if (leaves == 0) bad("ClusterConfig", "leaves must be > 0");
+  if (!(query_rate_hz > 0)) bad("ClusterConfig", "query_rate_hz must be > 0");
+  if (!(leaf_service_ms > 0)) {
+    bad("ClusterConfig", "leaf_service_ms must be > 0");
+  }
+  if (!(service_sigma > 0)) bad("ClusterConfig", "service_sigma must be > 0");
+  if (!(background_rate_hz >= 0)) {
+    bad("ClusterConfig", "background_rate_hz must be >= 0");
+  }
+  if (background_rate_hz > 0 && !(background_ms > 0)) {
+    bad("ClusterConfig", "background_ms must be > 0");
+  }
+  if (!(duration_s > 0)) bad("ClusterConfig", "duration_s must be > 0");
+  if (!(hedge_after_ms >= 0)) {
+    bad("ClusterConfig", "hedge_after_ms must be >= 0");
+  }
+  faults.validate();
+  policy.validate();
+}
+
+void ClusterResult::merge(const ClusterResult& other) {
+  const double w_self = static_cast<double>(trials);
+  const double w_other = static_cast<double>(other.trials);
+  const double w = w_self + w_other;
+  auto avg = [&](double a, double b) { return (a * w_self + b * w_other) / w; };
+
+  queries += other.queries;
+  ok_queries += other.ok_queries;
+  degraded_queries += other.degraded_queries;
+  failed_queries += other.failed_queries;
+  query_ms.merge(other.query_ms);
+  leaf_ms.merge(other.leaf_ms);
+  mean_leaf_utilization =
+      avg(mean_leaf_utilization, other.mean_leaf_utilization);
+  hedge_fraction = avg(hedge_fraction, other.hedge_fraction);
+  leaf_requests += other.leaf_requests;
+  retries += other.retries;
+  hedges += other.hedges;
+  timeouts += other.timeouts;
+  lost_requests += other.lost_requests;
+  budget_denials += other.budget_denials;
+  leaf_failures += other.leaf_failures;
+  domain_failures += other.domain_failures;
+  retry_amplification = avg(retry_amplification, other.retry_amplification);
+  goodput_qps = avg(goodput_qps, other.goodput_qps);
+  availability_measured =
+      avg(availability_measured, other.availability_measured);
+  availability_predicted =
+      avg(availability_predicted, other.availability_predicted);
+  sum_result_quality += other.sum_result_quality;
+  trials += other.trials;
+  frac_over_leaf_p99 = query_ms.fraction_above(leaf_ms.quantile(0.99));
+}
+
 ClusterResult simulate_cluster(const ClusterConfig& cfg) {
+  cfg.validate();
   des::Simulator sim;
   Rng rng(cfg.seed);
   std::vector<std::unique_ptr<des::Resource>> leaves;
@@ -19,11 +107,17 @@ ClusterResult simulate_cluster(const ClusterConfig& cfg) {
     leaves.push_back(std::make_unique<des::Resource>(sim, 1));
   }
 
+  // Effective policy: the legacy hedge knob feeds the unified engine.
+  ResiliencePolicy pol = cfg.policy;
+  if (pol.hedge_after_ms == 0 && cfg.hedge_after_ms > 0) {
+    pol.hedge_after_ms = cfg.hedge_after_ms;
+  }
+
   ClusterResult res;
   const double horizon_ms = cfg.duration_s * 1000.0;
   // All background arrivals and query starts are scheduled up front;
   // pre-size the event heap for them (plus in-flight completions) so the
-  // hot loop never reallocates.
+  // hot loop rarely reallocates.
   sim.reserve(static_cast<std::size_t>(
                   cfg.duration_s * (cfg.background_rate_hz * cfg.leaves +
                                     cfg.query_rate_hz) * 1.1) +
@@ -31,40 +125,180 @@ ClusterResult simulate_cluster(const ClusterConfig& cfg) {
   const double mu_log = std::log(cfg.leaf_service_ms) -
                         0.5 * cfg.service_sigma * cfg.service_sigma;
 
-  std::uint64_t leaf_requests = 0;
-  std::uint64_t hedged = 0;
+  // --- failure injection (seeded trace replayed onto the DES) ---
+  // leaf_up[l] is the *effective* state: own state AND domain state.
+  // All three state vectors live at function scope so the replayed trace
+  // events (fired inside sim.run()) share them by reference.
+  std::vector<char> leaf_up(cfg.leaves, 1);
+  std::vector<char> own_up(cfg.leaves, 1);
+  std::vector<char> domain_up;
+  reliab::FailureTraceConfig fcfg;
+  auto set_effective = [&](unsigned l, bool up) {
+    if (leaf_up[l] && !up) {
+      // Crash: everything queued or in service on this leaf is lost.
+      res.lost_requests += leaves[l]->fail_all();
+    }
+    leaf_up[l] = up ? 1 : 0;
+  };
+  auto apply_transition = [&](const reliab::FailureEvent& ev) {
+    if (ev.is_domain) {
+      domain_up[ev.entity] = ev.up ? 1 : 0;
+      const unsigned begin = ev.entity * fcfg.leaves_per_domain;
+      const unsigned end = std::min(begin + fcfg.leaves_per_domain, cfg.leaves);
+      for (unsigned l = begin; l < end; ++l) {
+        set_effective(l, ev.up && own_up[l]);
+      }
+    } else {
+      own_up[ev.entity] = ev.up ? 1 : 0;
+      const bool dom_ok = fcfg.leaves_per_domain == 0 ||
+                          domain_up[ev.entity / fcfg.leaves_per_domain];
+      set_effective(ev.entity, ev.up && dom_ok);
+    }
+  };
+  if (cfg.faults.enabled) {
+    fcfg.leaves = cfg.leaves;
+    fcfg.leaves_per_domain = cfg.faults.leaves_per_domain;
+    fcfg.leaf = cfg.faults.leaf;
+    fcfg.domain = cfg.faults.domain;
+    fcfg.horizon_hours = horizon_ms / kMsPerHour;
+    // A dedicated sub-stream so the trace never perturbs workload draws.
+    fcfg.seed = Rng(cfg.seed, 0xFA17).next();
+    const reliab::FailureTrace trace = reliab::generate_failure_trace(fcfg);
+    res.leaf_failures = trace.leaf_failures;
+    res.domain_failures = trace.domain_failures;
+    res.availability_measured = trace.measured_leaf_availability(fcfg);
+    res.availability_predicted = fcfg.predicted_leaf_availability();
+    domain_up.assign(std::max(fcfg.domains(), 1u), 1);
+    for (const reliab::FailureEvent& ev : trace.events) {
+      sim.schedule_at(ev.t_hours * kMsPerHour,
+                      [&apply_transition, ev] { apply_transition(ev); });
+    }
+  }
 
-  // --- background load on each leaf ---
+  std::uint64_t started = 0;
+
+  // --- background load on each leaf (dropped while the leaf is down) ---
   for (unsigned l = 0; l < cfg.leaves; ++l) {
     double t = 0;
     Rng brng = rng.split();
+    if (cfg.background_rate_hz <= 0) continue;
     while (true) {
       t += brng.exponential(1000.0 / cfg.background_rate_hz);
       if (t >= horizon_ms) break;
       const double sz = brng.exponential(cfg.background_ms);
       des::Resource* leaf = leaves[l].get();
-      sim.schedule_at(t, [leaf, sz] { leaf->request(sz, nullptr); });
+      const char* up = &leaf_up[l];
+      sim.schedule_at(t, [leaf, sz, up] {
+        if (*up) leaf->request(sz, nullptr);
+      });
     }
   }
 
-  // --- fan-out queries ---
+  // --- fan-out queries through the policy engine ---
   struct QueryState {
-    unsigned outstanding = 0;
+    unsigned replied = 0;
     double start_ms = 0;
-    double worst_ms = 0;
+    bool closed = false;
+    des::EventHandle deadline{};
   };
   struct LeafCall {
     bool done = false;
-    bool hedge_issued = false;
+    unsigned attempts = 0;  // non-hedge issues so far
+    bool hedged = false;
+    des::EventHandle timeout{};
+    des::EventHandle hedge{};
   };
+  using QueryPtr = std::shared_ptr<QueryState>;
+  using CallPtr = std::shared_ptr<LeafCall>;
 
   Rng qrng = rng.split();
-  Rng hrng = rng.split();
+  Rng crng = rng.split();  // client-side picks: hedge/retry targets, jitter
+  double budget_tokens = pol.budget.burst;
+  const unsigned quorum_needed = static_cast<unsigned>(
+      std::ceil(pol.quorum.quorum_fraction * static_cast<double>(cfg.leaves)));
+
+  // Issue one attempt (or hedge) of a leaf call against `target`.
+  // Recursive through retry/hedge timers, hence the std::function.
+  std::function<void(const QueryPtr&, const CallPtr&, double, unsigned, bool)>
+      issue = [&](const QueryPtr& q, const CallPtr& call, double service,
+                  unsigned target, bool is_hedge) {
+        if (call->done || q->closed) return;
+        ++res.leaf_requests;
+        if (is_hedge) {
+          ++res.hedges;
+        } else {
+          ++call->attempts;
+          if (pol.budget.enabled && call->attempts == 1) {
+            budget_tokens =
+                std::min(budget_tokens + pol.budget.ratio, pol.budget.burst);
+          }
+        }
+
+        if (leaf_up[target]) {
+          leaves[target]->request(service, [&, q, call](double, double) {
+            if (call->done) return;  // a faster attempt already answered
+            call->done = true;
+            sim.cancel(call->timeout);
+            sim.cancel(call->hedge);
+            const double lat = sim.now() - q->start_ms;
+            res.leaf_ms.add(lat);
+            if (q->closed) return;  // degraded/failed; reply arrived late
+            if (++q->replied == cfg.leaves) {
+              q->closed = true;
+              sim.cancel(q->deadline);
+              ++res.ok_queries;
+              res.sum_result_quality += 1.0;
+              res.query_ms.add(lat);
+            }
+          });
+        } else {
+          // The request vanishes into a dead leaf; only a timeout (or the
+          // query deadline) will tell the client.
+          ++res.lost_requests;
+        }
+
+        if (!is_hedge && pol.hedge_after_ms > 0 && !call->hedged &&
+            call->attempts == 1) {
+          call->hedge = sim.schedule_cancellable(
+              pol.hedge_after_ms, [&, q, call, service] {
+                if (call->done || q->closed) return;
+                call->hedged = true;
+                issue(q, call, service,
+                      static_cast<unsigned>(crng.below(cfg.leaves)), true);
+              });
+        }
+        if (!is_hedge && pol.retry.timeout_ms > 0) {
+          call->timeout = sim.schedule_cancellable(
+              pol.retry.timeout_ms, [&, q, call, service] {
+                if (call->done || q->closed) return;
+                ++res.timeouts;
+                if (call->attempts > pol.retry.max_retries) return;
+                if (pol.budget.enabled) {
+                  if (budget_tokens < 1.0) {
+                    ++res.budget_denials;
+                    return;
+                  }
+                  budget_tokens -= 1.0;
+                }
+                ++res.retries;
+                const double backoff =
+                    pol.retry.backoff_ms(call->attempts - 1, crng);
+                // Retry against a random replica, like the hedge path.
+                const unsigned alt =
+                    static_cast<unsigned>(crng.below(cfg.leaves));
+                sim.schedule(backoff, [&, q, call, service, alt] {
+                  issue(q, call, service, alt, false);
+                });
+              });
+        }
+      };
+
   double qt = 0;
   while (true) {
     qt += qrng.exponential(1000.0 / cfg.query_rate_hz);
     if (qt >= horizon_ms) break;
-    // Pre-draw per-leaf service times for determinism.
+    // Pre-draw per-leaf service times so the workload is identical across
+    // policy/fault variants of the same seed.
     auto services = std::make_shared<std::vector<double>>();
     services->reserve(cfg.leaves);
     for (unsigned l = 0; l < cfg.leaves; ++l) {
@@ -73,50 +307,37 @@ ClusterResult simulate_cluster(const ClusterConfig& cfg) {
 
     sim.schedule_at(qt, [&, services] {
       auto q = std::make_shared<QueryState>();
-      q->outstanding = cfg.leaves;
       q->start_ms = sim.now();
-
-      auto leaf_done = [&, q](double completion_ms) {
-        const double lat = completion_ms - q->start_ms;
-        res.leaf_ms.add(lat);
-        q->worst_ms = std::max(q->worst_ms, lat);
-        if (--q->outstanding == 0) {
-          res.query_ms.add(q->worst_ms);
-          ++res.queries;
-        }
-      };
-
+      ++started;
+      if (pol.quorum.enabled()) {
+        q->deadline = sim.schedule_cancellable(
+            pol.quorum.deadline_ms, [&, q] {
+              if (q->closed) return;
+              q->closed = true;
+              if (q->replied >= quorum_needed) {
+                ++res.degraded_queries;
+                res.sum_result_quality +=
+                    static_cast<double>(q->replied) /
+                    static_cast<double>(cfg.leaves);
+                res.query_ms.add(sim.now() - q->start_ms);
+              } else {
+                ++res.failed_queries;
+              }
+            });
+      }
       for (unsigned l = 0; l < cfg.leaves; ++l) {
-        const double service = (*services)[l];
-        auto call = std::make_shared<LeafCall>();
-        ++leaf_requests;
-        leaves[l]->request(service, [&, q, call, leaf_done](double, double) {
-          if (call->done) return;  // hedge already answered
-          call->done = true;
-          leaf_done(sim.now());
-        });
-        if (cfg.hedge_after_ms > 0) {
-          const unsigned alt =
-              static_cast<unsigned>(hrng.below(cfg.leaves));
-          sim.schedule(cfg.hedge_after_ms, [&, q, call, leaf_done, alt,
-                                            service] {
-            if (call->done || call->hedge_issued) return;
-            call->hedge_issued = true;
-            ++hedged;
-            ++leaf_requests;
-            leaves[alt]->request(service,
-                                 [&, call, leaf_done](double, double) {
-                                   if (call->done) return;
-                                   call->done = true;
-                                   leaf_done(sim.now());
-                                 });
-          });
-        }
+        issue(q, std::make_shared<LeafCall>(), (*services)[l], l, false);
       }
     });
   }
 
   sim.run();
+
+  res.queries = started;
+  // Queries that neither completed nor resolved at a deadline (e.g. a
+  // reply lost to a crash with no timeout armed) are failures too.
+  res.failed_queries +=
+      started - res.ok_queries - res.degraded_queries - res.failed_queries;
 
   double util = 0;
   for (const auto& leaf : leaves) {
@@ -124,9 +345,19 @@ ClusterResult simulate_cluster(const ClusterConfig& cfg) {
   }
   res.mean_leaf_utilization = util / static_cast<double>(cfg.leaves);
   res.hedge_fraction =
-      leaf_requests ? static_cast<double>(hedged) /
-                          static_cast<double>(leaf_requests)
-                    : 0;
+      res.leaf_requests ? static_cast<double>(res.hedges) /
+                              static_cast<double>(res.leaf_requests)
+                        : 0;
+  res.retry_amplification =
+      started ? static_cast<double>(res.leaf_requests) /
+                    (static_cast<double>(started) *
+                     static_cast<double>(cfg.leaves))
+              : 0;
+  res.goodput_qps =
+      static_cast<double>(res.ok_queries + res.degraded_queries) /
+      cfg.duration_s;
+  res.frac_over_leaf_p99 =
+      res.query_ms.fraction_above(res.leaf_ms.quantile(0.99));
   return res;
 }
 

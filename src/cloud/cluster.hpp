@@ -6,14 +6,43 @@
 // *queueing interference*, which is where real tails come from, and lets
 // hedging be evaluated under induced extra load -- the feedback loop that
 // makes naive hedging dangerous.
+//
+// Resilience layer (the paper's "break away from the dominant fault
+// model"): leaves *fail and recover* along a seeded reliab failure trace
+// with correlated rack/PSU failure domains; the client side runs a
+// ResiliencePolicy (timeouts, budgeted retries, hedging, quorum
+// degradation); and ClusterResult reports availability, goodput, retry
+// amplification, and result quality next to the latency histograms, so
+// the whole failure -> mitigation -> degradation loop is one
+// reproducible experiment.
 
 #include <cstdint>
 #include <vector>
 
+#include "cloud/policy.hpp"
+#include "reliab/availability.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
 
 namespace arch21::cloud {
+
+/// Failure injection for the cluster's leaves.  Components use the
+/// reliab MTBF/MTTR convention (hours); at simulation timescales the
+/// interesting regimes are small fractions of an hour.  The defaults
+/// give ~1% per-leaf unavailability (50 s MTBF, 0.5 s MTTR).
+struct ClusterFaultConfig {
+  bool enabled = false;
+  reliab::Component leaf{.mtbf_hours = 50.0 / 3600.0,
+                         .mttr_hours = 0.5 / 3600.0};
+  /// Leaves per rack/PSU failure domain; one domain event takes the whole
+  /// group down at once.  0 disables correlated failures.
+  unsigned leaves_per_domain = 0;
+  reliab::Component domain{.mtbf_hours = 500.0 / 3600.0,
+                           .mttr_hours = 1.0 / 3600.0};
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
 
 /// Cluster/workload configuration.
 struct ClusterConfig {
@@ -26,17 +55,62 @@ struct ClusterConfig {
   double duration_s = 30;           ///< simulated time
   std::uint64_t seed = 2014;
   /// Hedging: reissue the straggling leaf request to a random other leaf
-  /// when it exceeds this many ms (0 = disabled).
+  /// when it exceeds this many ms (0 = disabled).  Legacy alias for
+  /// policy.hedge_after_ms; used when the policy's own field is 0.
   double hedge_after_ms = 0;
+  /// Failure injection (off by default).
+  ClusterFaultConfig faults;
+  /// Client-side mitigation policies (all off by default).
+  ResiliencePolicy policy;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
-/// Simulation output.
+/// Simulation output.  Counters are raw so multi-trial aggregates can
+/// merge(); ratio fields are averaged per-trial.
 struct ClusterResult {
-  std::uint64_t queries = 0;
-  LogHistogram query_ms{1e-2, 1e5, 90};
+  std::uint64_t queries = 0;            ///< queries started
+  std::uint64_t ok_queries = 0;         ///< every leaf contributed
+  std::uint64_t degraded_queries = 0;   ///< returned on quorum at deadline
+  std::uint64_t failed_queries = 0;     ///< missed quorum / never completed
+  LogHistogram query_ms{1e-2, 1e5, 90}; ///< answered (ok + degraded) queries
   LogHistogram leaf_ms{1e-2, 1e5, 90};
   double mean_leaf_utilization = 0;
-  double hedge_fraction = 0;  ///< fraction of leaf requests that were hedged
+  double hedge_fraction = 0;  ///< fraction of leaf requests that were hedges
+
+  // --- resilience telemetry ---
+  std::uint64_t leaf_requests = 0;   ///< first attempts + retries + hedges
+  std::uint64_t retries = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t lost_requests = 0;   ///< sent to a down leaf or killed by it
+  std::uint64_t budget_denials = 0;  ///< retries suppressed by the budget
+  std::uint64_t leaf_failures = 0;   ///< injected leaf failure events
+  std::uint64_t domain_failures = 0; ///< injected domain failure events
+  /// leaf_requests / (queries * leaves): 1.0 = no extra load; a retry
+  /// storm shows up here first.
+  double retry_amplification = 0;
+  double goodput_qps = 0;            ///< answered queries per second
+  double availability_measured = 1;  ///< leaf up-fraction over the horizon
+  double availability_predicted = 1; ///< steady-state availability algebra
+  /// Sum over answered queries of (leaves contributing / leaves);
+  /// ok queries contribute 1.0.  The result-quality metric.
+  double sum_result_quality = 0;
+  /// Fraction of answered queries at least as slow as the leaf p99 --
+  /// the paper's 63%-at-fanout-100 claim, measured under queueing.
+  double frac_over_leaf_p99 = 0;
+  unsigned trials = 1;               ///< sims aggregated into this result
+
+  double mean_result_quality() const noexcept {
+    const std::uint64_t answered = ok_queries + degraded_queries;
+    return answered ? sum_result_quality / static_cast<double>(answered) : 0;
+  }
+
+  /// Fold `other` into this result: counters add, histograms merge,
+  /// per-trial ratios average (weighted by trial counts), and
+  /// frac_over_leaf_p99 is recomputed from the merged histograms.
+  void merge(const ClusterResult& other);
 };
 
 /// Run the cluster simulation.

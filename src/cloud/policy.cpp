@@ -1,0 +1,57 @@
+#include "cloud/policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace arch21::cloud {
+
+namespace {
+
+[[noreturn]] void bad(const char* strct, const char* field) {
+  throw std::invalid_argument(std::string(strct) + "::" + field);
+}
+
+}  // namespace
+
+double RetryPolicy::backoff_ms(unsigned retry_index, Rng& rng) const noexcept {
+  const double base =
+      backoff_base_ms * std::pow(backoff_mult, static_cast<double>(retry_index));
+  return base * (1.0 + jitter_frac * rng.uniform(-1.0, 1.0));
+}
+
+void RetryPolicy::validate() const {
+  if (timeout_ms < 0) bad("RetryPolicy", "timeout_ms must be >= 0");
+  if (max_retries > 0 && timeout_ms == 0) {
+    bad("RetryPolicy", "max_retries requires timeout_ms > 0");
+  }
+  if (backoff_base_ms < 0) bad("RetryPolicy", "backoff_base_ms must be >= 0");
+  if (backoff_mult < 1.0) bad("RetryPolicy", "backoff_mult must be >= 1");
+  if (jitter_frac < 0 || jitter_frac >= 1.0) {
+    bad("RetryPolicy", "jitter_frac must be in [0, 1)");
+  }
+}
+
+void RetryBudget::validate() const {
+  if (!enabled) return;
+  if (ratio <= 0) bad("RetryBudget", "ratio must be > 0 when enabled");
+  if (burst < 1.0) bad("RetryBudget", "burst must be >= 1 when enabled");
+}
+
+void QuorumPolicy::validate() const {
+  if (deadline_ms < 0) bad("QuorumPolicy", "deadline_ms must be >= 0");
+  if (quorum_fraction <= 0 || quorum_fraction > 1.0) {
+    bad("QuorumPolicy", "quorum_fraction must be in (0, 1]");
+  }
+}
+
+void ResiliencePolicy::validate() const {
+  retry.validate();
+  budget.validate();
+  if (hedge_after_ms < 0) {
+    bad("ResiliencePolicy", "hedge_after_ms must be >= 0");
+  }
+  quorum.validate();
+}
+
+}  // namespace arch21::cloud

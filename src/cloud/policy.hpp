@@ -1,0 +1,76 @@
+#pragma once
+// Client-side resilience policies for the fork-join cluster: per-request
+// timeouts, bounded retries with exponential backoff + jitter, a global
+// retry *budget* that prevents retry storms under overload, hedged
+// requests, and quorum-based graceful degradation.
+//
+// These are the standard production mitigations (Dean & Barroso's "Tail
+// at Scale", SRE retry-budget practice) that the paper's datacenter
+// agenda implies but never models; simulate_cluster() executes them
+// against injected failures so their costs -- extra backend load, lost
+// result quality -- are measured, not assumed.
+
+#include "util/rng.hpp"
+
+namespace arch21::cloud {
+
+/// Per-request timeout + bounded retry with exponential backoff.
+struct RetryPolicy {
+  /// Give up on a leaf request after this long (0 disables timeouts, and
+  /// with them retries -- a client that never times out never retries).
+  double timeout_ms = 0;
+  /// Maximum retries per leaf call after the initial attempt.
+  unsigned max_retries = 0;
+  double backoff_base_ms = 2.0;  ///< delay before the first retry
+  double backoff_mult = 2.0;     ///< multiplier per subsequent retry
+  double jitter_frac = 0.2;      ///< uniform +/- fraction on each backoff
+
+  /// Backoff before retry `retry_index` (0-based), jittered via `rng`.
+  double backoff_ms(unsigned retry_index, Rng& rng) const noexcept;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// Global token-bucket retry budget: every first-attempt leaf request
+/// credits `ratio` tokens (capped at `burst`); every retry debits one.
+/// A retry is only issued while a full token is available, so cluster-
+/// wide retry traffic is bounded by ratio x regular traffic + burst --
+/// the mechanism that keeps a failure burst from amplifying itself into
+/// a retry storm.
+struct RetryBudget {
+  bool enabled = false;
+  double ratio = 0.1;   ///< sustained retries per regular request
+  double burst = 50;    ///< initial tokens / bucket cap
+
+  void validate() const;
+};
+
+/// Quorum-based graceful degradation: at `deadline_ms` after the query
+/// started, the root returns a *partial* result if at least
+/// ceil(quorum_fraction * leaves) leaves have replied, trading result
+/// quality (fraction of leaves contributing) for bounded tail latency.
+struct QuorumPolicy {
+  double quorum_fraction = 1.0;  ///< 1.0 = only full results
+  double deadline_ms = 0;        ///< 0 = wait for every leaf
+
+  bool enabled() const noexcept {
+    return deadline_ms > 0 && quorum_fraction < 1.0;
+  }
+  void validate() const;
+};
+
+/// The full client-side policy stack for one cluster configuration.
+struct ResiliencePolicy {
+  RetryPolicy retry;
+  RetryBudget budget;
+  /// Hedging: reissue a straggling leaf request to a random other leaf
+  /// after this delay (0 = disabled).  Same semantics as the historical
+  /// ClusterConfig::hedge_after_ms, now unified with retries/timeouts.
+  double hedge_after_ms = 0;
+  QuorumPolicy quorum;
+
+  void validate() const;
+};
+
+}  // namespace arch21::cloud

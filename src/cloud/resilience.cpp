@@ -1,0 +1,94 @@
+#include "cloud/resilience.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace arch21::cloud {
+
+ClusterResult run_cluster_trials(const ClusterConfig& cfg, unsigned trials,
+                                 ThreadPool* pool) {
+  cfg.validate();
+  if (trials == 0) {
+    throw std::invalid_argument("run_cluster_trials: trials must be > 0");
+  }
+  ThreadPool& tp = pool ? *pool : ThreadPool::global();
+  ClusterResult identity;
+  identity.trials = 0;
+  return tp.parallel_reduce<ClusterResult>(
+      trials, std::move(identity), /*grain=*/1,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        ClusterResult acc;
+        acc.trials = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          ClusterConfig c = cfg;
+          c.seed = Rng(cfg.seed, i).next();
+          ClusterResult one = simulate_cluster(c);
+          if (acc.trials == 0) {
+            acc = std::move(one);
+          } else {
+            acc.merge(one);
+          }
+        }
+        return acc;
+      },
+      [](ClusterResult acc, ClusterResult chunk) {
+        if (acc.trials == 0) return chunk;
+        if (chunk.trials == 0) return acc;
+        acc.merge(chunk);
+        return acc;
+      });
+}
+
+ScenarioResult run_scenario(std::string name, const ClusterConfig& cfg,
+                            unsigned trials, ThreadPool* pool) {
+  return ScenarioResult{std::move(name), cfg,
+                        run_cluster_trials(cfg, trials, pool)};
+}
+
+std::vector<ScenarioResult> resilience_scenarios(const ClusterConfig& base,
+                                                 unsigned trials,
+                                                 const ScenarioPolicies& knobs,
+                                                 ThreadPool* pool) {
+  std::vector<ScenarioResult> out;
+
+  ClusterConfig baseline = base;
+  baseline.faults.enabled = false;
+  baseline.policy = {};
+  baseline.hedge_after_ms = 0;
+  out.push_back(run_scenario("baseline (no faults)", baseline, trials, pool));
+
+  ClusterConfig injected = base;
+  injected.faults.enabled = true;
+  injected.policy = {};
+  injected.hedge_after_ms = 0;
+  out.push_back(run_scenario("failures, no mitigation", injected, trials,
+                             pool));
+
+  ClusterConfig naive = injected;
+  naive.policy.retry.timeout_ms = knobs.timeout_ms;
+  naive.policy.retry.max_retries = knobs.naive_max_retries;
+  naive.policy.budget.enabled = false;
+  out.push_back(run_scenario("naive retries (no budget)", naive, trials,
+                             pool));
+
+  ClusterConfig budgeted = injected;
+  budgeted.policy.retry.timeout_ms = knobs.timeout_ms;
+  budgeted.policy.retry.max_retries = knobs.budget_max_retries;
+  budgeted.policy.budget.enabled = true;
+  budgeted.policy.budget.ratio = knobs.budget_ratio;
+  out.push_back(run_scenario("retry budget", budgeted, trials, pool));
+
+  ClusterConfig hedged = budgeted;
+  hedged.policy.hedge_after_ms = knobs.hedge_after_ms;
+  out.push_back(run_scenario("budget + hedging", hedged, trials, pool));
+
+  ClusterConfig quorum = hedged;
+  quorum.policy.quorum.quorum_fraction = knobs.quorum_fraction;
+  quorum.policy.quorum.deadline_ms = knobs.quorum_deadline_ms;
+  out.push_back(
+      run_scenario("budget + hedge + quorum", quorum, trials, pool));
+
+  return out;
+}
+
+}  // namespace arch21::cloud

@@ -1,0 +1,63 @@
+#pragma once
+// Multi-trial resilience experiments over the DES cluster.
+//
+// One cluster simulation is a single seeded sample path; resilience
+// claims (availability, retry amplification, degraded-query quality)
+// need many independent failure traces.  run_cluster_trials() runs
+// `trials` independent simulations -- trial i reseeded via the repo-wide
+// Rng(seed, i) sub-stream convention -- on the work-stealing pool and
+// folds the ClusterResults in trial order, so the aggregate is
+// bit-identical for ANY pool size (the PR-1 determinism contract).
+//
+// resilience_scenarios() packages the canonical experiment ladder
+// (baseline -> failures -> naive retries -> retry budget -> hedging ->
+// quorum degradation) used by bench_resilience, the resilience_drill
+// example, and core::render_resilience_report.
+
+#include <string>
+#include <vector>
+
+#include "cloud/cluster.hpp"
+#include "util/thread_pool.hpp"
+
+namespace arch21::cloud {
+
+/// Aggregate `trials` independent simulations of `cfg` (trial i runs with
+/// seed Rng(cfg.seed, i).next()).  Trials run on `pool`
+/// (ThreadPool::global() when null) and merge in trial order, so the
+/// result does not depend on the worker count.
+ClusterResult run_cluster_trials(const ClusterConfig& cfg, unsigned trials,
+                                 ThreadPool* pool = nullptr);
+
+/// One named scenario of the canonical resilience ladder.
+struct ScenarioResult {
+  std::string name;
+  ClusterConfig config;
+  ClusterResult result;
+};
+
+/// Knobs for the canonical ladder built on top of a base ClusterConfig.
+struct ScenarioPolicies {
+  double timeout_ms = 30;       ///< per-request timeout for retry scenarios
+  unsigned naive_max_retries = 16;  ///< "unbounded" retries, no budget
+  unsigned budget_max_retries = 3;
+  double budget_ratio = 0.1;    ///< retry budget: retries per request
+  double hedge_after_ms = 20;
+  double quorum_fraction = 0.95;
+  double quorum_deadline_ms = 60;
+};
+
+/// Run the six-step ladder, `trials` sims per step, on `pool`:
+///   1. baseline            -- no faults, no mitigation
+///   2. failures            -- fault injection, no mitigation
+///   3. naive retries       -- timeout + many retries, NO budget
+///   4. retry budget        -- timeout + bounded retries + budget
+///   5. budget + hedging
+///   6. budget + hedging + quorum degradation
+ScenarioResult run_scenario(std::string name, const ClusterConfig& cfg,
+                            unsigned trials, ThreadPool* pool = nullptr);
+std::vector<ScenarioResult> resilience_scenarios(
+    const ClusterConfig& base, unsigned trials,
+    const ScenarioPolicies& knobs = {}, ThreadPool* pool = nullptr);
+
+}  // namespace arch21::cloud

@@ -1,10 +1,14 @@
 #pragma once
-// Markdown report generation for DSE runs: the artifact a design team
-// would actually circulate.  Renders the search summary, the efficiency-
-// ladder verdict, the Pareto frontier, and the recommended designs.
+// Markdown report generation: the artifacts a design team would actually
+// circulate.  Renders DSE runs (search summary, efficiency-ladder
+// verdict, Pareto frontier, recommended designs) and resilience-ladder
+// experiments (availability / tail latency / retry amplification /
+// result quality across mitigation policies).
 
 #include <string>
+#include <vector>
 
+#include "cloud/resilience.hpp"
 #include "core/dse.hpp"
 
 namespace arch21::core {
@@ -12,5 +16,10 @@ namespace arch21::core {
 /// Render a DSE outcome as a self-contained markdown document.
 std::string render_report(const DseResult& result, const AppProfile& app,
                           PlatformClass pc);
+
+/// Render a resilience scenario ladder (see cloud::resilience_scenarios)
+/// as a self-contained markdown document.
+std::string render_resilience_report(
+    const std::vector<cloud::ScenarioResult>& scenarios);
 
 }  // namespace arch21::core

@@ -6,7 +6,7 @@
 namespace arch21::des {
 
 Resource::Resource(Simulator& sim, std::uint32_t servers)
-    : sim_(sim), servers_(servers) {
+    : sim_(sim), servers_(servers), slots_(servers) {
   if (servers == 0) {
     throw std::invalid_argument("Resource: need at least one server");
   }
@@ -23,24 +23,55 @@ void Resource::request(Time service_time,
 }
 
 void Resource::start(Job job) {
+  std::uint32_t slot = 0;
+  while (slots_[slot].active) ++slot;  // busy_ < servers_ guarantees a hit
+  Slot& s = slots_[slot];
+  s.active = true;
+  s.epoch = next_epoch_++;
+  s.start = sim_.now();
+  s.wait = sim_.now() - job.arrival;
+  s.service = job.service;
+  s.on_done = std::move(job.on_done);
   ++busy_;
-  const Time wait = sim_.now() - job.arrival;
-  const Time service = job.service;
-  busy_time_ += service;
-  // Capture the job by value in the completion event.
-  sim_.schedule(service, [this, wait, service,
-                          done = std::move(job.on_done)]() mutable {
-    --busy_;
-    ++completed_;
-    wait_stats_.add(wait);
-    sojourn_stats_.add(wait + service);
-    if (done) done(wait, wait + service);
-    if (!waiting_.empty() && busy_ < servers_) {
-      Job next = std::move(waiting_.front());
-      waiting_.pop_front();
-      start(std::move(next));
-    }
+  busy_time_ += s.service;
+  sim_.schedule(s.service, [this, slot, epoch = s.epoch] {
+    on_complete(slot, epoch);
   });
+}
+
+void Resource::on_complete(std::uint32_t slot, std::uint64_t epoch) {
+  Slot& s = slots_[slot];
+  if (!s.active || s.epoch != epoch) return;  // killed by fail_all()
+  s.active = false;
+  --busy_;
+  ++completed_;
+  wait_stats_.add(s.wait);
+  sojourn_stats_.add(s.wait + s.service);
+  auto done = std::move(s.on_done);
+  s.on_done = nullptr;
+  if (done) done(s.wait, s.wait + s.service);
+  if (!waiting_.empty() && busy_ < servers_) {
+    Job next = std::move(waiting_.front());
+    waiting_.pop_front();
+    start(std::move(next));
+  }
+}
+
+std::size_t Resource::fail_all() {
+  std::size_t lost = waiting_.size();
+  waiting_.clear();
+  for (Slot& s : slots_) {
+    if (!s.active) continue;
+    // Refund the service this job will never receive; the stale
+    // completion event sees a cleared slot and does nothing.
+    busy_time_ -= (s.start + s.service) - sim_.now();
+    s.active = false;
+    s.on_done = nullptr;
+    --busy_;
+    ++lost;
+  }
+  dropped_ += lost;
+  return lost;
 }
 
 }  // namespace arch21::des

@@ -2,10 +2,17 @@
 // Queued resources on top of the DES kernel: a k-server station with a
 // FIFO queue (the building block of M/M/k models and of the cloud
 // module's leaf servers), plus utilization/wait accounting.
+//
+// For the resilience layer the station is *failable*: fail_all() models a
+// crash -- every waiting job is dropped and every in-service job is
+// abandoned (its completion callback never fires, and the unrendered
+// service time is refunded from the busy-time account).  Clients that
+// need to notice the loss arm their own timeout on the DES.
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "des/simulator.hpp"
 #include "util/stats.hpp"
@@ -26,6 +33,13 @@ class Resource {
   void request(Time service_time,
                std::function<void(Time wait, Time total)> on_done);
 
+  /// Crash the station: drop all waiting jobs and abandon all in-service
+  /// jobs.  Abandoned completions never fire, and busy-time accounting
+  /// keeps only the service actually rendered before the crash.  The
+  /// station immediately accepts new work (a recovered server).  Returns
+  /// the number of jobs lost.
+  std::size_t fail_all();
+
   std::uint32_t servers() const noexcept { return servers_; }
   std::uint32_t busy() const noexcept { return busy_; }
   std::size_t queue_length() const noexcept { return waiting_.size(); }
@@ -36,6 +50,8 @@ class Resource {
   const OnlineStats& sojourn_stats() const noexcept { return sojourn_stats_; }
   /// Completed job count.
   std::uint64_t completed() const noexcept { return completed_; }
+  /// Jobs lost to fail_all() (waiting + in service at the crash).
+  std::uint64_t dropped() const noexcept { return dropped_; }
   /// Total busy server-seconds (for utilization = busy_time / (T*servers)).
   double busy_time() const noexcept { return busy_time_; }
 
@@ -45,16 +61,34 @@ class Resource {
     Time service;
     std::function<void(Time, Time)> on_done;
   };
+  // One in-service job per server slot.  The completion event captures
+  // only (this, slot, epoch) -- well inside Simulator::Action's inline
+  // capacity -- and the callback lives here, so a queued M/M/1-style run
+  // still schedules allocation-free.  The epoch detects jobs killed by
+  // fail_all(): a stale completion event finds a different epoch (or an
+  // inactive slot) and does nothing.
+  struct Slot {
+    bool active = false;
+    std::uint64_t epoch = 0;
+    Time start = 0;
+    Time wait = 0;
+    Time service = 0;
+    std::function<void(Time, Time)> on_done;
+  };
 
   void start(Job job);
+  void on_complete(std::uint32_t slot, std::uint64_t epoch);
 
   Simulator& sim_;
   std::uint32_t servers_;
   std::uint32_t busy_ = 0;
   std::deque<Job> waiting_;
+  std::vector<Slot> slots_;
+  std::uint64_t next_epoch_ = 1;
   OnlineStats wait_stats_;
   OnlineStats sojourn_stats_;
   std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
   double busy_time_ = 0;
 };
 

@@ -6,12 +6,32 @@
 
 namespace arch21::des {
 
-void Simulator::schedule_at(Time t, Action action) {
+std::uint64_t Simulator::enqueue(Time t, Action action) {
   if (t < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  queue_.push_back(Event{t, next_seq_++, std::move(action)});
+  const std::uint64_t seq = next_seq_++;
+  queue_.push_back(Event{t, seq, std::move(action)});
   std::push_heap(queue_.begin(), queue_.end(), Later{});
+  return seq;
+}
+
+void Simulator::schedule_at(Time t, Action action) {
+  enqueue(t, std::move(action));
+}
+
+EventHandle Simulator::schedule_cancellable_at(Time t, Action action) {
+  const std::uint64_t seq = enqueue(t, std::move(action));
+  cancellable_.emplace(seq, false);
+  return EventHandle{seq};
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  const auto it = cancellable_.find(h.seq);
+  if (it == cancellable_.end() || it->second) return false;
+  it->second = true;
+  return true;
 }
 
 std::uint64_t Simulator::run(Time until) {
@@ -21,18 +41,33 @@ std::uint64_t Simulator::run(Time until) {
 }
 
 bool Simulator::step(Time until) {
-  if (queue_.empty()) return false;
-  if (queue_.front().t > until) {
-    now_ = until;
-    return false;
+  for (;;) {
+    if (queue_.empty()) return false;
+    if (queue_.front().t > until) {
+      now_ = until;
+      return false;
+    }
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
+    if (!cancellable_.empty()) {
+      const auto it = cancellable_.find(ev.seq);
+      if (it != cancellable_.end()) {
+        const bool was_cancelled = it->second;
+        cancellable_.erase(it);
+        if (was_cancelled) {
+          // Discard without advancing the clock or executing: a cancelled
+          // event behaves as if it had never been scheduled.
+          ++cancelled_;
+          continue;
+        }
+      }
+    }
+    now_ = ev.t;
+    ++executed_;
+    ev.action();
+    return true;
   }
-  std::pop_heap(queue_.begin(), queue_.end(), Later{});
-  Event ev = std::move(queue_.back());
-  queue_.pop_back();
-  now_ = ev.t;
-  ++executed_;
-  ev.action();
-  return true;
 }
 
 }  // namespace arch21::des

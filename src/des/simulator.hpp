@@ -8,6 +8,7 @@
 // by a seeded Rng reproduces exactly, which the test suite relies on.
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "util/inline_function.hpp"
@@ -16,6 +17,14 @@ namespace arch21::des {
 
 /// Simulation time, in seconds.
 using Time = double;
+
+/// Handle to an event scheduled with schedule_cancellable().  Default-
+/// constructed handles are invalid; cancel() on them is a no-op.
+struct EventHandle {
+  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+  std::uint64_t seq = kInvalid;
+  bool valid() const noexcept { return seq != kInvalid; }
+};
 
 /// The event-driven simulator core.
 class Simulator {
@@ -38,6 +47,26 @@ class Simulator {
   /// Schedule `action` at absolute time `t` (must be >= now()).
   void schedule_at(Time t, Action action);
 
+  /// Schedule a *cancellable* event (the timeout/hedge-timer primitive of
+  /// the resilience layer).  Costs one hash-map entry per outstanding
+  /// cancellable event; the plain schedule path stays allocation-free.
+  EventHandle schedule_cancellable(Time delay, Action action) {
+    return schedule_cancellable_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancellable variant of schedule_at().
+  EventHandle schedule_cancellable_at(Time t, Action action);
+
+  /// Cancel a pending cancellable event.  Returns true if the event was
+  /// still pending (it will now never fire); false if it already fired,
+  /// was already cancelled, or the handle is invalid.  A cancelled event
+  /// is discarded lazily when its timestamp is reached -- it does not
+  /// advance the clock, count as executed, or run its action.
+  bool cancel(EventHandle h);
+
+  /// Number of cancelled events discarded so far.
+  std::uint64_t cancelled() const noexcept { return cancelled_; }
+
   /// Run until the event queue drains or `until` is reached (whichever is
   /// first).  Returns the number of events executed.
   std::uint64_t run(Time until = kForever);
@@ -49,7 +78,8 @@ class Simulator {
   /// True if no events are pending.
   bool idle() const noexcept { return queue_.empty(); }
 
-  /// Number of pending events.
+  /// Number of pending events (cancelled-but-not-yet-discarded events
+  /// still count until their timestamp passes).
   std::size_t pending() const noexcept { return queue_.size(); }
 
   /// Total events executed since construction.
@@ -75,13 +105,20 @@ class Simulator {
     }
   };
 
+  std::uint64_t enqueue(Time t, Action action);
+
   // Binary heap managed with std::push_heap/std::pop_heap over a plain
   // vector (instead of std::priority_queue) so storage can be reserved
   // and the top event moved out without const_cast tricks.
   std::vector<Event> queue_;
+  // seq -> cancelled?  Holds only events scheduled via the cancellable
+  // path, so the hot loop's lookup is skipped entirely (one empty() test)
+  // when no cancellable events are outstanding.
+  std::unordered_map<std::uint64_t, bool> cancellable_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
 };
 
 }  // namespace arch21::des

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace arch21::reliab {
 
@@ -22,6 +23,11 @@ double series_availability(const Component& c, unsigned n) {
 }
 
 double k_of_n_availability(const Component& c, unsigned k, unsigned n) {
+  if (k > n) {
+    throw std::invalid_argument(
+        "k_of_n_availability: k must be <= n (more required than present)");
+  }
+  if (k == 0) return 1.0;  // nothing required: trivially available
   const double a = c.availability();
   double total = 0;
   for (unsigned i = k; i <= n; ++i) {

@@ -25,7 +25,8 @@ struct Component {
 double series_availability(const Component& c, unsigned n);
 
 /// Availability of `n` identical components in parallel where `k` must
-/// be up (k-of-n redundancy, independent failures).
+/// be up (k-of-n redundancy, independent failures).  k == 0 is trivially
+/// available (probability 1); k > n throws std::invalid_argument.
 double k_of_n_availability(const Component& c, unsigned k, unsigned n);
 
 /// Expected downtime per year (minutes) at availability `a`.

@@ -1,0 +1,107 @@
+#include "reliab/failure_trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+namespace arch21::reliab {
+
+namespace {
+
+// Domain entity e draws from stream (kDomainStream | e) so leaf and
+// domain streams can never collide.
+constexpr std::uint64_t kDomainStream = std::uint64_t{1} << 32;
+
+void append_lifetime(std::vector<FailureEvent>& out, Rng rng,
+                     const Component& c, double horizon_hours,
+                     unsigned entity, bool is_domain,
+                     std::uint64_t& failures) {
+  double t = 0;
+  for (;;) {
+    t += rng.exponential(c.mtbf_hours);
+    if (t >= horizon_hours) return;
+    out.push_back({t, entity, is_domain, false});
+    ++failures;
+    t += rng.exponential(c.mttr_hours);
+    if (t >= horizon_hours) return;
+    out.push_back({t, entity, is_domain, true});
+  }
+}
+
+}  // namespace
+
+void FailureTraceConfig::validate() const {
+  auto bad = [](const char* field) {
+    throw std::invalid_argument(std::string("FailureTraceConfig::") + field);
+  };
+  if (leaves == 0) bad("leaves must be > 0");
+  if (horizon_hours <= 0) bad("horizon_hours must be > 0");
+  if (leaf.mtbf_hours <= 0) bad("leaf.mtbf_hours must be > 0");
+  if (leaf.mttr_hours < 0) bad("leaf.mttr_hours must be >= 0");
+  if (leaves_per_domain > 0) {
+    if (domain.mtbf_hours <= 0) bad("domain.mtbf_hours must be > 0");
+    if (domain.mttr_hours < 0) bad("domain.mttr_hours must be >= 0");
+  }
+}
+
+FailureTrace generate_failure_trace(const FailureTraceConfig& cfg) {
+  cfg.validate();
+  FailureTrace trace;
+  for (unsigned l = 0; l < cfg.leaves; ++l) {
+    append_lifetime(trace.events, Rng(cfg.seed, l), cfg.leaf,
+                    cfg.horizon_hours, l, false, trace.leaf_failures);
+  }
+  for (unsigned d = 0; d < cfg.domains(); ++d) {
+    append_lifetime(trace.events, Rng(cfg.seed, kDomainStream | d),
+                    cfg.domain, cfg.horizon_hours, d, true,
+                    trace.domain_failures);
+  }
+  // Deterministic total order: time, then domain events before leaf
+  // events (a rack dying takes its leaves with it at that instant), then
+  // entity, then recovery before failure.
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const FailureEvent& a, const FailureEvent& b) {
+              return std::tuple(a.t_hours, !a.is_domain, a.entity, !a.up) <
+                     std::tuple(b.t_hours, !b.is_domain, b.entity, !b.up);
+            });
+  return trace;
+}
+
+double FailureTrace::measured_leaf_availability(
+    const FailureTraceConfig& cfg) const {
+  cfg.validate();
+  std::vector<char> leaf_down(cfg.leaves, 0);
+  std::vector<char> domain_down(std::max(cfg.domains(), 1u), 0);
+  auto domain_of = [&](unsigned leaf) {
+    return cfg.leaves_per_domain ? leaf / cfg.leaves_per_domain : 0u;
+  };
+  auto effectively_up = [&](unsigned leaf) {
+    return !leaf_down[leaf] &&
+           (cfg.leaves_per_domain == 0 || !domain_down[domain_of(leaf)]);
+  };
+  unsigned up_count = cfg.leaves;
+  double up_leaf_hours = 0;
+  double last_t = 0;
+  for (const FailureEvent& ev : events) {
+    up_leaf_hours += static_cast<double>(up_count) * (ev.t_hours - last_t);
+    last_t = ev.t_hours;
+    if (ev.is_domain) {
+      domain_down[ev.entity] = ev.up ? 0 : 1;
+      up_count = 0;
+      for (unsigned l = 0; l < cfg.leaves; ++l) {
+        up_count += effectively_up(l) ? 1 : 0;
+      }
+    } else {
+      const bool was_up = effectively_up(ev.entity);
+      leaf_down[ev.entity] = ev.up ? 0 : 1;
+      const bool is_up = effectively_up(ev.entity);
+      if (was_up && !is_up) --up_count;
+      if (!was_up && is_up) ++up_count;
+    }
+  }
+  up_leaf_hours += static_cast<double>(up_count) * (cfg.horizon_hours - last_t);
+  return up_leaf_hours / (static_cast<double>(cfg.leaves) * cfg.horizon_hours);
+}
+
+}  // namespace arch21::reliab

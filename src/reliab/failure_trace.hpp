@@ -1,0 +1,77 @@
+#pragma once
+// Pre-generated failure traces for simulation-driven fault injection.
+// This is the bridge the paper's cross-cutting agenda asks for: the
+// availability *algebra* (reliab/availability.hpp) predicts steady-state
+// behaviour from MTBF/MTTR, and a FailureTrace turns the same Component
+// parameters into a concrete, seeded sequence of up/down transitions that
+// a discrete-event simulation replays -- so predicted and measured
+// availability can be compared in one experiment.
+//
+// Failures are *correlated* through failure domains: leaves are grouped
+// into domains (racks / PSUs), and a domain failure takes down the whole
+// group at once.  A leaf is effectively up only while both its own state
+// and its domain's state are up -- availability in series, exactly
+// series_availability() over {leaf, domain}.
+//
+// Determinism: entity e draws its whole lifetime from Rng(seed, stream_e)
+// (the PR-1 sub-stream convention), so the trace is a pure function of
+// the config -- independent of thread count, generation order, or any
+// consumer behaviour.
+
+#include <cstdint>
+#include <vector>
+
+#include "reliab/availability.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::reliab {
+
+/// Configuration for a leaf-cluster failure trace.
+struct FailureTraceConfig {
+  unsigned leaves = 100;
+  /// Leaves per failure domain (rack/PSU group); 0 disables domain
+  /// failures.  The last domain may be smaller if it does not divide.
+  unsigned leaves_per_domain = 0;
+  Component leaf{.mtbf_hours = 10'000, .mttr_hours = 4};
+  Component domain{.mtbf_hours = 50'000, .mttr_hours = 1};
+  double horizon_hours = 24;
+  std::uint64_t seed = 2014;
+
+  unsigned domains() const noexcept {
+    return leaves_per_domain == 0
+               ? 0
+               : (leaves + leaves_per_domain - 1) / leaves_per_domain;
+  }
+  /// Predicted steady-state availability of one leaf (its own failures in
+  /// series with its domain's, per the availability algebra).
+  double predicted_leaf_availability() const noexcept {
+    return leaf.availability() *
+           (leaves_per_domain > 0 ? domain.availability() : 1.0);
+  }
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// One transition in a failure trace.
+struct FailureEvent {
+  double t_hours = 0;     ///< transition time
+  unsigned entity = 0;    ///< leaf index, or domain index if is_domain
+  bool is_domain = false; ///< domain-level (correlated) event?
+  bool up = false;        ///< true = recovery, false = failure
+};
+
+/// A complete seeded trace over [0, horizon).
+struct FailureTrace {
+  std::vector<FailureEvent> events;  ///< sorted by (t, kind, entity)
+  std::uint64_t leaf_failures = 0;
+  std::uint64_t domain_failures = 0;
+
+  /// Mean fraction of leaf-time effectively up over the horizon
+  /// (own state AND domain state), by sweeping the event list.
+  double measured_leaf_availability(const FailureTraceConfig& cfg) const;
+};
+
+/// Generate the trace for `cfg` (validates first).
+FailureTrace generate_failure_trace(const FailureTraceConfig& cfg);
+
+}  // namespace arch21::reliab

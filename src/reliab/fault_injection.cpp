@@ -1,6 +1,19 @@
 #include "reliab/fault_injection.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace arch21::reliab {
+
+void CampaignConfig::validate() const {
+  auto bad = [](const char* field) {
+    throw std::invalid_argument(std::string("CampaignConfig::") + field);
+  };
+  if (words == 0) bad("words must be > 0");
+  if (!(flip_prob_per_bit >= 0.0) || flip_prob_per_bit > 1.0) {
+    bad("flip_prob_per_bit must be in [0, 1]");
+  }
+}
 
 namespace {
 
@@ -54,6 +67,7 @@ CampaignResult campaign_chunk(const CampaignConfig& cfg, std::uint64_t begin,
 }  // namespace
 
 CampaignResult run_campaign(const CampaignConfig& cfg, ThreadPool* pool) {
+  cfg.validate();
   ThreadPool& tp = pool ? *pool : ThreadPool::global();
   CampaignResult res = tp.parallel_reduce<CampaignResult>(
       cfg.words, CampaignResult{}, kWordGrain,

@@ -20,6 +20,9 @@ struct CampaignConfig {
   std::uint64_t words = 100'000;     ///< codewords per trial
   double flip_prob_per_bit = 1e-6;   ///< per-bit flip probability per interval
   std::uint64_t seed = 1234;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 /// Campaign outcome counts.

@@ -95,6 +95,26 @@ double LogHistogram::quantile(double q) const {
   return max_seen_;
 }
 
+double LogHistogram::fraction_above(double v) const {
+  if (total_ == 0) return 0.0;
+  if (v <= min_seen_) return 1.0;
+  if (v > max_seen_) return 0.0;
+  const std::size_t vb = bucket_of(v);
+  std::uint64_t above = 0;
+  for (std::size_t i = vb + 1; i < counts_.size(); ++i) above += counts_[i];
+  double in_bucket = 0;
+  if (counts_[vb] > 0 && vb > 0 && vb < counts_.size() - 1) {
+    const double lo = bucket_lo(vb);
+    const double hi = lo * growth_;
+    const double frac = std::clamp((hi - v) / (hi - lo), 0.0, 1.0);
+    in_bucket = frac * static_cast<double>(counts_[vb]);
+  } else if (counts_[vb] > 0 && vb == counts_.size() - 1) {
+    in_bucket = static_cast<double>(counts_[vb]);  // overflow: all >= v
+  }
+  return (static_cast<double>(above) + in_bucket) /
+         static_cast<double>(total_);
+}
+
 std::string LogHistogram::percentile_line() const {
   char buf[192];
   std::snprintf(buf, sizeof buf,

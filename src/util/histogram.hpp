@@ -32,6 +32,10 @@ class LogHistogram {
 
   std::uint64_t count() const noexcept { return total_; }
   double quantile(double q) const;
+  /// Fraction of recorded samples >= v (within-bucket linear
+  /// interpolation, same error bound as quantile()).  The tail-latency
+  /// experiments use this for "fraction of queries over the leaf p99".
+  double fraction_above(double v) const;
   double median() const { return quantile(0.5); }
   double mean() const noexcept { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
   double max_seen() const noexcept { return max_seen_; }

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "cloud/cluster.hpp"
 #include "cloud/power.hpp"
@@ -97,6 +99,52 @@ TEST(Cluster, HedgingCutsTailUnderInterference) {
             base.query_ms.quantile(0.99) * 0.9);
   EXPECT_GT(hedged.hedge_fraction, 0.0);
   EXPECT_LT(hedged.hedge_fraction, 0.5);
+}
+
+TEST(Cluster, ValidationRejectsBadConfigByName) {
+  ClusterConfig cfg;
+  cfg.leaves = 0;
+  try {
+    simulate_cluster(cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ClusterConfig"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("leaves"), std::string::npos);
+  }
+  cfg = {};
+  cfg.query_rate_hz = 0;
+  EXPECT_THROW(simulate_cluster(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.leaf_service_ms = -1;
+  EXPECT_THROW(simulate_cluster(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.background_rate_hz = -5;
+  EXPECT_THROW(simulate_cluster(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.duration_s = 0;
+  EXPECT_THROW(simulate_cluster(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.hedge_after_ms = -1;
+  EXPECT_THROW(simulate_cluster(cfg), std::invalid_argument);
+  // Nested fault / policy structs are validated through the top level.
+  cfg = {};
+  cfg.faults.enabled = true;
+  cfg.faults.leaf.mtbf_hours = 0;
+  EXPECT_THROW(simulate_cluster(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.faults.enabled = true;
+  cfg.faults.leaves_per_domain = 7;
+  cfg.faults.domain.mttr_hours = -1;
+  EXPECT_THROW(simulate_cluster(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.policy.retry.timeout_ms = -2;
+  EXPECT_THROW(simulate_cluster(cfg), std::invalid_argument);
+  // Disabled faults skip fault-field validation (cheap configs stay valid).
+  cfg = {};
+  cfg.faults.enabled = false;
+  cfg.faults.leaf.mtbf_hours = 0;
+  cfg.duration_s = 0.5;
+  EXPECT_NO_THROW(simulate_cluster(cfg));
 }
 
 TEST(Cluster, DeterministicForSeed) {

@@ -178,9 +178,9 @@ TEST(Simulator, OversizedActionFallsBackToHeap) {
 }
 
 TEST(Resource, CompletionEventsStayInline) {
-  // Action is sized at 56 bytes precisely so Resource's completion
-  // closure (this + two doubles + a std::function callback) stays
-  // inline; a queued M/M/1-style run must not allocate per event.
+  // Resource's completion closure captures only (this, slot, epoch) --
+  // the per-job callback lives in the slot -- so it fits well inside the
+  // 56-byte Action; a queued M/M/1-style run must not allocate per event.
   Simulator sim;
   sim.reserve(256);
   Resource r(sim, 1);
@@ -198,6 +198,118 @@ TEST(Resource, CompletionEventsStayInline) {
   EXPECT_EQ(done, 100);
   EXPECT_EQ(r.completed(), 100u);
   EXPECT_EQ(arch21::inline_function_heap_allocations(), before);
+}
+
+TEST(Simulator, CancelledEventsNeverFire) {
+  Simulator sim;
+  int fired = 0;
+  const auto h1 = sim.schedule_cancellable(1.0, [&] { ++fired; });
+  const auto h2 = sim.schedule_cancellable(2.0, [&] { ++fired; });
+  sim.schedule(3.0, [&] { ++fired; });
+  ASSERT_TRUE(h1.valid());
+  EXPECT_TRUE(sim.cancel(h1));
+  EXPECT_FALSE(sim.cancel(h1));  // double-cancel is a no-op
+  sim.run();
+  EXPECT_EQ(fired, 2);  // h2 and the plain event
+  EXPECT_EQ(sim.cancelled(), 1u);
+  EXPECT_EQ(sim.executed(), 2u);  // cancelled events are not "executed"
+  // A handle whose event already fired cannot be cancelled.
+  EXPECT_FALSE(sim.cancel(h2));
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulator, CancelledEventDoesNotAdvanceClock) {
+  Simulator sim;
+  const auto h = sim.schedule_cancellable(10.0, [] {});
+  sim.schedule(2.0, [] {});
+  sim.cancel(h);
+  sim.run();
+  // The cancelled event at t=10 is discarded without moving `now`.
+  EXPECT_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, CancelSurvivesEventQueueReallocation) {
+  // Handles are sequence numbers, not pointers: growing the event vector
+  // (and its side table) between schedule and cancel must not invalidate
+  // them.
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 64; ++i) {
+    handles.push_back(
+        sim.schedule_cancellable(100.0 + i, [&fired] { ++fired; }));
+  }
+  for (int i = 0; i < 4096; ++i) {  // force several heap regrowths
+    sim.schedule(1.0 + i, [] {});
+  }
+  for (int i = 0; i < 64; i += 2) EXPECT_TRUE(sim.cancel(handles[i]));
+  sim.run();
+  EXPECT_EQ(fired, 32);
+  EXPECT_EQ(sim.cancelled(), 32u);
+}
+
+TEST(Simulator, CancellationIsDeterministicAcrossReserveSizes) {
+  // Same schedule/cancel program under different initial reserves must
+  // produce identical firing orders and final clocks.
+  auto run = [](std::size_t reserve) {
+    Simulator sim;
+    if (reserve > 0) sim.reserve(reserve);
+    arch21::Rng rng(99);
+    std::vector<int> order;
+    std::vector<EventHandle> hs;
+    for (int i = 0; i < 200; ++i) {
+      const double t = rng.uniform(0.0, 100.0);
+      hs.push_back(sim.schedule_cancellable(t, [&order, i] {
+        order.push_back(i);
+      }));
+    }
+    for (int i = 0; i < 200; i += 3) sim.cancel(hs[i]);
+    sim.run();
+    order.push_back(static_cast<int>(sim.executed()));
+    order.push_back(static_cast<int>(sim.cancelled()));
+    return order;
+  };
+  const auto a = run(0);
+  const auto b = run(64);
+  const auto c = run(4096);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(Resource, FailAllDropsQueueAndInFlightWork) {
+  Simulator sim;
+  Resource r(sim, 2);
+  int completed = 0;
+  for (int i = 0; i < 5; ++i) {
+    r.request(10.0, [&](Time, Time) { ++completed; });
+  }
+  EXPECT_EQ(r.queue_length(), 3u);
+  sim.schedule(4.0, [&] { EXPECT_EQ(r.fail_all(), 5u); });
+  sim.run();
+  // No completion callback ever fires for dropped work, and the stale
+  // completion events are absorbed without effect.
+  EXPECT_EQ(completed, 0);
+  EXPECT_EQ(r.completed(), 0u);
+  EXPECT_EQ(r.dropped(), 5u);
+  EXPECT_EQ(r.queue_length(), 0u);
+  // Busy time only counts the service actually rendered before failure:
+  // two servers, 4 time units each.
+  EXPECT_DOUBLE_EQ(r.busy_time(), 8.0);
+}
+
+TEST(Resource, UsableAgainAfterFailAll) {
+  Simulator sim;
+  Resource r(sim, 1);
+  r.request(10.0, nullptr);
+  sim.schedule(1.0, [&] { r.fail_all(); });
+  sim.schedule(2.0, [&] { r.request(3.0, nullptr); });
+  sim.run();
+  EXPECT_EQ(r.completed(), 1u);
+  EXPECT_EQ(r.dropped(), 1u);
+  // The dropped job's stale completion event still pops at t=10 (lazy
+  // discard: it advances the clock but is absorbed without effect).
+  EXPECT_EQ(sim.now(), 10.0);
+  EXPECT_DOUBLE_EQ(r.busy_time(), 4.0);  // 1 rendered + 3 full
 }
 
 TEST(Resource, Mm1MeanSojournMatchesTheory) {

@@ -178,5 +178,49 @@ TEST(Campaign, CountsAddUp) {
   EXPECT_EQ(r.clean + r.corrected + r.detected + r.silent, r.words);
 }
 
+TEST(Campaign, RejectsInvalidConfig) {
+  try {
+    run_campaign({.words = 0});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("words"), std::string::npos);
+  }
+  EXPECT_THROW(run_campaign({.words = 100, .flip_prob_per_bit = -0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(run_campaign({.words = 100, .flip_prob_per_bit = 1.5}),
+               std::invalid_argument);
+  // Boundary values are legal.
+  EXPECT_NO_THROW(run_campaign({.words = 10, .flip_prob_per_bit = 0.0}));
+  EXPECT_NO_THROW(run_campaign({.words = 10, .flip_prob_per_bit = 1.0}));
+}
+
+TEST(Availability, KOfNEdgeCases) {
+  const Component c{.mtbf_hours = 9999, .mttr_hours = 1};
+  // k == 0: trivially available, even with zero components present.
+  EXPECT_DOUBLE_EQ(k_of_n_availability(c, 0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(k_of_n_availability(c, 0, 0), 1.0);
+  // Requiring more components than exist is a caller bug, not a 0.
+  EXPECT_THROW(k_of_n_availability(c, 4, 3), std::invalid_argument);
+  EXPECT_THROW(k_of_n_availability(c, 1, 0), std::invalid_argument);
+}
+
+TEST(Availability, NinesClampsAtPerfect) {
+  // a >= 1 means -log10(0) = inf: clamp to 12 instead of UB/overflow.
+  EXPECT_EQ(nines(1.0), 12u);
+  EXPECT_EQ(nines(1.0000001), 12u);
+  EXPECT_EQ(nines(0.999999999999999), 12u);  // beyond 12 nines still 12
+  EXPECT_EQ(nines(-0.5), 0u);
+}
+
+TEST(Availability, ReplicasUnreachableReturnsZero) {
+  const Component coin{.mtbf_hours = 1, .mttr_hours = 1};  // a = 0.5
+  // 1-of-n needs 1 - 0.5^n >= target; ten nines within 4 replicas is
+  // impossible -> sentinel 0, not max_n.
+  EXPECT_EQ(replicas_for_availability(coin, 0.9999999999, 4), 0u);
+  // Same target, enough headroom: 0.5^14 < 1e-4 <= 0.5^13 -> 14 replicas.
+  EXPECT_EQ(replicas_for_availability(coin, 0.9999, 16), 14u);
+  EXPECT_EQ(replicas_for_availability(coin, 0.9999, 8), 0u);
+}
+
 }  // namespace
 }  // namespace arch21::reliab
