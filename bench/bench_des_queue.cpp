@@ -1,0 +1,142 @@
+// E27 DES event-queue harness: replays identical seeded workloads
+// (schedule-heavy, cancel-heavy timeout-per-call, cluster-like fan-out)
+// through the production ladder/calendar queue and the reference binary
+// heap + unordered_map kernel it replaced, reports events/sec for both
+// and the speedup, and verifies the two queues executed *exactly* the
+// same event order -- the differential determinism check.  Emits
+// BENCH_des.json for the PR record; exit is nonzero if any order
+// diverges.  `--smoke` shrinks the workloads so tier1.sh can run the
+// differential check quickly (including under TSan).
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "des/reference_heap.hpp"
+#include "des/simulator.hpp"
+#include "des/workload.hpp"
+
+namespace {
+
+using namespace arch21;
+
+constexpr std::uint64_t kSeed = 2014;
+
+struct Row {
+  std::string name;
+  std::uint64_t events = 0;
+  double ladder_eps = 0;
+  double ref_eps = 0;
+  bool identical = false;
+  double speedup() const { return ref_eps > 0 ? ladder_eps / ref_eps : 0; }
+};
+
+/// Best-of-`reps` wall time of `fn()` in seconds (min absorbs scheduler
+/// noise on the 1-core CI host better than the mean).
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+template <typename LadderFn, typename RefFn>
+Row measure(const std::string& name, int reps, LadderFn ladder_run,
+            RefFn ref_run) {
+  Row row;
+  row.name = name;
+  // One differential pass first: the order check is the point; it also
+  // warms the allocator so the timed passes see steady state.
+  const des::WorkloadResult lad = ladder_run();
+  const des::WorkloadResult ref = ref_run();
+  row.identical = lad == ref;
+  row.events = lad.events();
+  row.ladder_eps =
+      static_cast<double>(lad.events()) / best_seconds(reps, ladder_run);
+  row.ref_eps =
+      static_cast<double>(ref.events()) / best_seconds(reps, ref_run);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int reps = smoke ? 1 : 3;
+  const std::uint32_t sched_n = smoke ? 20'000 : 400'000;
+  const std::uint32_t cancel_calls = smoke ? 4'000 : 150'000;
+  const std::uint32_t queries = smoke ? 400 : 20'000;
+  const std::uint32_t fanout = smoke ? 8 : 20;
+
+  std::cout << "DES event queue: ladder/calendar vs reference binary heap"
+            << (smoke ? " (smoke)" : "") << "\n\n";
+
+  std::vector<Row> rows;
+  rows.push_back(measure(
+      "schedule_heavy", reps,
+      [&] { return des::replay_schedule_heavy<des::Simulator>(kSeed, sched_n); },
+      [&] {
+        return des::replay_schedule_heavy<des::ReferenceSimulator>(kSeed,
+                                                                   sched_n);
+      }));
+  rows.push_back(measure(
+      "cancel_heavy", reps,
+      [&] {
+        return des::replay_cancel_heavy<des::Simulator>(kSeed, cancel_calls);
+      },
+      [&] {
+        return des::replay_cancel_heavy<des::ReferenceSimulator>(kSeed,
+                                                                 cancel_calls);
+      }));
+  rows.push_back(measure(
+      "cluster_replay", reps,
+      [&] {
+        return des::replay_cluster_like<des::Simulator>(kSeed, queries, fanout);
+      },
+      [&] {
+        return des::replay_cluster_like<des::ReferenceSimulator>(kSeed, queries,
+                                                                 fanout);
+      }));
+
+  bool all_identical = true;
+  for (const Row& r : rows) {
+    all_identical = all_identical && r.identical;
+    std::cout << r.name << ": " << r.events << " events, ladder "
+              << r.ladder_eps / 1e6 << " Mev/s vs heap " << r.ref_eps / 1e6
+              << " Mev/s -> " << r.speedup() << "x, order "
+              << (r.identical ? "identical" : "DIVERGED") << "\n";
+  }
+  std::cout << "\ndifferential determinism: "
+            << (all_identical ? "identical execution order on all workloads"
+                              : "ORDER MISMATCH")
+            << "\n";
+
+  std::ofstream out("BENCH_des.json");
+  out << "{\n  \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n  \"identical_order\": " << (all_identical ? "true" : "false")
+      << ",\n  \"workloads\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"events\": " << r.events
+        << ", \"ladder_events_per_sec\": " << r.ladder_eps
+        << ", \"heap_events_per_sec\": " << r.ref_eps
+        << ", \"speedup\": " << r.speedup()
+        << ", \"identical_order\": " << (r.identical ? "true" : "false")
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote BENCH_des.json\n";
+  return all_identical ? 0 : 1;
+}

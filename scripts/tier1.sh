@@ -10,14 +10,21 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure
 
+echo "== tier-1: DES queue differential (ladder vs reference heap) =="
+cmake --build build -j "$(nproc)" --target bench_des_queue
+(cd build && ./bench/bench_des_queue --smoke)
+
 echo "== tier-1: ThreadSanitizer pass =="
 cmake -B build-tsan -S . -DARCH21_SAN=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target \
-  test_thread_pool test_cloud_tail test_parallel_determinism test_resilience
+  test_thread_pool test_cloud_tail test_parallel_determinism test_resilience \
+  bench_des_queue
 for t in test_thread_pool test_cloud_tail test_parallel_determinism \
          test_resilience; do
   echo "-- tsan: $t"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
 done
+echo "-- tsan: bench_des_queue --smoke"
+(cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_des_queue --smoke)
 
 echo "tier-1 OK"

@@ -1,14 +1,16 @@
 #include "cloud/cluster.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "des/resource.hpp"
 #include "des/simulator.hpp"
 #include "reliab/failure_trace.hpp"
+#include "util/slab.hpp"
 
 namespace arch21::cloud {
 
@@ -97,268 +99,384 @@ void ClusterResult::merge(const ClusterResult& other) {
   frac_over_leaf_p99 = query_ms.fraction_above(leaf_ms.quantile(0.99));
 }
 
-ClusterResult simulate_cluster(const ClusterConfig& cfg) {
-  cfg.validate();
-  des::Simulator sim;
-  Rng rng(cfg.seed);
-  std::vector<std::unique_ptr<des::Resource>> leaves;
-  leaves.reserve(cfg.leaves);
-  for (unsigned i = 0; i < cfg.leaves; ++i) {
-    leaves.push_back(std::make_unique<des::Resource>(sim, 1));
-  }
+namespace {
 
-  // Effective policy: the legacy hedge knob feeds the unified engine.
-  ResiliencePolicy pol = cfg.policy;
-  if (pol.hedge_after_ms == 0 && cfg.hedge_after_ms > 0) {
-    pol.hedge_after_ms = cfg.hedge_after_ms;
-  }
-
-  ClusterResult res;
-  const double horizon_ms = cfg.duration_s * 1000.0;
-  // All background arrivals and query starts are scheduled up front;
-  // pre-size the event heap for them (plus in-flight completions) so the
-  // hot loop rarely reallocates.
-  sim.reserve(static_cast<std::size_t>(
-                  cfg.duration_s * (cfg.background_rate_hz * cfg.leaves +
-                                    cfg.query_rate_hz) * 1.1) +
-              2 * cfg.leaves + 64);
-  const double mu_log = std::log(cfg.leaf_service_ms) -
-                        0.5 * cfg.service_sigma * cfg.service_sigma;
-
-  // --- failure injection (seeded trace replayed onto the DES) ---
-  // leaf_up[l] is the *effective* state: own state AND domain state.
-  // All three state vectors live at function scope so the replayed trace
-  // events (fired inside sim.run()) share them by reference.
-  std::vector<char> leaf_up(cfg.leaves, 1);
-  std::vector<char> own_up(cfg.leaves, 1);
-  std::vector<char> domain_up;
-  reliab::FailureTraceConfig fcfg;
-  auto set_effective = [&](unsigned l, bool up) {
-    if (leaf_up[l] && !up) {
-      // Crash: everything queued or in service on this leaf is lost.
-      res.lost_requests += leaves[l]->fail_all();
+// One cluster trial.  Per-query / per-call state lives in slab arenas
+// indexed by 32-bit handles (util/slab.hpp) instead of a
+// shared_ptr<QueryState>/shared_ptr<LeafCall> web, and the
+// attempt/hedge/retry/timeout flow is plain member functions instead of a
+// recursive std::function, so after the slabs and the event tiers reach
+// their high-water marks a trial performs no heap allocation at all.
+// Event closures capture `this` plus 16-byte RAII handle guards, which
+// keeps every action inside the Simulator's inline buffer.
+//
+// The setup sequence, per-event operation order, and every Rng draw site
+// are kept identical to the historical shared_ptr implementation, so
+// results are bit-identical with pre-slab builds (locked in by
+// tests/test_resilience.cpp's golden aggregates).
+class ClusterSim {
+ public:
+  explicit ClusterSim(const ClusterConfig& cfg) : cfg_(cfg), pol_(cfg.policy) {
+    // Effective policy: the legacy hedge knob feeds the unified engine.
+    if (pol_.hedge_after_ms == 0 && cfg.hedge_after_ms > 0) {
+      pol_.hedge_after_ms = cfg.hedge_after_ms;
     }
-    leaf_up[l] = up ? 1 : 0;
+  }
+
+  ClusterResult run();
+
+ private:
+  static constexpr std::uint32_t kNull = Slab<int>::kNull;
+
+  struct QueryRec {
+    unsigned replied = 0;
+    double start_ms = 0;
+    bool closed = false;
+    des::EventHandle deadline{};
   };
-  auto apply_transition = [&](const reliab::FailureEvent& ev) {
+  struct CallRec {
+    bool done = false;
+    unsigned attempts = 0;  // non-hedge issues so far
+    bool hedged = false;
+    des::EventHandle timeout{};
+    des::EventHandle hedge{};
+    /// Counted reference to the owning query, dropped by release_call()
+    /// when the call record itself dies.
+    std::uint32_t query = kNull;
+  };
+
+  /// Tag: take ownership of the reference acquire() created instead of
+  /// adding a new one.
+  struct Adopt {};
+
+  /// RAII counted reference to a QueryRec slot: retains on construction
+  /// and copy, releases on destruction, so a closure capturing one keeps
+  /// the record alive exactly as long as a captured shared_ptr would.
+  /// 16 bytes (pointer + handle), the point of the exercise.
+  struct QueryRef {
+    ClusterSim* s = nullptr;
+    std::uint32_t h = kNull;
+    QueryRef(ClusterSim* sim, std::uint32_t handle) : s(sim), h(handle) {
+      s->queries_.retain(h);
+    }
+    QueryRef(Adopt, ClusterSim* sim, std::uint32_t handle) noexcept
+        : s(sim), h(handle) {}
+    QueryRef(const QueryRef& o) : s(o.s), h(o.h) {
+      if (s) s->queries_.retain(h);
+    }
+    QueryRef(QueryRef&& o) noexcept : s(o.s), h(o.h) { o.s = nullptr; }
+    QueryRef& operator=(const QueryRef&) = delete;
+    QueryRef& operator=(QueryRef&&) = delete;
+    ~QueryRef() {
+      if (s) s->queries_.release(h);
+    }
+    QueryRec* operator->() const noexcept { return &s->queries_[h]; }
+  };
+
+  /// RAII counted reference to a CallRec slot (see QueryRef).
+  struct CallRef {
+    ClusterSim* s = nullptr;
+    std::uint32_t h = kNull;
+    CallRef(Adopt, ClusterSim* sim, std::uint32_t handle) noexcept
+        : s(sim), h(handle) {}
+    CallRef(const CallRef& o) : s(o.s), h(o.h) {
+      if (s) s->calls_.retain(h);
+    }
+    CallRef(CallRef&& o) noexcept : s(o.s), h(o.h) { o.s = nullptr; }
+    CallRef& operator=(const CallRef&) = delete;
+    CallRef& operator=(CallRef&&) = delete;
+    ~CallRef() {
+      if (s) s->release_call(h);
+    }
+    CallRec* operator->() const noexcept { return &s->calls_[h]; }
+  };
+
+  /// Drop one reference to a call record; when it was the last, also drop
+  /// the record's reference to its query (read out *before* release()
+  /// resets the slot -- the cross-slab pattern slab.hpp documents).
+  void release_call(std::uint32_t h) {
+    const std::uint32_t q = calls_[h].query;
+    if (calls_.release(h) && q != kNull) queries_.release(q);
+  }
+
+  void set_effective(unsigned l, bool up) {
+    if (leaf_up_[l] && !up) {
+      // Crash: everything queued or in service on this leaf is lost.
+      res_.lost_requests += leaves_[l]->fail_all();
+    }
+    leaf_up_[l] = up ? 1 : 0;
+  }
+
+  // leaf_up_[l] is the *effective* state: own state AND domain state.
+  void apply_transition(const reliab::FailureEvent& ev) {
     if (ev.is_domain) {
-      domain_up[ev.entity] = ev.up ? 1 : 0;
-      const unsigned begin = ev.entity * fcfg.leaves_per_domain;
-      const unsigned end = std::min(begin + fcfg.leaves_per_domain, cfg.leaves);
+      domain_up_[ev.entity] = ev.up ? 1 : 0;
+      const unsigned begin = ev.entity * fcfg_.leaves_per_domain;
+      const unsigned end =
+          std::min(begin + fcfg_.leaves_per_domain, cfg_.leaves);
       for (unsigned l = begin; l < end; ++l) {
-        set_effective(l, ev.up && own_up[l]);
+        set_effective(l, ev.up && own_up_[l]);
       }
     } else {
-      own_up[ev.entity] = ev.up ? 1 : 0;
-      const bool dom_ok = fcfg.leaves_per_domain == 0 ||
-                          domain_up[ev.entity / fcfg.leaves_per_domain];
+      own_up_[ev.entity] = ev.up ? 1 : 0;
+      const bool dom_ok = fcfg_.leaves_per_domain == 0 ||
+                          domain_up_[ev.entity / fcfg_.leaves_per_domain];
       set_effective(ev.entity, ev.up && dom_ok);
-    }
-  };
-  if (cfg.faults.enabled) {
-    fcfg.leaves = cfg.leaves;
-    fcfg.leaves_per_domain = cfg.faults.leaves_per_domain;
-    fcfg.leaf = cfg.faults.leaf;
-    fcfg.domain = cfg.faults.domain;
-    fcfg.horizon_hours = horizon_ms / kMsPerHour;
-    // A dedicated sub-stream so the trace never perturbs workload draws.
-    fcfg.seed = Rng(cfg.seed, 0xFA17).next();
-    const reliab::FailureTrace trace = reliab::generate_failure_trace(fcfg);
-    res.leaf_failures = trace.leaf_failures;
-    res.domain_failures = trace.domain_failures;
-    res.availability_measured = trace.measured_leaf_availability(fcfg);
-    res.availability_predicted = fcfg.predicted_leaf_availability();
-    domain_up.assign(std::max(fcfg.domains(), 1u), 1);
-    for (const reliab::FailureEvent& ev : trace.events) {
-      sim.schedule_at(ev.t_hours * kMsPerHour,
-                      [&apply_transition, ev] { apply_transition(ev); });
     }
   }
 
-  std::uint64_t started = 0;
+  /// A query's start event: create its record, arm the quorum deadline,
+  /// and issue the first attempt on every leaf.  `services_base` indexes
+  /// the query's pre-drawn service times in services_.
+  void on_query_start(std::size_t services_base) {
+    QueryRef q(Adopt{}, this, queries_.acquire());
+    q->start_ms = sim_.now();
+    ++started_;
+    if (pol_.quorum.enabled()) {
+      q->deadline = sim_.schedule_cancellable(
+          pol_.quorum.deadline_ms, [this, q] { on_deadline(q); });
+    }
+    for (unsigned l = 0; l < cfg_.leaves; ++l) {
+      const std::uint32_t ch = calls_.acquire();
+      queries_.retain(q.h);
+      calls_[ch].query = q.h;
+      CallRef call(Adopt{}, this, ch);
+      issue(q, call, services_[services_base + l], l, false);
+    }
+  }
+
+  /// Issue one attempt (or hedge) of a leaf call against `target`.
+  void issue(const QueryRef& q, const CallRef& call, double service,
+             unsigned target, bool is_hedge) {
+    if (call->done || q->closed) return;
+    ++res_.leaf_requests;
+    if (is_hedge) {
+      ++res_.hedges;
+    } else {
+      ++call->attempts;
+      if (pol_.budget.enabled && call->attempts == 1) {
+        budget_tokens_ =
+            std::min(budget_tokens_ + pol_.budget.ratio, pol_.budget.burst);
+      }
+    }
+
+    if (leaf_up_[target]) {
+      leaves_[target]->request(
+          service, [this, q, call](double, double) { on_leaf_done(q, call); });
+    } else {
+      // The request vanishes into a dead leaf; only a timeout (or the
+      // query deadline) will tell the client.
+      ++res_.lost_requests;
+    }
+
+    if (!is_hedge && pol_.hedge_after_ms > 0 && !call->hedged &&
+        call->attempts == 1) {
+      call->hedge = sim_.schedule_cancellable(
+          pol_.hedge_after_ms,
+          [this, q, call, service] { on_hedge(q, call, service); });
+    }
+    if (!is_hedge && pol_.retry.timeout_ms > 0) {
+      call->timeout = sim_.schedule_cancellable(
+          pol_.retry.timeout_ms,
+          [this, q, call, service] { on_timeout(q, call, service); });
+    }
+  }
+
+  void on_leaf_done(const QueryRef& q, const CallRef& call) {
+    if (call->done) return;  // a faster attempt already answered
+    call->done = true;
+    sim_.cancel(call->timeout);
+    sim_.cancel(call->hedge);
+    const double lat = sim_.now() - q->start_ms;
+    res_.leaf_ms.add(lat);
+    if (q->closed) return;  // degraded/failed; reply arrived late
+    if (++q->replied == cfg_.leaves) {
+      q->closed = true;
+      sim_.cancel(q->deadline);
+      ++res_.ok_queries;
+      res_.sum_result_quality += 1.0;
+      res_.query_ms.add(lat);
+    }
+  }
+
+  /// Quorum deadline: close the query with whatever has replied.
+  void on_deadline(const QueryRef& q) {
+    if (q->closed) return;
+    q->closed = true;
+    if (q->replied >= quorum_needed_) {
+      ++res_.degraded_queries;
+      res_.sum_result_quality += static_cast<double>(q->replied) /
+                                 static_cast<double>(cfg_.leaves);
+      res_.query_ms.add(sim_.now() - q->start_ms);
+    } else {
+      ++res_.failed_queries;
+    }
+  }
+
+  void on_hedge(const QueryRef& q, const CallRef& call, double service) {
+    if (call->done || q->closed) return;
+    call->hedged = true;
+    issue(q, call, service, static_cast<unsigned>(crng_.below(cfg_.leaves)),
+          true);
+  }
+
+  void on_timeout(const QueryRef& q, const CallRef& call, double service) {
+    if (call->done || q->closed) return;
+    ++res_.timeouts;
+    if (call->attempts > pol_.retry.max_retries) return;
+    if (pol_.budget.enabled) {
+      if (budget_tokens_ < 1.0) {
+        ++res_.budget_denials;
+        return;
+      }
+      budget_tokens_ -= 1.0;
+    }
+    ++res_.retries;
+    const double backoff = pol_.retry.backoff_ms(call->attempts - 1, crng_);
+    // Retry against a random replica, like the hedge path.
+    const unsigned alt = static_cast<unsigned>(crng_.below(cfg_.leaves));
+    sim_.schedule(backoff, [this, q, call, service, alt] {
+      issue(q, call, service, alt, false);
+    });
+  }
+
+  const ClusterConfig& cfg_;
+  ResiliencePolicy pol_;
+  ClusterResult res_;
+  // The slabs are declared before sim_ and leaves_ so that pending
+  // actions destroyed during Simulator/Resource teardown (e.g. after an
+  // exception) can still release the handle guards they captured.
+  Slab<QueryRec> queries_;
+  Slab<CallRec> calls_;
+  des::Simulator sim_;
+  std::vector<std::unique_ptr<des::Resource>> leaves_;
+  std::vector<char> leaf_up_;
+  std::vector<char> own_up_;
+  std::vector<char> domain_up_;
+  reliab::FailureTraceConfig fcfg_;
+  std::vector<double> services_;  // pre-drawn per-(query,leaf) service times
+  Rng crng_{0};  // client-side picks: hedge/retry targets, jitter
+  double budget_tokens_ = 0;
+  unsigned quorum_needed_ = 0;
+  double horizon_ms_ = 0;
+  std::uint64_t started_ = 0;
+};
+
+ClusterResult ClusterSim::run() {
+  Rng rng(cfg_.seed);
+  leaves_.reserve(cfg_.leaves);
+  for (unsigned i = 0; i < cfg_.leaves; ++i) {
+    leaves_.push_back(std::make_unique<des::Resource>(sim_, 1));
+  }
+
+  horizon_ms_ = cfg_.duration_s * 1000.0;
+  // All background arrivals and query starts are scheduled up front;
+  // pre-size the event tiers for them (plus in-flight completions) so the
+  // hot loop rarely reallocates.
+  sim_.reserve(static_cast<std::size_t>(
+                   cfg_.duration_s * (cfg_.background_rate_hz * cfg_.leaves +
+                                      cfg_.query_rate_hz) * 1.1) +
+               2 * cfg_.leaves + 64);
+  const double mu_log = std::log(cfg_.leaf_service_ms) -
+                        0.5 * cfg_.service_sigma * cfg_.service_sigma;
+
+  // --- failure injection (seeded trace replayed onto the DES) ---
+  leaf_up_.assign(cfg_.leaves, 1);
+  own_up_.assign(cfg_.leaves, 1);
+  if (cfg_.faults.enabled) {
+    fcfg_.leaves = cfg_.leaves;
+    fcfg_.leaves_per_domain = cfg_.faults.leaves_per_domain;
+    fcfg_.leaf = cfg_.faults.leaf;
+    fcfg_.domain = cfg_.faults.domain;
+    fcfg_.horizon_hours = horizon_ms_ / kMsPerHour;
+    // A dedicated sub-stream so the trace never perturbs workload draws.
+    fcfg_.seed = Rng(cfg_.seed, 0xFA17).next();
+    const reliab::FailureTrace trace = reliab::generate_failure_trace(fcfg_);
+    res_.leaf_failures = trace.leaf_failures;
+    res_.domain_failures = trace.domain_failures;
+    res_.availability_measured = trace.measured_leaf_availability(fcfg_);
+    res_.availability_predicted = fcfg_.predicted_leaf_availability();
+    domain_up_.assign(std::max(fcfg_.domains(), 1u), 1);
+    for (const reliab::FailureEvent& ev : trace.events) {
+      sim_.schedule_at(ev.t_hours * kMsPerHour,
+                       [this, ev] { apply_transition(ev); });
+    }
+  }
 
   // --- background load on each leaf (dropped while the leaf is down) ---
-  for (unsigned l = 0; l < cfg.leaves; ++l) {
+  for (unsigned l = 0; l < cfg_.leaves; ++l) {
     double t = 0;
     Rng brng = rng.split();
-    if (cfg.background_rate_hz <= 0) continue;
+    if (cfg_.background_rate_hz <= 0) continue;
     while (true) {
-      t += brng.exponential(1000.0 / cfg.background_rate_hz);
-      if (t >= horizon_ms) break;
-      const double sz = brng.exponential(cfg.background_ms);
-      des::Resource* leaf = leaves[l].get();
-      const char* up = &leaf_up[l];
-      sim.schedule_at(t, [leaf, sz, up] {
+      t += brng.exponential(1000.0 / cfg_.background_rate_hz);
+      if (t >= horizon_ms_) break;
+      const double sz = brng.exponential(cfg_.background_ms);
+      des::Resource* leaf = leaves_[l].get();
+      const char* up = &leaf_up_[l];
+      sim_.schedule_at(t, [leaf, sz, up] {
         if (*up) leaf->request(sz, nullptr);
       });
     }
   }
 
   // --- fan-out queries through the policy engine ---
-  struct QueryState {
-    unsigned replied = 0;
-    double start_ms = 0;
-    bool closed = false;
-    des::EventHandle deadline{};
-  };
-  struct LeafCall {
-    bool done = false;
-    unsigned attempts = 0;  // non-hedge issues so far
-    bool hedged = false;
-    des::EventHandle timeout{};
-    des::EventHandle hedge{};
-  };
-  using QueryPtr = std::shared_ptr<QueryState>;
-  using CallPtr = std::shared_ptr<LeafCall>;
-
   Rng qrng = rng.split();
-  Rng crng = rng.split();  // client-side picks: hedge/retry targets, jitter
-  double budget_tokens = pol.budget.burst;
-  const unsigned quorum_needed = static_cast<unsigned>(
-      std::ceil(pol.quorum.quorum_fraction * static_cast<double>(cfg.leaves)));
-
-  // Issue one attempt (or hedge) of a leaf call against `target`.
-  // Recursive through retry/hedge timers, hence the std::function.
-  std::function<void(const QueryPtr&, const CallPtr&, double, unsigned, bool)>
-      issue = [&](const QueryPtr& q, const CallPtr& call, double service,
-                  unsigned target, bool is_hedge) {
-        if (call->done || q->closed) return;
-        ++res.leaf_requests;
-        if (is_hedge) {
-          ++res.hedges;
-        } else {
-          ++call->attempts;
-          if (pol.budget.enabled && call->attempts == 1) {
-            budget_tokens =
-                std::min(budget_tokens + pol.budget.ratio, pol.budget.burst);
-          }
-        }
-
-        if (leaf_up[target]) {
-          leaves[target]->request(service, [&, q, call](double, double) {
-            if (call->done) return;  // a faster attempt already answered
-            call->done = true;
-            sim.cancel(call->timeout);
-            sim.cancel(call->hedge);
-            const double lat = sim.now() - q->start_ms;
-            res.leaf_ms.add(lat);
-            if (q->closed) return;  // degraded/failed; reply arrived late
-            if (++q->replied == cfg.leaves) {
-              q->closed = true;
-              sim.cancel(q->deadline);
-              ++res.ok_queries;
-              res.sum_result_quality += 1.0;
-              res.query_ms.add(lat);
-            }
-          });
-        } else {
-          // The request vanishes into a dead leaf; only a timeout (or the
-          // query deadline) will tell the client.
-          ++res.lost_requests;
-        }
-
-        if (!is_hedge && pol.hedge_after_ms > 0 && !call->hedged &&
-            call->attempts == 1) {
-          call->hedge = sim.schedule_cancellable(
-              pol.hedge_after_ms, [&, q, call, service] {
-                if (call->done || q->closed) return;
-                call->hedged = true;
-                issue(q, call, service,
-                      static_cast<unsigned>(crng.below(cfg.leaves)), true);
-              });
-        }
-        if (!is_hedge && pol.retry.timeout_ms > 0) {
-          call->timeout = sim.schedule_cancellable(
-              pol.retry.timeout_ms, [&, q, call, service] {
-                if (call->done || q->closed) return;
-                ++res.timeouts;
-                if (call->attempts > pol.retry.max_retries) return;
-                if (pol.budget.enabled) {
-                  if (budget_tokens < 1.0) {
-                    ++res.budget_denials;
-                    return;
-                  }
-                  budget_tokens -= 1.0;
-                }
-                ++res.retries;
-                const double backoff =
-                    pol.retry.backoff_ms(call->attempts - 1, crng);
-                // Retry against a random replica, like the hedge path.
-                const unsigned alt =
-                    static_cast<unsigned>(crng.below(cfg.leaves));
-                sim.schedule(backoff, [&, q, call, service, alt] {
-                  issue(q, call, service, alt, false);
-                });
-              });
-        }
-      };
+  crng_ = rng.split();
+  budget_tokens_ = pol_.budget.burst;
+  quorum_needed_ = static_cast<unsigned>(
+      std::ceil(pol_.quorum.quorum_fraction * static_cast<double>(cfg_.leaves)));
 
   double qt = 0;
   while (true) {
-    qt += qrng.exponential(1000.0 / cfg.query_rate_hz);
-    if (qt >= horizon_ms) break;
+    qt += qrng.exponential(1000.0 / cfg_.query_rate_hz);
+    if (qt >= horizon_ms_) break;
     // Pre-draw per-leaf service times so the workload is identical across
-    // policy/fault variants of the same seed.
-    auto services = std::make_shared<std::vector<double>>();
-    services->reserve(cfg.leaves);
-    for (unsigned l = 0; l < cfg.leaves; ++l) {
-      services->push_back(qrng.lognormal(mu_log, cfg.service_sigma));
+    // policy/fault variants of the same seed.  One flat vector for all
+    // queries; the start event just remembers its slice's base index.
+    const std::size_t base = services_.size();
+    for (unsigned l = 0; l < cfg_.leaves; ++l) {
+      services_.push_back(qrng.lognormal(mu_log, cfg_.service_sigma));
     }
-
-    sim.schedule_at(qt, [&, services] {
-      auto q = std::make_shared<QueryState>();
-      q->start_ms = sim.now();
-      ++started;
-      if (pol.quorum.enabled()) {
-        q->deadline = sim.schedule_cancellable(
-            pol.quorum.deadline_ms, [&, q] {
-              if (q->closed) return;
-              q->closed = true;
-              if (q->replied >= quorum_needed) {
-                ++res.degraded_queries;
-                res.sum_result_quality +=
-                    static_cast<double>(q->replied) /
-                    static_cast<double>(cfg.leaves);
-                res.query_ms.add(sim.now() - q->start_ms);
-              } else {
-                ++res.failed_queries;
-              }
-            });
-      }
-      for (unsigned l = 0; l < cfg.leaves; ++l) {
-        issue(q, std::make_shared<LeafCall>(), (*services)[l], l, false);
-      }
-    });
+    sim_.schedule_at(qt, [this, base] { on_query_start(base); });
   }
 
-  sim.run();
+  sim_.run();
 
-  res.queries = started;
+  res_.queries = started_;
   // Queries that neither completed nor resolved at a deadline (e.g. a
   // reply lost to a crash with no timeout armed) are failures too.
-  res.failed_queries +=
-      started - res.ok_queries - res.degraded_queries - res.failed_queries;
+  res_.failed_queries += started_ - res_.ok_queries - res_.degraded_queries -
+                         res_.failed_queries;
 
   double util = 0;
-  for (const auto& leaf : leaves) {
-    util += leaf->busy_time() / horizon_ms;
+  for (const auto& leaf : leaves_) {
+    util += leaf->busy_time() / horizon_ms_;
   }
-  res.mean_leaf_utilization = util / static_cast<double>(cfg.leaves);
-  res.hedge_fraction =
-      res.leaf_requests ? static_cast<double>(res.hedges) /
-                              static_cast<double>(res.leaf_requests)
-                        : 0;
-  res.retry_amplification =
-      started ? static_cast<double>(res.leaf_requests) /
-                    (static_cast<double>(started) *
-                     static_cast<double>(cfg.leaves))
-              : 0;
-  res.goodput_qps =
-      static_cast<double>(res.ok_queries + res.degraded_queries) /
-      cfg.duration_s;
-  res.frac_over_leaf_p99 =
-      res.query_ms.fraction_above(res.leaf_ms.quantile(0.99));
-  return res;
+  res_.mean_leaf_utilization = util / static_cast<double>(cfg_.leaves);
+  res_.hedge_fraction =
+      res_.leaf_requests ? static_cast<double>(res_.hedges) /
+                               static_cast<double>(res_.leaf_requests)
+                         : 0;
+  res_.retry_amplification =
+      started_ ? static_cast<double>(res_.leaf_requests) /
+                     (static_cast<double>(started_) *
+                      static_cast<double>(cfg_.leaves))
+               : 0;
+  res_.goodput_qps =
+      static_cast<double>(res_.ok_queries + res_.degraded_queries) /
+      cfg_.duration_s;
+  res_.frac_over_leaf_p99 =
+      res_.query_ms.fraction_above(res_.leaf_ms.quantile(0.99));
+  return std::move(res_);
+}
+
+}  // namespace
+
+ClusterResult simulate_cluster(const ClusterConfig& cfg) {
+  cfg.validate();
+  ClusterSim trial(cfg);
+  return trial.run();
 }
 
 }  // namespace arch21::cloud

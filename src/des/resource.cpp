@@ -12,14 +12,40 @@ Resource::Resource(Simulator& sim, std::uint32_t servers)
   }
 }
 
-void Resource::request(Time service_time,
-                       std::function<void(Time, Time)> on_done) {
+void Resource::request(Time service_time, DoneFn on_done) {
   Job job{sim_.now(), service_time, std::move(on_done)};
   if (busy_ < servers_) {
     start(std::move(job));
   } else {
-    waiting_.push_back(std::move(job));
+    waiting_push(std::move(job));
   }
+}
+
+void Resource::waiting_push(Job job) {
+  if (waiting_count_ == waiting_.size()) {
+    // Grow by unrolling the ring into a fresh vector in arrival order so
+    // head_ restarts at 0.  Amortized O(1); never shrinks, so a steady
+    // queue depth stops allocating after the first burst.
+    std::vector<Job> grown;
+    grown.reserve(waiting_.empty() ? 8 : 2 * waiting_.size());
+    for (std::size_t i = 0; i < waiting_count_; ++i) {
+      grown.push_back(
+          std::move(waiting_[(waiting_head_ + i) % waiting_.size()]));
+    }
+    grown.resize(grown.capacity());
+    waiting_ = std::move(grown);
+    waiting_head_ = 0;
+  }
+  waiting_[(waiting_head_ + waiting_count_) % waiting_.size()] =
+      std::move(job);
+  ++waiting_count_;
+}
+
+Resource::Job Resource::waiting_pop() {
+  Job job = std::move(waiting_[waiting_head_]);
+  waiting_head_ = (waiting_head_ + 1) % waiting_.size();
+  --waiting_count_;
+  return job;
 }
 
 void Resource::start(Job job) {
@@ -50,16 +76,18 @@ void Resource::on_complete(std::uint32_t slot, std::uint64_t epoch) {
   auto done = std::move(s.on_done);
   s.on_done = nullptr;
   if (done) done(s.wait, s.wait + s.service);
-  if (!waiting_.empty() && busy_ < servers_) {
-    Job next = std::move(waiting_.front());
-    waiting_.pop_front();
-    start(std::move(next));
+  if (waiting_count_ > 0 && busy_ < servers_) {
+    start(waiting_pop());
   }
 }
 
 std::size_t Resource::fail_all() {
-  std::size_t lost = waiting_.size();
-  waiting_.clear();
+  std::size_t lost = waiting_count_;
+  for (std::size_t i = 0; i < waiting_count_; ++i) {
+    waiting_[(waiting_head_ + i) % waiting_.size()].on_done = nullptr;
+  }
+  waiting_head_ = 0;
+  waiting_count_ = 0;
   for (Slot& s : slots_) {
     if (!s.active) continue;
     // Refund the service this job will never receive; the stale

@@ -8,13 +8,17 @@
 // abandoned (its completion callback never fires, and the unrendered
 // service time is refunded from the busy-time account).  Clients that
 // need to notice the loss arm their own timeout on the DES.
+//
+// Hot-path note: completion callbacks are InlineCallback (small-buffer,
+// move-only), not std::function, and the FIFO is a ring buffer over a
+// flat vector, so a steady-state request stream allocates nothing -- the
+// cluster simulator pushes millions of requests per trial through these.
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <vector>
 
 #include "des/simulator.hpp"
+#include "util/inline_function.hpp"
 #include "util/stats.hpp"
 
 namespace arch21::des {
@@ -25,13 +29,16 @@ namespace arch21::des {
 /// simulated seconds, then invokes `on_done`.
 class Resource {
  public:
+  /// Completion callback: `on_done(wait, total)` fires at completion with
+  /// the queueing delay and the total sojourn time.  Stored inline for
+  /// closures up to 48 bytes (the cluster simulator's handle-captured
+  /// completions fit); accepts nullptr for fire-and-forget requests.
+  using DoneFn = InlineCallback<void(Time wait, Time total), 48>;
+
   Resource(Simulator& sim, std::uint32_t servers);
 
   /// Enqueue a job requiring `service_time` seconds of one server.
-  /// `on_done(wait, total)` fires at completion with the queueing delay
-  /// and the total sojourn time.
-  void request(Time service_time,
-               std::function<void(Time wait, Time total)> on_done);
+  void request(Time service_time, DoneFn on_done);
 
   /// Crash the station: drop all waiting jobs and abandon all in-service
   /// jobs.  Abandoned completions never fire, and busy-time accounting
@@ -42,7 +49,7 @@ class Resource {
 
   std::uint32_t servers() const noexcept { return servers_; }
   std::uint32_t busy() const noexcept { return busy_; }
-  std::size_t queue_length() const noexcept { return waiting_.size(); }
+  std::size_t queue_length() const noexcept { return waiting_count_; }
 
   /// Mean queueing delay across completed jobs.
   const OnlineStats& wait_stats() const noexcept { return wait_stats_; }
@@ -59,7 +66,7 @@ class Resource {
   struct Job {
     Time arrival;
     Time service;
-    std::function<void(Time, Time)> on_done;
+    DoneFn on_done;
   };
   // One in-service job per server slot.  The completion event captures
   // only (this, slot, epoch) -- well inside Simulator::Action's inline
@@ -73,16 +80,22 @@ class Resource {
     Time start = 0;
     Time wait = 0;
     Time service = 0;
-    std::function<void(Time, Time)> on_done;
+    DoneFn on_done;
   };
 
   void start(Job job);
   void on_complete(std::uint32_t slot, std::uint64_t epoch);
+  void waiting_push(Job job);
+  Job waiting_pop();
 
   Simulator& sim_;
   std::uint32_t servers_;
   std::uint32_t busy_ = 0;
-  std::deque<Job> waiting_;
+  // FIFO ring over a flat vector: head_ walks forward, capacity is
+  // retained across bursts, growth unrolls the ring in arrival order.
+  std::vector<Job> waiting_;
+  std::size_t waiting_head_ = 0;
+  std::size_t waiting_count_ = 0;
   std::vector<Slot> slots_;
   std::uint64_t next_epoch_ = 1;
   OnlineStats wait_stats_;

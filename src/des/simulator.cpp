@@ -6,33 +6,228 @@
 
 namespace arch21::des {
 
-std::uint64_t Simulator::enqueue(Time t, Action action) {
-  if (t < now_) {
-    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+// --------------------------------------------------------------- insert
+
+void Simulator::insert(Event ev) {
+  ++size_;
+  if (width_ > 0) {
+    // Track the live scheduling horizon: a decaying max of how far ahead
+    // of the clock events are being scheduled.  reanchor() sizes the
+    // window to kSpreadSlack times this, so in steady state new events
+    // land in the ladder, not the overflow tier.  The 1/1024 decay lets
+    // the window shrink again within ~a thousand events when a phase
+    // with long timers ends.
+    const double ahead = ev.t - now_;
+    live_spread_ -= live_spread_ * (1.0 / 1024.0);
+    if (ahead > live_spread_ && ahead < kForever) live_spread_ = ahead;
+    // Bucket index is floor((t - origin) / width), computed in doubles so
+    // absurdly far timestamps (kForever) cannot overflow the integer
+    // conversion.  floor of a monotone function is monotone, so bucket
+    // order always respects timestamp order; the clamp to the cursor
+    // bucket (events scheduled "behind" the cursor after a run(until)
+    // stopped the clock early) only ever moves an event *earlier*, which
+    // the per-bucket heap absorbs without breaking order.
+    const double rel = (ev.t - origin_) / width_;
+    if (rel < static_cast<double>(cur_bucket_ + kBucketCount)) {
+      std::uint64_t b = cur_bucket_;
+      if (rel > static_cast<double>(cur_bucket_)) {
+        b = static_cast<std::uint64_t>(rel);
+        if (b < cur_bucket_) b = cur_bucket_;  // fp edge at the boundary
+      }
+      auto& bucket = buckets_[b & kBucketMask];
+      bucket.push_back(std::move(ev));
+      // Only the bucket under the cursor is kept as a heap; the rest are
+      // append-only until the cursor reaches them (peek() heapifies).
+      if (b == heapified_bucket_) {
+        std::push_heap(bucket.begin(), bucket.end(), Later{});
+      }
+      ++ladder_size_;
+      return;
+    }
   }
-  const std::uint64_t seq = next_seq_++;
-  queue_.push_back(Event{t, seq, std::move(action)});
-  std::push_heap(queue_.begin(), queue_.end(), Later{});
-  return seq;
+  overflow_.push_back(std::move(ev));
+  if (overflow_heapified_) {
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
+}
+
+void Simulator::reanchor() {
+  // Called only when every bucket is empty: the window geometry may
+  // change freely because no event straddles old and new placement.
+  //
+  // Width policy: at least kGapsPerBucket mean inter-execution gaps per
+  // bucket (the density floor), widened so the whole window spans
+  // kSpreadSlack times the live scheduling horizon -- the regime where
+  // timeout-per-call workloads keep thousands of timers ~spread ahead of
+  // the clock, which must land in the ladder, not churn through the
+  // overflow heap.  Before any execution history exists (everything was
+  // scheduled ahead of the first run), estimate the gap from the overflow
+  // backlog's span and population instead.
+  double lo = overflow_.front().t;
+  double hi = lo;
+  if (overflow_heapified_) {
+    // Heap min is the next event to fire; hi is only needed when there
+    // is no gap history, which cannot outlast the first reanchor.
+  } else {
+    for (const Event& e : overflow_) {
+      lo = std::min(lo, e.t);
+      hi = std::max(hi, e.t);
+    }
+  }
+  double w = gap_ewma_ * kGapsPerBucket;
+  if (!(w > 0)) {
+    if (overflow_heapified_) {
+      for (const Event& e : overflow_) hi = std::max(hi, e.t);
+    }
+    w = kGapsPerBucket * (hi - lo) / static_cast<double>(overflow_.size());
+    if (!(w > 0)) w = 1.0;  // all at one timestamp; any width works
+  }
+  const double spread_w = kSpreadSlack * live_spread_ / kBucketCount;
+  if (spread_w > w) w = spread_w;
+  width_ = w;
+  origin_ = lo;
+  cur_bucket_ = 0;
+  heapified_bucket_ = kNoBucket;  // absolute numbering restarted
+  if (!overflow_heapified_) {
+    // First anchor over a pre-scheduled backlog: partition the unsorted
+    // overflow vector in one O(n) pass -- window events drop into their
+    // buckets (append-only; heapified lazily by the cursor), the rest are
+    // compacted in place and heapified once.  No per-event O(log n).
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < overflow_.size(); ++i) {
+      Event& e = overflow_[i];
+      const double rel = (e.t - origin_) / width_;
+      if (rel < static_cast<double>(kBucketCount)) {
+        std::uint64_t b = rel > 0 ? static_cast<std::uint64_t>(rel) : 0;
+        if (b >= kBucketCount) b = kBucketCount - 1;  // fp edge
+        buckets_[b].push_back(std::move(e));
+        ++ladder_size_;
+      } else {
+        if (keep != i) overflow_[keep] = std::move(e);
+        ++keep;
+      }
+    }
+    overflow_.resize(keep);
+    std::make_heap(overflow_.begin(), overflow_.end(), Later{});
+    overflow_heapified_ = true;
+    return;
+  }
+  // Steady state: migrate the window prefix of the overflow heap by
+  // popping -- O(m log n) for the m events moved, never a full scan, so
+  // a far-future trickle drains one window at a time.  At least the heap
+  // minimum fits (rel == 0), so the ladder always gains an event.
+  // Bucket/overflow capacities are retained across windows, so steady
+  // state allocates nothing.
+  while (!overflow_.empty()) {
+    const double rel = (overflow_.front().t - origin_) / width_;
+    if (!(rel < static_cast<double>(kBucketCount))) break;
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    Event e = std::move(overflow_.back());
+    overflow_.pop_back();
+    std::uint64_t b = rel > 0 ? static_cast<std::uint64_t>(rel) : 0;
+    if (b >= kBucketCount) b = kBucketCount - 1;  // fp edge
+    buckets_[b].push_back(std::move(e));
+    ++ladder_size_;
+  }
+}
+
+const Simulator::Event* Simulator::peek() {
+  if (size_ == 0) return nullptr;
+  if (ladder_size_ == 0) {
+    reanchor();  // overflow is nonempty (size_ > 0) and its min fits the
+                 // new window by construction, so the ladder gains >= 1
+  }
+  // Advance the cursor to the next nonempty bucket.  Every ladder event
+  // sits at an absolute bucket >= the cursor (inserts clamp), and within
+  // cur_bucket_ + kBucketCount of some earlier cursor position, so this
+  // scan is bounded and amortizes to O(1) per event.
+  while (buckets_[cur_bucket_ & kBucketMask].empty()) ++cur_bucket_;
+  auto& cur = buckets_[cur_bucket_ & kBucketMask];
+  if (heapified_bucket_ != cur_bucket_) {
+    // First visit since the bucket filled: one make_heap instead of a
+    // push_heap per insert (amortized O(1) per event).
+    std::make_heap(cur.begin(), cur.end(), Later{});
+    heapified_bucket_ = cur_bucket_;
+  }
+  const Event& lh = cur.front();
+  // An overflow event can become earlier than the ladder head as the
+  // window slides past its insert-time horizon; order is decided by the
+  // exact (t, seq) comparison, never by which tier an event sits in.
+  if (!overflow_.empty()) {
+    if (!overflow_heapified_) {
+      std::make_heap(overflow_.begin(), overflow_.end(), Later{});
+      overflow_heapified_ = true;
+    }
+    const Event& oh = overflow_.front();
+    if (oh.t < lh.t || (oh.t == lh.t && oh.seq < lh.seq)) {
+      head_in_overflow_ = true;
+      return &oh;
+    }
+  }
+  head_in_overflow_ = false;
+  return &lh;
+}
+
+Simulator::Event Simulator::pop_head() {
+  auto& v = head_in_overflow_ ? overflow_ : buckets_[cur_bucket_ & kBucketMask];
+  std::pop_heap(v.begin(), v.end(), Later{});
+  Event ev = std::move(v.back());
+  v.pop_back();
+  if (!head_in_overflow_) --ladder_size_;
+  --size_;
+  return ev;
+}
+
+// ------------------------------------------------------------ scheduling
+
+std::uint32_t Simulator::store_action(Action a) {
+  if (!free_actions_.empty()) {
+    const std::uint32_t idx = free_actions_.back();
+    free_actions_.pop_back();
+    actions_[idx] = std::move(a);
+    return idx;
+  }
+  const auto idx = static_cast<std::uint32_t>(actions_.size());
+  actions_.push_back(std::move(a));
+  return idx;
 }
 
 void Simulator::schedule_at(Time t, Action action) {
-  enqueue(t, std::move(action));
+  if (t < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  insert(Event{t, next_seq_++, kNoSlot, store_action(std::move(action))});
 }
 
 EventHandle Simulator::schedule_cancellable_at(Time t, Action action) {
-  const std::uint64_t seq = enqueue(t, std::move(action));
-  cancellable_.emplace(seq, false);
-  return EventHandle{seq};
+  if (t < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  std::uint32_t s;
+  if (!free_slots_.empty()) {
+    s = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    s = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  CancelSlot& cs = slots_[s];
+  cs.live = true;
+  cs.cancelled = false;
+  const std::uint32_t gen = cs.gen;
+  insert(Event{t, next_seq_++, s, store_action(std::move(action))});
+  return EventHandle{s, gen};
 }
 
 bool Simulator::cancel(EventHandle h) {
-  if (!h.valid()) return false;
-  const auto it = cancellable_.find(h.seq);
-  if (it == cancellable_.end() || it->second) return false;
-  it->second = true;
+  if (!h.valid() || h.slot >= slots_.size()) return false;
+  CancelSlot& cs = slots_[h.slot];
+  if (!cs.live || cs.gen != h.gen || cs.cancelled) return false;
+  cs.cancelled = true;
   return true;
 }
+
+// --------------------------------------------------------------- running
 
 std::uint64_t Simulator::run(Time until) {
   std::uint64_t ran = 0;
@@ -42,30 +237,44 @@ std::uint64_t Simulator::run(Time until) {
 
 bool Simulator::step(Time until) {
   for (;;) {
-    if (queue_.empty()) return false;
-    if (queue_.front().t > until) {
+    const Event* head = peek();
+    if (!head) return false;
+    if (head->t > until) {
       now_ = until;
       return false;
     }
-    std::pop_heap(queue_.begin(), queue_.end(), Later{});
-    Event ev = std::move(queue_.back());
-    queue_.pop_back();
-    if (!cancellable_.empty()) {
-      const auto it = cancellable_.find(ev.seq);
-      if (it != cancellable_.end()) {
-        const bool was_cancelled = it->second;
-        cancellable_.erase(it);
-        if (was_cancelled) {
-          // Discard without advancing the clock or executing: a cancelled
-          // event behaves as if it had never been scheduled.
-          ++cancelled_;
-          continue;
-        }
+    Event ev = pop_head();
+    if (ev.slot != kNoSlot) {
+      CancelSlot& cs = slots_[ev.slot];
+      const bool was_cancelled = cs.cancelled;
+      cs.live = false;
+      cs.cancelled = false;
+      ++cs.gen;  // stale handles can never touch this slot's next tenant
+      free_slots_.push_back(ev.slot);
+      if (was_cancelled) {
+        // Discard without advancing the clock or executing: a cancelled
+        // event behaves as if it had never been scheduled.  Destroy the
+        // closure (it may hold resources) and recycle its slab index.
+        actions_[ev.act] = Action{};
+        free_actions_.push_back(ev.act);
+        ++cancelled_;
+        continue;
       }
     }
     now_ = ev.t;
     ++executed_;
-    ev.action();
+    // Feed the ladder-width estimator (nonzero gaps only: simultaneous
+    // events share a bucket regardless of width).
+    if (executed_ > 1 && ev.t > last_exec_t_) {
+      const double gap = ev.t - last_exec_t_;
+      gap_ewma_ = gap_ewma_ > 0 ? gap_ewma_ + 0.02 * (gap - gap_ewma_) : gap;
+    }
+    last_exec_t_ = ev.t;
+    // Move the closure out and recycle its index *before* invoking: the
+    // action may schedule new events that reuse the slot immediately.
+    Action a = std::move(actions_[ev.act]);
+    free_actions_.push_back(ev.act);
+    a();
     return true;
   }
 }

@@ -1,14 +1,32 @@
 #pragma once
 // Deterministic discrete-event-simulation (DES) kernel.  The cloud
-// fork-join simulator, the task-DAG scheduler, and the intermittent-
-// computing sensor simulator all run on this.
+// fork-join cluster simulator, the task-DAG scheduler, and the
+// intermittent-computing sensor simulator all run on this.
 //
 // Determinism contract: events with equal timestamps fire in scheduling
 // order (a monotone sequence number breaks ties), so a simulation driven
 // by a seeded Rng reproduces exactly, which the test suite relies on.
+//
+// Event queue: a two-tier ladder/calendar queue.  Near-future events live
+// in a ring of `kBucketCount` time buckets (each a small binary heap
+// ordered by timestamp+seq); far-future events wait in an overflow heap
+// and migrate into the ladder when its window reaches them.  Scheduling
+// and firing are O(1) amortized instead of the O(log n) of one big binary
+// heap, and the small per-bucket heaps stay cache-resident.  Ordering is
+// decided purely by (timestamp, seq) -- bucket geometry (width, window
+// position, re-anchoring) affects performance only, never order, so the
+// determinism contract is independent of the tuning heuristics
+// (tests/test_des_queue.cpp replays seeded workloads against a reference
+// binary heap and asserts identical execution order).
+//
+// Cancellation: schedule_cancellable() stamps the event with a slot index
+// into a generation-counted side table, so cancel() is one array indexing
+// plus a generation compare -- O(1), no hashing, no allocation once the
+// slot free list is warm.  Cancelled events are discarded lazily when
+// their timestamp is reached.
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "util/inline_function.hpp"
@@ -18,22 +36,28 @@ namespace arch21::des {
 /// Simulation time, in seconds.
 using Time = double;
 
-/// Handle to an event scheduled with schedule_cancellable().  Default-
-/// constructed handles are invalid; cancel() on them is a no-op.
+/// Handle to an event scheduled with schedule_cancellable(): a slot index
+/// into the simulator's cancellation table plus the slot's generation at
+/// scheduling time.  When the event fires or is discarded the slot's
+/// generation is bumped and the slot reused, so stale handles (kept after
+/// their event resolved) can never cancel an unrelated later event.
+/// Default-constructed handles are invalid; cancel() on them is a no-op.
 struct EventHandle {
-  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
-  std::uint64_t seq = kInvalid;
-  bool valid() const noexcept { return seq != kInvalid; }
+  static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+  std::uint32_t slot = kInvalidSlot;
+  std::uint32_t gen = 0;
+  bool valid() const noexcept { return slot != kInvalidSlot; }
 };
 
 /// The event-driven simulator core.
 class Simulator {
  public:
-  /// Scheduled callables are stored inline in the event record -- no heap
-  /// allocation per event for closures up to Action::capacity() bytes
-  /// (sized so des::Resource's completion closure, `this` + two doubles +
-  /// a std::function, fits; verified by test_des).  Larger closures fall
-  /// back to the heap.  Actions may be move-only.
+  /// Scheduled callables are stored in a recycled slab (indexed by the
+  /// event record) -- no heap allocation per event for closures up to
+  /// Action::capacity() bytes (sized so des::Resource's completion
+  /// closure and the cluster simulator's handle-captured timers fit;
+  /// verified by test_des).  Larger closures fall back to the heap.
+  /// Actions may be move-only.
   using Action = InlineFunction<56>;
 
   /// Current simulation time.
@@ -48,8 +72,9 @@ class Simulator {
   void schedule_at(Time t, Action action);
 
   /// Schedule a *cancellable* event (the timeout/hedge-timer primitive of
-  /// the resilience layer).  Costs one hash-map entry per outstanding
-  /// cancellable event; the plain schedule path stays allocation-free.
+  /// the resilience layer).  Costs one slot in the generation-stamped
+  /// cancellation table; both this and the plain path are allocation-free
+  /// in steady state (the slot free list recycles).
   EventHandle schedule_cancellable(Time delay, Action action) {
     return schedule_cancellable_at(now_ + delay, std::move(action));
   }
@@ -61,7 +86,7 @@ class Simulator {
   /// still pending (it will now never fire); false if it already fired,
   /// was already cancelled, or the handle is invalid.  A cancelled event
   /// is discarded lazily when its timestamp is reached -- it does not
-  /// advance the clock, count as executed, or run its action.
+  /// advance the clock, count as executed, or run its action.  O(1).
   bool cancel(EventHandle h);
 
   /// Number of cancelled events discarded so far.
@@ -76,27 +101,43 @@ class Simulator {
   bool step(Time until = kForever);
 
   /// True if no events are pending.
-  bool idle() const noexcept { return queue_.empty(); }
+  bool idle() const noexcept { return size_ == 0; }
 
   /// Number of pending events (cancelled-but-not-yet-discarded events
   /// still count until their timestamp passes).
-  std::size_t pending() const noexcept { return queue_.size(); }
+  std::size_t pending() const noexcept { return size_; }
 
   /// Total events executed since construction.
   std::uint64_t executed() const noexcept { return executed_; }
 
-  /// Pre-size the event heap for an expected number of simultaneously
-  /// outstanding events, avoiding growth reallocations in schedule-heavy
-  /// runs (the cloud cluster sim schedules millions of events).
-  void reserve(std::size_t events) { queue_.reserve(events); }
+  /// Pre-size the event storage for an expected number of simultaneously
+  /// outstanding events: the overflow tier (which absorbs everything
+  /// scheduled ahead of the first run()) *and* the cancellable slot table
+  /// and its free list.  The resilience path arms a timeout/hedge timer
+  /// per leaf call, so cancellable events dominate schedule-heavy runs;
+  /// pre-sizing both keeps the whole hot loop free of growth
+  /// reallocations (the cloud cluster sim schedules millions of events).
+  void reserve(std::size_t events) {
+    overflow_.reserve(events);
+    actions_.reserve(events);
+    free_actions_.reserve(events);
+    slots_.reserve(events);
+    free_slots_.reserve(events);
+  }
 
   static constexpr Time kForever = 1e300;
 
  private:
+  /// 24-byte POD queue entry.  The action lives in the actions_ slab, not
+  /// in the event record, so every heap sift / bucket migration moves a
+  /// trivially-copyable key instead of relocating a 56-byte closure
+  /// through an indirect call -- the closure is moved exactly twice (into
+  /// the slab at schedule, out at fire) no matter how deep the queue is.
   struct Event {
     Time t;
     std::uint64_t seq;
-    Action action;
+    std::uint32_t slot;  // cancellation slot, or kNoSlot for plain events
+    std::uint32_t act;   // index into the action slab
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -104,17 +145,68 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  struct CancelSlot {
+    std::uint32_t gen = 0;
+    bool live = false;       // bound to a pending event
+    bool cancelled = false;  // cancel() called, discard pending
+  };
 
-  std::uint64_t enqueue(Time t, Action action);
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::size_t kBucketBits = 13;
+  static constexpr std::size_t kBucketCount = std::size_t{1} << kBucketBits;
+  static constexpr std::size_t kBucketMask = kBucketCount - 1;
+  /// Mean inter-event gaps per bucket: ~1 targets the ideal calendar
+  /// occupancy (pops from near-singleton buckets cost no heap moves);
+  /// much below that the cursor wastes time skipping empty buckets.
+  static constexpr double kGapsPerBucket = 1.0;
+  /// The window must span this multiple of the observed live scheduling
+  /// horizon (max delay of events scheduled while running), so events
+  /// scheduled `spread` ahead land mid-window -- and because the insert
+  /// window *slides* with the cursor, they keep landing in the ladder
+  /// without any re-anchor; the overflow tier stays a slow path.  2x is
+  /// enough for that and keeps buckets twice as fine as a larger slack
+  /// would (lower occupancy = cheaper pops).
+  static constexpr double kSpreadSlack = 2.0;
+  static constexpr std::uint64_t kNoBucket = ~std::uint64_t{0};
 
-  // Binary heap managed with std::push_heap/std::pop_heap over a plain
-  // vector (instead of std::priority_queue) so storage can be reserved
-  // and the top event moved out without const_cast tricks.
-  std::vector<Event> queue_;
-  // seq -> cancelled?  Holds only events scheduled via the cancellable
-  // path, so the hot loop's lookup is skipped entirely (one empty() test)
-  // when no cancellable events are outstanding.
-  std::unordered_map<std::uint64_t, bool> cancellable_;
+  void insert(Event ev);
+  /// Park `a` in the action slab (recycling a freed index when one is
+  /// available) and return its index.
+  std::uint32_t store_action(Action a);
+  /// Earliest pending event, advancing the bucket cursor / re-anchoring
+  /// as needed.  Sets head_in_overflow_.  nullptr if nothing pending.
+  const Event* peek();
+  /// Pop the event peek() just returned (no mutation may happen between).
+  Event pop_head();
+  /// Re-seat the ladder window at the overflow minimum and pull every
+  /// overflow event inside the new window into its bucket.
+  void reanchor();
+
+  // Buckets and the overflow tier are heapified *lazily*: a bucket is a
+  // plain append vector until the cursor reaches it (heapified_bucket_
+  // tracks the one bucket currently kept as a heap), and the overflow
+  // vector is heapified on first use, so bulk pre-run scheduling is O(1)
+  // per event instead of O(log n).
+  std::array<std::vector<Event>, kBucketCount> buckets_;
+  std::vector<Event> overflow_;
+  std::size_t ladder_size_ = 0;  // events across all buckets
+  std::size_t size_ = 0;         // ladder + overflow
+  std::uint64_t cur_bucket_ = 0; // absolute bucket number of the cursor
+  std::uint64_t heapified_bucket_ = kNoBucket;  // abs number, or kNoBucket
+  bool overflow_heapified_ = false;
+  double origin_ = 0;            // time of absolute bucket 0
+  double width_ = 0;             // bucket width; 0 = ladder not anchored
+  double gap_ewma_ = 0;          // mean nonzero inter-execution gap
+  double live_spread_ = 0;       // decaying max of (t - now) over inserts
+  Time last_exec_t_ = 0;
+  bool head_in_overflow_ = false;
+
+  std::vector<Action> actions_;
+  std::vector<std::uint32_t> free_actions_;
+
+  std::vector<CancelSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -1,0 +1,173 @@
+#pragma once
+// Seeded DES queue workloads, templated over the simulator implementation
+// so the exact same event program replays through the production ladder
+// queue (des::Simulator) and the reference binary heap
+// (des::ReferenceSimulator).  Every executed event appends its id to the
+// replay's order log; the differential determinism check
+// (tests/test_des_queue.cpp and bench/bench_des_queue.cpp) asserts the
+// two logs are identical element-for-element.
+//
+// All randomness comes from one Rng consumed inside event callbacks in
+// execution order, so identical execution order implies identical draws
+// -- and any ordering divergence between the two queues derails the
+// comparison immediately rather than hiding in aggregate stats.
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace arch21::des {
+
+/// Execution-order log plus final kernel counters of one replay.
+struct WorkloadResult {
+  std::vector<std::uint32_t> order;
+  double final_now = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t cancelled = 0;
+  /// Total queue operations the workload performed (events executed +
+  /// cancelled discards); the events/sec numerator for benches.
+  std::uint64_t events() const noexcept { return executed + cancelled; }
+
+  bool operator==(const WorkloadResult&) const = default;
+};
+
+/// Schedule-heavy: `n` events pre-scheduled over a wide horizon, one in
+/// 16 flung far into the future so the stream keeps crossing the
+/// ladder/overflow boundary.  Exercises bulk insertion and draining.
+template <typename Sim>
+WorkloadResult replay_schedule_heavy(std::uint64_t seed, std::uint32_t n) {
+  Sim sim;
+  sim.reserve(n);
+  WorkloadResult out;
+  out.order.reserve(n);
+  Rng rng(seed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double t = rng.uniform(0.0, 1000.0);
+    if (i % 16 == 0) t = 1000.0 + rng.uniform(0.0, 1e6);
+    sim.schedule_at(t, [&out, i] { out.order.push_back(i); });
+  }
+  sim.run();
+  out.final_now = sim.now();
+  out.executed = sim.executed();
+  out.cancelled = sim.cancelled();
+  return out;
+}
+
+/// Cancel-heavy: the timeout-per-call pattern of the resilience layer.
+/// Each of `calls` arrivals issues a completion plus a cancellable
+/// timeout; the completion cancels the timeout (most timeouts die
+/// unfired), a fired timeout issues one retry.  Arrivals are 1000x denser
+/// than the timeout horizon, so thousands of cancellable events are
+/// outstanding at once -- the regime where the reference heap pays a hash
+/// insert+find+erase and an O(log n) big-heap pop per event.
+template <typename Sim>
+WorkloadResult replay_cancel_heavy(std::uint64_t seed, std::uint32_t calls) {
+  using Action = typename Sim::Action;
+  using Handle =
+      decltype(std::declval<Sim&>().schedule_cancellable_at(0.0, Action{}));
+  struct Ctx {
+    Sim sim;
+    Rng rng;
+    WorkloadResult out;
+    std::vector<Handle> timeouts;
+    explicit Ctx(std::uint64_t seed) : rng(seed) {}
+  };
+  auto ctx = std::make_unique<Ctx>(seed);
+  Ctx* c = ctx.get();
+  c->sim.reserve(calls);
+  c->out.order.reserve(std::size_t{4} * calls);
+  c->timeouts.resize(calls);
+  constexpr double kTimeout = 5.0;
+  double t = 0;
+  for (std::uint32_t i = 0; i < calls; ++i) {
+    t += c->rng.exponential(0.001);
+    c->sim.schedule_at(t, [c, i] {
+      c->out.order.push_back(4 * i);
+      const double service = c->rng.exponential(1.5);
+      c->sim.schedule(service, [c, i] {
+        c->out.order.push_back(4 * i + 1);
+        c->sim.cancel(c->timeouts[i]);
+      });
+      c->timeouts[i] = c->sim.schedule_cancellable(kTimeout, [c, i] {
+        c->out.order.push_back(4 * i + 2);
+        const double retry = c->rng.exponential(1.5);
+        c->sim.schedule(retry, [c, i] { c->out.order.push_back(4 * i + 3); });
+      });
+    });
+  }
+  c->sim.run();
+  c->out.final_now = c->sim.now();
+  c->out.executed = c->sim.executed();
+  c->out.cancelled = c->sim.cancelled();
+  return std::move(c->out);
+}
+
+/// Cluster-like replay: fan-out query bursts with per-leaf timeouts and a
+/// per-query deadline, mimicking the cloud cluster's event mix (bursts of
+/// simultaneous near-future completions, timers that almost always
+/// cancel, occasional retries).
+template <typename Sim>
+WorkloadResult replay_cluster_like(std::uint64_t seed, std::uint32_t queries,
+                                   std::uint32_t fanout) {
+  using Action = typename Sim::Action;
+  using Handle =
+      decltype(std::declval<Sim&>().schedule_cancellable_at(0.0, Action{}));
+  struct Ctx {
+    Sim sim;
+    Rng rng;
+    WorkloadResult out;
+    std::vector<Handle> timeouts;   // one per (query, leaf)
+    std::vector<Handle> deadlines;  // one per query
+    std::vector<std::uint32_t> replied;
+    std::uint32_t fanout = 0;
+    explicit Ctx(std::uint64_t seed) : rng(seed) {}
+  };
+  auto ctx = std::make_unique<Ctx>(seed);
+  Ctx* c = ctx.get();
+  c->sim.reserve(std::size_t{2} * queries * fanout);
+  c->out.order.reserve(std::size_t{3} * queries * (fanout + 1));
+  c->timeouts.resize(std::size_t{1} * queries * fanout);
+  c->deadlines.resize(queries);
+  c->replied.assign(queries, 0);
+  c->fanout = fanout;
+  constexpr double kLeafTimeout = 6.0;
+  constexpr double kDeadline = 20.0;
+  const std::uint32_t stride = 4 * fanout + 2;
+  double t = 0;
+  for (std::uint32_t q = 0; q < queries; ++q) {
+    t += c->rng.exponential(1.0);
+    const std::uint32_t base = q * stride;
+    c->sim.schedule_at(t, [c, q, base] {
+      c->out.order.push_back(base);
+      c->deadlines[q] = c->sim.schedule_cancellable(
+          kDeadline, [c, base] { c->out.order.push_back(base + 1); });
+      for (std::uint32_t l = 0; l < c->fanout; ++l) {
+        const std::uint32_t call = q * c->fanout + l;
+        const double service = c->rng.exponential(2.0);
+        c->sim.schedule(service, [c, q, base, l, call] {
+          c->out.order.push_back(base + 2 + l);
+          c->sim.cancel(c->timeouts[call]);
+          if (++c->replied[q] == c->fanout) c->sim.cancel(c->deadlines[q]);
+        });
+        c->timeouts[call] = c->sim.schedule_cancellable(
+            kLeafTimeout, [c, base, l, call] {
+              c->out.order.push_back(base + 2 + c->fanout + l);
+              const double retry = c->rng.exponential(2.0);
+              c->sim.schedule(retry, [c, base, l] {
+                c->out.order.push_back(base + 2 + 2 * c->fanout + l);
+              });
+            });
+      }
+    });
+  }
+  c->sim.run();
+  c->out.final_now = c->sim.now();
+  c->out.executed = c->sim.executed();
+  c->out.cancelled = c->sim.cancelled();
+  return std::move(c->out);
+}
+
+}  // namespace arch21::des

@@ -28,6 +28,10 @@ class LogHistogram {
                std::size_t buckets_per_decade = 90);
 
   void add(double v, std::uint64_t count = 1);
+  /// Fold `other`'s samples into this histogram.  Both histograms must
+  /// share the exact same layout (lowest, highest, and bucket count);
+  /// throws std::invalid_argument otherwise -- silently merging
+  /// misaligned buckets would corrupt every quantile downstream.
   void merge(const LogHistogram& other);
 
   std::uint64_t count() const noexcept { return total_; }

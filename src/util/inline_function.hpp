@@ -1,11 +1,15 @@
 #pragma once
-// Small-buffer-optimized, move-only `void()` callable for hot paths that
-// schedule millions of closures (the DES kernel foremost).  Unlike
-// std::function it never heap-allocates for callables whose size fits the
-// inline buffer, and it accepts move-only callables.  Closures larger
-// than the buffer fall back to the heap; every fallback is counted in a
-// process-wide counter so tests and benches can assert that a hot path
-// stayed allocation-free.
+// Small-buffer-optimized, move-only callables for hot paths that schedule
+// millions of closures (the DES kernel and its Resource stations
+// foremost).  Unlike std::function they never heap-allocate for callables
+// whose size fits the inline buffer, and they accept move-only callables.
+// Closures larger than the buffer fall back to the heap; every fallback is
+// counted in a process-wide counter so tests and benches can assert that a
+// hot path stayed allocation-free.
+//
+// `InlineCallback<Sig, N>` is the general form (any call signature);
+// `InlineFunction<N>` is the historical `void()` alias the DES event queue
+// uses.
 
 #include <atomic>
 #include <cstddef>
@@ -17,32 +21,41 @@
 namespace arch21 {
 
 namespace detail {
-/// Process-wide count of InlineFunction heap fallbacks (monotone).
+/// Process-wide count of InlineCallback/InlineFunction heap fallbacks
+/// (monotone).
 inline std::atomic<std::uint64_t> inline_function_heap_allocs{0};
 }  // namespace detail
 
-/// Number of times any InlineFunction has fallen back to the heap since
+/// Number of times any InlineCallback has fallen back to the heap since
 /// process start.  Sample before/after a hot loop to verify it allocated
 /// nothing (see test_des.cpp).
 inline std::uint64_t inline_function_heap_allocations() noexcept {
   return detail::inline_function_heap_allocs.load(std::memory_order_relaxed);
 }
 
-/// Move-only `void()` callable with `Capacity` bytes of inline storage.
-/// Callables with sizeof <= Capacity (and suitable alignment) are stored
-/// in place; larger ones are heap-allocated behind a pointer kept in the
-/// same buffer.  Invoking an empty InlineFunction is undefined (like
-/// calling through a null function pointer); check with operator bool.
-template <std::size_t Capacity = 48>
-class InlineFunction {
- public:
-  InlineFunction() noexcept = default;
+template <typename Sig, std::size_t Capacity = 48>
+class InlineCallback;  // primary template: specialized on R(Args...) below
 
-  /// Wrap any `void()`-invocable.  Taken by value so both lvalues (copied
-  /// in) and rvalues (moved in) work, including move-only callables.
+/// Move-only `R(Args...)` callable with `Capacity` bytes of inline
+/// storage.  Callables with sizeof <= Capacity (and suitable alignment)
+/// are stored in place; larger ones are heap-allocated behind a pointer
+/// kept in the same buffer.  Invoking an empty InlineCallback is undefined
+/// (like calling through a null function pointer); check with operator
+/// bool.
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineCallback<R(Args...), Capacity> {
+ public:
+  InlineCallback() noexcept = default;
+  InlineCallback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  /// Wrap any `R(Args...)`-invocable.  Taken by value so both lvalues
+  /// (copied in) and rvalues (moved in) work, including move-only
+  /// callables.
   template <typename F>
-    requires(!std::is_same_v<F, InlineFunction> && std::is_invocable_v<F&>)
-  InlineFunction(F f) {  // NOLINT(google-explicit-constructor)
+    requires(!std::is_same_v<F, InlineCallback> &&
+             !std::is_same_v<F, std::nullptr_t> &&
+             std::is_invocable_r_v<R, F&, Args...>)
+  InlineCallback(F f) {  // NOLINT(google-explicit-constructor)
     if constexpr (sizeof(F) <= Capacity &&
                   alignof(F) <= alignof(std::max_align_t)) {
       ::new (static_cast<void*>(buf_)) F(std::move(f));
@@ -55,9 +68,9 @@ class InlineFunction {
     }
   }
 
-  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
 
-  InlineFunction& operator=(InlineFunction&& other) noexcept {
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
     if (this != &other) {
       reset();
       move_from(other);
@@ -65,12 +78,19 @@ class InlineFunction {
     return *this;
   }
 
-  InlineFunction(const InlineFunction&) = delete;
-  InlineFunction& operator=(const InlineFunction&) = delete;
+  InlineCallback& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
 
-  ~InlineFunction() { reset(); }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
 
-  void operator()() { vt_->invoke(buf_); }
+  ~InlineCallback() { reset(); }
+
+  R operator()(Args... args) {
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const noexcept { return vt_ != nullptr; }
 
@@ -79,7 +99,7 @@ class InlineFunction {
 
  private:
   struct VTable {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args&&...);
     /// Move-construct dst's buffer from src's buffer, then destroy src's.
     void (*relocate)(void* dst, void* src) noexcept;
     void (*destroy)(void*) noexcept;
@@ -87,7 +107,10 @@ class InlineFunction {
 
   template <typename F>
   static constexpr VTable kInlineVTable = {
-      [](void* p) { (*std::launder(reinterpret_cast<F*>(p)))(); },
+      [](void* p, Args&&... args) -> R {
+        return static_cast<R>((*std::launder(reinterpret_cast<F*>(p)))(
+            std::forward<Args>(args)...));
+      },
       [](void* dst, void* src) noexcept {
         F* s = std::launder(reinterpret_cast<F*>(src));
         ::new (dst) F(std::move(*s));
@@ -98,14 +121,17 @@ class InlineFunction {
 
   template <typename F>
   static constexpr VTable kHeapVTable = {
-      [](void* p) { (**std::launder(reinterpret_cast<F**>(p)))(); },
+      [](void* p, Args&&... args) -> R {
+        return static_cast<R>((**std::launder(reinterpret_cast<F**>(p)))(
+            std::forward<Args>(args)...));
+      },
       [](void* dst, void* src) noexcept {
         ::new (dst) F*(*std::launder(reinterpret_cast<F**>(src)));
       },
       [](void* p) noexcept { delete *std::launder(reinterpret_cast<F**>(p)); },
   };
 
-  void move_from(InlineFunction& other) noexcept {
+  void move_from(InlineCallback& other) noexcept {
     vt_ = other.vt_;
     if (vt_) {
       vt_->relocate(buf_, other.buf_);
@@ -123,5 +149,9 @@ class InlineFunction {
   alignas(std::max_align_t) unsigned char buf_[Capacity];
   const VTable* vt_ = nullptr;
 };
+
+/// Historical alias: the `void()` flavour the DES event queue stores.
+template <std::size_t Capacity = 48>
+using InlineFunction = InlineCallback<void(), Capacity>;
 
 }  // namespace arch21

@@ -1,0 +1,140 @@
+// Ladder/calendar event-queue coverage: differential replays against the
+// reference binary heap (the determinism contract -- identical execution
+// order on identical seeded workloads), plus the edge cases the ladder
+// introduces over a single heap: events crossing the ladder/overflow
+// boundary, generation-stamped handle reuse, and large-scale
+// executed()/cancelled() bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "des/reference_heap.hpp"
+#include "des/simulator.hpp"
+#include "des/workload.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::des {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 42, 2014};
+
+TEST(DesQueueDifferential, ScheduleHeavyMatchesReferenceHeap) {
+  for (const std::uint64_t seed : kSeeds) {
+    const WorkloadResult ladder = replay_schedule_heavy<Simulator>(seed, 20000);
+    const WorkloadResult ref =
+        replay_schedule_heavy<ReferenceSimulator>(seed, 20000);
+    EXPECT_EQ(ladder.order, ref.order) << "seed " << seed;
+    EXPECT_TRUE(ladder == ref) << "seed " << seed;
+  }
+}
+
+TEST(DesQueueDifferential, CancelHeavyMatchesReferenceHeap) {
+  for (const std::uint64_t seed : kSeeds) {
+    const WorkloadResult ladder = replay_cancel_heavy<Simulator>(seed, 5000);
+    const WorkloadResult ref =
+        replay_cancel_heavy<ReferenceSimulator>(seed, 5000);
+    EXPECT_EQ(ladder.order, ref.order) << "seed " << seed;
+    EXPECT_TRUE(ladder == ref) << "seed " << seed;
+    EXPECT_GT(ladder.cancelled, 0u);  // the workload must exercise cancels
+  }
+}
+
+TEST(DesQueueDifferential, ClusterLikeMatchesReferenceHeap) {
+  for (const std::uint64_t seed : kSeeds) {
+    const WorkloadResult ladder =
+        replay_cluster_like<Simulator>(seed, 400, 12);
+    const WorkloadResult ref =
+        replay_cluster_like<ReferenceSimulator>(seed, 400, 12);
+    EXPECT_EQ(ladder.order, ref.order) << "seed " << seed;
+    EXPECT_TRUE(ladder == ref) << "seed " << seed;
+  }
+}
+
+// A dense near-future stream anchors the ladder window tightly; events far
+// beyond the window must wait in the overflow tier and still fire in
+// global timestamp order as the window slides out to them.
+TEST(DesQueue, FarFutureEventsCrossTheOverflowBoundary) {
+  Simulator sim;
+  std::vector<double> fired;
+  Rng rng(99);
+  auto record = [&fired, &sim] { fired.push_back(sim.now()); };
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_at(rng.uniform(0.0, 1.0), record);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_at(1e3 + rng.uniform(0.0, 1e6), record);
+  }
+  // Re-scheduling from inside callbacks keeps pushing past the window.
+  sim.schedule_at(0.5, [&sim, record] { sim.schedule(2e6, record); });
+  sim.run();
+  EXPECT_EQ(fired.size(), 2001u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_DOUBLE_EQ(fired.back(), 0.5 + 2e6);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(DesQueue, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  bool ran = false;
+  const EventHandle h = sim.schedule_cancellable(1.0, [&ran] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_EQ(sim.cancelled(), 0u);
+}
+
+TEST(DesQueue, HandleReuseAfterGenerationBump) {
+  Simulator sim;
+  int fired = 0;
+  const EventHandle h1 = sim.schedule_cancellable(1.0, [&fired] { ++fired; });
+  sim.run();
+  ASSERT_EQ(fired, 1);
+  // The fired event's slot went back on the free list; the next
+  // cancellable event reuses it under a bumped generation.
+  const EventHandle h2 = sim.schedule_cancellable(1.0, [&fired] { ++fired; });
+  EXPECT_EQ(h2.slot, h1.slot);
+  EXPECT_NE(h2.gen, h1.gen);
+  // The stale handle must not be able to cancel the slot's new tenant.
+  EXPECT_FALSE(sim.cancel(h1));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.cancelled(), 0u);
+}
+
+TEST(DesQueueStress, MillionEventInvariants) {
+  Simulator sim;
+  Rng rng(7);
+  constexpr std::uint32_t kPlain = 600'000;
+  constexpr std::uint32_t kCancellable = 400'000;
+  sim.reserve(kPlain + kCancellable);
+  std::vector<EventHandle> handles;
+  handles.reserve(kCancellable);
+  std::uint64_t fired = 0;
+  auto count = [&fired] { ++fired; };
+  for (std::uint32_t i = 0; i < kPlain + kCancellable; ++i) {
+    const double t = rng.uniform(0.0, 1e4);
+    if (i % 5 < 2) {  // 2 of 5 cancellable: 400k of the million
+      handles.push_back(sim.schedule_cancellable_at(t, count));
+    } else {
+      sim.schedule_at(t, count);
+    }
+  }
+  ASSERT_EQ(handles.size(), kCancellable);
+  std::uint64_t cancels = 0;
+  for (std::size_t i = 0; i < handles.size(); i += 2) {
+    ASSERT_TRUE(sim.cancel(handles[i]));
+    ++cancels;
+  }
+  sim.run();
+  EXPECT_EQ(sim.executed() + sim.cancelled(), kPlain + kCancellable);
+  EXPECT_EQ(sim.cancelled(), cancels);
+  EXPECT_EQ(fired, kPlain + kCancellable - cancels);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace arch21::des

@@ -87,6 +87,28 @@ TEST(LogHistogram, MergeIncompatibleThrows) {
   EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
+TEST(LogHistogram, MergeMismatchedBoundsThrows) {
+  LogHistogram a(1e-3, 1e4, 90);
+  LogHistogram lower(1e-2, 1e4, 90);
+  LogHistogram higher(1e-3, 1e5, 90);
+  EXPECT_THROW(a.merge(lower), std::invalid_argument);
+  EXPECT_THROW(a.merge(higher), std::invalid_argument);
+  // The failed merges must not have touched the destination.
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(LogHistogram, MergeCompatibleAccumulates) {
+  LogHistogram a(1e-3, 1e4, 90);
+  LogHistogram b(1e-3, 1e4, 90);
+  a.add(1.0);
+  a.add(10.0);
+  b.add(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 100.0);
+  EXPECT_NEAR(a.mean(), 111.0 / 3.0, 1e-9);
+}
+
 TEST(LogHistogram, UnderflowAndOverflowCaptured) {
   LogHistogram h(1.0, 100.0, 30);
   h.add(1e-9);   // underflow bucket
