@@ -7,6 +7,9 @@
 // BENCH_des.json for the PR record; exit is nonzero if any order
 // diverges.  `--smoke` shrinks the workloads so tier1.sh can run the
 // differential check quickly (including under TSan).
+// `--metrics-out <path>` additionally publishes the per-workload rows
+// into the global obs::MetricsRegistry and dumps its snapshot JSON
+// (default BENCH_des_metrics.json) next to BENCH_des.json.
 
 #include <chrono>
 #include <cstdint>
@@ -16,9 +19,11 @@
 #include <string>
 #include <vector>
 
+#include "core/report.hpp"
 #include "des/reference_heap.hpp"
 #include "des/simulator.hpp"
 #include "des/workload.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -71,8 +76,11 @@ Row measure(const std::string& name, int reps, LadderFn ladder_run,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--metrics-out") == 0)
+      metrics_out = (i + 1 < argc) ? argv[++i] : "BENCH_des_metrics.json";
   }
   const int reps = smoke ? 1 : 3;
   const std::uint32_t sched_n = smoke ? 20'000 : 400'000;
@@ -138,5 +146,23 @@ int main(int argc, char** argv) {
   }
   out << "  ]\n}\n";
   std::cout << "wrote BENCH_des.json\n";
+
+  if (!metrics_out.empty()) {
+    auto& m = obs::MetricsRegistry::global();
+    m.set_enabled(true);
+    for (const Row& r : rows) {
+      m.add(m.counter("des_bench." + r.name + ".events"), r.events);
+      m.gauge_max(m.gauge("des_bench." + r.name + ".ladder_mev_s"),
+                  r.ladder_eps / 1e6);
+      m.gauge_max(m.gauge("des_bench." + r.name + ".heap_mev_s"),
+                  r.ref_eps / 1e6);
+      m.gauge_max(m.gauge("des_bench." + r.name + ".speedup"), r.speedup());
+    }
+    const auto snap = m.snapshot();
+    std::ofstream mout(metrics_out);
+    mout << snap.to_json() << "\n";
+    std::cout << "\n" << core::render_metrics_report(snap) << "wrote "
+              << metrics_out << "\n";
+  }
   return all_identical ? 0 : 1;
 }

@@ -5,9 +5,19 @@
 // is bit-identical across pool sizes 1 / 2 / default, and emits
 // BENCH_resilience.json for the PR record.  Exit is nonzero if the
 // determinism check fails.
+//
+// Observability hooks (PR4): `--metrics-out <path>` enables the global
+// obs::MetricsRegistry for the whole run (cluster + policy + thread-pool
+// metrics), renders the merged snapshot as a table, and dumps it as JSON
+// (default BENCH_resilience_metrics.json).  `--trace-out <path>` replays
+// ONE budgeted+hedged+quorum trial with a trace sink attached and writes
+// Chrome trace_event JSON (default BENCH_resilience_trace.json) -- open
+// it in Perfetto.  Both default off, so the headline numbers are always
+// measured with recording disabled.
 
 #include <cmath>
 #include <cstddef>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -16,6 +26,8 @@
 #include "cloud/cluster.hpp"
 #include "cloud/resilience.hpp"
 #include "core/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -65,7 +77,17 @@ const cloud::ClusterResult* find(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_out, trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0)
+      metrics_out = (i + 1 < argc) ? argv[++i] : "BENCH_resilience_metrics.json";
+    if (std::strcmp(argv[i], "--trace-out") == 0)
+      trace_out = (i + 1 < argc) ? argv[++i] : "BENCH_resilience_trace.json";
+  }
+  auto& mreg = obs::MetricsRegistry::global();
+  if (!metrics_out.empty()) mreg.set_enabled(true);
+
   const auto cfg = base_config();
   const unsigned trials = 4;
   ThreadPool pool;  // default_threads() / ARCH21_THREADS
@@ -147,5 +169,41 @@ int main() {
   }
   out << "  ]\n}\n";
   std::cout << "wrote BENCH_resilience.json\n";
+
+  if (!metrics_out.empty()) {
+    // Thread-pool counters are kept unconditionally (plain fields under
+    // the pool's own mutex); publish them into the registry as gauges so
+    // they land in the same snapshot as the cluster metrics.
+    const auto ps = pool.stats();
+    mreg.gauge_max(mreg.gauge("pool.submitted"),
+                   static_cast<double>(ps.submitted));
+    mreg.gauge_max(mreg.gauge("pool.executed"),
+                   static_cast<double>(ps.executed));
+    mreg.gauge_max(mreg.gauge("pool.steals"), static_cast<double>(ps.steals));
+    mreg.gauge_max(mreg.gauge("pool.max_queue_depth"),
+                   static_cast<double>(ps.max_queue_depth));
+    const auto snap = mreg.snapshot();
+    std::ofstream mout(metrics_out);
+    mout << snap.to_json() << "\n";
+    std::cout << "\n" << core::render_metrics_report(snap) << "wrote "
+              << metrics_out << "\n";
+  }
+
+  if (!trace_out.empty()) {
+#if ARCH21_OBS_ENABLED
+    // One traced trial of the full mitigation stack: ms timestamps, so
+    // ts_to_us = 1e3; the ring keeps the most recent 256k records.
+    obs::TraceBuffer trace(std::size_t{1} << 18, 1e3);
+    auto traced_cfg = check_cfg;
+    traced_cfg.trace = &trace;
+    (void)cloud::simulate_cluster(traced_cfg);
+    std::ofstream tout(trace_out);
+    trace.write_chrome_json(tout);
+    std::cout << "wrote " << trace_out << " (" << trace.size() << " events, "
+              << trace.dropped() << " dropped)\n";
+#else
+    std::cout << "--trace-out ignored: built with ARCH21_OBS=OFF\n";
+#endif
+  }
   return identical ? 0 : 1;
 }

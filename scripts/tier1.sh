@@ -27,4 +27,15 @@ done
 echo "-- tsan: bench_des_queue --smoke"
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_des_queue --smoke)
 
+echo "== tier-1: UndefinedBehaviorSanitizer smoke (histogram + obs) =="
+# Guards the PR4 bugfixes: NaN samples used to reach bucket_of(), where
+# log(NaN) -> size_t is UB; the obs suite exercises the metrics shards
+# and trace ring end to end under UBSan.
+cmake -B build-ubsan -S . -DARCH21_SAN=undefined >/dev/null
+cmake --build build-ubsan -j "$(nproc)" --target test_histogram test_obs
+for t in test_histogram test_obs; do
+  echo "-- ubsan: $t"
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" "./build-ubsan/tests/$t"
+done
+
 echo "tier-1 OK"

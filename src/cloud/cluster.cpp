@@ -12,6 +12,11 @@
 #include "reliab/failure_trace.hpp"
 #include "util/slab.hpp"
 
+#if ARCH21_OBS_ENABLED
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#endif
+
 namespace arch21::cloud {
 
 // Simulation time unit: milliseconds.
@@ -133,6 +138,11 @@ class ClusterSim {
     double start_ms = 0;
     bool closed = false;
     des::EventHandle deadline{};
+#if ARCH21_OBS_ENABLED
+    /// Monotone per-trial serial keying the query's async trace span
+    /// (slab handles recycle, so they cannot key overlapping spans).
+    std::uint64_t trace_serial = 0;
+#endif
   };
   struct CallRec {
     bool done = false;
@@ -232,6 +242,12 @@ class ClusterSim {
     QueryRef q(Adopt{}, this, queries_.acquire());
     q->start_ms = sim_.now();
     ++started_;
+#if ARCH21_OBS_ENABLED
+    if (trace_) {
+      q->trace_serial = started_;
+      trace_->async_begin(tr_query_, q->trace_serial, sim_.now());
+    }
+#endif
     if (pol_.quorum.enabled()) {
       q->deadline = sim_.schedule_cancellable(
           pol_.quorum.deadline_ms, [this, q] { on_deadline(q); });
@@ -267,6 +283,9 @@ class ClusterSim {
       // The request vanishes into a dead leaf; only a timeout (or the
       // query deadline) will tell the client.
       ++res_.lost_requests;
+#if ARCH21_OBS_ENABLED
+      if (trace_) trace_->instant(tr_lost_, sim_.now(), 0);
+#endif
     }
 
     if (!is_hedge && pol_.hedge_after_ms > 0 && !call->hedged &&
@@ -296,6 +315,13 @@ class ClusterSim {
       ++res_.ok_queries;
       res_.sum_result_quality += 1.0;
       res_.query_ms.add(lat);
+#if ARCH21_OBS_ENABLED
+      if (mreg_) mreg_->record(m_query_ms_, lat);
+      if (trace_) {
+        trace_->async_end(tr_query_, q->trace_serial, sim_.now(),
+                          tr_quality_arg_, 1.0);
+      }
+#endif
     }
   }
 
@@ -303,19 +329,39 @@ class ClusterSim {
   void on_deadline(const QueryRef& q) {
     if (q->closed) return;
     q->closed = true;
+#if ARCH21_OBS_ENABLED
+    if (trace_) trace_->instant(tr_deadline_, sim_.now(), 0);
+#endif
     if (q->replied >= quorum_needed_) {
       ++res_.degraded_queries;
-      res_.sum_result_quality += static_cast<double>(q->replied) /
-                                 static_cast<double>(cfg_.leaves);
+      const double quality = static_cast<double>(q->replied) /
+                             static_cast<double>(cfg_.leaves);
+      res_.sum_result_quality += quality;
       res_.query_ms.add(sim_.now() - q->start_ms);
+#if ARCH21_OBS_ENABLED
+      if (mreg_) mreg_->record(m_query_ms_, sim_.now() - q->start_ms);
+      if (trace_) {
+        trace_->async_end(tr_query_, q->trace_serial, sim_.now(),
+                          tr_quality_arg_, quality);
+      }
+#endif
     } else {
       ++res_.failed_queries;
+#if ARCH21_OBS_ENABLED
+      if (trace_) {
+        trace_->async_end(tr_query_, q->trace_serial, sim_.now(),
+                          tr_quality_arg_, 0.0);
+      }
+#endif
     }
   }
 
   void on_hedge(const QueryRef& q, const CallRef& call, double service) {
     if (call->done || q->closed) return;
     call->hedged = true;
+#if ARCH21_OBS_ENABLED
+    if (trace_) trace_->instant(tr_hedge_, sim_.now(), 0);
+#endif
     issue(q, call, service, static_cast<unsigned>(crng_.below(cfg_.leaves)),
           true);
   }
@@ -323,15 +369,24 @@ class ClusterSim {
   void on_timeout(const QueryRef& q, const CallRef& call, double service) {
     if (call->done || q->closed) return;
     ++res_.timeouts;
+#if ARCH21_OBS_ENABLED
+    if (trace_) trace_->instant(tr_timeout_, sim_.now(), 0);
+#endif
     if (call->attempts > pol_.retry.max_retries) return;
     if (pol_.budget.enabled) {
       if (budget_tokens_ < 1.0) {
         ++res_.budget_denials;
+#if ARCH21_OBS_ENABLED
+        if (trace_) trace_->instant(tr_denied_, sim_.now(), 0);
+#endif
         return;
       }
       budget_tokens_ -= 1.0;
     }
     ++res_.retries;
+#if ARCH21_OBS_ENABLED
+    if (trace_) trace_->instant(tr_retry_, sim_.now(), 0);
+#endif
     const double backoff = pol_.retry.backoff_ms(call->attempts - 1, crng_);
     // Retry against a random replica, like the hedge path.
     const unsigned alt = static_cast<unsigned>(crng_.below(cfg_.leaves));
@@ -339,6 +394,50 @@ class ClusterSim {
       issue(q, call, service, alt, false);
     });
   }
+
+#if ARCH21_OBS_ENABLED
+  /// Wire the trace sink into every layer of this trial: DES kernel
+  /// instants on track 0, leaf l's serve spans on track 1 + l (each leaf
+  /// is a single-server Resource, so one track per leaf suffices), and
+  /// the query/retry/hedge lifecycle emitted by the policy engine above.
+  void attach_trace(obs::TraceBuffer* t) {
+    trace_ = t;
+    sim_.set_trace(t);
+    t->name_thread(0, "des-kernel");
+    for (unsigned l = 0; l < cfg_.leaves; ++l) {
+      t->name_thread(1 + l, "leaf-" + std::to_string(l));
+      leaves_[l]->set_trace(t, 1 + l);
+    }
+    tr_query_ = t->intern("query");
+    tr_retry_ = t->intern("retry");
+    tr_hedge_ = t->intern("hedge");
+    tr_timeout_ = t->intern("timeout");
+    tr_lost_ = t->intern("lost");
+    tr_denied_ = t->intern("budget-denied");
+    tr_deadline_ = t->intern("deadline");
+    tr_quality_arg_ = t->intern("quality");
+  }
+
+  /// Fold this trial's counters and slab high-water marks into the
+  /// process-wide registry.  Called once at the end of run(); a no-op
+  /// while the registry is disabled.
+  void publish_metrics() {
+    auto& m = obs::MetricsRegistry::global();
+    if (!m.enabled()) return;
+    m.add(m.counter("cluster.queries"), res_.queries);
+    m.add(m.counter("cluster.retries"), res_.retries);
+    m.add(m.counter("cluster.hedges"), res_.hedges);
+    m.add(m.counter("cluster.timeouts"), res_.timeouts);
+    m.add(m.counter("cluster.lost_requests"), res_.lost_requests);
+    m.add(m.counter("cluster.budget_denials"), res_.budget_denials);
+    m.add(m.counter("des.executed"), sim_.executed());
+    m.add(m.counter("des.cancelled"), sim_.cancelled());
+    m.gauge_max(m.gauge("slab.queries.hwm"),
+                static_cast<double>(queries_.high_water()));
+    m.gauge_max(m.gauge("slab.calls.hwm"),
+                static_cast<double>(calls_.high_water()));
+  }
+#endif
 
   const ClusterConfig& cfg_;
   ResiliencePolicy pol_;
@@ -360,6 +459,15 @@ class ClusterSim {
   unsigned quorum_needed_ = 0;
   double horizon_ms_ = 0;
   std::uint64_t started_ = 0;
+
+#if ARCH21_OBS_ENABLED
+  obs::TraceBuffer* trace_ = nullptr;
+  std::uint32_t tr_query_ = 0, tr_retry_ = 0, tr_hedge_ = 0, tr_timeout_ = 0,
+                tr_lost_ = 0, tr_denied_ = 0, tr_deadline_ = 0,
+                tr_quality_arg_ = 0;
+  obs::MetricsRegistry* mreg_ = nullptr;  // set iff enabled at trial start
+  obs::MetricsRegistry::MetricId m_query_ms_ = 0;
+#endif
 };
 
 ClusterResult ClusterSim::run() {
@@ -368,6 +476,17 @@ ClusterResult ClusterSim::run() {
   for (unsigned i = 0; i < cfg_.leaves; ++i) {
     leaves_.push_back(std::make_unique<des::Resource>(sim_, 1));
   }
+#if ARCH21_OBS_ENABLED
+  if (cfg_.trace) attach_trace(cfg_.trace);
+  {
+    auto& mreg = obs::MetricsRegistry::global();
+    if (mreg.enabled()) {
+      mreg_ = &mreg;
+      // Same layout as ClusterResult::query_ms so quantiles agree.
+      m_query_ms_ = mreg.timer("cluster.query_ms", 1e-2, 1e5, 90);
+    }
+  }
+#endif
 
   horizon_ms_ = cfg_.duration_s * 1000.0;
   // All background arrivals and query starts are scheduled up front;
@@ -468,6 +587,9 @@ ClusterResult ClusterSim::run() {
       cfg_.duration_s;
   res_.frac_over_leaf_p99 =
       res_.query_ms.fraction_above(res_.leaf_ms.quantile(0.99));
+#if ARCH21_OBS_ENABLED
+  publish_metrics();
+#endif
   return std::move(res_);
 }
 

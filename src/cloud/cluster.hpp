@@ -20,9 +20,16 @@
 #include <vector>
 
 #include "cloud/policy.hpp"
+#include "obs/enabled.hpp"
 #include "reliab/availability.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
+
+#if ARCH21_OBS_ENABLED
+namespace arch21::obs {
+class TraceBuffer;
+}
+#endif
 
 namespace arch21::cloud {
 
@@ -62,6 +69,18 @@ struct ClusterConfig {
   ClusterFaultConfig faults;
   /// Client-side mitigation policies (all off by default).
   ResiliencePolicy policy;
+#if ARCH21_OBS_ENABLED
+  /// Observability trace sink for ONE simulation (timestamps are ms, so
+  /// construct it with ts_to_us = 1e3).  The DES kernel, every leaf
+  /// Resource, and the query lifecycle emit into it: track 0 carries
+  /// kernel instants plus retry/hedge/timeout/lost/denied/deadline
+  /// markers, track 1+l carries leaf l's serve spans, and queries are
+  /// async "query" spans annotated with result quality.  Strictly
+  /// read-only -- attaching a trace never changes simulation results.
+  /// Rejected (std::invalid_argument) by run_cluster_trials(): a single
+  /// ring cannot absorb concurrent trials.
+  obs::TraceBuffer* trace = nullptr;
+#endif
 
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;

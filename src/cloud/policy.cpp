@@ -4,6 +4,11 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/enabled.hpp"
+#if ARCH21_OBS_ENABLED
+#include "obs/metrics.hpp"
+#endif
+
 namespace arch21::cloud {
 
 namespace {
@@ -14,10 +19,20 @@ namespace {
 
 }  // namespace
 
-double RetryPolicy::backoff_ms(unsigned retry_index, Rng& rng) const noexcept {
+double RetryPolicy::backoff_ms(unsigned retry_index, Rng& rng) const {
   const double base =
       backoff_base_ms * std::pow(backoff_mult, static_cast<double>(retry_index));
-  return base * (1.0 + jitter_frac * rng.uniform(-1.0, 1.0));
+  const double delay = base * (1.0 + jitter_frac * rng.uniform(-1.0, 1.0));
+#if ARCH21_OBS_ENABLED
+  auto& m = obs::MetricsRegistry::global();
+  if (m.enabled()) {
+    // Registration is idempotent; the id lookup is mutex-protected but
+    // retries are rare by design (the budget bounds them), so this stays
+    // off the per-request hot path.
+    m.record(m.timer("policy.backoff_ms", 1e-2, 1e5, 30), delay);
+  }
+#endif
+  return delay;
 }
 
 void RetryPolicy::validate() const {

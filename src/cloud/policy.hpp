@@ -26,7 +26,10 @@ struct RetryPolicy {
   double jitter_frac = 0.2;      ///< uniform +/- fraction on each backoff
 
   /// Backoff before retry `retry_index` (0-based), jittered via `rng`.
-  double backoff_ms(unsigned retry_index, Rng& rng) const noexcept;
+  /// Also records the chosen delay into the global metrics registry's
+  /// "policy.backoff_ms" timer when metrics are enabled (which may
+  /// allocate a per-thread shard on first use, hence not noexcept).
+  double backoff_ms(unsigned retry_index, Rng& rng) const;
 
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;

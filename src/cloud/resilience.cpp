@@ -11,6 +11,16 @@ ClusterResult run_cluster_trials(const ClusterConfig& cfg, unsigned trials,
   if (trials == 0) {
     throw std::invalid_argument("run_cluster_trials: trials must be > 0");
   }
+#if ARCH21_OBS_ENABLED
+  if (cfg.trace) {
+    // One TraceBuffer cannot absorb trials running concurrently on the
+    // pool (the ring is single-writer); trace a single simulate_cluster()
+    // call instead.
+    throw std::invalid_argument(
+        "run_cluster_trials: cfg.trace is only valid for a single "
+        "simulate_cluster() run");
+  }
+#endif
   ThreadPool& tp = pool ? *pool : ThreadPool::global();
   ClusterResult identity;
   identity.trials = 0;

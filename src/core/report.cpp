@@ -127,4 +127,33 @@ std::string render_resilience_report(
   return os.str();
 }
 
+std::string render_metrics_report(const obs::MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "## Metrics\n\n";
+  if (snap.entries.empty()) {
+    os << "*(no metrics registered)*\n";
+    return os.str();
+  }
+  TextTable t({"metric", "kind", "value", "p50", "p99", "max"});
+  for (const auto& e : snap.entries) {
+    switch (e.kind) {
+      case obs::MetricKind::kCounter:
+        t.row({e.name, "counter", std::to_string(e.count), "", "", ""});
+        break;
+      case obs::MetricKind::kGauge:
+        t.row({e.name, "gauge", TextTable::num(e.value, 6), "", "", ""});
+        break;
+      case obs::MetricKind::kTimer:
+        t.row({e.name, "timer",
+               std::to_string(e.count) + " x " + TextTable::num(e.hist.mean(), 4),
+               TextTable::num(e.hist.quantile(0.5), 4),
+               TextTable::num(e.hist.quantile(0.99), 4),
+               TextTable::num(e.hist.max_seen(), 4)});
+        break;
+    }
+  }
+  os << "```\n" << t.to_string(0) << "```\n";
+  return os.str();
+}
+
 }  // namespace arch21::core

@@ -10,6 +10,7 @@
 
 #include "cloud/resilience.hpp"
 #include "core/dse.hpp"
+#include "obs/metrics.hpp"
 
 namespace arch21::core {
 
@@ -21,5 +22,10 @@ std::string render_report(const DseResult& result, const AppProfile& app,
 /// as a self-contained markdown document.
 std::string render_resilience_report(
     const std::vector<cloud::ScenarioResult>& scenarios);
+
+/// Render a metrics snapshot (obs::MetricsRegistry::snapshot()) as a
+/// markdown section: one table row per metric in registration order;
+/// timers show count / mean / p50 / p99 / max.
+std::string render_metrics_report(const obs::MetricsSnapshot& snap);
 
 }  // namespace arch21::core

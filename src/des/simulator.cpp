@@ -4,7 +4,21 @@
 #include <stdexcept>
 #include <utility>
 
+#if ARCH21_OBS_ENABLED
+#include "obs/trace.hpp"
+#endif
+
 namespace arch21::des {
+
+#if ARCH21_OBS_ENABLED
+void Simulator::set_trace(obs::TraceBuffer* t) {
+  trace_ = t;
+  if (t) {
+    tr_fire_ = t->intern("des.fire");
+    tr_discard_ = t->intern("des.discard");
+  }
+}
+#endif
 
 // --------------------------------------------------------------- insert
 
@@ -258,11 +272,17 @@ bool Simulator::step(Time until) {
         actions_[ev.act] = Action{};
         free_actions_.push_back(ev.act);
         ++cancelled_;
+#if ARCH21_OBS_ENABLED
+        if (trace_) trace_->instant(tr_discard_, ev.t, 0);
+#endif
         continue;
       }
     }
     now_ = ev.t;
     ++executed_;
+#if ARCH21_OBS_ENABLED
+    if (trace_) trace_->instant(tr_fire_, ev.t, 0);
+#endif
     // Feed the ladder-width estimator (nonzero gaps only: simultaneous
     // events share a bucket regardless of width).
     if (executed_ > 1 && ev.t > last_exec_t_) {

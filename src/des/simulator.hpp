@@ -29,7 +29,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/enabled.hpp"
 #include "util/inline_function.hpp"
+
+#if ARCH21_OBS_ENABLED
+namespace arch21::obs {
+class TraceBuffer;
+}
+#endif
 
 namespace arch21::des {
 
@@ -127,6 +134,16 @@ class Simulator {
 
   static constexpr Time kForever = 1e300;
 
+#if ARCH21_OBS_ENABLED
+  /// Attach an observability trace: every executed event emits a
+  /// "des.fire" instant and every lazily-discarded cancelled event a
+  /// "des.discard" instant on track 0 of `t` (timestamps in simulation
+  /// time; nullptr detaches).  The hook is read-only -- it can never
+  /// change event order or simulation results -- and costs one pointer
+  /// test per event while detached.  Compiled out under -DARCH21_OBS=OFF.
+  void set_trace(obs::TraceBuffer* t);
+#endif
+
  private:
   /// 24-byte POD queue entry.  The action lives in the actions_ slab, not
   /// in the event record, so every heap sift / bucket migration moves a
@@ -211,6 +228,12 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
+
+#if ARCH21_OBS_ENABLED
+  obs::TraceBuffer* trace_ = nullptr;
+  std::uint32_t tr_fire_ = 0;     // interned "des.fire"
+  std::uint32_t tr_discard_ = 0;  // interned "des.discard"
+#endif
 };
 
 }  // namespace arch21::des

@@ -1,0 +1,16 @@
+#pragma once
+// Compile-time switch for the observability hooks (metrics + tracing)
+// threaded through the DES kernel, the cluster simulator, and the thread
+// pool.  Builds default to ON; configuring with -DARCH21_OBS=OFF defines
+// ARCH21_OBS_ENABLED=0 and compiles every hook out entirely, restoring
+// the exact pre-observability hot paths.  With hooks compiled in, the
+// runtime cost while *disabled* is one pointer/flag test per site
+// (verified within noise by bench_des_queue; see EXPERIMENTS.md E28).
+//
+// This header is safe to include from any layer: it defines only the
+// macro, never types, so low-level headers (des/simulator.hpp) can gate
+// their members without pulling in the obs library.
+
+#ifndef ARCH21_OBS_ENABLED
+#define ARCH21_OBS_ENABLED 1
+#endif

@@ -1,0 +1,249 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace arch21::obs {
+
+// A shard holds one dense cell array per metric kind, indexed by the slot
+// packed into the MetricId, so a counter bump is one add into a
+// contiguous uint64 vector with no descriptor lookup and no lock.  Only
+// the owning thread touches a shard's cells between quiescence points;
+// the registry mutex covers shard creation, timer-layout lookups, and the
+// snapshot()/reset() scans (which require quiescence anyway).
+struct MetricsRegistry::Shard {
+  std::vector<std::uint64_t> counters;
+  std::vector<double> gauges;
+  std::vector<char> gauge_set;  ///< shard ever wrote this gauge
+  std::vector<LogHistogram> timers;
+};
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_uid{1};
+
+// Thread-local shard cache: (registry uid -> shard).  Keyed by a
+// process-unique uid, never a pointer, so a registry destroyed and
+// another allocated at the same address can never alias a stale entry.
+struct TlsEntry {
+  std::uint64_t uid;
+  void* shard;
+};
+thread_local std::vector<TlsEntry> g_tls_shards;
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kTimer: return "timer";
+  }
+  return "?";
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : uid_(g_next_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+MetricsRegistry::MetricId MetricsRegistry::register_metric(
+    std::string_view name, MetricKind kind, double lowest, double highest,
+    std::size_t bpd) {
+  std::lock_guard lk(mu_);
+  for (const Desc& d : descs_) {
+    if (d.name != name) continue;
+    if (d.kind != kind ||
+        (kind == MetricKind::kTimer &&
+         (d.lowest != lowest || d.highest != highest || d.bpd != bpd))) {
+      throw std::invalid_argument(
+          "MetricsRegistry: '" + std::string(name) +
+          "' already registered as a " + kind_name(d.kind) +
+          " with a different kind or layout");
+    }
+    return d.id;
+  }
+  std::uint32_t slot = 0;
+  for (const Desc& d : descs_) {
+    if (d.kind == kind) ++slot;
+  }
+  const MetricId id = pack(kind, slot);
+  descs_.push_back(Desc{std::string(name), kind, lowest, highest, bpd, id});
+  return id;
+}
+
+MetricsRegistry::MetricId MetricsRegistry::counter(std::string_view name) {
+  return register_metric(name, MetricKind::kCounter, 0, 0, 0);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::gauge(std::string_view name) {
+  return register_metric(name, MetricKind::kGauge, 0, 0, 0);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::timer(std::string_view name,
+                                                 double lowest, double highest,
+                                                 std::size_t bpd) {
+  return register_metric(name, MetricKind::kTimer, lowest, highest, bpd);
+}
+
+std::size_t MetricsRegistry::metric_count() const {
+  std::lock_guard lk(mu_);
+  return descs_.size();
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  for (const TlsEntry& e : g_tls_shards) {
+    if (e.uid == uid_) return *static_cast<Shard*>(e.shard);
+  }
+  // Cold path: first recording from this thread into this registry.
+  std::lock_guard lk(mu_);
+  auto shard = std::make_unique<Shard>();
+  Shard& ref = *shard;
+  shards_.push_back(std::move(shard));
+  g_tls_shards.push_back(TlsEntry{uid_, &ref});
+  return ref;
+}
+
+void MetricsRegistry::add_slow(MetricId id, std::uint64_t delta) {
+  if (kind_of(id) != MetricKind::kCounter) return;
+  Shard& s = local_shard();
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= s.counters.size()) s.counters.resize(slot + 1, 0);
+  s.counters[slot] += delta;
+}
+
+void MetricsRegistry::gauge_max_slow(MetricId id, double v) {
+  if (kind_of(id) != MetricKind::kGauge) return;
+  Shard& s = local_shard();
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= s.gauges.size()) {
+    s.gauges.resize(slot + 1, 0.0);
+    s.gauge_set.resize(slot + 1, 0);
+  }
+  if (!s.gauge_set[slot] || v > s.gauges[slot]) s.gauges[slot] = v;
+  s.gauge_set[slot] = 1;
+}
+
+void MetricsRegistry::record_slow(MetricId id, double v) {
+  if (kind_of(id) != MetricKind::kTimer) return;
+  Shard& s = local_shard();
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= s.timers.size()) {
+    // Cold: this shard has not seen these timers yet.  Timer cells need
+    // their layout from the descriptor table, so take the registry mutex
+    // once and build every timer slot up to and including this one.
+    std::lock_guard lk(mu_);
+    for (const Desc& d : descs_) {
+      if (d.kind != MetricKind::kTimer) continue;
+      if (slot_of(d.id) >= s.timers.size()) {
+        s.timers.emplace_back(d.lowest, d.highest, d.bpd);
+      }
+      if (s.timers.size() > slot) break;
+    }
+    if (slot >= s.timers.size()) return;  // unknown id
+  }
+  s.timers[slot].add(v);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lk(mu_);
+  MetricsSnapshot snap;
+  snap.entries.reserve(descs_.size());
+  for (const Desc& d : descs_) {
+    MetricsSnapshot::Entry e;
+    e.name = d.name;
+    e.kind = d.kind;
+    const std::uint32_t slot = slot_of(d.id);
+    switch (d.kind) {
+      case MetricKind::kCounter: {
+        for (const auto& shard : shards_) {
+          if (slot < shard->counters.size()) e.count += shard->counters[slot];
+        }
+        break;
+      }
+      case MetricKind::kGauge: {
+        bool any = false;
+        for (const auto& shard : shards_) {
+          if (slot < shard->gauges.size() && shard->gauge_set[slot]) {
+            e.value = any ? std::max(e.value, shard->gauges[slot])
+                          : shard->gauges[slot];
+            any = true;
+          }
+        }
+        break;
+      }
+      case MetricKind::kTimer: {
+        e.hist = LogHistogram(d.lowest, d.highest, d.bpd);
+        for (const auto& shard : shards_) {
+          if (slot < shard->timers.size()) e.hist.merge(shard->timers[slot]);
+        }
+        e.count = e.hist.count();
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lk(mu_);
+  for (const auto& shard : shards_) {
+    for (auto& v : shard->counters) v = 0;
+    for (std::size_t i = 0; i < shard->gauges.size(); ++i) {
+      shard->gauges[i] = 0;
+      shard->gauge_set[i] = 0;
+    }
+    for (const Desc& d : descs_) {
+      if (d.kind != MetricKind::kTimer) continue;
+      const std::uint32_t slot = slot_of(d.id);
+      if (slot < shard->timers.size()) {
+        shard->timers[slot] = LogHistogram(d.lowest, d.highest, d.bpd);
+      }
+    }
+  }
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"metrics\": [\n";
+  char buf[256];
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    out += "    {\"name\": \"" + e.name + "\", \"kind\": \"";
+    out += kind_name(e.kind);
+    out += "\"";
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof buf, ", \"value\": %llu",
+                      static_cast<unsigned long long>(e.count));
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof buf, ", \"value\": %.17g", e.value);
+        out += buf;
+        break;
+      case MetricKind::kTimer:
+        std::snprintf(buf, sizeof buf,
+                      ", \"count\": %llu, \"mean\": %.6g, \"p50\": %.6g, "
+                      "\"p99\": %.6g, \"max\": %.6g",
+                      static_cast<unsigned long long>(e.count), e.hist.mean(),
+                      e.hist.quantile(0.5), e.hist.quantile(0.99),
+                      e.hist.max_seen());
+        out += buf;
+        break;
+    }
+    out += "}";
+    if (i + 1 < entries.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace arch21::obs

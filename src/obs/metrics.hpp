@@ -1,0 +1,152 @@
+#pragma once
+// Cross-layer metrics registry: counters, gauges, and LogHistogram-backed
+// timers that any layer (DES kernel, cluster simulator, thread pool,
+// benches) can publish into and that core::report / the benches render
+// next to their BENCH_*.json artifacts.
+//
+// Hot-path contract: recording is lock-free.  Every thread writes to its
+// own *shard* (a flat array of cells indexed by MetricId); shards are
+// created once per (thread, registry) under a mutex and cached in
+// thread-local storage, after which add()/record()/gauge_max() touch only
+// thread-private memory.  While the registry is disabled every recording
+// call is a single relaxed load + branch, so instrumented code costs
+// nothing measurable (E28), and -- because recording never draws RNG,
+// never allocates on the sim path, and never feeds back into simulation
+// state -- enabling metrics cannot perturb simulation results: the
+// bit-identical-across-pool-sizes contract of DESIGN.md holds with
+// metrics on or off (locked in by tests/test_resilience.cpp).
+//
+// Determinism of the metrics themselves: snapshot() lists metrics in
+// registration order and folds shards in shard-creation order.  Integer
+// counters and histogram bucket counts are exact sums, so they are
+// reproducible wherever the underlying quantity is; timer double sums
+// (mean()) can differ in final ulps across pool sizes because shard
+// partitioning differs.  Quantiles depend only on bucket counts, so they
+// are exact.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace arch21::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kTimer };
+
+/// A merged, point-in-time view of every registered metric.
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    std::uint64_t count = 0;  ///< counter value, or timer sample count
+    double value = 0;         ///< gauge value (max across shards)
+    LogHistogram hist;        ///< timers only
+  };
+  std::vector<Entry> entries;  ///< registration order
+
+  /// Machine-readable dump: {"metrics":[{"name":...,"kind":...,...},...]}.
+  /// Timers emit count/mean/p50/p99/max.
+  std::string to_json() const;
+};
+
+/// Registry of named metrics with per-thread shards.  One process-wide
+/// instance (global()) serves the instrumented layers; tests construct
+/// their own.  All recording is a no-op until set_enabled(true).
+class MetricsRegistry {
+ public:
+  using MetricId = std::uint32_t;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or look up) a metric.  Registering an existing name
+  /// returns the existing id; re-registering under a different kind (or
+  /// a timer under a different layout) throws std::invalid_argument.
+  /// Registration is mutex-protected -- do it at setup, not per event.
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  MetricId timer(std::string_view name, double lowest = 1e-9,
+                 double highest = 1e6, std::size_t buckets_per_decade = 30);
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Counter += delta.  Disabled: one relaxed load + branch.
+  void add(MetricId id, std::uint64_t delta = 1) {
+    if (enabled()) add_slow(id, delta);
+  }
+  /// Gauge = max(gauge, v) -- high-water-mark semantics; shards merge by
+  /// max, so the snapshot reports the process-wide high water.
+  void gauge_max(MetricId id, double v) {
+    if (enabled()) gauge_max_slow(id, v);
+  }
+  /// Timer sample (LogHistogram::add on this thread's shard).
+  void record(MetricId id, double v) {
+    if (enabled()) record_slow(id, v);
+  }
+
+  /// Merge every shard (shard-creation order) into one snapshot, listed
+  /// in registration order.  Call only while no thread is recording
+  /// concurrently (after ThreadPool::wait_idle() / parallel_reduce
+  /// returns); shards are thread-private in between.
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every shard's cells (same quiescence requirement as snapshot).
+  void reset();
+
+  std::size_t metric_count() const;
+
+  /// The process-wide registry the instrumented layers publish into.
+  static MetricsRegistry& global();
+
+ private:
+  // A MetricId packs (kind, per-kind slot), so the recording hot path
+  // indexes straight into the shard's per-kind cell array -- no
+  // descriptor lookup, no lock.
+  static constexpr std::uint32_t kKindShift = 30;
+  static constexpr std::uint32_t kSlotMask = (1u << kKindShift) - 1;
+  static constexpr MetricId pack(MetricKind k, std::uint32_t slot) noexcept {
+    return (static_cast<std::uint32_t>(k) << kKindShift) | slot;
+  }
+  static constexpr MetricKind kind_of(MetricId id) noexcept {
+    return static_cast<MetricKind>(id >> kKindShift);
+  }
+  static constexpr std::uint32_t slot_of(MetricId id) noexcept {
+    return id & kSlotMask;
+  }
+
+  struct Desc {
+    std::string name;
+    MetricKind kind;
+    double lowest = 0, highest = 0;  // timer layout
+    std::size_t bpd = 0;
+    MetricId id = 0;
+  };
+  struct Shard;
+
+  MetricId register_metric(std::string_view name, MetricKind kind,
+                           double lowest, double highest, std::size_t bpd);
+  Shard& local_shard();
+  void add_slow(MetricId id, std::uint64_t delta);
+  void gauge_max_slow(MetricId id, double v);
+  void record_slow(MetricId id, double v);
+
+  const std::uint64_t uid_;  ///< process-unique, for the TLS shard cache
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  ///< guards descs_ and the shards_ list
+  std::vector<Desc> descs_;
+  std::vector<std::unique_ptr<Shard>> shards_;  ///< creation order
+};
+
+}  // namespace arch21::obs

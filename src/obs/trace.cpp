@@ -1,0 +1,129 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace arch21::obs {
+
+TraceBuffer::TraceBuffer(std::size_t capacity, double ts_to_us)
+    : ts_to_us_(ts_to_us) {
+  if (capacity == 0 || !(ts_to_us > 0)) {
+    throw std::invalid_argument("TraceBuffer: bad capacity or time scale");
+  }
+  ring_.resize(capacity);
+}
+
+std::uint32_t TraceBuffer::intern(std::string_view name) {
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  names_.emplace_back(name);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+void TraceBuffer::name_thread(std::uint32_t tid, std::string_view name) {
+  for (auto& [t, n] : thread_names_) {
+    if (t == tid) {
+      n = std::string(name);
+      return;
+    }
+  }
+  thread_names_.emplace_back(tid, std::string(name));
+}
+
+namespace {
+
+// Interned names are library-chosen identifiers, but escape defensively
+// so arbitrary intern() input can never produce invalid JSON.
+void escape_into(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void TraceBuffer::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::string line;
+  auto emit = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << line;
+  };
+  line = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"arch21-sim\"}}";
+  emit();
+  for (const auto& [tid, name] : thread_names_) {
+    line = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    line += std::to_string(tid);
+    line += ",\"args\":{\"name\":\"";
+    escape_into(line, name);
+    line += "\"}}";
+    emit();
+  }
+  char buf[64];
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Rec& r = ring_[(head_ + i) % ring_.size()];
+    line = "{\"name\":\"";
+    escape_into(line, r.name < names_.size() ? names_[r.name] : "?");
+    line += "\",\"cat\":\"";
+    line += (r.ph == 'b' || r.ph == 'e') ? "async" : "sim";
+    line += "\",\"ph\":\"";
+    line += r.ph;
+    line += "\",\"pid\":1,\"tid\":";
+    line += std::to_string(r.tid);
+    std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", r.ts * ts_to_us_);
+    line += buf;
+    switch (r.ph) {
+      case 'X':
+        std::snprintf(buf, sizeof buf, ",\"dur\":%.3f", r.dur * ts_to_us_);
+        line += buf;
+        break;
+      case 'i':
+        line += ",\"s\":\"t\"";
+        break;
+      case 'b':
+      case 'e':
+        std::snprintf(buf, sizeof buf, ",\"id\":\"0x%llx\"",
+                      static_cast<unsigned long long>(r.id));
+        line += buf;
+        break;
+      default:
+        break;
+    }
+    if (r.arg_name != kNoArg && r.arg_name < names_.size()) {
+      line += ",\"args\":{\"";
+      escape_into(line, names_[r.arg_name]);
+      std::snprintf(buf, sizeof buf, "\":%.6g}", r.arg);
+      line += buf;
+    }
+    line += "}";
+    emit();
+  }
+  os << "\n]}\n";
+}
+
+std::string TraceBuffer::chrome_json() const {
+  std::ostringstream os;
+  write_chrome_json(os);
+  return os.str();
+}
+
+}  // namespace arch21::obs

@@ -1,0 +1,116 @@
+#pragma once
+// Bounded trace-event ring with Chrome trace_event JSON export.  The DES
+// kernel, des::Resource stations, and the cluster simulator emit spans
+// into one of these (attached per simulation, single-threaded); the
+// resulting JSON loads directly in Perfetto / chrome://tracing.
+//
+// Records are 48-byte PODs in a pre-sized ring (the "slab"): emitting a
+// span is a couple of stores plus an index bump -- no allocation, no
+// formatting -- and when the ring is full the *oldest* record is
+// overwritten (dropped() counts), so a trace always holds the most
+// recent window of a long simulation in bounded memory.  Formatting
+// happens once, at export.
+//
+// Event vocabulary (Chrome trace_event "ph" phases):
+//   'X' complete span   -- ts + dur on a track (tid); spans on one track
+//                          must nest, which holds by construction for the
+//                          per-server serve spans the Resource emits
+//   'i' thread instant  -- a point event on a track
+//   'b'/'e' async span  -- begin/end matched by (category, id); used for
+//                          query lifecycles, which overlap freely
+// Timestamps are simulation time; `ts_to_us` scales them to the
+// microseconds Chrome expects (the cluster simulates in ms -> 1e3).
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace arch21::obs {
+
+class TraceBuffer {
+ public:
+  static constexpr std::uint32_t kNoArg = 0xffffffffu;
+
+  /// `capacity`: max retained records (oldest dropped beyond that);
+  /// `ts_to_us`: multiplier from simulation time units to microseconds.
+  explicit TraceBuffer(std::size_t capacity = std::size_t{1} << 16,
+                       double ts_to_us = 1.0);
+
+  /// Intern a string for use as an event or arg name.  Cold path -- call
+  /// at setup, keep the returned id for the emitting hot path.
+  std::uint32_t intern(std::string_view name);
+
+  /// Label a track ("tid") in the exported trace, e.g. "leaf-7".
+  void name_thread(std::uint32_t tid, std::string_view name);
+
+  /// Complete span [ts, ts+dur) on track `tid`; optional numeric arg.
+  void complete(std::uint32_t name, double ts, double dur, std::uint32_t tid,
+                std::uint32_t arg_name = kNoArg, double arg = 0) {
+    push(Rec{ts, dur, 0, name, tid, arg_name, arg, 'X'});
+  }
+  /// Thread-scoped instant on track `tid`.
+  void instant(std::uint32_t name, double ts, std::uint32_t tid,
+               std::uint32_t arg_name = kNoArg, double arg = 0) {
+    push(Rec{ts, 0, 0, name, tid, arg_name, arg, 'i'});
+  }
+  /// Async span begin/end, matched by (category "async", id, name).
+  void async_begin(std::uint32_t name, std::uint64_t id, double ts) {
+    push(Rec{ts, 0, id, name, 0, kNoArg, 0, 'b'});
+  }
+  void async_end(std::uint32_t name, std::uint64_t id, double ts,
+                 std::uint32_t arg_name = kNoArg, double arg = 0) {
+    push(Rec{ts, 0, id, name, 0, arg_name, arg, 'e'});
+  }
+
+  std::size_t size() const noexcept { return count_; }
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Records overwritten because the ring was full.
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Forget all records (interned names and track labels are kept).
+  void clear() noexcept {
+    head_ = count_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Write the whole trace as Chrome trace_event JSON:
+  /// {"displayTimeUnit":"ms","traceEvents":[...]}  -- open in Perfetto.
+  void write_chrome_json(std::ostream& os) const;
+  std::string chrome_json() const;
+
+ private:
+  struct Rec {
+    double ts;
+    double dur;
+    std::uint64_t id;
+    std::uint32_t name;
+    std::uint32_t tid;
+    std::uint32_t arg_name;
+    double arg;
+    char ph;
+  };
+
+  void push(const Rec& r) {
+    if (count_ < ring_.size()) {
+      ring_[(head_ + count_) % ring_.size()] = r;
+      ++count_;
+    } else {
+      ring_[head_] = r;
+      head_ = (head_ + 1) % ring_.size();
+      ++dropped_;
+    }
+  }
+
+  std::vector<Rec> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t dropped_ = 0;
+  double ts_to_us_;
+  std::vector<std::string> names_;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names_;
+};
+
+}  // namespace arch21::obs

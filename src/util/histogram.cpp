@@ -25,6 +25,11 @@ LogHistogram::LogHistogram(double lowest, double highest,
 }
 
 std::size_t LogHistogram::bucket_of(double v) const {
+  // Precondition: v is finite and >= 0 (add() and fraction_above() route
+  // NaN/inf to the invalid bin / early returns).  A NaN here would fall
+  // through both range checks into a float->size_t cast of a NaN log,
+  // which is undefined behaviour.
+  assert(!std::isnan(v) && !std::isinf(v));
   if (v < lowest_) return 0;                       // underflow
   if (v >= highest_) return counts_.size() - 1;    // overflow
   const auto i = static_cast<std::size_t>(
@@ -41,6 +46,14 @@ double LogHistogram::bucket_lo(std::size_t i) const {
 
 void LogHistogram::add(double v, std::uint64_t count) {
   if (count == 0) return;
+  // Reject unrepresentable samples before any of them can reach the
+  // bucket index math: log(NaN) cast to size_t is UB (an out-of-bounds
+  // write on typical codegen), and NaN/inf would poison min/max/sum.
+  // !(v >= 0) catches NaN and negatives in one comparison.
+  if (!(v >= 0) || std::isinf(v)) {
+    invalid_ += count;
+    return;
+  }
   if (total_ == 0) {
     min_seen_ = max_seen_ = v;
   } else {
@@ -68,12 +81,19 @@ void LogHistogram::merge(const LogHistogram& other) {
     }
   }
   total_ += other.total_;
+  invalid_ += other.invalid_;
   sum_ += other.sum_;
 }
 
 double LogHistogram::quantile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // Pinned edge semantics (see header): without these, a histogram whose
+  // only mass sits in the underflow bucket returned min_seen_ for EVERY
+  // q (the walk stops in bucket 0), and overflow-only mass returned
+  // max_seen_ even for q = 0.
+  if (q == 0.0) return min_seen_;
+  if (q == 1.0) return max_seen_;
   const double target = q * static_cast<double>(total_);
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
@@ -97,6 +117,7 @@ double LogHistogram::quantile(double q) const {
 
 double LogHistogram::fraction_above(double v) const {
   if (total_ == 0) return 0.0;
+  if (std::isnan(v)) return 0.0;  // NaN must not reach bucket_of (UB)
   if (v <= min_seen_) return 1.0;
   if (v > max_seen_) return 0.0;
   const std::size_t vb = bucket_of(v);

@@ -27,14 +27,31 @@ class LogHistogram {
   LogHistogram(double lowest = 1e-9, double highest = 1e6,
                std::size_t buckets_per_decade = 90);
 
+  /// Record `count` occurrences of `v`.  Values that the histogram's
+  /// (0, +inf) domain cannot represent -- NaN, +/-inf, and negatives --
+  /// are routed to a counted invalid bin (see invalid()) instead of being
+  /// bucketed: NaN would otherwise reach an undefined float->size_t cast
+  /// in the bucket index math and poison min/max/mean.  Zero, denormals,
+  /// and any finite value below `lowest` land in the underflow bucket.
   void add(double v, std::uint64_t count = 1);
-  /// Fold `other`'s samples into this histogram.  Both histograms must
-  /// share the exact same layout (lowest, highest, and bucket count);
-  /// throws std::invalid_argument otherwise -- silently merging
-  /// misaligned buckets would corrupt every quantile downstream.
+
+  /// Fold `other`'s samples (including its invalid-bin count) into this
+  /// histogram.  Both histograms must share the exact same layout
+  /// (lowest, highest, and bucket count); throws std::invalid_argument
+  /// otherwise -- silently merging misaligned buckets would corrupt
+  /// every quantile downstream.
   void merge(const LogHistogram& other);
 
+  /// Recorded samples (invalid ones excluded).
   std::uint64_t count() const noexcept { return total_; }
+  /// Samples rejected by add() as unrepresentable (NaN, +/-inf, < 0).
+  std::uint64_t invalid() const noexcept { return invalid_; }
+
+  /// Quantile of the recorded samples.  Edge semantics are pinned:
+  /// quantile(0) == min_seen() and quantile(1) == max_seen() exactly
+  /// (not whatever edge of whatever bucket the cumulative walk stops
+  /// in); interior quantiles interpolate within their bucket.  Returns 0
+  /// on an empty histogram.  `q` outside [0, 1] is clamped.
   double quantile(double q) const;
   /// Fraction of recorded samples >= v (within-bucket linear
   /// interpolation, same error bound as quantile()).  The tail-latency
@@ -61,6 +78,7 @@ class LogHistogram {
   double inv_log_growth_;
   double growth_;
   std::vector<std::uint64_t> counts_;  // [under, b0..bn-1, over]
+  std::uint64_t invalid_ = 0;
   std::uint64_t total_ = 0;
   double sum_ = 0;
   double max_seen_ = 0;

@@ -46,6 +46,7 @@ class Slab {
     }
     items_[h].refs = 1;
     ++live_;
+    if (live_ > live_hwm_) live_hwm_ = live_;
     return h;
   }
 
@@ -80,6 +81,11 @@ class Slab {
 
   /// Slots currently held (acquired and not yet fully released).
   std::size_t live() const noexcept { return live_; }
+  /// High-water mark of *simultaneously* live slots -- the arena's true
+  /// working-set size, which the observability layer reports as an
+  /// occupancy gauge (capacity_used() can exceed it only via free-list
+  /// fragmentation, which this design does not have).
+  std::size_t high_water() const noexcept { return live_hwm_; }
   /// High-water mark of slots ever created.
   std::size_t capacity_used() const noexcept { return items_.size(); }
 
@@ -96,6 +102,7 @@ class Slab {
   std::vector<Item> items_;
   std::vector<Handle> free_;
   std::size_t live_ = 0;
+  std::size_t live_hwm_ = 0;
 };
 
 }  // namespace arch21

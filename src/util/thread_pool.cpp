@@ -48,6 +48,8 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard lk(mu_);
     ++queued_;
     ++in_flight_;
+    ++stats_.submitted;
+    if (queued_ > stats_.max_queue_depth) stats_.max_queue_depth = queued_;
     victim = next_deque_++ % deques_.size();
   }
   {
@@ -61,6 +63,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lk(mu_);
   cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
 }
 
 void ThreadPool::parallel_for(
@@ -102,6 +109,7 @@ void ThreadPool::parallel_for(
 
 bool ThreadPool::try_pop(std::size_t id, std::function<void()>& out) {
   bool got = false;
+  bool stolen = false;
   {
     // Own deque: pop newest (LIFO keeps caches warm).
     WorkDeque& d = *deques_[id];
@@ -120,11 +128,13 @@ bool ThreadPool::try_pop(std::size_t id, std::function<void()>& out) {
       out = std::move(d.q.front());
       d.q.pop_front();
       got = true;
+      stolen = true;
     }
   }
   if (got) {
     std::lock_guard lk(mu_);
     --queued_;
+    if (stolen) ++stats_.steals;
   }
   return got;
 }
@@ -142,6 +152,7 @@ void ThreadPool::worker_loop(std::size_t id) {
     {
       std::lock_guard lk(mu_);
       --in_flight_;
+      ++stats_.executed;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }
   }

@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -54,6 +55,20 @@ class ThreadPool {
 
   /// Block until all submitted tasks have completed.
   void wait_idle();
+
+  /// Cumulative scheduling counters.  The pool keeps plain counters
+  /// instead of talking to obs::MetricsRegistry directly (obs sits above
+  /// util in the layering); benches snapshot these and publish them as
+  /// gauges.  All fields are maintained under the pool mutex the hot
+  /// path already takes, so tracking them adds no new synchronization.
+  struct Stats {
+    std::uint64_t submitted = 0;      ///< tasks ever submitted
+    std::uint64_t executed = 0;       ///< tasks completed
+    std::uint64_t steals = 0;         ///< pops from a sibling's deque
+    std::size_t max_queue_depth = 0;  ///< high-water of not-yet-taken tasks
+  };
+  /// Consistent snapshot of the counters (taken under the pool mutex).
+  Stats stats() const;
 
   /// Split [0, n) into clamp(n / grain, 1, size()*4) balanced chunks and
   /// run body(begin, end, chunk_index) on the pool; blocks until done.
@@ -150,13 +165,15 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkDeque>> deques_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;  // guards queued_/in_flight_/stop_/next_deque_ + sleeping
+  // guards queued_/in_flight_/stop_/next_deque_/stats_ + sleeping
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t queued_ = 0;     // tasks not yet taken by a worker
   std::size_t in_flight_ = 0;  // tasks submitted but not yet finished
   std::size_t next_deque_ = 0;
   bool stop_ = false;
+  Stats stats_;
 };
 
 }  // namespace arch21

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -128,6 +130,105 @@ TEST(LogHistogram, QuantileMonotone) {
     EXPECT_GE(cur, prev - 1e-12);
     prev = cur;
   }
+}
+
+// Regression (PR4): NaN used to fall through add()'s range checks into
+// bucket_of(), where log(NaN) cast to size_t is undefined behaviour (an
+// out-of-bounds counts_ write on typical codegen), and NaN/inf poisoned
+// min/max/mean.  Unrepresentable samples now land in a counted invalid
+// bin and leave every statistic untouched.
+TEST(LogHistogram, InvalidSamplesAreCountedNotBucketed) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  LogHistogram h(1.0, 100.0, 30);
+  h.add(10.0);
+  h.add(20.0);
+  const double p50_before = h.quantile(0.5);
+
+  h.add(kNaN);
+  h.add(-kNaN);
+  h.add(kInf);
+  h.add(-kInf);
+  h.add(-1.0);
+  h.add(kNaN, 10);  // weighted invalid adds carry their count
+
+  EXPECT_EQ(h.count(), 2u);  // recorded samples unchanged
+  EXPECT_EQ(h.invalid(), 15u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), p50_before);
+  EXPECT_DOUBLE_EQ(h.min_seen(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 20.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+  // fraction_above(NaN) must not reach bucket_of either.
+  EXPECT_DOUBLE_EQ(h.fraction_above(kNaN), 0.0);
+}
+
+TEST(LogHistogram, ZeroAndDenormalGoToUnderflowNotInvalid) {
+  LogHistogram h(1.0, 100.0, 30);
+  h.add(0.0);
+  h.add(std::numeric_limits<double>::denorm_min());
+  h.add(1e-300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.invalid(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);  // min_seen is the real minimum
+}
+
+TEST(LogHistogram, MergeCarriesInvalidCount) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  LogHistogram a(1.0, 100.0, 30);
+  LogHistogram b(1.0, 100.0, 30);
+  a.add(kNaN);
+  b.add(kNaN, 2);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.invalid(), 3u);
+}
+
+// Regression (PR4): quantile()'s cumulative walk used to return the edge
+// of whatever bucket it stopped in, so a histogram whose only mass sat in
+// the underflow bucket returned min_seen for EVERY q (including q = 1),
+// and overflow-only mass returned max_seen even at q = 0.  The edges are
+// now pinned: quantile(0) == min_seen, quantile(1) == max_seen, exactly.
+TEST(LogHistogram, QuantileEdgesPinnedForUnderflowOnlyMass) {
+  LogHistogram h(1.0, 100.0, 30);
+  h.add(0.001);
+  h.add(0.5);  // both below lowest: all mass in the underflow bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.001);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.5);
+  EXPECT_GT(h.quantile(1.0), h.quantile(0.0));
+}
+
+TEST(LogHistogram, QuantileEdgesPinnedForOverflowOnlyMass) {
+  LogHistogram h(1.0, 100.0, 30);
+  h.add(200.0);
+  h.add(9000.0);  // both >= highest: all mass in the overflow bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 200.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 9000.0);
+}
+
+TEST(LogHistogram, QuantileEdgesOnSingleSample) {
+  LogHistogram h(1.0, 100.0, 30);
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+  // Out-of-range q clamps to the pinned edges.
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 7.0);
+}
+
+TEST(LogHistogram, QuantileBetweenTwoBucketsInterpolates) {
+  LogHistogram h(1.0, 1000.0, 30);
+  h.add(2.0);
+  h.add(500.0);
+  // Interior quantiles stay inside [min_seen, max_seen] and bracket the
+  // two samples; the edges return them exactly.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 500.0);
+  const double mid = h.quantile(0.5);
+  EXPECT_GE(mid, 2.0);
+  EXPECT_LE(mid, 500.0);
+  EXPECT_NEAR(h.quantile(0.25), 2.0, 2.0 * 0.1);
+  EXPECT_NEAR(h.quantile(0.9), 500.0, 500.0 * 0.1);
 }
 
 TEST(LogHistogram, PercentileLineRenders) {

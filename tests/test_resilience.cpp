@@ -6,11 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 #include "cloud/cluster.hpp"
 #include "cloud/policy.hpp"
 #include "cloud/resilience.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "reliab/failure_trace.hpp"
 #include "util/thread_pool.hpp"
 
@@ -337,6 +341,73 @@ TEST(ClusterTrials, BitIdenticalAcrossPoolSizes) {
     EXPECT_DOUBLE_EQ(a.retry_amplification, r->retry_amplification);
   }
 }
+
+#if ARCH21_OBS_ENABLED
+// PR4 contract: observability is read-only.  Enabling the global metrics
+// registry (and, for a single trial, attaching a trace) must leave every
+// aggregate byte-identical to the uninstrumented run, at every pool size.
+TEST(ClusterTrials, MetricsDoNotPerturbResultsAtAnyPoolSize) {
+  auto cfg = small_faulty_cluster();
+  cfg.duration_s = 3;
+  cfg.policy.retry.timeout_ms = 20;
+  cfg.policy.retry.max_retries = 2;
+  cfg.policy.hedge_after_ms = 25;
+  cfg.policy.quorum = {.quorum_fraction = 0.9, .deadline_ms = 80};
+
+  ThreadPool p1(1);
+  const auto base = cloud::run_cluster_trials(cfg, 6, &p1);
+
+  auto& m = obs::MetricsRegistry::global();
+  m.set_enabled(true);
+  std::vector<cloud::ClusterResult> instrumented;
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    instrumented.push_back(cloud::run_cluster_trials(cfg, 6, &pool));
+  }
+  m.set_enabled(false);
+
+  for (const auto& r : instrumented) {
+    EXPECT_EQ(base.queries, r.queries);
+    EXPECT_EQ(base.ok_queries, r.ok_queries);
+    EXPECT_EQ(base.degraded_queries, r.degraded_queries);
+    EXPECT_EQ(base.failed_queries, r.failed_queries);
+    EXPECT_EQ(base.retries, r.retries);
+    EXPECT_EQ(base.hedges, r.hedges);
+    EXPECT_EQ(base.timeouts, r.timeouts);
+    EXPECT_EQ(base.lost_requests, r.lost_requests);
+    EXPECT_EQ(base.budget_denials, r.budget_denials);
+    EXPECT_EQ(base.query_ms.count(), r.query_ms.count());
+    EXPECT_DOUBLE_EQ(base.query_ms.quantile(0.5), r.query_ms.quantile(0.5));
+    EXPECT_DOUBLE_EQ(base.query_ms.quantile(0.99), r.query_ms.quantile(0.99));
+    EXPECT_DOUBLE_EQ(base.sum_result_quality, r.sum_result_quality);
+    EXPECT_DOUBLE_EQ(base.goodput_qps, r.goodput_qps);
+    EXPECT_DOUBLE_EQ(base.retry_amplification, r.retry_amplification);
+  }
+}
+
+TEST(ClusterTrials, TracedSingleTrialMatchesUntraced) {
+  auto cfg = small_faulty_cluster();
+  cfg.duration_s = 3;
+  cfg.policy.retry.timeout_ms = 20;
+  cfg.policy.quorum = {.quorum_fraction = 0.9, .deadline_ms = 80};
+  const auto plain = cloud::simulate_cluster(cfg);
+
+  obs::TraceBuffer trace(std::size_t{1} << 18, 1e3);
+  auto traced_cfg = cfg;
+  traced_cfg.trace = &trace;
+  const auto traced = cloud::simulate_cluster(traced_cfg);
+
+  EXPECT_GT(trace.size(), 0u);
+  EXPECT_EQ(plain.queries, traced.queries);
+  EXPECT_EQ(plain.ok_queries, traced.ok_queries);
+  EXPECT_EQ(plain.degraded_queries, traced.degraded_queries);
+  EXPECT_EQ(plain.failed_queries, traced.failed_queries);
+  EXPECT_EQ(plain.lost_requests, traced.lost_requests);
+  EXPECT_DOUBLE_EQ(plain.query_ms.quantile(0.99),
+                   traced.query_ms.quantile(0.99));
+  EXPECT_DOUBLE_EQ(plain.sum_result_quality, traced.sum_result_quality);
+}
+#endif  // ARCH21_OBS_ENABLED
 
 TEST(ClusterTrials, AggregatesAndValidates) {
   ClusterConfig cfg;
