@@ -1,0 +1,59 @@
+// Overload drill (the server-side half of "The Tail at Scale", plus the
+// metastable-failure literature): run a healthy 20-leaf cluster into a
+// transient fault burst -- 12 leaves down for 4 seconds -- and compare
+// the aftermath with and without server-side protection.  Unprotected
+// (unbounded FIFO queues, naive unbudgeted retries) the cluster never
+// recovers: the trigger is gone but retry amplification keeps effective
+// utilization above 1 and every served request is already stale.  The
+// protection ladder -- bounded queues with deadline drop, admission
+// control + retry budget, per-replica circuit breakers -- sheds work
+// early and visibly, and goodput snaps back within seconds.
+//
+// Every number is deterministic: workload, burst, and breaker jitter are
+// seeded, trials run on the work-stealing pool, and the aggregate is
+// bit-identical for any ARCH21_THREADS.
+
+#include <iostream>
+
+#include "cloud/cluster.hpp"
+#include "cloud/resilience.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace arch21;
+
+  cloud::ClusterConfig cfg;
+  cfg.leaves = 20;
+  cfg.query_rate_hz = 160;
+  cfg.leaf_service_ms = 3;
+  cfg.background_rate_hz = 30;
+  cfg.background_ms = 2;
+  cfg.duration_s = 30;
+  cfg.seed = 7;
+  cfg.goodput_window_s = 1;
+  cfg.faults.burst_leaves = 12;
+  cfg.faults.burst_start_s = 10;
+  cfg.faults.burst_duration_s = 4;
+
+  cloud::OverloadPolicies knobs;
+  knobs.timeout_ms = 25;
+  knobs.sojourn_target_ms = 25;
+  const auto ladder = cloud::overload_scenarios(cfg, /*trials=*/2, knobs);
+  std::cout << core::render_overload_report(ladder);
+
+  const auto h_un = cloud::goodput_hysteresis(ladder.front().result,
+                                              ladder.front().config);
+  const auto h_pr = cloud::goodput_hysteresis(ladder.back().result,
+                                              ladder.back().config);
+  std::cout << "\nafter the burst clears: unprotected goodput sits at "
+            << h_un.recovery_ratio() * 100
+            << "% of its pre-fault level (metastable), the protected "
+               "stack at "
+            << h_pr.recovery_ratio() * 100 << "% -- "
+            << ladder.back().result.shed_queries << " queries shed, "
+            << ladder.back().result.rejected_requests
+            << " requests bounced off bounded queues, "
+            << ladder.back().result.breaker_open_transitions
+            << " breaker opens\n";
+  return 0;
+}

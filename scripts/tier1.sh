@@ -18,14 +18,29 @@ echo "== tier-1: ThreadSanitizer pass =="
 cmake -B build-tsan -S . -DARCH21_SAN=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target \
   test_thread_pool test_cloud_tail test_parallel_determinism test_resilience \
-  bench_des_queue
+  test_overload bench_des_queue
 for t in test_thread_pool test_cloud_tail test_parallel_determinism \
-         test_resilience; do
+         test_resilience test_overload; do
   echo "-- tsan: $t"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
 done
 echo "-- tsan: bench_des_queue --smoke"
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_des_queue --smoke)
+
+echo "== tier-1: AddressSanitizer smoke (overload-protection paths) =="
+# The overload layer moves InlineCallbacks through a bounded ring, kills
+# jobs mid-service (fail_all), and short-circuits sends through breaker
+# state -- exactly the lifetime bugs ASan catches.  bench_overload
+# --smoke drives the whole ladder end to end.
+cmake -B build-asan -S . -DARCH21_SAN=address >/dev/null
+cmake --build build-asan -j "$(nproc)" --target \
+  test_des_queue test_resilience test_overload bench_overload
+for t in test_des_queue test_resilience test_overload; do
+  echo "-- asan: $t"
+  ASAN_OPTIONS="halt_on_error=1" "./build-asan/tests/$t"
+done
+echo "-- asan: bench_overload --smoke"
+(cd build-asan && ASAN_OPTIONS="halt_on_error=1" ./bench/bench_overload --smoke)
 
 echo "== tier-1: UndefinedBehaviorSanitizer smoke (histogram + obs) =="
 # Guards the PR4 bugfixes: NaN samples used to reach bucket_of(), where

@@ -32,6 +32,17 @@ constexpr double kMsPerHour = 3.6e6;
 }  // namespace
 
 void ClusterFaultConfig::validate() const {
+  // The burst is independent of the stochastic trace, so its fields are
+  // checked whether or not `enabled` is set.
+  if (!(burst_start_s >= 0)) {
+    bad("ClusterFaultConfig", "burst_start_s must be >= 0");
+  }
+  if (!(burst_duration_s >= 0)) {
+    bad("ClusterFaultConfig", "burst_duration_s must be >= 0");
+  }
+  if (burst_leaves > 0 && !(burst_duration_s > 0)) {
+    bad("ClusterFaultConfig", "burst_leaves requires burst_duration_s > 0");
+  }
   if (!enabled) return;
   if (!(leaf.mtbf_hours > 0)) {
     bad("ClusterFaultConfig", "leaf.mtbf_hours must be > 0");
@@ -66,7 +77,14 @@ void ClusterConfig::validate() const {
   if (!(hedge_after_ms >= 0)) {
     bad("ClusterConfig", "hedge_after_ms must be >= 0");
   }
+  leaf_queue.validate();
+  if (!(goodput_window_s >= 0)) {
+    bad("ClusterConfig", "goodput_window_s must be >= 0");
+  }
   faults.validate();
+  if (faults.burst_leaves > leaves) {
+    bad("ClusterFaultConfig", "burst_leaves must be <= leaves");
+  }
   policy.validate();
 }
 
@@ -93,6 +111,22 @@ void ClusterResult::merge(const ClusterResult& other) {
   budget_denials += other.budget_denials;
   leaf_failures += other.leaf_failures;
   domain_failures += other.domain_failures;
+  shed_queries += other.shed_queries;
+  rejected_requests += other.rejected_requests;
+  expired_drops += other.expired_drops;
+  breaker_open_transitions += other.breaker_open_transitions;
+  breaker_short_circuits += other.breaker_short_circuits;
+  breaker_probes += other.breaker_probes;
+  breaker_open_ms += other.breaker_open_ms;
+  // Goodput windows are raw counts over the same wall-clock grid in every
+  // trial, so merging is an element-wise sum (trials may differ in length
+  // by a window when completions straggle past the horizon).
+  if (answered_per_window.size() < other.answered_per_window.size()) {
+    answered_per_window.resize(other.answered_per_window.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.answered_per_window.size(); ++i) {
+    answered_per_window[i] += other.answered_per_window[i];
+  }
   retry_amplification = avg(retry_amplification, other.retry_amplification);
   goodput_qps = avg(goodput_qps, other.goodput_qps);
   availability_measured =
@@ -118,7 +152,10 @@ namespace {
 // The setup sequence, per-event operation order, and every Rng draw site
 // are kept identical to the historical shared_ptr implementation, so
 // results are bit-identical with pre-slab builds (locked in by
-// tests/test_resilience.cpp's golden aggregates).
+// tests/test_resilience.cpp's golden aggregates).  The overload layer
+// preserves that contract: admission sheds before any per-query state is
+// touched, and every breaker draw comes from a dedicated Rng stream, so
+// configs with the new policies disabled stay bit-identical too.
 class ClusterSim {
  public:
   explicit ClusterSim(const ClusterConfig& cfg) : cfg_(cfg), pol_(cfg.policy) {
@@ -153,6 +190,22 @@ class ClusterSim {
     /// Counted reference to the owning query, dropped by release_call()
     /// when the call record itself dies.
     std::uint32_t query = kNull;
+  };
+
+  /// Per-replica circuit breaker state.  The rolling outcome window is a
+  /// bit set in a single word (CircuitBreakerPolicy caps window at 64),
+  /// so recording an outcome is a handful of ALU ops and the whole
+  /// breaker array stays cache-resident.
+  struct Breaker {
+    enum State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+    State state = kClosed;
+    std::uint64_t bits = 0;       // rolling outcomes, 1 = failure
+    std::uint32_t filled = 0;     // outcomes currently in the window
+    std::uint32_t idx = 0;        // next write position
+    std::uint32_t fails = 0;      // failures currently in the window
+    std::uint32_t probes_left = 0;
+    double opened_at = 0;
+    double open_until = 0;
   };
 
   /// Tag: take ownership of the reference acquire() created instead of
@@ -235,10 +288,136 @@ class ClusterSim {
     }
   }
 
-  /// A query's start event: create its record, arm the quorum deadline,
-  /// and issue the first attempt on every leaf.  `services_base` indexes
-  /// the query's pre-drawn service times in services_.
+  /// Admission decision for one arriving query: concurrency cap first
+  /// (a full root burns no rate tokens), then the token bucket.  Only
+  /// called while admission is enabled; an admitted query holds an
+  /// in-flight slot until it closes.
+  bool admit() {
+    const AdmissionPolicy& a = pol_.admission;
+    if (a.max_in_flight > 0 && in_flight_ >= a.max_in_flight) return false;
+    if (a.rate_qps > 0) {
+      const double now = sim_.now();
+      adm_tokens_ = std::min(
+          a.burst, adm_tokens_ + (now - adm_last_ms_) * a.rate_qps / 1000.0);
+      adm_last_ms_ = now;
+      if (adm_tokens_ < 1.0) return false;
+      adm_tokens_ -= 1.0;
+    }
+    ++in_flight_;
+    return true;
+  }
+
+  /// Close the query's root-side bookkeeping (callers set q->closed).
+  void free_in_flight() {
+    if (in_flight_ > 0) --in_flight_;
+  }
+
+  /// Count an answered (ok or degraded) query into its goodput window.
+  void note_answered() {
+    if (window_ms_ <= 0) return;
+    const auto idx = static_cast<std::size_t>(sim_.now() / window_ms_);
+    if (idx >= res_.answered_per_window.size()) {
+      res_.answered_per_window.resize(idx + 1, 0);
+    }
+    ++res_.answered_per_window[idx];
+  }
+
+  /// Trip a breaker open with a jittered cooldown.
+  void breaker_open(Breaker& b) {
+    b.state = Breaker::kOpen;
+    b.opened_at = sim_.now();
+    b.open_until =
+        sim_.now() +
+        pol_.breaker.open_ms *
+            (1.0 + pol_.breaker.open_jitter_frac * brng_.uniform(-1.0, 1.0));
+    ++res_.breaker_open_transitions;
+#if ARCH21_OBS_ENABLED
+    if (trace_) trace_->instant(tr_brk_open_, sim_.now(), 0);
+#endif
+  }
+
+  /// May this send go to replica `l`?  Consumes a half-open probe slot
+  /// when it grants one, and performs the lazy open -> half-open
+  /// transition once the cooldown has elapsed (the breaker needs no
+  /// scheduled events of its own).
+  bool breaker_allows(unsigned l) {
+    Breaker& b = breakers_[l];
+    if (b.state == Breaker::kClosed) return true;
+    if (b.state == Breaker::kOpen) {
+      if (sim_.now() < b.open_until) return false;
+      res_.breaker_open_ms += b.open_until - b.opened_at;
+      b.state = Breaker::kHalfOpen;
+      b.probes_left = pol_.breaker.half_open_probes;
+#if ARCH21_OBS_ENABLED
+      if (trace_) trace_->instant(tr_brk_half_, sim_.now(), 0);
+#endif
+    }
+    if (b.probes_left == 0) return false;
+    --b.probes_left;
+    ++res_.breaker_probes;
+    return true;
+  }
+
+  /// Record an observed outcome against replica `l`: a reply is a
+  /// success; a timeout or synchronous queue rejection is a failure.
+  /// While half-open, any failure re-opens -- including a straggling
+  /// timeout from before the trip, which is deliberately conservative
+  /// (the replica is still hurting us).  While open, outcomes are
+  /// ignored; the cooldown timer alone decides re-entry.
+  void breaker_record(unsigned l, bool ok) {
+    if (!pol_.breaker.enabled) return;
+    Breaker& b = breakers_[l];
+    switch (b.state) {
+      case Breaker::kOpen:
+        return;
+      case Breaker::kHalfOpen:
+        if (ok) {
+          b = Breaker{};  // close with a fresh window
+#if ARCH21_OBS_ENABLED
+          if (trace_) trace_->instant(tr_brk_close_, sim_.now(), 0);
+#endif
+        } else {
+          breaker_open(b);
+        }
+        return;
+      case Breaker::kClosed: {
+        const CircuitBreakerPolicy& p = pol_.breaker;
+        const std::uint64_t bit = std::uint64_t{1} << b.idx;
+        if (b.filled == p.window) {
+          if (b.bits & bit) --b.fails;
+        } else {
+          ++b.filled;
+        }
+        if (ok) {
+          b.bits &= ~bit;
+        } else {
+          b.bits |= bit;
+          ++b.fails;
+        }
+        b.idx = (b.idx + 1) % p.window;
+        if (b.filled >= p.min_samples &&
+            static_cast<double>(b.fails) >=
+                p.failure_threshold * static_cast<double>(b.filled)) {
+          breaker_open(b);
+        }
+        return;
+      }
+    }
+  }
+
+  /// A query's start event: admission first (a shed query touches no
+  /// per-query state and issues nothing -- its pre-drawn service times
+  /// are simply never used, which keeps workload draws aligned across
+  /// protected/unprotected configs); then create the record, arm the
+  /// quorum deadline, and issue the first attempt on every leaf.
   void on_query_start(std::size_t services_base) {
+    if (pol_.admission.enabled && !admit()) {
+      ++res_.shed_queries;
+#if ARCH21_OBS_ENABLED
+      if (trace_) trace_->instant(tr_shed_, sim_.now(), 0);
+#endif
+      return;
+    }
     QueryRef q(Adopt{}, this, queries_.acquire());
     q->start_ms = sim_.now();
     ++started_;
@@ -261,7 +440,13 @@ class ClusterSim {
     }
   }
 
-  /// Issue one attempt (or hedge) of a leaf call against `target`.
+  /// Issue one attempt (or hedge) of a leaf call against `target`.  An
+  /// open breaker short-circuits the send and redirects it (up to three
+  /// draws from the breaker stream) to a replica that admits traffic; if
+  /// none does, nothing is sent and the armed timeout recovers the call.
+  /// A send bounced off a full bounded leaf queue likewise falls back to
+  /// the timeout, and counts as a breaker failure observation (a
+  /// rejecting replica is an overloaded replica).
   void issue(const QueryRef& q, const CallRef& call, double service,
              unsigned target, bool is_hedge) {
     if (call->done || q->closed) return;
@@ -276,16 +461,42 @@ class ClusterSim {
       }
     }
 
-    if (leaf_up_[target]) {
-      leaves_[target]->request(
-          service, [this, q, call](double, double) { on_leaf_done(q, call); });
-    } else {
-      // The request vanishes into a dead leaf; only a timeout (or the
-      // query deadline) will tell the client.
-      ++res_.lost_requests;
+    unsigned t = target;
+    bool send = true;
+    if (pol_.breaker.enabled && !breaker_allows(t)) {
+      ++res_.breaker_short_circuits;
 #if ARCH21_OBS_ENABLED
-      if (trace_) trace_->instant(tr_lost_, sim_.now(), 0);
+      if (trace_) trace_->instant(tr_brk_short_, sim_.now(), 0);
 #endif
+      send = false;
+      for (int k = 0; k < 3; ++k) {
+        const unsigned alt = static_cast<unsigned>(brng_.below(cfg_.leaves));
+        if (breaker_allows(alt)) {
+          t = alt;
+          send = true;
+          break;
+        }
+      }
+    }
+
+    if (send) {
+      if (leaf_up_[t]) {
+        if (!leaves_[t]->request(service, [this, q, call, t](double, double) {
+              on_leaf_done(q, call, t);
+            })) {
+          breaker_record(t, false);
+#if ARCH21_OBS_ENABLED
+          if (trace_) trace_->instant(tr_rejected_, sim_.now(), 0);
+#endif
+        }
+      } else {
+        // The request vanishes into a dead leaf; only a timeout (or the
+        // query deadline) will tell the client.
+        ++res_.lost_requests;
+#if ARCH21_OBS_ENABLED
+        if (trace_) trace_->instant(tr_lost_, sim_.now(), 0);
+#endif
+      }
     }
 
     if (!is_hedge && pol_.hedge_after_ms > 0 && !call->hedged &&
@@ -297,11 +508,12 @@ class ClusterSim {
     if (!is_hedge && pol_.retry.timeout_ms > 0) {
       call->timeout = sim_.schedule_cancellable(
           pol_.retry.timeout_ms,
-          [this, q, call, service] { on_timeout(q, call, service); });
+          [this, q, call, service, t] { on_timeout(q, call, service, t); });
     }
   }
 
-  void on_leaf_done(const QueryRef& q, const CallRef& call) {
+  void on_leaf_done(const QueryRef& q, const CallRef& call, unsigned target) {
+    breaker_record(target, true);  // a reply is a success observation
     if (call->done) return;  // a faster attempt already answered
     call->done = true;
     sim_.cancel(call->timeout);
@@ -311,10 +523,12 @@ class ClusterSim {
     if (q->closed) return;  // degraded/failed; reply arrived late
     if (++q->replied == cfg_.leaves) {
       q->closed = true;
+      free_in_flight();
       sim_.cancel(q->deadline);
       ++res_.ok_queries;
       res_.sum_result_quality += 1.0;
       res_.query_ms.add(lat);
+      note_answered();
 #if ARCH21_OBS_ENABLED
       if (mreg_) mreg_->record(m_query_ms_, lat);
       if (trace_) {
@@ -329,6 +543,7 @@ class ClusterSim {
   void on_deadline(const QueryRef& q) {
     if (q->closed) return;
     q->closed = true;
+    free_in_flight();
 #if ARCH21_OBS_ENABLED
     if (trace_) trace_->instant(tr_deadline_, sim_.now(), 0);
 #endif
@@ -338,6 +553,7 @@ class ClusterSim {
                              static_cast<double>(cfg_.leaves);
       res_.sum_result_quality += quality;
       res_.query_ms.add(sim_.now() - q->start_ms);
+      note_answered();
 #if ARCH21_OBS_ENABLED
       if (mreg_) mreg_->record(m_query_ms_, sim_.now() - q->start_ms);
       if (trace_) {
@@ -366,7 +582,11 @@ class ClusterSim {
           true);
   }
 
-  void on_timeout(const QueryRef& q, const CallRef& call, double service) {
+  void on_timeout(const QueryRef& q, const CallRef& call, double service,
+                  unsigned target) {
+    // The attempt against `target` got no reply in time: a failure
+    // observation whether or not we still care about the query.
+    breaker_record(target, false);
     if (call->done || q->closed) return;
     ++res_.timeouts;
 #if ARCH21_OBS_ENABLED
@@ -416,6 +636,12 @@ class ClusterSim {
     tr_denied_ = t->intern("budget-denied");
     tr_deadline_ = t->intern("deadline");
     tr_quality_arg_ = t->intern("quality");
+    tr_shed_ = t->intern("shed");
+    tr_rejected_ = t->intern("rejected");
+    tr_brk_open_ = t->intern("breaker-open");
+    tr_brk_half_ = t->intern("breaker-half-open");
+    tr_brk_close_ = t->intern("breaker-close");
+    tr_brk_short_ = t->intern("breaker-short-circuit");
   }
 
   /// Fold this trial's counters and slab high-water marks into the
@@ -430,6 +656,20 @@ class ClusterSim {
     m.add(m.counter("cluster.timeouts"), res_.timeouts);
     m.add(m.counter("cluster.lost_requests"), res_.lost_requests);
     m.add(m.counter("cluster.budget_denials"), res_.budget_denials);
+    m.add(m.counter("cluster.shed.queries"), res_.shed_queries);
+    m.add(m.counter("cluster.shed.rejected"), res_.rejected_requests);
+    m.add(m.counter("cluster.shed.expired"), res_.expired_drops);
+    m.add(m.counter("cluster.breaker.opens"), res_.breaker_open_transitions);
+    m.add(m.counter("cluster.breaker.short_circuits"),
+          res_.breaker_short_circuits);
+    m.add(m.counter("cluster.breaker.probes"), res_.breaker_probes);
+    m.gauge_max(m.gauge("cluster.breaker.open_ms"), res_.breaker_open_ms);
+    std::size_t qhwm = 0;
+    for (const auto& leaf : leaves_) {
+      qhwm = std::max(qhwm, leaf->queue_high_water());
+    }
+    m.gauge_max(m.gauge("cluster.leaf_queue.hwm"),
+                static_cast<double>(qhwm));
     m.add(m.counter("des.executed"), sim_.executed());
     m.add(m.counter("des.cancelled"), sim_.cancelled());
     m.gauge_max(m.gauge("slab.queries.hwm"),
@@ -452,10 +692,16 @@ class ClusterSim {
   std::vector<char> leaf_up_;
   std::vector<char> own_up_;
   std::vector<char> domain_up_;
+  std::vector<Breaker> breakers_;
   reliab::FailureTraceConfig fcfg_;
   std::vector<double> services_;  // pre-drawn per-(query,leaf) service times
   Rng crng_{0};  // client-side picks: hedge/retry targets, jitter
+  Rng brng_{0};  // breaker-only stream: cooldown jitter, redirect draws
   double budget_tokens_ = 0;
+  double adm_tokens_ = 0;    // admission rate-gate bucket
+  double adm_last_ms_ = 0;   // last refill time of adm_tokens_
+  unsigned in_flight_ = 0;   // queries open at the root
+  double window_ms_ = 0;     // goodput window size (0 = off)
   unsigned quorum_needed_ = 0;
   double horizon_ms_ = 0;
   std::uint64_t started_ = 0;
@@ -464,7 +710,9 @@ class ClusterSim {
   obs::TraceBuffer* trace_ = nullptr;
   std::uint32_t tr_query_ = 0, tr_retry_ = 0, tr_hedge_ = 0, tr_timeout_ = 0,
                 tr_lost_ = 0, tr_denied_ = 0, tr_deadline_ = 0,
-                tr_quality_arg_ = 0;
+                tr_quality_arg_ = 0, tr_shed_ = 0, tr_rejected_ = 0,
+                tr_brk_open_ = 0, tr_brk_half_ = 0, tr_brk_close_ = 0,
+                tr_brk_short_ = 0;
   obs::MetricsRegistry* mreg_ = nullptr;  // set iff enabled at trial start
   obs::MetricsRegistry::MetricId m_query_ms_ = 0;
 #endif
@@ -474,7 +722,14 @@ ClusterResult ClusterSim::run() {
   Rng rng(cfg_.seed);
   leaves_.reserve(cfg_.leaves);
   for (unsigned i = 0; i < cfg_.leaves; ++i) {
-    leaves_.push_back(std::make_unique<des::Resource>(sim_, 1));
+    leaves_.push_back(
+        std::make_unique<des::Resource>(sim_, 1, cfg_.leaf_queue));
+  }
+  if (pol_.breaker.enabled) {
+    breakers_.assign(cfg_.leaves, Breaker{});
+    // A dedicated sub-stream: breaker jitter/redirect draws never perturb
+    // workload, fault, or client-policy draws.
+    brng_ = Rng(cfg_.seed, 0xB4EA);
   }
 #if ARCH21_OBS_ENABLED
   if (cfg_.trace) attach_trace(cfg_.trace);
@@ -489,6 +744,13 @@ ClusterResult ClusterSim::run() {
 #endif
 
   horizon_ms_ = cfg_.duration_s * 1000.0;
+  window_ms_ = cfg_.goodput_window_s * 1000.0;
+  if (window_ms_ > 0) {
+    // Completions can straggle a little past the horizon; headroom keeps
+    // note_answered()'s resize from reallocating in steady state.
+    res_.answered_per_window.reserve(
+        static_cast<std::size_t>(horizon_ms_ / window_ms_) + 4);
+  }
   // All background arrivals and query starts are scheduled up front;
   // pre-size the event tiers for them (plus in-flight completions) so the
   // hot loop rarely reallocates.
@@ -522,6 +784,28 @@ ClusterResult ClusterSim::run() {
     }
   }
 
+  // --- deterministic transient fault burst (the E29 trigger) ---
+  if (cfg_.faults.burst_enabled()) {
+    const unsigned n = std::min(cfg_.faults.burst_leaves, cfg_.leaves);
+    const double t0 = cfg_.faults.burst_start_s * 1000.0;
+    sim_.schedule_at(t0, [this, n] {
+      for (unsigned l = 0; l < n; ++l) {
+        own_up_[l] = 0;
+        set_effective(l, false);
+      }
+    });
+    sim_.schedule_at(t0 + cfg_.faults.burst_duration_s * 1000.0, [this, n] {
+      for (unsigned l = 0; l < n; ++l) {
+        own_up_[l] = 1;
+        const bool dom_ok = fcfg_.leaves_per_domain == 0 ||
+                            domain_up_.empty() ||
+                            domain_up_[l / fcfg_.leaves_per_domain];
+        set_effective(l, dom_ok);
+      }
+    });
+    res_.leaf_failures += n;
+  }
+
   // --- background load on each leaf (dropped while the leaf is down) ---
   for (unsigned l = 0; l < cfg_.leaves; ++l) {
     double t = 0;
@@ -543,6 +827,7 @@ ClusterResult ClusterSim::run() {
   Rng qrng = rng.split();
   crng_ = rng.split();
   budget_tokens_ = pol_.budget.burst;
+  adm_tokens_ = pol_.admission.burst;
   quorum_needed_ = static_cast<unsigned>(
       std::ceil(pol_.quorum.quorum_fraction * static_cast<double>(cfg_.leaves)));
 
@@ -567,6 +852,21 @@ ClusterResult ClusterSim::run() {
   // reply lost to a crash with no timeout armed) are failures too.
   res_.failed_queries += started_ - res_.ok_queries - res_.degraded_queries -
                          res_.failed_queries;
+
+  // Server-side drop totals live in the leaves; fold them in once.
+  for (const auto& leaf : leaves_) {
+    res_.rejected_requests += leaf->rejected();
+    res_.expired_drops += leaf->expired();
+  }
+  // Close the books on breakers still open at the end of the run.
+  if (pol_.breaker.enabled) {
+    const double end = sim_.now();
+    for (const Breaker& b : breakers_) {
+      if (b.state == Breaker::kOpen) {
+        res_.breaker_open_ms += std::min(end, b.open_until) - b.opened_at;
+      }
+    }
+  }
 
   double util = 0;
   for (const auto& leaf : leaves_) {

@@ -15,11 +15,22 @@
 // amplification, and result quality next to the latency histograms, so
 // the whole failure -> mitigation -> degradation loop is one
 // reproducible experiment.
+//
+// Overload-protection layer (server side of "Tail at Scale"): each leaf
+// can run a bounded queue with a pluggable discipline
+// (des::QueuePolicy -- FIFO / adaptive LIFO / deadline drop), the root
+// can shed load via AdmissionPolicy, and per-replica CircuitBreakers
+// stop the client from hammering a failing leaf.  ClusterResult counts
+// every shed/rejected/expired/short-circuited request, and an optional
+// goodput time series (goodput_window_s) makes recovery after a fault
+// burst -- or the lack of it, the metastable-failure signature -- a
+// measurable quantity (experiment E29, bench_overload).
 
 #include <cstdint>
 #include <vector>
 
 #include "cloud/policy.hpp"
+#include "des/resource.hpp"
 #include "obs/enabled.hpp"
 #include "reliab/availability.hpp"
 #include "util/histogram.hpp"
@@ -47,6 +58,19 @@ struct ClusterFaultConfig {
   reliab::Component domain{.mtbf_hours = 500.0 / 3600.0,
                            .mttr_hours = 1.0 / 3600.0};
 
+  /// Deterministic transient *burst*: leaves [0, burst_leaves) crash at
+  /// burst_start_s and recover burst_duration_s later -- the controlled
+  /// trigger the metastable-failure experiment (E29) needs, independent
+  /// of the stochastic trace above (and usable alongside it).  Disabled
+  /// while burst_leaves == 0.
+  unsigned burst_leaves = 0;
+  double burst_start_s = 0;
+  double burst_duration_s = 0;
+
+  bool burst_enabled() const noexcept {
+    return burst_leaves > 0 && burst_duration_s > 0;
+  }
+
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;
 };
@@ -65,20 +89,31 @@ struct ClusterConfig {
   /// when it exceeds this many ms (0 = disabled).  Legacy alias for
   /// policy.hedge_after_ms; used when the policy's own field is 0.
   double hedge_after_ms = 0;
+  /// Server-side queue policy applied to every leaf (capacity 0 + FIFO =
+  /// the historical unbounded station).  Time unit is ms, like the rest
+  /// of the cluster (so sojourn_target is a millisecond budget).
+  des::QueuePolicy leaf_queue;
+  /// Goodput time series: when > 0, ClusterResult::answered_per_window
+  /// counts answered queries per window of this many seconds -- the
+  /// instrument that shows whether goodput *recovers* after a fault
+  /// burst.  0 (default) records nothing.
+  double goodput_window_s = 0;
   /// Failure injection (off by default).
   ClusterFaultConfig faults;
-  /// Client-side mitigation policies (all off by default).
+  /// Client-side mitigation + server-edge overload policies (all off by
+  /// default).
   ResiliencePolicy policy;
 #if ARCH21_OBS_ENABLED
   /// Observability trace sink for ONE simulation (timestamps are ms, so
   /// construct it with ts_to_us = 1e3).  The DES kernel, every leaf
   /// Resource, and the query lifecycle emit into it: track 0 carries
-  /// kernel instants plus retry/hedge/timeout/lost/denied/deadline
-  /// markers, track 1+l carries leaf l's serve spans, and queries are
-  /// async "query" spans annotated with result quality.  Strictly
-  /// read-only -- attaching a trace never changes simulation results.
-  /// Rejected (std::invalid_argument) by run_cluster_trials(): a single
-  /// ring cannot absorb concurrent trials.
+  /// kernel instants plus retry/hedge/timeout/lost/denied/deadline and
+  /// shed/rejected/breaker markers, track 1+l carries leaf l's serve
+  /// spans, and queries are async "query" spans annotated with result
+  /// quality.  Strictly read-only -- attaching a trace never changes
+  /// simulation results.  Rejected (std::invalid_argument) by
+  /// run_cluster_trials(): a single ring cannot absorb concurrent
+  /// trials.
   obs::TraceBuffer* trace = nullptr;
 #endif
 
@@ -89,7 +124,7 @@ struct ClusterConfig {
 /// Simulation output.  Counters are raw so multi-trial aggregates can
 /// merge(); ratio fields are averaged per-trial.
 struct ClusterResult {
-  std::uint64_t queries = 0;            ///< queries started
+  std::uint64_t queries = 0;            ///< queries ADMITTED (sheds excluded)
   std::uint64_t ok_queries = 0;         ///< every leaf contributed
   std::uint64_t degraded_queries = 0;   ///< returned on quorum at deadline
   std::uint64_t failed_queries = 0;     ///< missed quorum / never completed
@@ -107,6 +142,25 @@ struct ClusterResult {
   std::uint64_t budget_denials = 0;  ///< retries suppressed by the budget
   std::uint64_t leaf_failures = 0;   ///< injected leaf failure events
   std::uint64_t domain_failures = 0; ///< injected domain failure events
+
+  // --- overload-protection telemetry ---
+  std::uint64_t shed_queries = 0;    ///< refused at the root by admission
+  /// Requests bounced off a full bounded leaf queue (server-side total:
+  /// query traffic and background load both count).
+  std::uint64_t rejected_requests = 0;
+  /// Waiters dropped at dequeue by the kDeadline discipline (sojourn
+  /// target already blown; server-side total like rejected_requests).
+  std::uint64_t expired_drops = 0;
+  std::uint64_t breaker_open_transitions = 0;  ///< closed/half-open -> open
+  std::uint64_t breaker_short_circuits = 0;    ///< sends blocked while open
+  std::uint64_t breaker_probes = 0;            ///< half-open probe sends
+  /// Summed per-replica milliseconds spent in the open state.
+  double breaker_open_ms = 0;
+  /// Answered (ok + degraded) queries per goodput_window_s window,
+  /// indexed by floor(close_time / window).  Empty unless
+  /// ClusterConfig::goodput_window_s > 0.  merge() sums element-wise.
+  std::vector<std::uint64_t> answered_per_window;
+
   /// leaf_requests / (queries * leaves): 1.0 = no extra load; a retry
   /// storm shows up here first.
   double retry_amplification = 0;
@@ -127,8 +181,9 @@ struct ClusterResult {
   }
 
   /// Fold `other` into this result: counters add, histograms merge,
-  /// per-trial ratios average (weighted by trial counts), and
-  /// frac_over_leaf_p99 is recomputed from the merged histograms.
+  /// goodput windows sum element-wise, per-trial ratios average
+  /// (weighted by trial counts), and frac_over_leaf_p99 is recomputed
+  /// from the merged histograms.
   void merge(const ClusterResult& other);
 };
 

@@ -1,5 +1,6 @@
 #include "cloud/policy.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -22,7 +23,12 @@ namespace {
 double RetryPolicy::backoff_ms(unsigned retry_index, Rng& rng) const {
   const double base =
       backoff_base_ms * std::pow(backoff_mult, static_cast<double>(retry_index));
-  const double delay = base * (1.0 + jitter_frac * rng.uniform(-1.0, 1.0));
+  // Clamp after jitter: validate() keeps jitter_frac < 1, so the product
+  // stays positive in exact arithmetic, but the clamp makes "never
+  // schedule into the past" unconditional (jitter_frac at the top of its
+  // range leaves delays within rounding of zero).
+  const double delay =
+      std::max(0.0, base * (1.0 + jitter_frac * rng.uniform(-1.0, 1.0)));
 #if ARCH21_OBS_ENABLED
   auto& m = obs::MetricsRegistry::global();
   if (m.enabled()) {
@@ -60,6 +66,38 @@ void QuorumPolicy::validate() const {
   }
 }
 
+void AdmissionPolicy::validate() const {
+  if (!enabled) return;
+  if (rate_qps < 0) bad("AdmissionPolicy", "rate_qps must be >= 0");
+  if (rate_qps > 0 && burst < 1.0) {
+    bad("AdmissionPolicy", "burst must be >= 1 when rate_qps > 0");
+  }
+  if (rate_qps == 0 && max_in_flight == 0) {
+    bad("AdmissionPolicy",
+        "enabled admission needs rate_qps > 0 or max_in_flight > 0");
+  }
+}
+
+void CircuitBreakerPolicy::validate() const {
+  if (!enabled) return;
+  if (window < 1 || window > 64) {
+    bad("CircuitBreakerPolicy", "window must be in [1, 64]");
+  }
+  if (failure_threshold <= 0 || failure_threshold > 1.0) {
+    bad("CircuitBreakerPolicy", "failure_threshold must be in (0, 1]");
+  }
+  if (min_samples < 1 || min_samples > window) {
+    bad("CircuitBreakerPolicy", "min_samples must be in [1, window]");
+  }
+  if (!(open_ms > 0)) bad("CircuitBreakerPolicy", "open_ms must be > 0");
+  if (open_jitter_frac < 0 || open_jitter_frac >= 1.0) {
+    bad("CircuitBreakerPolicy", "open_jitter_frac must be in [0, 1)");
+  }
+  if (half_open_probes < 1) {
+    bad("CircuitBreakerPolicy", "half_open_probes must be >= 1");
+  }
+}
+
 void ResiliencePolicy::validate() const {
   retry.validate();
   budget.validate();
@@ -67,6 +105,13 @@ void ResiliencePolicy::validate() const {
     bad("ResiliencePolicy", "hedge_after_ms must be >= 0");
   }
   quorum.validate();
+  admission.validate();
+  breaker.validate();
+  if (breaker.enabled && retry.timeout_ms == 0) {
+    // Failures reach the breaker only through timeouts; without them the
+    // window never records a failure and the breaker is dead weight.
+    bad("ResiliencePolicy", "breaker requires retry.timeout_ms > 0");
+  }
 }
 
 }  // namespace arch21::cloud

@@ -1,14 +1,20 @@
 #pragma once
-// Client-side resilience policies for the fork-join cluster: per-request
+// Resilience policies for the fork-join cluster.  Client side: per-request
 // timeouts, bounded retries with exponential backoff + jitter, a global
 // retry *budget* that prevents retry storms under overload, hedged
-// requests, and quorum-based graceful degradation.
+// requests, and quorum-based graceful degradation.  Server/edge side:
+// admission control at the root (token-bucket rate limit + max-concurrent
+// in-flight, with counted sheds) and per-replica circuit breakers
+// (rolling failure window, closed -> open -> half-open with probes).
 //
 // These are the standard production mitigations (Dean & Barroso's "Tail
-// at Scale", SRE retry-budget practice) that the paper's datacenter
+// at Scale", SRE retry-budget practice, and the metastable-failure
+// literature's load-shedding prescriptions) that the paper's datacenter
 // agenda implies but never models; simulate_cluster() executes them
-// against injected failures so their costs -- extra backend load, lost
-// result quality -- are measured, not assumed.
+// against injected failures so their costs -- extra backend load, shed
+// traffic, lost result quality -- are measured, not assumed.
+
+#include <cstdint>
 
 #include "util/rng.hpp"
 
@@ -25,10 +31,12 @@ struct RetryPolicy {
   double backoff_mult = 2.0;     ///< multiplier per subsequent retry
   double jitter_frac = 0.2;      ///< uniform +/- fraction on each backoff
 
-  /// Backoff before retry `retry_index` (0-based), jittered via `rng`.
-  /// Also records the chosen delay into the global metrics registry's
-  /// "policy.backoff_ms" timer when metrics are enabled (which may
-  /// allocate a per-thread shard on first use, hence not noexcept).
+  /// Backoff before retry `retry_index` (0-based), jittered via `rng` and
+  /// clamped to >= 0 (a jittered backoff must never schedule into the
+  /// past, whatever the jitter draw).  Also records the chosen delay into
+  /// the global metrics registry's "policy.backoff_ms" timer when metrics
+  /// are enabled (which may allocate a per-thread shard on first use,
+  /// hence not noexcept).
   double backoff_ms(unsigned retry_index, Rng& rng) const;
 
   /// Throws std::invalid_argument naming the offending field.
@@ -63,7 +71,62 @@ struct QuorumPolicy {
   void validate() const;
 };
 
-/// The full client-side policy stack for one cluster configuration.
+/// Admission control at the query root: the load shedder that keeps
+/// accepted work inside the cluster's capacity so it completes, instead
+/// of letting every arrival in to queue forever (the unbounded-queue
+/// half of a metastable failure).  Two independent gates, both counted
+/// as sheds in ClusterResult::shed_queries:
+///   * a token bucket over arrivals (`rate_qps` sustained, `burst` deep,
+///     0 = no rate gate), and
+///   * a concurrency cap (`max_in_flight` queries open at the root,
+///     0 = no cap).
+/// Note: the concurrency gate frees a slot when a query *closes* (all
+/// leaves replied, or the quorum deadline resolved it); pair it with a
+/// QuorumPolicy deadline so every accepted query eventually closes, or
+/// replies lost to crashes can pin slots for the rest of the run.
+struct AdmissionPolicy {
+  bool enabled = false;
+  double rate_qps = 0;          ///< sustained accepted-query rate; 0 = off
+  double burst = 10;            ///< token-bucket depth for the rate gate
+  unsigned max_in_flight = 0;   ///< concurrent open queries; 0 = off
+
+  void validate() const;
+};
+
+/// Per-replica circuit breaker (client-side bookkeeping, one state
+/// machine per leaf): a rolling window of the last `window` observed
+/// outcomes per replica -- a reply is a success, a timeout against that
+/// replica is a failure.  When at least `min_samples` outcomes are in
+/// the window and the failure fraction reaches `failure_threshold`, the
+/// breaker *opens*: sends to that replica are short-circuited (and
+/// redirected to another replica when one is available) for `open_ms`,
+/// jittered by +/- `open_jitter_frac` so replicas do not re-probe in
+/// lockstep.  After the cooldown the breaker goes *half-open* and lets
+/// `half_open_probes` probe requests through: the first probe outcome
+/// decides -- success closes the breaker (window reset), failure re-opens
+/// it with a fresh cooldown.
+///
+/// Determinism: all breaker randomness (cooldown jitter, redirect
+/// targets) draws from a dedicated Rng stream, so enabling the breaker
+/// never perturbs workload/fault draws, and a disabled breaker leaves
+/// the simulation byte-identical to pre-breaker builds.  Failures are
+/// *observed* via timeouts, so a breaker without RetryPolicy::timeout_ms
+/// can never open (validate() rejects that combination).
+struct CircuitBreakerPolicy {
+  bool enabled = false;
+  unsigned window = 16;           ///< rolling outcomes kept per replica (1..64)
+  double failure_threshold = 0.5; ///< failure fraction that opens, in (0, 1]
+  unsigned min_samples = 8;       ///< outcomes required before opening
+  double open_ms = 50;            ///< cooldown before half-open
+  double open_jitter_frac = 0.1;  ///< +/- fraction on each cooldown, [0, 1)
+  unsigned half_open_probes = 1;  ///< probes admitted while half-open
+
+  void validate() const;
+};
+
+/// The full resilience policy stack for one cluster configuration:
+/// client-side mitigation (retry/budget/hedge/quorum) plus the
+/// server-edge overload protections (admission, breakers).
 struct ResiliencePolicy {
   RetryPolicy retry;
   RetryBudget budget;
@@ -72,6 +135,8 @@ struct ResiliencePolicy {
   /// ClusterConfig::hedge_after_ms, now unified with retries/timeouts.
   double hedge_after_ms = 0;
   QuorumPolicy quorum;
+  AdmissionPolicy admission;
+  CircuitBreakerPolicy breaker;
 
   void validate() const;
 };

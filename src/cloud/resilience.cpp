@@ -1,5 +1,7 @@
 #include "cloud/resilience.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -99,6 +101,90 @@ std::vector<ScenarioResult> resilience_scenarios(const ClusterConfig& base,
       run_scenario("budget + hedge + quorum", quorum, trials, pool));
 
   return out;
+}
+
+std::vector<ScenarioResult> overload_scenarios(const ClusterConfig& base,
+                                               unsigned trials,
+                                               const OverloadPolicies& knobs,
+                                               ThreadPool* pool) {
+  // Every rung shares the naive client so rungs 1-2 isolate the bounded
+  // queue; the quorum deadline guarantees each query closes, which the
+  // admission concurrency gate (rung 3+) relies on.
+  ClusterConfig unprotected = base;
+  unprotected.policy.retry.timeout_ms = knobs.timeout_ms;
+  unprotected.policy.retry.max_retries = knobs.naive_max_retries;
+  unprotected.policy.budget.enabled = false;
+  unprotected.policy.quorum.quorum_fraction = knobs.quorum_fraction;
+  unprotected.policy.quorum.deadline_ms = knobs.quorum_deadline_ms;
+  unprotected.leaf_queue = {};  // unbounded FIFO
+
+  std::vector<ScenarioResult> out;
+  out.push_back(
+      run_scenario("unprotected (unbounded FIFO)", unprotected, trials, pool));
+
+  ClusterConfig bounded = unprotected;
+  bounded.leaf_queue.capacity = knobs.queue_capacity;
+  bounded.leaf_queue.discipline = des::QueueDiscipline::kDeadline;
+  bounded.leaf_queue.sojourn_target = knobs.sojourn_target_ms;
+  out.push_back(
+      run_scenario("bounded queue + deadline drop", bounded, trials, pool));
+
+  ClusterConfig admitted = bounded;
+  admitted.policy.retry.max_retries = knobs.protected_max_retries;
+  admitted.policy.budget.enabled = true;
+  admitted.policy.budget.ratio = knobs.budget_ratio;
+  admitted.policy.admission.enabled = true;
+  admitted.policy.admission.rate_qps =
+      knobs.admission_rate_frac * base.query_rate_hz;
+  admitted.policy.admission.max_in_flight =
+      knobs.max_in_flight > 0
+          ? knobs.max_in_flight
+          : static_cast<unsigned>(2.0 * base.query_rate_hz *
+                                  knobs.quorum_deadline_ms / 1000.0) +
+                1;
+  out.push_back(
+      run_scenario("+ admission + retry budget", admitted, trials, pool));
+
+  ClusterConfig breakered = admitted;
+  breakered.policy.breaker.enabled = true;
+  out.push_back(
+      run_scenario("+ circuit breakers", breakered, trials, pool));
+
+  return out;
+}
+
+GoodputHysteresis goodput_hysteresis(const ClusterResult& r,
+                                     const ClusterConfig& cfg,
+                                     double settle_s) {
+  GoodputHysteresis h;
+  const double w = cfg.goodput_window_s;
+  if (w <= 0 || !cfg.faults.burst_enabled()) return h;
+  const auto& win = r.answered_per_window;
+  auto count = [&](std::size_t i) {
+    return i < win.size() ? static_cast<double>(win[i]) : 0.0;
+  };
+  const double per_win =
+      w * static_cast<double>(std::max(r.trials, 1u));  // -> qps per trial
+
+  // Complete windows strictly before the burst; window 0 is warmup.
+  const auto pre_end =
+      static_cast<std::size_t>(cfg.faults.burst_start_s / w);
+  double sum = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 1; i < pre_end; ++i, ++n) sum += count(i);
+  if (n > 0) h.pre_qps = sum / (static_cast<double>(n) * per_win);
+
+  // Complete windows inside the horizon, after the burst plus settle.
+  const auto post_begin = static_cast<std::size_t>(
+      std::ceil((cfg.faults.burst_start_s + cfg.faults.burst_duration_s +
+                 settle_s) /
+                w));
+  const auto post_end = static_cast<std::size_t>(cfg.duration_s / w);
+  sum = 0;
+  n = 0;
+  for (std::size_t i = post_begin; i < post_end; ++i, ++n) sum += count(i);
+  if (n > 0) h.post_qps = sum / (static_cast<double>(n) * per_win);
+  return h;
 }
 
 }  // namespace arch21::cloud

@@ -60,4 +60,61 @@ std::vector<ScenarioResult> resilience_scenarios(
     const ClusterConfig& base, unsigned trials,
     const ScenarioPolicies& knobs = {}, ThreadPool* pool = nullptr);
 
+/// Knobs for the overload-protection ladder (bench_overload, E29).  The
+/// base ClusterConfig supplies the workload and the transient fault
+/// burst; these knobs describe the client and the server edge at each
+/// rung.
+struct OverloadPolicies {
+  // Client side, shared by every rung so the comparison isolates the
+  // server-side protections: tight timeout plus a quorum deadline (every
+  // query closes, protected or not).
+  double timeout_ms = 12;
+  double quorum_fraction = 0.5;
+  double quorum_deadline_ms = 100;
+  /// Unprotected rungs retry hard with no budget -- the storm fuel.
+  unsigned naive_max_retries = 8;
+  /// Protected rung: bounded retries under a budget.
+  unsigned protected_max_retries = 2;
+  double budget_ratio = 0.1;
+  // Server edge.
+  std::size_t queue_capacity = 4;   ///< bounded leaf queue depth
+  double sojourn_target_ms = 12;    ///< kDeadline drop budget (~ timeout)
+  double admission_rate_frac = 1.1; ///< token rate = frac * query_rate_hz
+  /// Concurrency cap at the root; 0 derives 2x the queries a healthy
+  /// root keeps open across a quorum deadline.
+  unsigned max_in_flight = 0;
+};
+
+/// Run the four-rung overload ladder, `trials` sims per rung:
+///   1. unprotected          -- unbounded FIFO leaves, naive retries
+///   2. bounded queue        -- + per-leaf capacity with deadline drop
+///   3. admission + budget   -- + root load shedding and a retry budget
+///   4. circuit breakers     -- + per-replica breakers (full protection)
+/// Every rung runs the same seeded workload and fault burst.
+std::vector<ScenarioResult> overload_scenarios(
+    const ClusterConfig& base, unsigned trials,
+    const OverloadPolicies& knobs = {}, ThreadPool* pool = nullptr);
+
+/// Windowed-goodput summary of one metastable-failure run: mean goodput
+/// over the complete windows strictly before the fault burst (skipping
+/// window 0 as warmup) vs the complete windows after the burst cleared
+/// plus `settle_s` of slack.  A protected cluster recovers
+/// (recovery_ratio ~ 1); a metastable one does not (the burst is gone
+/// but goodput is not coming back).
+struct GoodputHysteresis {
+  double pre_qps = 0;
+  double post_qps = 0;
+  double recovery_ratio() const noexcept {
+    return pre_qps > 0 ? post_qps / pre_qps : 0;
+  }
+};
+
+/// Requires cfg.goodput_window_s > 0 and an enabled fault burst;
+/// returns zeros otherwise.  Windows with no answered queries count as
+/// zeros (that IS the metastable signal), and multi-trial aggregates are
+/// normalized by ClusterResult::trials.
+GoodputHysteresis goodput_hysteresis(const ClusterResult& r,
+                                     const ClusterConfig& cfg,
+                                     double settle_s = 2.0);
+
 }  // namespace arch21::cloud

@@ -23,6 +23,14 @@ std::string render_report(const DseResult& result, const AppProfile& app,
 std::string render_resilience_report(
     const std::vector<cloud::ScenarioResult>& scenarios);
 
+/// Render an overload-protection ladder (see cloud::overload_scenarios)
+/// as a self-contained markdown document: per-rung goodput before/after
+/// the fault burst (the metastability check), shed/rejected/expired
+/// drop counters, and breaker activity.
+std::string render_overload_report(
+    const std::vector<cloud::ScenarioResult>& scenarios,
+    double settle_s = 2.0);
+
 /// Render a metrics snapshot (obs::MetricsRegistry::snapshot()) as a
 /// markdown section: one table row per metric in registration order;
 /// timers show count / mean / p50 / p99 / max.

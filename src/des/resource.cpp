@@ -9,6 +9,16 @@
 
 namespace arch21::des {
 
+void QueuePolicy::validate() const {
+  if (discipline == QueueDiscipline::kDeadline && !(sojourn_target > 0)) {
+    throw std::invalid_argument(
+        "QueuePolicy::sojourn_target must be > 0 with kDeadline");
+  }
+  if (!(sojourn_target >= 0)) {  // NaN-hostile
+    throw std::invalid_argument("QueuePolicy::sojourn_target must be >= 0");
+  }
+}
+
 #if ARCH21_OBS_ENABLED
 void Resource::set_trace(obs::TraceBuffer* t, std::uint32_t base_tid) {
   trace_ = t;
@@ -22,19 +32,35 @@ void Resource::set_trace(obs::TraceBuffer* t, std::uint32_t base_tid) {
 #endif
 
 Resource::Resource(Simulator& sim, std::uint32_t servers)
-    : sim_(sim), servers_(servers), slots_(servers) {
+    : Resource(sim, servers, QueuePolicy{}) {}
+
+Resource::Resource(Simulator& sim, std::uint32_t servers, QueuePolicy queue)
+    : sim_(sim), servers_(servers), queue_(queue), slots_(servers) {
   if (servers == 0) {
     throw std::invalid_argument("Resource: need at least one server");
   }
+  queue_.validate();
+  // A bounded ring never needs to grow past its cap: pre-size it so even
+  // the first overload burst schedules allocation-free.
+  if (queue_.capacity > 0) waiting_.resize(queue_.capacity);
 }
 
-void Resource::request(Time service_time, DoneFn on_done) {
+bool Resource::request(Time service_time, DoneFn on_done) {
   Job job{sim_.now(), service_time, std::move(on_done)};
   if (busy_ < servers_) {
     start(std::move(job));
-  } else {
-    waiting_push(std::move(job));
+    return true;
   }
+  if (queue_.capacity > 0 && waiting_count_ >= queue_.capacity) {
+    // The on_reject path: the job's callback is destroyed unfired and
+    // the caller learns synchronously.  No accounting beyond the count
+    // -- a rejected job never consumed queue space or service.
+    ++rejected_;
+    return false;
+  }
+  waiting_push(std::move(job));
+  if (waiting_count_ > queue_high_water_) queue_high_water_ = waiting_count_;
+  return true;
 }
 
 void Resource::waiting_push(Job job) {
@@ -62,6 +88,31 @@ Resource::Job Resource::waiting_pop() {
   waiting_head_ = (waiting_head_ + 1) % waiting_.size();
   --waiting_count_;
   return job;
+}
+
+Resource::Job Resource::waiting_pop_back() {
+  --waiting_count_;
+  return std::move(
+      waiting_[(waiting_head_ + waiting_count_) % waiting_.size()]);
+}
+
+void Resource::start_next() {
+  while (waiting_count_ > 0) {
+    Job job = (queue_.discipline == QueueDiscipline::kAdaptiveLifo &&
+               waiting_count_ > queue_.lifo_threshold)
+                  ? waiting_pop_back()
+                  : waiting_pop();
+    if (queue_.discipline == QueueDiscipline::kDeadline &&
+        sim_.now() - job.arrival > queue_.sojourn_target) {
+      // Expired at dequeue: the client gave up on this job before a
+      // server could take it; serving it would only add queueing delay
+      // for the jobs behind it.  Its on_done is destroyed unfired.
+      ++expired_;
+      continue;
+    }
+    start(std::move(job));
+    return;
+  }
 }
 
 void Resource::start(Job job) {
@@ -99,7 +150,7 @@ void Resource::on_complete(std::uint32_t slot, std::uint64_t epoch) {
 #endif
   if (done) done(s.wait, s.wait + s.service);
   if (waiting_count_ > 0 && busy_ < servers_) {
-    start(waiting_pop());
+    start_next();
   }
 }
 

@@ -9,10 +9,22 @@
 // service time is refunded from the busy-time account).  Clients that
 // need to notice the loss arm their own timeout on the DES.
 //
+// Overload protection (server-side "Tail at Scale" mitigations): the
+// queue can be *bounded* (QueuePolicy::capacity; a request arriving at a
+// full queue is rejected synchronously -- the on_reject path -- and its
+// callback never fires) and the dequeue order is pluggable: FIFO,
+// adaptive LIFO (newest-first while the backlog exceeds a threshold, the
+// overload discipline that keeps fresh requests inside their deadline),
+// or deadline-aware FIFO that drops already-expired work at dequeue
+// (CoDel-style sojourn target) instead of wasting a server on a request
+// whose client has given up.  All disciplines are pure functions of the
+// request sequence, so the (t,seq) determinism contract is untouched.
+//
 // Hot-path note: completion callbacks are InlineCallback (small-buffer,
 // move-only), not std::function, and the FIFO is a ring buffer over a
-// flat vector, so a steady-state request stream allocates nothing -- the
-// cluster simulator pushes millions of requests per trial through these.
+// flat vector (pre-sized to `capacity` when bounded), so a steady-state
+// request stream allocates nothing -- the cluster simulator pushes
+// millions of requests per trial through these.
 
 #include <cstdint>
 #include <vector>
@@ -30,10 +42,45 @@ class TraceBuffer;
 
 namespace arch21::des {
 
-/// A service station with `servers` identical servers and an unbounded
-/// FIFO queue.  Users call `request(service_time, on_done)`; the resource
-/// queues the job if all servers are busy, serves it for `service_time`
-/// simulated seconds, then invokes `on_done`.
+/// Dequeue order of a Resource's waiting line.
+enum class QueueDiscipline : std::uint8_t {
+  /// Arrival order -- the historical default; bit-compatible with the
+  /// pre-overload-protection behaviour.
+  kFifo,
+  /// Newest-first while the backlog exceeds QueuePolicy::lifo_threshold,
+  /// FIFO otherwise ("adaptive LIFO"): under overload the freshest
+  /// requests -- the only ones whose clients are still waiting -- are
+  /// served first, and the stale backlog ages out via client timeouts.
+  kAdaptiveLifo,
+  /// FIFO order, but a job whose queueing delay already exceeds
+  /// QueuePolicy::sojourn_target when a server frees is dropped at
+  /// dequeue (counted in expired()) instead of served -- the CoDel-style
+  /// guard against burning servers on work whose client has timed out.
+  kDeadline,
+};
+
+/// Server-side queue policy of one Resource.  Defaults reproduce the
+/// historical unbounded-FIFO station exactly.
+struct QueuePolicy {
+  /// Maximum waiting jobs (not counting in-service); 0 = unbounded.
+  /// A request that finds the queue full is rejected synchronously.
+  std::size_t capacity = 0;
+  QueueDiscipline discipline = QueueDiscipline::kFifo;
+  /// kAdaptiveLifo: backlog depth strictly above which pops switch to
+  /// newest-first.  0 = LIFO whenever any backlog exists.
+  std::size_t lifo_threshold = 0;
+  /// kDeadline: the sojourn budget; a waiter older than this at dequeue
+  /// time is dropped.  Simulation time units (the cluster runs in ms).
+  Time sojourn_target = 0;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// A service station with `servers` identical servers and a (by default
+/// unbounded FIFO) queue.  Users call `request(service_time, on_done)`;
+/// the resource queues the job if all servers are busy, serves it for
+/// `service_time` simulated seconds, then invokes `on_done`.
 class Resource {
  public:
   /// Completion callback: `on_done(wait, total)` fires at completion with
@@ -43,20 +90,27 @@ class Resource {
   using DoneFn = InlineCallback<void(Time wait, Time total), 48>;
 
   Resource(Simulator& sim, std::uint32_t servers);
+  Resource(Simulator& sim, std::uint32_t servers, QueuePolicy queue);
 
   /// Enqueue a job requiring `service_time` seconds of one server.
-  void request(Time service_time, DoneFn on_done);
+  /// Returns false -- and never fires `on_done` -- if the queue is
+  /// bounded and full (the rejection is synchronous: in a real server
+  /// this is the listen-backlog / load-shedder saying no at the door).
+  /// Unbounded stations always return true.
+  bool request(Time service_time, DoneFn on_done);
 
   /// Crash the station: drop all waiting jobs and abandon all in-service
   /// jobs.  Abandoned completions never fire, and busy-time accounting
   /// keeps only the service actually rendered before the crash.  The
   /// station immediately accepts new work (a recovered server).  Returns
-  /// the number of jobs lost.
+  /// the number of jobs lost.  Jobs rejected at a full queue before the
+  /// crash were never admitted, so they are not counted again here.
   std::size_t fail_all();
 
   std::uint32_t servers() const noexcept { return servers_; }
   std::uint32_t busy() const noexcept { return busy_; }
   std::size_t queue_length() const noexcept { return waiting_count_; }
+  const QueuePolicy& queue_policy() const noexcept { return queue_; }
 
   /// Mean queueing delay across completed jobs.
   const OnlineStats& wait_stats() const noexcept { return wait_stats_; }
@@ -66,6 +120,14 @@ class Resource {
   std::uint64_t completed() const noexcept { return completed_; }
   /// Jobs lost to fail_all() (waiting + in service at the crash).
   std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Jobs rejected at a full bounded queue (their on_done never fired).
+  std::uint64_t rejected() const noexcept { return rejected_; }
+  /// Jobs dropped at dequeue by the kDeadline discipline (sojourn target
+  /// already blown when a server freed).
+  std::uint64_t expired() const noexcept { return expired_; }
+  /// Deepest backlog ever observed (for capacity sizing / the
+  /// allocation-free audit: the ring never grows past this).
+  std::size_t queue_high_water() const noexcept { return queue_high_water_; }
   /// Total busy server-seconds (for utilization = busy_time / (T*servers)).
   double busy_time() const noexcept { return busy_time_; }
 
@@ -101,15 +163,23 @@ class Resource {
   };
 
   void start(Job job);
+  /// Dequeue per the discipline and start the first non-expired waiter
+  /// (dropping expired ones under kDeadline).  Called when a server
+  /// frees; no-op on an empty queue.
+  void start_next();
   void on_complete(std::uint32_t slot, std::uint64_t epoch);
   void waiting_push(Job job);
   Job waiting_pop();
+  Job waiting_pop_back();
 
   Simulator& sim_;
   std::uint32_t servers_;
+  QueuePolicy queue_;
   std::uint32_t busy_ = 0;
   // FIFO ring over a flat vector: head_ walks forward, capacity is
   // retained across bursts, growth unrolls the ring in arrival order.
+  // Adaptive LIFO pops the tail of the same ring, so both disciplines
+  // share the allocation-free path.
   std::vector<Job> waiting_;
   std::size_t waiting_head_ = 0;
   std::size_t waiting_count_ = 0;
@@ -119,6 +189,9 @@ class Resource {
   OnlineStats sojourn_stats_;
   std::uint64_t completed_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t expired_ = 0;
+  std::size_t queue_high_water_ = 0;
   double busy_time_ = 0;
 
 #if ARCH21_OBS_ENABLED

@@ -153,6 +153,30 @@ TEST(Policy, BackoffGrowsExponentiallyWithBoundedJitter) {
   }
 }
 
+TEST(Policy, BackoffNeverNegativeAcrossJitterSweep) {
+  // Property sweep of the post-jitter clamp: whatever jitter_frac in
+  // [0, 1) and whatever the draw, a backoff must never schedule into
+  // the past, and must stay inside the nominal +/- jitter envelope.
+  Rng rng(123);
+  for (double jf : {0.0, 0.25, 0.5, 0.9, 0.999}) {
+    cloud::RetryPolicy r{.timeout_ms = 10,
+                         .max_retries = 4,
+                         .backoff_base_ms = 0.5,
+                         .backoff_mult = 3.0,
+                         .jitter_frac = jf};
+    ASSERT_NO_THROW(r.validate());
+    for (unsigned k = 0; k < 5; ++k) {
+      const double nominal = 0.5 * std::pow(3.0, k);
+      for (int i = 0; i < 200; ++i) {
+        const double d = r.backoff_ms(k, rng);
+        EXPECT_GE(d, 0.0);
+        EXPECT_GE(d, nominal * (1.0 - jf) - 1e-12);
+        EXPECT_LE(d, nominal * (1.0 + jf) + 1e-12);
+      }
+    }
+  }
+}
+
 // --------------------------------------------------- cluster + failures
 
 ClusterConfig small_faulty_cluster() {
