@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "core/report.hpp"
 #include "des/reference_heap.hpp"
 #include "des/simulator.hpp"
@@ -99,6 +100,18 @@ int main(int argc, char** argv) {
         return des::replay_schedule_heavy<des::ReferenceSimulator>(kSeed,
                                                                    sched_n);
       }));
+  // schedule_n (the PDES window-commit primitive) against one-at-a-time
+  // scheduling on the SAME ladder kernel: the "ladder" column is the
+  // batched replay, the "heap" column the plain loop, so the speedup
+  // column reads out what the batch API buys and `identical` pins the
+  // batched order log to the loop's.
+  rows.push_back(measure(
+      "schedule_heavy_batched", reps,
+      [&] {
+        return des::replay_schedule_heavy_batched<des::Simulator>(kSeed,
+                                                                  sched_n, 64);
+      },
+      [&] { return des::replay_schedule_heavy<des::Simulator>(kSeed, sched_n); }));
   rows.push_back(measure(
       "cancel_heavy", reps,
       [&] {
@@ -132,7 +145,8 @@ int main(int argc, char** argv) {
             << "\n";
 
   std::ofstream out("BENCH_des.json");
-  out << "{\n  \"smoke\": " << (smoke ? "true" : "false")
+  out << "{\n  " << bench::meta_json()
+      << ",\n  \"smoke\": " << (smoke ? "true" : "false")
       << ",\n  \"identical_order\": " << (all_identical ? "true" : "false")
       << ",\n  \"workloads\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {

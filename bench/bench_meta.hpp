@@ -1,0 +1,59 @@
+#pragma once
+// Build/host provenance for BENCH_*.json: a bench number without the
+// commit, core count, build type, and sanitizer mode that produced it is
+// not comparable to anything, so every JSON writer stamps this "meta"
+// object first.  scripts/bench_gate.py refuses to gate numbers whose
+// build_type/san do not match the committed baseline's.
+//
+// ARCH21_BENCH_BUILD_TYPE / ARCH21_BENCH_SAN are injected per-target by
+// bench/CMakeLists.txt; the fallbacks keep the header compilable
+// standalone (e.g. in a test build).
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#ifndef ARCH21_BENCH_BUILD_TYPE
+#define ARCH21_BENCH_BUILD_TYPE "unknown"
+#endif
+#ifndef ARCH21_BENCH_SAN
+#define ARCH21_BENCH_SAN ""
+#endif
+
+namespace arch21::bench {
+
+/// Short git SHA of the working tree, or "unknown" outside a checkout.
+/// One popen at bench shutdown; never on a timed path.
+inline std::string git_sha() {
+  std::string sha;
+  if (std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, p) != nullptr) sha = buf;
+    ::pclose(p);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+/// The `"meta": {...}` JSON fragment (no trailing comma).  `workers` is
+/// the bench's own parallelism knob (pool size / PDES workers); pass 0
+/// for a serial bench.
+inline std::string meta_json(unsigned workers = 0) {
+  std::ostringstream os;
+  os << "\"meta\": {\"git_sha\": \"" << git_sha()
+     << "\", \"nproc\": " << std::thread::hardware_concurrency()
+     << ", \"build_type\": \"" << ARCH21_BENCH_BUILD_TYPE
+     << "\", \"san\": \"" << ARCH21_BENCH_SAN << "\", \"compiler\": \""
+#if defined(__VERSION__)
+     << __VERSION__
+#else
+     << "unknown"
+#endif
+     << "\", \"workers\": " << workers << "}";
+  return os.str();
+}
+
+}  // namespace arch21::bench

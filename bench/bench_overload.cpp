@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "cloud/cluster.hpp"
 #include "cloud/resilience.hpp"
 #include "core/report.hpp"
@@ -166,7 +167,9 @@ int main(int argc, char** argv) {
 
   // --- JSON record -----------------------------------------------------
   std::ofstream out("BENCH_overload.json");
-  out << "{\n  \"leaves\": " << cfg.leaves << ",\n  \"trials\": " << trials
+  out << "{\n  "
+      << bench::meta_json(static_cast<unsigned>(pool.size()))
+      << ",\n  \"leaves\": " << cfg.leaves << ",\n  \"trials\": " << trials
       << ",\n  \"threads\": " << pool.size() << ",\n  \"smoke\": "
       << (smoke ? "true" : "false")
       << ",\n  \"burst\": {\"leaves\": " << cfg.faults.burst_leaves

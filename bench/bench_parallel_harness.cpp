@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "cloud/tail.hpp"
 #include "core/dse.hpp"
 #include "core/profile.hpp"
@@ -156,7 +157,8 @@ int main() {
   }
 
   std::ofstream out("BENCH_parallel.json");
-  out << "{\n  \"threads\": " << par.size() << ",\n  \"results\": [\n";
+  out << "{\n  " << bench::meta_json(static_cast<unsigned>(par.size()))
+      << ",\n  \"threads\": " << par.size() << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     out << "    {\"name\": \"" << r.name << "\", \"serial_s\": " << r.serial_s

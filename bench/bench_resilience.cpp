@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "cloud/cluster.hpp"
 #include "cloud/resilience.hpp"
 #include "core/report.hpp"
@@ -146,7 +147,9 @@ int main(int argc, char** argv) {
 
   // --- JSON record -----------------------------------------------------
   std::ofstream out("BENCH_resilience.json");
-  out << "{\n  \"leaves\": " << cfg.leaves << ",\n  \"trials\": " << trials
+  out << "{\n  "
+      << bench::meta_json(static_cast<unsigned>(pool.size()))
+      << ",\n  \"leaves\": " << cfg.leaves << ",\n  \"trials\": " << trials
       << ",\n  \"threads\": " << pool.size()
       << ",\n  \"frac_over_leaf_p99\": " << baseline->frac_over_leaf_p99
       << ",\n  \"frac_over_leaf_p99_analytic\": " << analytic

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Gate a fresh BENCH_*.json against its committed baseline.
+
+Usage:
+    scripts/bench_gate.py --baseline bench/baselines/BENCH_des.json \
+                          --current build/BENCH_des.json [--tol 0.05]
+
+Compares every throughput metric the two files share (events/sec and
+Mev/s rate columns) and exits nonzero if any current rate falls more
+than `tol` below the baseline (default 0.05 = 5%; override with --tol
+or the BENCH_GATE_TOL env var -- CI uses a looser value because shared
+runners are noisy).
+
+Provenance rules (from bench/bench_meta.hpp's "meta" stamp):
+  * refuses to gate when build_type or san differ between baseline and
+    current -- a Debug or TSan number vs a RelWithDebInfo baseline is a
+    config mismatch, not a regression;
+  * refuses to gate a --smoke run against a full baseline (and vice
+    versa) -- smoke workloads are sized for sanity, not for timing;
+  * metrics present in the baseline but missing from the current file
+    fail the gate (a silently dropped workload is a regression too);
+    metrics only in the current file are reported as informational.
+Faster-than-baseline results always pass; this is a one-sided gate.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def rates(doc):
+    """Flatten a BENCH_*.json into {metric_name: events_per_sec}.
+
+    Understands the two gated shapes: bench_des_queue's "workloads"
+    rows (ladder_events_per_sec -- the production kernel; the reference
+    heap column is context, not a gate) and bench_pdes's "rows"
+    (mev_per_sec keyed by workload name + worker count).
+    """
+    out = {}
+    for row in doc.get("workloads", []):
+        if "ladder_events_per_sec" in row:
+            out[f"{row['name']}.ladder_events_per_sec"] = float(
+                row["ladder_events_per_sec"]
+            )
+    for row in doc.get("rows", []):
+        label = "serial" if row.get("workers", 0) == 0 else f"w{row['workers']}"
+        out[f"{row['name']}.{label}.mev_per_sec"] = float(row["mev_per_sec"])
+    return out
+
+
+def meta_mismatch(base, cur):
+    """Return a human-readable reason the two runs are not comparable,
+    or None if they are."""
+    bm, cm = base.get("meta", {}), cur.get("meta", {})
+    for key in ("build_type", "san"):
+        if bm.get(key, "") != cm.get(key, ""):
+            return (
+                f"meta.{key} differs: baseline={bm.get(key, '')!r} "
+                f"current={cm.get(key, '')!r}"
+            )
+    if bool(base.get("smoke", False)) != bool(cur.get("smoke", False)):
+        return (
+            f"smoke flag differs: baseline={base.get('smoke', False)} "
+            f"current={cur.get('smoke', False)}"
+        )
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument(
+        "--tol",
+        type=float,
+        default=float(os.environ.get("BENCH_GATE_TOL", "0.05")),
+        help="allowed fractional slowdown vs baseline (default 0.05 "
+        "or $BENCH_GATE_TOL)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    reason = meta_mismatch(base, cur)
+    if reason is not None:
+        print(f"bench_gate: REFUSING to gate: {reason}", file=sys.stderr)
+        return 2
+
+    base_rates = rates(base)
+    cur_rates = rates(cur)
+    if not base_rates:
+        print(
+            f"bench_gate: no gateable metrics in baseline {args.baseline}",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures = []
+    print(
+        f"bench_gate: {args.current} vs {args.baseline} "
+        f"(tolerance {args.tol:.0%})"
+    )
+    for name, base_v in sorted(base_rates.items()):
+        if name not in cur_rates:
+            failures.append(f"{name}: present in baseline, missing from current")
+            continue
+        cur_v = cur_rates[name]
+        delta = (cur_v - base_v) / base_v if base_v > 0 else 0.0
+        ok = delta >= -args.tol
+        print(
+            f"  {'ok  ' if ok else 'FAIL'} {name}: "
+            f"{base_v:.3g} -> {cur_v:.3g} ({delta:+.1%})"
+        )
+        if not ok:
+            failures.append(f"{name}: {delta:+.1%} (limit -{args.tol:.0%})")
+    for name in sorted(set(cur_rates) - set(base_rates)):
+        print(f"  new  {name}: {cur_rates[name]:.3g} (no baseline, not gated)")
+
+    if failures:
+        print("bench_gate: FAILED", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("bench_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,24 @@ void ClusterConfig::validate() const {
   if (!(goodput_window_s >= 0)) {
     bad("ClusterConfig", "goodput_window_s must be >= 0");
   }
+  if (!(net_latency_ms >= 0) || !std::isfinite(net_latency_ms)) {
+    bad("ClusterConfig", "net_latency_ms must be finite and >= 0");
+  }
+  if (workers > 0 && !(net_latency_ms > 0)) {
+    // The conservative engine needs latency to hide behind; the
+    // zero-latency model stays on the (serial) legacy path.
+    bad("ClusterConfig", "workers > 0 requires net_latency_ms > 0");
+  }
+  if (leaf_groups > leaves) {
+    bad("ClusterConfig", "leaf_groups must be <= leaves");
+  }
+#if ARCH21_OBS_ENABLED
+  if (trace != nullptr && workers > 1) {
+    // The trace ring is single-writer; with one worker the parallel
+    // engine runs LP phases sequentially, so one ring still works.
+    bad("ClusterConfig", "trace requires workers <= 1");
+  }
+#endif
   faults.validate();
   if (faults.burst_leaves > leaves) {
     bad("ClusterFaultConfig", "burst_leaves must be <= leaves");
@@ -897,6 +915,7 @@ ClusterResult ClusterSim::run() {
 
 ClusterResult simulate_cluster(const ClusterConfig& cfg) {
   cfg.validate();
+  if (cfg.net_latency_ms > 0) return simulate_cluster_pdes(cfg);
   ClusterSim trial(cfg);
   return trial.run();
 }

@@ -98,6 +98,25 @@ struct ClusterConfig {
   /// instrument that shows whether goodput *recovers* after a fault
   /// burst.  0 (default) records nothing.
   double goodput_window_s = 0;
+  /// Network latency between the root and every leaf, one way, in ms.
+  /// 0 (default) keeps the historical zero-latency model and the legacy
+  /// serial simulator, bit-identical with prior builds.  > 0 switches
+  /// simulate_cluster() to the LP-sharded scenario (cluster_pdes.cpp):
+  /// requests and replies each travel net_latency_ms, and that latency is
+  /// the conservative lookahead the parallel engine hides behind.
+  double net_latency_ms = 0;
+  /// Worker threads for the parallel engine.  0 (default) runs the
+  /// LP-sharded scenario on the serial loopback reference engine; W >= 1
+  /// runs it on des::ParallelEngine over a W-thread pool.  Results are
+  /// bit-identical for every value of this knob (the determinism
+  /// contract; pinned by tests/test_pdes.cpp).  Requires
+  /// net_latency_ms > 0.
+  unsigned workers = 0;
+  /// Number of leaf-group LPs the PDES scenario shards the leaves into
+  /// (the root is one more LP).  0 = min(leaves, 8).  Part of the MODEL,
+  /// deliberately independent of `workers`: changing the partition may
+  /// shift results at FP-tie granularity, changing workers never does.
+  unsigned leaf_groups = 0;
   /// Failure injection (off by default).
   ClusterFaultConfig faults;
   /// Client-side mitigation + server-edge overload policies (all off by
@@ -187,7 +206,19 @@ struct ClusterResult {
   void merge(const ClusterResult& other);
 };
 
-/// Run the cluster simulation.
+/// Run the cluster simulation.  Dispatches on net_latency_ms: 0 runs the
+/// historical serial zero-latency model, > 0 the LP-sharded
+/// network-latency model below.
 ClusterResult simulate_cluster(const ClusterConfig& cfg);
+
+/// The LP-sharded network-latency scenario (requires net_latency_ms > 0):
+/// the root client engine is one logical process, the leaves are sharded
+/// into leaf_groups more, and every root<->leaf exchange travels
+/// net_latency_ms each way through the PDES engine's mailboxes.
+/// cfg.workers picks the engine (0 = serial loopback reference, >= 1 =
+/// des::ParallelEngine on that many threads) without affecting results.
+/// simulate_cluster() calls this automatically; it is public so benches
+/// and tests can name the path explicitly.
+ClusterResult simulate_cluster_pdes(const ClusterConfig& cfg);
 
 }  // namespace arch21::cloud

@@ -13,6 +13,15 @@ ClusterResult run_cluster_trials(const ClusterConfig& cfg, unsigned trials,
   if (trials == 0) {
     throw std::invalid_argument("run_cluster_trials: trials must be > 0");
   }
+  if (cfg.workers > 0) {
+    // Trials already parallelize across the pool; nesting a PDES worker
+    // pool inside each trial would oversubscribe it.  Shard ACROSS
+    // trials here, or WITHIN one big scenario via cfg.workers -- not
+    // both.
+    throw std::invalid_argument(
+        "run_cluster_trials: cfg.workers must be 0 (trials are the "
+        "parallelism axis here)");
+  }
 #if ARCH21_OBS_ENABLED
   if (cfg.trace) {
     // One TraceBuffer cannot absorb trials running concurrently on the

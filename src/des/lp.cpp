@@ -1,0 +1,63 @@
+#include "des/lp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "des/pdes.hpp"
+
+namespace arch21::des {
+
+void Lp::send(std::uint32_t dst, Time delay, const Payload& p) {
+  if (dst >= out_.size()) {
+    throw std::invalid_argument("Lp::send: destination LP out of range");
+  }
+  if (dst == id_) {
+    // Local delivery: no conservative constraint applies inside one LP,
+    // and bypassing the mailbox keeps single-LP partitions exactly as
+    // fast (and exactly as ordered) as the serial loopback engine.
+    sim_.schedule(delay, [this, p] { handler_(*this, p); });
+    return;
+  }
+  if (!(delay >= engine_->lookahead())) {
+    throw std::invalid_argument(
+        "Lp::send: cross-LP delay below the engine lookahead");
+  }
+  ++sent_;
+  out_[dst].push_back(
+      Message{sim_.now() + delay, sim_.now(), id_, send_seq_++, p});
+}
+
+void Lp::commit_and_run(Time end) {
+  // Extract this window's arrivals.  The commit set {m : m.t <= end} and
+  // the canonical sort below are pure functions of the barrier state, so
+  // the batch -- and therefore the (t, seq) execution order inside this
+  // LP's kernel -- is identical for any worker count.
+  batch_.clear();
+  std::size_t keep = 0;
+  for (Message& m : pending_) {
+    if (m.t <= end) {
+      batch_.push_back(m);
+    } else {
+      pending_[keep++] = m;
+    }
+  }
+  pending_.resize(keep);
+  if (!batch_.empty()) {
+    std::sort(batch_.begin(), batch_.end(), MessageEarlier{});
+    span_.clear();
+    for (const Message& m : batch_) {
+      // Delivery closure: destination-LP pointer plus one Payload by
+      // value -- guaranteed to fit the Action's inline buffer, so the
+      // commit path never heap-allocates per message.
+      static_assert(sizeof(Lp*) + sizeof(Payload) <=
+                    Simulator::Action::capacity());
+      span_.push_back(Simulator::TimedAction{
+          m.t, [this, p = m.payload] { handler_(*this, p); }});
+    }
+    sim_.schedule_n(span_.data(), span_.size());
+    delivered_ += batch_.size();
+  }
+  sim_.run(end);
+}
+
+}  // namespace arch21::des

@@ -1,0 +1,78 @@
+#pragma once
+// One logical process (LP) of the conservative PDES engine: a private
+// des::Simulator (its own ladder queue, action slab, and cancellation
+// table -- no state shared with any other LP), a scenario-installed
+// message handler, and one outbound mailbox per peer LP.  During a
+// window's parallel phase an LP runs entirely on one pool task; the only
+// cross-LP traffic is send(), which appends to an outbound mailbox the
+// engine drains serially at the next window barrier (see
+// des/mailbox.hpp for why that needs no synchronization).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "des/mailbox.hpp"
+#include "des/simulator.hpp"
+
+namespace arch21::des {
+
+class ParallelEngine;
+
+class Lp {
+ public:
+  /// Invoked when a cross-LP message is delivered (at sim time
+  /// Message::t, inside this LP's window run).  Install at setup via
+  /// set_handler(); delivery to an LP without a handler throws.
+  using Handler = std::function<void(Lp&, const Payload&)>;
+
+  std::uint32_t id() const noexcept { return id_; }
+  Time now() const noexcept { return sim_.now(); }
+
+  /// This LP's private kernel, for local scheduling (including
+  /// cancellable timers) and per-LP trace attachment.  Only this LP's
+  /// events may touch it: scheduling into another LP's simulator is a
+  /// data race AND a determinism bug -- cross-LP effects go through
+  /// send().
+  Simulator& sim() noexcept { return sim_; }
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  /// Send `p` to LP `dst`, arriving `delay` seconds from now().  For a
+  /// remote destination the delay must be >= the engine's lookahead
+  /// (that bound is what makes the conservative window safe; violating
+  /// it throws).  dst == id() is a plain local schedule -- no mailbox,
+  /// no lookahead floor -- exactly what the serial loopback engine does,
+  /// so results stay comparable.
+  void send(std::uint32_t dst, Time delay, const Payload& p);
+
+  /// Cross-LP messages this LP has sent / had delivered into its kernel.
+  std::uint64_t sent() const noexcept { return sent_; }
+  std::uint64_t delivered() const noexcept { return delivered_; }
+
+ private:
+  friend class ParallelEngine;
+
+  Lp(ParallelEngine* engine, std::uint32_t id, std::uint32_t lps)
+      : engine_(engine), id_(id), out_(lps) {}
+
+  /// One window's work on this LP (parallel phase): extract the pending
+  /// messages due by `end`, sort them canonically, schedule them in one
+  /// schedule_n() batch, then run the kernel through `end` (inclusive,
+  /// matching Simulator::run).
+  void commit_and_run(Time end);
+
+  ParallelEngine* engine_;
+  std::uint32_t id_ = 0;
+  std::uint64_t send_seq_ = 0;   // per-source seq for canonical ordering
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  Simulator sim_;
+  Handler handler_;
+  std::vector<Mailbox> out_;     // out_[d]: outbound messages for LP d
+  std::vector<Message> pending_; // drained inbound awaiting commit
+  std::vector<Message> batch_;   // commit scratch (retained capacity)
+  std::vector<Simulator::TimedAction> span_;  // schedule_n scratch
+};
+
+}  // namespace arch21::des

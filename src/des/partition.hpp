@@ -1,0 +1,79 @@
+#pragma once
+// Partitioning a scenario into logical processes (LPs) for the
+// conservative PDES engine, plus the balanced contiguous-group helpers
+// the cluster simulator uses to map leaves onto LPs.
+//
+// The partition must be a pure function of the scenario *configuration*
+// -- never of the worker count -- because the determinism contract is
+// "bit-identical results at any worker count for a fixed partition".
+// Changing the partition (e.g. ClusterConfig::leaf_groups) is a model
+// change and may legitimately change results at FP-tie granularity;
+// changing workers never does.
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+namespace arch21::des {
+
+/// How to shard one scenario across LPs.
+struct PartitionSpec {
+  /// Number of logical processes (>= 1).  Each owns a private ladder
+  /// queue, action slab, and RNG streams.
+  std::uint32_t lps = 1;
+
+  /// Conservative lookahead, in simulation time: a positive lower bound
+  /// on the delivery delay of every cross-LP send (derived from the
+  /// minimum network/service latency between LPs).  The engine runs each
+  /// window to `tmin + lookahead`, so lookahead == 0 would degenerate to
+  /// one event per barrier at best and is rejected outright -- a
+  /// conservative engine fundamentally needs latency to hide behind (the
+  /// null-message insight of Chandy-Misra-Bryant).
+  double lookahead = 0;
+
+  /// Throws std::invalid_argument on a spec the engine cannot run:
+  /// lps == 0, or a lookahead that is not a positive finite number.
+  void validate() const {
+    if (lps == 0) {
+      throw std::invalid_argument("PartitionSpec: lps must be >= 1");
+    }
+    if (!(lookahead > 0) || !std::isfinite(lookahead)) {
+      throw std::invalid_argument(
+          "PartitionSpec: lookahead must be positive and finite");
+    }
+  }
+};
+
+/// Number of balanced groups for `n` items capped at `max_groups`:
+/// min(n, max_groups), with a floor of one group so the degenerate n == 0
+/// still yields a runnable single-LP partition.
+constexpr std::uint32_t balanced_groups(std::uint32_t n,
+                                        std::uint32_t max_groups) noexcept {
+  if (max_groups == 0) max_groups = 1;
+  const std::uint32_t g = n < max_groups ? n : max_groups;
+  return g == 0 ? 1 : g;
+}
+
+/// Group of item `i` under the balanced contiguous partition of [0, n)
+/// into `groups` groups: the first n % groups groups get ceil(n / groups)
+/// items, the rest floor(n / groups).  Matches group_range() exactly.
+constexpr std::uint32_t group_of(std::uint32_t i, std::uint32_t n,
+                                 std::uint32_t groups) noexcept {
+  const std::uint32_t q = n / groups;
+  const std::uint32_t r = n % groups;
+  const std::uint32_t big = r * (q + 1);  // items in the oversize groups
+  return i < big ? i / (q + 1) : r + (i - big) / q;
+}
+
+/// Half-open item range [begin, end) of group `g` under the same
+/// partition as group_of().
+constexpr std::pair<std::uint32_t, std::uint32_t> group_range(
+    std::uint32_t g, std::uint32_t n, std::uint32_t groups) noexcept {
+  const std::uint32_t q = n / groups;
+  const std::uint32_t r = n % groups;
+  const std::uint32_t begin = g * q + (g < r ? g : r);
+  return {begin, begin + q + (g < r ? 1 : 0)};
+}
+
+}  // namespace arch21::des

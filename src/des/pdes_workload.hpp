@@ -1,0 +1,128 @@
+#pragma once
+// Seeded multi-LP PDES workload, templated over the engine
+// (des::LoopbackEngine or des::ParallelEngine) -- the engine-level
+// analogue of des/workload.hpp's kernel replays.  Every LP runs a
+// self-perpetuating local event process (own Rng stream, consumed only by
+// its own events), arms-and-cancels a timer per step, and every fourth
+// step fires a message at a random peer with delay >= lookahead.  Each
+// LP folds everything it observes -- event times, delivered payloads,
+// timer fires -- into an order-sensitive checksum, so ANY divergence in
+// an LP's event sequence between engines or worker counts changes the
+// result.  The differential tests assert PdesWorkloadResult equality;
+// the bench replays it at several worker counts for Mev/s.
+//
+// `work` adds that many checksum-mix rounds per event: 0 measures pure
+// kernel+sync overhead, larger values model real per-event work (the
+// regime where parallel speedup shows up).
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "des/pdes.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::des {
+
+struct PdesLpResult {
+  std::uint64_t checksum = 0;
+  std::uint64_t local_events = 0;  ///< steps of the local process
+  std::uint64_t deliveries = 0;    ///< cross-LP messages handled
+  double last_t = 0;               ///< time of the last local step
+  bool operator==(const PdesLpResult&) const = default;
+};
+
+struct PdesWorkloadResult {
+  std::vector<PdesLpResult> lps;
+  std::uint64_t executed = 0;
+  std::uint64_t cancelled = 0;
+  /// Events/sec numerator for the bench (kernel events, all LPs).
+  std::uint64_t events() const noexcept { return executed; }
+  bool operator==(const PdesWorkloadResult&) const = default;
+};
+
+inline std::uint64_t pdes_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
+
+template <class Engine>
+PdesWorkloadResult run_pdes_mesh(Engine& eng, std::uint64_t seed,
+                                 double horizon, unsigned work = 16) {
+  struct LpState {
+    Rng rng{0};
+    PdesLpResult res;
+    EventHandle timer{};
+    bool armed = false;
+  };
+  struct Ctx {
+    Engine& eng;
+    double horizon;
+    double lookahead;
+    unsigned work;
+    std::vector<LpState> st;
+    Ctx(Engine& e, double h, unsigned w)
+        : eng(e), horizon(h), lookahead(e.lookahead()), st(e.lps()) {
+      work = w;
+    }
+    void step(std::uint32_t i) {
+      auto& lp = eng.lp(i);
+      LpState& s = st[i];
+      const double t = lp.now();
+      ++s.res.local_events;
+      s.res.last_t = t;
+      std::uint64_t h = pdes_mix(s.res.checksum, std::bit_cast<std::uint64_t>(t));
+      for (unsigned k = 0; k < work; ++k) h = pdes_mix(h, k);
+      s.res.checksum = h;
+      // Cancel the timer the previous step armed (often across a window
+      // boundary) and arm a fresh one; a timer that survives to fire just
+      // mixes a marker, so either outcome is checksummed.
+      if (s.armed) {
+        lp.sim().cancel(s.timer);
+        s.armed = false;
+      }
+      s.timer = lp.sim().schedule_cancellable(5.0, [this, i] {
+        st[i].res.checksum = pdes_mix(st[i].res.checksum, 0x71AE5ULL);
+        st[i].armed = false;
+      });
+      s.armed = true;
+      if (eng.lps() > 1 && s.res.local_events % 4 == 0) {
+        const std::uint32_t dst = static_cast<std::uint32_t>(
+            (i + 1 + s.rng.below(eng.lps() - 1)) % eng.lps());
+        Payload p;
+        p.kind = 1;
+        p.a = s.res.local_events;
+        p.x = s.rng.uniform(0.0, 1.0);
+        lp.send(dst, lookahead + s.rng.exponential(0.5), p);
+      }
+      const double d = s.rng.exponential(1.0);
+      if (t + d < horizon) lp.sim().schedule(d, [this, i] { step(i); });
+    }
+  };
+
+  auto ctx = std::make_unique<Ctx>(eng, horizon, work);
+  Ctx* c = ctx.get();
+  for (std::uint32_t i = 0; i < eng.lps(); ++i) {
+    c->st[i].rng = Rng(seed, i);
+    eng.lp(i).set_handler([c](auto& lp, const Payload& p) {
+      LpState& s = c->st[lp.id()];
+      ++s.res.deliveries;
+      s.res.checksum = pdes_mix(pdes_mix(s.res.checksum, p.a),
+                                std::bit_cast<std::uint64_t>(p.x));
+    });
+    const double t0 = c->st[i].rng.exponential(1.0);
+    eng.lp(i).sim().schedule_at(t0, [c, i] { c->step(i); });
+  }
+  eng.run();
+
+  PdesWorkloadResult out;
+  out.lps.reserve(eng.lps());
+  for (std::uint32_t i = 0; i < eng.lps(); ++i) out.lps.push_back(c->st[i].res);
+  out.executed = eng.executed();
+  out.cancelled = eng.cancelled();
+  return out;
+}
+
+}  // namespace arch21::des

@@ -39,6 +39,26 @@ class ReferenceSimulator {
 
   void schedule_at(Time t, Action action) { enqueue(t, std::move(action)); }
 
+  /// One (time, action) entry of a schedule_n() batch (API parity with
+  /// des::Simulator so the workload replays template over either kernel).
+  struct TimedAction {
+    Time t;
+    Action action;
+  };
+
+  /// Batch scheduling oracle: the plain loop the ladder queue's amortized
+  /// schedule_n() must be observationally identical to.
+  void schedule_n(TimedAction* evs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      enqueue(evs[i].t, std::move(evs[i].action));
+    }
+  }
+
+  /// Timestamp of the earliest pending event, or kForever when idle.
+  Time next_time() const noexcept {
+    return queue_.empty() ? kForever : queue_.front().t;
+  }
+
   Handle schedule_cancellable(Time delay, Action action) {
     return schedule_cancellable_at(now_ + delay, std::move(action));
   }

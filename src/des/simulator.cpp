@@ -11,8 +11,9 @@
 namespace arch21::des {
 
 #if ARCH21_OBS_ENABLED
-void Simulator::set_trace(obs::TraceBuffer* t) {
+void Simulator::set_trace(obs::TraceBuffer* t, std::uint32_t tid) {
   trace_ = t;
+  trace_tid_ = tid;
   if (t) {
     tr_fire_ = t->intern("des.fire");
     tr_discard_ = t->intern("des.discard");
@@ -23,7 +24,6 @@ void Simulator::set_trace(obs::TraceBuffer* t) {
 // --------------------------------------------------------------- insert
 
 void Simulator::insert(Event ev) {
-  ++size_;
   if (width_ > 0) {
     // Track the live scheduling horizon: a decaying max of how far ahead
     // of the clock events are being scheduled.  reanchor() sizes the
@@ -34,6 +34,13 @@ void Simulator::insert(Event ev) {
     const double ahead = ev.t - now_;
     live_spread_ -= live_spread_ * (1.0 / 1024.0);
     if (ahead > live_spread_ && ahead < kForever) live_spread_ = ahead;
+  }
+  place(std::move(ev));
+}
+
+void Simulator::place(Event ev) {
+  ++size_;
+  if (width_ > 0) {
     // Bucket index is floor((t - origin) / width), computed in doubles so
     // absurdly far timestamps (kForever) cannot overflow the integer
     // conversion.  floor of a monotone function is monotone, so bucket
@@ -213,6 +220,37 @@ void Simulator::schedule_at(Time t, Action action) {
   insert(Event{t, next_seq_++, kNoSlot, store_action(std::move(action))});
 }
 
+void Simulator::schedule_n(TimedAction* evs, std::size_t n) {
+  if (n == 0) return;
+  // One validation pass up front (so a bad entry throws before any state
+  // mutates) that also finds the span's scheduling horizon.
+  double max_ahead = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (evs[i].t < now_) {
+      throw std::invalid_argument("Simulator::schedule_n: time in the past");
+    }
+    const double ahead = evs[i].t - now_;
+    if (ahead > max_ahead && ahead < kForever) max_ahead = ahead;
+  }
+  // Reserve the action slab for the whole span (free-list hits don't
+  // grow it, but the worst case is n fresh slots).
+  const std::size_t fresh =
+      n > free_actions_.size() ? n - free_actions_.size() : 0;
+  actions_.reserve(actions_.size() + fresh);
+  // One spread-estimator update for the batch instead of n decay+max
+  // steps.  This changes only ladder geometry (window width at the next
+  // re-anchor), which is tuning, never ordering -- the determinism
+  // contract is independent of bucket geometry by construction.
+  if (width_ > 0) {
+    live_spread_ -= live_spread_ * (1.0 / 1024.0);
+    if (max_ahead > live_spread_) live_spread_ = max_ahead;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    place(Event{evs[i].t, next_seq_++, kNoSlot,
+                store_action(std::move(evs[i].action))});
+  }
+}
+
 EventHandle Simulator::schedule_cancellable_at(Time t, Action action) {
   if (t < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
@@ -273,7 +311,7 @@ bool Simulator::step(Time until) {
         free_actions_.push_back(ev.act);
         ++cancelled_;
 #if ARCH21_OBS_ENABLED
-        if (trace_) trace_->instant(tr_discard_, ev.t, 0);
+        if (trace_) trace_->instant(tr_discard_, ev.t, trace_tid_);
 #endif
         continue;
       }
@@ -281,7 +319,7 @@ bool Simulator::step(Time until) {
     now_ = ev.t;
     ++executed_;
 #if ARCH21_OBS_ENABLED
-    if (trace_) trace_->instant(tr_fire_, ev.t, 0);
+    if (trace_) trace_->instant(tr_fire_, ev.t, trace_tid_);
 #endif
     // Feed the ladder-width estimator (nonzero gaps only: simultaneous
     // events share a bucket regardless of width).

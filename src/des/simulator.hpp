@@ -78,6 +78,23 @@ class Simulator {
   /// Schedule `action` at absolute time `t` (must be >= now()).
   void schedule_at(Time t, Action action);
 
+  /// One (time, action) entry of a schedule_n() batch.
+  struct TimedAction {
+    Time t;
+    Action action;
+  };
+
+  /// Batch scheduling: equivalent to calling schedule_at(evs[i].t,
+  /// move(evs[i].action)) for i in [0, n) -- sequence numbers are
+  /// assigned in span order, so same-time events fire in span order and
+  /// the call is a drop-in replacement for the loop -- but the
+  /// validation, action-slab growth, and ladder-window estimator updates
+  /// are amortized over the whole span (one pass, one reservation, one
+  /// spread update).  The PDES window-commit path feeds each window's
+  /// sorted cross-LP message batch through this.  Actions are moved from;
+  /// the caller may reuse the span's storage afterwards.
+  void schedule_n(TimedAction* evs, std::size_t n);
+
   /// Schedule a *cancellable* event (the timeout/hedge-timer primitive of
   /// the resilience layer).  Costs one slot in the generation-stamped
   /// cancellation table; both this and the plain path are allocation-free
@@ -110,6 +127,17 @@ class Simulator {
   /// True if no events are pending.
   bool idle() const noexcept { return size_ == 0; }
 
+  /// Timestamp of the earliest pending event, or kForever when idle.
+  /// A cancelled-but-undiscarded event still reports its timestamp (it
+  /// occupies the queue until reached), so the value is a lower bound on
+  /// the next *execution* -- exactly what the conservative PDES window
+  /// computation needs.  May advance the bucket cursor / re-anchor the
+  /// ladder internally; geometry changes never affect event order.
+  Time next_time() {
+    const Event* head = peek();
+    return head ? head->t : kForever;
+  }
+
   /// Number of pending events (cancelled-but-not-yet-discarded events
   /// still count until their timestamp passes).
   std::size_t pending() const noexcept { return size_; }
@@ -137,11 +165,14 @@ class Simulator {
 #if ARCH21_OBS_ENABLED
   /// Attach an observability trace: every executed event emits a
   /// "des.fire" instant and every lazily-discarded cancelled event a
-  /// "des.discard" instant on track 0 of `t` (timestamps in simulation
-  /// time; nullptr detaches).  The hook is read-only -- it can never
-  /// change event order or simulation results -- and costs one pointer
-  /// test per event while detached.  Compiled out under -DARCH21_OBS=OFF.
-  void set_trace(obs::TraceBuffer* t);
+  /// "des.discard" instant on track `tid` of `t` (timestamps in
+  /// simulation time; nullptr detaches).  `tid` defaults to the
+  /// historical track 0; the PDES engine gives each logical process's
+  /// kernel its own track so per-LP event streams stay separable in the
+  /// Chrome trace.  The hook is read-only -- it can never change event
+  /// order or simulation results -- and costs one pointer test per event
+  /// while detached.  Compiled out under -DARCH21_OBS=OFF.
+  void set_trace(obs::TraceBuffer* t, std::uint32_t tid = 0);
 #endif
 
  private:
@@ -186,7 +217,11 @@ class Simulator {
   static constexpr double kSpreadSlack = 2.0;
   static constexpr std::uint64_t kNoBucket = ~std::uint64_t{0};
 
+  /// Update the scheduling-horizon estimator, then place().
   void insert(Event ev);
+  /// Drop `ev` into its ladder bucket or the overflow tier (no estimator
+  /// update -- schedule_n() amortizes that over a whole span).
+  void place(Event ev);
   /// Park `a` in the action slab (recycling a freed index when one is
   /// available) and return its index.
   std::uint32_t store_action(Action a);
@@ -231,6 +266,7 @@ class Simulator {
 
 #if ARCH21_OBS_ENABLED
   obs::TraceBuffer* trace_ = nullptr;
+  std::uint32_t trace_tid_ = 0;   // track carrying this kernel's instants
   std::uint32_t tr_fire_ = 0;     // interned "des.fire"
   std::uint32_t tr_discard_ = 0;  // interned "des.discard"
 #endif

@@ -56,6 +56,43 @@ WorkloadResult replay_schedule_heavy(std::uint64_t seed, std::uint32_t n) {
   return out;
 }
 
+/// The schedule-heavy program again, but fed through the batch
+/// schedule_n() API in spans of `batch` events.  Times, ids, and span
+/// order match replay_schedule_heavy(seed, n) exactly, so the order log
+/// must be identical to the one-at-a-time replay on the same kernel (and
+/// to the reference heap's) -- the differential check for schedule_n's
+/// amortized bookkeeping.  This is also the PDES window-commit shape: a
+/// sorted span of cross-LP messages committed in one call.
+template <typename Sim>
+WorkloadResult replay_schedule_heavy_batched(std::uint64_t seed,
+                                             std::uint32_t n,
+                                             std::uint32_t batch = 64) {
+  using TimedAction = typename Sim::TimedAction;
+  Sim sim;
+  sim.reserve(n);
+  WorkloadResult out;
+  out.order.reserve(n);
+  Rng rng(seed);
+  if (batch == 0) batch = 1;
+  std::vector<TimedAction> span;
+  span.reserve(batch);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double t = rng.uniform(0.0, 1000.0);
+    if (i % 16 == 0) t = 1000.0 + rng.uniform(0.0, 1e6);
+    span.push_back(TimedAction{t, [&out, i] { out.order.push_back(i); }});
+    if (span.size() == batch) {
+      sim.schedule_n(span.data(), span.size());
+      span.clear();
+    }
+  }
+  sim.schedule_n(span.data(), span.size());
+  sim.run();
+  out.final_now = sim.now();
+  out.executed = sim.executed();
+  out.cancelled = sim.cancelled();
+  return out;
+}
+
 /// Cancel-heavy: the timeout-per-call pattern of the resilience layer.
 /// Each of `calls` arrivals issues a completion plus a cancellable
 /// timeout; the completion cancels the timeout (most timeouts die

@@ -65,6 +65,12 @@ class LogHistogram {
   /// Per-bucket growth factor g.
   double growth() const noexcept { return growth_; }
 
+  /// Exact (bit-level for the FP accumulators) equality: same layout AND
+  /// same recorded samples in the same order-sensitive sum.  This is the
+  /// determinism instrument -- the PDES differential tests assert whole
+  /// ClusterResults identical across worker counts, histograms included.
+  bool operator==(const LogHistogram&) const = default;
+
   /// Render "p50=… p90=… p99=… p99.9=…" for bench output.
   std::string percentile_line() const;
 
