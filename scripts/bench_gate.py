@@ -37,10 +37,13 @@ def load(path):
 def rates(doc):
     """Flatten a BENCH_*.json into {metric_name: events_per_sec}.
 
-    Understands the two gated shapes: bench_des_queue's "workloads"
+    Understands the three gated shapes: bench_des_queue's "workloads"
     rows (ladder_events_per_sec -- the production kernel; the reference
-    heap column is context, not a gate) and bench_pdes's "rows"
-    (mev_per_sec keyed by workload name + worker count).
+    heap column is context, not a gate), bench_pdes's "rows"
+    (mev_per_sec keyed by workload name + worker count), and
+    bench_multiregion's "scenarios" ladder (goodput_qps per policy rung
+    -- a rung whose goodput collapses is a simulation regression even
+    when wall-clock time is fine).
     """
     out = {}
     for row in doc.get("workloads", []):
@@ -51,6 +54,9 @@ def rates(doc):
     for row in doc.get("rows", []):
         label = "serial" if row.get("workers", 0) == 0 else f"w{row['workers']}"
         out[f"{row['name']}.{label}.mev_per_sec"] = float(row["mev_per_sec"])
+    for row in doc.get("scenarios", []):
+        if "goodput_qps" in row:
+            out[f"{row['name']}.goodput_qps"] = float(row["goodput_qps"])
     return out
 
 

@@ -18,13 +18,18 @@ echo "== tier-1: PDES differential (parallel engine vs serial loopback) =="
 cmake --build build -j "$(nproc)" --target bench_pdes
 (cd build && ./bench/bench_pdes --smoke)
 
+echo "== tier-1: multi-region drill smoke (WAN + failover ladder) =="
+cmake --build build -j "$(nproc)" --target bench_multiregion
+(cd build && ./bench/bench_multiregion --smoke)
+
 echo "== tier-1: ThreadSanitizer pass =="
 cmake -B build-tsan -S . -DARCH21_SAN=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target \
   test_thread_pool test_cloud_tail test_parallel_determinism test_resilience \
-  test_overload test_pdes bench_des_queue bench_pdes
+  test_overload test_multiregion test_pdes bench_des_queue bench_pdes \
+  bench_multiregion
 for t in test_thread_pool test_cloud_tail test_parallel_determinism \
-         test_resilience test_overload test_pdes; do
+         test_resilience test_overload test_multiregion test_pdes; do
   echo "-- tsan: $t"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
 done
@@ -32,6 +37,8 @@ echo "-- tsan: bench_des_queue --smoke"
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_des_queue --smoke)
 echo "-- tsan: bench_pdes --smoke"
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_pdes --smoke)
+echo "-- tsan: bench_multiregion --smoke"
+(cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_multiregion --smoke)
 
 echo "== tier-1: AddressSanitizer smoke (overload-protection paths) =="
 # The overload layer moves InlineCallbacks through a bounded ring, kills

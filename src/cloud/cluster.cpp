@@ -138,7 +138,15 @@ void ClusterResult::merge(const ClusterResult& other) {
   breaker_open_ms += other.breaker_open_ms;
   // Goodput windows are raw counts over the same wall-clock grid in every
   // trial, so merging is an element-wise sum (trials may differ in length
-  // by a window when completions straggle past the horizon).
+  // by a window when completions straggle past the horizon).  The grids
+  // must actually match: summing counts recorded on different window
+  // sizes would silently corrupt the hysteresis measurement.
+  if (goodput_window_s > 0 && other.goodput_window_s > 0 &&
+      goodput_window_s != other.goodput_window_s) {
+    throw std::invalid_argument(
+        "ClusterResult::merge: goodput_window_s mismatch");
+  }
+  if (goodput_window_s == 0) goodput_window_s = other.goodput_window_s;
   if (answered_per_window.size() < other.answered_per_window.size()) {
     answered_per_window.resize(other.answered_per_window.size(), 0);
   }
@@ -763,6 +771,7 @@ ClusterResult ClusterSim::run() {
 
   horizon_ms_ = cfg_.duration_s * 1000.0;
   window_ms_ = cfg_.goodput_window_s * 1000.0;
+  res_.goodput_window_s = cfg_.goodput_window_s;
   if (window_ms_ > 0) {
     // Completions can straggle a little past the horizon; headroom keeps
     // note_answered()'s resize from reallocating in steady state.

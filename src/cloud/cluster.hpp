@@ -179,6 +179,13 @@ struct ClusterResult {
   /// indexed by floor(close_time / window).  Empty unless
   /// ClusterConfig::goodput_window_s > 0.  merge() sums element-wise.
   std::vector<std::uint64_t> answered_per_window;
+  /// The window size answered_per_window was recorded on, copied from
+  /// ClusterConfig::goodput_window_s by the simulators (0 = no series).
+  /// merge() throws std::invalid_argument when two results carry
+  /// different non-zero window sizes: summing counts recorded on
+  /// different grids would silently corrupt every downstream hysteresis
+  /// measurement.  A windowless result adopts the other's grid.
+  double goodput_window_s = 0;
 
   /// leaf_requests / (queries * leaves): 1.0 = no extra load; a retry
   /// storm shows up here first.

@@ -670,6 +670,7 @@ ClusterResult PdesClusterSim<Engine>::run() {
   Rng rng(cfg_.seed);
   horizon_ms_ = cfg_.duration_s * 1000.0;
   window_ms_ = cfg_.goodput_window_s * 1000.0;
+  res_.goodput_window_s = cfg_.goodput_window_s;
 
   // --- LP wiring: handlers, leaf resources, pre-sizing ---
   root_.set_handler(

@@ -1,0 +1,98 @@
+#pragma once
+// Open-loop traffic generation for the multi-region scenario (E31).
+//
+// Everything the cluster simulator drives is *closed-loop at the edge*:
+// arrivals are thinned by what the system already absorbed (a client
+// stuck in a queue is a client not issuing its next query).  Real
+// planetary-scale load is open-loop -- millions of independent users do
+// not coordinate with the datacenter's backlog -- and that difference is
+// what makes overload real: when a region slows down, the offered load
+// does NOT, which is the precondition for every metastable-failure
+// cascade this repo studies (E29, E31).
+//
+// The generator produces a *pure function of its config and seed*: a
+// time-sorted vector of query arrivals, independent of anything the
+// consumer does with them.  Three structural ingredients, each from the
+// paper's datacenter agenda:
+//   * a diurnal load curve (sinusoidal rate modulation -- blackouts at
+//     peak are the drill that matters),
+//   * heavy-tailed session sizes (a truncated Pareto number of queries
+//     per session: most users issue a few, some issue hundreds), and
+//   * >= 2 request classes with distinct latency SLOs (interactive vs
+//     bulk -- the QoS dimension of "tail at scale").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace arch21::cloud {
+
+/// One request class: a share of sessions with its own latency objective
+/// and service-weight multiplier (bulk work is heavier per query).
+struct TrafficClass {
+  std::string name = "interactive";
+  double slo_ms = 100;        ///< end-to-end latency objective
+  double weight = 1.0;        ///< relative share of sessions
+  double service_scale = 1.0; ///< multiplier on the serving region's work
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// The canonical two-class mix: 75% interactive (tight SLO), 25% bulk
+/// (loose SLO, 2.5x the per-query work).
+std::vector<TrafficClass> default_traffic_classes();
+
+/// Open-loop workload configuration.  Instantaneous session rate:
+///   rate(t) = session_rate_hz * (1 + diurnal_amplitude *
+///             cos(2*pi*(t - diurnal_peak_s) / diurnal_period_s))
+/// so the curve peaks at t = diurnal_peak_s.
+struct TrafficConfig {
+  double session_rate_hz = 40;     ///< mean session arrival rate
+  double diurnal_amplitude = 0.5;  ///< rate swing, in [0, 1)
+  double diurnal_period_s = 80;
+  double diurnal_peak_s = 40;      ///< time of the first peak
+  /// Session length (queries per session) is a truncated Pareto with
+  /// this mean and tail shape: heavy-tailed "whale" sessions are most
+  /// of the offered load.
+  double session_mean_queries = 8;
+  double session_alpha = 1.8;          ///< Pareto shape, > 1
+  std::uint32_t session_max_queries = 500;  ///< truncation cap
+  /// Mean spacing between a session's queries (exponential, open-loop:
+  /// spacing never waits for completions).
+  double think_time_ms = 120;
+  std::vector<TrafficClass> classes = default_traffic_classes();
+
+  /// Instantaneous session arrival rate at time `t_s`.
+  double session_rate_at(double t_s) const noexcept;
+  /// Mean offered *query* rate (sessions x mean session length).
+  double mean_query_rate_hz() const noexcept {
+    return session_rate_hz * session_mean_queries;
+  }
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// One generated query arrival.
+struct TrafficRequest {
+  double t_ms = 0;           ///< arrival time
+  std::uint32_t cls = 0;     ///< index into TrafficConfig::classes
+  std::uint32_t origin = 0;  ///< user zone in [0, origins)
+};
+
+/// Generate the arrival stream over [0, duration_s): sessions arrive by
+/// a thinned nonhomogeneous Poisson process following the diurnal curve,
+/// each draws an origin zone, a class (by weight), and a truncated-
+/// Pareto query count spaced by exponential think times.  The result is
+/// sorted by arrival time and is a pure function of (cfg, duration_s,
+/// origins, seed) -- bit-identical across runs, hosts, and thread
+/// counts, per the repo-wide determinism contract.
+std::vector<TrafficRequest> generate_traffic(const TrafficConfig& cfg,
+                                             double duration_s,
+                                             unsigned origins,
+                                             std::uint64_t seed);
+
+}  // namespace arch21::cloud

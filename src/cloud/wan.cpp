@@ -1,0 +1,109 @@
+#include "cloud/wan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace arch21::cloud {
+
+namespace {
+
+constexpr double kMsPerHour = 3.6e6;
+
+[[noreturn]] void bad(const char* strct, const char* field) {
+  throw std::invalid_argument(std::string(strct) + "::" + field);
+}
+
+}  // namespace
+
+unsigned WanConfig::link_index(unsigned a, unsigned b) const noexcept {
+  if (a > b) std::swap(a, b);
+  // Row-packed upper triangle: pairs (a, *) start after the
+  // a * regions - a*(a+1)/2 pairs of earlier rows.
+  return a * regions - a * (a + 1) / 2 + (b - a - 1);
+}
+
+double WanConfig::base_latency(unsigned a, unsigned b) const noexcept {
+  if (a == b) return intra_ms;
+  if (!latency_ms.empty()) return latency_ms[a * regions + b];
+  const unsigned d = a > b ? a - b : b - a;
+  const unsigned ring = std::min(d, regions - d);
+  return base_latency_ms * static_cast<double>(ring);
+}
+
+void WanConfig::validate() const {
+  if (regions < 2) bad("WanConfig", "regions must be >= 2");
+  if (!latency_ms.empty()) {
+    if (latency_ms.size() !=
+        static_cast<std::size_t>(regions) * static_cast<std::size_t>(regions)) {
+      bad("WanConfig", "latency_ms must be regions x regions (or empty)");
+    }
+    for (unsigned a = 0; a < regions; ++a) {
+      for (unsigned b = 0; b < regions; ++b) {
+        const double l = latency_ms[a * regions + b];
+        if (a != b && (!(l > 0) || !std::isfinite(l))) {
+          bad("WanConfig", "latency_ms entries must be finite and > 0");
+        }
+      }
+    }
+  } else if (!(base_latency_ms > 0)) {
+    bad("WanConfig", "base_latency_ms must be > 0");
+  }
+  if (!(intra_ms >= 0)) bad("WanConfig", "intra_ms must be >= 0");
+  if (!(jitter_frac >= 0) || !(jitter_frac < 1)) {
+    bad("WanConfig", "jitter_frac must be in [0, 1)");
+  }
+  if (link_faults) {
+    if (!(link.mtbf_hours > 0)) {
+      bad("WanConfig", "link.mtbf_hours must be > 0");
+    }
+    if (!(link.mttr_hours >= 0)) {
+      bad("WanConfig", "link.mttr_hours must be >= 0");
+    }
+  }
+}
+
+Wan::Wan(const WanConfig& cfg, double horizon_ms, std::uint64_t seed)
+    : cfg_(cfg) {
+  cfg_.validate();
+  if (!(horizon_ms > 0)) {
+    throw std::invalid_argument("Wan: horizon_ms must be > 0");
+  }
+  link_up_.assign(cfg_.links(), 1);
+  if (cfg_.link_faults) {
+    // Links are the "leaves" of a domain-free failure trace: link l draws
+    // its lifetime from the Rng(seed, l) sub-stream inside
+    // generate_failure_trace, so the trace is a pure function of
+    // (cfg, horizon, seed).
+    reliab::FailureTraceConfig fcfg;
+    fcfg.leaves = cfg_.links();
+    fcfg.leaves_per_domain = 0;
+    fcfg.leaf = cfg_.link;
+    fcfg.horizon_hours = horizon_ms / kMsPerHour;
+    fcfg.seed = seed;
+    trace_ = reliab::generate_failure_trace(fcfg);
+  }
+}
+
+void Wan::install(des::Simulator& sim) {
+  for (const reliab::FailureEvent& ev : trace_.events) {
+    sim.schedule_at(ev.t_hours * kMsPerHour, [this, ev] {
+      link_up_[ev.entity] = ev.up ? 1 : 0;
+    });
+  }
+}
+
+bool Wan::link_up(unsigned a, unsigned b) const noexcept {
+  if (a == b) return true;
+  return link_up_[cfg_.link_index(a, b)] != 0;
+}
+
+double Wan::sample_latency_ms(unsigned a, unsigned b,
+                              Rng& rng) const noexcept {
+  const double base = cfg_.base_latency(a, b);
+  if (cfg_.jitter_frac <= 0 || base <= 0) return base;
+  return base * (1.0 + cfg_.jitter_frac * rng.uniform(-1.0, 1.0));
+}
+
+}  // namespace arch21::cloud

@@ -1,0 +1,96 @@
+#pragma once
+// Seeded WAN model connecting geo-distributed regions (E31).
+//
+// Regions exchange requests/replies over point-to-point links with a
+// base one-way latency, multiplicative jitter, and -- the part that
+// matters for failover -- seeded up/down traces reusing the
+// reliab::FailureTrace machinery (the same MTBF/MTTR algebra + per-entity
+// Rng streams the cluster's leaves fail along, applied to links).  A
+// message routed over a down link is lost in transit; only the sender's
+// timeout tells it.
+//
+// The latency matrix is either supplied explicitly (one-way ms,
+// regions x regions) or derived from a ring topology: adjacent regions
+// sit base_latency_ms apart and latency grows with ring distance, the
+// classic continental layout (us-east <-> us-west <-> asia ...).
+//
+// Determinism: link l draws its whole up/down lifetime from the
+// Rng(seed, l) sub-stream (via generate_failure_trace), and jitter draws
+// come from whatever Rng stream the *caller* owns -- the Wan itself holds
+// no hidden RNG state, so a simulation embedding it stays a pure function
+// of its seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "reliab/availability.hpp"
+#include "reliab/failure_trace.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::cloud {
+
+/// WAN topology + link-failure configuration.
+struct WanConfig {
+  unsigned regions = 3;
+  /// Explicit one-way latency matrix, row-major regions x regions, in ms
+  /// (diagonal ignored -- see intra_ms).  Empty = derive from the ring
+  /// topology below.
+  std::vector<double> latency_ms;
+  /// Ring topology: one-way latency = base_latency_ms * ring distance.
+  double base_latency_ms = 40;
+  /// In-region (origin -> local region) one-way latency.
+  double intra_ms = 1.0;
+  /// Multiplicative jitter: each traversal samples
+  /// latency * (1 + jitter_frac * U(-1, 1)).
+  double jitter_frac = 0.1;
+  /// Link up/down traces (off by default).  Components use the reliab
+  /// MTBF/MTTR convention (hours); at simulation timescales the
+  /// interesting regimes are fractions of an hour, like ClusterFaultConfig.
+  bool link_faults = false;
+  reliab::Component link{.mtbf_hours = 100.0 / 3600.0,
+                         .mttr_hours = 2.0 / 3600.0};
+
+  /// Undirected links between distinct regions.
+  unsigned links() const noexcept { return regions * (regions - 1) / 2; }
+  /// Canonical index of the undirected link {a, b}, a != b.
+  unsigned link_index(unsigned a, unsigned b) const noexcept;
+  /// Base one-way latency a -> b (intra_ms when a == b).
+  double base_latency(unsigned a, unsigned b) const noexcept;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// A WAN instance over one simulation horizon: the pre-generated link
+/// trace plus live link state replayed onto a des::Simulator.
+class Wan {
+ public:
+  /// Build the link trace for `horizon_ms` (validates cfg).  `seed`
+  /// feeds the per-link Rng streams; pass a dedicated sub-stream so link
+  /// faults never perturb workload draws.
+  Wan(const WanConfig& cfg, double horizon_ms, std::uint64_t seed);
+
+  /// Schedule every link up/down transition onto `sim` (time unit: ms).
+  /// Call once, before sim.run().
+  void install(des::Simulator& sim);
+
+  /// Is the link a <-> b up right now?  Intra-region (a == b) paths never
+  /// fail here (in-region failures are the region's own business).
+  bool link_up(unsigned a, unsigned b) const noexcept;
+
+  /// One sampled one-way traversal a -> b, jittered via the caller's rng.
+  double sample_latency_ms(unsigned a, unsigned b, Rng& rng) const noexcept;
+
+  /// Link failure events in the trace (for telemetry).
+  std::uint64_t link_failures() const noexcept { return trace_.leaf_failures; }
+  const reliab::FailureTrace& trace() const noexcept { return trace_; }
+  const WanConfig& config() const noexcept { return cfg_; }
+
+ private:
+  WanConfig cfg_;
+  reliab::FailureTrace trace_;
+  std::vector<char> link_up_;
+};
+
+}  // namespace arch21::cloud

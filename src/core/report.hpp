@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "cloud/region.hpp"
 #include "cloud/resilience.hpp"
 #include "core/dse.hpp"
 #include "obs/metrics.hpp"
@@ -29,6 +30,15 @@ std::string render_resilience_report(
 /// drop counters, and breaker activity.
 std::string render_overload_report(
     const std::vector<cloud::ScenarioResult>& scenarios,
+    double settle_s = 2.0);
+
+/// Render a multi-region failover ladder (see cloud::failover_scenarios)
+/// as a self-contained markdown document: per-rung global and
+/// surviving-region goodput around the regional blackout, shed/lost/
+/// timeout counters, eviction/re-admission activity, and per-class SLO
+/// attainment.
+std::string render_multiregion_report(
+    const std::vector<cloud::MultiRegionScenario>& scenarios,
     double settle_s = 2.0);
 
 /// Render a metrics snapshot (obs::MetricsRegistry::snapshot()) as a

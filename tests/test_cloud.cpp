@@ -9,6 +9,7 @@
 
 #include "cloud/cluster.hpp"
 #include "cloud/power.hpp"
+#include "cloud/qos.hpp"
 #include "cloud/queueing.hpp"
 
 namespace arch21::cloud {
@@ -174,6 +175,71 @@ TEST(Facility, PowerAndEfficiency) {
   EXPECT_DOUBLE_EQ(f.throughput(1.0), 1000 * 1e11);
   // Low utilization murders facility efficiency (idle floor + PUE).
   EXPECT_GT(f.ops_per_joule(0.9), 3.0 * f.ops_per_joule(0.1));
+}
+
+TEST(Qos, SweepIncludesBothUtilizationEndpoints) {
+  // steps = i/(steps-1): the sweep must pin its first row at BE = 0
+  // (idle colocation -- the unloaded LC baseline) and its last at
+  // BE = 1 (a fully busy batch neighbor), not stop one step short.
+  const QosConfig cfg;
+  const auto shared = colocation_sweep(cfg, /*partitioned=*/false, 11);
+  ASSERT_EQ(shared.size(), 11u);
+  EXPECT_DOUBLE_EQ(shared.front().be_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(shared.back().be_utilization, 1.0);
+
+  // BE = 0: no interference in either mode, so both sweeps start from
+  // the same unloaded M/M/1 p99, zero BE goodput, and LC-only machine
+  // utilization.
+  const auto part = colocation_sweep(cfg, /*partitioned=*/true, 11);
+  EXPECT_DOUBLE_EQ(shared.front().lc_p99_ms, part.front().lc_p99_ms);
+  EXPECT_DOUBLE_EQ(shared.front().be_goodput, 0.0);
+  EXPECT_DOUBLE_EQ(shared.front().machine_utilization,
+                   cfg.lc_rate_hz * cfg.lc_service_ms * 1e-3);
+  EXPECT_TRUE(shared.front().slo_met);
+
+  // BE = 1 shared: interference inflates service past the M/M/1
+  // stability bound, so the tail is infinite and the SLO is lost --
+  // while the partitioned row at BE = 1 stays finite.
+  EXPECT_TRUE(std::isinf(shared.back().lc_p99_ms));
+  EXPECT_FALSE(shared.back().slo_met);
+  EXPECT_DOUBLE_EQ(shared.back().machine_utilization, 1.0);
+  EXPECT_TRUE(std::isfinite(part.back().lc_p99_ms));
+  // Partitioned BE pays the partition penalty in goodput.
+  EXPECT_DOUBLE_EQ(part.back().be_goodput, 1.0 - cfg.be_partition_penalty);
+}
+
+TEST(Qos, SloExactlyAtP99CountsAsMet) {
+  // slo_met is `p99 <= slo`: an objective met with zero margin is still
+  // met.  Pin the SLO to the exact computed p99 (a pure function of the
+  // config, so bitwise-reproducible) and check the boundary both ways.
+  QosConfig cfg;
+  const auto base = colocation_sweep(cfg, false, 2);
+  ASSERT_TRUE(std::isfinite(base.front().lc_p99_ms));
+  cfg.slo_p99_ms = base.front().lc_p99_ms;
+  const auto exact = colocation_sweep(cfg, false, 2);
+  EXPECT_DOUBLE_EQ(exact.front().lc_p99_ms, cfg.slo_p99_ms);
+  EXPECT_TRUE(exact.front().slo_met);
+  // One ulp-scale tightening of the SLO flips the verdict.
+  cfg.slo_p99_ms = std::nextafter(cfg.slo_p99_ms, 0.0);
+  const auto tight = colocation_sweep(cfg, false, 2);
+  EXPECT_FALSE(tight.front().slo_met);
+}
+
+TEST(Qos, MaxSafeBeUtilizationBoundaries) {
+  const QosConfig cfg;
+  // Shared mode with the default coefficients tops out early (the
+  // closed form gives be <= ~0.065 -> 0.06 on the 0.01 grid)...
+  const double shared = max_safe_be_utilization(cfg, false);
+  EXPECT_NEAR(shared, 0.06, 1e-9);
+  // ...while partitioning admits the entire BE range (p99 at BE = 1 is
+  // ~9.8 ms against the 10 ms SLO), hitting the sweep's upper endpoint.
+  const double part = max_safe_be_utilization(cfg, true);
+  EXPECT_NEAR(part, 1.0, 1e-9);
+
+  // An SLO below even the unloaded p99 admits no BE at all.
+  QosConfig strict = cfg;
+  strict.slo_p99_ms = 1.0;
+  EXPECT_DOUBLE_EQ(max_safe_be_utilization(strict, true), 0.0);
 }
 
 TEST(Facility, SizingForExaop) {

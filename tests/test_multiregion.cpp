@@ -1,0 +1,701 @@
+// Tests for the multi-region failover layer (E31): the open-loop traffic
+// generator, the seeded WAN model with link up/down traces, the region /
+// failover / multi-region configs and their validation, the serial
+// multi-region DES, the failover-policy ladder, and the pool-size-
+// independent trial aggregator replaying WAN traces bit-identically.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cloud/region.hpp"
+#include "cloud/traffic.hpp"
+#include "cloud/wan.hpp"
+#include "des/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace arch21::cloud {
+namespace {
+
+// A small-but-live scenario: 3 regions x 4 servers, enough traffic to
+// exercise every path in well under a second per trial.
+MultiRegionConfig small_config() {
+  MultiRegionConfig cfg;
+  cfg.regions.assign(3, RegionConfig{});
+  for (unsigned r = 0; r < 3; ++r) {
+    cfg.regions[r].name = "r" + std::to_string(r);
+    cfg.regions[r].servers = 4;
+    cfg.regions[r].service_median_ms = 2.0;
+    cfg.regions[r].service_sigma = 0.3;
+    cfg.regions[r].p_straggler = 0.005;
+  }
+  cfg.wan.regions = 3;
+  cfg.wan.base_latency_ms = 20;
+  cfg.traffic.session_rate_hz = 60;  // ~480 q/s vs ~3.4k q/s capacity
+  cfg.traffic.diurnal_period_s = 8;
+  cfg.traffic.diurnal_peak_s = 4;
+  cfg.duration_s = 8;
+  cfg.goodput_window_s = 0.5;
+  cfg.seed = 99;
+  return cfg;
+}
+
+// --------------------------------------------------------------- traffic
+
+TEST(Traffic, DeterministicSortedAndInRange) {
+  const TrafficConfig cfg;
+  const auto a = generate_traffic(cfg, 20, 4, 42);
+  const auto b = generate_traffic(cfg, 20, 4, 42);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t_ms, b[i].t_ms);
+    EXPECT_EQ(a[i].cls, b[i].cls);
+    EXPECT_EQ(a[i].origin, b[i].origin);
+    EXPECT_GE(a[i].t_ms, 0.0);
+    EXPECT_LT(a[i].t_ms, 20'000.0);
+    EXPECT_LT(a[i].cls, cfg.classes.size());
+    EXPECT_LT(a[i].origin, 4u);
+    if (i > 0) EXPECT_GE(a[i].t_ms, a[i - 1].t_ms);
+  }
+  // A different seed is a different stream.
+  const auto c = generate_traffic(cfg, 20, 4, 43);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].t_ms != c[i].t_ms;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Traffic, DiurnalCurvePeaksWhereConfigured) {
+  TrafficConfig cfg;
+  cfg.session_rate_hz = 50;
+  cfg.diurnal_amplitude = 0.5;
+  cfg.diurnal_period_s = 100;
+  cfg.diurnal_peak_s = 30;
+  EXPECT_DOUBLE_EQ(cfg.session_rate_at(30), 75.0);   // peak = rate*(1+A)
+  EXPECT_DOUBLE_EQ(cfg.session_rate_at(80), 25.0);   // trough = rate*(1-A)
+  EXPECT_DOUBLE_EQ(cfg.session_rate_at(130), 75.0);  // periodic
+  // And the generated stream actually follows it: more arrivals in the
+  // peak half-period than the trough half-period.
+  const auto reqs = generate_traffic(cfg, 100, 1, 7);
+  std::size_t peak_half = 0, trough_half = 0;
+  for (const auto& r : reqs) {
+    const double t_s = r.t_ms * 1e-3;
+    (t_s >= 5 && t_s < 55 ? peak_half : trough_half)++;
+  }
+  EXPECT_GT(peak_half, trough_half * 3 / 2);
+}
+
+TEST(Traffic, SessionLengthsAreHeavyTailedButTruncated) {
+  TrafficConfig cfg;
+  cfg.session_max_queries = 20;
+  cfg.think_time_ms = 1;  // keep whole sessions inside the horizon
+  const auto reqs = generate_traffic(cfg, 200, 1, 5);
+  // Reconstruct session lengths from arrival bursts is fragile; instead
+  // check the structural consequences: mean load is near the configured
+  // mean query rate, and no single millisecond-spaced run exceeds the cap
+  // by orders of magnitude (the truncation bound keeps the tail finite).
+  const double qps = static_cast<double>(reqs.size()) / 200.0;
+  EXPECT_NEAR(qps, cfg.mean_query_rate_hz(), cfg.mean_query_rate_hz() * 0.15);
+}
+
+TEST(Traffic, ClassMixFollowsWeights) {
+  const TrafficConfig cfg;  // 75% interactive / 25% bulk
+  const auto reqs = generate_traffic(cfg, 60, 2, 11);
+  ASSERT_GT(reqs.size(), 1000u);
+  std::size_t interactive = 0;
+  for (const auto& r : reqs) interactive += r.cls == 0;
+  const double frac =
+      static_cast<double>(interactive) / static_cast<double>(reqs.size());
+  // Classes are drawn per *session*, so queries cluster by class and the
+  // variance is session-level -- keep the tolerance loose.
+  EXPECT_NEAR(frac, 0.75, 0.10);
+}
+
+TEST(Traffic, ValidationNamesField) {
+  TrafficConfig cfg;
+  cfg.session_rate_hz = 0;
+  try {
+    cfg.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("session_rate_hz"),
+              std::string::npos);
+  }
+  cfg = {};
+  cfg.diurnal_amplitude = 1.0;  // amplitude 1 zeroes the trough rate
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.session_alpha = 1.0;  // Pareto mean undefined at alpha <= 1
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.classes.clear();
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.classes.resize(1);  // the scenario requires >= 2 SLO classes
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.classes[0].slo_ms = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.classes[1].weight = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- wan
+
+TEST(Wan, LinkIndexIsABijection) {
+  WanConfig cfg;
+  cfg.regions = 5;
+  std::vector<char> seen(cfg.links(), 0);
+  for (unsigned a = 0; a < cfg.regions; ++a) {
+    for (unsigned b = a + 1; b < cfg.regions; ++b) {
+      const unsigned idx = cfg.link_index(a, b);
+      ASSERT_LT(idx, cfg.links());
+      EXPECT_FALSE(seen[idx]) << "link index collision at " << a << "," << b;
+      seen[idx] = 1;
+      // Undirected: {a,b} and {b,a} are the same link.
+      EXPECT_EQ(cfg.link_index(b, a), idx);
+    }
+  }
+}
+
+TEST(Wan, RingLatencyUsesShorterArc) {
+  WanConfig cfg;
+  cfg.regions = 5;
+  cfg.base_latency_ms = 10;
+  cfg.intra_ms = 0.5;
+  EXPECT_DOUBLE_EQ(cfg.base_latency(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(cfg.base_latency(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(cfg.base_latency(0, 2), 20.0);
+  EXPECT_DOUBLE_EQ(cfg.base_latency(0, 3), 20.0);  // 5 - 3 = 2 hops
+  EXPECT_DOUBLE_EQ(cfg.base_latency(0, 4), 10.0);  // wraparound neighbor
+  EXPECT_DOUBLE_EQ(cfg.base_latency(4, 0), 10.0);
+}
+
+TEST(Wan, ExplicitMatrixOverridesRing) {
+  WanConfig cfg;
+  cfg.regions = 2;
+  cfg.latency_ms = {0, 70, 70, 0};
+  cfg.base_latency_ms = 10;  // must be ignored
+  EXPECT_DOUBLE_EQ(cfg.base_latency(0, 1), 70.0);
+  EXPECT_DOUBLE_EQ(cfg.base_latency(1, 0), 70.0);
+  EXPECT_DOUBLE_EQ(cfg.base_latency(1, 1), cfg.intra_ms);
+}
+
+TEST(Wan, JitterBoundsAndDeterminism) {
+  WanConfig cfg;
+  cfg.regions = 3;
+  cfg.base_latency_ms = 40;
+  cfg.jitter_frac = 0.2;
+  const Wan wan(cfg, 1000, 5);
+  Rng r1(9), r2(9);
+  for (int i = 0; i < 200; ++i) {
+    const double a = wan.sample_latency_ms(0, 1, r1);
+    EXPECT_GE(a, 40.0 * 0.8);
+    EXPECT_LE(a, 40.0 * 1.2);
+    EXPECT_DOUBLE_EQ(a, wan.sample_latency_ms(0, 1, r2));
+  }
+}
+
+TEST(Wan, LinkTraceIsDeterministicAndReplays) {
+  WanConfig cfg;
+  cfg.regions = 4;
+  cfg.link_faults = true;
+  cfg.link = {.mtbf_hours = 5.0 / 3600.0, .mttr_hours = 1.0 / 3600.0};
+  const double horizon_ms = 60'000;
+  Wan a(cfg, horizon_ms, 21);
+  Wan b(cfg, horizon_ms, 21);
+  EXPECT_GT(a.link_failures(), 0u);
+  EXPECT_EQ(a.link_failures(), b.link_failures());
+  ASSERT_EQ(a.trace().events.size(), b.trace().events.size());
+  for (std::size_t i = 0; i < a.trace().events.size(); ++i) {
+    EXPECT_EQ(a.trace().events[i].t_hours, b.trace().events[i].t_hours);
+    EXPECT_EQ(a.trace().events[i].entity, b.trace().events[i].entity);
+    EXPECT_EQ(a.trace().events[i].up, b.trace().events[i].up);
+  }
+  // Replaying the trace flips live link state; sampling the up-fraction
+  // at the end of the horizon on two replays agrees exactly.
+  des::Simulator sa, sb;
+  a.install(sa);
+  b.install(sb);
+  sa.run();
+  sb.run();
+  bool any_down_seen = false;
+  for (unsigned x = 0; x < cfg.regions; ++x) {
+    for (unsigned y = 0; y < cfg.regions; ++y) {
+      EXPECT_EQ(a.link_up(x, y), b.link_up(x, y));
+      any_down_seen = any_down_seen || !a.link_up(x, y);
+      if (x == y) EXPECT_TRUE(a.link_up(x, y));  // intra never fails
+    }
+  }
+  (void)any_down_seen;  // state at the final instant may be all-up
+}
+
+TEST(Wan, ValidationNamesField) {
+  WanConfig cfg;
+  cfg.regions = 1;
+  try {
+    cfg.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("regions"), std::string::npos);
+  }
+  cfg = {};
+  cfg.latency_ms = {1, 2, 3};  // not regions x regions
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.base_latency_ms = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.intra_ms = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.jitter_frac = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.link_faults = true;
+  cfg.link.mtbf_hours = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- configs
+
+TEST(RegionConfig, ServicePhysics) {
+  RegionConfig r;
+  r.service_median_ms = 2;
+  r.service_sigma = 0.3;
+  r.p_straggler = 0.01;
+  r.straggler_scale_ms = 30;
+  r.straggler_alpha = 1.5;
+  r.servers = 4;
+  // Lognormal-body mean + Pareto straggler mean, no QoS inflation yet.
+  const double body = 0.99 * 2.0 * std::exp(0.3 * 0.3 / 2);
+  const double straggler = 0.01 * 30.0 * 1.5 / 0.5;
+  EXPECT_DOUBLE_EQ(r.qos_inflation(), 1.0);
+  EXPECT_NEAR(r.mean_service_ms(), body + straggler, 1e-12);
+  EXPECT_NEAR(r.capacity_qps(), 4000.0 / (body + straggler), 1e-9);
+
+  // Colocated BE load inflates service and shrinks capacity; hardware
+  // partitioning caps the damage.
+  RegionConfig shared = r;
+  shared.be_utilization = 0.5;
+  shared.qos_partitioned = false;
+  RegionConfig part = shared;
+  part.qos_partitioned = true;
+  EXPECT_GT(shared.qos_inflation(), part.qos_inflation());
+  EXPECT_GT(part.qos_inflation(), 1.0);
+  EXPECT_LT(shared.capacity_qps(), part.capacity_qps());
+
+  // Erlang-C sojourn: finite below capacity, rising with load, infinite
+  // past it.
+  const double cap = r.capacity_qps();
+  const double low = r.predicted_sojourn_ms(cap * 0.3);
+  const double high = r.predicted_sojourn_ms(cap * 0.9);
+  EXPECT_TRUE(std::isfinite(low));
+  EXPECT_GT(high, low);
+  EXPECT_GE(low, r.mean_service_ms());  // sojourn includes service
+  EXPECT_TRUE(std::isinf(r.predicted_sojourn_ms(cap * 1.1)));
+}
+
+TEST(RegionConfig, ValidationNamesField) {
+  RegionConfig r;
+  r.servers = 0;
+  try {
+    r.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("servers"), std::string::npos);
+  }
+  r = {};
+  r.service_median_ms = 0;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = {};
+  r.straggler_alpha = 1.0;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = {};
+  r.be_utilization = 1.5;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(FailoverPolicy, ValidationNamesField) {
+  FailoverPolicy p;
+  p.health_interval_s = 0;
+  try {
+    p.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("health_interval_s"),
+              std::string::npos);
+  }
+  p = {};
+  p.unhealthy_after = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.healthy_after = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.admission_cap_frac = 0.5;
+  p.admission_burst = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.timeout_ms = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.budget_enabled = true;
+  p.budget_ratio = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(MultiRegionConfig, ValidationNamesField) {
+  MultiRegionConfig cfg = small_config();
+  cfg.validate();  // the baseline must be valid
+
+  MultiRegionConfig c = small_config();
+  c.regions.resize(1);
+  try {
+    c.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("regions"), std::string::npos);
+  }
+  c = small_config();
+  c.wan.regions = 5;  // mismatch with regions.size()
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_config();
+  c.duration_s = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_config();
+  c.goodput_window_s = -1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_config();
+  c.blackout_region = 7;  // out of range (kNoBlackout would be fine)
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_config();
+  c.blackout_region = 0;
+  c.blackout_start_s = -1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(RoutePolicy, NamesAreDistinct) {
+  EXPECT_STRNE(to_string(RoutePolicy::kLatencyWeighted),
+               to_string(RoutePolicy::kCapacityAware));
+  EXPECT_STRNE(to_string(RoutePolicy::kCapacityAware),
+               to_string(RoutePolicy::kStickySpillover));
+}
+
+// ------------------------------------------------------------ simulation
+
+TEST(MultiRegion, ConservesRequestsAndWindows) {
+  const MultiRegionConfig cfg = small_config();
+  const auto r = simulate_multiregion(cfg);
+  EXPECT_GT(r.requests, 1000u);
+  // Every offered request resolves exactly one way.
+  EXPECT_EQ(r.requests, r.answered + r.failed + r.shed);
+  EXPECT_GE(r.attempts, r.answered);
+  // Caps are off, so the fail-open balancer never sheds and every
+  // request costs exactly 1 + retries sends.
+  EXPECT_EQ(r.shed, 0u);
+  EXPECT_EQ(r.attempts, r.requests + r.retries);
+  // Healthy, underloaded, no faults: nearly everything is answered.
+  EXPECT_GT(r.goodput_qps, 0.9 * static_cast<double>(r.requests) /
+                               cfg.duration_s);
+  // The windowed series account for every answered request, globally and
+  // by serving region.
+  std::uint64_t win_sum = 0;
+  for (auto w : r.answered_per_window) win_sum += w;
+  EXPECT_EQ(win_sum, r.answered);
+  ASSERT_EQ(r.region_answered_per_window.size(), cfg.regions.size());
+  std::uint64_t region_sum = 0;
+  ASSERT_EQ(r.regions.size(), cfg.regions.size());
+  for (std::size_t i = 0; i < r.regions.size(); ++i) {
+    for (auto w : r.region_answered_per_window[i]) region_sum += w;
+    EXPECT_LE(r.regions[i].utilization, 1.0);
+  }
+  EXPECT_EQ(region_sum, r.answered);
+  EXPECT_DOUBLE_EQ(r.goodput_window_s, cfg.goodput_window_s);
+  // Both classes saw traffic and mostly met their SLOs at low load.
+  ASSERT_EQ(r.classes.size(), 2u);
+  for (const auto& c : r.classes) {
+    EXPECT_GT(c.answered, 0u);
+    EXPECT_GE(c.answered, c.slo_met);
+    EXPECT_GT(static_cast<double>(c.slo_met),
+              0.8 * static_cast<double>(c.answered));
+  }
+  // And the run is deterministic.
+  const auto r2 = simulate_multiregion(cfg);
+  EXPECT_EQ(r.answered, r2.answered);
+  EXPECT_EQ(r.attempts, r2.attempts);
+  EXPECT_TRUE(r.request_ms == r2.request_ms);
+}
+
+TEST(MultiRegion, LatencyRoutingKeepsTrafficLocal) {
+  MultiRegionConfig cfg = small_config();
+  cfg.route = RoutePolicy::kLatencyWeighted;
+  const auto r = simulate_multiregion(cfg);
+  // With symmetric healthy regions and latency routing, each region
+  // serves (almost) exactly its own origin zone's queries -- routed
+  // counts are all nonzero and no region starves.
+  for (const auto& rs : r.regions) {
+    EXPECT_GT(rs.routed, 100u);
+    EXPECT_GT(rs.completed, 100u);
+  }
+}
+
+TEST(MultiRegion, BlackoutEvictsLosesAndReadmits) {
+  MultiRegionConfig cfg = small_config();
+  cfg.blackout_region = 1;
+  cfg.blackout_start_s = 2;
+  cfg.blackout_duration_s = 3;
+  cfg.failover.healthy_after = 2;
+  const auto r = simulate_multiregion(cfg);
+  const RegionStats& br = r.regions[1];
+  // Requests in flight toward the dark region vanish and must be
+  // recovered by client timeouts.
+  EXPECT_GT(r.lost_requests, 0u);
+  EXPECT_GT(br.lost, 0u);
+  EXPECT_GT(r.timeouts, 0u);
+  EXPECT_GT(r.retries, 0u);
+  // Health checks notice: the region is evicted during the blackout and
+  // re-admitted (through the hysteresis) after it clears.
+  EXPECT_GE(br.probes, static_cast<std::uint64_t>(
+                           cfg.duration_s / cfg.failover.health_interval_s) -
+                           2);
+  EXPECT_GT(br.probe_failures, 0u);
+  EXPECT_GE(br.evictions, 1u);
+  EXPECT_GE(br.readmissions, 1u);
+  // The survivors pick up the slack: both keep serving during the hole.
+  EXPECT_GT(r.regions[0].completed, 0u);
+  EXPECT_GT(r.regions[2].completed, 0u);
+  // Conservation still holds under failure.
+  EXPECT_EQ(r.requests, r.answered + r.failed + r.shed);
+}
+
+TEST(MultiRegion, AdmissionCapsShedExcessFast) {
+  MultiRegionConfig cfg = small_config();
+  // Overload: quadruple the offered load past total capacity and cap
+  // each region below its share.
+  cfg.traffic.session_rate_hz = 800;
+  cfg.duration_s = 4;
+  cfg.failover.admission_cap_frac = 0.5;
+  cfg.failover.max_retries = 1;
+  const auto r = simulate_multiregion(cfg);
+  EXPECT_GT(r.shed, 0u);
+  std::uint64_t capped = 0;
+  for (const auto& rs : r.regions) capped += rs.capped;
+  EXPECT_GT(capped, r.shed);  // spilled-then-shed counts several caps
+  EXPECT_EQ(r.requests, r.answered + r.failed + r.shed);
+  // Shedding at the balancer is cheap: what IS answered stays fast
+  // compared to an uncapped meltdown.
+  MultiRegionConfig naked = cfg;
+  naked.failover.admission_cap_frac = 0;
+  const auto rn = simulate_multiregion(naked);
+  EXPECT_EQ(rn.shed, 0u);  // fail-open: nothing is refused at the edge
+  EXPECT_GT(r.request_ms.quantile(0.5) * 4, 0.0);
+  EXPECT_LT(r.request_ms.quantile(0.99), rn.request_ms.quantile(0.99) + 1);
+}
+
+TEST(MultiRegion, RetryBudgetAndBreakersEngageUnderBlackout) {
+  MultiRegionConfig cfg = small_config();
+  cfg.blackout_region = 0;
+  cfg.blackout_start_s = 2;
+  cfg.blackout_duration_s = 4;
+  cfg.failover.budget_enabled = true;
+  cfg.failover.budget_ratio = 0.02;
+  cfg.failover.budget_burst = 5;
+  cfg.failover.breaker.enabled = true;
+  cfg.failover.breaker.window = 32;
+  cfg.failover.breaker.failure_threshold = 0.5;
+  cfg.failover.breaker.min_samples = 8;
+  cfg.failover.breaker.open_ms = 200;
+  const auto r = simulate_multiregion(cfg);
+  // A blackout generates a burst of timeouts; a tight budget denies some
+  // retries, and the dark region's breaker opens.
+  EXPECT_GT(r.timeouts, 0u);
+  EXPECT_GT(r.budget_denials, 0u);
+  EXPECT_GT(r.breaker_open_transitions, 0u);
+  EXPECT_EQ(r.requests, r.answered + r.failed + r.shed);
+}
+
+TEST(MultiRegion, StickySpilloverPinsHomeZone) {
+  MultiRegionConfig cfg = small_config();
+  cfg.route = RoutePolicy::kStickySpillover;
+  // Make region 2 cheaper for zone 0 than its own intra path (0.5 ms vs
+  // intra_ms = 1) so a latency router would pull zone 0 away; sticky
+  // must keep it at home anyway.
+  cfg.wan.latency_ms = {1, 80, 0.5,  //
+                        80, 1, 80,   //
+                        0.5, 80, 1};
+  const auto r = simulate_multiregion(cfg);
+  // Under sticky routing with all-healthy symmetric load, every region
+  // serves ~1/3 of the queries (its own zone).
+  const double total = static_cast<double>(r.answered);
+  for (const auto& rs : r.regions) {
+    EXPECT_NEAR(static_cast<double>(rs.completed) / total, 1.0 / 3.0, 0.06);
+  }
+}
+
+// ------------------------------------------------- aggregation + ladder
+
+TEST(MultiRegionResult, MergeChecksShapesAndWindows) {
+  MultiRegionConfig cfg = small_config();
+  cfg.duration_s = 2;
+  const auto a = simulate_multiregion(cfg);
+  // Window-size mismatch throws.
+  MultiRegionConfig half = cfg;
+  half.goodput_window_s = 0.25;
+  const auto b = simulate_multiregion(half);
+  MultiRegionResult m = a;
+  EXPECT_THROW(m.merge(b), std::invalid_argument);
+  // Region-shape mismatch throws.
+  MultiRegionConfig bigger = cfg;
+  bigger.regions.push_back(cfg.regions[0]);
+  bigger.wan.regions = 4;
+  const auto c = simulate_multiregion(bigger);
+  m = a;
+  EXPECT_THROW(m.merge(c), std::invalid_argument);
+  // A default-constructed result has no region/class shape to merge into.
+  MultiRegionResult empty;
+  EXPECT_THROW(empty.merge(a), std::invalid_argument);
+  // A windowless result (same shapes, goodput_window_s == 0) adopts the
+  // other side's grid instead of throwing.
+  MultiRegionConfig nowin = cfg;
+  nowin.goodput_window_s = 0;
+  MultiRegionResult adopted = simulate_multiregion(nowin);
+  EXPECT_DOUBLE_EQ(adopted.goodput_window_s, 0.0);
+  adopted.merge(a);
+  EXPECT_DOUBLE_EQ(adopted.goodput_window_s, a.goodput_window_s);
+  EXPECT_EQ(adopted.answered_per_window, a.answered_per_window);
+  // Self-merge doubles the counters and trial count.
+  m = a;
+  m.merge(a);
+  EXPECT_EQ(m.answered, 2 * a.answered);
+  EXPECT_EQ(m.trials, 2u);
+  EXPECT_DOUBLE_EQ(m.goodput_qps, a.goodput_qps);  // trial-weighted mean
+  ASSERT_EQ(m.answered_per_window.size(), a.answered_per_window.size());
+  for (std::size_t i = 0; i < m.answered_per_window.size(); ++i) {
+    EXPECT_EQ(m.answered_per_window[i], 2 * a.answered_per_window[i]);
+  }
+}
+
+TEST(MultiRegion, TrialsBitIdenticalAcrossPoolSizes) {
+  // The satellite determinism contract: replaying the same seeded WAN
+  // up/down traces and workload across pools of 1, 2, and 4 workers
+  // yields the same bits.
+  MultiRegionConfig cfg = small_config();
+  cfg.duration_s = 4;
+  cfg.wan.link_faults = true;
+  cfg.wan.link = {.mtbf_hours = 4.0 / 3600.0, .mttr_hours = 0.5 / 3600.0};
+  cfg.blackout_region = 2;
+  cfg.blackout_start_s = 1.5;
+  cfg.blackout_duration_s = 1.0;
+
+  ThreadPool p1(1), p2(2), p4(4);
+  const auto r1 = run_multiregion_trials(cfg, 5, &p1);
+  const auto r2 = run_multiregion_trials(cfg, 5, &p2);
+  const auto r4 = run_multiregion_trials(cfg, 5, &p4);
+
+  EXPECT_GT(r1.link_failures, 0u);
+  EXPECT_EQ(r1.trials, 5u);
+  auto expect_same = [](const MultiRegionResult& a,
+                        const MultiRegionResult& b) {
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.answered, b.answered);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.lost_requests, b.lost_requests);
+    EXPECT_EQ(a.link_failures, b.link_failures);
+    EXPECT_DOUBLE_EQ(a.goodput_qps, b.goodput_qps);
+    EXPECT_DOUBLE_EQ(a.attempt_amplification, b.attempt_amplification);
+    EXPECT_TRUE(a.request_ms == b.request_ms);
+    EXPECT_TRUE(a.service_ms == b.service_ms);
+    EXPECT_EQ(a.answered_per_window, b.answered_per_window);
+    EXPECT_EQ(a.region_answered_per_window, b.region_answered_per_window);
+    ASSERT_EQ(a.regions.size(), b.regions.size());
+    for (std::size_t i = 0; i < a.regions.size(); ++i) {
+      EXPECT_EQ(a.regions[i].routed, b.regions[i].routed);
+      EXPECT_EQ(a.regions[i].completed, b.regions[i].completed);
+      EXPECT_EQ(a.regions[i].lost, b.regions[i].lost);
+      EXPECT_EQ(a.regions[i].evictions, b.regions[i].evictions);
+      EXPECT_DOUBLE_EQ(a.regions[i].utilization, b.regions[i].utilization);
+    }
+    ASSERT_EQ(a.classes.size(), b.classes.size());
+    for (std::size_t i = 0; i < a.classes.size(); ++i) {
+      EXPECT_EQ(a.classes[i].answered, b.classes[i].answered);
+      EXPECT_EQ(a.classes[i].slo_met, b.classes[i].slo_met);
+    }
+  };
+  expect_same(r1, r2);
+  expect_same(r1, r4);
+}
+
+TEST(MultiRegion, LadderRungsAreOrderedByProtection) {
+  MultiRegionConfig base = small_config();
+  base.blackout_region = 1;
+  base.blackout_start_s = 3;
+  base.blackout_duration_s = 2;
+  base.failover.admission_cap_frac = 0.85;
+  const auto ladder = failover_scenarios(base, 1);
+  ASSERT_EQ(ladder.size(), 3u);
+  // Rung 1 strips every protection; rung 3 keeps them all.
+  EXPECT_DOUBLE_EQ(ladder[0].config.failover.admission_cap_frac, 0.0);
+  EXPECT_FALSE(ladder[0].config.failover.budget_enabled);
+  EXPECT_GT(ladder[1].config.failover.admission_cap_frac, 0.0);
+  EXPECT_EQ(ladder[2].config.failover.admission_cap_frac, 0.85);
+  EXPECT_GT(ladder[2].config.failover.healthy_after, 0u);
+  for (const auto& s : ladder) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_EQ(s.result.requests,
+              s.result.answered + s.result.failed + s.result.shed);
+  }
+  // The unprotected rung generates at least as much WAN traffic per
+  // request as the protected ones (retry amplification is what the
+  // ladder exists to kill).
+  EXPECT_GE(ladder[0].result.attempt_amplification,
+            ladder[2].result.attempt_amplification - 1e-9);
+}
+
+TEST(MultiRegion, HysteresisMeasuresAroundBlackout) {
+  MultiRegionConfig cfg = small_config();
+  cfg.duration_s = 10;
+  // Flatten the diurnal curve so pre- and post-blackout windows see the
+  // same offered load and the recovery ratio is about the system, not
+  // the phase of the day the windows happen to land on.
+  cfg.traffic.diurnal_amplitude = 0.1;
+  cfg.blackout_region = 1;
+  cfg.blackout_start_s = 4;
+  cfg.blackout_duration_s = 2;
+  const auto r = run_multiregion_trials(cfg, 2);
+  const auto glob = multiregion_hysteresis(r, cfg, /*surviving_only=*/false,
+                                           /*settle_s=*/1.0);
+  // Lightly loaded and symmetric: goodput recovers essentially fully,
+  // and both sides of the window are live.
+  EXPECT_GT(glob.pre_qps, 0.0);
+  EXPECT_GT(glob.post_qps, 0.0);
+  EXPECT_GT(glob.recovery_ratio(), 0.7);
+  // The surviving-region view excludes the blacked-out region on both
+  // sides, so pre-blackout it sees ~2/3 of the global rate.
+  const auto surv = multiregion_hysteresis(r, cfg, /*surviving_only=*/true,
+                                           /*settle_s=*/1.0);
+  EXPECT_GT(surv.pre_qps, 0.0);
+  EXPECT_LT(surv.pre_qps, glob.pre_qps);
+  EXPECT_NEAR(surv.pre_qps / glob.pre_qps, 2.0 / 3.0, 0.08);
+  // No blackout (or no windows) -> zeros, by contract.
+  MultiRegionConfig quiet = cfg;
+  quiet.blackout_region = MultiRegionConfig::kNoBlackout;
+  const auto none = multiregion_hysteresis(r, quiet, false, 1.0);
+  EXPECT_DOUBLE_EQ(none.pre_qps, 0.0);
+  EXPECT_DOUBLE_EQ(none.recovery_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace arch21::cloud

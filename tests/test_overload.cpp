@@ -334,6 +334,37 @@ TEST(ClusterResultMerge, SumsOverloadTelemetry) {
   EXPECT_EQ(a.answered_per_window, (std::vector<std::uint64_t>{14, 6, 5}));
 }
 
+TEST(ClusterResultMerge, RejectsMismatchedGoodputWindows) {
+  // Summing per-window counts recorded on different grids would corrupt
+  // the hysteresis measurement, so merge() must refuse.
+  ClusterResult a;
+  a.goodput_window_s = 1.0;
+  a.answered_per_window = {1, 2};
+  ClusterResult b;
+  b.goodput_window_s = 0.5;
+  b.answered_per_window = {1, 2, 3, 4};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+
+  // A windowless result adopts the other side's grid instead.
+  ClusterResult c;  // goodput_window_s == 0: no series recorded
+  c.merge(a);
+  EXPECT_DOUBLE_EQ(c.goodput_window_s, 1.0);
+  ClusterResult d;
+  d.goodput_window_s = 1.0;
+  d.answered_per_window = {5};
+  c.merge(d);  // matching grids still merge fine
+  EXPECT_EQ(c.answered_per_window, (std::vector<std::uint64_t>{6, 2}));
+
+  // The simulator stamps the config's window size into the result.
+  ClusterConfig cfg;
+  cfg.leaves = 2;
+  cfg.query_rate_hz = 50;
+  cfg.duration_s = 1;
+  cfg.goodput_window_s = 0.25;
+  const auto r = cloud::simulate_cluster(cfg);
+  EXPECT_DOUBLE_EQ(r.goodput_window_s, 0.25);
+}
+
 TEST(GoodputHysteresis, WindowedPrePostMeans) {
   ClusterConfig cfg;
   cfg.goodput_window_s = 1.0;
