@@ -12,7 +12,9 @@
 // (default BENCH_des_metrics.json) next to BENCH_des.json.
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,6 +27,9 @@
 #include "des/simulator.hpp"
 #include "des/workload.hpp"
 #include "obs/metrics.hpp"
+#include "util/histogram.hpp"
+#include "util/inline_function.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -77,13 +82,20 @@ Row measure(const std::string& name, int reps, LadderFn ladder_run,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  int best_of = 0;  // 0 = built-in default
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--metrics-out") == 0)
       metrics_out = (i + 1 < argc) ? argv[++i] : "BENCH_des_metrics.json";
+    if (std::strcmp(argv[i], "--best-of") == 0 && i + 1 < argc)
+      best_of = std::atoi(argv[++i]);
   }
-  const int reps = smoke ? 1 : 3;
+  // --best-of N repeats every timed section N times and keeps the best;
+  // more repeats squeeze out 1-core CI jitter so the 5% regression gate
+  // stops flaking.  The count lands in the meta stamp: a best-of-10
+  // number is a different instrument than a single shot.
+  const int reps = best_of > 0 ? best_of : (smoke ? 1 : 3);
   const std::uint32_t sched_n = smoke ? 20'000 : 400'000;
   const std::uint32_t cancel_calls = smoke ? 4'000 : 150'000;
   const std::uint32_t queries = smoke ? 400 : 20'000;
@@ -131,6 +143,49 @@ int main(int argc, char** argv) {
                                                                  fanout);
       }));
 
+  // hist_merge micro-bench: fold a populated shard histogram into an
+  // accumulator through the vectorized bucket merge (what snapshot()
+  // does per shard), vs replaying the shard's samples one add() at a
+  // time.  Sample values come from an exactly-representable power-of-two
+  // grid, so the two paths must agree bit-for-bit across every FP
+  // accumulator (operator== is bit-exact) -- the same contract the
+  // property test in tests/test_histogram.cpp pins.
+  {
+    const std::size_t samples = smoke ? 2'000 : 10'000;
+    const int merges = smoke ? 20 : 400;
+    LogHistogram shard(1e-2, 1e5, 90);
+    std::vector<double> vals(samples);
+    Rng rng(kSeed, 77);
+    for (double& v : vals) {
+      v = std::ldexp(1.0, static_cast<int>(rng.below(20)) - 5);
+    }
+    for (double v : vals) shard.add(v);
+    Row r;
+    r.name = "hist_merge";
+    r.events = samples * static_cast<std::uint64_t>(merges);
+    LogHistogram via_merge(1e-2, 1e5, 90);
+    via_merge.merge(shard);
+    LogHistogram via_add(1e-2, 1e5, 90);
+    for (double v : vals) via_add.add(v);
+    r.identical = via_merge == via_add;
+    volatile std::uint64_t sink = 0;
+    r.ladder_eps =
+        static_cast<double>(r.events) / best_seconds(reps, [&] {
+          LogHistogram acc(1e-2, 1e5, 90);
+          for (int m = 0; m < merges; ++m) acc.merge(shard);
+          sink = sink + acc.count();
+        });
+    r.ref_eps =
+        static_cast<double>(r.events) / best_seconds(reps, [&] {
+          LogHistogram acc(1e-2, 1e5, 90);
+          for (int m = 0; m < merges; ++m) {
+            for (double v : vals) acc.add(v);
+          }
+          sink = sink + acc.count();
+        });
+    rows.push_back(r);
+  }
+
   bool all_identical = true;
   for (const Row& r : rows) {
     all_identical = all_identical && r.identical;
@@ -145,7 +200,7 @@ int main(int argc, char** argv) {
             << "\n";
 
   std::ofstream out("BENCH_des.json");
-  out << "{\n  " << bench::meta_json()
+  out << "{\n  " << bench::meta_json(0, reps)
       << ",\n  \"smoke\": " << (smoke ? "true" : "false")
       << ",\n  \"identical_order\": " << (all_identical ? "true" : "false")
       << ",\n  \"workloads\": [\n";
@@ -172,6 +227,11 @@ int main(int argc, char** argv) {
                   r.ref_eps / 1e6);
       m.gauge_max(m.gauge("des_bench." + r.name + ".speedup"), r.speedup());
     }
+    // SBO audit instrument: after every workload above, this must still
+    // be zero -- the static_asserts pin the hot-path closure sizes at
+    // compile time, and this counter catches any runtime path they miss.
+    m.add(m.counter("des_bench.inline_function_heap_allocs"),
+          inline_function_heap_allocations());
     const auto snap = m.snapshot();
     std::ofstream mout(metrics_out);
     mout << snap.to_json() << "\n";

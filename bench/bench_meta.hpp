@@ -40,8 +40,11 @@ inline std::string git_sha() {
 
 /// The `"meta": {...}` JSON fragment (no trailing comma).  `workers` is
 /// the bench's own parallelism knob (pool size / PDES workers); pass 0
-/// for a serial bench.
-inline std::string meta_json(unsigned workers = 0) {
+/// for a serial bench.  `repeats` is the best-of repeat count the timed
+/// sections used (see --best-of); 0 = the bench's built-in default.  A
+/// best-of-10 number and a single-shot number are different instruments
+/// on a noisy host, so the repeat count is provenance.
+inline std::string meta_json(unsigned workers = 0, int repeats = 0) {
   std::ostringstream os;
   os << "\"meta\": {\"git_sha\": \"" << git_sha()
      << "\", \"nproc\": " << std::thread::hardware_concurrency()
@@ -52,7 +55,7 @@ inline std::string meta_json(unsigned workers = 0) {
 #else
      << "unknown"
 #endif
-     << "\", \"workers\": " << workers << "}";
+     << "\", \"workers\": " << workers << ", \"repeats\": " << repeats << "}";
   return os.str();
 }
 

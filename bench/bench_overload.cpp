@@ -25,6 +25,7 @@
 // (the small workload is too noisy to assert thresholds on), while the
 // determinism check still runs.
 
+#include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <cstring>
@@ -122,7 +123,11 @@ int main(int argc, char** argv) {
   // *metastable* failure rather than plain overload.
   knobs.timeout_ms = 25;
   knobs.sojourn_target_ms = 25;
+  const auto wall_t0 = std::chrono::steady_clock::now();
   const auto ladder = cloud::overload_scenarios(cfg, trials, knobs, &pool);
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_t0)
+                            .count();
   std::cout << core::render_overload_report(ladder, kSettleS) << "\n";
 
   // --- headline claims: hysteresis vs recovery -------------------------
@@ -172,6 +177,7 @@ int main(int argc, char** argv) {
       << ",\n  \"leaves\": " << cfg.leaves << ",\n  \"trials\": " << trials
       << ",\n  \"threads\": " << pool.size() << ",\n  \"smoke\": "
       << (smoke ? "true" : "false")
+      << ",\n  \"wall_s\": " << wall_s
       << ",\n  \"burst\": {\"leaves\": " << cfg.faults.burst_leaves
       << ", \"start_s\": " << cfg.faults.burst_start_s
       << ", \"duration_s\": " << cfg.faults.burst_duration_s << "}"

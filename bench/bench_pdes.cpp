@@ -18,6 +18,7 @@
 // `--smoke` shrinks the workloads and runs only the determinism checks
 // (for tier1.sh, including under TSan).  Emits BENCH_pdes.json.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -88,11 +89,20 @@ bool same_cluster_result(const cloud::ClusterResult& a,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  int best_of = 0;  // 0 = built-in default
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--best-of") == 0 && i + 1 < argc)
+      best_of = std::atoi(argv[++i]);
   }
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const int reps = smoke ? 1 : 3;
+  // --best-of N: keep the best of N timed repeats (jitter suppression
+  // for the regression gate); stamped into the meta provenance.  The
+  // non-smoke default is high because the workers=1 overhead gate is a
+  // *ratio* of two timings taken seconds apart -- host frequency drift
+  // between them reads as phantom overhead unless each side is a
+  // min-of-many.
+  const int reps = best_of > 0 ? best_of : (smoke ? 1 : 7);
 
   double overhead_tol = 0.10;
   if (const char* env = std::getenv("ARCH21_PDES_OVERHEAD_TOL")) {
@@ -117,19 +127,48 @@ int main(int argc, char** argv) {
             << " horizon=" << horizon << " host_cores=" << hw << "\n\n";
 
   std::vector<Row> rows;
+  std::vector<double> overhead_ratios;  // one w1/serial ratio per round
   des::PdesWorkloadResult mesh_ref;
   {
-    Row r;
-    r.name = "mesh";
-    r.workers = 0;
-    r.seconds = best_seconds(reps, [&] {
-      des::LoopbackEngine eng(spec);
-      mesh_ref = des::run_pdes_mesh(eng, kSeed, horizon, work);
-    });
-    r.events = mesh_ref.executed;
-    rows.push_back(r);
+    // Serial and workers=1 are the two sides of the overhead gate's
+    // ratio, so their timed repeats are *interleaved*: each round times
+    // one serial and one workers=1 pass back to back, and each side
+    // keeps its own min.  A load spike or frequency step then lands on
+    // both sides of the ratio instead of biasing whichever row happened
+    // to run during the slow moment.
+    ThreadPool pool1(1);
+    des::PdesWorkloadResult got1;
+    double best_serial = 1e300;
+    double best_w1 = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const double s = best_seconds(1, [&] {
+        des::LoopbackEngine eng(spec);
+        mesh_ref = des::run_pdes_mesh(eng, kSeed, horizon, work);
+      });
+      const double w = best_seconds(1, [&] {
+        des::ParallelEngine eng(spec, pool1);
+        got1 = des::run_pdes_mesh(eng, kSeed, horizon, work);
+      });
+      best_serial = std::min(best_serial, s);
+      best_w1 = std::min(best_w1, w);
+      overhead_ratios.push_back(w / s);
+    }
+    Row rs;
+    rs.name = "mesh";
+    rs.workers = 0;
+    rs.seconds = best_serial;
+    rs.events = mesh_ref.executed;
+    rows.push_back(rs);
+    Row r1;
+    r1.name = "mesh";
+    r1.workers = 1;
+    r1.seconds = best_w1;
+    r1.events = got1.executed;
+    r1.identical = got1 == mesh_ref;
+    rows.push_back(r1);
   }
   for (const unsigned workers : kWorkerCounts) {
+    if (workers == 1) continue;  // measured above, paired with serial
     ThreadPool pool(workers);
     Row r;
     r.name = "mesh";
@@ -196,15 +235,24 @@ int main(int argc, char** argv) {
               << (r.identical ? "identical" : "DIVERGED") << "\n";
   }
 
-  const double overhead =
-      mesh_serial_s > 0 ? mesh_w1_s / mesh_serial_s - 1.0 : 0;
+  // Gate on the *median* per-round ratio: every round timed serial and
+  // workers=1 back to back, so each ratio is free of cross-round drift,
+  // and the median discards the rounds a load spike hit.  (min/min over
+  // all rounds -- what the row Mev/s numbers use -- still compares
+  // timings that can be many seconds apart.)
+  double overhead = mesh_serial_s > 0 ? mesh_w1_s / mesh_serial_s - 1.0 : 0;
+  if (!overhead_ratios.empty()) {
+    std::sort(overhead_ratios.begin(), overhead_ratios.end());
+    overhead = overhead_ratios[overhead_ratios.size() / 2] - 1.0;
+  }
   const double speedup4 = mesh_w4_s > 0 ? mesh_serial_s / mesh_w4_s : 0;
   bool overhead_ok = true;
   bool speedup_ok = true;
   if (!smoke) {
     overhead_ok = overhead <= overhead_tol;
-    std::cout << "\nworkers=1 overhead vs serial: " << overhead * 100
-              << "% (tolerance " << overhead_tol * 100 << "%) -> "
+    std::cout << "\nworkers=1 overhead vs serial (median of " << reps
+              << " paired rounds): " << overhead * 100 << "% (tolerance "
+              << overhead_tol * 100 << "%) -> "
               << (overhead_ok ? "ok" : "BREACH") << "\n";
     if (hw >= 4) {
       speedup_ok = speedup4 >= 1.8;
@@ -221,7 +269,7 @@ int main(int argc, char** argv) {
             << "\n";
 
   std::ofstream out("BENCH_pdes.json");
-  out << "{\n  " << bench::meta_json(hw)
+  out << "{\n  " << bench::meta_json(hw, reps)
       << ",\n  \"smoke\": " << (smoke ? "true" : "false")
       << ",\n  \"identical\": " << (all_identical ? "true" : "false")
       << ",\n  \"workers1_overhead\": " << overhead

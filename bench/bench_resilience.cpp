@@ -15,6 +15,7 @@
 // it in Perfetto.  Both default off, so the headline numbers are always
 // measured with recording disabled.
 
+#include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <cstring>
@@ -102,7 +103,11 @@ int main(int argc, char** argv) {
   knobs.timeout_ms = 15;
   knobs.naive_max_retries = 16;
   knobs.budget_max_retries = 3;
+  const auto wall_t0 = std::chrono::steady_clock::now();
   const auto ladder = cloud::resilience_scenarios(cfg, trials, knobs, &pool);
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_t0)
+                            .count();
   std::cout << core::render_resilience_report(ladder) << "\n";
 
   // --- headline claims -------------------------------------------------
@@ -151,6 +156,7 @@ int main(int argc, char** argv) {
       << bench::meta_json(static_cast<unsigned>(pool.size()))
       << ",\n  \"leaves\": " << cfg.leaves << ",\n  \"trials\": " << trials
       << ",\n  \"threads\": " << pool.size()
+      << ",\n  \"wall_s\": " << wall_s
       << ",\n  \"frac_over_leaf_p99\": " << baseline->frac_over_leaf_p99
       << ",\n  \"frac_over_leaf_p99_analytic\": " << analytic
       << ",\n  \"identical_across_pools\": "

@@ -9,7 +9,9 @@ Compares every throughput metric the two files share (events/sec and
 Mev/s rate columns) and exits nonzero if any current rate falls more
 than `tol` below the baseline (default 0.05 = 5%; override with --tol
 or the BENCH_GATE_TOL env var -- CI uses a looser value because shared
-runners are noisy).
+runners are noisy).  Cost metrics (per-scenario p99 latency, bench wall
+clock) are gated the other way: they fail when the current value rises
+more than `tol` above the baseline.
 
 Provenance rules (from bench/bench_meta.hpp's "meta" stamp):
   * refuses to gate when build_type or san differ between baseline and
@@ -37,13 +39,17 @@ def load(path):
 def rates(doc):
     """Flatten a BENCH_*.json into {metric_name: events_per_sec}.
 
-    Understands the three gated shapes: bench_des_queue's "workloads"
-    rows (ladder_events_per_sec -- the production kernel; the reference
-    heap column is context, not a gate), bench_pdes's "rows"
-    (mev_per_sec keyed by workload name + worker count), and
-    bench_multiregion's "scenarios" ladder (goodput_qps per policy rung
-    -- a rung whose goodput collapses is a simulation regression even
-    when wall-clock time is fine).
+    Understands the gated shapes: bench_des_queue's "workloads" rows
+    (ladder_events_per_sec -- the production kernel; the reference heap
+    column is context, not a gate), bench_pdes's "rows" (mev_per_sec
+    keyed by workload name + worker count), and the cluster ladders'
+    "scenarios" rows (bench_multiregion / bench_resilience /
+    bench_overload): goodput_qps per policy rung, plus availability
+    (resilience) and pre-burst qps / post-burst recovery ratio
+    (overload).  The scenario simulations are seeded and bit-exact, so a
+    drop in any of these is a behavior change, not timing noise -- a
+    rung whose goodput or recovery collapses is a simulation regression
+    even when wall-clock time is fine.
     """
     out = {}
     for row in doc.get("workloads", []):
@@ -55,8 +61,26 @@ def rates(doc):
         label = "serial" if row.get("workers", 0) == 0 else f"w{row['workers']}"
         out[f"{row['name']}.{label}.mev_per_sec"] = float(row["mev_per_sec"])
     for row in doc.get("scenarios", []):
-        if "goodput_qps" in row:
-            out[f"{row['name']}.goodput_qps"] = float(row["goodput_qps"])
+        for key in ("goodput_qps", "availability", "pre_qps", "recovery"):
+            if key in row:
+                out[f"{row['name']}.{key}"] = float(row[key])
+    return out
+
+
+def costs(doc):
+    """Flatten lower-is-better metrics into {metric_name: value}.
+
+    Per-scenario p99 latency (deterministic: the seeded simulation
+    replays bit-exactly, so any rise is a behavior change) and the
+    bench's own wall clock (noisy: the one genuinely host-timed shape
+    here, kept under the same loose CI tolerance as the rates).
+    """
+    out = {}
+    if "wall_s" in doc:
+        out["wall_s"] = float(doc["wall_s"])
+    for row in doc.get("scenarios", []):
+        if "p99_ms" in row:
+            out[f"{row['name']}.p99_ms"] = float(row["p99_ms"])
     return out
 
 
@@ -101,7 +125,9 @@ def main():
 
     base_rates = rates(base)
     cur_rates = rates(cur)
-    if not base_rates:
+    base_costs = costs(base)
+    cur_costs = costs(cur)
+    if not base_rates and not base_costs:
         print(
             f"bench_gate: no gateable metrics in baseline {args.baseline}",
             file=sys.stderr,
@@ -126,8 +152,23 @@ def main():
         )
         if not ok:
             failures.append(f"{name}: {delta:+.1%} (limit -{args.tol:.0%})")
+    for name, base_v in sorted(base_costs.items()):
+        if name not in cur_costs:
+            failures.append(f"{name}: present in baseline, missing from current")
+            continue
+        cur_v = cur_costs[name]
+        delta = (cur_v - base_v) / base_v if base_v > 0 else 0.0
+        ok = delta <= args.tol
+        print(
+            f"  {'ok  ' if ok else 'FAIL'} {name}: "
+            f"{base_v:.3g} -> {cur_v:.3g} ({delta:+.1%}, lower is better)"
+        )
+        if not ok:
+            failures.append(f"{name}: {delta:+.1%} (limit +{args.tol:.0%})")
     for name in sorted(set(cur_rates) - set(base_rates)):
         print(f"  new  {name}: {cur_rates[name]:.3g} (no baseline, not gated)")
+    for name in sorted(set(cur_costs) - set(base_costs)):
+        print(f"  new  {name}: {cur_costs[name]:.3g} (no baseline, not gated)")
 
     if failures:
         print("bench_gate: FAILED", file=sys.stderr)

@@ -527,14 +527,20 @@ class ClusterSim {
 
     if (!is_hedge && pol_.hedge_after_ms > 0 && !call->hedged &&
         call->attempts == 1) {
-      call->hedge = sim_.schedule_cancellable(
-          pol_.hedge_after_ms,
-          [this, q, call, service] { on_hedge(q, call, service); });
+      auto hedge = [this, q, call, service] { on_hedge(q, call, service); };
+      static_assert(sizeof(hedge) <= des::Simulator::Action::capacity(),
+                    "hedge closure must fit the Action inline buffer");
+      call->hedge =
+          sim_.schedule_cancellable(pol_.hedge_after_ms, std::move(hedge));
     }
     if (!is_hedge && pol_.retry.timeout_ms > 0) {
-      call->timeout = sim_.schedule_cancellable(
-          pol_.retry.timeout_ms,
-          [this, q, call, service, t] { on_timeout(q, call, service, t); });
+      auto timeout = [this, q, call, service, t] {
+        on_timeout(q, call, service, t);
+      };
+      static_assert(sizeof(timeout) <= des::Simulator::Action::capacity(),
+                    "timeout closure must fit the Action inline buffer");
+      call->timeout =
+          sim_.schedule_cancellable(pol_.retry.timeout_ms, std::move(timeout));
     }
   }
 
@@ -636,9 +642,12 @@ class ClusterSim {
     const double backoff = pol_.retry.backoff_ms(call->attempts - 1, crng_);
     // Retry against a random replica, like the hedge path.
     const unsigned alt = static_cast<unsigned>(crng_.below(cfg_.leaves));
-    sim_.schedule(backoff, [this, q, call, service, alt] {
+    auto retry = [this, q, call, service, alt] {
       issue(q, call, service, alt, false);
-    });
+    };
+    static_assert(sizeof(retry) <= des::Simulator::Action::capacity(),
+                  "retry closure must fit the Action inline buffer");
+    sim_.schedule(backoff, std::move(retry));
   }
 
 #if ARCH21_OBS_ENABLED

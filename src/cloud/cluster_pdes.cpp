@@ -410,14 +410,22 @@ class PdesClusterSim {
 
     if (!is_hedge && pol_.hedge_after_ms > 0 && !call->hedged &&
         call->attempts == 1) {
-      call->hedge = rsim_.schedule_cancellable(
-          pol_.hedge_after_ms,
-          [this, q, call, service] { on_hedge(q, call, service); });
+      auto hedge = [this, q, call, service] { on_hedge(q, call, service); };
+      static_assert(sizeof(hedge) <= des::Simulator::Action::capacity(),
+                    "hedge closure must fit the Action inline buffer");
+      call->hedge =
+          rsim_.schedule_cancellable(pol_.hedge_after_ms, std::move(hedge));
     }
     if (!is_hedge && pol_.retry.timeout_ms > 0) {
-      call->timeout = rsim_.schedule_cancellable(
-          pol_.retry.timeout_ms,
-          [this, q, call, service, t] { on_timeout(q, call, service, t); });
+      // Armed per leaf call: with the completion closure this is the
+      // hottest allocation candidate in the whole scenario.
+      auto timeout = [this, q, call, service, t] {
+        on_timeout(q, call, service, t);
+      };
+      static_assert(sizeof(timeout) <= des::Simulator::Action::capacity(),
+                    "timeout closure must fit the Action inline buffer");
+      call->timeout =
+          rsim_.schedule_cancellable(pol_.retry.timeout_ms, std::move(timeout));
     }
   }
 
@@ -538,9 +546,12 @@ class PdesClusterSim {
 #endif
     const double backoff = pol_.retry.backoff_ms(call->attempts - 1, crng_);
     const unsigned alt = static_cast<unsigned>(crng_.below(cfg_.leaves));
-    rsim_.schedule(backoff, [this, q, call, service, alt] {
+    auto retry = [this, q, call, service, alt] {
       issue(q, call, service, alt, false);
-    });
+    };
+    static_assert(sizeof(retry) <= des::Simulator::Action::capacity(),
+                  "retry closure must fit the Action inline buffer");
+    rsim_.schedule(backoff, std::move(retry));
   }
 
 #if ARCH21_OBS_ENABLED
@@ -917,6 +928,16 @@ ClusterResult simulate_cluster_pdes(const ClusterConfig& cfg) {
   des::PartitionSpec spec;
   spec.lps = 1 + groups;
   spec.lookahead = cfg.net_latency_ms;
+  // Per-LP allocation hint: the engines pre-size each LP's kernel and
+  // commit buffers for the per-window message burst (a window spans the
+  // lookahead, so the burst is bounded by the query rate times the
+  // lookahead times the fanout, with slack for leaf answers and timer
+  // events) so warm-up never grows a vector mid-run.  The scenario ctor
+  // still applies its finer per-sim estimates on top.
+  spec.reserve_events =
+      static_cast<std::size_t>(cfg.query_rate_hz * cfg.net_latency_ms * 1e-3 *
+                               static_cast<double>(cfg.leaves) * 8.0) +
+      1024;
   if (cfg.workers == 0) {
     PdesClusterSim<des::LoopbackEngine> sim(cfg, groups, spec);
     return sim.run();

@@ -32,6 +32,13 @@ struct PartitionSpec {
   /// null-message insight of Chandy-Misra-Bryant).
   double lookahead = 0;
 
+  /// Expected simultaneously outstanding events *per LP* (0 = no
+  /// pre-sizing).  The engines pass this to each LP's
+  /// Simulator::reserve() and pre-size the mailbox commit buffers, so
+  /// warm-up never grows a vector on the hot path.  Purely an allocation
+  /// hint: it never affects ordering or results.
+  std::size_t reserve_events = 0;
+
   /// Throws std::invalid_argument on a spec the engine cannot run:
   /// lps == 0, or a lookahead that is not a positive finite number.
   void validate() const {

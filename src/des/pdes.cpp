@@ -17,6 +17,16 @@ ParallelEngine::ParallelEngine(const PartitionSpec& spec, ThreadPool& pool)
   lps_.reserve(spec_.lps);
   for (std::uint32_t i = 0; i < spec_.lps; ++i) {
     lps_.push_back(std::unique_ptr<Lp>(new Lp(this, i, spec_.lps)));
+    if (spec_.reserve_events > 0) {
+      // Pre-size the per-LP kernel and commit buffers so warm-up never
+      // reallocates on the hot path (an allocation hint only: geometry
+      // and ordering are unaffected).
+      Lp& lp = *lps_.back();
+      lp.sim_.reserve(spec_.reserve_events);
+      lp.pending_.reserve(spec_.reserve_events);
+      lp.batch_.reserve(spec_.reserve_events);
+      lp.span_.reserve(spec_.reserve_events);
+    }
   }
 }
 
@@ -104,6 +114,11 @@ void ParallelEngine::publish_metrics() const {
 
 LoopbackEngine::LoopbackEngine(const PartitionSpec& spec) : spec_(spec) {
   spec_.validate();
+  if (spec_.reserve_events > 0) {
+    // One shared kernel hosts every LP's events here, so the per-LP hint
+    // scales by the LP count.
+    sim_.reserve(spec_.reserve_events * spec_.lps);
+  }
   lps_.reserve(spec_.lps);
   for (std::uint32_t i = 0; i < spec_.lps; ++i) {
     auto lp = std::make_unique<Lp>();

@@ -127,9 +127,12 @@ void Resource::start(Job job) {
   s.on_done = std::move(job.on_done);
   ++busy_;
   busy_time_ += s.service;
-  sim_.schedule(s.service, [this, slot, epoch = s.epoch] {
-    on_complete(slot, epoch);
-  });
+  auto complete = [this, slot, epoch = s.epoch] { on_complete(slot, epoch); };
+  // A heap fallback here would put an allocation on every service
+  // completion -- the single hottest closure in the cluster scenarios.
+  static_assert(sizeof(complete) <= Simulator::Action::capacity(),
+                "completion closure must fit the Action inline buffer");
+  sim_.schedule(s.service, std::move(complete));
 }
 
 void Resource::on_complete(std::uint32_t slot, std::uint64_t epoch) {

@@ -8,16 +8,36 @@
 // by a seeded Rng reproduces exactly, which the test suite relies on.
 //
 // Event queue: a two-tier ladder/calendar queue.  Near-future events live
-// in a ring of `kBucketCount` time buckets (each a small binary heap
-// ordered by timestamp+seq); far-future events wait in an overflow heap
-// and migrate into the ladder when its window reaches them.  Scheduling
-// and firing are O(1) amortized instead of the O(log n) of one big binary
-// heap, and the small per-bucket heaps stay cache-resident.  Ordering is
-// decided purely by (timestamp, seq) -- bucket geometry (width, window
-// position, re-anchoring) affects performance only, never order, so the
+// in a ring of `kBucketCount` time buckets; far-future events wait in a
+// sorted-run overflow tier and migrate into the ladder when its window
+// reaches them.
+// Scheduling and firing are O(1) amortized instead of the O(log n) of one
+// big binary heap, and the small per-bucket heaps stay cache-resident.
+//
+// Memory layout (structure-of-arrays): each ladder bucket stores its
+// events as two parallel lanes -- a 16-byte key lane (timestamp, seq)
+// that every comparison touches, and an 8-byte payload lane (cancel slot,
+// action index) that is only read when an event actually fires.  Heap
+// sifts and min-scans therefore stream through densely packed keys (4 per
+// cache line) instead of 24-byte mixed records, and a 1-bit-per-bucket
+// occupancy bitmap lets the cursor skip runs of 64 empty buckets with one
+// count-trailing-zeros.  Ordering is decided purely by (timestamp, seq)
+// -- bucket geometry (width, window position, re-anchoring) and layout
+// (SoA lanes, batch drains) affect performance only, never order, so the
 // determinism contract is independent of the tuning heuristics
 // (tests/test_des_queue.cpp replays seeded workloads against a reference
 // binary heap and asserts identical execution order).
+//
+// Batched drain: run() pops every due event of the bucket under the
+// cursor into a contiguous scratch span in one heap-drain pass, then
+// fires the span as a tight loop -- per-event peek/cursor/overflow checks
+// are amortized over the whole bucket.  An action that schedules a new
+// event below the drain's splice bound (everything outside the span is
+// provably at or past it) has the event spliced into the sorted unfired
+// remainder of the span, so it fires within the same drain -- a
+// self-perpetuating stream chains through a whole bucket in one call --
+// and batch execution order stays element-for-element identical to
+// step()-at-a-time execution.
 //
 // Cancellation: schedule_cancellable() stamps the event with a slot index
 // into a generation-counted side table, so cancel() is one array indexing
@@ -63,8 +83,8 @@ class Simulator {
   /// event record) -- no heap allocation per event for closures up to
   /// Action::capacity() bytes (sized so des::Resource's completion
   /// closure and the cluster simulator's handle-captured timers fit;
-  /// verified by test_des).  Larger closures fall back to the heap.
-  /// Actions may be move-only.
+  /// verified by test_des and by static_asserts at the closure sites).
+  /// Larger closures fall back to the heap.  Actions may be move-only.
   using Action = InlineFunction<56>;
 
   /// Current simulation time.
@@ -117,7 +137,11 @@ class Simulator {
   std::uint64_t cancelled() const noexcept { return cancelled_; }
 
   /// Run until the event queue drains or `until` is reached (whichever is
-  /// first).  Returns the number of events executed.
+  /// first).  Returns the number of events executed.  Uses the batched
+  /// bucket drain internally; execution order is element-for-element
+  /// identical to calling step() in a loop (differentially tested).
+  /// Not reentrant: an action must not call run()/step() on its own
+  /// simulator (it may schedule and cancel freely).
   std::uint64_t run(Time until = kForever);
 
   /// Execute exactly one event if any is pending before `until`.
@@ -134,7 +158,7 @@ class Simulator {
   /// computation needs.  May advance the bucket cursor / re-anchor the
   /// ladder internally; geometry changes never affect event order.
   Time next_time() {
-    const Event* head = peek();
+    const Key* head = peek();
     return head ? head->t : kForever;
   }
 
@@ -154,6 +178,7 @@ class Simulator {
   /// reallocations (the cloud cluster sim schedules millions of events).
   void reserve(std::size_t events) {
     overflow_.reserve(events);
+    overflow_staging_.reserve(events);
     actions_.reserve(events);
     free_actions_.reserve(events);
     slots_.reserve(events);
@@ -176,22 +201,43 @@ class Simulator {
 #endif
 
  private:
-  /// 24-byte POD queue entry.  The action lives in the actions_ slab, not
-  /// in the event record, so every heap sift / bucket migration moves a
-  /// trivially-copyable key instead of relocating a 56-byte closure
-  /// through an indirect call -- the closure is moved exactly twice (into
-  /// the slab at schedule, out at fire) no matter how deep the queue is.
+  /// 16-byte key lane entry: everything a comparison needs.  Keys are
+  /// unique ((t, seq) with a process-monotone seq), so any min-heap pop
+  /// sequence over them is THE sorted order -- heap layout, SoA lanes,
+  /// and batch drains can never reorder two events.
+  struct Key {
+    Time t;
+    std::uint64_t seq;
+  };
+  /// 8-byte payload lane entry, touched only when an event fires.
+  struct Ref {
+    std::uint32_t slot;  // cancellation slot, or kNoSlot for plain events
+    std::uint32_t act;   // index into the action slab
+  };
+  /// Combined record: the overflow tier (cold, churned rarely) and the
+  /// drain scratch span keep the joined form.
   struct Event {
     Time t;
     std::uint64_t seq;
-    std::uint32_t slot;  // cancellation slot, or kNoSlot for plain events
-    std::uint32_t act;   // index into the action slab
+    std::uint32_t slot;
+    std::uint32_t act;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.t != b.t) return a.t > b.t;
       return a.seq > b.seq;
     }
+  };
+  static bool earlier(const Key& a, const Key& b) noexcept {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+  /// One ladder bucket: parallel key/payload lanes, kept as a binary
+  /// min-heap (lazily, see heapified_bucket_) whose sifts compare keys
+  /// only and move both lanes in lockstep.
+  struct Bucket {
+    std::vector<Key> keys;
+    std::vector<Ref> refs;
   };
   struct CancelSlot {
     std::uint32_t gen = 0;
@@ -206,7 +252,7 @@ class Simulator {
   /// Mean inter-event gaps per bucket: ~1 targets the ideal calendar
   /// occupancy (pops from near-singleton buckets cost no heap moves);
   /// much below that the cursor wastes time skipping empty buckets.
-  static constexpr double kGapsPerBucket = 1.0;
+  static constexpr double kGapsPerBucket = 4.0;
   /// The window must span this multiple of the observed live scheduling
   /// horizon (max delay of events scheduled while running), so events
   /// scheduled `spread` ahead land mid-window -- and because the insert
@@ -217,41 +263,153 @@ class Simulator {
   static constexpr double kSpreadSlack = 2.0;
   static constexpr std::uint64_t kNoBucket = ~std::uint64_t{0};
 
+  // -- SoA min-heap primitives (keys compared, both lanes moved) --
+  static void sift_up(Key* k, Ref* r, std::size_t i) noexcept;
+  static void sift_down(Key* k, Ref* r, std::size_t n,
+                        std::size_t i) noexcept;
+  /// Pop the minimum of a heapified bucket into `out` (both lanes).
+  static void pop_min(Bucket& b, Event& out) noexcept;
+  /// Sort both lanes of `b` ascending by key (one contiguous introsort).
+  /// A sorted array satisfies the min-heap property, so a sorted bucket
+  /// is usable everywhere a heapified one is -- but pops become O(1)
+  /// front advances (cur_head_) and drains become prefix slices, with no
+  /// sift_down at all on the common path.
+  void sort_bucket(Bucket& b);
+  /// Discard already-cancelled events from `b` in one compaction pass
+  /// (run when the cursor first reaches the bucket, before sorting).
+  /// The discard bookkeeping is byte-identical to the lazy fire-time
+  /// path -- it just happens earlier, which no result can observe (a
+  /// discard never advances the clock, runs code, or appears in the
+  /// order log) -- and the timeout-heavy workloads where most events die
+  /// cancelled skip the sort/drain/fire cost for all of them.
+  void purge_cancelled(Bucket& b);
+
   /// Update the scheduling-horizon estimator, then place().
   void insert(Event ev);
   /// Drop `ev` into its ladder bucket or the overflow tier (no estimator
   /// update -- schedule_n() amortizes that over a whole span).
   void place(Event ev);
+  /// Push `ev` into ladder bucket `b` (absolute number), maintaining the
+  /// cursor bucket's sorted/heap discipline.  ++ladder_size_; the caller
+  /// accounts size_.
+  void place_ladder(const Event& ev, std::uint64_t b);
+  /// Move the overflow head -- and every further overflow event the
+  /// sliding window now covers -- into the ladder buckets, so they fire
+  /// through batched drains instead of one-at-a-time off the heap.
+  void migrate_overflow();
+  bool overflow_empty() const noexcept {
+    return overflow_.empty() && overflow_staging_.empty();
+  }
+  /// Minimum key across both overflow regions (sorted run back + cached
+  /// staging minimum).  Precondition: !overflow_empty().
+  Key overflow_head() const noexcept {
+    if (overflow_.empty()) return staging_min_;
+    const Event& e = overflow_.back();
+    const Key k{e.t, e.seq};
+    return earlier(staging_min_, k) ? staging_min_ : k;
+  }
+  /// Fold the staging tail into the sorted run: one sort of the tail plus
+  /// one in-place merge, amortized O(log n) per staged event.
+  void overflow_merge_staging();
   /// Park `a` in the action slab (recycling a freed index when one is
   /// available) and return its index.
   std::uint32_t store_action(Action a);
-  /// Earliest pending event, advancing the bucket cursor / re-anchoring
-  /// as needed.  Sets head_in_overflow_.  nullptr if nothing pending.
-  const Event* peek();
+  /// Key of the earliest pending event, advancing the bucket cursor /
+  /// re-anchoring as needed.  Sets head_in_overflow_.  nullptr if nothing
+  /// pending.
+  const Key* peek();
   /// Pop the event peek() just returned (no mutation may happen between).
   Event pop_head();
   /// Re-seat the ladder window at the overflow minimum and pull every
   /// overflow event inside the new window into its bucket.
   void reanchor();
+  /// Geometry misfit check, run when the cursor enters a fresh bucket:
+  /// once enough executions have accumulated since the last anchor, if
+  /// the width the anchor policy would pick *now* disagrees with the
+  /// live width by more than 2x either way, re-place every ladder event
+  /// under the new width (O(live events), amortized to nothing by the
+  /// hysteresis).  Returns true if the ladder was re-anchored, in which
+  /// case the caller must rescan from the restarted cursor.  This is
+  /// what rescues a ladder whose first anchor had no execution history
+  /// to consult -- e.g. a per-LP PDES kernel seeded with one event
+  /// whose fallback width lands far from the real event gap.
+  bool maybe_rebucket();
+  /// Fire (or lazily discard) one popped event: the shared body of
+  /// step() and the batched drain.  Returns true if the action executed.
+  bool fire_event(const Event& ev);
+  /// Batched drain of the current (heapified) bucket: pop every event
+  /// due by `until` and before the overflow head into scratch_, then
+  /// fire the span, absorbing intruders in place.  Returns events
+  /// executed.
+  std::uint64_t drain_bucket(Time until);
+  void occ_set(std::size_t ring) noexcept {
+    occ_[ring >> 6] |= std::uint64_t{1} << (ring & 63);
+  }
+  void occ_clear(std::size_t ring) noexcept {
+    occ_[ring >> 6] &= ~(std::uint64_t{1} << (ring & 63));
+  }
 
-  // Buckets and the overflow tier are heapified *lazily*: a bucket is a
-  // plain append vector until the cursor reaches it (heapified_bucket_
-  // tracks the one bucket currently kept as a heap), and the overflow
-  // vector is heapified on first use, so bulk pre-run scheduling is O(1)
-  // per event instead of O(log n).
-  std::array<std::vector<Event>, kBucketCount> buckets_;
-  std::vector<Event> overflow_;
+  // Buckets are ordered *lazily*: a bucket is a plain append vector
+  // until the cursor reaches it (heapified_bucket_ tracks the one bucket
+  // currently kept ordered), so bulk pre-run scheduling is O(1) per
+  // event instead of O(log n).
+  std::array<Bucket, kBucketCount> buckets_;
+  /// One bit per ring bucket, set iff the bucket is nonempty; the cursor
+  /// advance scans 64 buckets per word instead of touching 64 Bucket
+  /// headers.
+  std::array<std::uint64_t, kBucketCount / 64> occ_{};
+  /// Overflow tier: far-future events beyond the ladder window, kept as
+  /// a descending-sorted run (minimum at the back, so migrating the
+  /// window prefix into the ladder is an O(1) pop per event) plus an
+  /// unsorted staging tail for recent inserts with its minimum cached
+  /// (insert O(1), min query O(1)).  Staging folds into the run with
+  /// one sort + inplace_merge only when an event must leave the tier --
+  /// amortized O(log n) per event with contiguous, branch-light passes
+  /// instead of the pointer-chasing sift of a binary heap.
+  std::vector<Event> overflow_;          // sorted descending by key
+  std::vector<Event> overflow_staging_;  // unsorted inserts since merge
+  Key staging_min_{kForever, ~std::uint64_t{0}};  // sentinel when empty
   std::size_t ladder_size_ = 0;  // events across all buckets
   std::size_t size_ = 0;         // ladder + overflow
   std::uint64_t cur_bucket_ = 0; // absolute bucket number of the cursor
   std::uint64_t heapified_bucket_ = kNoBucket;  // abs number, or kNoBucket
-  bool overflow_heapified_ = false;
+  /// When the cursor reaches a bucket it is *sorted* (not just
+  /// heapified); consumed events are a dead prefix tracked by cur_head_
+  /// instead of being erased.  Inserts that arrive in key order (the
+  /// common append pattern) keep the bucket sorted; an out-of-order
+  /// insert compacts the dead prefix and drops the bucket to plain heap
+  /// maintenance (sift_up/sift_down) for the rest of the visit.
+  bool cur_sorted_ = false;
+  std::size_t cur_head_ = 0;  // first live index of the sorted bucket
   double origin_ = 0;            // time of absolute bucket 0
   double width_ = 0;             // bucket width; 0 = ladder not anchored
   double gap_ewma_ = 0;          // mean nonzero inter-execution gap
   double live_spread_ = 0;       // decaying max of (t - now) over inserts
+  std::uint64_t anchor_executed_ = 0;  // executed_ at the last (re)anchor
   Time last_exec_t_ = 0;
   bool head_in_overflow_ = false;
+  /// Copy of the overflow head's key when head_in_overflow_ (peek()
+  /// returns a pointer to it; bucket heads are pointed at in place).
+  Key overflow_head_key_{0, 0};
+
+  /// Batched-drain state: the scratch span of popped-but-unfired events
+  /// plus the active drain's splice bound -- a key at or above every
+  /// span element and at or below every pending event outside the span
+  /// (see drain_bucket() for its construction), so one compare in
+  /// place() routes each new insert: below the bound it *must* fire in
+  /// this drain and is spliced into the unfired remainder [batch_pos_,
+  /// end) at its key position (the span stays sorted and the drain never
+  /// aborts); at or above the bound it takes the normal ladder/overflow
+  /// path.  The splice position is always strictly after the element
+  /// being fired -- an action runs at t = now_, schedules at t >= now_,
+  /// and draws a fresh monotone seq -- so the fired prefix is never
+  /// disturbed.  batch_limit_'s sentinel (-inf) compares earlier than
+  /// every real key, so the splice test is branch-predictable false
+  /// outside a drain.
+  std::vector<Event> scratch_;
+  std::vector<Event> sort_buf_;  // joined staging for sort_bucket()
+  Key batch_limit_{-kForever, 0};
+  std::size_t batch_pos_ = 0;  // next scratch_ index the drain will fire
 
   std::vector<Action> actions_;
   std::vector<std::uint32_t> free_actions_;

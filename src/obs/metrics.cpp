@@ -155,6 +155,33 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard lk(mu_);
   MetricsSnapshot snap;
   snap.entries.reserve(descs_.size());
+  // Fold shards into dense per-slot accumulators first: one contiguous
+  // fixed-stride pass over each shard's cell array (the counter fold is
+  // a straight u64 vector add that auto-vectorizes) instead of the old
+  // descriptor-order walk that re-strode every shard once per metric.
+  // Shard iteration order is unchanged (creation order), so gauge max
+  // sequences and timer merge order -- and with them every FP
+  // accumulator -- are bit-identical to the per-descriptor fold.
+  std::size_t n_counters = 0, n_gauges = 0;
+  for (const Desc& d : descs_) {
+    if (d.kind == MetricKind::kCounter) ++n_counters;
+    if (d.kind == MetricKind::kGauge) ++n_gauges;
+  }
+  std::vector<std::uint64_t> csum(n_counters, 0);
+  std::vector<double> gmax(n_gauges, 0.0);
+  std::vector<char> gany(n_gauges, 0);
+  for (const auto& shard : shards_) {
+    const std::uint64_t* sc = shard->counters.data();
+    const std::size_t nc = std::min(shard->counters.size(), n_counters);
+    for (std::size_t i = 0; i < nc; ++i) csum[i] += sc[i];
+    const std::size_t ng = std::min(shard->gauges.size(), n_gauges);
+    for (std::size_t i = 0; i < ng; ++i) {
+      if (!shard->gauge_set[i]) continue;
+      gmax[i] = gany[i] ? std::max(gmax[i], shard->gauges[i])
+                        : shard->gauges[i];
+      gany[i] = 1;
+    }
+  }
   for (const Desc& d : descs_) {
     MetricsSnapshot::Entry e;
     e.name = d.name;
@@ -162,20 +189,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     const std::uint32_t slot = slot_of(d.id);
     switch (d.kind) {
       case MetricKind::kCounter: {
-        for (const auto& shard : shards_) {
-          if (slot < shard->counters.size()) e.count += shard->counters[slot];
-        }
+        if (slot < csum.size()) e.count = csum[slot];
         break;
       }
       case MetricKind::kGauge: {
-        bool any = false;
-        for (const auto& shard : shards_) {
-          if (slot < shard->gauges.size() && shard->gauge_set[slot]) {
-            e.value = any ? std::max(e.value, shard->gauges[slot])
-                          : shard->gauges[slot];
-            any = true;
-          }
-        }
+        if (slot < gmax.size() && gany[slot]) e.value = gmax[slot];
         break;
       }
       case MetricKind::kTimer: {

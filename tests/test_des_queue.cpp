@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "des/reference_heap.hpp"
@@ -102,6 +104,147 @@ TEST(DesQueue, HandleReuseAfterGenerationBump) {
   sim.run();
   EXPECT_EQ(fired, 2);
   EXPECT_EQ(sim.cancelled(), 0u);
+}
+
+// --- batch-drain edge cases (PR8) -------------------------------------
+// The SoA ladder drains the whole cursor bucket as one contiguous batch
+// fired from a scratch span.  Two things can invalidate the remainder of
+// a batch mid-flight: a callback scheduling an event that lands at or
+// before the next batched timestamp (an "intruder"), and a callback
+// cancelling an event later in the same batch.  Both must reproduce the
+// reference heap's (t, seq) execution order element for element.
+
+template <typename Sim>
+std::vector<std::uint32_t> replay_batch_intruders(std::uint64_t seed) {
+  Sim sim;
+  std::vector<std::uint32_t> order;
+  Rng rng(seed);
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    // One narrow cluster, so the whole population shares a ladder bucket
+    // and would drain as a single batch.
+    const double t = 100.0 + rng.uniform(0.0, 1e-3);
+    sim.schedule_at(t, [&order, &sim, i] {
+      order.push_back(i);
+      if (i % 7 == 0) {
+        // Zero-delay intruder: lands at now(), ahead of every remaining
+        // batched event with a strictly later timestamp.
+        sim.schedule(0.0, [&order, i] { order.push_back(10'000 + i); });
+      }
+    });
+  }
+  sim.run();
+  return order;
+}
+
+TEST(DesQueueBatch, IntrudersScheduledMidBatchPreserveOrder) {
+  for (const std::uint64_t seed : kSeeds) {
+    const auto ladder = replay_batch_intruders<Simulator>(seed);
+    const auto ref = replay_batch_intruders<ReferenceSimulator>(seed);
+    EXPECT_EQ(ladder, ref) << "seed " << seed;
+  }
+}
+
+template <typename Sim>
+std::pair<std::vector<std::uint32_t>, std::uint64_t> replay_batch_cancels(
+    std::uint64_t seed) {
+  using Action = typename Sim::Action;
+  using Handle =
+      decltype(std::declval<Sim&>().schedule_cancellable_at(0.0, Action{}));
+  Sim sim;
+  std::vector<std::uint32_t> order;
+  Rng rng(seed);
+  std::vector<Handle> handles(512);
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    const double t = 50.0 + rng.uniform(0.0, 1e-3);
+    handles[i] =
+        sim.schedule_cancellable_at(t, [&order, i] { order.push_back(i); });
+  }
+  // Cancellers live in the same dense cluster: by construction roughly
+  // half their victims are still waiting in the same batch and half have
+  // already fired (cancel returns false), and both queues must agree on
+  // which is which.
+  for (std::uint32_t i = 0; i < 512; i += 4) {
+    const double t = 50.0 + rng.uniform(0.0, 1e-3);
+    sim.schedule_at(t, [&order, &sim, &handles, i] {
+      order.push_back(1'000 + i);
+      sim.cancel(handles[(i + 256) % 512]);
+    });
+  }
+  sim.run();
+  return {order, sim.cancelled()};
+}
+
+TEST(DesQueueBatch, CancelsLandingMidBatchPreserveOrder) {
+  for (const std::uint64_t seed : kSeeds) {
+    const auto [lad_order, lad_cancelled] = replay_batch_cancels<Simulator>(seed);
+    const auto [ref_order, ref_cancelled] =
+        replay_batch_cancels<ReferenceSimulator>(seed);
+    EXPECT_EQ(lad_order, ref_order) << "seed " << seed;
+    EXPECT_EQ(lad_cancelled, ref_cancelled) << "seed " << seed;
+    EXPECT_GT(lad_cancelled, 0u) << "seed " << seed;
+  }
+}
+
+// --- large-scale stress differential (PR8) ----------------------------
+// Plain + cancellable + far-future overflow traffic with cancels issued
+// from inside callbacks at pseudo-random live/dead victims: the full SoA
+// surface (sorted buckets, batch drain, purge compaction, overflow
+// migration, handle generations) at bench scale.  All randomness is
+// consumed in execution order, so any ordering divergence derails the
+// replay immediately instead of averaging out.
+template <typename Sim>
+WorkloadResult replay_stress_mix(std::uint64_t seed, std::uint32_t n) {
+  using Action = typename Sim::Action;
+  using Handle =
+      decltype(std::declval<Sim&>().schedule_cancellable_at(0.0, Action{}));
+  struct Ctx {
+    Sim sim;
+    Rng rng;
+    WorkloadResult out;
+    std::vector<Handle> handles;
+    explicit Ctx(std::uint64_t s) : rng(s) {}
+  };
+  auto ctx = std::make_unique<Ctx>(seed);
+  Ctx* c = ctx.get();
+  c->sim.reserve(n);
+  c->out.order.reserve(n);
+  c->handles.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double t = c->rng.uniform(0.0, 5000.0);
+    if (i % 32 == 0) t = 5000.0 + c->rng.uniform(0.0, 1e7);  // overflow tier
+    if (i % 3 == 0) {
+      c->handles[i] = c->sim.schedule_cancellable_at(t, [c, i] {
+        c->out.order.push_back(i);
+        // Fired events kill a pseudo-random cancellable index at or
+        // before their own: some victims are live, some already fired
+        // or already cancelled, and both queues must agree on each.
+        const auto victim =
+            3 * static_cast<std::uint32_t>(c->rng.below(i / 3 + 1));
+        c->sim.cancel(c->handles[victim]);
+      });
+    } else {
+      c->sim.schedule_at(t, [c, i] { c->out.order.push_back(i); });
+    }
+  }
+  c->sim.run();
+  c->out.final_now = c->sim.now();
+  c->out.executed = c->sim.executed();
+  c->out.cancelled = c->sim.cancelled();
+  return std::move(c->out);
+}
+
+TEST(DesQueueStress, MillionEventDifferentialMatchesReferenceHeap) {
+  for (const std::uint64_t seed : kSeeds) {
+    // Full seven-figure replay on one seed; the other seeds run a
+    // smaller mix so the sanitizer tier stays inside its time budget.
+    const std::uint32_t n = seed == 2014 ? 1'000'000 : 120'000;
+    const WorkloadResult ladder = replay_stress_mix<Simulator>(seed, n);
+    const WorkloadResult ref = replay_stress_mix<ReferenceSimulator>(seed, n);
+    EXPECT_EQ(ladder.order, ref.order) << "seed " << seed;
+    EXPECT_TRUE(ladder == ref) << "seed " << seed;
+    EXPECT_EQ(ladder.events(), n) << "seed " << seed;
+    EXPECT_GT(ladder.cancelled, 0u) << "seed " << seed;
+  }
 }
 
 TEST(DesQueueStress, MillionEventInvariants) {

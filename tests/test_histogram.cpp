@@ -231,6 +231,65 @@ TEST(LogHistogram, QuantileBetweenTwoBucketsInterpolates) {
   EXPECT_NEAR(h.quantile(0.9), 500.0, 500.0 * 0.1);
 }
 
+// Property test for the vectorized bucket merge (PR8): fold shard
+// histograms through merge() -- the fixed-stride loop obs::snapshot()
+// leans on -- and replay the exact same samples through scalar add()
+// calls; the two must agree under the bit-exact default operator==,
+// i.e. every count bucket, the invalid bin, AND the FP accumulators
+// (sum_, min/max).  Sample values come from an exactly-representable
+// power-of-two grid so every partial sum is exact and therefore
+// independent of fold order; NaN / -inf / negative samples ride along
+// so the invalid-bin carry is part of the property.
+TEST(LogHistogram, VectorizedMergeMatchesScalarFoldBitExact) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr int kShards = 8;
+  std::vector<LogHistogram> shards(kShards, LogHistogram(1e-2, 1e5, 90));
+  LogHistogram direct(1e-2, 1e5, 90);
+  Rng rng(2014, 8);
+  for (int s = 0; s < kShards; ++s) {
+    for (int i = 0; i < 4000; ++i) {
+      // 2^-8 .. 2^15: spans underflow, interior, and overflow buckets.
+      double v = std::ldexp(1.0, static_cast<int>(rng.below(24)) - 8);
+      const auto roll = rng.below(97);
+      if (roll == 0) v = kNaN;
+      if (roll == 1) v = -kInf;
+      if (roll == 2) v = -v;
+      shards[s].add(v);
+      direct.add(v);
+    }
+  }
+  LogHistogram merged(1e-2, 1e5, 90);
+  for (const auto& s : shards) merged.merge(s);
+  EXPECT_TRUE(merged == direct);
+  EXPECT_GT(merged.invalid(), 0u);  // the invalid bin must be exercised
+  EXPECT_EQ(merged.count() + merged.invalid(),
+            std::uint64_t{kShards} * 4000u);
+  // Merging mismatched layouts must throw, not silently misalign; the
+  // bit-exact destination must be left untouched by the failed merge.
+  LogHistogram misaligned(1e-3, 1e4, 90);
+  misaligned.add(1.0);
+  EXPECT_THROW(merged.merge(misaligned), std::invalid_argument);
+  EXPECT_TRUE(merged == direct);
+}
+
+// merge() deliberately has no __restrict on the count pointers: a
+// self-merge aliases src and dst, and must double every statistic
+// rather than corrupt them (GCC versions the vector loop with an
+// overlap check).
+TEST(LogHistogram, SelfMergeDoublesEverything) {
+  LogHistogram h(1e-2, 1e5, 90);
+  h.add(0.5);
+  h.add(64.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.merge(h);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.invalid(), 2u);
+  EXPECT_DOUBLE_EQ(h.mean(), (0.5 + 64.0) / 2.0);
+  EXPECT_DOUBLE_EQ(h.min_seen(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 64.0);
+}
+
 TEST(LogHistogram, PercentileLineRenders) {
   LogHistogram h;
   h.add(1.0);
