@@ -46,10 +46,11 @@ def rates(doc):
     "scenarios" rows (bench_multiregion / bench_resilience /
     bench_overload): goodput_qps per policy rung, plus availability
     (resilience) and pre-burst qps / post-burst recovery ratio
-    (overload).  The scenario simulations are seeded and bit-exact, so a
-    drop in any of these is a behavior change, not timing noise -- a
-    rung whose goodput or recovery collapses is a simulation regression
-    even when wall-clock time is fine.
+    (overload), and goodput-per-joule (power).  The scenario simulations
+    are seeded and bit-exact, so a drop in any of these is a behavior
+    change, not timing noise -- a rung whose goodput, recovery, or
+    energy efficiency collapses is a simulation regression even when
+    wall-clock time is fine.
     """
     out = {}
     for row in doc.get("workloads", []):
@@ -61,7 +62,13 @@ def rates(doc):
         label = "serial" if row.get("workers", 0) == 0 else f"w{row['workers']}"
         out[f"{row['name']}.{label}.mev_per_sec"] = float(row["mev_per_sec"])
     for row in doc.get("scenarios", []):
-        for key in ("goodput_qps", "availability", "pre_qps", "recovery"):
+        for key in (
+            "goodput_qps",
+            "availability",
+            "pre_qps",
+            "recovery",
+            "goodput_per_joule",
+        ):
             if key in row:
                 out[f"{row['name']}.{key}"] = float(row[key])
     return out
@@ -70,8 +77,10 @@ def rates(doc):
 def costs(doc):
     """Flatten lower-is-better metrics into {metric_name: value}.
 
-    Per-scenario p99 latency (deterministic: the seeded simulation
-    replays bit-exactly, so any rise is a behavior change) and the
+    Per-scenario p99 latency and charged energy (both deterministic: the
+    seeded simulation replays bit-exactly, so any rise is a behavior
+    change -- joules gate UP, because a capped rung that starts burning
+    more energy for the same work has regressed its contract) and the
     bench's own wall clock (noisy: the one genuinely host-timed shape
     here, kept under the same loose CI tolerance as the rates).
     """
@@ -79,8 +88,9 @@ def costs(doc):
     if "wall_s" in doc:
         out["wall_s"] = float(doc["wall_s"])
     for row in doc.get("scenarios", []):
-        if "p99_ms" in row:
-            out[f"{row['name']}.p99_ms"] = float(row["p99_ms"])
+        for key in ("p99_ms", "energy_j"):
+            if key in row:
+                out[f"{row['name']}.{key}"] = float(row[key])
     return out
 
 

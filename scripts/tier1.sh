@@ -22,14 +22,19 @@ echo "== tier-1: multi-region drill smoke (WAN + failover ladder) =="
 cmake --build build -j "$(nproc)" --target bench_multiregion
 (cd build && ./bench/bench_multiregion --smoke)
 
+echo "== tier-1: power-cap drill smoke (energy contract + policy ladder) =="
+cmake --build build -j "$(nproc)" --target bench_power
+(cd build && ./bench/bench_power --smoke)
+
 echo "== tier-1: ThreadSanitizer pass =="
 cmake -B build-tsan -S . -DARCH21_SAN=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target \
   test_thread_pool test_cloud_tail test_parallel_determinism test_resilience \
-  test_overload test_multiregion test_pdes bench_des_queue bench_pdes \
-  bench_multiregion
+  test_overload test_multiregion test_pdes test_power bench_des_queue \
+  bench_pdes bench_multiregion bench_power
 for t in test_thread_pool test_cloud_tail test_parallel_determinism \
-         test_resilience test_overload test_multiregion test_pdes; do
+         test_resilience test_overload test_multiregion test_pdes \
+         test_power; do
   echo "-- tsan: $t"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
 done
@@ -39,6 +44,11 @@ echo "-- tsan: bench_pdes --smoke"
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_pdes --smoke)
 echo "-- tsan: bench_multiregion --smoke"
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_multiregion --smoke)
+# The powercap trials fan out across the pool while each trial's gates
+# and window events mutate per-leaf state -- the exact sharing TSan
+# proves stays trial-local.
+echo "-- tsan: bench_power --smoke"
+(cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_power --smoke)
 
 echo "== tier-1: AddressSanitizer smoke (overload-protection paths) =="
 # The overload layer moves InlineCallbacks through a bounded ring, kills

@@ -104,6 +104,13 @@ void ClusterConfig::validate() const {
     bad("ClusterFaultConfig", "burst_leaves must be <= leaves");
   }
   policy.validate();
+  powercap.validate();
+  if (powercap.enabled && net_latency_ms > 0) {
+    // The window energy contract is cluster-global state; the LP-sharded
+    // engine has no home for it.  (workers > 0 is excluded transitively:
+    // it requires net_latency_ms > 0.)
+    bad("ClusterConfig", "powercap requires net_latency_ms == 0");
+  }
 }
 
 void ClusterResult::merge(const ClusterResult& other) {
@@ -152,6 +159,30 @@ void ClusterResult::merge(const ClusterResult& other) {
   }
   for (std::size_t i = 0; i < other.answered_per_window.size(); ++i) {
     answered_per_window[i] += other.answered_per_window[i];
+  }
+  power_shed_queries += other.power_shed_queries;
+  power_gate_stalls += other.power_gate_stalls;
+  power_overruns += other.power_overruns;
+  energy_j += other.energy_j;
+  // The max (not a mean): a merged aggregate must still certify that no
+  // accounting window in ANY trial exceeded the cap.
+  peak_window_w = std::max(peak_window_w, other.peak_window_w);
+  if (power_cap_w > 0 && other.power_cap_w > 0 &&
+      power_cap_w != other.power_cap_w) {
+    throw std::invalid_argument("ClusterResult::merge: power_cap_w mismatch");
+  }
+  if (power_cap_w == 0) power_cap_w = other.power_cap_w;
+  if (power_window_s > 0 && other.power_window_s > 0 &&
+      power_window_s != other.power_window_s) {
+    throw std::invalid_argument(
+        "ClusterResult::merge: power_window_s mismatch");
+  }
+  if (power_window_s == 0) power_window_s = other.power_window_s;
+  if (energy_j_per_window.size() < other.energy_j_per_window.size()) {
+    energy_j_per_window.resize(other.energy_j_per_window.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < other.energy_j_per_window.size(); ++i) {
+    energy_j_per_window[i] += other.energy_j_per_window[i];
   }
   retry_amplification = avg(retry_amplification, other.retry_amplification);
   goodput_qps = avg(goodput_qps, other.goodput_qps);
@@ -437,6 +468,16 @@ class ClusterSim {
   /// protected/unprotected configs); then create the record, arm the
   /// quorum deadline, and issue the first attempt on every leaf.
   void on_query_start(std::size_t services_base) {
+    // The power cap is the primary constraint: the governor's cap-aware
+    // admission sheds BEFORE the resilience-policy admission (and long
+    // before any leaf would throttle) -- a power-shed query touches no
+    // per-query state, exactly like a policy shed.
+    if (pcap_ && !pcap_->admit(sim_.now())) {
+#if ARCH21_OBS_ENABLED
+      if (trace_) trace_->instant(tr_pshed_, sim_.now(), 0);
+#endif
+      return;
+    }
     if (pol_.admission.enabled && !admit()) {
       ++res_.shed_queries;
 #if ARCH21_OBS_ENABLED
@@ -677,6 +718,7 @@ class ClusterSim {
     tr_brk_half_ = t->intern("breaker-half-open");
     tr_brk_close_ = t->intern("breaker-close");
     tr_brk_short_ = t->intern("breaker-short-circuit");
+    tr_pshed_ = t->intern("power-shed");
   }
 
   /// Fold this trial's counters and slab high-water marks into the
@@ -699,6 +741,12 @@ class ClusterSim {
           res_.breaker_short_circuits);
     m.add(m.counter("cluster.breaker.probes"), res_.breaker_probes);
     m.gauge_max(m.gauge("cluster.breaker.open_ms"), res_.breaker_open_ms);
+    if (pcap_) {
+      m.add(m.counter("cluster.power.shed"), res_.power_shed_queries);
+      m.add(m.counter("cluster.power.stalls"), res_.power_gate_stalls);
+      m.gauge_max(m.gauge("cluster.power.peak_window_w"),
+                  res_.peak_window_w);
+    }
     std::size_t qhwm = 0;
     for (const auto& leaf : leaves_) {
       qhwm = std::max(qhwm, leaf->queue_high_water());
@@ -724,6 +772,9 @@ class ClusterSim {
   Slab<CallRec> calls_;
   des::Simulator sim_;
   std::vector<std::unique_ptr<des::Resource>> leaves_;
+  /// Power-capped co-simulation engine (null unless powercap.enabled).
+  /// Declared after leaves_ so its gates detach before the leaves die.
+  std::unique_ptr<PowercapRuntime> pcap_;
   std::vector<char> leaf_up_;
   std::vector<char> own_up_;
   std::vector<char> domain_up_;
@@ -747,7 +798,7 @@ class ClusterSim {
                 tr_lost_ = 0, tr_denied_ = 0, tr_deadline_ = 0,
                 tr_quality_arg_ = 0, tr_shed_ = 0, tr_rejected_ = 0,
                 tr_brk_open_ = 0, tr_brk_half_ = 0, tr_brk_close_ = 0,
-                tr_brk_short_ = 0;
+                tr_brk_short_ = 0, tr_pshed_ = 0;
   obs::MetricsRegistry* mreg_ = nullptr;  // set iff enabled at trial start
   obs::MetricsRegistry::MetricId m_query_ms_ = 0;
 #endif
@@ -796,6 +847,35 @@ ClusterResult ClusterSim::run() {
                2 * cfg_.leaves + 64);
   const double mu_log = std::log(cfg_.leaf_service_ms) -
                         0.5 * cfg_.service_sigma * cfg_.service_sigma;
+
+  // --- power-capped co-simulation (p-states, window energy contract) ---
+  if (cfg_.powercap.enabled) {
+    // Expected background busy fraction per leaf, for the governor's
+    // admissible-rate estimate.
+    const double bg_frac =
+        cfg_.background_rate_hz * cfg_.background_ms * 1e-3;
+    pcap_ = std::make_unique<PowercapRuntime>(
+        cfg_.powercap, cfg_.leaves, cfg_.leaf_service_ms, bg_frac);
+    pcap_->attach(leaves_);
+    res_.power_cap_w = pcap_->cap_w();
+    res_.power_window_s = cfg_.powercap.window_s;
+    // One boundary per full window covering the horizon (the last may
+    // land past it -- windows are never shortened, so every window's
+    // charged power is comparable against the cap).  The final boundary
+    // also detaches the gates: the post-horizon drain runs unconstrained
+    // and unmetered.  The runtime draws no randomness, so none of this
+    // perturbs workload/fault/policy streams.
+    const auto nwin = static_cast<std::uint64_t>(
+        std::ceil(horizon_ms_ / pcap_->window_ms()));
+    for (std::uint64_t k = 1; k <= nwin; ++k) {
+      const bool last = k == nwin;
+      sim_.schedule_at(static_cast<double>(k) * pcap_->window_ms(),
+                       [this, last] {
+                         pcap_->on_window(sim_.now());
+                         if (last) pcap_->detach();
+                       });
+    }
+  }
 
   // --- failure injection (seeded trace replayed onto the DES) ---
   leaf_up_.assign(cfg_.leaves, 1);
@@ -902,6 +982,18 @@ ClusterResult ClusterSim::run() {
         res_.breaker_open_ms += std::min(end, b.open_until) - b.opened_at;
       }
     }
+  }
+
+  // Fold the powercap engine's telemetry in once.
+  if (pcap_) {
+    pcap_->finish();
+    const PowercapStats& ps = pcap_->stats();
+    res_.power_shed_queries = ps.shed_queries;
+    res_.power_gate_stalls = ps.gate_stalls;
+    res_.power_overruns = ps.overruns;
+    res_.energy_j = ps.energy_j;
+    res_.peak_window_w = ps.peak_window_w;
+    res_.energy_j_per_window = ps.energy_j_per_window;
   }
 
   double util = 0;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "cloud/policy.hpp"
+#include "cloud/powercap.hpp"
 #include "des/resource.hpp"
 #include "obs/enabled.hpp"
 #include "reliab/availability.hpp"
@@ -122,6 +123,14 @@ struct ClusterConfig {
   /// Client-side mitigation + server-edge overload policies (all off by
   /// default).
   ResiliencePolicy policy;
+  /// Power-capped co-simulation (off by default; see cloud/powercap.hpp):
+  /// every leaf gets a DVFS p-state whose speed divides its service times
+  /// and whose power feeds a windowed energy contract against the
+  /// datacenter cap.  Requires net_latency_ms == 0 (the serial engine;
+  /// the cap's window accounting is cluster-global and has no LP
+  /// sharding).  Disabled, results are byte-identical to pre-powercap
+  /// builds.
+  PowercapConfig powercap;
 #if ARCH21_OBS_ENABLED
   /// Observability trace sink for ONE simulation (timestamps are ms, so
   /// construct it with ts_to_us = 1e3).  The DES kernel, every leaf
@@ -186,6 +195,33 @@ struct ClusterResult {
   /// different grids would silently corrupt every downstream hysteresis
   /// measurement.  A windowless result adopts the other's grid.
   double goodput_window_s = 0;
+
+  // --- power-capping telemetry (all zero unless powercap.enabled) ---
+  std::uint64_t power_shed_queries = 0;  ///< refused by cap-aware admission
+  std::uint64_t power_gate_stalls = 0;   ///< leaf stalls on an exhausted window
+  std::uint64_t power_overruns = 0;      ///< single-job-over-window exceptions
+  /// Energy charged over the accounting horizon, joules (idle floor plus
+  /// per-start dynamic contracts; see cloud/powercap.hpp).  merge() sums.
+  double energy_j = 0;
+  /// Max charged window power across the run, watts.  merge() takes the
+  /// max, so a multi-trial aggregate still certifies "no window anywhere
+  /// exceeded the cap" (peak_window_w <= power_cap_w).
+  double peak_window_w = 0;
+  /// The enforced IT cap, watts (0 = uncapped).  merge() throws on a
+  /// mismatch of non-zero caps, like goodput_window_s.
+  double power_cap_w = 0;
+  /// Grid of energy_j_per_window (copied from powercap.window_s; 0 = no
+  /// series).  Same adopt/mismatch rules as goodput_window_s.
+  double power_window_s = 0;
+  /// Charged joules per accounting window; merge() sums element-wise.
+  std::vector<double> energy_j_per_window;
+
+  /// Answered queries per charged joule (0 when nothing was metered).
+  double goodput_per_joule() const noexcept {
+    return energy_j > 0
+               ? static_cast<double>(ok_queries + degraded_queries) / energy_j
+               : 0;
+  }
 
   /// leaf_requests / (queries * leaves): 1.0 = no extra load; a retry
   /// storm shows up here first.

@@ -27,8 +27,16 @@ double Facility::ops_per_joule(double utilization) const {
 
 Facility::Sizing Facility::size_for(const ServerPower& srv, double pue,
                                     double target_ops, double utilization) {
-  if (target_ops <= 0 || utilization <= 0) {
+  if (!(target_ops > 0) || !(utilization > 0)) {
     throw std::invalid_argument("Facility::size_for: bad parameters");
+  }
+  if (utilization > 1.0) {
+    // A server cannot run above 1.0 utilization.  Sizing the fleet at
+    // the raw value while srv.power() clamps to 1 used to undersize the
+    // server count AND misprice its power; reject instead of guessing
+    // which of the two the caller meant.
+    throw std::invalid_argument(
+        "Facility::size_for: utilization must be <= 1");
   }
   const double per_server = srv.peak_ops_per_s * utilization;
   const auto n =

@@ -38,7 +38,10 @@ struct Facility {
   double ops_per_joule(double utilization) const;
 
   /// Servers needed to deliver `target_ops` at `utilization` -- and the
-  /// facility power that implies.
+  /// facility power that implies.  Throws std::invalid_argument unless
+  /// 0 < utilization <= 1 (sizing at u > 1 would count throughput the
+  /// servers cannot deliver while power() clamps, silently undersizing
+  /// the fleet and mispricing its power).
   struct Sizing {
     std::uint64_t servers;
     double power_w;

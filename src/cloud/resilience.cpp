@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace arch21::cloud {
@@ -159,6 +160,71 @@ std::vector<ScenarioResult> overload_scenarios(const ClusterConfig& base,
   out.push_back(
       run_scenario("+ circuit breakers", breakered, trials, pool));
 
+  return out;
+}
+
+ClusterConfig power_rung_config(const ClusterConfig& base,
+                                const PowerLadderPolicies& knobs,
+                                double cap_fraction, PowercapPolicy policy) {
+  const OverloadPolicies& ov = knobs.overload;
+  ClusterConfig cfg = base;
+  // The E29 unprotected client (overload_scenarios rung 1): tight
+  // timeout, naive unbudgeted retries, a quorum deadline so every query
+  // closes, unbounded FIFO leaves.  The power ladder varies ONLY how the
+  // cap is spent -- the cap-aware governor's root shedding is the sole
+  // protection in play, which is exactly the comparison E33 wants.
+  cfg.policy.retry.timeout_ms = ov.timeout_ms;
+  cfg.policy.retry.max_retries = ov.naive_max_retries;
+  cfg.policy.budget.enabled = false;
+  cfg.policy.quorum.quorum_fraction = ov.quorum_fraction;
+  cfg.policy.quorum.deadline_ms = ov.quorum_deadline_ms;
+  cfg.leaf_queue = {};  // unbounded FIFO
+  cfg.powercap = knobs.powercap;
+  cfg.powercap.enabled = true;
+  cfg.powercap.cap_fraction = cap_fraction;
+  cfg.powercap.policy = policy;
+  return cfg;
+}
+
+std::vector<ScenarioResult> power_scenarios(const ClusterConfig& base,
+                                            unsigned trials,
+                                            const PowerLadderPolicies& knobs,
+                                            ThreadPool* pool) {
+  std::vector<ScenarioResult> out;
+  // Uncapped reference: same protection, power model off entirely (this
+  // is the config whose results must stay byte-identical to pre-powercap
+  // builds).
+  ClusterConfig uncapped =
+      power_rung_config(base, knobs, 1.0, PowercapPolicy::kGovernor);
+  uncapped.powercap = PowercapConfig{};
+  out.push_back(run_scenario("uncapped", uncapped, trials, pool));
+
+  auto pct = [](double f) {
+    return std::to_string(static_cast<int>(std::lround(f * 100)));
+  };
+  for (std::size_t i = 0; i < knobs.cap_fractions.size(); ++i) {
+    const double cap = knobs.cap_fractions[i];
+    const std::string tag = "cap " + pct(cap) + "% ";
+    out.push_back(run_scenario(
+        tag + "uniform",
+        power_rung_config(base, knobs, cap, PowercapPolicy::kUniform),
+        trials, pool));
+    if (i == 0) {
+      // Where the budget binds hardest, compare all four policies.
+      out.push_back(run_scenario(
+          tag + "pace",
+          power_rung_config(base, knobs, cap, PowercapPolicy::kPace), trials,
+          pool));
+      out.push_back(run_scenario(
+          tag + "race-to-idle",
+          power_rung_config(base, knobs, cap, PowercapPolicy::kRaceToIdle),
+          trials, pool));
+    }
+    out.push_back(run_scenario(
+        tag + "governor",
+        power_rung_config(base, knobs, cap, PowercapPolicy::kGovernor),
+        trials, pool));
+  }
   return out;
 }
 

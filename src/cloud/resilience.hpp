@@ -95,6 +95,42 @@ std::vector<ScenarioResult> overload_scenarios(
     const ClusterConfig& base, unsigned trials,
     const OverloadPolicies& knobs = {}, ThreadPool* pool = nullptr);
 
+/// Knobs for the power-cap ladder (bench_power, E33): the E29
+/// *unprotected* overload rung -- unbounded FIFO leaves, naive
+/// unbudgeted retries, a quorum deadline so every query closes -- run
+/// under an IT power cap.  The unprotected client is deliberate: it is
+/// where HOW the cap is spent decides the outcome.  A uniform throttle
+/// stretches every service time, pushes the cluster past its knee, and
+/// the E29 fault burst tips it into the metastable regime -- goodput
+/// gone but the idle floor still burning.  The shedding governor spends
+/// the same budget by refusing queries at the root and keeps the leaves
+/// fast, so the burst drains and goodput-per-joule survives.  The
+/// powercap field is a template; enabled, cap_fraction and policy are
+/// set per rung.
+struct PowerLadderPolicies {
+  OverloadPolicies overload;  ///< client knobs (timeout, naive retries, quorum)
+  PowercapConfig powercap;
+  /// Cap rungs as fractions of leaves * peak_w, ascending.
+  std::vector<double> cap_fractions{0.6, 0.8, 1.0};
+};
+
+/// One rung's full config: the E29 unprotected client plus the power
+/// cap.  Exposed so bench_power can re-run a single rung for the
+/// determinism check.
+ClusterConfig power_rung_config(const ClusterConfig& base,
+                                const PowerLadderPolicies& knobs,
+                                double cap_fraction, PowercapPolicy policy);
+
+/// The E33 ladder, `trials` sims per rung: an uncapped reference (power
+/// model off), then per cap fraction the naive uniform throttle vs the
+/// shedding governor -- and at the tightest cap additionally the pace
+/// and race-to-idle policies, so the four ways of spending a budget are
+/// compared where the budget binds hardest.  Every rung runs the same
+/// seeded workload and fault burst.
+std::vector<ScenarioResult> power_scenarios(
+    const ClusterConfig& base, unsigned trials,
+    const PowerLadderPolicies& knobs = {}, ThreadPool* pool = nullptr);
+
 /// Windowed-goodput summary of one metastable-failure run: mean goodput
 /// over the complete windows strictly before the fault burst (skipping
 /// window 0 as warmup) vs the complete windows after the burst cleared

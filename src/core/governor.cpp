@@ -52,4 +52,36 @@ GovernorReport govern(
   return r;
 }
 
+CappedGovernorReport govern_capped(
+    const std::array<std::uint64_t, isa::kNumIntents>& instrs_by_intent,
+    const tech::DvfsModel& dvfs, double core_cap_w) {
+  CappedGovernorReport r;
+  const tech::DvfsModel::PowerFit fit =
+      dvfs.fit_voltage_for_power(core_cap_w);
+  r.cap_v = fit.v;
+  r.feasible = fit.feasible;
+
+  r.base = govern(instrs_by_intent, dvfs);
+  for (double& v : r.base.chosen_v) {
+    if (v > r.cap_v) {
+      v = r.cap_v;
+      r.clamped = true;
+    }
+  }
+  if (r.clamped) {
+    r.base.hinted = price(instrs_by_intent, r.base.chosen_v, dvfs);
+    // The deadline (perf time at nominal) is unchanged; the capped
+    // Performance point may now miss it -- that is the report's point.
+    const double perf_instrs = static_cast<double>(instrs_by_intent[
+        static_cast<std::size_t>(isa::Intent::Performance)]);
+    if (perf_instrs > 0) {
+      r.base.perf_time_hinted =
+          perf_instrs /
+          dvfs.frequency(r.base.chosen_v[static_cast<std::size_t>(
+              isa::Intent::Performance)]);
+    }
+  }
+  return r;
+}
+
 }  // namespace arch21::core

@@ -74,4 +74,25 @@ GovernorReport govern(const std::array<std::uint64_t, isa::kNumIntents>&
                           instrs_by_intent,
                       const tech::DvfsModel& dvfs);
 
+// ---------------------------------------------------------------------------
+// Power-capping hook: govern() under a per-core power ceiling.  The
+// datacenter powercap governor (cloud/powercap.hpp) caps whole leaf
+// servers; this is the same idea one layer down -- the intent schedule
+// must also respect the socket's power budget.
+
+/// govern() with every chosen supply clamped so a core running flat out
+/// there fits `core_cap_w`.  Built on
+/// tech::DvfsModel::fit_voltage_for_power, so a cap below even the
+/// floor's draw is *reported* (feasible == false) instead of silently
+/// running at the floor over budget.
+struct CappedGovernorReport {
+  GovernorReport base;    ///< costs at the capped operating points
+  double cap_v = 0;       ///< highest supply fitting core_cap_w
+  bool feasible = false;  ///< can any legal supply fit the cap?
+  bool clamped = false;   ///< did the cap lower at least one chosen point?
+};
+CappedGovernorReport govern_capped(
+    const std::array<std::uint64_t, isa::kNumIntents>& instrs_by_intent,
+    const tech::DvfsModel& dvfs, double core_cap_w);
+
 }  // namespace arch21::core

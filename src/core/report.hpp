@@ -32,6 +32,14 @@ std::string render_overload_report(
     const std::vector<cloud::ScenarioResult>& scenarios,
     double settle_s = 2.0);
 
+/// Render a power-cap ladder (see cloud::power_scenarios) as a
+/// self-contained markdown document: per-rung energy, charged peak
+/// window power vs the cap, goodput-per-joule, post-burst recovery, and
+/// how each rung's budget was spent (throttle vs shed vs stall).
+std::string render_power_report(
+    const std::vector<cloud::ScenarioResult>& scenarios,
+    double settle_s = 2.0);
+
 /// Render a multi-region failover ladder (see cloud::failover_scenarios)
 /// as a self-contained markdown document: per-rung global and
 /// surviving-region goodput around the regional blackout, shed/lost/

@@ -1,5 +1,6 @@
 #include "des/resource.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -45,9 +46,41 @@ Resource::Resource(Simulator& sim, std::uint32_t servers, QueuePolicy queue)
   if (queue_.capacity > 0) waiting_.resize(queue_.capacity);
 }
 
+void Resource::set_speed(double speed) {
+  if (!(speed > 0) || !std::isfinite(speed)) {
+    throw std::invalid_argument("Resource::set_speed: speed must be finite and > 0");
+  }
+  speed_ = speed;
+}
+
+void Resource::set_start_gate(GateFn gate) {
+  gate_ = std::move(gate);
+  // A fresh (or cleared) gate starts un-stalled; pump the queue so a
+  // permissive gate takes effect immediately.
+  release_gate();
+}
+
+void Resource::release_gate() {
+  stalled_ = false;
+  // start_next() either starts one job, drops expired waiters, or
+  // re-stalls -- each iteration strictly shrinks the queue or exits.
+  while (!stalled_ && busy_ < servers_ && waiting_count_ > 0) {
+    start_next();
+  }
+}
+
+bool Resource::gate_allows(Time effective_service) {
+  if (!gate_) return true;
+  if (stalled_) return false;
+  if (gate_(effective_service)) return true;
+  stalled_ = true;
+  ++gate_stalls_;
+  return false;
+}
+
 bool Resource::request(Time service_time, DoneFn on_done) {
   Job job{sim_.now(), service_time, std::move(on_done)};
-  if (busy_ < servers_) {
+  if (busy_ < servers_ && gate_allows(service_time / speed_)) {
     start(std::move(job));
     return true;
   }
@@ -98,19 +131,28 @@ Resource::Job Resource::waiting_pop_back() {
 
 void Resource::start_next() {
   while (waiting_count_ > 0) {
-    Job job = (queue_.discipline == QueueDiscipline::kAdaptiveLifo &&
-               waiting_count_ > queue_.lifo_threshold)
-                  ? waiting_pop_back()
-                  : waiting_pop();
-    if (queue_.discipline == QueueDiscipline::kDeadline &&
-        sim_.now() - job.arrival > queue_.sojourn_target) {
-      // Expired at dequeue: the client gave up on this job before a
-      // server could take it; serving it would only add queueing delay
-      // for the jobs behind it.  Its on_done is destroyed unfired.
-      ++expired_;
-      continue;
+    const bool lifo = queue_.discipline == QueueDiscipline::kAdaptiveLifo &&
+                      waiting_count_ > queue_.lifo_threshold;
+    if (queue_.discipline == QueueDiscipline::kDeadline) {
+      // kDeadline dequeues in FIFO order (it is a distinct discipline, so
+      // the lifo flag above is never set with it).
+      const Job& head = waiting_[waiting_head_];
+      if (sim_.now() - head.arrival > queue_.sojourn_target) {
+        // Expired at dequeue: the client gave up on this job before a
+        // server could take it; serving it would only add queueing delay
+        // for the jobs behind it.  Its on_done is destroyed unfired.
+        waiting_pop();
+        ++expired_;
+        continue;
+      }
     }
-    start(std::move(job));
+    // Gate check happens *before* the pop so a refused job keeps its
+    // place in line -- release_gate() resumes exactly where we stopped.
+    const Job& cand =
+        lifo ? waiting_[(waiting_head_ + waiting_count_ - 1) % waiting_.size()]
+             : waiting_[waiting_head_];
+    if (!gate_allows(cand.service / speed_)) return;
+    start(lifo ? waiting_pop_back() : waiting_pop());
     return;
   }
 }
@@ -123,7 +165,11 @@ void Resource::start(Job job) {
   s.epoch = next_epoch_++;
   s.start = sim_.now();
   s.wait = sim_.now() - job.arrival;
-  s.service = job.service;
+  // Effective service reflects the p-state at *start* time; the raw
+  // request is stored in the queue so a later speed change re-prices
+  // still-waiting jobs.  speed_ == 1.0 divides exactly (IEEE), keeping
+  // the no-powercap path bit-identical to the historical station.
+  s.service = job.service / speed_;
   s.on_done = std::move(job.on_done);
   ++busy_;
   busy_time_ += s.service;

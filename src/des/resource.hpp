@@ -27,6 +27,7 @@
 // millions of requests per trial through these.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "des/simulator.hpp"
@@ -99,6 +100,36 @@ class Resource {
   /// Unbounded stations always return true.
   bool request(Time service_time, DoneFn on_done);
 
+  /// Service-rate scaling -- the DVFS p-state hook.  A job *started* from
+  /// now on takes `requested_service / speed` simulated time; in-flight
+  /// jobs keep the rate they started at (a frequency change cannot reach
+  /// back into work already scheduled).  speed = 1 reproduces the
+  /// historical station bit-for-bit (IEEE division by 1.0 is exact).
+  /// Throws std::invalid_argument unless speed is finite and > 0.
+  void set_speed(double speed);
+  double speed() const noexcept { return speed_; }
+
+  /// Start gate -- the power-capping hook.  When set, the gate is asked
+  /// `gate(effective_service)` immediately before any job would begin
+  /// service (effective_service already reflects speed()).  Returning
+  /// false leaves the job queued and *stalls* the station: no further
+  /// starts happen (and the gate is not re-asked) until release_gate().
+  /// Stalled jobs still occupy queue capacity, so a bounded queue keeps
+  /// rejecting at the door.  The gate must be deterministic for the
+  /// (t,seq) contract to hold.  nullptr detaches and un-stalls.
+  using GateFn = std::function<bool(Time effective_service)>;
+  void set_start_gate(GateFn gate);
+  /// Clear a gate stall and start as many waiting jobs as free servers
+  /// and the gate now permit.  Call after replenishing whatever budget
+  /// made the gate refuse (e.g. at an energy-accounting window boundary)
+  /// or after set_speed() raised the service rate.
+  void release_gate();
+  /// True while the station is refusing starts pending release_gate().
+  bool gate_stalled() const noexcept { return stalled_; }
+  /// Times the gate transitioned into a stall (budget-exhaustion events,
+  /// not per-job refusals).
+  std::uint64_t gate_stalls() const noexcept { return gate_stalls_; }
+
   /// Crash the station: drop all waiting jobs and abandon all in-service
   /// jobs.  Abandoned completions never fire, and busy-time accounting
   /// keeps only the service actually rendered before the crash.  The
@@ -165,8 +196,11 @@ class Resource {
   void start(Job job);
   /// Dequeue per the discipline and start the first non-expired waiter
   /// (dropping expired ones under kDeadline).  Called when a server
-  /// frees; no-op on an empty queue.
+  /// frees; no-op on an empty queue.  Returns without dequeuing if the
+  /// start gate refuses the candidate (the station is then stalled).
   void start_next();
+  /// Ask the gate about a prospective start; records the stall on refusal.
+  bool gate_allows(Time effective_service);
   void on_complete(std::uint32_t slot, std::uint64_t epoch);
   void waiting_push(Job job);
   Job waiting_pop();
@@ -193,6 +227,10 @@ class Resource {
   std::uint64_t expired_ = 0;
   std::size_t queue_high_water_ = 0;
   double busy_time_ = 0;
+  double speed_ = 1.0;
+  GateFn gate_;
+  bool stalled_ = false;
+  std::uint64_t gate_stalls_ = 0;
 
 #if ARCH21_OBS_ENABLED
   obs::TraceBuffer* trace_ = nullptr;

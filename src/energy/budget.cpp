@@ -1,17 +1,24 @@
 #include "energy/budget.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace arch21::energy {
 
 PowerBudget::PowerBudget(std::string name, double cap_w)
     : name_(std::move(name)), cap_w_(cap_w) {
-  if (cap_w <= 0) throw std::invalid_argument("PowerBudget: cap must be > 0");
+  if (!(cap_w > 0) || !std::isfinite(cap_w)) {
+    throw std::invalid_argument("PowerBudget: cap must be finite and > 0");
+  }
 }
 
 bool PowerBudget::add(std::string_view component, double watts) {
-  if (watts < 0) throw std::invalid_argument("PowerBudget: negative draw");
+  // `watts < 0` alone would wave NaN through (every comparison with NaN
+  // is false) and poison total_w_ forever; reject anything non-finite.
+  if (!(watts >= 0) || !std::isfinite(watts)) {
+    throw std::invalid_argument("PowerBudget: draw must be finite and >= 0");
+  }
   parts_.push_back({std::string(component), watts});
   total_w_ += watts;
   return fits();
@@ -21,8 +28,12 @@ bool PowerBudget::remove(std::string_view component) {
   const auto it = std::find_if(parts_.begin(), parts_.end(),
                                [&](const Component& c) { return c.name == component; });
   if (it == parts_.end()) return false;
-  total_w_ -= it->watts;
   parts_.erase(it);
+  // Recompute instead of subtracting: repeated add/remove cycles would
+  // otherwise accumulate floating-point drift in total_w_ until an empty
+  // budget reports a nonzero total (and fits()/headroom() lie).
+  total_w_ = 0;
+  for (const Component& c : parts_) total_w_ += c.watts;
   return true;
 }
 

@@ -21,9 +21,13 @@ class PowerBudget {
 
   /// Register a component draw.  Returns false (and records it anyway) if
   /// this pushes the total over the cap; callers decide how to react.
+  /// Throws std::invalid_argument on a negative or non-finite draw (NaN
+  /// included -- a NaN draw would silently poison the running total).
   bool add(std::string_view component, double watts);
 
-  /// Remove a component by name; returns true if found.
+  /// Remove a component by name; returns true if found.  The total is
+  /// recomputed from the remaining components, not decremented, so
+  /// add/remove churn never accumulates floating-point drift.
   bool remove(std::string_view component);
 
   double total() const noexcept { return total_w_; }

@@ -1,5 +1,7 @@
 #include "energy/ladder.hpp"
 
+#include <cmath>
+
 #include "util/units.hpp"
 
 namespace arch21::energy {
@@ -19,10 +21,16 @@ LadderAssessment assess(const LadderRung& rung, double achieved_ops_per_watt) {
   LadderAssessment a;
   a.rung = &rung;
   a.achieved_ops_per_watt = achieved_ops_per_watt;
-  a.gap = achieved_ops_per_watt > 0
-              ? rung.required_ops_per_watt() / achieved_ops_per_watt
-              : 1e300;
-  a.met = a.gap <= 1.0;
+  // Non-positive or non-finite efficiency can never meet a rung: guard
+  // the ratio so a negative or NaN `achieved` cannot produce a negative
+  // (or NaN) gap that slips past the `gap <= 1` test as "met".
+  if (std::isfinite(achieved_ops_per_watt) && achieved_ops_per_watt > 0) {
+    a.gap = rung.required_ops_per_watt() / achieved_ops_per_watt;
+    a.met = a.gap <= 1.0;
+  } else {
+    a.gap = 1e300;
+    a.met = false;
+  }
   return a;
 }
 

@@ -35,6 +35,9 @@ struct LadderAssessment {
   const LadderRung* rung;
   double achieved_ops_per_watt;
   /// required / achieved: > 1 means short of the target by that factor.
+  /// Non-positive or non-finite achieved efficiency reports gap = 1e300
+  /// and met = false (a platform with no positive ops/W never "meets" a
+  /// rung, whatever the sign arithmetic would say).
   double gap;
   bool met;
 };

@@ -15,6 +15,23 @@ DvfsModel::DvfsModel(Params p) : p_(p) {
   if (p_.alpha <= 0 || p_.fnom_ghz <= 0 || p_.ceff_nj <= 0) {
     throw std::invalid_argument("DvfsModel: non-positive parameter");
   }
+  // The search brackets in min_energy_voltage() / voltage_for_power()
+  // are [vfloor, vnom]; an inverted bracket (vfloor >= vnom) would make
+  // both searches silently converge to garbage, so it is rejected here:
+  // an explicit vmin must sit strictly inside (vth, vnom), and when vmin
+  // is defaulted the implicit vth + 50 mV floor must still clear vnom.
+  if (p_.vmin > 0 && (p_.vmin <= p_.vth || p_.vmin >= p_.vnom)) {
+    throw std::invalid_argument(
+        "DvfsModel: vmin must lie strictly inside (vth, vnom)");
+  }
+  if (p_.vmin == 0 && p_.vth + 0.05 >= p_.vnom) {
+    throw std::invalid_argument(
+        "DvfsModel: default floor vth + 0.05 must stay below vnom "
+        "(set vmin explicitly for headroom this tight)");
+  }
+  if (p_.vmin < 0 || !std::isfinite(p_.vmin)) {
+    throw std::invalid_argument("DvfsModel: vmin must be finite and >= 0");
+  }
   // Fix the alpha-power constant so that f(vnom) == fnom.
   kf_ = p_.fnom_ghz * units::giga * p_.vnom /
         std::pow(p_.vnom - p_.vth, p_.alpha);
@@ -93,12 +110,20 @@ double DvfsModel::min_energy_voltage() const noexcept {
   return 0.5 * (lo + hi);
 }
 
-double DvfsModel::voltage_for_power(double budget_w) const noexcept {
+DvfsModel::PowerFit DvfsModel::fit_voltage_for_power(
+    double budget_w) const noexcept {
   // power(v) is monotone increasing over [vfloor, vnom]; bisect.
   double lo = vfloor();
   double hi = p_.vnom;
-  if (power(hi) <= budget_w) return hi;
-  if (power(lo) >= budget_w) return lo;
+  if (power(hi) <= budget_w) return {hi, true};
+  if (power(lo) >= budget_w) {
+    // The floor alone already draws budget_w or more: the cap is
+    // infeasible at any legal supply (power(lo) > budget), or the floor
+    // exactly fits (power(lo) == budget).  Both return the floor, but
+    // only the latter is feasible -- callers that silently ran at `lo`
+    // used to blow their budget here.
+    return {lo, power(lo) <= budget_w};
+  }
   for (int i = 0; i < 60; ++i) {
     const double mid = 0.5 * (lo + hi);
     if (power(mid) <= budget_w) {
@@ -107,7 +132,11 @@ double DvfsModel::voltage_for_power(double budget_w) const noexcept {
       hi = mid;
     }
   }
-  return lo;
+  return {lo, true};
+}
+
+double DvfsModel::voltage_for_power(double budget_w) const noexcept {
+  return fit_voltage_for_power(budget_w).v;
 }
 
 std::vector<DvfsModel::Point> DvfsModel::sweep(int steps) const {

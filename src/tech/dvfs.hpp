@@ -31,7 +31,11 @@ class DvfsModel {
     double ceff_nj = 0.5;     ///< switched energy at 1 V, nJ per op (Ceff in nF)
     double pleak_nom_w = 0.6; ///< leakage power at vnom, W
     double v_slope = 0.12;    ///< exponential leakage slope vs V, volts/e-fold
-    double vmin = 0.0;        ///< lowest legal supply; 0 => vth + 50 mV
+    /// Lowest legal supply; 0 => vth + 50 mV.  When set it must lie
+    /// strictly inside (vth, vnom) -- and when defaulted, vth + 50 mV
+    /// must still clear vnom -- or the constructor throws: an inverted
+    /// [vfloor, vnom] bracket would silently corrupt every search below.
+    double vmin = 0.0;
   };
 
   explicit DvfsModel(Params p);
@@ -66,8 +70,23 @@ class DvfsModel {
   /// [vmin, vnom].
   double min_energy_voltage() const noexcept;
 
-  /// Highest supply (<= vnom) whose full-speed power fits `budget_w`;
-  /// returns vmin floor if even that exceeds the budget.
+  /// Result of a power-capped supply search: the supply, plus whether
+  /// the budget is actually attainable there.  `feasible == false` means
+  /// the cap is below the floor's own draw -- v is the vmin floor and
+  /// running there still exceeds the budget.
+  struct PowerFit {
+    double v = 0;
+    bool feasible = false;
+  };
+
+  /// Highest supply in [vmin floor, vnom] whose full-speed power fits
+  /// `budget_w`.  Distinguishes "the floor happens to fit exactly"
+  /// (feasible) from "even the floor exceeds the cap" (infeasible).
+  PowerFit fit_voltage_for_power(double budget_w) const noexcept;
+
+  /// Convenience form of fit_voltage_for_power() that clamps to the vmin
+  /// floor when the cap is infeasible; prefer the PowerFit form when the
+  /// caller must react to an unmeetable budget.
   double voltage_for_power(double budget_w) const noexcept;
 
   /// An operating point for tabulation.
