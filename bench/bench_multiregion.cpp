@@ -9,10 +9,16 @@
 // deadline-drop queues, then re-admission hysteresis + retry budget +
 // circuit breakers) sheds the excess at the edge and snaps back.
 //
+// Rung 4 (the E34 tie-in) reruns the full stack with the blackout
+// swapped for a GRAY-out: the same region goes fail-slow instead of
+// dark.  Breakers cannot see it -- a slow region still replies -- so
+// recovery proves the speed-aware health probe + re-admission
+// hysteresis converge on fail-slow faults too.
+//
 // Prints the multi-region report and the headline claims, verifies the
 // multi-trial aggregate is bit-identical across pool sizes 1 / 2 /
 // default, and writes BENCH_multiregion.json.  Exit is nonzero if the
-// determinism check or either hysteresis claim fails.
+// determinism check or any hysteresis claim fails.
 //
 // `--smoke` shrinks the drill (3 regions, short horizon) for sanitizer
 // runs in tier1.sh; the hysteresis claims are skipped there (the small
@@ -200,13 +206,19 @@ int main(int argc, char** argv) {
   std::cout << core::render_multiregion_report(ladder, kSettleS) << "\n";
 
   // --- headline claims -------------------------------------------------
+  // Rung order: naked / capped / full / gray (the gray rung reruns the
+  // full stack with the blackout swapped for a fail-slow region).
   const auto& naked = ladder.front();
-  const auto& full = ladder.back();
+  const auto& full = ladder[2];
+  const auto& gray = ladder.back();
   const auto surv_naked =
       cloud::multiregion_hysteresis(naked.result, naked.config, true,
                                     kSettleS);
   const auto glob_full =
       cloud::multiregion_hysteresis(full.result, full.config, false,
+                                    kSettleS);
+  const auto glob_gray =
+      cloud::multiregion_hysteresis(gray.result, gray.config, false,
                                     kSettleS);
   bool claims_ok = true;
   if (!smoke) {
@@ -216,7 +228,19 @@ int main(int argc, char** argv) {
     // (b) containment: the full ladder recovers >= 90% of pre-fault
     //     GLOBAL goodput.
     const bool recovered = glob_full.recovery_ratio() >= 0.90;
-    claims_ok = cascaded && recovered;
+    // (c) gray rung: a fail-SLOW region is invisible to breakers (it
+    //     still replies), yet the speed-aware health probe must evict it
+    //     and the re-admission hysteresis must converge -- global
+    //     goodput back to >= 90% of pre-fault after the grayout clears.
+    const unsigned gr = gray.config.grayout_region;
+    std::uint64_t gray_evictions = 0, gray_readmissions = 0;
+    if (gr < gray.result.regions.size()) {
+      gray_evictions = gray.result.regions[gr].evictions;
+      gray_readmissions = gray.result.regions[gr].readmissions;
+    }
+    const bool gray_converged = glob_gray.recovery_ratio() >= 0.90 &&
+                                gray_evictions >= 1 && gray_readmissions >= 1;
+    claims_ok = cascaded && recovered && gray_converged;
     std::cout << "claim (a) cascade: unprotected surviving-region post/pre "
               << surv_naked.recovery_ratio() * 100
               << "% (<= 60% required) -> " << (cascaded ? "ok" : "FAIL")
@@ -224,22 +248,34 @@ int main(int argc, char** argv) {
     std::cout << "claim (b) containment: full-ladder global post/pre "
               << glob_full.recovery_ratio() * 100
               << "% (>= 90% required) -> " << (recovered ? "ok" : "FAIL")
-              << "\n\n";
+              << "\n";
+    std::cout << "claim (c) gray-out convergence: global post/pre "
+              << glob_gray.recovery_ratio() * 100 << "% (>= 90% required), "
+              << gray_evictions << " evictions / " << gray_readmissions
+              << " readmissions of the grayed region (>= 1 each) -> "
+              << (gray_converged ? "ok" : "FAIL") << "\n\n";
   } else {
     std::cout << "(smoke: hysteresis thresholds skipped)\n\n";
   }
 
   // --- determinism across pool sizes ----------------------------------
-  // The full stack exercises every code path (caps, bounded queues,
-  // hysteresis, budget, breakers, WAN jitter), so bit-identity here
-  // covers the whole multi-region layer.
+  // The full stack exercises every fail-stop code path (caps, bounded
+  // queues, hysteresis, budget, breakers, WAN jitter); the gray rung
+  // adds the fail-slow path (set_speed + speed-aware probes).  Together
+  // bit-identity covers the whole multi-region layer.
   ThreadPool p1(1), p2(2);
   const auto& check_cfg = full.config;
   const auto r1 = cloud::run_multiregion_trials(check_cfg, trials, &p1);
   const auto r2 = cloud::run_multiregion_trials(check_cfg, trials, &p2);
   const auto rn = cloud::run_multiregion_trials(check_cfg, trials, &pool);
-  const bool identical = same_aggregate(r1, r2) && same_aggregate(r1, rn);
-  std::cout << "determinism: pools {1, 2, " << pool.size() << "} -> "
+  const auto& gray_cfg = gray.config;
+  const auto g1 = cloud::run_multiregion_trials(gray_cfg, trials, &p1);
+  const auto g2 = cloud::run_multiregion_trials(gray_cfg, trials, &p2);
+  const auto gn = cloud::run_multiregion_trials(gray_cfg, trials, &pool);
+  const bool identical = same_aggregate(r1, r2) && same_aggregate(r1, rn) &&
+                         same_aggregate(g1, g2) && same_aggregate(g1, gn);
+  std::cout << "determinism: pools {1, 2, " << pool.size()
+            << "}, blackout + gray-out rungs -> "
             << (identical ? "bit-identical aggregates" : "MISMATCH") << "\n";
 
   // --- JSON record -----------------------------------------------------
@@ -252,9 +288,12 @@ int main(int argc, char** argv) {
       << ",\n  \"blackout\": {\"region\": " << cfg.blackout_region
       << ", \"start_s\": " << cfg.blackout_start_s
       << ", \"duration_s\": " << cfg.blackout_duration_s << "}"
+      << ",\n  \"grayout\": {\"region\": " << gray.config.grayout_region
+      << ", \"slow_factor\": " << gray.config.grayout_slow_factor << "}"
       << ",\n  \"unprotected_surviving_recovery\": "
       << surv_naked.recovery_ratio()
       << ",\n  \"full_global_recovery\": " << glob_full.recovery_ratio()
+      << ",\n  \"gray_global_recovery\": " << glob_gray.recovery_ratio()
       << ",\n  \"claims_ok\": " << (claims_ok ? "true" : "false")
       << ",\n  \"identical_across_pools\": " << (identical ? "true" : "false")
       << ",\n  \"scenarios\": [\n";

@@ -23,9 +23,15 @@ Provenance rules (from bench/bench_meta.hpp's "meta" stamp):
     fail the gate (a silently dropped workload is a regression too);
     metrics only in the current file are reported as informational.
 Faster-than-baseline results always pass; this is a one-sided gate.
+
+With --history PATH, every gated run (pass or fail, but not refusals)
+appends one JSON line to PATH: the timestamp, both file names, every
+metric compared, the verdict, and the current run's meta stamp --
+bench/history.jsonl accumulates a greppable trend line per commit.
 """
 
 import argparse
+import datetime
 import json
 import os
 import sys
@@ -67,6 +73,7 @@ def rates(doc):
             "availability",
             "pre_qps",
             "recovery",
+            "containment",
             "goodput_per_joule",
         ):
             if key in row:
@@ -122,6 +129,15 @@ def main():
         default=float(os.environ.get("BENCH_GATE_TOL", "0.05")),
         help="allowed fractional slowdown vs baseline (default 0.05 "
         "or $BENCH_GATE_TOL)",
+    )
+    ap.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="append one JSON line per gated run to PATH "
+        "(e.g. bench/history.jsonl) -- every metric compared, the "
+        "verdict, and the run's meta stamp, for trend analysis across "
+        "commits without digging through CI artifacts",
     )
     args = ap.parse_args()
 
@@ -179,6 +195,23 @@ def main():
         print(f"  new  {name}: {cur_rates[name]:.3g} (no baseline, not gated)")
     for name in sorted(set(cur_costs) - set(base_costs)):
         print(f"  new  {name}: {cur_costs[name]:.3g} (no baseline, not gated)")
+
+    if args.history:
+        record = {
+            "utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "baseline": args.baseline,
+            "current": args.current,
+            "tol": args.tol,
+            "ok": not failures,
+            "failures": failures,
+            "meta": cur.get("meta", {}),
+            "rates": cur_rates,
+            "costs": cur_costs,
+        }
+        with open(args.history, "a", encoding="utf-8") as f:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
 
     if failures:
         print("bench_gate: FAILED", file=sys.stderr)

@@ -22,6 +22,10 @@ echo "== tier-1: multi-region drill smoke (WAN + failover ladder) =="
 cmake --build build -j "$(nproc)" --target bench_multiregion
 (cd build && ./bench/bench_multiregion --smoke)
 
+echo "== tier-1: gray-failure drill smoke (fail-slow ladder, E34) =="
+cmake --build build -j "$(nproc)" --target bench_grayfail
+(cd build && ./bench/bench_grayfail --smoke)
+
 echo "== tier-1: power-cap drill smoke (energy contract + policy ladder) =="
 cmake --build build -j "$(nproc)" --target bench_power
 (cd build && ./bench/bench_power --smoke)
@@ -30,11 +34,11 @@ echo "== tier-1: ThreadSanitizer pass =="
 cmake -B build-tsan -S . -DARCH21_SAN=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target \
   test_thread_pool test_cloud_tail test_parallel_determinism test_resilience \
-  test_overload test_multiregion test_pdes test_power bench_des_queue \
-  bench_pdes bench_multiregion bench_power
+  test_overload test_grayfail test_multiregion test_pdes test_power \
+  bench_des_queue bench_pdes bench_multiregion bench_power bench_grayfail
 for t in test_thread_pool test_cloud_tail test_parallel_determinism \
-         test_resilience test_overload test_multiregion test_pdes \
-         test_power; do
+         test_resilience test_overload test_grayfail test_multiregion \
+         test_pdes test_power; do
   echo "-- tsan: $t"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
 done
@@ -49,6 +53,11 @@ echo "-- tsan: bench_multiregion --smoke"
 # proves stays trial-local.
 echo "-- tsan: bench_power --smoke"
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_power --smoke)
+# The grayfail trials run the detection/mitigation state machine inside
+# every pooled trial (EWMA scores, eviction state, adaptive deadline) --
+# TSan proves the per-trial detectors never share state across workers.
+echo "-- tsan: bench_grayfail --smoke"
+(cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./bench/bench_grayfail --smoke)
 
 echo "== tier-1: AddressSanitizer smoke (overload-protection paths) =="
 # The overload layer moves InlineCallbacks through a bounded ring, kills
@@ -57,8 +66,8 @@ echo "== tier-1: AddressSanitizer smoke (overload-protection paths) =="
 # --smoke drives the whole ladder end to end.
 cmake -B build-asan -S . -DARCH21_SAN=address >/dev/null
 cmake --build build-asan -j "$(nproc)" --target \
-  test_des_queue test_resilience test_overload bench_overload
-for t in test_des_queue test_resilience test_overload; do
+  test_des_queue test_resilience test_overload test_grayfail bench_overload
+for t in test_des_queue test_resilience test_overload test_grayfail; do
   echo "-- asan: $t"
   ASAN_OPTIONS="halt_on_error=1" "./build-asan/tests/$t"
 done

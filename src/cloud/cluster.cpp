@@ -7,9 +7,11 @@
 #include <string>
 #include <vector>
 
+#include "cloud/gray_detect.hpp"
 #include "des/resource.hpp"
 #include "des/simulator.hpp"
 #include "reliab/failure_trace.hpp"
+#include "reliab/gray.hpp"
 #include "util/slab.hpp"
 
 #if ARCH21_OBS_ENABLED
@@ -58,6 +60,63 @@ void ClusterFaultConfig::validate() const {
       bad("ClusterFaultConfig", "domain.mttr_hours must be >= 0");
     }
   }
+}
+
+void ClusterGrayConfig::validate() const {
+  // Burst fields are independent of the stochastic trace, so they are
+  // checked whether or not `enabled` is set (like ClusterFaultConfig).
+  if (!(burst_start_s >= 0)) {
+    bad("ClusterGrayConfig", "burst_start_s must be >= 0");
+  }
+  if (!(burst_duration_s >= 0)) {
+    bad("ClusterGrayConfig", "burst_duration_s must be >= 0");
+  }
+  if (burst_leaves > 0) {
+    if (!(burst_duration_s > 0)) {
+      bad("ClusterGrayConfig", "burst_leaves requires burst_duration_s > 0");
+    }
+    switch (burst_mode) {
+      case reliab::GrayMode::kSlow:
+        if (!(burst_severity > 1) || !std::isfinite(burst_severity)) {
+          bad("ClusterGrayConfig", "slow burst_severity must be finite and > 1");
+        }
+        break;
+      case reliab::GrayMode::kLossy:
+        if (!(burst_severity > 0) || burst_severity > 1) {
+          bad("ClusterGrayConfig", "lossy burst_severity must be in (0, 1]");
+        }
+        break;
+      case reliab::GrayMode::kZombie:
+        break;  // total reply loss; severity ignored
+      case reliab::GrayMode::kJittery:
+        if (!(burst_severity > 0) || !std::isfinite(burst_severity)) {
+          bad("ClusterGrayConfig",
+              "jittery burst_severity must be finite and > 0");
+        }
+        break;
+    }
+  }
+  if (!(spike_prob > 0) || spike_prob > 1) {
+    bad("ClusterGrayConfig", "spike_prob must be in (0, 1]");
+  }
+  if (!enabled) return;
+  // The trace parameterization is exactly a GrayTraceConfig; delegate so
+  // the two layers can never drift apart on what is legal.
+  reliab::GrayTraceConfig gcfg;
+  gcfg.entities = 1;
+  gcfg.episode = episode;
+  gcfg.w_slow = w_slow;
+  gcfg.w_lossy = w_lossy;
+  gcfg.w_zombie = w_zombie;
+  gcfg.w_jittery = w_jittery;
+  gcfg.slow_factor_min = slow_factor_min;
+  gcfg.slow_factor_max = slow_factor_max;
+  gcfg.loss_fraction_min = loss_fraction_min;
+  gcfg.loss_fraction_max = loss_fraction_max;
+  gcfg.spike_ms_min = spike_ms_min;
+  gcfg.spike_ms_max = spike_ms_max;
+  gcfg.spike_prob = spike_prob;
+  gcfg.validate();
 }
 
 void ClusterConfig::validate() const {
@@ -110,6 +169,21 @@ void ClusterConfig::validate() const {
     // engine has no home for it.  (workers > 0 is excluded transitively:
     // it requires net_latency_ms > 0.)
     bad("ClusterConfig", "powercap requires net_latency_ms == 0");
+  }
+  gray.validate();
+  if (gray.burst_leaves > leaves) {
+    bad("ClusterGrayConfig", "burst_leaves must be <= leaves");
+  }
+  if (gray.any() && net_latency_ms > 0) {
+    // The injection hooks live on the serial engine's leaves; the
+    // LP-sharded path rejects the config rather than silently ignoring
+    // it.  (Gray DETECTION -- policy.gray -- runs on both engines.)
+    bad("ClusterConfig", "gray injection requires net_latency_ms == 0");
+  }
+  if (gray.any() && powercap.enabled) {
+    // Both layers drive Resource::set_speed; composed, one would silently
+    // overwrite the other's p-state.
+    bad("ClusterConfig", "gray injection and powercap are mutually exclusive");
   }
 }
 
@@ -184,6 +258,13 @@ void ClusterResult::merge(const ClusterResult& other) {
   for (std::size_t i = 0; i < other.energy_j_per_window.size(); ++i) {
     energy_j_per_window[i] += other.energy_j_per_window[i];
   }
+  gray_episodes += other.gray_episodes;
+  gray_dropped_replies += other.gray_dropped_replies;
+  gray_evictions += other.gray_evictions;
+  gray_probations += other.gray_probations;
+  gray_zombies += other.gray_zombies;
+  gray_redirected_sends += other.gray_redirected_sends;
+  adaptive_deadline_ms = avg(adaptive_deadline_ms, other.adaptive_deadline_ms);
   retry_amplification = avg(retry_amplification, other.retry_amplification);
   goodput_qps = avg(goodput_qps, other.goodput_qps);
   availability_measured =
@@ -342,6 +423,33 @@ class ClusterSim {
       const bool dom_ok = fcfg_.leaves_per_domain == 0 ||
                           domain_up_[ev.entity / fcfg_.leaves_per_domain];
       set_effective(ev.entity, ev.up && dom_ok);
+    }
+  }
+
+  /// Apply one gray-degradation transition to leaf `l`.  Slow mode acts
+  /// through the leaf's service speed (work genuinely takes longer);
+  /// lossy/zombie/jittery act on the reply path in on_leaf_reply().  A
+  /// clear restores full speed and deactivates the reply effects.
+  void apply_gray(unsigned l, reliab::GrayMode mode, double severity,
+                  bool onset) {
+    LeafGray& g = gray_[l];
+    if (onset) {
+      ++res_.gray_episodes;
+      if (g.active && g.mode == reliab::GrayMode::kSlow &&
+          mode != reliab::GrayMode::kSlow) {
+        leaves_[l]->set_speed(1.0);  // mode switch out of slow
+      }
+      g.mode = mode;
+      g.severity = severity;
+      g.active = true;
+      if (mode == reliab::GrayMode::kSlow) {
+        leaves_[l]->set_speed(1.0 / severity);
+      }
+    } else {
+      if (g.active && g.mode == reliab::GrayMode::kSlow) {
+        leaves_[l]->set_speed(1.0);
+      }
+      g.active = false;
     }
   }
 
@@ -530,7 +638,20 @@ class ClusterSim {
 
     unsigned t = target;
     bool send = true;
-    if (pol_.breaker.enabled && !breaker_allows(t)) {
+    if (gdet_.engaged() && gdet_.evicted(t)) {
+      // Down-weighted to zero: steer the send to a healthy peer chosen
+      // round-robin (deterministic -- no redirect storm, no RNG).  With
+      // no healthy peer left, nothing is sent and the armed timeout
+      // recovers the call.
+      ++res_.gray_redirected_sends;
+      const unsigned alt = gdet_.redirect_target(t);
+      if (alt == GrayDetector::kNone) {
+        send = false;
+      } else {
+        t = alt;
+      }
+    }
+    if (send && pol_.breaker.enabled && !breaker_allows(t)) {
       ++res_.breaker_short_circuits;
 #if ARCH21_OBS_ENABLED
       if (trace_) trace_->instant(tr_brk_short_, sim_.now(), 0);
@@ -547,11 +668,16 @@ class ClusterSim {
     }
 
     if (send) {
+      if (gdet_.engaged()) gdet_.on_sent(t);
       if (leaf_up_[t]) {
         if (!leaves_[t]->request(service, [this, q, call, t](double, double) {
-              on_leaf_done(q, call, t);
+              on_leaf_reply(q, call, t);
             })) {
           breaker_record(t, false);
+          // A bounce is a LOUD refusal, not a silent non-reply: the gray
+          // detector must not count it toward the reply-rate check, or
+          // redirect-concentrated load evicts the healthy majority.
+          if (gdet_.engaged()) gdet_.on_rejected(t);
 #if ARCH21_OBS_ENABLED
           if (trace_) trace_->instant(tr_rejected_, sim_.now(), 0);
 #endif
@@ -575,18 +701,67 @@ class ClusterSim {
           sim_.schedule_cancellable(pol_.hedge_after_ms, std::move(hedge));
     }
     if (!is_hedge && pol_.retry.timeout_ms > 0) {
+      // The adaptive deadline (when on) replaces the fixed per-attempt
+      // timeout with the detector's tracked p99-based value, clamped to
+      // [deadline_min_ms, the fixed timeout].
+      const double to = gdet_.engaged() && pol_.gray.adaptive_deadline
+                            ? gdet_.timeout_ms()
+                            : pol_.retry.timeout_ms;
       auto timeout = [this, q, call, service, t] {
         on_timeout(q, call, service, t);
       };
       static_assert(sizeof(timeout) <= des::Simulator::Action::capacity(),
                     "timeout closure must fit the Action inline buffer");
-      call->timeout =
-          sim_.schedule_cancellable(pol_.retry.timeout_ms, std::move(timeout));
+      call->timeout = sim_.schedule_cancellable(to, std::move(timeout));
     }
+  }
+
+  /// A leaf finished serving an attempt: apply gray reply effects before
+  /// the client sees anything.  A lossy/zombie leaf eats the reply (only
+  /// the client's timeout will tell it); a jittery leaf delays it by an
+  /// exponential spike -- the leaf itself kept full capacity, so this is
+  /// a NIC/GC hiccup, not queueing.  All coins/draws come from the
+  /// dedicated gray stream, and only while an episode is active.
+  void on_leaf_reply(const QueryRef& q, const CallRef& call, unsigned target) {
+    if (gray_active_) {
+      const LeafGray& g = gray_[target];
+      if (g.active) {
+        switch (g.mode) {
+          case reliab::GrayMode::kZombie:
+            ++res_.gray_dropped_replies;
+            return;
+          case reliab::GrayMode::kLossy:
+            if (grng_.chance(g.severity)) {
+              ++res_.gray_dropped_replies;
+              return;
+            }
+            break;
+          case reliab::GrayMode::kJittery:
+            if (grng_.chance(cfg_.gray.spike_prob)) {
+              auto deliver = [this, q, call, target] {
+                on_leaf_done(q, call, target);
+              };
+              static_assert(
+                  sizeof(deliver) <= des::Simulator::Action::capacity(),
+                  "spiked-reply closure must fit the Action inline buffer");
+              sim_.schedule(grng_.exponential(g.severity), std::move(deliver));
+              return;
+            }
+            break;
+          case reliab::GrayMode::kSlow:
+            break;  // slow acts through set_speed at onset
+        }
+      }
+    }
+    on_leaf_done(q, call, target);
   }
 
   void on_leaf_done(const QueryRef& q, const CallRef& call, unsigned target) {
     breaker_record(target, true);  // a reply is a success observation
+    // The detector observes every reply that reaches the client --
+    // including late and duplicate ones, which are exactly the fail-slow
+    // signal the breaker window launders into successes.
+    if (gdet_.engaged()) gdet_.on_reply(target, sim_.now() - q->start_ms);
     if (call->done) return;  // a faster attempt already answered
     call->done = true;
     sim_.cancel(call->timeout);
@@ -780,9 +955,19 @@ class ClusterSim {
   std::vector<char> domain_up_;
   std::vector<Breaker> breakers_;
   reliab::FailureTraceConfig fcfg_;
+  /// Live gray-degradation state of one leaf (injection side).
+  struct LeafGray {
+    reliab::GrayMode mode = reliab::GrayMode::kSlow;
+    double severity = 0;
+    bool active = false;
+  };
+  std::vector<LeafGray> gray_;
+  bool gray_active_ = false;  // any gray injection configured this trial
+  GrayDetector gdet_;         // client-side fail-slow detector (no RNG)
   std::vector<double> services_;  // pre-drawn per-(query,leaf) service times
   Rng crng_{0};  // client-side picks: hedge/retry targets, jitter
   Rng brng_{0};  // breaker-only stream: cooldown jitter, redirect draws
+  Rng grng_{0};  // gray-injection-only stream: loss coins, jitter spikes
   double budget_tokens_ = 0;
   double adm_tokens_ = 0;    // admission rate-gate bucket
   double adm_last_ms_ = 0;   // last refill time of adm_tokens_
@@ -922,6 +1107,69 @@ ClusterResult ClusterSim::run() {
     res_.leaf_failures += n;
   }
 
+  // --- gray (fail-slow) injection: seeded trace and/or planted burst ---
+  gray_active_ = cfg_.gray.any();
+  if (gray_active_) {
+    gray_.assign(cfg_.leaves, LeafGray{});
+    // Dedicated stream for the per-reply coins (loss, jitter spikes) so
+    // gray injection never perturbs workload/fault/client draws.
+    grng_ = Rng(cfg_.seed, 0x6417);
+  }
+  if (cfg_.gray.enabled) {
+    reliab::GrayTraceConfig gcfg;
+    gcfg.entities = cfg_.leaves;
+    gcfg.episode = cfg_.gray.episode;
+    gcfg.w_slow = cfg_.gray.w_slow;
+    gcfg.w_lossy = cfg_.gray.w_lossy;
+    gcfg.w_zombie = cfg_.gray.w_zombie;
+    gcfg.w_jittery = cfg_.gray.w_jittery;
+    gcfg.slow_factor_min = cfg_.gray.slow_factor_min;
+    gcfg.slow_factor_max = cfg_.gray.slow_factor_max;
+    gcfg.loss_fraction_min = cfg_.gray.loss_fraction_min;
+    gcfg.loss_fraction_max = cfg_.gray.loss_fraction_max;
+    gcfg.spike_ms_min = cfg_.gray.spike_ms_min;
+    gcfg.spike_ms_max = cfg_.gray.spike_ms_max;
+    gcfg.spike_prob = cfg_.gray.spike_prob;
+    gcfg.horizon_hours = horizon_ms_ / kMsPerHour;
+    // Its own sub-stream, like the fail-stop trace's 0xFA17.
+    gcfg.seed = Rng(cfg_.seed, 0xFA51).next();
+    const reliab::GrayTrace gtrace = reliab::generate_gray_trace(gcfg);
+    for (const reliab::GrayEvent& ev : gtrace.events) {
+      sim_.schedule_at(ev.t_hours * kMsPerHour, [this, ev] {
+        apply_gray(ev.entity, ev.mode, ev.severity, ev.onset);
+      });
+    }
+  }
+
+  // --- deterministic gray burst (the E34 trigger, mirrors E29's) ---
+  if (cfg_.gray.burst_enabled()) {
+    const unsigned n = std::min(cfg_.gray.burst_leaves, cfg_.leaves);
+    const double t0 = cfg_.gray.burst_start_s * 1000.0;
+    const reliab::GrayMode mode = cfg_.gray.burst_mode;
+    const double sev = cfg_.gray.burst_severity;
+    sim_.schedule_at(t0, [this, n, mode, sev] {
+      for (unsigned l = 0; l < n; ++l) apply_gray(l, mode, sev, true);
+    });
+    sim_.schedule_at(t0 + cfg_.gray.burst_duration_s * 1000.0,
+                     [this, n, mode, sev] {
+                       for (unsigned l = 0; l < n; ++l) {
+                         apply_gray(l, mode, sev, false);
+                       }
+                     });
+  }
+
+  // --- client-side gray detection (eval cadence on the root) ---
+  if (pol_.gray.enabled) {
+    gdet_.init(pol_.gray, cfg_.leaves, pol_.retry.timeout_ms);
+    const double step = pol_.gray.eval_interval_ms;
+    const auto evals =
+        static_cast<std::uint64_t>(std::ceil(horizon_ms_ / step));
+    for (std::uint64_t k = 1; k <= evals; ++k) {
+      sim_.schedule_at(static_cast<double>(k) * step,
+                       [this] { gdet_.eval(sim_.now()); });
+    }
+  }
+
   // --- background load on each leaf (dropped while the leaf is down) ---
   for (unsigned l = 0; l < cfg_.leaves; ++l) {
     double t = 0;
@@ -982,6 +1230,15 @@ ClusterResult ClusterSim::run() {
         res_.breaker_open_ms += std::min(end, b.open_until) - b.opened_at;
       }
     }
+  }
+
+  // Fold the gray detector's books in once.
+  if (gdet_.engaged()) {
+    res_.gray_evictions = gdet_.evictions();
+    res_.gray_probations = gdet_.probations();
+    res_.gray_zombies = gdet_.zombies();
+    res_.adaptive_deadline_ms =
+        pol_.gray.adaptive_deadline ? gdet_.timeout_ms() : 0;
   }
 
   // Fold the powercap engine's telemetry in once.

@@ -34,6 +34,7 @@
 #include "des/resource.hpp"
 #include "obs/enabled.hpp"
 #include "reliab/availability.hpp"
+#include "reliab/gray.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
 
@@ -71,6 +72,65 @@ struct ClusterFaultConfig {
   bool burst_enabled() const noexcept {
     return burst_leaves > 0 && burst_duration_s > 0;
   }
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// Gray-failure (fail-slow) injection for the cluster's leaves: the
+/// degraded-but-not-dead hardware the fail-stop trace above cannot
+/// express.  Episodes come from a seeded reliab::GrayTrace (per-leaf Rng
+/// sub-streams on a dedicated salt) and/or the deterministic burst below;
+/// both compose with ClusterFaultConfig (a leaf can be gray, crashed, or
+/// both).  Modes and their severity semantics:
+///   slow    -- leaf serves at 1/severity speed (Resource::set_speed);
+///   lossy   -- each reply is dropped with probability severity;
+///   zombie  -- the leaf accepts work but NO reply ever returns;
+///   jittery -- with spike_prob, a reply is delayed by an exponential
+///              spike of mean severity ms (the leaf itself keeps full
+///              capacity -- a NIC/GC hiccup, not a saturated server).
+/// All injection randomness (loss coins, spike draws) comes from a
+/// dedicated Rng stream, so disabled gray is byte-identical.  Requires
+/// the serial engine (net_latency_ms == 0) and is mutually exclusive
+/// with powercap (both drive leaf speed).
+struct ClusterGrayConfig {
+  /// Stochastic episode trace (off by default).
+  bool enabled = false;
+  /// Episode process: mean healthy gap / mean episode length (hours, like
+  /// every reliab Component; interesting regimes are fractions of an hour).
+  reliab::Component episode{.mtbf_hours = 80.0 / 3600.0,
+                            .mttr_hours = 8.0 / 3600.0};
+  /// Relative mode weights and severity ranges (see GrayTraceConfig).
+  double w_slow = 1.0;
+  double w_lossy = 1.0;
+  double w_zombie = 0.25;
+  double w_jittery = 1.0;
+  double slow_factor_min = 3.0;
+  double slow_factor_max = 8.0;
+  double loss_fraction_min = 0.3;
+  double loss_fraction_max = 0.8;
+  double spike_ms_min = 50.0;
+  double spike_ms_max = 400.0;
+  /// Per-reply spike probability while a jittery episode is active
+  /// (trace episodes and deterministic bursts both use this).
+  double spike_prob = 0.5;
+
+  /// Deterministic gray *burst*: leaves [0, burst_leaves) degrade in
+  /// burst_mode with burst_severity at burst_start_s and clear
+  /// burst_duration_s later -- the controlled trigger of the gray-failure
+  /// drill (E34), mirroring ClusterFaultConfig's crash burst.  Disabled
+  /// while burst_leaves == 0.
+  unsigned burst_leaves = 0;
+  double burst_start_s = 0;
+  double burst_duration_s = 0;
+  reliab::GrayMode burst_mode = reliab::GrayMode::kSlow;
+  double burst_severity = 6.0;
+
+  bool burst_enabled() const noexcept {
+    return burst_leaves > 0 && burst_duration_s > 0;
+  }
+  /// Any injection configured (trace or burst)?
+  bool any() const noexcept { return enabled || burst_enabled(); }
 
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;
@@ -120,6 +180,8 @@ struct ClusterConfig {
   unsigned leaf_groups = 0;
   /// Failure injection (off by default).
   ClusterFaultConfig faults;
+  /// Gray-failure (fail-slow) injection (off by default).
+  ClusterGrayConfig gray;
   /// Client-side mitigation + server-edge overload policies (all off by
   /// default).
   ResiliencePolicy policy;
@@ -195,6 +257,17 @@ struct ClusterResult {
   /// different grids would silently corrupt every downstream hysteresis
   /// measurement.  A windowless result adopts the other's grid.
   double goodput_window_s = 0;
+
+  // --- gray-failure telemetry (all zero unless gray/detection enabled) ---
+  std::uint64_t gray_episodes = 0;        ///< injected degradation onsets
+  std::uint64_t gray_dropped_replies = 0; ///< replies eaten by lossy/zombie leaves
+  std::uint64_t gray_evictions = 0;       ///< detector evictions (incl. re-evictions)
+  std::uint64_t gray_probations = 0;      ///< eviction -> probation re-admissions
+  std::uint64_t gray_zombies = 0;         ///< zombie (zero-reply-rate) detections
+  std::uint64_t gray_redirected_sends = 0;///< sends steered off evicted replicas
+  /// Adaptive deadline at end of run, ms (per-trial average under merge();
+  /// 0 = adaptive deadline off).
+  double adaptive_deadline_ms = 0;
 
   // --- power-capping telemetry (all zero unless powercap.enabled) ---
   std::uint64_t power_shed_queries = 0;  ///< refused by cap-aware admission

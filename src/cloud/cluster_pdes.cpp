@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "cloud/cluster.hpp"
+#include "cloud/gray_detect.hpp"
 #include "des/partition.hpp"
 #include "des/pdes.hpp"
 #include "des/resource.hpp"
@@ -380,7 +381,18 @@ class PdesClusterSim {
 
     unsigned t = target;
     bool send = true;
-    if (pol_.breaker.enabled && !breaker_allows(t)) {
+    if (gdet_.engaged() && gdet_.evicted(t)) {
+      // Gray-evicted replica: steer the send to a healthy peer chosen
+      // round-robin (deterministic), same policy as the serial engine.
+      ++res_.gray_redirected_sends;
+      const unsigned alt = gdet_.redirect_target(t);
+      if (alt == GrayDetector::kNone) {
+        send = false;
+      } else {
+        t = alt;
+      }
+    }
+    if (send && pol_.breaker.enabled && !breaker_allows(t)) {
       ++res_.breaker_short_circuits;
 #if ARCH21_OBS_ENABLED
       if (trace_) trace_->instant(tr_brk_short_, rsim_.now(), 0);
@@ -397,6 +409,7 @@ class PdesClusterSim {
     }
 
     if (send) {
+      if (gdet_.engaged()) gdet_.on_sent(t);
       const std::uint64_t serial = call_by_serial_.size();
       calls_.retain(call.h);
       call_by_serial_.push_back(call.h);
@@ -418,14 +431,18 @@ class PdesClusterSim {
     }
     if (!is_hedge && pol_.retry.timeout_ms > 0) {
       // Armed per leaf call: with the completion closure this is the
-      // hottest allocation candidate in the whole scenario.
+      // hottest allocation candidate in the whole scenario.  The adaptive
+      // deadline (when on) replaces the fixed timeout with the detector's
+      // tracked p99-based value.
+      const double to = gdet_.engaged() && pol_.gray.adaptive_deadline
+                            ? gdet_.timeout_ms()
+                            : pol_.retry.timeout_ms;
       auto timeout = [this, q, call, service, t] {
         on_timeout(q, call, service, t);
       };
       static_assert(sizeof(timeout) <= des::Simulator::Action::capacity(),
                     "timeout closure must fit the Action inline buffer");
-      call->timeout =
-          rsim_.schedule_cancellable(pol_.retry.timeout_ms, std::move(timeout));
+      call->timeout = rsim_.schedule_cancellable(to, std::move(timeout));
     }
   }
 
@@ -449,6 +466,11 @@ class PdesClusterSim {
     rsim_.cancel(call->timeout);
     rsim_.cancel(call->hedge);
     const double lat = rsim_.now() - q->start_ms;
+    // The detector scores every reply it can still attribute to a query
+    // (serial-resolved records lose the start time, so replies racing an
+    // already-resolved record go unscored -- a bounded difference from
+    // the serial engine, identical across PDES engines/worker counts).
+    if (gdet_.engaged()) gdet_.on_reply(leaf, lat);
     res_.leaf_ms.add(lat);
     if (q->closed) return;  // degraded/failed; reply arrived late
     if (++q->replied == cfg_.leaves) {
@@ -471,8 +493,11 @@ class PdesClusterSim {
 
   void on_reject(unsigned leaf, std::uint64_t serial) {
     // A rejecting replica is an overloaded replica; the armed timeout
-    // recovers the call itself.
+    // recovers the call itself.  For the gray detector the bounce is a
+    // LOUD refusal, not a silent non-reply -- discount it from the
+    // reply-rate denominator or redirected load evicts healthy replicas.
     breaker_record(leaf, false);
+    if (gdet_.engaged()) gdet_.on_rejected(leaf);
     const std::uint32_t h = call_by_serial_[serial];
     if (h == kNull) return;
     call_by_serial_[serial] = kNull;
@@ -652,6 +677,7 @@ class PdesClusterSim {
   /// that never come (lost to a crash) keep their record until teardown.
   std::vector<std::uint32_t> call_by_serial_;
   reliab::FailureTraceConfig fcfg_;
+  GrayDetector gdet_;  ///< client-side fail-slow detector (root LP only)
   std::vector<double> services_;
   Rng crng_{0};
   Rng brng_{0};
@@ -712,6 +738,18 @@ ClusterResult PdesClusterSim<Engine>::run() {
   if (pol_.breaker.enabled) {
     breakers_.assign(cfg_.leaves, Breaker{});
     brng_ = Rng(cfg_.seed, 0xB4EA);
+  }
+  if (pol_.gray.enabled) {
+    // Detection is root-LP state only (all scoring happens on replies the
+    // root observes), so the port needs no cross-LP coordination.  Gray
+    // INJECTION is a serial-engine feature (validate() rejects it here).
+    gdet_.init(pol_.gray, cfg_.leaves, pol_.retry.timeout_ms);
+    const double step = pol_.gray.eval_interval_ms;
+    const auto evals = static_cast<std::uint64_t>(std::ceil(horizon_ms_ / step));
+    for (std::uint64_t k = 1; k <= evals; ++k) {
+      rsim_.schedule_at(static_cast<double>(k) * step,
+                        [this] { gdet_.eval(rsim_.now()); });
+    }
   }
 #if ARCH21_OBS_ENABLED
   if (cfg_.trace) attach_trace(cfg_.trace);
@@ -871,6 +909,13 @@ ClusterResult PdesClusterSim<Engine>::run() {
       res_.rejected_requests += leaf->rejected();
       res_.expired_drops += leaf->expired();
     }
+  }
+  if (gdet_.engaged()) {
+    res_.gray_evictions = gdet_.evictions();
+    res_.gray_probations = gdet_.probations();
+    res_.gray_zombies = gdet_.zombies();
+    res_.adaptive_deadline_ms =
+        pol_.gray.adaptive_deadline ? gdet_.timeout_ms() : 0;
   }
   if (pol_.breaker.enabled) {
     // Close the books at the time of the LAST event anywhere -- the same

@@ -1,0 +1,247 @@
+#pragma once
+// Client-side gray-failure detector shared by the serial cluster
+// simulator and the PDES root client (the root LP owns all client policy
+// state, so both engines run the identical scoring code).
+//
+// The detector is a pure function of the replies the client observes: it
+// draws NO randomness, keeps no wall-clock state, and is only consulted
+// when GrayDetectionPolicy::enabled -- so a disabled detector leaves the
+// simulation byte-identical, the repo-wide determinism contract.
+//
+// Scoring model (see GrayDetectionPolicy for the knobs):
+//   * every observed reply updates the replica's EWMA latency and the
+//     current eval window's latency histogram;
+//   * every eval interval, the lower-quartile EWMA across scorable peers
+//     is the "what healthy currently looks like" reference -- a replica
+//     whose EWMA exceeds outlier_factor x max(reference, floor_ms) is a
+//     fail-slow outlier (lower quartile, not mean/median, so the
+//     reference survives a majority of replicas degrading at once);
+//   * replies/sends per interval below reply_rate_floor evicts (lossy);
+//     zombie_strikes consecutive zero-reply intervals with traffic flags
+//     a zombie (accepts work, never answers);
+//   * eviction redirects the replica's sends round-robin over healthy
+//     peers; after evict_ms the replica enters probation with fresh
+//     counters and is re-admitted after probation_samples clean replies
+//     (or re-evicted the next eval it still scores bad);
+//   * the adaptive deadline tracks deadline_factor x the eval window's
+//     reply p99, clamped to [deadline_min_ms, fixed timeout].
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cloud/policy.hpp"
+#include "util/histogram.hpp"
+
+namespace arch21::cloud {
+
+class GrayDetector {
+ public:
+  static constexpr unsigned kNone = 0xffffffffu;
+
+  enum class State : std::uint8_t { kHealthy, kEvicted, kProbation };
+
+  void init(const GrayDetectionPolicy& pol, unsigned replicas,
+            double fixed_timeout_ms) {
+    pol_ = pol;
+    fixed_timeout_ms_ = fixed_timeout_ms;
+    deadline_ms_ = fixed_timeout_ms;
+    reps_.assign(replicas, Rep{});
+    win_ms_ = LogHistogram(1e-2, 1e5, 90);
+    rr_cursor_ = 0;
+    evictions_ = probations_ = zombies_ = 0;
+  }
+
+  bool engaged() const noexcept { return pol_.enabled; }
+
+  /// Record one actual send to replica `r` (reply-rate denominator).
+  void on_sent(unsigned r) noexcept { ++reps_[r].sent; }
+
+  /// Record an explicit rejection from replica `r` (bounced off a full
+  /// bounded queue).  A reject is a LOUD refusal -- the replica answered
+  /// immediately, which is fail-stop behavior the breaker already
+  /// handles -- so it must not count as a silent no-reply here: under
+  /// redirect concentration, healthy-but-busy replicas bounce sends, and
+  /// treating those as gray evidence evicts the healthy majority (a
+  /// self-sustaining eviction cascade).
+  void on_rejected(unsigned r) noexcept { ++reps_[r].rejects; }
+
+  /// Record one observed reply from replica `r` at `latency_ms` since the
+  /// query started (late and duplicate replies included -- a late reply
+  /// is exactly the fail-slow signal the breaker window launders away).
+  void on_reply(unsigned r, double latency_ms) {
+    Rep& rep = reps_[r];
+    ++rep.replies;
+    rep.ewma = rep.samples == 0
+                   ? latency_ms
+                   : (1.0 - pol_.ewma_alpha) * rep.ewma +
+                         pol_.ewma_alpha * latency_ms;
+    ++rep.samples;
+    win_ms_.add(latency_ms);
+  }
+
+  /// Should sends to `r` be redirected away right now?
+  bool evicted(unsigned r) const noexcept {
+    return reps_[r].state == State::kEvicted;
+  }
+
+  /// Round-robin healthy peer to take an evicted replica's send; kNone
+  /// when no healthy peer exists (the caller drops the send and lets the
+  /// timeout recover the call).
+  unsigned redirect_target(unsigned from) noexcept {
+    const unsigned n = static_cast<unsigned>(reps_.size());
+    for (unsigned k = 0; k < n; ++k) {
+      const unsigned r = rr_cursor_;
+      rr_cursor_ = (rr_cursor_ + 1) % n;
+      if (r != from && reps_[r].state == State::kHealthy) return r;
+    }
+    return kNone;
+  }
+
+  /// Current effective per-attempt timeout.
+  double timeout_ms() const noexcept { return deadline_ms_; }
+
+  /// One scoring pass at simulation time `now_ms`; call every
+  /// eval_interval_ms (the caller schedules the events, and only when
+  /// the policy is enabled).
+  void eval(double now_ms) {
+    if (pol_.adaptive_deadline && win_ms_.count() >= pol_.min_window_samples) {
+      deadline_ms_ = std::clamp(pol_.deadline_factor * win_ms_.quantile(0.99),
+                                pol_.deadline_min_ms, fixed_timeout_ms_);
+      win_ms_ = LogHistogram(1e-2, 1e5, 90);
+    }
+    if (!pol_.evict) {
+      for (Rep& rep : reps_) rep.snapshot();
+      return;
+    }
+    // Eviction expiry first: the replica gets a fresh probationary look
+    // this same pass (and is re-evicted below if it still scores bad).
+    for (Rep& rep : reps_) {
+      if (rep.state == State::kEvicted && now_ms >= rep.evicted_until_ms) {
+        rep.state = State::kProbation;
+        rep.reset_scores();
+        ++probations_;
+      }
+    }
+    // Peer-relative reference: lower-quartile EWMA over scorable,
+    // non-evicted replicas.
+    scratch_.clear();
+    for (const Rep& rep : reps_) {
+      if (rep.state != State::kEvicted && rep.samples >= pol_.min_samples) {
+        scratch_.push_back(rep.ewma);
+      }
+    }
+    double reference = 0;
+    if (scratch_.size() >= 2) {
+      const std::size_t q1 = (scratch_.size() - 1) / 4;
+      std::nth_element(scratch_.begin(), scratch_.begin() + q1,
+                       scratch_.end());
+      reference = scratch_[q1];
+    }
+    for (unsigned r = 0; r < reps_.size(); ++r) {
+      Rep& rep = reps_[r];
+      if (rep.state == State::kEvicted) {
+        rep.snapshot();
+        continue;
+      }
+      // Rejected sends never entered service; exclude them from the
+      // reply-rate denominator (clamped -- a PDES reject can land in the
+      // eval interval after its send).
+      const std::uint64_t raw_sent = rep.sent - rep.sent_mark;
+      const std::uint64_t sent_since =
+          raw_sent - std::min(rep.rejects - rep.rejects_mark, raw_sent);
+      const std::uint64_t replies_since = rep.replies - rep.replies_mark;
+      bool flagged = false;
+      if (sent_since >= pol_.min_rate_sends) {
+        if (replies_since == 0) {
+          if (++rep.zero_reply_streak >= pol_.zombie_strikes) {
+            ++zombies_;
+            flagged = true;
+          }
+        } else {
+          rep.zero_reply_streak = 0;
+          if (static_cast<double>(replies_since) <
+              pol_.reply_rate_floor * static_cast<double>(sent_since)) {
+            // Same hysteresis as the latency check: one interval of
+            // reply lag (a clump of deadline drops on a busy-but-healthy
+            // replica) is noise; a lossy replica stays under the floor.
+            if (++rep.low_rate_streak >= pol_.outlier_strikes) flagged = true;
+          } else {
+            rep.low_rate_streak = 0;
+          }
+        }
+      }
+      if (!flagged && reference > 0 && rep.samples >= pol_.min_samples) {
+        if (rep.ewma >
+            pol_.outlier_factor * std::max(reference, pol_.floor_ms)) {
+          // One slow reply can swing the EWMA past the threshold; only a
+          // replica that stays over it across consecutive evals is gray.
+          if (++rep.outlier_streak >= pol_.outlier_strikes) flagged = true;
+        } else {
+          rep.outlier_streak = 0;
+        }
+      }
+      if (flagged) {
+        rep.state = State::kEvicted;
+        rep.evicted_until_ms = now_ms + pol_.evict_ms;
+        rep.zero_reply_streak = 0;
+        rep.low_rate_streak = 0;
+        rep.outlier_streak = 0;
+        ++evictions_;
+      } else if (rep.state == State::kProbation &&
+                 rep.samples >= pol_.probation_samples) {
+        rep.state = State::kHealthy;
+      }
+      rep.snapshot();
+    }
+  }
+
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t probations() const noexcept { return probations_; }
+  std::uint64_t zombies() const noexcept { return zombies_; }
+  State state(unsigned r) const noexcept { return reps_[r].state; }
+
+ private:
+  struct Rep {
+    double ewma = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t replies = 0;
+    std::uint64_t rejects = 0;
+    std::uint64_t sent_mark = 0;
+    std::uint64_t replies_mark = 0;
+    std::uint64_t rejects_mark = 0;
+    unsigned zero_reply_streak = 0;
+    unsigned low_rate_streak = 0;
+    unsigned outlier_streak = 0;
+    State state = State::kHealthy;
+    double evicted_until_ms = 0;
+
+    void snapshot() noexcept {
+      sent_mark = sent;
+      replies_mark = replies;
+      rejects_mark = rejects;
+    }
+    /// Fresh probationary look: score only what the replica does now.
+    void reset_scores() noexcept {
+      ewma = 0;
+      samples = 0;
+      zero_reply_streak = 0;
+      low_rate_streak = 0;
+      outlier_streak = 0;
+    }
+  };
+
+  GrayDetectionPolicy pol_;
+  double fixed_timeout_ms_ = 0;
+  double deadline_ms_ = 0;
+  std::vector<Rep> reps_;
+  std::vector<double> scratch_;
+  LogHistogram win_ms_{1e-2, 1e5, 90};
+  unsigned rr_cursor_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t probations_ = 0;
+  std::uint64_t zombies_ = 0;
+};
+
+}  // namespace arch21::cloud

@@ -98,6 +98,52 @@ void CircuitBreakerPolicy::validate() const {
   }
 }
 
+void GrayDetectionPolicy::validate() const {
+  if (!enabled) return;
+  if (!(eval_interval_ms > 0) || !std::isfinite(eval_interval_ms)) {
+    bad("GrayDetectionPolicy", "eval_interval_ms must be finite and > 0");
+  }
+  if (!(ewma_alpha > 0) || ewma_alpha > 1.0) {
+    bad("GrayDetectionPolicy", "ewma_alpha must be in (0, 1]");
+  }
+  if (min_samples < 1) {
+    bad("GrayDetectionPolicy", "min_samples must be >= 1");
+  }
+  if (!(outlier_factor > 1)) {
+    bad("GrayDetectionPolicy", "outlier_factor must be > 1");
+  }
+  if (!(floor_ms >= 0)) bad("GrayDetectionPolicy", "floor_ms must be >= 0");
+  if (outlier_strikes < 1) {
+    bad("GrayDetectionPolicy", "outlier_strikes must be >= 1");
+  }
+  if (evict && !(evict_ms > 0)) {
+    bad("GrayDetectionPolicy", "evict_ms must be > 0 when evict is set");
+  }
+  if (probation_samples < 1) {
+    bad("GrayDetectionPolicy", "probation_samples must be >= 1");
+  }
+  if (!(reply_rate_floor >= 0) || reply_rate_floor > 1.0) {
+    bad("GrayDetectionPolicy", "reply_rate_floor must be in [0, 1]");
+  }
+  if (min_rate_sends < 1) {
+    bad("GrayDetectionPolicy", "min_rate_sends must be >= 1");
+  }
+  if (zombie_strikes < 1) {
+    bad("GrayDetectionPolicy", "zombie_strikes must be >= 1");
+  }
+  if (adaptive_deadline) {
+    if (!(deadline_factor > 0) || !std::isfinite(deadline_factor)) {
+      bad("GrayDetectionPolicy", "deadline_factor must be finite and > 0");
+    }
+    if (!(deadline_min_ms > 0)) {
+      bad("GrayDetectionPolicy", "deadline_min_ms must be > 0");
+    }
+    if (min_window_samples < 1) {
+      bad("GrayDetectionPolicy", "min_window_samples must be >= 1");
+    }
+  }
+}
+
 void ResiliencePolicy::validate() const {
   retry.validate();
   budget.validate();
@@ -107,10 +153,21 @@ void ResiliencePolicy::validate() const {
   quorum.validate();
   admission.validate();
   breaker.validate();
+  gray.validate();
   if (breaker.enabled && retry.timeout_ms == 0) {
     // Failures reach the breaker only through timeouts; without them the
     // window never records a failure and the breaker is dead weight.
     bad("ResiliencePolicy", "breaker requires retry.timeout_ms > 0");
+  }
+  if (gray.enabled && retry.timeout_ms == 0) {
+    // The adaptive deadline replaces the fixed timeout; with timeouts off
+    // there is nothing to adapt and zombie sends would dangle forever.
+    bad("ResiliencePolicy", "gray detection requires retry.timeout_ms > 0");
+  }
+  if (gray.enabled && !quorum.enabled()) {
+    // Eviction down-weights replicas to zero traffic; only quorum-based
+    // degradation lets queries close without every leaf's reply.
+    bad("ResiliencePolicy", "gray detection requires an enabled quorum");
   }
 }
 

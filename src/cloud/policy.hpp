@@ -124,9 +124,68 @@ struct CircuitBreakerPolicy {
   void validate() const;
 };
 
+/// Client-side gray-failure (fail-slow) detection and mitigation.  The
+/// breaker above is blind to gray replicas by construction: a slow or
+/// jittery replica eventually *replies*, and every late reply lands a
+/// success in the breaker window, so the failure fraction never reaches
+/// the threshold ("successes, just late").  This detector scores what
+/// breakers ignore:
+///
+///   * per-replica EWMA latency with PEER-RELATIVE outlier detection --
+///     a replica is evicted when its EWMA exceeds `outlier_factor` times
+///     the lower-quartile EWMA of its peers (robust even when a majority
+///     of replicas degrade at once, where mean/median references fail);
+///   * reply-rate accounting -- a replica whose replies/sends ratio over
+///     an eval interval drops below `reply_rate_floor` is evicted, and
+///     one that stops replying entirely for `zombie_strikes` consecutive
+///     intervals is flagged a *zombie* (accepts work, never answers);
+///   * eviction redirects the replica's sends round-robin across healthy
+///     peers (down-weighting to zero without the breaker's random
+///     redirect storm); after `evict_ms` the replica enters *probation*
+///     with fresh counters -- it is re-admitted after `probation_samples`
+///     clean replies or re-evicted on the next eval it still scores bad;
+///   * an ADAPTIVE DEADLINE: the effective per-attempt timeout tracks
+///     `deadline_factor` x the observed reply-latency p99 of the last
+///     eval interval, clamped to [deadline_min_ms, retry.timeout_ms] --
+///     under a fail-slow burst the fixed timeout is either too tight
+///     (healthy tail) or too loose (gray tail); tracking p99 keeps it
+///     matched to what the fleet currently delivers.
+///
+/// Scoring is a pure function of observed replies -- the detector draws
+/// NO randomness -- and the eval events are only scheduled when enabled,
+/// so disabled detection leaves results byte-identical.
+struct GrayDetectionPolicy {
+  bool enabled = false;
+  double eval_interval_ms = 100;  ///< scoring/eviction cadence
+  double ewma_alpha = 0.1;        ///< EWMA weight of each new reply latency
+  unsigned min_samples = 8;       ///< replies required before outlier calls
+  double outlier_factor = 4.0;    ///< eviction ratio vs peer lower quartile
+  double floor_ms = 2.0;          ///< reference floor (ignore sub-ms noise)
+  /// Consecutive evals a replica must score bad (latency outlier OR
+  /// below the reply-rate floor) before it is evicted -- one slow reply
+  /// can swing a fresh EWMA past the threshold and one clump of server
+  /// deadline-drops can dent an interval's reply rate, but both decay
+  /// within an eval interval; a genuinely gray replica scores bad on
+  /// every pass.
+  unsigned outlier_strikes = 2;
+  bool evict = true;              ///< false = score/telemetry only
+  double evict_ms = 1000;         ///< eviction duration before probation
+  unsigned probation_samples = 8; ///< clean replies that re-admit
+  double reply_rate_floor = 0.75; ///< min replies/sends per interval
+  unsigned min_rate_sends = 12;   ///< sends required before rate calls
+  unsigned zombie_strikes = 2;    ///< zero-reply intervals = zombie
+  bool adaptive_deadline = true;  ///< timeout tracks observed p99
+  double deadline_factor = 1.5;   ///< x observed p99
+  double deadline_min_ms = 2.0;   ///< adaptive timeout lower clamp
+  unsigned min_window_samples = 16;  ///< replies needed to move deadline
+
+  void validate() const;
+};
+
 /// The full resilience policy stack for one cluster configuration:
 /// client-side mitigation (retry/budget/hedge/quorum) plus the
-/// server-edge overload protections (admission, breakers).
+/// server-edge overload protections (admission, breakers) and gray
+/// (fail-slow) detection.
 struct ResiliencePolicy {
   RetryPolicy retry;
   RetryBudget budget;
@@ -137,6 +196,7 @@ struct ResiliencePolicy {
   QuorumPolicy quorum;
   AdmissionPolicy admission;
   CircuitBreakerPolicy breaker;
+  GrayDetectionPolicy gray;
 
   void validate() const;
 };

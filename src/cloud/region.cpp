@@ -158,6 +158,25 @@ void MultiRegionConfig::validate() const {
       bad("MultiRegionConfig", "blackout_duration_s must be >= 0");
     }
   }
+  if (grayout_region != kNoBlackout) {
+    if (grayout_region >= regions.size()) {
+      bad("MultiRegionConfig", "grayout_region must index regions");
+    }
+    if (!(grayout_start_s >= 0)) {
+      bad("MultiRegionConfig", "grayout_start_s must be >= 0");
+    }
+    if (!(grayout_duration_s >= 0)) {
+      bad("MultiRegionConfig", "grayout_duration_s must be >= 0");
+    }
+    if (!(std::isfinite(grayout_slow_factor) && grayout_slow_factor > 1)) {
+      bad("MultiRegionConfig", "grayout_slow_factor must be finite and > 1");
+    }
+  }
+  if (blackout_enabled() && grayout_enabled()) {
+    bad("MultiRegionConfig",
+        "blackout and grayout are mutually exclusive (the hysteresis "
+        "windows measure around a single disruption)");
+  }
 }
 
 void MultiRegionResult::merge(const MultiRegionResult& other) {
@@ -340,6 +359,21 @@ class MultiRegionSim {
           [this, br] { down_[br] = 0; });
     }
 
+    if (cfg_.grayout_enabled()) {
+      const unsigned gr = cfg_.grayout_region;
+      // Fail-slow, not fail-stop: the station keeps accepting work and
+      // answering -- just grayout_slow_factor x later.  Nothing is lost
+      // and no RNG stream is touched, so a disabled grayout leaves the
+      // run byte-identical; only the probe's sojourn estimate (which
+      // reads the station speed) can notice the degradation.
+      sim_.schedule_at(cfg_.grayout_start_s * 1000.0, [this, gr] {
+        stations_[gr]->set_speed(1.0 / cfg_.grayout_slow_factor);
+      });
+      sim_.schedule_at(
+          (cfg_.grayout_start_s + cfg_.grayout_duration_s) * 1000.0,
+          [this, gr] { stations_[gr]->set_speed(1.0); });
+    }
+
     const double interval_ms = fo_.health_interval_s * 1000.0;
     for (unsigned r = 0; r < down_.size(); ++r) {
       schedule_probe(r, interval_ms);
@@ -438,8 +472,13 @@ class MultiRegionSim {
   void probe(unsigned r) {
     RegionStats& s = res_.regions[r];
     ++s.probes;
+    // The probe estimates sojourn from the *delivered* service rate:
+    // a grayed-out station at speed 1/k serves k x slower, so the same
+    // queue depth means k x the wait.  Dividing by speed() is what lets
+    // the health check see a fail-SLOW region (speed 1.0 divides
+    // exactly, so pre-grayout runs are bit-identical).
     const double est_sojourn =
-        mean_service_ms_[r] *
+        mean_service_ms_[r] / stations_[r]->speed() *
         (1.0 + static_cast<double>(stations_[r]->queue_length()) /
                    static_cast<double>(cfg_.regions[r].servers));
     const bool ok =
@@ -863,6 +902,23 @@ std::vector<MultiRegionScenario> failover_scenarios(
                  run_multiregion_trials(capped, trials, pool)});
   out.push_back({"caps + hysteresis + breakers", full,
                  run_multiregion_trials(full, trials, pool)});
+
+  // Rung 4: the same disruption window as a GRAY failure -- the region
+  // does not go dark, it goes fail-slow (E34's fault model at region
+  // scale).  Breakers cannot see it (a slow region still replies), so
+  // containment rides on the probe's speed-aware sojourn estimate
+  // feeding the same eviction/re-admission hysteresis as the blackout.
+  if (full.blackout_enabled()) {
+    MultiRegionConfig gray = full;
+    gray.grayout_region = gray.blackout_region;
+    gray.grayout_start_s = gray.blackout_start_s;
+    gray.grayout_duration_s = gray.blackout_duration_s;
+    gray.blackout_region = MultiRegionConfig::kNoBlackout;
+    gray.blackout_start_s = 0;
+    gray.blackout_duration_s = 0;
+    out.push_back({"gray-out (fail-slow region) + full stack", gray,
+                   run_multiregion_trials(gray, trials, pool)});
+  }
   return out;
 }
 
@@ -872,7 +928,15 @@ RegionalHysteresis multiregion_hysteresis(const MultiRegionResult& r,
                                           double settle_s) {
   RegionalHysteresis h;
   const double w = cfg.goodput_window_s;
-  if (w <= 0 || !cfg.blackout_enabled()) return h;
+  if (w <= 0 || !(cfg.blackout_enabled() || cfg.grayout_enabled())) return h;
+
+  // The measured disruption: blackout or grayout, whichever is enabled
+  // (validate() rejects both at once).
+  const bool black = cfg.blackout_enabled();
+  const unsigned ev_region = black ? cfg.blackout_region : cfg.grayout_region;
+  const double ev_start = black ? cfg.blackout_start_s : cfg.grayout_start_s;
+  const double ev_duration =
+      black ? cfg.blackout_duration_s : cfg.grayout_duration_s;
 
   auto count = [&](std::size_t i) -> double {
     if (!surviving_only) {
@@ -883,7 +947,7 @@ RegionalHysteresis multiregion_hysteresis(const MultiRegionResult& r,
     double sum = 0;
     for (std::size_t reg = 0; reg < r.region_answered_per_window.size();
          ++reg) {
-      if (reg == cfg.blackout_region) continue;
+      if (reg == ev_region) continue;
       const auto& win = r.region_answered_per_window[reg];
       if (i < win.size()) sum += static_cast<double>(win[i]);
     }
@@ -891,16 +955,16 @@ RegionalHysteresis multiregion_hysteresis(const MultiRegionResult& r,
   };
   const double per_win = w * static_cast<double>(std::max(r.trials, 1u));
 
-  // Complete windows strictly before the blackout; window 0 is warmup.
-  const auto pre_end = static_cast<std::size_t>(cfg.blackout_start_s / w);
+  // Complete windows strictly before the disruption; window 0 is warmup.
+  const auto pre_end = static_cast<std::size_t>(ev_start / w);
   double sum = 0;
   std::size_t n = 0;
   for (std::size_t i = 1; i < pre_end; ++i, ++n) sum += count(i);
   if (n > 0) h.pre_qps = sum / (static_cast<double>(n) * per_win);
 
-  // Complete windows inside the horizon, after the blackout plus settle.
-  const auto post_begin = static_cast<std::size_t>(std::ceil(
-      (cfg.blackout_start_s + cfg.blackout_duration_s + settle_s) / w));
+  // Complete windows inside the horizon, after the disruption plus settle.
+  const auto post_begin = static_cast<std::size_t>(
+      std::ceil((ev_start + ev_duration + settle_s) / w));
   const auto post_end = static_cast<std::size_t>(cfg.duration_s / w);
   sum = 0;
   n = 0;

@@ -166,8 +166,26 @@ struct MultiRegionConfig {
   double blackout_start_s = 0;
   double blackout_duration_s = 0;
 
+  /// Deterministic regional GRAY-out -- the fail-slow twin of the
+  /// blackout (E34's fault model at region scale): region
+  /// `grayout_region` serves `grayout_slow_factor`x slower from
+  /// grayout_start_s for grayout_duration_s.  Nothing crashes and no
+  /// request is lost; the station keeps accepting work and answering
+  /// late, so the only thing that can see it is the health probe's
+  /// queue-sojourn estimate.  Mutually exclusive with the blackout
+  /// (the hysteresis windows need a single disruption to measure
+  /// around); draws no randomness, so a disabled grayout is
+  /// byte-identical.
+  unsigned grayout_region = kNoBlackout;
+  double grayout_start_s = 0;
+  double grayout_duration_s = 0;
+  double grayout_slow_factor = 4.0;
+
   bool blackout_enabled() const noexcept {
     return blackout_region != kNoBlackout && blackout_duration_s > 0;
+  }
+  bool grayout_enabled() const noexcept {
+    return grayout_region != kNoBlackout && grayout_duration_s > 0;
   }
   /// Total steady-state capacity across regions, queries/s.
   double total_capacity_qps() const noexcept;
@@ -265,17 +283,25 @@ struct MultiRegionScenario {
 ///   2. admission caps  -- per-region token caps + bounded deadline queues
 ///   3. caps + hysteresis + breakers -- re-admission hysteresis, retry
 ///                        budget, per-region circuit breakers (full)
+///   4. gray-out       -- the full stack again, but the disrupted region
+///                        goes fail-SLOW instead of dark (same region,
+///                        start, and duration as the blackout, served at
+///                        grayout_slow_factor x slower).  Appended only
+///                        when `base` blacks out a region.  What contains
+///                        it is the probe's sojourn estimate tripping the
+///                        same eviction/re-admission hysteresis the
+///                        blackout exercises.
 std::vector<MultiRegionScenario> failover_scenarios(
     const MultiRegionConfig& base, unsigned trials, ThreadPool* pool = nullptr);
 
-/// Windowed-goodput hysteresis around the blackout, as
-/// cloud::goodput_hysteresis does for E29: mean goodput over complete
-/// windows strictly before the blackout (window 0 is warmup) vs complete
-/// windows after it cleared plus `settle_s`.  With `surviving_only` the
-/// per-serving-region series excludes the blacked-out region on both
-/// sides -- the "did the failover wave wreck the healthy regions"
-/// measurement.  Returns zeros unless the config records windows and
-/// blacks out a region.
+/// Windowed-goodput hysteresis around the regional disruption (blackout
+/// or grayout, whichever the config enables), as cloud::goodput_hysteresis
+/// does for E29: mean goodput over complete windows strictly before the
+/// disruption (window 0 is warmup) vs complete windows after it cleared
+/// plus `settle_s`.  With `surviving_only` the per-serving-region series
+/// excludes the disrupted region on both sides -- the "did the failover
+/// wave wreck the healthy regions" measurement.  Returns zeros unless the
+/// config records windows and disrupts a region.
 struct RegionalHysteresis {
   double pre_qps = 0;
   double post_qps = 0;

@@ -163,6 +163,59 @@ std::vector<ScenarioResult> overload_scenarios(const ClusterConfig& base,
   return out;
 }
 
+std::vector<ScenarioResult> grayfail_scenarios(const ClusterConfig& base,
+                                               unsigned trials,
+                                               const GrayfailPolicies& knobs,
+                                               ThreadPool* pool) {
+  // Every rung carries the full E29 fail-stop stack, so rungs 2-4 cannot
+  // be accused of losing to the burst for lack of fail-stop protection.
+  ClusterConfig prot = base;
+  prot.policy.retry.timeout_ms = knobs.timeout_ms;
+  prot.policy.retry.max_retries = knobs.max_retries;
+  prot.policy.budget.enabled = true;
+  prot.policy.budget.ratio = knobs.budget_ratio;
+  prot.policy.quorum.quorum_fraction = knobs.quorum_fraction;
+  prot.policy.quorum.deadline_ms = knobs.quorum_deadline_ms;
+  prot.policy.admission.enabled = true;
+  prot.policy.admission.rate_qps =
+      knobs.admission_rate_frac * base.query_rate_hz;
+  prot.policy.admission.max_in_flight =
+      knobs.max_in_flight > 0
+          ? knobs.max_in_flight
+          : static_cast<unsigned>(2.0 * base.query_rate_hz *
+                                  knobs.quorum_deadline_ms / 1000.0) +
+                1;
+  prot.policy.breaker.enabled = true;
+  prot.leaf_queue.capacity = knobs.queue_capacity;
+  prot.leaf_queue.discipline = des::QueueDiscipline::kDeadline;
+  prot.leaf_queue.sojourn_target = knobs.sojourn_target_ms;
+
+  std::vector<ScenarioResult> out;
+
+  ClusterConfig control = prot;
+  control.gray = {};  // same stack, nothing gray to contain
+  out.push_back(run_scenario("control (no gray burst)", control, trials,
+                             pool));
+
+  out.push_back(run_scenario("fail-stop ladder (E29)", prot, trials, pool));
+
+  ClusterConfig deadline_only = prot;
+  deadline_only.policy.gray = knobs.gray;
+  deadline_only.policy.gray.enabled = true;
+  deadline_only.policy.gray.evict = false;
+  out.push_back(
+      run_scenario("+ adaptive deadline", deadline_only, trials, pool));
+
+  ClusterConfig adaptive = prot;
+  adaptive.policy.gray = knobs.gray;
+  adaptive.policy.gray.enabled = true;
+  adaptive.policy.gray.evict = true;
+  out.push_back(
+      run_scenario("+ eviction + probation", adaptive, trials, pool));
+
+  return out;
+}
+
 ClusterConfig power_rung_config(const ClusterConfig& base,
                                 const PowerLadderPolicies& knobs,
                                 double cap_fraction, PowercapPolicy policy) {
@@ -226,6 +279,41 @@ std::vector<ScenarioResult> power_scenarios(const ClusterConfig& base,
         trials, pool));
   }
   return out;
+}
+
+GrayContainment gray_containment(const ClusterResult& r,
+                                 const ClusterConfig& cfg, double settle_s) {
+  GrayContainment c;
+  const double w = cfg.goodput_window_s;
+  if (w <= 0 || !cfg.gray.burst_enabled()) return c;
+  const auto& win = r.answered_per_window;
+  auto count = [&](std::size_t i) {
+    return i < win.size() ? static_cast<double>(win[i]) : 0.0;
+  };
+  const double per_win =
+      w * static_cast<double>(std::max(r.trials, 1u));  // -> qps per trial
+  auto mean_over = [&](std::size_t begin, std::size_t end) {
+    double sum = 0;
+    std::size_t n = 0;
+    for (std::size_t i = begin; i < end; ++i, ++n) sum += count(i);
+    return n > 0 ? sum / (static_cast<double>(n) * per_win) : 0.0;
+  };
+
+  const double t0 = cfg.gray.burst_start_s;
+  const double t1 = t0 + cfg.gray.burst_duration_s;
+  // Complete windows strictly before the burst; window 0 is warmup.
+  c.pre_qps = mean_over(1, static_cast<std::size_t>(t0 / w));
+  // Complete windows inside the burst, past the onset settle (detection
+  // needs a few eval intervals to converge -- the settle excludes the
+  // transient both ladders pay, leaving the steady burst regime).
+  c.during_qps =
+      mean_over(static_cast<std::size_t>(std::ceil((t0 + settle_s) / w)),
+                static_cast<std::size_t>(t1 / w));
+  // Complete windows inside the horizon, after the burst plus settle.
+  c.post_qps =
+      mean_over(static_cast<std::size_t>(std::ceil((t1 + settle_s) / w)),
+                static_cast<std::size_t>(cfg.duration_s / w));
+  return c;
 }
 
 GoodputHysteresis goodput_hysteresis(const ClusterResult& r,

@@ -131,6 +131,68 @@ std::vector<ScenarioResult> power_scenarios(
     const ClusterConfig& base, unsigned trials,
     const PowerLadderPolicies& knobs = {}, ThreadPool* pool = nullptr);
 
+/// Knobs for the gray-failure ladder (bench_grayfail, E34).  The base
+/// ClusterConfig supplies the workload and the gray (fail-slow) burst;
+/// every rung keeps the FULL E29 fail-stop protection stack -- bounded
+/// deadline-drop queues, admission + retry budget, circuit breakers --
+/// so the ladder isolates what the gray-aware client adds on top.  The
+/// point of the drill: a fail-slow burst defeats the E29 stack (gray
+/// replicas keep answering, just late, so breakers see successes and
+/// never open) while the detection stack contains it.
+struct GrayfailPolicies {
+  // Client, shared by every rung: tight timeout, budgeted retries, and a
+  // high quorum -- the fan-out needs nearly every leaf, so a handful of
+  // gray replicas can hold the whole query hostage.
+  double timeout_ms = 25;
+  unsigned max_retries = 2;
+  double budget_ratio = 0.1;
+  double quorum_fraction = 0.9;
+  double quorum_deadline_ms = 100;
+  // Server edge, identical to the E29 protected rung.
+  std::size_t queue_capacity = 4;
+  double sojourn_target_ms = 25;
+  double admission_rate_frac = 1.1;
+  unsigned max_in_flight = 0;  ///< 0 derives from the quorum deadline
+  /// Detection stack for the gray-aware rungs; `enabled`/`evict` are set
+  /// per rung, the rest of the fields apply as given.
+  GrayDetectionPolicy gray;
+};
+
+/// Run the four-rung gray-failure ladder, `trials` sims per rung:
+///   1. control              -- E29 protections, NO gray burst
+///   2. fail-stop ladder     -- gray burst vs the E29 stack (defeated)
+///   3. + adaptive deadline  -- detection on, scoring + deadline only
+///   4. + eviction/probation -- full adaptive mitigation
+/// Every rung runs the same seeded workload; rungs 2-4 the same burst.
+std::vector<ScenarioResult> grayfail_scenarios(
+    const ClusterConfig& base, unsigned trials,
+    const GrayfailPolicies& knobs = {}, ThreadPool* pool = nullptr);
+
+/// Windowed-goodput summary of one fail-slow-burst run: mean goodput in
+/// the complete windows strictly before the gray burst (window 0 is
+/// warmup) vs the complete windows INSIDE the burst after `settle_s` of
+/// onset slack, vs the complete windows after the burst cleared plus
+/// `settle_s`.  containment_ratio() is the E34 headline: how much of
+/// pre-burst goodput the client holds onto WHILE the burst is running.
+struct GrayContainment {
+  double pre_qps = 0;
+  double during_qps = 0;
+  double post_qps = 0;
+  double containment_ratio() const noexcept {
+    return pre_qps > 0 ? during_qps / pre_qps : 0;
+  }
+  double recovery_ratio() const noexcept {
+    return pre_qps > 0 ? post_qps / pre_qps : 0;
+  }
+};
+
+/// Requires cfg.goodput_window_s > 0 and an enabled gray burst; returns
+/// zeros otherwise.  Windows with no answered queries count as zeros,
+/// and multi-trial aggregates are normalized by ClusterResult::trials.
+GrayContainment gray_containment(const ClusterResult& r,
+                                 const ClusterConfig& cfg,
+                                 double settle_s = 2.0);
+
 /// Windowed-goodput summary of one metastable-failure run: mean goodput
 /// over the complete windows strictly before the fault burst (skipping
 /// window 0 as warmup) vs the complete windows after the burst cleared

@@ -62,6 +62,24 @@ void WanConfig::validate() const {
       bad("WanConfig", "link.mttr_hours must be >= 0");
     }
   }
+  if (gray_links) {
+    if (!(gray_link.mtbf_hours > 0)) {
+      bad("WanConfig", "gray_link.mtbf_hours must be > 0");
+    }
+    if (!(gray_link.mttr_hours >= 0)) {
+      bad("WanConfig", "gray_link.mttr_hours must be >= 0");
+    }
+    if (!(gray_factor_min >= 1) || !std::isfinite(gray_factor_min)) {
+      bad("WanConfig", "gray_factor_min must be finite and >= 1");
+    }
+    if (!(gray_factor_max >= gray_factor_min) ||
+        !std::isfinite(gray_factor_max)) {
+      bad("WanConfig", "gray_factor_max must be finite and >= gray_factor_min");
+    }
+    if (!(gray_loss_fraction >= 0) || !(gray_loss_fraction < 1)) {
+      bad("WanConfig", "gray_loss_fraction must be in [0, 1)");
+    }
+  }
 }
 
 Wan::Wan(const WanConfig& cfg, double horizon_ms, std::uint64_t seed)
@@ -84,12 +102,35 @@ Wan::Wan(const WanConfig& cfg, double horizon_ms, std::uint64_t seed)
     fcfg.seed = seed;
     trace_ = reliab::generate_failure_trace(fcfg);
   }
+  gray_factor_.assign(cfg_.links(), 0.0);
+  if (cfg_.gray_links) {
+    // Gray episodes live on a sub-stream derived from `seed` so they can
+    // never collide with the fail-stop trace's per-link Rng(seed, l)
+    // streams: slow-mode severities double as the latency inflation.
+    reliab::GrayTraceConfig gcfg;
+    gcfg.entities = cfg_.links();
+    gcfg.episode = cfg_.gray_link;
+    gcfg.w_slow = 1;
+    gcfg.w_lossy = 0;
+    gcfg.w_zombie = 0;
+    gcfg.w_jittery = 0;
+    gcfg.slow_factor_min = cfg_.gray_factor_min;
+    gcfg.slow_factor_max = cfg_.gray_factor_max;
+    gcfg.horizon_hours = horizon_ms / kMsPerHour;
+    gcfg.seed = Rng(seed, 0x6A41).next();
+    gray_trace_ = reliab::generate_gray_trace(gcfg);
+  }
 }
 
 void Wan::install(des::Simulator& sim) {
   for (const reliab::FailureEvent& ev : trace_.events) {
     sim.schedule_at(ev.t_hours * kMsPerHour, [this, ev] {
       link_up_[ev.entity] = ev.up ? 1 : 0;
+    });
+  }
+  for (const reliab::GrayEvent& ev : gray_trace_.events) {
+    sim.schedule_at(ev.t_hours * kMsPerHour, [this, ev] {
+      gray_factor_[ev.entity] = ev.onset ? ev.severity : 0.0;
     });
   }
 }
@@ -101,9 +142,23 @@ bool Wan::link_up(unsigned a, unsigned b) const noexcept {
 
 double Wan::sample_latency_ms(unsigned a, unsigned b,
                               Rng& rng) const noexcept {
-  const double base = cfg_.base_latency(a, b);
+  double base = cfg_.base_latency(a, b);
+  if (a != b) {
+    const double factor = gray_factor_[cfg_.link_index(a, b)];
+    if (factor > 0) base *= factor;
+  }
   if (cfg_.jitter_frac <= 0 || base <= 0) return base;
   return base * (1.0 + cfg_.jitter_frac * rng.uniform(-1.0, 1.0));
+}
+
+bool Wan::link_degraded(unsigned a, unsigned b) const noexcept {
+  if (a == b) return false;
+  return gray_factor_[cfg_.link_index(a, b)] > 0;
+}
+
+bool Wan::link_delivers(unsigned a, unsigned b, Rng& rng) const noexcept {
+  if (!link_degraded(a, b) || cfg_.gray_loss_fraction <= 0) return true;
+  return !rng.chance(cfg_.gray_loss_fraction);
 }
 
 }  // namespace arch21::cloud

@@ -26,6 +26,7 @@
 #include "des/simulator.hpp"
 #include "reliab/availability.hpp"
 #include "reliab/failure_trace.hpp"
+#include "reliab/gray.hpp"
 #include "util/rng.hpp"
 
 namespace arch21::cloud {
@@ -50,6 +51,19 @@ struct WanConfig {
   bool link_faults = false;
   reliab::Component link{.mtbf_hours = 100.0 / 3600.0,
                          .mttr_hours = 2.0 / 3600.0};
+  /// Gray-link degradation (off by default): links run fail-slow
+  /// episodes from a reliab::GrayTrace on an independent sub-stream.
+  /// While a link is degraded, every traversal's latency is inflated by
+  /// the episode's severity (drawn from [gray_factor_min, gray_factor_max])
+  /// and each traversal is independently dropped with gray_loss_fraction
+  /// -- the link is *worse*, not down, which is exactly the signal
+  /// fail-stop link traces cannot produce.
+  bool gray_links = false;
+  reliab::Component gray_link{.mtbf_hours = 50.0 / 3600.0,
+                              .mttr_hours = 4.0 / 3600.0};
+  double gray_factor_min = 2.0;
+  double gray_factor_max = 4.0;
+  double gray_loss_fraction = 0.2;
 
   /// Undirected links between distinct regions.
   unsigned links() const noexcept { return regions * (regions - 1) / 2; }
@@ -80,17 +94,32 @@ class Wan {
   bool link_up(unsigned a, unsigned b) const noexcept;
 
   /// One sampled one-way traversal a -> b, jittered via the caller's rng.
+  /// A gray-degraded link inflates the sample by its episode severity
+  /// (no extra draws, so disabled gray stays byte-identical).
   double sample_latency_ms(unsigned a, unsigned b, Rng& rng) const noexcept;
+
+  /// Is the link a <-> b currently running a gray episode?
+  bool link_degraded(unsigned a, unsigned b) const noexcept;
+
+  /// Does this traversal of a -> b survive partial gray loss?  Draws from
+  /// `rng` ONLY while the link is degraded -- callers pass a dedicated
+  /// stream and a healthy WAN consumes nothing from it.
+  bool link_delivers(unsigned a, unsigned b, Rng& rng) const noexcept;
 
   /// Link failure events in the trace (for telemetry).
   std::uint64_t link_failures() const noexcept { return trace_.leaf_failures; }
+  std::uint64_t gray_episodes() const noexcept { return gray_trace_.episodes; }
   const reliab::FailureTrace& trace() const noexcept { return trace_; }
+  const reliab::GrayTrace& gray_trace() const noexcept { return gray_trace_; }
   const WanConfig& config() const noexcept { return cfg_; }
 
  private:
   WanConfig cfg_;
   reliab::FailureTrace trace_;
+  reliab::GrayTrace gray_trace_;
   std::vector<char> link_up_;
+  /// Per-link latency inflation while degraded; 0 = healthy.
+  std::vector<double> gray_factor_;
 };
 
 }  // namespace arch21::cloud

@@ -181,6 +181,71 @@ std::string render_overload_report(
   return os.str();
 }
 
+std::string render_grayfail_report(
+    const std::vector<cloud::ScenarioResult>& scenarios, double settle_s) {
+  std::ostringstream os;
+  os << "# Gray-failure report (fail-slow drill)\n\n";
+  if (scenarios.empty()) {
+    os << "**No scenarios.**\n";
+    return os.str();
+  }
+
+  // The burst parameters live on the rungs that carry it (the control
+  // rung clears them), so describe the drill from the last rung.
+  const auto& base = scenarios.back();
+  os << "* cluster: " << base.config.leaves << " leaves, "
+     << TextTable::num(base.config.query_rate_hz, 4) << " qps fan-out, "
+     << TextTable::num(base.config.duration_s, 4) << " s per trial, "
+     << base.result.trials << " trial(s) per rung, seed " << base.config.seed
+     << "\n"
+     << "* gray burst: " << base.config.gray.burst_leaves << " leaves "
+     << reliab::to_string(base.config.gray.burst_mode) << " at t = "
+     << TextTable::num(base.config.gray.burst_start_s, 4) << " s for "
+     << TextTable::num(base.config.gray.burst_duration_s, 4)
+     << " s; containment measured " << TextTable::num(settle_s, 4)
+     << " s into the burst\n\n";
+
+  TextTable t({"rung", "pre qps", "during", "contain", "post", "evict",
+               "prob", "zomb", "redir", "brk open", "amp", "p99 ms"});
+  for (const auto& s : scenarios) {
+    const auto& r = s.result;
+    // The control rung has no burst of its own; window it on the drill's
+    // timing so its row is comparable (same pre/during/post intervals).
+    const auto& timing =
+        s.config.gray.burst_enabled() ? s.config : base.config;
+    const auto c = cloud::gray_containment(r, timing, settle_s);
+    t.row({s.name, TextTable::num(c.pre_qps, 4),
+           TextTable::num(c.during_qps, 4),
+           TextTable::num(c.containment_ratio() * 100, 4) + "%",
+           TextTable::num(c.post_qps, 4), std::to_string(r.gray_evictions),
+           std::to_string(r.gray_probations), std::to_string(r.gray_zombies),
+           std::to_string(r.gray_redirected_sends),
+           std::to_string(r.breaker_open_transitions),
+           TextTable::num(r.retry_amplification, 4),
+           TextTable::num(r.query_ms.quantile(0.99), 4)});
+  }
+  os << "```\n" << t.to_string(0) << "```\n\n";
+
+  os << "## Reading the drill\n\n"
+     << "* **contain** -- goodput inside the burst (past the settle) as a "
+        "fraction of pre-burst goodput.  This is where fail-slow differs "
+        "from fail-stop: the E29 rung's breakers stay closed because "
+        "every late reply still lands a *success* in their windows, so "
+        "the burst runs its full course against an unsuspecting client.\n"
+     << "* **evict / prob / zomb** -- gray-detector actions: outlier or "
+        "reply-rate evictions, probationary re-admissions, and "
+        "zero-reply zombie flags.\n"
+     << "* **redir** -- sends steered round-robin from evicted replicas "
+        "to healthy peers.\n"
+     << "* **brk open** -- circuit-breaker open transitions.  On the "
+        "fail-stop rungs the windows *flicker*: a spiked attempt counts "
+        "one timeout (failure) and one late reply (success), so the "
+        "failure fraction hovers below the open threshold and breakers "
+        "spend the large majority of the burst closed -- blind, not "
+        "broken.\n";
+  return os.str();
+}
+
 std::string render_power_report(
     const std::vector<cloud::ScenarioResult>& scenarios, double settle_s) {
   std::ostringstream os;
@@ -270,6 +335,14 @@ std::string render_multiregion_report(
        << "measured " << TextTable::num(settle_s, 4)
        << " s after it clears\n";
   }
+  const auto& lc = scenarios.back().config;
+  if (lc.grayout_enabled()) {
+    os << "* gray-out rung: region " << lc.grayout_region << " (\""
+       << lc.regions[lc.grayout_region].name << "\") serves "
+       << TextTable::num(lc.grayout_slow_factor, 3)
+       << "x slow over the same window -- fail-slow, not fail-stop: "
+          "nothing is lost in the region, it just answers late\n";
+  }
   os << "\n";
 
   TextTable t({"rung", "pre qps", "post qps", "recovery", "surv pre",
@@ -325,7 +398,12 @@ std::string render_multiregion_report(
         "hysteresis the recovering region is not slammed and re-evicted "
         "in a flap loop.\n"
      << "* **amp** -- send attempts per request; the retry-storm "
-        "metric.\n";
+        "metric.\n"
+     << "* **gray-out rung** -- the disrupted region never goes down, it "
+        "goes slow, so breakers (which see late *successes*) cannot trip "
+        "on it; eviction rides on the health probe's speed-aware sojourn "
+        "estimate, and recovery proves the re-admission hysteresis "
+        "converges on fail-slow exactly as it does on fail-stop.\n";
   return os.str();
 }
 

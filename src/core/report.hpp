@@ -40,6 +40,15 @@ std::string render_power_report(
     const std::vector<cloud::ScenarioResult>& scenarios,
     double settle_s = 2.0);
 
+/// Render a gray-failure ladder (see cloud::grayfail_scenarios) as a
+/// self-contained markdown document: per-rung goodput before / during /
+/// after the fail-slow burst (containment is the headline), detector
+/// activity (evictions, probations, zombie flags, redirected sends), and
+/// the breaker activity that shows why fail-stop protection is blind.
+std::string render_grayfail_report(
+    const std::vector<cloud::ScenarioResult>& scenarios,
+    double settle_s = 2.0);
+
 /// Render a multi-region failover ladder (see cloud::failover_scenarios)
 /// as a self-contained markdown document: per-rung global and
 /// surviving-region goodput around the regional blackout, shed/lost/

@@ -1,0 +1,149 @@
+#include "reliab/gray.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+namespace arch21::reliab {
+
+const char* to_string(GrayMode m) noexcept {
+  switch (m) {
+    case GrayMode::kSlow: return "slow";
+    case GrayMode::kLossy: return "lossy";
+    case GrayMode::kZombie: return "zombie";
+    case GrayMode::kJittery: return "jittery";
+  }
+  return "?";
+}
+
+void GrayTraceConfig::validate() const {
+  auto bad = [](const char* field) {
+    throw std::invalid_argument(std::string("GrayTraceConfig::") + field);
+  };
+  if (entities == 0) bad("entities must be > 0");
+  if (horizon_hours <= 0) bad("horizon_hours must be > 0");
+  if (episode.mtbf_hours <= 0) bad("episode.mtbf_hours must be > 0");
+  if (episode.mttr_hours < 0) bad("episode.mttr_hours must be >= 0");
+  auto finite_nonneg = [&](double v, const char* field) {
+    if (!(v >= 0) || !std::isfinite(v)) bad(field);
+  };
+  finite_nonneg(w_slow, "w_slow must be finite and >= 0");
+  finite_nonneg(w_lossy, "w_lossy must be finite and >= 0");
+  finite_nonneg(w_zombie, "w_zombie must be finite and >= 0");
+  finite_nonneg(w_jittery, "w_jittery must be finite and >= 0");
+  if (w_slow + w_lossy + w_zombie + w_jittery <= 0) {
+    bad("mode weights must sum to > 0");
+  }
+  if (!(slow_factor_min >= 1) || !std::isfinite(slow_factor_min)) {
+    bad("slow_factor_min must be finite and >= 1");
+  }
+  if (!(slow_factor_max >= slow_factor_min) ||
+      !std::isfinite(slow_factor_max)) {
+    bad("slow_factor_max must be finite and >= slow_factor_min");
+  }
+  if (!(loss_fraction_min > 0) || loss_fraction_min > 1) {
+    bad("loss_fraction_min must be in (0, 1]");
+  }
+  if (!(loss_fraction_max >= loss_fraction_min) || loss_fraction_max > 1) {
+    bad("loss_fraction_max must be in [loss_fraction_min, 1]");
+  }
+  if (!(spike_ms_min > 0) || !std::isfinite(spike_ms_min)) {
+    bad("spike_ms_min must be finite and > 0");
+  }
+  if (!(spike_ms_max >= spike_ms_min) || !std::isfinite(spike_ms_max)) {
+    bad("spike_ms_max must be finite and >= spike_ms_min");
+  }
+  if (!(spike_prob > 0) || spike_prob > 1) bad("spike_prob must be in (0, 1]");
+}
+
+namespace {
+
+// Pick a mode by cumulative weight from one uniform draw, then its
+// severity from the matching range.  Severity for zombie is fixed at 1
+// (total reply loss) -- the mode IS the severity.
+GrayMode draw_mode(Rng& rng, const GrayTraceConfig& cfg) {
+  const double total = cfg.w_slow + cfg.w_lossy + cfg.w_zombie + cfg.w_jittery;
+  const double u = rng.uniform() * total;
+  if (u < cfg.w_slow) return GrayMode::kSlow;
+  if (u < cfg.w_slow + cfg.w_lossy) return GrayMode::kLossy;
+  if (u < cfg.w_slow + cfg.w_lossy + cfg.w_zombie) return GrayMode::kZombie;
+  return GrayMode::kJittery;
+}
+
+double draw_severity(Rng& rng, const GrayTraceConfig& cfg, GrayMode m) {
+  switch (m) {
+    case GrayMode::kSlow:
+      return rng.uniform(cfg.slow_factor_min, cfg.slow_factor_max);
+    case GrayMode::kLossy:
+      return rng.uniform(cfg.loss_fraction_min, cfg.loss_fraction_max);
+    case GrayMode::kZombie:
+      return 1.0;
+    case GrayMode::kJittery:
+      return rng.uniform(cfg.spike_ms_min, cfg.spike_ms_max);
+  }
+  return 0;
+}
+
+}  // namespace
+
+GrayTrace generate_gray_trace(const GrayTraceConfig& cfg) {
+  cfg.validate();
+  GrayTrace trace;
+  for (unsigned e = 0; e < cfg.entities; ++e) {
+    Rng rng(cfg.seed, e);
+    double t = 0;
+    for (;;) {
+      t += rng.exponential(cfg.episode.mtbf_hours);
+      if (t >= cfg.horizon_hours) break;
+      const GrayMode mode = draw_mode(rng, cfg);
+      const double severity = draw_severity(rng, cfg, mode);
+      trace.events.push_back({t, e, mode, true, severity});
+      ++trace.episodes;
+      ++trace.episodes_by_mode[static_cast<unsigned>(mode)];
+      t += rng.exponential(cfg.episode.mttr_hours);
+      if (t >= cfg.horizon_hours) {
+        // Episode runs past the horizon: it never clears in-trace.
+        break;
+      }
+      trace.events.push_back({t, e, mode, false, 0.0});
+    }
+  }
+  // Deterministic total order: time, then entity, then clears before
+  // onsets (an entity whose episode ends as another begins is healthy
+  // for an instant, not doubly degraded).
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const GrayEvent& a, const GrayEvent& b) {
+              return std::tuple(a.t_hours, a.entity, a.onset) <
+                     std::tuple(b.t_hours, b.entity, b.onset);
+            });
+  return trace;
+}
+
+double GrayTrace::measured_degraded_fraction(
+    const GrayTraceConfig& cfg) const {
+  cfg.validate();
+  std::vector<char> degraded(cfg.entities, 0);
+  unsigned degraded_count = 0;
+  double degraded_entity_hours = 0;
+  double last_t = 0;
+  for (const GrayEvent& ev : events) {
+    degraded_entity_hours +=
+        static_cast<double>(degraded_count) * (ev.t_hours - last_t);
+    last_t = ev.t_hours;
+    if (ev.onset && !degraded[ev.entity]) {
+      degraded[ev.entity] = 1;
+      ++degraded_count;
+    } else if (!ev.onset && degraded[ev.entity]) {
+      degraded[ev.entity] = 0;
+      --degraded_count;
+    }
+  }
+  degraded_entity_hours +=
+      static_cast<double>(degraded_count) * (cfg.horizon_hours - last_t);
+  return degraded_entity_hours /
+         (static_cast<double>(cfg.entities) * cfg.horizon_hours);
+}
+
+}  // namespace arch21::reliab

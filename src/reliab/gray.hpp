@@ -1,0 +1,97 @@
+#pragma once
+// Gray-failure (fail-slow) degradation traces.
+//
+// FailureTrace models fail-STOP: an entity is up or down, and every layer
+// above (breakers, retries, failover) is tuned for that binary signal.
+// The dominant availability threat the datacenter agenda calls out is
+// different: hardware that keeps accepting work while serving it *badly*
+// -- a disk at 1/10th throughput, a NIC dropping a fraction of replies, a
+// process that answers probes but never real requests.  A GrayTrace is
+// the seeded, replayable source of exactly those episodes.
+//
+// Four degradation modes, one per observed failure family:
+//   kSlow    -- service-rate multiplier (driven through Resource::set_speed)
+//   kLossy   -- a fraction of replies silently dropped
+//   kZombie  -- accepts work, never replies (loss fraction 1, but a
+//               distinct mode so detectors and telemetry can name it)
+//   kJittery -- intermittent latency spikes added to otherwise-normal
+//               replies (GC pauses, NIC hiccups)
+//
+// A GrayTrace composes with a binary FailureTrace: the two are generated
+// on independent streams and applied independently -- a leaf can be gray,
+// crashed, or both (crash wins while it lasts).
+//
+// Determinism: entity e draws its whole lifetime (episode boundaries,
+// mode choice, severity) from Rng(seed, e), the PR-1 sub-stream
+// convention -- the trace is a pure function of the config.
+
+#include <cstdint>
+#include <vector>
+
+#include "reliab/availability.hpp"
+#include "util/rng.hpp"
+
+namespace arch21::reliab {
+
+/// Degradation families a gray episode can take.
+enum class GrayMode : std::uint8_t { kSlow = 0, kLossy, kZombie, kJittery };
+
+/// Stable lowercase name ("slow", "lossy", "zombie", "jittery").
+const char* to_string(GrayMode m) noexcept;
+
+/// Configuration for a per-entity gray-degradation trace.
+struct GrayTraceConfig {
+  unsigned entities = 100;
+  /// Episode process: mtbf_hours = mean healthy gap between episodes,
+  /// mttr_hours = mean episode duration (reusing the availability
+  /// Component so the steady-state degraded fraction is availability()).
+  Component episode{.mtbf_hours = 0.02, .mttr_hours = 0.002};
+  /// Relative mode weights (need not sum to 1; negatives rejected, at
+  /// least one must be > 0).
+  double w_slow = 1.0;
+  double w_lossy = 1.0;
+  double w_zombie = 0.25;
+  double w_jittery = 1.0;
+  /// Severity ranges, drawn uniformly per episode at onset:
+  /// slow    -- service-time multiplier (x factor slower)
+  double slow_factor_min = 3.0;
+  double slow_factor_max = 8.0;
+  /// lossy   -- fraction of replies dropped
+  double loss_fraction_min = 0.3;
+  double loss_fraction_max = 0.8;
+  /// jittery -- mean of the exponential latency spike, ms
+  double spike_ms_min = 50.0;
+  double spike_ms_max = 400.0;
+  /// jittery -- per-request probability a spike is added
+  double spike_prob = 0.5;
+  double horizon_hours = 24;
+  std::uint64_t seed = 2014;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// One degradation transition.  An onset carries the episode's mode and
+/// severity; the matching clear repeats the mode with severity 0.
+struct GrayEvent {
+  double t_hours = 0;
+  unsigned entity = 0;
+  GrayMode mode = GrayMode::kSlow;
+  bool onset = false;   ///< true = degradation begins, false = clears
+  double severity = 0;  ///< slow factor / loss fraction / spike mean ms
+};
+
+/// A complete seeded gray trace over [0, horizon).
+struct GrayTrace {
+  std::vector<GrayEvent> events;  ///< sorted by (t, entity, clear-first)
+  std::uint64_t episodes = 0;
+  std::uint64_t episodes_by_mode[4] = {};
+
+  /// Mean fraction of entity-time spent degraded (any mode).
+  double measured_degraded_fraction(const GrayTraceConfig& cfg) const;
+};
+
+/// Generate the trace for `cfg` (validates first).
+GrayTrace generate_gray_trace(const GrayTraceConfig& cfg);
+
+}  // namespace arch21::reliab

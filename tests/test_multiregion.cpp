@@ -381,6 +381,21 @@ TEST(MultiRegionConfig, ValidationNamesField) {
   c.blackout_region = 0;
   c.blackout_start_s = -1;
   EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_config();
+  c.grayout_region = 7;  // out of range (kNoBlackout would be fine)
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_config();
+  c.grayout_region = 0;
+  c.grayout_duration_s = 2;
+  c.grayout_slow_factor = 1.0;  // "slowdown" of 1x is not a fault
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.grayout_slow_factor = 4.0;
+  EXPECT_NO_THROW(c.validate());
+  // One disruption per run: the hysteresis windows cannot measure around
+  // a blackout and a grayout at once.
+  c.blackout_region = 1;
+  c.blackout_duration_s = 1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
 }
 
 TEST(RoutePolicy, NamesAreDistinct) {
@@ -475,6 +490,51 @@ TEST(MultiRegion, BlackoutEvictsLosesAndReadmits) {
   EXPECT_GT(r.regions[2].completed, 0u);
   // Conservation still holds under failure.
   EXPECT_EQ(r.requests, r.answered + r.failed + r.shed);
+}
+
+TEST(MultiRegion, GrayoutEvictsSlowRegionAndHysteresisConverges) {
+  MultiRegionConfig cfg = small_config();
+  cfg.duration_s = 10;
+  // Flatten the diurnal swing so the pre/post hysteresis windows compare
+  // like offered load, and pin the WAN up so the only fault in the run
+  // is the fail-slow region.
+  cfg.traffic.diurnal_amplitude = 0.1;
+  cfg.wan.link.mtbf_hours = 1e6;
+  // Region 1 goes fail-SLOW (not dark): 16x slower turns its ~0.14
+  // utilization into sustained overload, so its queue grows and the
+  // speed-aware probe sojourn estimate blows the 60 ms budget within a
+  // probe interval or two.
+  cfg.grayout_region = 1;
+  cfg.grayout_start_s = 3;
+  cfg.grayout_duration_s = 3;
+  cfg.grayout_slow_factor = 16.0;
+  cfg.failover.healthy_after = 2;
+  const auto r = simulate_multiregion(cfg);
+  const RegionStats& gr = r.regions[1];
+  // Fail-slow loses NOTHING -- the station keeps accepting and answering
+  // late.  That is exactly what makes it invisible to loss accounting.
+  EXPECT_EQ(r.lost_requests, 0u);
+  EXPECT_EQ(gr.lost, 0u);
+  // But the health probe sees the inflated sojourn: the region is
+  // evicted during the grayout and re-admitted after the speed recovers
+  // and its queue drains.
+  EXPECT_GT(gr.probe_failures, 0u);
+  EXPECT_GE(gr.evictions, 1u);
+  EXPECT_GE(gr.readmissions, 1u);
+  // Clients stuck behind the slow region time out and retry elsewhere.
+  EXPECT_GT(r.timeouts, 0u);
+  // Conservation holds, and the hysteresis measured around the grayout
+  // converges: lightly loaded and symmetric, goodput recovers.
+  EXPECT_EQ(r.requests, r.answered + r.failed + r.shed);
+  const auto glob = multiregion_hysteresis(r, cfg, /*surviving_only=*/false,
+                                           /*settle_s=*/1.0);
+  EXPECT_GT(glob.pre_qps, 0.0);
+  EXPECT_GT(glob.post_qps, 0.0);
+  EXPECT_GT(glob.recovery_ratio(), 0.7);
+  // The surviving view excludes the grayed region on both sides.
+  const auto surv = multiregion_hysteresis(r, cfg, /*surviving_only=*/true,
+                                           /*settle_s=*/1.0);
+  EXPECT_LT(surv.pre_qps, glob.pre_qps);
 }
 
 TEST(MultiRegion, AdmissionCapsShedExcessFast) {
@@ -645,13 +705,22 @@ TEST(MultiRegion, LadderRungsAreOrderedByProtection) {
   base.blackout_duration_s = 2;
   base.failover.admission_cap_frac = 0.85;
   const auto ladder = failover_scenarios(base, 1);
-  ASSERT_EQ(ladder.size(), 3u);
+  ASSERT_EQ(ladder.size(), 4u);
   // Rung 1 strips every protection; rung 3 keeps them all.
   EXPECT_DOUBLE_EQ(ladder[0].config.failover.admission_cap_frac, 0.0);
   EXPECT_FALSE(ladder[0].config.failover.budget_enabled);
   EXPECT_GT(ladder[1].config.failover.admission_cap_frac, 0.0);
   EXPECT_EQ(ladder[2].config.failover.admission_cap_frac, 0.85);
   EXPECT_GT(ladder[2].config.failover.healthy_after, 0u);
+  // Rung 4 swaps the blackout for a fail-slow grayout of the same region
+  // over the same window, full stack intact.
+  const auto& gray = ladder[3].config;
+  EXPECT_FALSE(gray.blackout_enabled());
+  ASSERT_TRUE(gray.grayout_enabled());
+  EXPECT_EQ(gray.grayout_region, base.blackout_region);
+  EXPECT_DOUBLE_EQ(gray.grayout_start_s, base.blackout_start_s);
+  EXPECT_DOUBLE_EQ(gray.grayout_duration_s, base.blackout_duration_s);
+  EXPECT_EQ(gray.failover.admission_cap_frac, 0.85);
   for (const auto& s : ladder) {
     EXPECT_FALSE(s.name.empty());
     EXPECT_EQ(s.result.requests,
